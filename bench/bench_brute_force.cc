@@ -1,0 +1,122 @@
+// E9: the exponential cost of deciding safety exhaustively (Lemma 1: check
+// every pair of linear extensions) as a function of how "partial" the
+// partial orders are. This is the cost Theorem 2 eliminates at <= 2 sites —
+// the shape to reproduce: extension-pair counts (and oracle time) explode
+// with the number of concurrent per-site sections, while the Theorem 2 test
+// stays flat.
+
+#include <benchmark/benchmark.h>
+
+#include "core/brute_force.h"
+#include "core/safety.h"
+#include "sim/workload.h"
+#include "txn/linear_extension.h"
+
+namespace dislock {
+namespace {
+
+/// A pair whose transactions have `sections` per-site sections (one entity
+/// per site). With `safe` the transactions get a global lock point (every
+/// lock precedes every unlock), making D complete and the pair SAFE — so
+/// the Lemma 1 oracle must examine EVERY pair of extensions before it can
+/// say so. Without it all sections are fully concurrent and the very first
+/// extension pair is already unsafe (early exit).
+Workload MakeWidePair(int sections, bool safe) {
+  Workload w;
+  w.db = std::make_shared<DistributedDatabase>(sections);
+  for (int e = 0; e < sections; ++e) {
+    w.db->MustAddEntity(std::string("e") + std::to_string(e),
+                        static_cast<SiteId>(e));
+  }
+  w.system = std::make_shared<TransactionSystem>(w.db.get());
+  for (int t = 0; t < 2; ++t) {
+    Transaction txn(w.db.get(), std::string("T") + std::to_string(t + 1));
+    std::vector<StepId> locks, unlocks;
+    for (EntityId e = 0; e < sections; ++e) {
+      StepId l = txn.AddStep(StepKind::kLock, e);
+      StepId u = txn.AddStep(StepKind::kUnlock, e);
+      txn.AddPrecedence(l, u);
+      locks.push_back(l);
+      unlocks.push_back(u);
+    }
+    if (safe) {
+      for (StepId l : locks) {
+        for (StepId u : unlocks) txn.AddPrecedence(l, u);
+      }
+    }
+    w.system->Add(std::move(txn));
+  }
+  return w;
+}
+
+void BM_ExhaustiveOracle(benchmark::State& state) {
+  const int sections = static_cast<int>(state.range(0));
+  Workload w = MakeWidePair(sections, /*safe=*/true);
+  int64_t pairs = 0;
+  for (auto _ : state) {
+    auto result = ExhaustivePairSafety(w.system->txn(0), w.system->txn(1),
+                                       int64_t{1} << 40);
+    if (result.ok()) pairs = result->combinations_checked;
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["extension_pairs"] =
+      static_cast<double>(pairs);
+}
+BENCHMARK(BM_ExhaustiveOracle)->DenseRange(1, 4, 1)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_Theorem2OnSameInstances(benchmark::State& state) {
+  // The same wide instances span `sections` sites, but restricted to two
+  // sites Theorem 2 answers instantly; measure it on the 2-section pair
+  // and the analyzer's closure loop beyond that.
+  const int sections = static_cast<int>(state.range(0));
+  Workload w = MakeWidePair(sections, /*safe=*/true);
+  SafetyOptions closure_only;
+  closure_only.max_extension_pairs = 0;
+  closure_only.max_dominators = 1 << 12;
+  for (auto _ : state) {
+    PairSafetyReport report = AnalyzePairSafety(w.system->txn(0),
+                                                w.system->txn(1),
+                                                closure_only);
+    benchmark::DoNotOptimize(report);
+  }
+}
+BENCHMARK(BM_Theorem2OnSameInstances)->DenseRange(1, 4, 1)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_ExtensionCounting(benchmark::State& state) {
+  const int sections = static_cast<int>(state.range(0));
+  Workload w = MakeWidePair(sections, /*safe=*/false);
+  int64_t count = 0;
+  for (auto _ : state) {
+    count = CountLinearExtensions(w.system->txn(0), int64_t{1} << 40);
+    benchmark::DoNotOptimize(count);
+  }
+  state.counters["extensions"] = static_cast<double>(count);
+}
+BENCHMARK(BM_ExtensionCounting)->DenseRange(1, 5, 1)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_ScheduleEnumeration(benchmark::State& state) {
+  const int sections = static_cast<int>(state.range(0));
+  Workload w = MakeWidePair(sections, /*safe=*/false);
+  int64_t count = 0;
+  for (auto _ : state) {
+    int64_t n = 0;
+    (void)EnumerateSchedules(*w.system, int64_t{1} << 40,
+                             [&n](const Schedule&) {
+                               ++n;
+                               return true;
+                             });
+    count = n;
+    benchmark::DoNotOptimize(count);
+  }
+  state.counters["schedules"] = static_cast<double>(count);
+}
+BENCHMARK(BM_ScheduleEnumeration)->DenseRange(1, 3, 1)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace dislock
+
+BENCHMARK_MAIN();

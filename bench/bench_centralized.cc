@@ -1,0 +1,107 @@
+// E8: the centralized baseline. For totally ordered pairs, safety can be
+// decided (a) by the strong-connectivity test of D(t1,t2) — this library's
+// algorithm, exact for total orders — or (b) by the naive geometric method
+// (grid BFS per rectangle pair, O(k^2 n^2)). The shape to reproduce: the
+// graph test scales like n^2 in the number of commonly locked entities,
+// while the naive geometric baseline blows up two orders of magnitude
+// faster, which is why [5, 14] worked to get the geometric method down to
+// O(n log n).
+
+#include <benchmark/benchmark.h>
+
+#include "core/conflict_graph.h"
+#include "geometry/curve.h"
+#include "geometry/picture.h"
+#include "graph/scc.h"
+#include "sim/workload.h"
+
+namespace dislock {
+namespace {
+
+Workload MakePair(int entities, uint64_t seed) {
+  Rng rng(seed);
+  return MakeRandomTotalOrderPair(entities, &rng);
+}
+
+void BM_Centralized_SccTest(benchmark::State& state) {
+  Workload w = MakePair(static_cast<int>(state.range(0)), 11);
+  const int n = w.system->TotalSteps();
+  for (auto _ : state) {
+    ConflictGraph d = BuildConflictGraph(w.system->txn(0), w.system->txn(1));
+    bool safe = IsStronglyConnected(d.graph);
+    benchmark::DoNotOptimize(safe);
+  }
+  state.SetComplexityN(n);
+  state.counters["steps_n"] = n;
+}
+BENCHMARK(BM_Centralized_SccTest)
+    ->RangeMultiplier(2)
+    ->Range(4, 128)
+    ->Complexity(benchmark::oNSquared);
+
+/// Worst case for the naive test: a SAFE pair (two identical two-phase
+/// total orders), so every one of the k^2 rectangle pairs runs its full
+/// grid BFS without finding a path.
+Workload MakeSafeTotalPair(int entities) {
+  Workload w;
+  w.db = std::make_shared<DistributedDatabase>(1);
+  for (int e = 0; e < entities; ++e) {
+    w.db->MustAddEntity(std::string("e") + std::to_string(e), 0);
+  }
+  w.system = std::make_shared<TransactionSystem>(w.db.get());
+  for (int t = 0; t < 2; ++t) {
+    Transaction txn(w.db.get(), std::string("t") + std::to_string(t + 1));
+    StepId prev = kInvalidStep;
+    auto chain = [&](StepKind kind, EntityId e) {
+      StepId s = txn.AddStep(kind, e);
+      if (prev != kInvalidStep) txn.AddPrecedence(prev, s);
+      prev = s;
+    };
+    for (EntityId e = 0; e < entities; ++e) chain(StepKind::kLock, e);
+    for (EntityId e = 0; e < entities; ++e) chain(StepKind::kUnlock, e);
+    w.system->Add(std::move(txn));
+  }
+  return w;
+}
+
+void BM_Centralized_NaiveGeometric(benchmark::State& state) {
+  Workload w = MakeSafeTotalPair(static_cast<int>(state.range(0)));
+  const int n = w.system->TotalSteps();
+  auto pic = PairPicture::Make(w.system->txn(0), w.system->txn(1));
+  for (auto _ : state) {
+    auto witness = NaiveGeometricUnsafetyTest(*pic);
+    benchmark::DoNotOptimize(witness);
+  }
+  state.SetComplexityN(n);
+  state.counters["steps_n"] = n;
+}
+BENCHMARK(BM_Centralized_NaiveGeometric)
+    ->RangeMultiplier(2)
+    ->Range(4, 64)
+    ->Complexity([](benchmark::IterationCount n) {
+      return static_cast<double>(n) * n * n * n / 36.0;  // ~ k^2 * n^2
+    });
+
+/// Agreement sweep: both tests decide many random pairs; reported counter
+/// is the fraction found unsafe (a workload-shape statistic, not a timing).
+void BM_Centralized_UnsafeFraction(benchmark::State& state) {
+  Rng rng(13);
+  int64_t unsafe = 0;
+  int64_t total = 0;
+  for (auto _ : state) {
+    Workload w = MakeRandomTotalOrderPair(static_cast<int>(state.range(0)),
+                                          &rng);
+    ConflictGraph d = BuildConflictGraph(w.system->txn(0), w.system->txn(1));
+    if (!IsStronglyConnected(d.graph)) ++unsafe;
+    ++total;
+  }
+  state.counters["unsafe_fraction"] =
+      total > 0 ? static_cast<double>(unsafe) / static_cast<double>(total)
+                : 0.0;
+}
+BENCHMARK(BM_Centralized_UnsafeFraction)->DenseRange(2, 6, 1);
+
+}  // namespace
+}  // namespace dislock
+
+BENCHMARK_MAIN();

@@ -1,0 +1,123 @@
+// Deadlock-analysis benchmarks: the reachable-state search (exponential in
+// concurrency, the paper's "distributed deadlocks appear subtle" open
+// problem made quantitative), the waits-for construction, and observed
+// deadlock rates in the simulator.
+
+#include <benchmark/benchmark.h>
+
+#include "core/deadlock.h"
+#include "core/paper.h"
+#include "sim/scheduler.h"
+#include "sim/workload.h"
+#include "txn/builder.h"
+
+namespace dislock {
+namespace {
+
+/// k transactions over k entities, each locking (e_i, e_{i+1 mod k}) in
+/// opposed order — the canonical cyclic-wait workload.
+Workload MakeDiningSystem(int k) {
+  Workload w;
+  w.db = std::make_shared<DistributedDatabase>(1);
+  for (int e = 0; e < k; ++e) {
+    w.db->MustAddEntity(std::string("e") + std::to_string(e), 0);
+  }
+  w.system = std::make_shared<TransactionSystem>(w.db.get());
+  for (int t = 0; t < k; ++t) {
+    TransactionBuilder b(w.db.get(), std::string("T") + std::to_string(t));
+    std::string first = std::string("e") + std::to_string(t);
+    std::string second = std::string("e") + std::to_string((t + 1) % k);
+    b.Lock(first);
+    b.Lock(second);
+    b.Unlock(second);
+    b.Unlock(first);
+    w.system->Add(b.Build());
+  }
+  return w;
+}
+
+void BM_DeadlockSearch_Dining(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  Workload w = MakeDiningSystem(k);
+  int64_t states = 0;
+  bool free_ = true;
+  for (auto _ : state) {
+    auto report = AnalyzeDeadlockFreedom(*w.system, 1 << 22);
+    if (report.ok()) {
+      states = report->states_explored;
+      free_ = report->deadlock_free;
+    }
+    benchmark::DoNotOptimize(report);
+  }
+  state.counters["states"] = static_cast<double>(states);
+  state.counters["deadlock_free"] = free_ ? 1 : 0;
+}
+BENCHMARK(BM_DeadlockSearch_Dining)->DenseRange(2, 6, 1)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_DeadlockSearch_RandomTwoSite(benchmark::State& state) {
+  Rng rng(88);
+  WorkloadParams params;
+  params.num_sites = 2;
+  params.num_entities = static_cast<int>(state.range(0));
+  params.num_transactions = 2;
+  params.lock_probability = 1.0;
+  std::vector<Workload> pool;
+  for (int i = 0; i < 8; ++i) pool.push_back(MakeRandomWorkload(params, &rng));
+  size_t i = 0;
+  for (auto _ : state) {
+    auto report = AnalyzeDeadlockFreedom(*pool[i++ % pool.size()].system,
+                                         1 << 22);
+    benchmark::DoNotOptimize(report);
+  }
+}
+BENCHMARK(BM_DeadlockSearch_RandomTwoSite)->DenseRange(2, 6, 1)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_WaitsForGraph(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  Workload w = MakeDiningSystem(k);
+  // Every transaction executed exactly its first lock: full cyclic wait.
+  std::vector<std::vector<StepId>> executed(k, std::vector<StepId>{0});
+  for (auto _ : state) {
+    auto waits = BuildWaitsForGraph(*w.system, executed);
+    benchmark::DoNotOptimize(waits);
+  }
+}
+BENCHMARK(BM_WaitsForGraph)->DenseRange(2, 10, 2)
+    ->Unit(benchmark::kMicrosecond);
+
+/// Deadlock rates under the random scheduler, per instance family. The
+/// counter reports the observed fraction of deadlocked runs.
+void BM_SimulatedDeadlockRate(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  Workload w = MakeDiningSystem(k);
+  Rng rng(89);
+  int64_t runs = 0;
+  int64_t deadlocks = 0;
+  for (auto _ : state) {
+    RunResult run = SimulateRun(*w.system, &rng);
+    ++runs;
+    if (run.deadlocked) ++deadlocks;
+    benchmark::DoNotOptimize(run);
+  }
+  state.counters["deadlock_fraction"] =
+      runs > 0 ? static_cast<double>(deadlocks) / static_cast<double>(runs)
+               : 0;
+}
+BENCHMARK(BM_SimulatedDeadlockRate)->DenseRange(2, 5, 1)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_DeadlockSearch_Fig5(benchmark::State& state) {
+  PaperInstance inst = MakeFig5Instance();
+  for (auto _ : state) {
+    auto report = AnalyzeDeadlockFreedom(*inst.system, 1 << 22);
+    benchmark::DoNotOptimize(report);
+  }
+}
+BENCHMARK(BM_DeadlockSearch_Fig5)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace dislock
+
+BENCHMARK_MAIN();

@@ -1,0 +1,114 @@
+// E11: Proposition 2 scaling — many-transaction safety analysis as the
+// number of transactions k grows. Condition (a) costs O(k^2) pair tests;
+// condition (b) enumerates directed cycles of G, which is where the
+// (already centralized) coNP-hardness shows up: dense conflict graphs have
+// exponentially many cycles, so the cycle budget dominates.
+
+#include <benchmark/benchmark.h>
+
+#include "core/multi.h"
+#include "core/policy.h"
+#include "graph/cycles.h"
+#include "sim/workload.h"
+
+namespace dislock {
+namespace {
+
+/// k strongly-two-phase transactions over a sparse entity ring: Ti locks
+/// {e_i, e_(i+1 mod k)}, so G is a ring and has exactly 2 directed k-cycles
+/// plus the 2-cycles.
+Workload MakeRingSystem(int k) {
+  Workload w;
+  w.db = std::make_shared<DistributedDatabase>(2);
+  for (int e = 0; e < k; ++e) {
+    w.db->MustAddEntity(std::string("e") + std::to_string(e), e % 2);
+  }
+  w.system = std::make_shared<TransactionSystem>(w.db.get());
+  for (int t = 0; t < k; ++t) {
+    w.system->Add(MakeTwoPhaseTransaction(
+        w.db.get(), std::string("T") + std::to_string(t + 1),
+        {static_cast<EntityId>(t), static_cast<EntityId>((t + 1) % k)}));
+  }
+  return w;
+}
+
+/// Dense system: every transaction locks every entity (complete G).
+Workload MakeDenseSystem(int k, int entities) {
+  Workload w;
+  w.db = std::make_shared<DistributedDatabase>(2);
+  std::vector<EntityId> all;
+  for (int e = 0; e < entities; ++e) {
+    all.push_back(w.db->MustAddEntity(
+        std::string("e") + std::to_string(e), e % 2));
+  }
+  w.system = std::make_shared<TransactionSystem>(w.db.get());
+  for (int t = 0; t < k; ++t) {
+    w.system->Add(MakeTwoPhaseTransaction(
+        w.db.get(), std::string("T") + std::to_string(t + 1), all));
+  }
+  return w;
+}
+
+void BM_MultiSafety_Ring(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  Workload w = MakeRingSystem(k);
+  int cycles = 0;
+  for (auto _ : state) {
+    MultiSafetyReport report = AnalyzeMultiSafety(*w.system);
+    cycles = report.cycles_checked;
+    benchmark::DoNotOptimize(report);
+  }
+  state.counters["cycles_checked"] = cycles;
+  state.counters["k"] = k;
+}
+BENCHMARK(BM_MultiSafety_Ring)->DenseRange(3, 11, 2)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_MultiSafety_Dense(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  Workload w = MakeDenseSystem(k, 3);
+  int cycles = 0;
+  for (auto _ : state) {
+    MultiSafetyOptions options;
+    options.max_cycles = 1 << 14;
+    MultiSafetyReport report = AnalyzeMultiSafety(*w.system, options);
+    cycles = report.cycles_checked;
+    benchmark::DoNotOptimize(report);
+  }
+  state.counters["cycles_checked"] = cycles;
+}
+BENCHMARK(BM_MultiSafety_Dense)->DenseRange(3, 7, 1)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_CycleEnumerationOnly(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  Workload w = MakeDenseSystem(k, 3);
+  Digraph g = BuildTransactionConflictGraph(*w.system);
+  double count = 0;
+  for (auto _ : state) {
+    auto cycles = SimpleCycles(g, 1 << 16);
+    count = static_cast<double>(cycles.size());
+    benchmark::DoNotOptimize(cycles);
+  }
+  state.counters["simple_cycles"] = count;
+}
+BENCHMARK(BM_CycleEnumerationOnly)->DenseRange(3, 8, 1)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_BuildCycleGraph(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  Workload w = MakeRingSystem(k);
+  std::vector<int> cycle(k);
+  for (int i = 0; i < k; ++i) cycle[i] = i;
+  for (auto _ : state) {
+    Digraph b = BuildCycleGraph(*w.system, cycle);
+    benchmark::DoNotOptimize(b);
+  }
+}
+BENCHMARK(BM_BuildCycleGraph)->DenseRange(3, 11, 2)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace dislock
+
+BENCHMARK_MAIN();

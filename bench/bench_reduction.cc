@@ -1,0 +1,144 @@
+// E6/E10: the Theorem 3 reduction is polynomial — entity counts, step
+// counts and build time grow linearly in |F| — while the *decision* cost of
+// the reduced instance grows with the dominator space (2^#middle-components),
+// which is exactly where the coNP-hardness lives. Also times the
+// end-to-end "unsafe iff satisfiable" validation loop on small formulas.
+
+#include <benchmark/benchmark.h>
+
+#include "core/conflict_graph.h"
+#include "core/safety.h"
+#include "graph/dominator.h"
+#include "sat/normalize.h"
+#include "sat/reduction.h"
+#include "sat/solver.h"
+#include "util/random.h"
+
+namespace dislock {
+namespace {
+
+/// Random formula already in restricted form, sized by variable count.
+Cnf RandomRestricted(int num_vars, Rng* rng) {
+  std::vector<int> pos(num_vars + 1, 2);
+  std::vector<int> neg(num_vars + 1, 1);
+  std::vector<std::vector<int>> clauses;
+  const int want = num_vars;  // ~1 clause per variable
+  for (int c = 0; c < want; ++c) {
+    std::vector<int> vars;
+    for (int v = 1; v <= num_vars; ++v) {
+      if (pos[v] > 0 || neg[v] > 0) vars.push_back(v);
+    }
+    if (static_cast<int>(vars.size()) < 2) break;
+    rng->Shuffle(&vars);
+    std::vector<int> clause;
+    int len = 2 + static_cast<int>(rng->Uniform(2));
+    for (int v : vars) {
+      if (static_cast<int>(clause.size()) == len) break;
+      bool negated = neg[v] > 0 && (pos[v] == 0 || rng->Bernoulli(0.3));
+      if (negated) {
+        --neg[v];
+        clause.push_back(-v);
+      } else if (pos[v] > 0) {
+        --pos[v];
+        clause.push_back(v);
+      }
+    }
+    if (clause.size() >= 2) clauses.push_back(clause);
+  }
+  if (clauses.empty()) clauses.push_back({1, 2});
+  return MakeCnf(num_vars, clauses);
+}
+
+void BM_ReductionBuild(benchmark::State& state) {
+  Rng rng(42);
+  Cnf f = RandomRestricted(static_cast<int>(state.range(0)), &rng);
+  int entities = 0;
+  int steps = 0;
+  for (auto _ : state) {
+    auto red = ReduceCnfToTransactions(f);
+    entities = red->db->NumEntities();
+    steps = red->system->TotalSteps();
+    benchmark::DoNotOptimize(red);
+  }
+  state.counters["entities"] = entities;
+  state.counters["steps"] = steps;
+  state.counters["vars"] = f.num_vars;
+  state.counters["clauses"] = static_cast<double>(f.clauses.size());
+}
+BENCHMARK(BM_ReductionBuild)->RangeMultiplier(2)->Range(2, 64)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_DominatorSpaceGrowth(benchmark::State& state) {
+  Rng rng(43);
+  Cnf f = RandomRestricted(static_cast<int>(state.range(0)), &rng);
+  auto red = ReduceCnfToTransactions(f);
+  double count = 0;
+  for (auto _ : state) {
+    ConflictGraph d = BuildConflictGraph(red->system->txn(0),
+                                         red->system->txn(1));
+    auto doms = AllDominators(d.graph, 1 << 16);
+    count = static_cast<double>(doms.size());
+    benchmark::DoNotOptimize(doms);
+  }
+  state.counters["dominators"] = count;
+}
+BENCHMARK(BM_DominatorSpaceGrowth)->DenseRange(2, 6, 1)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_EndToEndUnsafeIffSat(benchmark::State& state) {
+  Rng rng(44);
+  const int num_vars = static_cast<int>(state.range(0));
+  int64_t agreements = 0;
+  int64_t decided = 0;
+  for (auto _ : state) {
+    Cnf f = RandomRestricted(num_vars, &rng);
+    auto sat = SolveSat(f);
+    auto red = ReduceCnfToTransactions(f);
+    SafetyOptions options;
+    options.max_extension_pairs = 0;
+    options.max_dominators = 1 << 12;
+    PairSafetyReport report = AnalyzePairSafety(red->system->txn(0),
+                                                red->system->txn(1), options);
+    if (report.verdict != SafetyVerdict::kUnknown) {
+      ++decided;
+      if ((report.verdict == SafetyVerdict::kUnsafe) == sat->satisfiable) {
+        ++agreements;
+      }
+    }
+    benchmark::DoNotOptimize(report);
+  }
+  state.counters["decided"] = static_cast<double>(decided);
+  state.counters["agreements"] = static_cast<double>(agreements);
+}
+BENCHMARK(BM_EndToEndUnsafeIffSat)->DenseRange(2, 4, 1)
+    ->Unit(benchmark::kMillisecond)->Iterations(8);
+
+void BM_NormalizeCnf(benchmark::State& state) {
+  Rng rng(45);
+  // Unrestricted random 3-CNF at ratio ~4 clauses/var.
+  const int num_vars = static_cast<int>(state.range(0));
+  std::vector<std::vector<int>> clauses;
+  for (int c = 0; c < 4 * num_vars; ++c) {
+    std::vector<int> clause;
+    for (int l = 0; l < 3; ++l) {
+      int v = 1 + static_cast<int>(rng.Uniform(num_vars));
+      clause.push_back(rng.Bernoulli(0.5) ? v : -v);
+    }
+    clauses.push_back(clause);
+  }
+  Cnf f = MakeCnf(num_vars, clauses);
+  double out_vars = 0;
+  for (auto _ : state) {
+    auto restricted = NormalizeToRestricted(f);
+    if (restricted.ok()) out_vars = restricted->cnf.num_vars;
+    benchmark::DoNotOptimize(restricted);
+  }
+  state.counters["restricted_vars"] = out_vars;
+}
+BENCHMARK(BM_NormalizeCnf)->RangeMultiplier(2)->Range(8, 128)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace dislock
+
+BENCHMARK_MAIN();

@@ -1,0 +1,216 @@
+// E12: the executable substrate. Measures simulated-run throughput,
+// serializability-check cost, and — the operational validation of the
+// safety theory — Monte-Carlo witness detection: unsafe systems yield
+// non-serializable schedules at a measurable rate, safe systems never do.
+
+#include <benchmark/benchmark.h>
+
+#include "core/paper.h"
+#include "core/policy.h"
+#include "sim/executor.h"
+#include "sim/scheduler.h"
+#include "sim/workload.h"
+#include "txn/builder.h"
+
+namespace dislock {
+namespace {
+
+void BM_SimulateRun(benchmark::State& state) {
+  Rng rng(1);
+  WorkloadParams params;
+  params.num_sites = 2;
+  params.num_entities = static_cast<int>(state.range(0));
+  params.num_transactions = 4;
+  params.update_probability = 1.0;
+  Workload w = MakeRandomWorkload(params, &rng);
+  int64_t steps = 0;
+  for (auto _ : state) {
+    RunResult run = SimulateRun(*w.system, &rng);
+    steps += run.steps_executed;
+    benchmark::DoNotOptimize(run);
+  }
+  state.counters["steps_per_s"] = benchmark::Counter(
+      static_cast<double>(steps), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SimulateRun)->RangeMultiplier(2)->Range(2, 32)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_SerializabilityCheck(benchmark::State& state) {
+  Rng rng(2);
+  WorkloadParams params;
+  params.num_sites = 2;
+  params.num_entities = static_cast<int>(state.range(0));
+  params.num_transactions = 4;
+  Workload w = MakeRandomWorkload(params, &rng);
+  // Pre-sample a completed schedule; deadlock-heavy workloads fall back to
+  // a serial one (the check's cost does not depend on interleaving).
+  Schedule schedule;
+  bool found = false;
+  for (int attempt = 0; attempt < 256 && !found; ++attempt) {
+    RunResult run = SimulateRun(*w.system, &rng);
+    if (!run.deadlocked) {
+      schedule = std::move(*run.schedule);
+      found = true;
+    }
+  }
+  if (!found) schedule = SerialSchedule(*w.system, {0, 1, 2, 3}).value();
+  for (auto _ : state) {
+    bool ok = IsSerializable(*w.system, schedule);
+    benchmark::DoNotOptimize(ok);
+  }
+}
+BENCHMARK(BM_SerializabilityCheck)->RangeMultiplier(2)->Range(2, 32)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_SymbolicExecution(benchmark::State& state) {
+  Rng rng(3);
+  WorkloadParams params;
+  params.num_sites = 2;
+  params.num_entities = static_cast<int>(state.range(0));
+  params.num_transactions = 3;
+  params.update_probability = 1.0;
+  Workload w = MakeRandomWorkload(params, &rng);
+  Schedule schedule;
+  bool found = false;
+  for (int attempt = 0; attempt < 256 && !found; ++attempt) {
+    RunResult run = SimulateRun(*w.system, &rng);
+    if (!run.deadlocked) {
+      schedule = std::move(*run.schedule);
+      found = true;
+    }
+  }
+  if (!found) schedule = SerialSchedule(*w.system, {0, 1, 2}).value();
+  for (auto _ : state) {
+    ExecutionResult result = ExecuteSchedule(*w.system, schedule);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_SymbolicExecution)->RangeMultiplier(2)->Range(2, 16)
+    ->Unit(benchmark::kMicrosecond);
+
+/// Witness-detection rate on the paper's unsafe instances: how many sampled
+/// runs does it take to hit a non-serializable schedule?
+void BM_MonteCarloWitness_Fig1(benchmark::State& state) {
+  PaperInstance inst = MakeFig1Instance();
+  Rng rng(4);
+  int64_t runs_needed = 0;
+  for (auto _ : state) {
+    MonteCarloStats stats = SampleSafety(*inst.system, 1 << 20, &rng);
+    runs_needed += stats.runs;
+    benchmark::DoNotOptimize(stats);
+  }
+  state.counters["avg_runs_to_witness"] = benchmark::Counter(
+      static_cast<double>(runs_needed), benchmark::Counter::kAvgIterations);
+}
+BENCHMARK(BM_MonteCarloWitness_Fig1)->Unit(benchmark::kMicrosecond);
+
+void BM_MonteCarloWitness_Fig3(benchmark::State& state) {
+  PaperInstance inst = MakeFig3Instance();
+  Rng rng(5);
+  int64_t runs_needed = 0;
+  for (auto _ : state) {
+    MonteCarloStats stats = SampleSafety(*inst.system, 1 << 20, &rng);
+    runs_needed += stats.runs;
+    benchmark::DoNotOptimize(stats);
+  }
+  state.counters["avg_runs_to_witness"] = benchmark::Counter(
+      static_cast<double>(runs_needed), benchmark::Counter::kAvgIterations);
+}
+BENCHMARK(BM_MonteCarloWitness_Fig3)->Unit(benchmark::kMicrosecond);
+
+/// Safe systems: a full sampling budget never finds a witness (the counter
+/// must stay 0, and the time is the cost of that assurance).
+void BM_MonteCarloSafe_Fig5(benchmark::State& state) {
+  PaperInstance inst = MakeFig5Instance();
+  Rng rng(6);
+  int64_t witnesses = 0;
+  for (auto _ : state) {
+    MonteCarloStats stats = SampleSafety(*inst.system, 2000, &rng,
+                                         /*keep_going=*/true);
+    witnesses += stats.non_serializable;
+    benchmark::DoNotOptimize(stats);
+  }
+  state.counters["witnesses"] = static_cast<double>(witnesses);
+}
+BENCHMARK(BM_MonteCarloSafe_Fig5)->Unit(benchmark::kMillisecond);
+
+void BM_MonteCarloSafe_TwoPhase(benchmark::State& state) {
+  Rng rng(7);
+  DistributedDatabase db(2);
+  std::vector<EntityId> all;
+  for (int e = 0; e < 4; ++e) {
+    all.push_back(db.MustAddEntity(std::string("e") + std::to_string(e),
+                                   e % 2));
+  }
+  TransactionSystem system(&db);
+  for (int t = 0; t < 3; ++t) {
+    system.Add(MakeTwoPhaseTransaction(
+        &db, std::string("T") + std::to_string(t + 1), all));
+  }
+  int64_t witnesses = 0;
+  for (auto _ : state) {
+    MonteCarloStats stats = SampleSafety(system, 500, &rng,
+                                         /*keep_going=*/true);
+    witnesses += stats.non_serializable;
+    benchmark::DoNotOptimize(stats);
+  }
+  state.counters["witnesses"] = static_cast<double>(witnesses);
+}
+BENCHMARK(BM_MonteCarloSafe_TwoPhase)->Unit(benchmark::kMillisecond);
+
+/// E15 (shared-locks extension): reader concurrency. k transactions all
+/// touch one hot entity; with shared locks they interleave freely, with
+/// exclusive locks they serialize on it. The counter reports the fraction
+/// of runs in which at least two lock sections on the hot entity
+/// overlapped — 0 for exclusive, high for shared.
+void BM_ReaderConcurrency(benchmark::State& state) {
+  const bool shared = state.range(0) != 0;
+  const int k = 4;
+  DistributedDatabase db(1);
+  db.MustAddEntity("hot", 0);
+  for (int t = 0; t < k; ++t) {
+    db.MustAddEntity(std::string("p") + std::to_string(t), 0);
+  }
+  TransactionSystem system(&db);
+  for (int t = 0; t < k; ++t) {
+    TransactionBuilder b(&db, std::string("T") + std::to_string(t + 1));
+    b.Add(StepKind::kLock, 0, shared);
+    b.LockUpdateUnlock(std::string("p") + std::to_string(t));
+    b.Add(StepKind::kUnlock, 0, shared);
+    system.Add(b.Build());
+  }
+  Rng rng(8);
+  int64_t runs = 0;
+  int64_t overlapped = 0;
+  for (auto _ : state) {
+    RunResult run = SimulateRun(system, &rng);
+    ++runs;
+    if (!run.deadlocked) {
+      // Did two hot-entity sections overlap? Track holders along the run.
+      int held = 0;
+      for (const SysStep& ev : run.schedule->events()) {
+        const Step& step = system.txn(ev.txn).GetStep(ev.step);
+        if (step.entity != 0) continue;
+        if (step.kind == StepKind::kLock) {
+          if (++held >= 2) {
+            ++overlapped;
+            break;
+          }
+        } else if (step.kind == StepKind::kUnlock) {
+          --held;
+        }
+      }
+    }
+    benchmark::DoNotOptimize(run);
+  }
+  state.counters["overlap_fraction"] =
+      runs > 0 ? static_cast<double>(overlapped) / static_cast<double>(runs)
+               : 0;
+}
+BENCHMARK(BM_ReaderConcurrency)->Arg(0)->Arg(1)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace dislock
+
+BENCHMARK_MAIN();

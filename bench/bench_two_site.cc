@@ -1,0 +1,88 @@
+// E7 / Corollary 1: the two-site safety test runs in O(n^2) for a pair
+// with n steps. Benchmarks the full decision procedure (conflict-graph
+// construction + Tarjan SCC) on safe worst-case pairs (complete D graph)
+// and on unsafe pairs including certificate construction.
+
+#include <benchmark/benchmark.h>
+
+#include "core/conflict_graph.h"
+#include "core/safety.h"
+#include "graph/scc.h"
+#include "sim/workload.h"
+
+namespace dislock {
+namespace {
+
+/// Decision only (Corollary 1): build D, test strong connectivity.
+void BM_TwoSiteDecision_Safe(benchmark::State& state) {
+  const int entities = static_cast<int>(state.range(0));
+  Rng rng(1);
+  Workload w = MakeTwoSiteScalingPair(entities, /*safe=*/true, &rng);
+  const int n = w.system->TotalSteps();
+  for (auto _ : state) {
+    ConflictGraph d = BuildConflictGraph(w.system->txn(0), w.system->txn(1));
+    bool safe = IsStronglyConnected(d.graph);
+    benchmark::DoNotOptimize(safe);
+  }
+  state.SetComplexityN(n);
+  state.counters["steps_n"] = n;
+}
+BENCHMARK(BM_TwoSiteDecision_Safe)
+    ->RangeMultiplier(2)
+    ->Range(4, 256)
+    ->Complexity(benchmark::oNSquared);
+
+void BM_TwoSiteDecision_Unsafe(benchmark::State& state) {
+  const int entities = static_cast<int>(state.range(0));
+  Rng rng(2);
+  Workload w = MakeTwoSiteScalingPair(entities, /*safe=*/false, &rng);
+  const int n = w.system->TotalSteps();
+  for (auto _ : state) {
+    ConflictGraph d = BuildConflictGraph(w.system->txn(0), w.system->txn(1));
+    bool safe = IsStronglyConnected(d.graph);
+    benchmark::DoNotOptimize(safe);
+  }
+  state.SetComplexityN(n);
+  state.counters["steps_n"] = n;
+}
+BENCHMARK(BM_TwoSiteDecision_Unsafe)
+    ->RangeMultiplier(2)
+    ->Range(4, 256)
+    ->Complexity(benchmark::oNSquared);
+
+/// Full unsafe path: decision + closure + certificate + verification.
+void BM_TwoSiteWithCertificate(benchmark::State& state) {
+  const int entities = static_cast<int>(state.range(0));
+  Rng rng(3);
+  Workload w = MakeTwoSiteScalingPair(entities, /*safe=*/false, &rng);
+  for (auto _ : state) {
+    auto report = TwoSiteSafetyTest(w.system->txn(0), w.system->txn(1));
+    benchmark::DoNotOptimize(report);
+  }
+  state.counters["steps_n"] = w.system->TotalSteps();
+}
+BENCHMARK(BM_TwoSiteWithCertificate)->RangeMultiplier(2)->Range(4, 32);
+
+/// Random (non-worst-case) two-site workloads through the general analyzer.
+void BM_TwoSiteRandomWorkloads(benchmark::State& state) {
+  Rng rng(4);
+  WorkloadParams params;
+  params.num_sites = 2;
+  params.num_entities = static_cast<int>(state.range(0));
+  params.num_transactions = 2;
+  params.cross_site_arcs = 2;
+  std::vector<Workload> pool;
+  for (int i = 0; i < 16; ++i) pool.push_back(MakeRandomWorkload(params, &rng));
+  size_t i = 0;
+  for (auto _ : state) {
+    const Workload& w = pool[i++ % pool.size()];
+    auto report = TwoSiteSafetyTest(w.system->txn(0), w.system->txn(1));
+    benchmark::DoNotOptimize(report);
+  }
+}
+BENCHMARK(BM_TwoSiteRandomWorkloads)->RangeMultiplier(2)->Range(4, 64);
+
+}  // namespace
+}  // namespace dislock
+
+BENCHMARK_MAIN();

@@ -1,0 +1,117 @@
+// A concrete two-site scenario: a bank with accounts partitioned across two
+// branches. A transfer transaction debits at branch A and credits at branch
+// B; an audit transaction reads both balances. Naive locking (release each
+// branch's lock as soon as that branch's work is done) lets the audit see a
+// state where the money is "in flight" — a non-serializable schedule the
+// analyzer finds and prints, along with its geometric picture.
+
+#include <cstdio>
+
+#include "core/safety.h"
+#include "geometry/picture.h"
+#include "sim/scheduler.h"
+#include "txn/builder.h"
+
+using namespace dislock;
+
+int main() {
+  DistributedDatabase db(2);
+  db.MustAddEntity("checking", 0);  // branch A
+  db.MustAddEntity("savings", 1);   // branch B
+
+  // Transfer: debit checking at branch A, then credit savings at branch B.
+  // Each branch's lock is released as soon as that branch is done —
+  // pipelined, fast, and wrong.
+  TransactionBuilder transfer(&db, "Transfer");
+  transfer.Lock("checking");
+  transfer.Update("checking");  // checking -= amount
+  StepId debit_done = transfer.Unlock("checking");
+  StepId credit_begin = transfer.Lock("savings");
+  transfer.Update("savings");   // savings += amount
+  transfer.Unlock("savings");
+  transfer.Edge(debit_done, credit_begin);  // debit before credit
+
+  // Audit: sums both balances, locking savings first (it runs from branch
+  // B), then checking.
+  TransactionBuilder audit(&db, "Audit");
+  audit.Lock("savings");
+  audit.Update("savings");  // read-modify bookkeeping at B
+  StepId b_done = audit.Unlock("savings");
+  StepId a_begin = audit.Lock("checking");
+  audit.Update("checking");
+  audit.Unlock("checking");
+  audit.Edge(b_done, a_begin);
+
+  Transaction t_transfer = transfer.BuildValidated().value();
+  Transaction t_audit = audit.BuildValidated().value();
+
+  std::printf("== Safety analysis of {Transfer, Audit}\n");
+  auto report = TwoSiteSafetyTest(t_transfer, t_audit);
+  std::printf("verdict: %s\n", SafetyVerdictName(report->verdict));
+  std::printf("D: %s\n", ConflictGraphToString(report->d, db).c_str());
+
+  if (report->certificate.has_value()) {
+    const UnsafetyCertificate& cert = *report->certificate;
+    std::printf("\nanomalous interleaving:\n  %s\n",
+                [&] {
+                  TransactionSystem pair(&db);
+                  pair.Add(cert.t1);
+                  pair.Add(cert.t2);
+                  return cert.schedule.ToString(pair);
+                }()
+                    .c_str());
+    std::printf(
+        "\nThe audit observes checking AFTER the debit but savings BEFORE\n"
+        "the credit: the money vanishes from its books. Geometrically, the\n"
+        "schedule's curve separates the two forbidden rectangles:\n\n");
+    auto pic = PairPicture::Make(cert.t1, cert.t2);
+    TransactionSystem pair(&db);
+    pair.Add(cert.t1);
+    pair.Add(cert.t2);
+    std::printf("%s", pic->Render(pair).c_str());
+  }
+
+  // How often does the anomaly actually bite? Sample concurrent runs.
+  TransactionSystem system(&db);
+  system.Add(t_transfer);
+  system.Add(t_audit);
+  Rng rng(2026);
+  MonteCarloStats stats = SampleSafety(system, 100000, &rng,
+                                       /*keep_going=*/true);
+  std::printf(
+      "\nMonte-Carlo: %lld runs, %lld completed, %lld deadlocked, "
+      "%lld non-serializable (%.1f%% of completions)\n",
+      static_cast<long long>(stats.runs),
+      static_cast<long long>(stats.completed),
+      static_cast<long long>(stats.deadlocked),
+      static_cast<long long>(stats.non_serializable),
+      stats.completed > 0
+          ? 100.0 * static_cast<double>(stats.non_serializable) /
+                static_cast<double>(stats.completed)
+          : 0.0);
+
+  // The fix: hold both locks across the transfer (two-phase with a lock
+  // point) — Theorem 1 then proves every interleaving serializable.
+  TransactionBuilder fixed(&db, "Transfer2PL");
+  StepId lc = fixed.Lock("checking");
+  StepId ls = fixed.Lock("savings");
+  fixed.Update("checking");
+  fixed.Update("savings");
+  StepId uc = fixed.Unlock("checking");
+  StepId us = fixed.Unlock("savings");
+  fixed.Edge(lc, us).Edge(ls, uc);
+  TransactionBuilder audit2(&db, "Audit2PL");
+  StepId ls2 = audit2.Lock("savings");
+  StepId lc2 = audit2.Lock("checking");
+  audit2.Update("savings");
+  audit2.Update("checking");
+  StepId us2 = audit2.Unlock("savings");
+  StepId uc2 = audit2.Unlock("checking");
+  audit2.Edge(ls2, uc2).Edge(lc2, us2);
+
+  auto fixed_report = TwoSiteSafetyTest(fixed.BuildValidated().value(),
+                                        audit2.BuildValidated().value());
+  std::printf("\nwith a lock point on both transactions: %s\n",
+              SafetyVerdictName(fixed_report->verdict));
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Quickstart: define a distributed database, build two locked transactions
+// as partial orders, and ask whether the system is safe (every schedule
+// serializable). When it is not, the analyzer hands back a verifiable
+// certificate: a pair of compatible total orders plus a legal,
+// non-serializable schedule.
+
+#include <cstdio>
+
+#include "core/safety.h"
+#include "txn/builder.h"
+
+using namespace dislock;
+
+int main() {
+  // A database with two sites; x lives at site 0, y at site 1.
+  DistributedDatabase db(2);
+  db.MustAddEntity("x", 0);
+  db.MustAddEntity("y", 1);
+
+  // T1 and T2 both lock x and y. Steps at one site are chained
+  // automatically (the model requires per-site total orders); the two
+  // sites run concurrently unless an explicit cross-site Edge is added.
+  TransactionBuilder b1(&db, "T1");
+  b1.Lock("x");
+  b1.Update("x");
+  b1.Unlock("x");
+  b1.Lock("y");
+  b1.Update("y");
+  b1.Unlock("y");
+  Transaction t1 = b1.BuildValidated().value();
+
+  TransactionBuilder b2(&db, "T2");
+  b2.Lock("x");
+  b2.Update("x");
+  b2.Unlock("x");
+  b2.Lock("y");
+  b2.Update("y");
+  b2.Unlock("y");
+  Transaction t2 = b2.BuildValidated().value();
+
+  std::printf("%s%s", t1.ToString().c_str(), t2.ToString().c_str());
+
+  // Two sites: Theorem 2 decides exactly — safe iff D(T1,T2) is strongly
+  // connected — in O(n^2).
+  PairSafetyReport report = AnalyzePairSafety(t1, t2);
+  std::printf("verdict: %s (method: %s, %d sites)\n",
+              SafetyVerdictName(report.verdict), report.method.c_str(),
+              report.sites_spanned);
+  std::printf("D(T1,T2): %s\n",
+              ConflictGraphToString(report.d, db).c_str());
+
+  if (report.certificate.has_value()) {
+    std::printf("%s", CertificateToString(*report.certificate, db).c_str());
+    std::printf(
+        "\nThe schedule above interleaves the transactions legally yet is\n"
+        "equivalent to no serial order: the locking is incorrect.\n");
+  }
+
+  // Fix it: a global lock point (every lock precedes every unlock) makes
+  // the pair safe at any number of sites (Theorem 1).
+  TransactionBuilder f1(&db, "T1'");
+  StepId lx = f1.Lock("x");
+  StepId ly = f1.Lock("y");
+  f1.Update("x");
+  f1.Update("y");
+  StepId ux = f1.Unlock("x");
+  StepId uy = f1.Unlock("y");
+  f1.Edge(lx, uy).Edge(ly, ux);  // the cross-site lock point
+  Transaction t1_fixed = f1.BuildValidated().value();
+
+  PairSafetyReport fixed = AnalyzePairSafety(t1_fixed, t1_fixed);
+  std::printf("\nafter adding a lock point: %s (method: %s)\n",
+              SafetyVerdictName(fixed.verdict), fixed.method.c_str());
+  return 0;
+}

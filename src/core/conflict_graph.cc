@@ -1,0 +1,71 @@
+#include "core/conflict_graph.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace dislock {
+
+std::vector<EntityId> ConflictingEntities(const Transaction& t1,
+                                          const Transaction& t2) {
+  std::vector<EntityId> out;
+  for (EntityId e : t1.LockedEntities()) {
+    if (t2.LockStep(e) == kInvalidStep || t2.UnlockStep(e) == kInvalidStep) {
+      continue;
+    }
+    if (t1.IsSharedSection(e) && t2.IsSharedSection(e)) continue;
+    out.push_back(e);
+  }
+  return out;
+}
+
+ConflictGraph BuildConflictGraph(const Transaction& t1,
+                                 const Transaction& t2) {
+  DISLOCK_CHECK_EQ(&t1.db(), &t2.db());
+  ConflictGraph d;
+
+  // V = entities on which the transactions conflict.
+  std::vector<EntityId> common = ConflictingEntities(t1, t2);
+  d.graph = Digraph(static_cast<int>(common.size()));
+  d.entities = common;
+  for (NodeId i = 0; i < static_cast<NodeId>(common.size()); ++i) {
+    d.node_of.emplace(common[i], i);
+    d.graph.SetLabel(i, t1.db().NameOf(common[i]));
+  }
+
+  // (x, y) in A iff Lx precedes Uy in T1 and Ly precedes Ux in T2.
+  for (NodeId i = 0; i < static_cast<NodeId>(common.size()); ++i) {
+    for (NodeId j = 0; j < static_cast<NodeId>(common.size()); ++j) {
+      if (i == j) continue;
+      EntityId x = common[i];
+      EntityId y = common[j];
+      if (t1.Precedes(t1.LockStep(x), t1.UnlockStep(y)) &&
+          t2.Precedes(t2.LockStep(y), t2.UnlockStep(x))) {
+        d.graph.AddArc(i, j);
+      }
+    }
+  }
+  return d;
+}
+
+std::string ConflictGraphToString(const ConflictGraph& d,
+                                  const DistributedDatabase& db) {
+  std::ostringstream out;
+  out << "D = { V: {";
+  for (size_t i = 0; i < d.entities.size(); ++i) {
+    if (i > 0) out << ", ";
+    out << db.NameOf(d.entities[i]);
+  }
+  out << "}, A: {";
+  bool first = true;
+  for (NodeId u = 0; u < d.graph.NumNodes(); ++u) {
+    for (NodeId v : d.graph.OutNeighbors(u)) {
+      if (!first) out << ", ";
+      out << db.NameOf(d.entities[u]) << "->" << db.NameOf(d.entities[v]);
+      first = false;
+    }
+  }
+  out << "} }";
+  return out.str();
+}
+
+}  // namespace dislock

@@ -1,0 +1,57 @@
+#ifndef DISLOCK_CORE_CONFLICT_GRAPH_H_
+#define DISLOCK_CORE_CONFLICT_GRAPH_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/digraph.h"
+#include "txn/transaction.h"
+
+namespace dislock {
+
+/// The conflict digraph D(T1, T2) of Definition 1:
+///   * one node per entity locked-unlocked by *both* transactions,
+///   * an arc (x, y) iff Lx precedes Uy in T1 and Ly precedes Ux in T2.
+///
+/// Geometrically (Fig. 4): (x, y) is an arc iff in every compatible pair of
+/// total orders the upper-left corner of the x-rectangle lies above and to
+/// the left of the lower-right corner of the y-rectangle. Theorem 1: if
+/// D(T1,T2) is strongly connected then {T1,T2} is safe; by Theorem 2 the
+/// converse also holds when the entities span at most two sites.
+struct ConflictGraph {
+  /// The digraph; node i represents entities[i].
+  Digraph graph;
+  /// Node index -> entity.
+  std::vector<EntityId> entities;
+  /// Entity -> node index.
+  std::unordered_map<EntityId, NodeId> node_of;
+
+  /// Entities for a set of node ids.
+  std::vector<EntityId> EntitiesOf(const std::vector<NodeId>& nodes) const {
+    std::vector<EntityId> out;
+    out.reserve(nodes.size());
+    for (NodeId v : nodes) out.push_back(entities[v]);
+    return out;
+  }
+};
+
+/// Entities on which the two transactions CONFLICT: locked-unlocked by
+/// both, and not read-locked by both (two shared sections may overlap in a
+/// schedule and never conflict, so they play no role in the theory — the
+/// "shared locks change the theory very little" remark of Section 1).
+/// With exclusive-only transactions this is exactly the paper's V.
+std::vector<EntityId> ConflictingEntities(const Transaction& t1,
+                                          const Transaction& t2);
+
+/// Builds D(T1, T2) over ConflictingEntities(T1, T2). Both transactions
+/// must be over the same database.
+ConflictGraph BuildConflictGraph(const Transaction& t1, const Transaction& t2);
+
+/// Renders D(T1,T2) with entity names, e.g. "x -> y, y -> z".
+std::string ConflictGraphToString(const ConflictGraph& d,
+                                  const DistributedDatabase& db);
+
+}  // namespace dislock
+
+#endif  // DISLOCK_CORE_CONFLICT_GRAPH_H_

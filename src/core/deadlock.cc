@@ -1,0 +1,277 @@
+#include "core/deadlock.h"
+
+#include <algorithm>
+#include <deque>
+#include <string>
+#include <unordered_map>
+
+#include "util/string_util.h"
+
+namespace dislock {
+
+namespace {
+
+/// Compact encoding of an execution state: one bit per step, transactions
+/// concatenated.
+std::string EncodeState(const std::vector<std::vector<bool>>& executed) {
+  std::string key;
+  uint8_t byte = 0;
+  int bits = 0;
+  for (const auto& txn : executed) {
+    for (bool b : txn) {
+      byte = static_cast<uint8_t>((byte << 1) | (b ? 1 : 0));
+      if (++bits == 8) {
+        key.push_back(static_cast<char>(byte));
+        byte = 0;
+        bits = 0;
+      }
+    }
+  }
+  if (bits > 0) key.push_back(static_cast<char>(byte));
+  return key;
+}
+
+/// Reader/writer lock state implied by an execution: which transaction has
+/// executed Lx but not yet Ux, per mode.
+struct LockState {
+  std::vector<int> writer;
+  std::vector<int> reader_count;
+  std::vector<std::vector<char>> reading;
+};
+
+LockState LockStateOf(const TransactionSystem& system,
+                      const std::vector<std::vector<bool>>& executed) {
+  LockState state;
+  const int n = system.db().NumEntities();
+  const int k = system.NumTransactions();
+  state.writer.assign(n, -1);
+  state.reader_count.assign(n, 0);
+  state.reading.assign(n, std::vector<char>(k, 0));
+  for (int i = 0; i < k; ++i) {
+    const Transaction& t = system.txn(i);
+    for (EntityId e : t.LockedEntities()) {
+      StepId l = t.LockStep(e);
+      StepId u = t.UnlockStep(e);
+      if (executed[i][l] && !executed[i][u]) {
+        if (t.GetStep(l).shared) {
+          state.reading[e][i] = 1;
+          ++state.reader_count[e];
+        } else {
+          state.writer[e] = i;
+        }
+      }
+    }
+  }
+  return state;
+}
+
+/// Steps of transaction i whose predecessors are all executed but which are
+/// themselves unexecuted ("order-ready").
+std::vector<StepId> OrderReadySteps(const Transaction& t,
+                                    const std::vector<bool>& executed) {
+  std::vector<StepId> ready;
+  for (StepId s = 0; s < t.NumSteps(); ++s) {
+    if (executed[s]) continue;
+    bool all_preds_done = true;
+    for (NodeId p : t.order().InNeighbors(s)) {
+      if (!executed[p]) {
+        all_preds_done = false;
+        break;
+      }
+    }
+    if (all_preds_done) ready.push_back(s);
+  }
+  return ready;
+}
+
+bool StepEnabled(const Transaction& t, StepId s, int txn_index,
+                 const LockState& locks) {
+  const Step& step = t.GetStep(s);
+  if (step.kind == StepKind::kLock) {
+    if (locks.writer[step.entity] != -1) return false;
+    return step.shared || locks.reader_count[step.entity] == 0;
+  }
+  if (step.kind == StepKind::kUnlock) {
+    return step.shared ? locks.reading[step.entity][txn_index] != 0
+                       : locks.writer[step.entity] == txn_index;
+  }
+  return true;
+}
+
+}  // namespace
+
+Result<DeadlockReport> AnalyzeDeadlockFreedom(const TransactionSystem& system,
+                                              int64_t max_states) {
+  DeadlockReport report;
+  const int k = system.NumTransactions();
+  int total_steps = system.TotalSteps();
+
+  struct Node {
+    std::vector<std::vector<bool>> executed;
+    int64_t parent;
+    SysStep move;
+    int executed_count;
+  };
+  std::vector<Node> nodes;
+  std::unordered_map<std::string, int64_t> seen;
+
+  std::vector<std::vector<bool>> initial(k);
+  for (int i = 0; i < k; ++i) {
+    initial[i].assign(system.txn(i).NumSteps(), false);
+  }
+  nodes.push_back({initial, -1, {-1, kInvalidStep}, 0});
+  seen.emplace(EncodeState(initial), 0);
+
+  std::deque<int64_t> frontier{0};
+  while (!frontier.empty()) {
+    int64_t cur = frontier.front();
+    frontier.pop_front();
+    ++report.states_explored;
+
+    // Copy what we need: nodes may reallocate while we append.
+    std::vector<std::vector<bool>> executed = nodes[cur].executed;
+    int executed_count = nodes[cur].executed_count;
+    LockState locks = LockStateOf(system, executed);
+
+    bool any_enabled = false;
+    std::vector<int> blocked_txns;
+    std::vector<EntityId> waited;
+    for (int i = 0; i < k; ++i) {
+      const Transaction& t = system.txn(i);
+      bool txn_blocked_on_lock = false;
+      EntityId waited_entity = kInvalidEntity;
+      for (StepId s : OrderReadySteps(t, executed[i])) {
+        if (!StepEnabled(t, s, i, locks)) {
+          txn_blocked_on_lock = true;
+          waited_entity = t.GetStep(s).entity;
+          continue;
+        }
+        any_enabled = true;
+        // Successor state.
+        std::vector<std::vector<bool>> next = executed;
+        next[i][s] = true;
+        std::string key = EncodeState(next);
+        auto [it, inserted] = seen.emplace(key, nodes.size());
+        if (inserted) {
+          if (static_cast<int64_t>(nodes.size()) >= max_states) {
+            return Status::ResourceExhausted(
+                StrCat("deadlock search exceeded ", max_states, " states"));
+          }
+          nodes.push_back({std::move(next), cur, {i, s},
+                           executed_count + 1});
+          frontier.push_back(it->second);
+        }
+      }
+      if (txn_blocked_on_lock) {
+        blocked_txns.push_back(i);
+        waited.push_back(waited_entity);
+      }
+    }
+
+    if (!any_enabled && executed_count < total_steps) {
+      // Dead state: reconstruct the prefix.
+      std::vector<SysStep> prefix;
+      for (int64_t n = cur; nodes[n].parent != -1; n = nodes[n].parent) {
+        prefix.push_back(nodes[n].move);
+      }
+      std::reverse(prefix.begin(), prefix.end());
+      report.deadlock_free = false;
+      report.dead_prefix = Schedule(std::move(prefix));
+      report.blocked_txns = std::move(blocked_txns);
+      report.waited_entities = std::move(waited);
+      return report;
+    }
+  }
+  report.deadlock_free = true;
+  return report;
+}
+
+bool OrderedLockAcquisition(const TransactionSystem& system) {
+  const int k = system.NumTransactions();
+  for (int i = 0; i < k; ++i) {
+    for (int j = i + 1; j < k; ++j) {
+      const Transaction& ti = system.txn(i);
+      const Transaction& tj = system.txn(j);
+      std::vector<EntityId> common;
+      for (EntityId e : ti.LockedEntities()) {
+        if (tj.LockStep(e) != kInvalidStep &&
+            tj.UnlockStep(e) != kInvalidStep) {
+          common.push_back(e);
+        }
+      }
+      for (size_t a = 0; a < common.size(); ++a) {
+        for (size_t b = a + 1; b < common.size(); ++b) {
+          EntityId x = common[a];
+          EntityId y = common[b];
+          // Ti may lock x before y unless Ly strictly precedes Lx.
+          bool i_x_first =
+              !ti.Precedes(ti.LockStep(y), ti.LockStep(x));
+          bool i_y_first =
+              !ti.Precedes(ti.LockStep(x), ti.LockStep(y));
+          bool j_x_first =
+              !tj.Precedes(tj.LockStep(y), tj.LockStep(x));
+          bool j_y_first =
+              !tj.Precedes(tj.LockStep(x), tj.LockStep(y));
+          // Opposing acquisition orders possible?
+          if ((i_x_first && j_y_first) || (i_y_first && j_x_first)) {
+            return false;
+          }
+        }
+      }
+    }
+  }
+  return true;
+}
+
+Result<Digraph> BuildWaitsForGraph(
+    const TransactionSystem& system,
+    const std::vector<std::vector<StepId>>& executed) {
+  const int k = system.NumTransactions();
+  if (static_cast<int>(executed.size()) != k) {
+    return Status::InvalidArgument("executed must have one list per txn");
+  }
+  std::vector<std::vector<bool>> done(k);
+  for (int i = 0; i < k; ++i) {
+    const Transaction& t = system.txn(i);
+    done[i].assign(t.NumSteps(), false);
+    for (StepId s : executed[i]) {
+      if (!t.ValidStep(s)) {
+        return Status::InvalidArgument("invalid step id in executed");
+      }
+      done[i][s] = true;
+    }
+    // Down-closure check.
+    for (StepId s = 0; s < t.NumSteps(); ++s) {
+      if (!done[i][s]) continue;
+      for (NodeId p : t.order().InNeighbors(s)) {
+        if (!done[i][p]) {
+          return Status::InvalidArgument(
+              StrCat("executed set of ", t.name(), " is not down-closed"));
+        }
+      }
+    }
+  }
+  LockState locks = LockStateOf(system, done);
+  Digraph waits(k);
+  for (int i = 0; i < k; ++i) {
+    const Transaction& t = system.txn(i);
+    waits.SetLabel(i, t.name());
+    for (StepId s : OrderReadySteps(t, done[i])) {
+      const Step& step = t.GetStep(s);
+      if (step.kind != StepKind::kLock) continue;
+      int w = locks.writer[step.entity];
+      if (w != -1 && w != i) waits.AddArcUnique(i, w);
+      if (!step.shared) {
+        // An exclusive request waits on every reader.
+        for (int j = 0; j < k; ++j) {
+          if (j != i && locks.reading[step.entity][j]) {
+            waits.AddArcUnique(i, j);
+          }
+        }
+      }
+    }
+  }
+  return waits;
+}
+
+}  // namespace dislock

@@ -1,0 +1,68 @@
+#ifndef DISLOCK_CORE_DEADLOCK_H_
+#define DISLOCK_CORE_DEADLOCK_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "txn/schedule.h"
+#include "txn/system.h"
+#include "util/status.h"
+
+namespace dislock {
+
+/// Deadlock analysis. The paper leaves distributed deadlocks open ("appear
+/// to be subtle, and to require a different methodology"); the centralized
+/// theory [7, 17] studies deadlock freedom side by side with safety, where
+/// a deadlock is a reachable state of the geometric picture from which no
+/// legal move exists. This module implements the operational counterpart
+/// for any number of sites and transactions: an explicit search of the
+/// reachable execution-state space.
+///
+/// A *state* is a set of executed steps (down-closed per transaction, lock
+/// table implied). A state is *dead* iff it is not final and no step is
+/// enabled. A system is deadlock-free iff no reachable state is dead.
+
+/// Result of the deadlock-freedom decision.
+struct DeadlockReport {
+  bool deadlock_free = false;
+  /// When a deadlock exists: a legal schedule PREFIX that reaches the dead
+  /// state (executing it leaves every remaining step blocked).
+  std::optional<Schedule> dead_prefix;
+  /// The transactions blocked in the dead state and the entity each waits
+  /// for (the waits-for witness), parallel vectors.
+  std::vector<int> blocked_txns;
+  std::vector<EntityId> waited_entities;
+  /// Number of distinct reachable states explored.
+  int64_t states_explored = 0;
+};
+
+/// Decides deadlock freedom by BFS over the reachable state space,
+/// memoizing states (so each distinct state is expanded once). The state
+/// space is the product of the transactions' down-set lattices —
+/// exponential in general; `max_states` bounds the search
+/// (ResourceExhausted beyond it).
+Result<DeadlockReport> AnalyzeDeadlockFreedom(const TransactionSystem& system,
+                                              int64_t max_states = 1 << 22);
+
+/// Quick sufficient condition: if every pair of transactions acquires its
+/// common entities' locks in a compatible order (no two transactions both
+/// "lock x somewhere before locking y" and vice versa, over any compatible
+/// total orders), no cyclic wait can form. Checked conservatively on the
+/// partial orders: returns true only when, for every pair of transactions
+/// and every pair of common entities {x, y}, the lock orders cannot oppose.
+/// (One-way implication: true => deadlock-free; false says nothing.)
+bool OrderedLockAcquisition(const TransactionSystem& system);
+
+/// The waits-for digraph of a (possibly partial) execution state: an arc
+/// Ti -> Tj iff Ti's next enabled-but-for-locks step needs an entity Tj
+/// holds. Exposed for the simulator's deadlock detector and for tests.
+/// `executed[i]` lists the steps of transaction i already executed (must be
+/// down-closed; checked).
+Result<Digraph> BuildWaitsForGraph(
+    const TransactionSystem& system,
+    const std::vector<std::vector<StepId>>& executed);
+
+}  // namespace dislock
+
+#endif  // DISLOCK_CORE_DEADLOCK_H_

@@ -1,0 +1,137 @@
+#include "core/multi.h"
+
+#include <map>
+
+#include "graph/cycles.h"
+#include "util/string_util.h"
+
+namespace dislock {
+
+namespace {
+
+/// Entities on which the two transactions conflict (see ConflictingEntities
+/// in core/conflict_graph.h).
+std::vector<EntityId> CommonLocked(const Transaction& a,
+                                   const Transaction& b) {
+  return ConflictingEntities(a, b);
+}
+
+}  // namespace
+
+Digraph BuildTransactionConflictGraph(const TransactionSystem& system) {
+  const int k = system.NumTransactions();
+  Digraph g(k);
+  for (int i = 0; i < k; ++i) {
+    g.SetLabel(i, system.txn(i).name());
+    for (int j = i + 1; j < k; ++j) {
+      if (!CommonLocked(system.txn(i), system.txn(j)).empty()) {
+        g.AddArc(i, j);
+        g.AddArc(j, i);
+      }
+    }
+  }
+  return g;
+}
+
+Digraph BuildCycleGraph(const TransactionSystem& system,
+                        const std::vector<int>& cycle) {
+  const int len = static_cast<int>(cycle.size());
+  DISLOCK_CHECK_GE(len, 2);
+  Digraph b;
+  std::map<BijkNodeKey, NodeId> node_of;
+
+  auto node = [&](int ti, int tj, EntityId e) {
+    BijkNodeKey key{std::min(ti, tj), std::max(ti, tj), e};
+    auto it = node_of.find(key);
+    if (it != node_of.end()) return it->second;
+    NodeId id = b.AddNode(StrCat(system.db().NameOf(e), "_", key.lo_txn + 1,
+                                 key.hi_txn + 1));
+    node_of.emplace(key, id);
+    return id;
+  };
+
+  // One B_ijk per directed subpath (Ti, Tj, Tk) of the cycle.
+  for (int p = 0; p < len; ++p) {
+    int i = cycle[(p + len - 1) % len];
+    int j = cycle[p];
+    int k = cycle[(p + 1) % len];
+    const Transaction& tj = system.txn(j);
+    std::vector<EntityId> in_pair = CommonLocked(system.txn(i), tj);
+    std::vector<EntityId> out_pair = CommonLocked(tj, system.txn(k));
+
+    // (x_ij, y_jk) iff Lx precedes Uy in Tj.
+    for (EntityId x : in_pair) {
+      for (EntityId y : out_pair) {
+        if (tj.Precedes(tj.LockStep(x), tj.UnlockStep(y))) {
+          b.AddArcUnique(node(i, j, x), node(j, k, y));
+        }
+      }
+    }
+    // (x_ij, x'_ij) iff Lx precedes Lx' in Tj.
+    for (EntityId x : in_pair) {
+      for (EntityId x2 : in_pair) {
+        if (x == x2) continue;
+        if (tj.Precedes(tj.LockStep(x), tj.LockStep(x2))) {
+          b.AddArcUnique(node(i, j, x), node(i, j, x2));
+        }
+      }
+    }
+    // (y_jk, y'_jk) iff Uy precedes Uy' in Tj.
+    for (EntityId y : out_pair) {
+      for (EntityId y2 : out_pair) {
+        if (y == y2) continue;
+        if (tj.Precedes(tj.UnlockStep(y), tj.UnlockStep(y2))) {
+          b.AddArcUnique(node(j, k, y), node(j, k, y2));
+        }
+      }
+    }
+  }
+  return b;
+}
+
+MultiSafetyReport AnalyzeMultiSafety(const TransactionSystem& system,
+                                     const MultiSafetyOptions& options) {
+  MultiSafetyReport report;
+  const int k = system.NumTransactions();
+
+  // Condition (a): every two-transaction subsystem is safe.
+  for (int i = 0; i < k; ++i) {
+    for (int j = i + 1; j < k; ++j) {
+      if (CommonLocked(system.txn(i), system.txn(j)).empty()) continue;
+      ++report.pairs_checked;
+      PairSafetyReport pair =
+          AnalyzePairSafety(system.txn(i), system.txn(j),
+                            options.pair_options);
+      if (pair.verdict == SafetyVerdict::kSafe) continue;
+      report.verdict = pair.verdict;
+      report.failing_pair = {i, j};
+      report.pair_report = std::move(pair);
+      return report;
+    }
+  }
+
+  // Condition (b): every directed cycle's B_c graph has a cycle.
+  Digraph g = BuildTransactionConflictGraph(system);
+  std::vector<std::vector<NodeId>> cycles =
+      SimpleCycles(g, options.max_cycles);
+  report.cycle_budget_exhausted =
+      static_cast<int64_t>(cycles.size()) >= options.max_cycles;
+  const size_t min_len = options.include_two_cycles ? 2 : 3;
+  for (const auto& cycle : cycles) {
+    if (cycle.size() < min_len) continue;
+    ++report.cycles_checked;
+    std::vector<int> c(cycle.begin(), cycle.end());
+    Digraph b = BuildCycleGraph(system, c);
+    if (!HasCycle(b)) {
+      report.verdict = SafetyVerdict::kUnsafe;
+      report.failing_cycle = c;
+      return report;
+    }
+  }
+
+  report.verdict = report.cycle_budget_exhausted ? SafetyVerdict::kUnknown
+                                                 : SafetyVerdict::kSafe;
+  return report;
+}
+
+}  // namespace dislock

@@ -1,0 +1,162 @@
+#include "core/paper.h"
+
+#include "txn/builder.h"
+
+namespace dislock {
+
+PaperInstance MakeFig1Instance() {
+  PaperInstance inst;
+  inst.db = std::make_shared<DistributedDatabase>(2);
+  inst.db->MustAddEntity("x", 0);
+  inst.db->MustAddEntity("y", 0);
+  inst.db->MustAddEntity("w", 1);
+  inst.db->MustAddEntity("z", 1);
+  inst.system = std::make_shared<TransactionSystem>(inst.db.get());
+
+  // T1: lock section on x (site 1), then on w (site 2).
+  TransactionBuilder b1(inst.db.get(), "T1");
+  b1.Lock("x");
+  b1.Update("x");
+  StepId ux = b1.Unlock("x");
+  StepId lw = b1.Lock("w");
+  b1.Update("w");
+  b1.Unlock("w");
+  b1.Edge(ux, lw);
+  inst.system->Add(b1.Build());
+
+  // T2: lock section on w (site 2), then on x (site 1).
+  TransactionBuilder b2(inst.db.get(), "T2");
+  StepId lw2 = b2.Lock("w");
+  b2.Update("w");
+  StepId uw2 = b2.Unlock("w");
+  StepId lx2 = b2.Lock("x");
+  b2.Update("x");
+  b2.Unlock("x");
+  (void)lw2;
+  b2.Edge(uw2, lx2);
+  inst.system->Add(b2.Build());
+
+  inst.description =
+      "Fig. 1 (reconstruction): two-site pair with a non-serializable "
+      "schedule";
+  return inst;
+}
+
+PaperInstance MakeFig2Instance() {
+  PaperInstance inst;
+  inst.db = std::make_shared<DistributedDatabase>(1);
+  inst.db->MustAddEntity("x", 0);
+  inst.db->MustAddEntity("y", 0);
+  inst.db->MustAddEntity("z", 0);
+  inst.system = std::make_shared<TransactionSystem>(inst.db.get());
+
+  // t1 = Lx Ly x y Ux Uy Lz z Uz, exactly as on the Fig. 2 axis.
+  TransactionBuilder b1(inst.db.get(), "t1");
+  b1.Lock("x");
+  b1.Lock("y");
+  b1.Update("x");
+  b1.Update("y");
+  b1.Unlock("x");
+  b1.Unlock("y");
+  b1.Lock("z");
+  b1.Update("z");
+  b1.Unlock("z");
+  inst.system->Add(b1.Build());
+
+  // t2 = Lz z Uz Ly Lx x y Ux Uy: locks z first, then x and y.
+  TransactionBuilder b2(inst.db.get(), "t2");
+  b2.Lock("z");
+  b2.Update("z");
+  b2.Unlock("z");
+  b2.Lock("y");
+  b2.Lock("x");
+  b2.Update("x");
+  b2.Update("y");
+  b2.Unlock("x");
+  b2.Unlock("y");
+  inst.system->Add(b2.Build());
+
+  inst.description =
+      "Fig. 2 (reconstruction): centralized totally ordered pair; a curve "
+      "separates the x- and z-rectangles";
+  return inst;
+}
+
+PaperInstance MakeFig3Instance() {
+  PaperInstance inst;
+  inst.db = std::make_shared<DistributedDatabase>(2);
+  inst.db->MustAddEntity("x", 0);
+  inst.db->MustAddEntity("y", 1);
+  inst.system = std::make_shared<TransactionSystem>(inst.db.get());
+
+  // Both transactions hold an x section at site 1 and a y section at site 2
+  // with NO cross-site ordering: the two sections are concurrent.
+  for (const char* name : {"T1", "T2"}) {
+    TransactionBuilder b(inst.db.get(), name);
+    b.Lock("x");
+    b.Update("x");
+    b.Unlock("x");
+    b.Lock("y");
+    b.Update("y");
+    b.Unlock("y");
+    inst.system->Add(b.Build());
+  }
+
+  inst.description =
+      "Fig. 3 (reconstruction): unsafe two-site pair where one extension "
+      "pair is safe and another is unsafe (Lemma 1)";
+  return inst;
+}
+
+PaperInstance MakeFig5Instance() {
+  PaperInstance inst;
+  inst.db = std::make_shared<DistributedDatabase>(4);
+  inst.db->MustAddEntity("x1", 0);
+  inst.db->MustAddEntity("x2", 1);
+  inst.db->MustAddEntity("y1", 2);
+  inst.db->MustAddEntity("y2", 3);
+  inst.system = std::make_shared<TransactionSystem>(inst.db.get());
+
+  // T1 precedences (beyond each Lv -> Uv pair):
+  //   Lx1 -> Ux2, Lx2 -> Ux1   (realizes the arcs x1 <-> x2 of D)
+  //   Ly1 -> Uy2, Ly2 -> Uy1   (realizes y1 <-> y2)
+  //   Ly1 -> Ux1, Ly2 -> Ux2   (the closure-contradiction pattern)
+  //   Lx1 -> Uy1               (realizes the arc x1 -> y1)
+  {
+    TransactionBuilder b(inst.db.get(), "T1");
+    StepId lx1 = b.Lock("x1"), ux1 = b.Unlock("x1");
+    StepId lx2 = b.Lock("x2"), ux2 = b.Unlock("x2");
+    StepId ly1 = b.Lock("y1"), uy1 = b.Unlock("y1");
+    StepId ly2 = b.Lock("y2"), uy2 = b.Unlock("y2");
+    b.Edge(lx1, ux2).Edge(lx2, ux1);
+    b.Edge(ly1, uy2).Edge(ly2, uy1);
+    b.Edge(ly1, ux1).Edge(ly2, ux2);
+    b.Edge(lx1, uy1);
+    inst.system->Add(b.Build());
+  }
+
+  // T2 precedences:
+  //   Lx2 -> Ux1, Lx1 -> Ux2
+  //   Ly2 -> Uy1, Ly1 -> Uy2
+  //   Lx2 -> Uy1, Lx1 -> Uy2   (the mirrored closure-contradiction pattern)
+  //   Ly1 -> Ux1               (second half of the arc x1 -> y1)
+  {
+    TransactionBuilder b(inst.db.get(), "T2");
+    StepId lx1 = b.Lock("x1"), ux1 = b.Unlock("x1");
+    StepId lx2 = b.Lock("x2"), ux2 = b.Unlock("x2");
+    StepId ly1 = b.Lock("y1"), uy1 = b.Unlock("y1");
+    StepId ly2 = b.Lock("y2"), uy2 = b.Unlock("y2");
+    b.Edge(lx2, ux1).Edge(lx1, ux2);
+    b.Edge(ly2, uy1).Edge(ly1, uy2);
+    b.Edge(lx2, uy1).Edge(lx1, uy2);
+    b.Edge(ly1, ux1);
+    inst.system->Add(b.Build());
+  }
+
+  inst.description =
+      "Fig. 5 (reconstruction): four-site safe pair whose D(T1,T2) is not "
+      "strongly connected";
+  return inst;
+}
+
+}  // namespace dislock

@@ -1,0 +1,69 @@
+#include "core/policy.h"
+
+#include <vector>
+
+namespace dislock {
+
+namespace {
+
+std::vector<StepId> StepsOfKind(const Transaction& txn, StepKind kind) {
+  std::vector<StepId> out;
+  for (StepId s = 0; s < txn.NumSteps(); ++s) {
+    if (txn.GetStep(s).kind == kind) out.push_back(s);
+  }
+  return out;
+}
+
+}  // namespace
+
+bool IsTwoPhase(const Transaction& txn) {
+  std::vector<StepId> locks = StepsOfKind(txn, StepKind::kLock);
+  std::vector<StepId> unlocks = StepsOfKind(txn, StepKind::kUnlock);
+  for (StepId u : unlocks) {
+    for (StepId l : locks) {
+      if (txn.Precedes(u, l)) return false;
+    }
+  }
+  return true;
+}
+
+bool IsStronglyTwoPhase(const Transaction& txn) {
+  std::vector<StepId> locks = StepsOfKind(txn, StepKind::kLock);
+  std::vector<StepId> unlocks = StepsOfKind(txn, StepKind::kUnlock);
+  for (StepId l : locks) {
+    for (StepId u : unlocks) {
+      if (!txn.Precedes(l, u)) return false;
+    }
+  }
+  return true;
+}
+
+Transaction MakeTwoPhaseTransaction(const DistributedDatabase* db,
+                                    const std::string& name,
+                                    const std::vector<EntityId>& entities) {
+  Transaction txn(db, name);
+  std::vector<StepId> last_at_site(db->NumSites(), kInvalidStep);
+  auto add_chained = [&](StepKind kind, EntityId e) {
+    StepId s = txn.AddStep(kind, e);
+    SiteId site = db->SiteOf(e);
+    if (last_at_site[site] != kInvalidStep) {
+      txn.AddPrecedence(last_at_site[site], s);
+    }
+    last_at_site[site] = s;
+    return s;
+  };
+
+  std::vector<StepId> locks, unlocks;
+  for (EntityId e : entities) locks.push_back(add_chained(StepKind::kLock, e));
+  for (EntityId e : entities) add_chained(StepKind::kUpdate, e);
+  for (EntityId e : entities) {
+    unlocks.push_back(add_chained(StepKind::kUnlock, e));
+  }
+  // Lock point: every lock precedes every unlock.
+  for (StepId l : locks) {
+    for (StepId u : unlocks) txn.AddPrecedence(l, u);
+  }
+  return txn;
+}
+
+}  // namespace dislock

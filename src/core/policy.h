@@ -1,0 +1,36 @@
+#ifndef DISLOCK_CORE_POLICY_H_
+#define DISLOCK_CORE_POLICY_H_
+
+#include <string>
+#include <vector>
+
+#include "txn/transaction.h"
+
+namespace dislock {
+
+/// The classical (syntactic) two-phase condition [3]: no unlock step
+/// precedes any lock step in the transaction's partial order. For totally
+/// ordered transactions this is standard 2PL; for genuinely partial orders
+/// it is WEAKER than what safety needs, because an interleaving can
+/// linearize concurrent lock/unlock steps into a non-two-phase order.
+bool IsTwoPhase(const Transaction& txn);
+
+/// The distributed-safe strengthening: every lock step precedes every
+/// unlock step in the partial order (a global "lock point" exists). All
+/// linear extensions of a strongly two-phase transaction are two-phase, and
+/// any pair of strongly two-phase transactions has a complete — hence
+/// strongly connected — conflict graph D, so Theorem 1 applies: such
+/// systems are always safe.
+bool IsStronglyTwoPhase(const Transaction& txn);
+
+/// Builds a strongly two-phase transaction that locks `entities`, updates
+/// each once, and unlocks them: per-site chains of locks, then updates,
+/// then per-site chains of unlocks, with lock-point arcs from every lock to
+/// every unlock.
+Transaction MakeTwoPhaseTransaction(const DistributedDatabase* db,
+                                    const std::string& name,
+                                    const std::vector<EntityId>& entities);
+
+}  // namespace dislock
+
+#endif  // DISLOCK_CORE_POLICY_H_

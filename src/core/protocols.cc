@@ -1,0 +1,169 @@
+#include "core/protocols.h"
+
+#include <algorithm>
+
+#include "txn/linear_extension.h"
+#include "util/string_util.h"
+
+namespace dislock {
+
+Result<EntityForest> EntityForest::Make(
+    const DistributedDatabase& db,
+    const std::vector<std::pair<EntityId, EntityId>>& child_parent) {
+  EntityForest forest;
+  forest.parent.assign(db.NumEntities(), kInvalidEntity);
+  for (const auto& [child, parent] : child_parent) {
+    if (!db.ValidEntity(child) || !db.ValidEntity(parent)) {
+      return Status::InvalidArgument("unknown entity in forest edge");
+    }
+    if (forest.parent[child] != kInvalidEntity) {
+      return Status::InvalidArgument(
+          StrCat("entity '", db.NameOf(child), "' has two parents"));
+    }
+    forest.parent[child] = parent;
+  }
+  // Cycle check: walking up from any node must terminate.
+  for (EntityId e = 0; e < db.NumEntities(); ++e) {
+    EntityId walk = e;
+    for (int hops = 0; walk != kInvalidEntity; ++hops) {
+      if (hops > db.NumEntities()) {
+        return Status::InvalidArgument("forest edges contain a cycle");
+      }
+      walk = forest.parent[walk];
+    }
+  }
+  return forest;
+}
+
+Status CheckTreeProtocol(const Transaction& txn, const EntityForest& forest) {
+  const DistributedDatabase& db = txn.db();
+  std::vector<EntityId> locked = txn.LockedEntities();
+  if (locked.empty()) return Status::OK();
+
+  // Classify each locked entity: "parented" if its lock happens while the
+  // parent is held; otherwise it is an entry-point candidate.
+  std::vector<EntityId> entry_candidates;
+  for (EntityId x : locked) {
+    EntityId p = static_cast<size_t>(x) < forest.parent.size()
+                     ? forest.parent[x]
+                     : kInvalidEntity;
+    bool parented = false;
+    if (p != kInvalidEntity && txn.LockStep(p) != kInvalidStep &&
+        txn.UnlockStep(p) != kInvalidStep) {
+      parented = txn.Precedes(txn.LockStep(p), txn.LockStep(x)) &&
+                 txn.Precedes(txn.LockStep(x), txn.UnlockStep(p));
+    }
+    if (!parented) entry_candidates.push_back(x);
+  }
+  if (entry_candidates.size() > 1) {
+    return Status::InvalidModel(
+        StrCat("transaction ", txn.name(), ": entities '",
+               db.NameOf(entry_candidates[0]), "' and '",
+               db.NameOf(entry_candidates[1]),
+               "' are both locked without holding their parents"));
+  }
+  // The entry point must be locked first.
+  EntityId entry = entry_candidates.empty() ? locked[0] : entry_candidates[0];
+  if (!entry_candidates.empty()) {
+    for (EntityId x : locked) {
+      if (x == entry) continue;
+      if (!txn.Precedes(txn.LockStep(entry), txn.LockStep(x))) {
+        return Status::InvalidModel(
+            StrCat("transaction ", txn.name(), ": entry point '",
+                   db.NameOf(entry), "' is not locked before '",
+                   db.NameOf(x), "'"));
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Result<Transaction> MakeTreeProtocolTransaction(
+    const DistributedDatabase* db, const EntityForest& forest,
+    const std::string& name, int num_entities, Rng* rng, EntityId start) {
+  if (db->NumEntities() == 0 || num_entities <= 0) {
+    return Status::InvalidArgument("need at least one entity");
+  }
+  // Children lists.
+  std::vector<std::vector<EntityId>> children(db->NumEntities());
+  for (EntityId e = 0; e < db->NumEntities(); ++e) {
+    EntityId p = forest.parent[e];
+    if (p != kInvalidEntity) children[p].push_back(e);
+  }
+  // Grow a random connected subtree from the start entity.
+  if (start == kInvalidEntity) {
+    start = static_cast<EntityId>(
+        rng->Index(static_cast<size_t>(db->NumEntities())));
+  } else if (!db->ValidEntity(start)) {
+    return Status::InvalidArgument("invalid start entity");
+  }
+  std::vector<bool> in_subtree(db->NumEntities(), false);
+  in_subtree[start] = true;
+  std::vector<EntityId> frontier;
+  for (EntityId c : children[start]) frontier.push_back(c);
+  int size = 1;
+  while (size < num_entities && !frontier.empty()) {
+    size_t pick = rng->Index(frontier.size());
+    EntityId e = frontier[pick];
+    frontier[pick] = frontier.back();
+    frontier.pop_back();
+    in_subtree[e] = true;
+    ++size;
+    for (EntityId c : children[e]) frontier.push_back(c);
+  }
+
+  // Emit the protocol-compliant total order, releasing each node right
+  // after its (chosen) children are locked.
+  Transaction txn(db, name);
+  StepId prev = kInvalidStep;
+  auto emit = [&](StepKind kind, EntityId e) {
+    StepId s = txn.AddStep(kind, e);
+    if (prev != kInvalidStep) txn.AddPrecedence(prev, s);
+    prev = s;
+  };
+  emit(StepKind::kLock, start);
+  // Iterative pre-order: when visiting x (already locked), update it, lock
+  // its chosen children, unlock x, then recurse into the children.
+  std::vector<EntityId> visit_stack{start};
+  while (!visit_stack.empty()) {
+    EntityId x = visit_stack.back();
+    visit_stack.pop_back();
+    emit(StepKind::kUpdate, x);
+    std::vector<EntityId> kids;
+    for (EntityId c : children[x]) {
+      if (in_subtree[c]) kids.push_back(c);
+    }
+    rng->Shuffle(&kids);
+    for (EntityId c : kids) emit(StepKind::kLock, c);
+    emit(StepKind::kUnlock, x);
+    for (EntityId c : kids) visit_stack.push_back(c);
+  }
+  Status check = CheckTreeProtocol(txn, forest);
+  if (!check.ok()) {
+    return Status::Internal("generated transaction violates the protocol: " +
+                            check.ToString());
+  }
+  return txn;
+}
+
+Result<std::vector<Transaction>> CentralizedImage(const Transaction& txn,
+                                                  int64_t max_extensions) {
+  std::vector<Transaction> image;
+  Status inner = Status::OK();
+  Status st = EnumerateLinearExtensions(
+      txn, max_extensions, [&](const std::vector<StepId>& order) {
+        auto lin = Linearize(txn, order);
+        if (!lin.ok()) {
+          inner = lin.status();
+          return false;
+        }
+        lin->set_name(StrCat(txn.name(), "#", image.size()));
+        image.push_back(std::move(lin).value());
+        return true;
+      });
+  DISLOCK_RETURN_NOT_OK(inner);
+  DISLOCK_RETURN_NOT_OK(st);
+  return image;
+}
+
+}  // namespace dislock

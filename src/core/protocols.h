@@ -1,0 +1,63 @@
+#ifndef DISLOCK_CORE_PROTOCOLS_H_
+#define DISLOCK_CORE_PROTOCOLS_H_
+
+#include <vector>
+
+#include "txn/transaction.h"
+#include "util/random.h"
+#include "util/status.h"
+
+namespace dislock {
+
+/// Locking protocols beyond two-phase. Section 6 of the paper notes that
+/// the theory of correct locking policies — every correct policy is a
+/// hypergraph policy [17, 18, 19], generalizing the hierarchical protocols
+/// of [12] — carries over to the distributed case verbatim through the
+/// "centralized image" (the union of all linearizations). This module
+/// implements the tree protocol of [12] (the classic non-two-phase safe
+/// policy) and the centralized-image construction.
+
+/// A rooted forest over the database's entities: parent[e] is e's parent
+/// entity, or kInvalidEntity for roots.
+struct EntityForest {
+  std::vector<EntityId> parent;
+
+  /// Builds a forest over `db` from (child, parent) pairs; unlisted
+  /// entities are roots. Fails if the pairs contain a cycle.
+  static Result<EntityForest> Make(
+      const DistributedDatabase& db,
+      const std::vector<std::pair<EntityId, EntityId>>& child_parent);
+};
+
+/// Checks the tree-protocol rules of [12] against a locked transaction:
+///   * the first-locked entity is arbitrary (the entry point);
+///   * any other entity x may be locked only while holding x's parent
+///     (Lparent precedes Lx precedes Uparent in the partial order);
+///   * each entity is locked at most once (the model already enforces it).
+/// Transactions obeying the protocol need not be two-phase, yet every
+/// system of compliant transactions is safe.
+Status CheckTreeProtocol(const Transaction& txn, const EntityForest& forest);
+
+/// Generates a random tree-protocol-compliant, totally ordered transaction
+/// that locks a random connected subtree of `forest` containing
+/// `num_entities` entities (fewer if the forest is small). Unlocks are
+/// released as early as the protocol allows, so the result is genuinely
+/// non-two-phase whenever the chosen subtree branches or is >= 3 deep.
+/// `start` fixes the subtree's entry entity; kInvalidEntity picks one at
+/// random (a leaf start yields a small — possibly single-entity — subtree,
+/// since the protocol only descends).
+Result<Transaction> MakeTreeProtocolTransaction(
+    const DistributedDatabase* db, const EntityForest& forest,
+    const std::string& name, int num_entities, Rng* rng,
+    EntityId start = kInvalidEntity);
+
+/// The centralized image of a distributed transaction (Section 6): its
+/// linearizations, materialized as totally ordered transactions. A
+/// distributed locking policy is correct iff its centralized image is.
+/// Enumeration is capped at `max_extensions` (ResourceExhausted beyond).
+Result<std::vector<Transaction>> CentralizedImage(const Transaction& txn,
+                                                  int64_t max_extensions);
+
+}  // namespace dislock
+
+#endif  // DISLOCK_CORE_PROTOCOLS_H_

@@ -1,0 +1,165 @@
+#include "core/report.h"
+
+#include <sstream>
+
+#include "core/certificate.h"
+
+namespace dislock {
+
+std::string JsonEscape(const std::string& s) {
+  std::ostringstream out;
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out << "\\\"";
+        break;
+      case '\\':
+        out << "\\\\";
+        break;
+      case '\n':
+        out << "\\n";
+        break;
+      case '\t':
+        out << "\\t";
+        break;
+      case '\r':
+        out << "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out << buf;
+        } else {
+          out << c;
+        }
+    }
+  }
+  return out.str();
+}
+
+namespace {
+
+std::string Quoted(const std::string& s) {
+  return "\"" + JsonEscape(s) + "\"";
+}
+
+std::string CertificateToJson(const UnsafetyCertificate& cert,
+                              const DistributedDatabase& db) {
+  std::ostringstream out;
+  out << "{\"dominator\": [";
+  for (size_t i = 0; i < cert.dominator.size(); ++i) {
+    if (i > 0) out << ", ";
+    out << Quoted(db.NameOf(cert.dominator[i]));
+  }
+  out << "], \"t1\": [";
+  for (size_t i = 0; i < cert.order1.size(); ++i) {
+    if (i > 0) out << ", ";
+    out << Quoted(cert.t1.StepString(cert.order1[i]));
+  }
+  out << "], \"t2\": [";
+  for (size_t i = 0; i < cert.order2.size(); ++i) {
+    if (i > 0) out << ", ";
+    out << Quoted(cert.t2.StepString(cert.order2[i]));
+  }
+  TransactionSystem pair(&cert.t1.db());
+  pair.Add(cert.t1);
+  pair.Add(cert.t2);
+  out << "], \"schedule\": " << Quoted(cert.schedule.ToString(pair))
+      << ", \"separates_above\": " << Quoted(db.NameOf(cert.separation.above))
+      << ", \"separates_below\": " << Quoted(db.NameOf(cert.separation.below))
+      << "}";
+  return out.str();
+}
+
+}  // namespace
+
+std::string PairReportToJson(const PairSafetyReport& report,
+                             const DistributedDatabase& db) {
+  std::ostringstream out;
+  out << "{\"verdict\": " << Quoted(SafetyVerdictName(report.verdict))
+      << ", \"method\": " << Quoted(report.method)
+      << ", \"sites\": " << report.sites_spanned
+      << ", \"d_nodes\": " << report.d.graph.NumNodes()
+      << ", \"d_arcs\": " << report.d.graph.NumArcs()
+      << ", \"d_strongly_connected\": "
+      << (report.d_strongly_connected ? "true" : "false")
+      << ", \"detail\": " << Quoted(report.detail) << ", \"certificate\": ";
+  if (report.certificate.has_value()) {
+    out << CertificateToJson(*report.certificate, db);
+  } else {
+    out << "null";
+  }
+  out << "}";
+  return out.str();
+}
+
+std::string MultiReportToJson(const MultiSafetyReport& report,
+                              const TransactionSystem& system) {
+  std::ostringstream out;
+  out << "{\"verdict\": " << Quoted(SafetyVerdictName(report.verdict))
+      << ", \"pairs_checked\": " << report.pairs_checked
+      << ", \"cycles_checked\": " << report.cycles_checked
+      << ", \"failing_pair\": ";
+  if (report.failing_pair.has_value()) {
+    out << "[" << Quoted(system.txn(report.failing_pair->first).name())
+        << ", " << Quoted(system.txn(report.failing_pair->second).name())
+        << "]";
+  } else {
+    out << "null";
+  }
+  out << ", \"failing_cycle\": ";
+  if (!report.failing_cycle.empty()) {
+    out << "[";
+    for (size_t i = 0; i < report.failing_cycle.size(); ++i) {
+      if (i > 0) out << ", ";
+      out << Quoted(system.txn(report.failing_cycle[i]).name());
+    }
+    out << "]";
+  } else {
+    out << "null";
+  }
+  out << "}";
+  return out.str();
+}
+
+std::string DeadlockReportToJson(const DeadlockReport& report,
+                                 const TransactionSystem& system) {
+  std::ostringstream out;
+  out << "{\"deadlock_free\": " << (report.deadlock_free ? "true" : "false")
+      << ", \"states_explored\": " << report.states_explored
+      << ", \"dead_prefix\": ";
+  if (report.dead_prefix.has_value()) {
+    out << Quoted(report.dead_prefix->ToString(system));
+  } else {
+    out << "null";
+  }
+  out << ", \"blocked\": [";
+  for (size_t i = 0; i < report.blocked_txns.size(); ++i) {
+    if (i > 0) out << ", ";
+    out << "{\"txn\": " << Quoted(system.txn(report.blocked_txns[i]).name())
+        << ", \"waits_for\": "
+        << Quoted(report.waited_entities[i] == kInvalidEntity
+                      ? std::string("?")
+                      : system.db().NameOf(report.waited_entities[i]))
+        << "}";
+  }
+  out << "]}";
+  return out.str();
+}
+
+std::string PairReportToText(const PairSafetyReport& report,
+                             const DistributedDatabase& db) {
+  std::ostringstream out;
+  out << "verdict: " << SafetyVerdictName(report.verdict)
+      << " (method: " << report.method << ", " << report.sites_spanned
+      << " site(s))\n";
+  out << "D(T1,T2): " << ConflictGraphToString(report.d, db) << "\n";
+  if (!report.detail.empty()) out << "detail: " << report.detail << "\n";
+  if (report.certificate.has_value()) {
+    out << CertificateToString(*report.certificate, db);
+  }
+  return out.str();
+}
+
+}  // namespace dislock

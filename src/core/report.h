@@ -1,0 +1,42 @@
+#ifndef DISLOCK_CORE_REPORT_H_
+#define DISLOCK_CORE_REPORT_H_
+
+#include <string>
+
+#include "core/deadlock.h"
+#include "core/multi.h"
+#include "core/safety.h"
+
+namespace dislock {
+
+/// Machine-readable (JSON) and human-readable renderings of the analysis
+/// reports, for the CLI and for embedding dislock into other tooling. The
+/// JSON is hand-rolled (no external dependency) and kept flat: strings,
+/// numbers, booleans, arrays of strings.
+
+/// Escapes a string for inclusion in a JSON document.
+std::string JsonEscape(const std::string& s);
+
+/// {"verdict": "...", "method": "...", "sites": n, "d_nodes": n,
+///  "d_arcs": n, "d_strongly_connected": b, "detail": "...",
+///  "certificate": {...} | null}
+std::string PairReportToJson(const PairSafetyReport& report,
+                             const DistributedDatabase& db);
+
+/// {"verdict": "...", "pairs_checked": n, "cycles_checked": n,
+///  "failing_pair": [i, j] | null, "failing_cycle": [...] | null}
+std::string MultiReportToJson(const MultiSafetyReport& report,
+                              const TransactionSystem& system);
+
+/// {"deadlock_free": b, "states_explored": n, "dead_prefix": "..." | null,
+///  "blocked": [{"txn": name, "waits_for": entity}, ...]}
+std::string DeadlockReportToJson(const DeadlockReport& report,
+                                 const TransactionSystem& system);
+
+/// Multi-line human-readable pair report (verdict, D graph, certificate).
+std::string PairReportToText(const PairSafetyReport& report,
+                             const DistributedDatabase& db);
+
+}  // namespace dislock
+
+#endif  // DISLOCK_CORE_REPORT_H_

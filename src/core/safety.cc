@@ -1,0 +1,170 @@
+#include "core/safety.h"
+
+#include <set>
+
+#include "core/closure.h"
+#include "graph/dominator.h"
+#include "graph/scc.h"
+#include "util/string_util.h"
+
+namespace dislock {
+
+const char* SafetyVerdictName(SafetyVerdict v) {
+  switch (v) {
+    case SafetyVerdict::kSafe:
+      return "SAFE";
+    case SafetyVerdict::kUnsafe:
+      return "UNSAFE";
+    case SafetyVerdict::kUnknown:
+      return "UNKNOWN";
+  }
+  return "?";
+}
+
+int SitesSpanned(const Transaction& t1, const Transaction& t2) {
+  std::set<SiteId> sites;
+  for (EntityId e : t1.TouchedEntities()) sites.insert(t1.db().SiteOf(e));
+  for (EntityId e : t2.TouchedEntities()) sites.insert(t2.db().SiteOf(e));
+  return static_cast<int>(sites.size());
+}
+
+bool Theorem1Sufficient(const Transaction& t1, const Transaction& t2) {
+  ConflictGraph d = BuildConflictGraph(t1, t2);
+  return IsStronglyConnected(d.graph);
+}
+
+Result<PairSafetyReport> TwoSiteSafetyTest(const Transaction& t1,
+                                           const Transaction& t2) {
+  PairSafetyReport report;
+  report.sites_spanned = SitesSpanned(t1, t2);
+  if (report.sites_spanned > 2) {
+    return Status::InvalidArgument(
+        StrCat("TwoSiteSafetyTest requires <= 2 sites, pair spans ",
+               report.sites_spanned));
+  }
+  report.d = BuildConflictGraph(t1, t2);
+  report.d_strongly_connected = IsStronglyConnected(report.d.graph);
+  if (report.d_strongly_connected) {
+    report.verdict = SafetyVerdict::kSafe;
+    report.method = "theorem-2";
+    report.detail = "D(T1,T2) is strongly connected";
+    return report;
+  }
+  auto dom = FindDominator(report.d.graph);
+  if (!dom.ok()) {
+    return Status::Internal(
+        "non-strongly-connected D has no dominator: " +
+        dom.status().ToString());
+  }
+  auto cert = BuildUnsafetyCertificate(t1, t2,
+                                       report.d.EntitiesOf(dom.value()));
+  if (!cert.ok()) {
+    return Status::Internal(
+        "Theorem 2 certificate construction failed on a two-site pair: " +
+        cert.status().ToString());
+  }
+  report.verdict = SafetyVerdict::kUnsafe;
+  report.method = "theorem-2";
+  report.detail = "D(T1,T2) is not strongly connected";
+  report.certificate = std::move(cert).value();
+  return report;
+}
+
+PairSafetyReport AnalyzePairSafety(const Transaction& t1,
+                                   const Transaction& t2,
+                                   const SafetyOptions& options) {
+  PairSafetyReport report;
+  report.sites_spanned = SitesSpanned(t1, t2);
+  report.d = BuildConflictGraph(t1, t2);
+  report.d_strongly_connected = IsStronglyConnected(report.d.graph);
+
+  // 1. Theorem 1 (any number of sites).
+  if (report.d_strongly_connected) {
+    report.verdict = SafetyVerdict::kSafe;
+    report.method = "theorem-1";
+    report.detail = "D(T1,T2) is strongly connected";
+    return report;
+  }
+
+  // 2. Theorem 2 (complete at <= 2 sites).
+  if (report.sites_spanned <= 2) {
+    auto two_site = TwoSiteSafetyTest(t1, t2);
+    if (two_site.ok()) return std::move(two_site).value();
+    report.verdict = SafetyVerdict::kUnknown;
+    report.detail = two_site.status().ToString();
+    return report;
+  }
+
+  // 3. The dominator-closure loop (see header): complete when the
+  //    enumeration covers all dominators and every failure is a proof.
+  {
+    std::vector<std::vector<NodeId>> dominators =
+        AllDominators(report.d.graph, options.max_dominators + 1);
+    bool enumeration_complete =
+        static_cast<int64_t>(dominators.size()) <= options.max_dominators;
+    if (!enumeration_complete) dominators.pop_back();
+    bool all_failures_proven = true;
+    for (const auto& dom_nodes : dominators) {
+      std::vector<EntityId> x = report.d.EntitiesOf(dom_nodes);
+      auto closed = CloseWithRespectTo(t1, t2, x);
+      if (!closed.ok()) {
+        // kUndecided from the closure is a PROOF that X cannot certify
+        // unsafety (the contradiction holds in every extension pair).
+        if (closed.status().code() != StatusCode::kUndecided) {
+          all_failures_proven = false;
+        }
+        continue;
+      }
+      // Closed with respect to a dominator: Corollary 2 says unsafe;
+      // construct and verify the certificate.
+      auto cert = BuildUnsafetyCertificate(t1, t2, x);
+      if (cert.ok()) {
+        report.verdict = SafetyVerdict::kUnsafe;
+        report.method = "corollary-2";
+        report.detail = "system closes with respect to a dominator of D";
+        report.certificate = std::move(cert).value();
+        return report;
+      }
+      all_failures_proven = false;
+    }
+    if (enumeration_complete && all_failures_proven) {
+      report.verdict = SafetyVerdict::kSafe;
+      report.method = "dominator-closure";
+      report.detail = StrCat(
+          "all ", dominators.size(),
+          " dominators of D provably admit no closed extension pair");
+      return report;
+    }
+  }
+
+  // 4. Exhaustive Lemma 1 fallback.
+  if (options.max_extension_pairs > 0) {
+    auto exhaustive =
+        ExhaustivePairSafety(t1, t2, options.max_extension_pairs);
+    if (exhaustive.ok()) {
+      report.method = "exhaustive";
+      if (exhaustive.value().safe) {
+        report.verdict = SafetyVerdict::kSafe;
+        report.detail =
+            StrCat("all ", exhaustive.value().combinations_checked,
+                   " extension pairs are safe");
+      } else {
+        report.verdict = SafetyVerdict::kUnsafe;
+        report.certificate = std::move(exhaustive.value().certificate);
+        report.detail = "an unsafe pair of linear extensions exists";
+      }
+      return report;
+    }
+    report.detail = exhaustive.status().ToString();
+  }
+
+  // 5. The coNP-complete regime: undecided.
+  report.verdict = SafetyVerdict::kUnknown;
+  report.method = "none";
+  if (report.detail.empty()) {
+    report.detail = "three or more sites and exhaustive fallback disabled";
+  }
+  return report;
+}
+
+}  // namespace dislock

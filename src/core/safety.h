@@ -1,0 +1,91 @@
+#ifndef DISLOCK_CORE_SAFETY_H_
+#define DISLOCK_CORE_SAFETY_H_
+
+#include <optional>
+#include <string>
+
+#include "core/brute_force.h"
+#include "core/certificate.h"
+#include "core/conflict_graph.h"
+#include "txn/transaction.h"
+#include "util/status.h"
+
+namespace dislock {
+
+/// Three-valued safety answer. kUnknown arises only for pairs spanning
+/// three or more sites when the exhaustive fallback is disabled or over
+/// budget — the regime where the decision problem is coNP-complete
+/// (Theorem 3), so an efficient complete test cannot be expected.
+enum class SafetyVerdict { kSafe, kUnsafe, kUnknown };
+
+const char* SafetyVerdictName(SafetyVerdict v);
+
+/// Tuning knobs for AnalyzePairSafety.
+struct SafetyOptions {
+  /// Budget for the Lemma 1 exhaustive fallback (pairs of linear
+  /// extensions); 0 disables it.
+  int64_t max_extension_pairs = 1 << 20;
+  /// How many dominators to attempt for the Corollary 2 closure test on
+  /// pairs spanning three or more sites. When the enumeration is complete
+  /// (the pair has at most this many dominators) the closure loop decides
+  /// safety EXACTLY — see AnalyzePairSafety — so this knob is the "2^n" of
+  /// the coNP-complete regime.
+  int64_t max_dominators = 1024;
+};
+
+/// Everything the analyzer can say about a pair.
+struct PairSafetyReport {
+  SafetyVerdict verdict = SafetyVerdict::kUnknown;
+  /// Which result decided: "theorem-1", "theorem-2", "corollary-2",
+  /// "exhaustive", or "none".
+  std::string method = "none";
+  /// The conflict digraph D(T1, T2) of Definition 1.
+  ConflictGraph d;
+  bool d_strongly_connected = false;
+  /// Number of distinct sites hosting entities touched by the pair.
+  int sites_spanned = 0;
+  /// When unsafe: a verified certificate.
+  std::optional<UnsafetyCertificate> certificate;
+  std::string detail;
+};
+
+/// Number of distinct sites hosting entities touched by either transaction.
+int SitesSpanned(const Transaction& t1, const Transaction& t2);
+
+/// Theorem 1 sufficient test: true iff D(T1,T2) is strongly connected, in
+/// which case the pair is safe regardless of the number of sites.
+bool Theorem1Sufficient(const Transaction& t1, const Transaction& t2);
+
+/// The complete two-site decision procedure of Theorem 2 / Corollary 1:
+/// {T1, T2} spanning at most two sites is safe iff D(T1, T2) is strongly
+/// connected; when unsafe a certificate is constructed. O(n^2).
+/// Returns InvalidArgument if the pair spans more than two sites.
+Result<PairSafetyReport> TwoSiteSafetyTest(const Transaction& t1,
+                                           const Transaction& t2);
+
+/// The general pair analyzer. Strategy, in order:
+///   1. Theorem 1: D strongly connected -> safe (any sites).
+///   2. <= 2 sites: Theorem 2 -> unsafe with certificate.
+///   3. >= 3 sites: the dominator-closure loop. For each dominator X of D,
+///      run the Lemma 2/3 closure:
+///        * closure converges -> Corollary 2 -> unsafe, with certificate;
+///        * closure derives a contradiction -> PROOF that no compatible
+///          pair of total orders is closed with respect to X (the forced
+///          precedences hold in every extension), so X certifies nothing.
+///      Every unsafe system has an unsafe extension pair (Lemma 1), whose
+///      D(t1,t2) has a dominator, with respect to which the pair is closed;
+///      that dominator is also a dominator of D(T1,T2) (extensions only add
+///      arcs over the same vertex set). Hence if the enumeration covered
+///      ALL dominators and every closure failed with a proof, the system is
+///      SAFE (method "dominator-closure"). The number of dominators can be
+///      exponential — this is exactly where Theorem 3's coNP-hardness
+///      lives (dominators of the reduction encode truth assignments).
+///   4. Exhaustive Lemma 1 fallback within options.max_extension_pairs.
+///   5. Otherwise kUnknown.
+PairSafetyReport AnalyzePairSafety(const Transaction& t1,
+                                   const Transaction& t2,
+                                   const SafetyOptions& options = {});
+
+}  // namespace dislock
+
+#endif  // DISLOCK_CORE_SAFETY_H_

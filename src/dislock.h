@@ -1,0 +1,57 @@
+#ifndef DISLOCK_DISLOCK_H_
+#define DISLOCK_DISLOCK_H_
+
+/// \mainpage dislock — Is Distributed Locking Harder?
+///
+/// Umbrella header for the dislock library, a full implementation of
+/// Kanellakis & Papadimitriou, "Is Distributed Locking Harder?" (PODS 1982
+/// / JCSS 28, 1984).
+///
+/// Layering (each header is independently includable):
+///   * model        — txn/database.h, txn/transaction.h, txn/builder.h,
+///                    txn/validate.h, txn/schedule.h, txn/system.h,
+///                    txn/linear_extension.h, txn/text_format.h
+///   * geometry     — geometry/picture.h, geometry/curve.h,
+///                    geometry/deadlock_geometry.h
+///   * results      — core/conflict_graph.h (Definition 1),
+///                    core/safety.h (Theorems 1-2, the dominator-closure
+///                    loop), core/closure.h (Lemmas 2-3, Definition 3),
+///                    core/certificate.h (the Theorem 2 construction),
+///                    core/brute_force.h (Lemma 1 oracles),
+///                    core/multi.h (Proposition 2), core/deadlock.h,
+///                    core/policy.h, core/protocols.h, core/paper.h
+///   * reduction    — sat/cnf.h, sat/solver.h, sat/normalize.h,
+///                    sat/reduction.h (Theorem 3)
+///   * simulation   — sim/lock_manager.h, sim/scheduler.h, sim/executor.h,
+///                    sim/workload.h
+
+#include "core/brute_force.h"
+#include "core/certificate.h"
+#include "core/closure.h"
+#include "core/conflict_graph.h"
+#include "core/deadlock.h"
+#include "core/multi.h"
+#include "core/paper.h"
+#include "core/policy.h"
+#include "core/protocols.h"
+#include "core/report.h"
+#include "core/safety.h"
+#include "geometry/curve.h"
+#include "geometry/deadlock_geometry.h"
+#include "geometry/picture.h"
+#include "sat/cnf.h"
+#include "sat/normalize.h"
+#include "sat/reduction.h"
+#include "sat/solver.h"
+#include "sim/executor.h"
+#include "sim/lock_manager.h"
+#include "sim/scheduler.h"
+#include "sim/workload.h"
+#include "txn/builder.h"
+#include "txn/linear_extension.h"
+#include "txn/schedule.h"
+#include "txn/system.h"
+#include "txn/text_format.h"
+#include "txn/validate.h"
+
+#endif  // DISLOCK_DISLOCK_H_

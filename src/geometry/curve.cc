@@ -1,0 +1,252 @@
+#include "geometry/curve.h"
+
+#include <algorithm>
+#include <deque>
+#include <set>
+
+#include "util/string_util.h"
+
+namespace dislock {
+
+Result<CurveHeights> FindSeparatingCurve(
+    const PairPicture& pic, const std::vector<EntityId>& pass_above,
+    const std::vector<EntityId>& pass_below) {
+  const int m1 = pic.num_steps1();
+  const int m2 = pic.num_steps2();
+
+  // The two sets must partition the rectangle entities.
+  std::set<EntityId> above(pass_above.begin(), pass_above.end());
+  std::set<EntityId> below(pass_below.begin(), pass_below.end());
+  if (above.size() + below.size() != pic.rects().size()) {
+    return Status::InvalidArgument(
+        "pass_above / pass_below must partition the rectangle entities");
+  }
+  for (const Rect& r : pic.rects()) {
+    bool a = above.count(r.entity) > 0;
+    bool b = below.count(r.entity) > 0;
+    if (a == b) {
+      return Status::InvalidArgument(
+          "every rectangle entity must be in exactly one of pass_above / "
+          "pass_below");
+    }
+  }
+
+  // Envelope method. A curve passes above rectangle r iff
+  // heights[c] >= r.ux2 for all c >= r.lx1 - 1, and below r iff
+  // heights[c] <= r.lx2 - 1 for all c <= r.ux1 - 1. Both constraint families
+  // are monotone, so a feasible curve exists iff the running-max lower
+  // envelope stays under the running-min upper envelope; the lower envelope
+  // itself is then a witness curve.
+  std::vector<int> lb(m1 + 1, 0);
+  std::vector<int> ub(m1 + 1, m2);
+  for (const Rect& r : pic.rects()) {
+    if (above.count(r.entity) > 0) {
+      lb[r.lx1 - 1] = std::max(lb[r.lx1 - 1], r.ux2);
+    } else {
+      ub[r.ux1 - 1] = std::min(ub[r.ux1 - 1], r.lx2 - 1);
+    }
+  }
+  for (int c = 1; c <= m1; ++c) lb[c] = std::max(lb[c], lb[c - 1]);
+  for (int c = m1 - 1; c >= 0; --c) ub[c] = std::min(ub[c], ub[c + 1]);
+  for (int c = 0; c <= m1; ++c) {
+    if (lb[c] > ub[c]) {
+      return Status::NotFound("no curve separates the given partition");
+    }
+  }
+  return CurveHeights(lb.begin(), lb.end());
+}
+
+Schedule CurveToSchedule(const PairPicture& pic, const CurveHeights& heights) {
+  DISLOCK_CHECK_EQ(static_cast<int>(heights.size()), pic.num_steps1() + 1);
+  Schedule out;
+  int j = 0;
+  for (int c = 0; c < pic.num_steps1(); ++c) {
+    while (j < heights[c] && j < pic.num_steps2()) {
+      out.Append(1, pic.order2()[j]);
+      ++j;
+    }
+    out.Append(0, pic.order1()[c]);
+  }
+  while (j < pic.num_steps2()) {
+    out.Append(1, pic.order2()[j]);
+    ++j;
+  }
+  return out;
+}
+
+CurveHeights ScheduleToCurve(const PairPicture& pic,
+                             const Schedule& schedule) {
+  CurveHeights heights(pic.num_steps1() + 1, pic.num_steps2());
+  int t1_seen = 0;
+  int t2_seen = 0;
+  for (const SysStep& ev : schedule.events()) {
+    if (ev.txn == 0) {
+      DISLOCK_CHECK_LE(t1_seen, pic.num_steps1());
+      heights[t1_seen] = t2_seen;
+      ++t1_seen;
+    } else {
+      ++t2_seen;
+    }
+  }
+  return heights;
+}
+
+std::vector<RectSide> ScheduleSides(const PairPicture& pic,
+                                    const Schedule& schedule) {
+  // Schedule positions per (txn, step).
+  std::vector<std::vector<int>> pos(2);
+  pos[0].assign(pic.num_steps1(), -1);
+  pos[1].assign(pic.num_steps2(), -1);
+  for (size_t i = 0; i < schedule.size(); ++i) {
+    const SysStep& ev = schedule.at(i);
+    DISLOCK_CHECK(ev.txn == 0 || ev.txn == 1);
+    pos[ev.txn][ev.step] = static_cast<int>(i);
+  }
+  std::vector<RectSide> sides;
+  sides.reserve(pic.rects().size());
+  for (const Rect& r : pic.rects()) {
+    // Recover the step ids from the picture positions.
+    StepId l1 = pic.order1()[r.lx1 - 1];
+    StepId u1 = pic.order1()[r.ux1 - 1];
+    StepId l2 = pic.order2()[r.lx2 - 1];
+    StepId u2 = pic.order2()[r.ux2 - 1];
+    if (pos[1][u2] < pos[0][l1]) {
+      sides.push_back(RectSide::kAbove);
+    } else if (pos[0][u1] < pos[1][l2]) {
+      sides.push_back(RectSide::kBelow);
+    } else {
+      sides.push_back(RectSide::kThrough);
+    }
+  }
+  return sides;
+}
+
+std::optional<SeparationWitness> FindSeparation(const PairPicture& pic,
+                                                const Schedule& schedule) {
+  std::vector<RectSide> sides = ScheduleSides(pic, schedule);
+  EntityId above = kInvalidEntity;
+  EntityId below = kInvalidEntity;
+  for (size_t i = 0; i < sides.size(); ++i) {
+    if (sides[i] == RectSide::kAbove) above = pic.rects()[i].entity;
+    if (sides[i] == RectSide::kBelow) below = pic.rects()[i].entity;
+  }
+  if (above != kInvalidEntity && below != kInvalidEntity) {
+    return SeparationWitness{above, below};
+  }
+  return std::nullopt;
+}
+
+namespace {
+
+/// BFS over the schedule-state grid for a monotone path (0,0) -> (m1,m2)
+/// avoiding `blocked`, writing the path as a schedule. Returns false when no
+/// path exists. `blocked` is row-major: blocked[j * (m1+1) + i].
+bool GridPathSchedule(const PairPicture& pic, const std::vector<char>& blocked,
+                      Schedule* out) {
+  const int m1 = pic.num_steps1();
+  const int m2 = pic.num_steps2();
+  const int width = m1 + 1;
+  auto id = [width](int i, int j) { return j * width + i; };
+  if (blocked[id(0, 0)] || blocked[id(m1, m2)]) return false;
+
+  // parent move: 0 = none/start, 1 = came from left (t1 step), 2 = from
+  // below (t2 step).
+  std::vector<char> parent(blocked.size(), 0);
+  std::deque<int> queue{id(0, 0)};
+  std::vector<char> seen(blocked.size(), 0);
+  seen[id(0, 0)] = 1;
+  while (!queue.empty()) {
+    int cur = queue.front();
+    queue.pop_front();
+    int i = cur % width;
+    int j = cur / width;
+    if (i == m1 && j == m2) break;
+    if (i + 1 <= m1) {
+      int nxt = id(i + 1, j);
+      if (!seen[nxt] && !blocked[nxt]) {
+        seen[nxt] = 1;
+        parent[nxt] = 1;
+        queue.push_back(nxt);
+      }
+    }
+    if (j + 1 <= m2) {
+      int nxt = id(i, j + 1);
+      if (!seen[nxt] && !blocked[nxt]) {
+        seen[nxt] = 1;
+        parent[nxt] = 2;
+        queue.push_back(nxt);
+      }
+    }
+  }
+  if (!seen[id(m1, m2)]) return false;
+
+  // Reconstruct moves backwards.
+  std::vector<char> moves;
+  int i = m1;
+  int j = m2;
+  while (i != 0 || j != 0) {
+    char mv = parent[id(i, j)];
+    moves.push_back(mv);
+    if (mv == 1) {
+      --i;
+    } else {
+      DISLOCK_CHECK_EQ(mv, 2);
+      --j;
+    }
+  }
+  std::reverse(moves.begin(), moves.end());
+  i = 0;
+  j = 0;
+  for (char mv : moves) {
+    if (mv == 1) {
+      out->Append(0, pic.order1()[i]);
+      ++i;
+    } else {
+      out->Append(1, pic.order2()[j]);
+      ++j;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+Result<GeometricWitness> NaiveGeometricUnsafetyTest(const PairPicture& pic) {
+  const int m1 = pic.num_steps1();
+  const int m2 = pic.num_steps2();
+  const int width = m1 + 1;
+  auto id = [width](int i, int j) { return j * width + i; };
+
+  // Base forbidden states: (i, j) where both transactions hold some entity.
+  // t1 holds r's entity at state i iff r.lx1 <= i <= r.ux1 - 1.
+  std::vector<char> base((m1 + 1) * (m2 + 1), 0);
+  for (const Rect& r : pic.rects()) {
+    for (int i = r.lx1; i <= r.ux1 - 1; ++i) {
+      for (int j = r.lx2; j <= r.ux2 - 1; ++j) base[id(i, j)] = 1;
+    }
+  }
+
+  for (const Rect& ra : pic.rects()) {
+    for (const Rect& rb : pic.rects()) {
+      if (ra.entity == rb.entity) continue;
+      // Look for a legal path above ra and below rb.
+      std::vector<char> blocked = base;
+      // Above ra: forbid states where t1 passed La but t2 hasn't done Ua.
+      for (int i = ra.lx1; i <= m1; ++i) {
+        for (int j = 0; j <= ra.ux2 - 1; ++j) blocked[id(i, j)] = 1;
+      }
+      // Below rb: forbid states where t2 passed Lb but t1 hasn't done Ub.
+      for (int j = rb.lx2; j <= m2; ++j) {
+        for (int i = 0; i <= rb.ux1 - 1; ++i) blocked[id(i, j)] = 1;
+      }
+      GeometricWitness witness;
+      witness.pair = {ra.entity, rb.entity};
+      if (GridPathSchedule(pic, blocked, &witness.schedule)) {
+        return witness;
+      }
+    }
+  }
+  return Status::NotFound("no separating schedule: the pair is safe");
+}
+
+}  // namespace dislock

@@ -1,0 +1,81 @@
+#ifndef DISLOCK_GEOMETRY_CURVE_H_
+#define DISLOCK_GEOMETRY_CURVE_H_
+
+#include <optional>
+#include <vector>
+
+#include "geometry/picture.h"
+#include "txn/schedule.h"
+#include "util/status.h"
+
+namespace dislock {
+
+/// A monotone curve through the geometric picture, represented by its
+/// crossing heights: heights[c] (c in [0, m1]) is the number of t2 steps the
+/// schedule executes before the (c+1)-th step of t1. Nondecreasing; any t2
+/// steps beyond heights[m1] run after t1 finishes.
+using CurveHeights = std::vector<int>;
+
+/// Which side of a forbidden rectangle a schedule's curve passes.
+enum class RectSide {
+  kAbove,    ///< t2's lock section on the entity ran before t1's
+  kBelow,    ///< t1's lock section ran before t2's
+  kThrough,  ///< sections interleave — the schedule is illegal
+};
+
+/// Finds a monotone curve that passes above every rectangle of an entity in
+/// `pass_above` and below every rectangle of an entity in `pass_below`.
+/// The two sets must partition the picture's rectangle entities (so the
+/// resulting schedule is automatically legal). Returns NotFound when no such
+/// curve exists.
+///
+/// This is the constructive heart of the unsafety certificates: a curve that
+/// separates the rectangles of a dominator X from the rest witnesses a
+/// non-serializable schedule (Proposition 1).
+Result<CurveHeights> FindSeparatingCurve(const PairPicture& pic,
+                                         const std::vector<EntityId>& pass_above,
+                                         const std::vector<EntityId>& pass_below);
+
+/// Reads a curve off as a schedule of the two-transaction system
+/// {txn 0 = t1 (x axis), txn 1 = t2 (y axis)}.
+Schedule CurveToSchedule(const PairPicture& pic, const CurveHeights& heights);
+
+/// The curve of a schedule of {t1, t2} (inverse of CurveToSchedule up to the
+/// trailing-t2-steps normalization).
+CurveHeights ScheduleToCurve(const PairPicture& pic, const Schedule& schedule);
+
+/// For each rectangle of the picture (parallel to pic.rects()), which side
+/// the schedule passes.
+std::vector<RectSide> ScheduleSides(const PairPicture& pic,
+                                    const Schedule& schedule);
+
+/// A pair of rectangles separated by a schedule: the curve passes above
+/// `above` and below `below`.
+struct SeparationWitness {
+  EntityId above = kInvalidEntity;
+  EntityId below = kInvalidEntity;
+};
+
+/// Proposition 1 check: returns a separated pair if the schedule's curve
+/// separates two rectangles (i.e. the schedule is not serializable), nullopt
+/// otherwise.
+std::optional<SeparationWitness> FindSeparation(const PairPicture& pic,
+                                                const Schedule& schedule);
+
+/// A constructive unsafety witness for a totally ordered pair.
+struct GeometricWitness {
+  SeparationWitness pair;
+  Schedule schedule;
+};
+
+/// The naive geometric unsafety test for a totally ordered pair: for every
+/// ordered pair of rectangles, BFS over the O(m1 * m2) schedule-state grid
+/// for a legal monotone path that passes above one and below the other.
+/// O(k^2 * n^2) for k commonly locked entities and n total steps — the
+/// brute-force baseline that Theorem 1's strong-connectivity test improves
+/// on. Returns NotFound when the pair is safe.
+Result<GeometricWitness> NaiveGeometricUnsafetyTest(const PairPicture& pic);
+
+}  // namespace dislock
+
+#endif  // DISLOCK_GEOMETRY_CURVE_H_

@@ -1,0 +1,78 @@
+#include "geometry/deadlock_geometry.h"
+
+#include <algorithm>
+#include <deque>
+#include <vector>
+
+namespace dislock {
+
+std::optional<GeometricDeadlock> FindGeometricDeadlock(
+    const PairPicture& pic) {
+  const int m1 = pic.num_steps1();
+  const int m2 = pic.num_steps2();
+  const int width = m1 + 1;
+  auto id = [width](int i, int j) { return j * width + i; };
+
+  // Forbidden states: both transactions hold some entity.
+  std::vector<char> blocked((m1 + 1) * (m2 + 1), 0);
+  for (const Rect& r : pic.rects()) {
+    for (int i = r.lx1; i <= r.ux1 - 1; ++i) {
+      for (int j = r.lx2; j <= r.ux2 - 1; ++j) blocked[id(i, j)] = 1;
+    }
+  }
+
+  std::vector<char> parent(blocked.size(), 0);  // 1 = from left, 2 = below
+  std::vector<char> seen(blocked.size(), 0);
+  std::deque<int> queue{id(0, 0)};
+  seen[id(0, 0)] = 1;
+  while (!queue.empty()) {
+    int cur = queue.front();
+    queue.pop_front();
+    int i = cur % width;
+    int j = cur / width;
+    bool right_ok = i + 1 <= m1 && !blocked[id(i + 1, j)];
+    bool up_ok = j + 1 <= m2 && !blocked[id(i, j + 1)];
+    if (!right_ok && !up_ok && !(i == m1 && j == m2)) {
+      // Dead state: reconstruct the prefix.
+      GeometricDeadlock dead;
+      dead.progress1 = i;
+      dead.progress2 = j;
+      std::vector<char> moves;
+      int ci = i;
+      int cj = j;
+      while (ci != 0 || cj != 0) {
+        char mv = parent[id(ci, cj)];
+        moves.push_back(mv);
+        if (mv == 1) {
+          --ci;
+        } else {
+          --cj;
+        }
+      }
+      std::reverse(moves.begin(), moves.end());
+      int pi = 0;
+      int pj = 0;
+      for (char mv : moves) {
+        if (mv == 1) {
+          dead.prefix.Append(0, pic.order1()[pi++]);
+        } else {
+          dead.prefix.Append(1, pic.order2()[pj++]);
+        }
+      }
+      return dead;
+    }
+    if (right_ok && !seen[id(i + 1, j)]) {
+      seen[id(i + 1, j)] = 1;
+      parent[id(i + 1, j)] = 1;
+      queue.push_back(id(i + 1, j));
+    }
+    if (up_ok && !seen[id(i, j + 1)]) {
+      seen[id(i, j + 1)] = 1;
+      parent[id(i, j + 1)] = 2;
+      queue.push_back(id(i, j + 1));
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace dislock

@@ -1,0 +1,31 @@
+#ifndef DISLOCK_GEOMETRY_DEADLOCK_GEOMETRY_H_
+#define DISLOCK_GEOMETRY_DEADLOCK_GEOMETRY_H_
+
+#include <optional>
+
+#include "geometry/picture.h"
+#include "txn/schedule.h"
+
+namespace dislock {
+
+/// Geometric deadlock detection for a totally ordered pair, after [7, 17]
+/// where deadlock freedom is studied side by side with safety: a deadlock
+/// is a reachable grid state from which both moves are forbidden (the path
+/// is trapped in an inward corner of the union of forbidden rectangles).
+struct GeometricDeadlock {
+  /// Steps of t1 / t2 completed at the dead state.
+  int progress1 = 0;
+  int progress2 = 0;
+  /// A schedule prefix that reaches the dead state.
+  Schedule prefix;
+};
+
+/// BFS over the O(m1 * m2) grid of schedule states: returns a witness if
+/// some reachable non-final state has no legal successor, nullopt if the
+/// pair is deadlock-free. Exact for totally ordered pairs; the general
+/// partial-order/deadlock machinery lives in core/deadlock.h.
+std::optional<GeometricDeadlock> FindGeometricDeadlock(const PairPicture& pic);
+
+}  // namespace dislock
+
+#endif  // DISLOCK_GEOMETRY_DEADLOCK_GEOMETRY_H_

@@ -1,0 +1,113 @@
+#include "geometry/picture.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "graph/topological.h"
+#include "util/string_util.h"
+
+namespace dislock {
+
+Result<std::vector<StepId>> TotalOrderOf(const Transaction& txn) {
+  auto topo = TopologicalSort(txn.order());
+  if (!topo.ok()) {
+    return Status::InvalidArgument(
+        StrCat("transaction ", txn.name(), " is cyclic"));
+  }
+  const std::vector<NodeId>& order = topo.value();
+  // A DAG is a total order iff consecutive topo-order elements are related
+  // (i.e., the order has a Hamiltonian path).
+  for (size_t i = 1; i < order.size(); ++i) {
+    if (!txn.Precedes(order[i - 1], order[i])) {
+      return Status::InvalidArgument(
+          StrCat("transaction ", txn.name(), " is not totally ordered: ",
+                 txn.StepString(order[i - 1]), " and ",
+                 txn.StepString(order[i]), " are concurrent"));
+    }
+  }
+  return std::vector<StepId>(order.begin(), order.end());
+}
+
+Result<PairPicture> PairPicture::Make(const Transaction& t1,
+                                      const Transaction& t2) {
+  PairPicture pic;
+  DISLOCK_ASSIGN_OR_RETURN(pic.order1_, TotalOrderOf(t1));
+  DISLOCK_ASSIGN_OR_RETURN(pic.order2_, TotalOrderOf(t2));
+  pic.m1_ = t1.NumSteps();
+  pic.m2_ = t2.NumSteps();
+  pic.pos1_.assign(pic.m1_, 0);
+  pic.pos2_.assign(pic.m2_, 0);
+  for (int i = 0; i < pic.m1_; ++i) pic.pos1_[pic.order1_[i]] = i + 1;
+  for (int i = 0; i < pic.m2_; ++i) pic.pos2_[pic.order2_[i]] = i + 1;
+
+  for (EntityId e : t1.LockedEntities()) {
+    StepId l2 = t2.LockStep(e);
+    StepId u2 = t2.UnlockStep(e);
+    if (l2 == kInvalidStep || u2 == kInvalidStep) continue;
+    // Two shared (read) sections may overlap and never conflict: no
+    // forbidden rectangle.
+    if (t1.IsSharedSection(e) && t2.IsSharedSection(e)) continue;
+    Rect r;
+    r.entity = e;
+    r.lx1 = pic.pos1_[t1.LockStep(e)];
+    r.ux1 = pic.pos1_[t1.UnlockStep(e)];
+    r.lx2 = pic.pos2_[l2];
+    r.ux2 = pic.pos2_[u2];
+    pic.rects_.push_back(r);
+  }
+  return pic;
+}
+
+std::string PairPicture::Render(const TransactionSystem& system,
+                                const std::vector<int>* curve) const {
+  // Character grid: columns 0..m1 (curve boundaries) interleaved with step
+  // columns; rows likewise, rendered top-down (high t2 position first).
+  // Cell (c, r) with c in [1, m1], r in [1, m2] marks grid point (c, r);
+  // '#' marks points inside some forbidden rectangle.
+  std::ostringstream out;
+  const Transaction& t1 = system.txn(0);
+  const Transaction& t2 = system.txn(1);
+  auto inside = [&](int c, int r) {
+    for (const Rect& rect : rects_) {
+      if (c >= rect.lx1 && c <= rect.ux1 && r >= rect.lx2 && r <= rect.ux2) {
+        return true;
+      }
+    }
+    return false;
+  };
+  size_t label_width = 5;
+  for (int r = 1; r <= m2_; ++r) {
+    label_width = std::max(label_width,
+                           t2.StepString(order2_[r - 1]).size() + 1);
+  }
+  for (int r = m2_; r >= 1; --r) {
+    // Row label: the t2 step at position r.
+    std::string label = t2.StepString(order2_[r - 1]);
+    out << label;
+    for (size_t pad = label.size(); pad < label_width; ++pad) out << ' ';
+    out << "|";
+    for (int c = 1; c <= m1_; ++c) {
+      bool on_curve = false;
+      if (curve != nullptr) {
+        // Curve crosses column c between heights (*curve)[c-1]..(*curve)[c].
+        int lo = (*curve)[c - 1];
+        int hi = (*curve)[c];
+        on_curve = r > lo && r <= hi;
+      }
+      out << ' ' << (inside(c, r) ? '#' : (on_curve ? '*' : '.'));
+    }
+    out << "\n";
+  }
+  out << std::string(label_width, ' ') << "+";
+  for (int c = 1; c <= m1_; ++c) out << "--";
+  out << "\n" << std::string(label_width + 1, ' ');
+  for (int c = 1; c <= m1_; ++c) {
+    std::string label = t1.StepString(order1_[c - 1]);
+    out << label.substr(0, 1) << label.substr(1, 1);
+    if (label.size() < 2) out << ' ';
+  }
+  out << "\n";
+  return out.str();
+}
+
+}  // namespace dislock

@@ -1,0 +1,67 @@
+#ifndef DISLOCK_GEOMETRY_PICTURE_H_
+#define DISLOCK_GEOMETRY_PICTURE_H_
+
+#include <string>
+#include <vector>
+
+#include "txn/schedule.h"
+#include "txn/transaction.h"
+#include "util/status.h"
+
+namespace dislock {
+
+/// The forbidden rectangle of an entity x locked by both transactions of a
+/// totally ordered pair {t1, t2} (Section 3, Fig. 2). Coordinates are
+/// 1-based step positions: the x-axis (resp. y-axis) interval runs from
+/// t1's (resp. t2's) `lock x` position to its `unlock x` position.
+struct Rect {
+  EntityId entity = kInvalidEntity;
+  int lx1 = 0;  ///< position of Lx in t1
+  int ux1 = 0;  ///< position of Ux in t1
+  int lx2 = 0;  ///< position of Lx in t2
+  int ux2 = 0;  ///< position of Ux in t2
+};
+
+/// The geometric picture of a pair of totally ordered transactions: the
+/// coordinated plane with one forbidden rectangle per commonly locked
+/// entity. Built by PairPicture::Make from two *total-order* transactions.
+class PairPicture {
+ public:
+  /// Builds the picture. Both transactions must be total orders (their
+  /// precedence DAGs must admit exactly one linear extension); returns
+  /// InvalidArgument otherwise.
+  static Result<PairPicture> Make(const Transaction& t1,
+                                  const Transaction& t2);
+
+  int num_steps1() const { return m1_; }
+  int num_steps2() const { return m2_; }
+  const std::vector<Rect>& rects() const { return rects_; }
+
+  /// The unique linear extension of t1 / t2 (step ids in execution order).
+  const std::vector<StepId>& order1() const { return order1_; }
+  const std::vector<StepId>& order2() const { return order2_; }
+
+  /// 1-based position of step `s` of t1 (resp. t2).
+  int Pos1(StepId s) const { return pos1_[s]; }
+  int Pos2(StepId s) const { return pos2_[s]; }
+
+  /// ASCII rendering of the plane with rectangle outlines, in the style of
+  /// the paper's Fig. 2. If `curve` is non-null its staircase is drawn too.
+  std::string Render(const TransactionSystem& system,
+                     const std::vector<int>* curve = nullptr) const;
+
+ private:
+  int m1_ = 0;
+  int m2_ = 0;
+  std::vector<Rect> rects_;
+  std::vector<StepId> order1_, order2_;
+  std::vector<int> pos1_, pos2_;
+};
+
+/// Extracts the unique linear extension of a total-order transaction, or
+/// InvalidArgument if the transaction is not totally ordered.
+Result<std::vector<StepId>> TotalOrderOf(const Transaction& txn);
+
+}  // namespace dislock
+
+#endif  // DISLOCK_GEOMETRY_PICTURE_H_

@@ -1,0 +1,22 @@
+#include "graph/digraph.h"
+
+#include <sstream>
+
+namespace dislock {
+
+std::string Digraph::ToDot(const std::string& graph_name) const {
+  std::ostringstream out;
+  out << "digraph " << graph_name << " {\n";
+  for (NodeId u = 0; u < NumNodes(); ++u) {
+    out << "  n" << u;
+    if (!labels_[u].empty()) out << " [label=\"" << labels_[u] << "\"]";
+    out << ";\n";
+  }
+  for (NodeId u = 0; u < NumNodes(); ++u) {
+    for (NodeId v : out_[u]) out << "  n" << u << " -> n" << v << ";\n";
+  }
+  out << "}\n";
+  return out.str();
+}
+
+}  // namespace dislock

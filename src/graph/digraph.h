@@ -1,0 +1,103 @@
+#ifndef DISLOCK_GRAPH_DIGRAPH_H_
+#define DISLOCK_GRAPH_DIGRAPH_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace dislock {
+
+/// A node index into a Digraph. Nodes are dense integers [0, NumNodes()).
+using NodeId = int32_t;
+
+/// A simple directed graph (adjacency lists, optional node labels).
+///
+/// This is the shared substrate for every graph in the library: transaction
+/// DAGs, the conflict digraph D(T1,T2) of Definition 1, condensations, the
+/// B_ijk graphs of Proposition 2, and the skeleton digraph of the Theorem 3
+/// reduction.
+class Digraph {
+ public:
+  Digraph() = default;
+  /// Creates a graph with `num_nodes` isolated nodes.
+  explicit Digraph(int num_nodes) { Resize(num_nodes); }
+
+  /// Grows the node set to `num_nodes` (never shrinks).
+  void Resize(int num_nodes) {
+    DISLOCK_CHECK_GE(num_nodes, static_cast<int>(out_.size()));
+    out_.resize(num_nodes);
+    in_.resize(num_nodes);
+    labels_.resize(num_nodes);
+  }
+
+  /// Adds a fresh node and returns its id.
+  NodeId AddNode(std::string label = "") {
+    out_.emplace_back();
+    in_.emplace_back();
+    labels_.push_back(std::move(label));
+    return static_cast<NodeId>(out_.size() - 1);
+  }
+
+  /// Adds arc u -> v. Parallel arcs are kept (harmless for all algorithms
+  /// here); use HasArc() first to deduplicate if needed.
+  void AddArc(NodeId u, NodeId v) {
+    DISLOCK_CHECK(ValidNode(u) && ValidNode(v));
+    out_[u].push_back(v);
+    in_[v].push_back(u);
+    ++num_arcs_;
+  }
+
+  /// Adds arc u -> v unless it is already present. O(out-degree of u).
+  void AddArcUnique(NodeId u, NodeId v) {
+    if (!HasArc(u, v)) AddArc(u, v);
+  }
+
+  /// True iff arc u -> v exists. O(out-degree of u).
+  bool HasArc(NodeId u, NodeId v) const {
+    DISLOCK_CHECK(ValidNode(u) && ValidNode(v));
+    for (NodeId w : out_[u]) {
+      if (w == v) return true;
+    }
+    return false;
+  }
+
+  int NumNodes() const { return static_cast<int>(out_.size()); }
+  int64_t NumArcs() const { return num_arcs_; }
+
+  const std::vector<NodeId>& OutNeighbors(NodeId u) const {
+    DISLOCK_CHECK(ValidNode(u));
+    return out_[u];
+  }
+  const std::vector<NodeId>& InNeighbors(NodeId u) const {
+    DISLOCK_CHECK(ValidNode(u));
+    return in_[u];
+  }
+
+  const std::string& Label(NodeId u) const {
+    DISLOCK_CHECK(ValidNode(u));
+    return labels_[u];
+  }
+  void SetLabel(NodeId u, std::string label) {
+    DISLOCK_CHECK(ValidNode(u));
+    labels_[u] = std::move(label);
+  }
+
+  bool ValidNode(NodeId u) const {
+    return u >= 0 && u < static_cast<int>(out_.size());
+  }
+
+  /// Graphviz-style dump for debugging and examples.
+  std::string ToDot(const std::string& graph_name = "G") const;
+
+ private:
+  std::vector<std::vector<NodeId>> out_;
+  std::vector<std::vector<NodeId>> in_;
+  std::vector<std::string> labels_;
+  int64_t num_arcs_ = 0;
+};
+
+}  // namespace dislock
+
+#endif  // DISLOCK_GRAPH_DIGRAPH_H_

@@ -1,0 +1,113 @@
+#include "graph/dominator.h"
+
+#include <algorithm>
+
+#include "graph/scc.h"
+
+namespace dislock {
+
+bool IsDominator(const Digraph& g, const std::vector<NodeId>& candidate) {
+  const int n = g.NumNodes();
+  if (candidate.empty() || static_cast<int>(candidate.size()) >= n) {
+    return false;
+  }
+  std::vector<bool> in_x(n, false);
+  for (NodeId v : candidate) {
+    if (!g.ValidNode(v) || in_x[v]) return false;  // invalid or duplicate
+    in_x[v] = true;
+  }
+  for (NodeId u = 0; u < n; ++u) {
+    if (in_x[u]) continue;
+    for (NodeId v : g.OutNeighbors(u)) {
+      if (in_x[v]) return false;  // incoming arc from V - X
+    }
+  }
+  return true;
+}
+
+Result<std::vector<NodeId>> FindDominator(const Digraph& g) {
+  if (g.NumNodes() < 2) {
+    return Status::NotFound("graph has < 2 nodes; no dominator");
+  }
+  SccResult scc = StronglyConnectedComponents(g);
+  if (scc.num_components == 1) {
+    return Status::NotFound("graph is strongly connected; no dominator");
+  }
+  Digraph cond = Condensation(g, scc);
+  for (int c = 0; c < scc.num_components; ++c) {
+    if (cond.InNeighbors(c).empty()) {
+      std::vector<NodeId> x = scc.members[c];
+      std::sort(x.begin(), x.end());
+      return x;
+    }
+  }
+  return Status::Internal("condensation DAG has no source component");
+}
+
+namespace {
+
+/// Recursively enumerates predecessor-closed SCC subsets. Components are
+/// processed in topological order of the condensation so that a component's
+/// predecessors are decided before it.
+void EnumerateClosedSets(const Digraph& cond,
+                         const std::vector<int>& topo_order,
+                         const SccResult& scc, size_t pos,
+                         std::vector<bool>* chosen, int num_chosen,
+                         int64_t max_count,
+                         std::vector<std::vector<NodeId>>* out) {
+  if (static_cast<int64_t>(out->size()) >= max_count) return;
+  if (pos == topo_order.size()) {
+    if (num_chosen == 0 || num_chosen == static_cast<int>(topo_order.size())) {
+      return;  // must be nonempty and proper
+    }
+    std::vector<NodeId> x;
+    for (int c = 0; c < static_cast<int>(chosen->size()); ++c) {
+      if ((*chosen)[c]) {
+        x.insert(x.end(), scc.members[c].begin(), scc.members[c].end());
+      }
+    }
+    std::sort(x.begin(), x.end());
+    out->push_back(std::move(x));
+    return;
+  }
+  int c = topo_order[pos];
+  // Option 1: exclude c.
+  EnumerateClosedSets(cond, topo_order, scc, pos + 1, chosen, num_chosen,
+                      max_count, out);
+  // Option 2: include c, allowed only if every predecessor is included.
+  bool can_include = true;
+  for (NodeId p : cond.InNeighbors(c)) {
+    if (!(*chosen)[p]) {
+      can_include = false;
+      break;
+    }
+  }
+  if (can_include) {
+    (*chosen)[c] = true;
+    EnumerateClosedSets(cond, topo_order, scc, pos + 1, chosen, num_chosen + 1,
+                        max_count, out);
+    (*chosen)[c] = false;
+  }
+}
+
+}  // namespace
+
+std::vector<std::vector<NodeId>> AllDominators(const Digraph& g,
+                                               int64_t max_count) {
+  std::vector<std::vector<NodeId>> out;
+  if (g.NumNodes() < 2 || max_count <= 0) return out;
+  SccResult scc = StronglyConnectedComponents(g);
+  if (scc.num_components == 1) return out;
+  Digraph cond = Condensation(g, scc);
+  // Tarjan numbers components in reverse topological order: arcs go from
+  // higher ids to lower ids. Topological order = descending component id.
+  std::vector<int> topo_order(scc.num_components);
+  for (int i = 0; i < scc.num_components; ++i) {
+    topo_order[i] = scc.num_components - 1 - i;
+  }
+  std::vector<bool> chosen(scc.num_components, false);
+  EnumerateClosedSets(cond, topo_order, scc, 0, &chosen, 0, max_count, &out);
+  return out;
+}
+
+}  // namespace dislock

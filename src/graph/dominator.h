@@ -1,0 +1,41 @@
+#ifndef DISLOCK_GRAPH_DOMINATOR_H_
+#define DISLOCK_GRAPH_DOMINATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/digraph.h"
+#include "util/status.h"
+
+namespace dislock {
+
+/// Dominators in the sense of Definition 2 of the paper: a *dominator* of a
+/// digraph D = (V, A) is a nonempty proper subset X of V with no incoming
+/// arcs from V - X. (Not the flow-graph "dominator tree" notion.)
+///
+/// A digraph has a dominator iff it is not strongly connected; dominators
+/// are exactly the nonempty proper unions of condensation SCCs that are
+/// closed under predecessors.
+
+/// True iff `candidate` (a set of node ids) is a dominator of `g`.
+bool IsDominator(const Digraph& g, const std::vector<NodeId>& candidate);
+
+/// Returns a minimal dominator (the members of one source SCC of the
+/// condensation), or NotFound if `g` is strongly connected (or has < 2
+/// nodes, in which case no proper nonempty subset qualifies as interesting).
+Result<std::vector<NodeId>> FindDominator(const Digraph& g);
+
+/// Enumerates all dominators of `g`, up to `max_count`. Dominators are
+/// in bijection with the nonempty proper predecessor-closed unions of SCCs
+/// (down-sets of the reversed condensation DAG); there can be exponentially
+/// many, so callers must bound `max_count`. Each dominator is returned as a
+/// sorted vector of node ids.
+///
+/// Used by the Theorem 3 machinery, where dominators of D(T1(F), T2(F))
+/// encode truth assignments (Fig. 8 of the paper).
+std::vector<std::vector<NodeId>> AllDominators(const Digraph& g,
+                                               int64_t max_count);
+
+}  // namespace dislock
+
+#endif  // DISLOCK_GRAPH_DOMINATOR_H_

@@ -1,0 +1,42 @@
+#include "graph/reachability.h"
+
+#include <deque>
+
+#include "graph/topological.h"
+
+namespace dislock {
+
+Reachability::Reachability(const Digraph& g) {
+  const int n = g.NumNodes();
+  rows_.assign(n, DynamicBitset(static_cast<size_t>(n)));
+  for (NodeId u = 0; u < n; ++u) rows_[u].Set(static_cast<size_t>(u));
+
+  auto topo = TopologicalSort(g);
+  if (topo.ok()) {
+    // Reverse topological sweep: a node's row is the union of its
+    // out-neighbors' rows.
+    const auto& order = topo.value();
+    for (auto it = order.rbegin(); it != order.rend(); ++it) {
+      NodeId u = *it;
+      for (NodeId v : g.OutNeighbors(u)) rows_[u].UnionWith(rows_[v]);
+    }
+    return;
+  }
+
+  // Cyclic fallback: BFS from every node.
+  for (NodeId s = 0; s < n; ++s) {
+    std::deque<NodeId> queue{s};
+    while (!queue.empty()) {
+      NodeId u = queue.front();
+      queue.pop_front();
+      for (NodeId v : g.OutNeighbors(u)) {
+        if (!rows_[s].Test(static_cast<size_t>(v))) {
+          rows_[s].Set(static_cast<size_t>(v));
+          queue.push_back(v);
+        }
+      }
+    }
+  }
+}
+
+}  // namespace dislock

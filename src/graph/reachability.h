@@ -1,0 +1,46 @@
+#ifndef DISLOCK_GRAPH_REACHABILITY_H_
+#define DISLOCK_GRAPH_REACHABILITY_H_
+
+#include <vector>
+
+#include "graph/digraph.h"
+#include "util/bitset.h"
+
+namespace dislock {
+
+/// Precomputed reachability (reflexive-transitive closure) of a digraph.
+///
+/// Transactions are partial orders given as DAGs; "Lx precedes Uy in T"
+/// (Definition 1, Lemmas 2-3) is a reachability query on the transaction's
+/// step DAG. The closure is stored as one bitset row per node, so building it
+/// costs O(V * E / 64) via a reverse-topological sweep on DAGs (and a
+/// per-node BFS fallback on cyclic graphs, used only in tests).
+class Reachability {
+ public:
+  /// Builds the closure of `g`.
+  explicit Reachability(const Digraph& g);
+
+  /// True iff there is a directed path from u to v (including u == v).
+  bool Reaches(NodeId u, NodeId v) const {
+    return rows_[u].Test(static_cast<size_t>(v));
+  }
+
+  /// True iff u strictly precedes v (path exists and u != v).
+  bool StrictlyReaches(NodeId u, NodeId v) const {
+    return u != v && Reaches(u, v);
+  }
+
+  /// True iff u and v are incomparable (neither reaches the other).
+  bool Concurrent(NodeId u, NodeId v) const {
+    return !Reaches(u, v) && !Reaches(v, u);
+  }
+
+  int NumNodes() const { return static_cast<int>(rows_.size()); }
+
+ private:
+  std::vector<DynamicBitset> rows_;
+};
+
+}  // namespace dislock
+
+#endif  // DISLOCK_GRAPH_REACHABILITY_H_

@@ -1,0 +1,141 @@
+#include "graph/topological.h"
+
+#include <algorithm>
+#include <deque>
+
+namespace dislock {
+
+Result<std::vector<NodeId>> TopologicalSort(const Digraph& g) {
+  const int n = g.NumNodes();
+  std::vector<int> indegree(n, 0);
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v : g.OutNeighbors(u)) ++indegree[v];
+  }
+  std::deque<NodeId> ready;
+  for (NodeId u = 0; u < n; ++u) {
+    if (indegree[u] == 0) ready.push_back(u);
+  }
+  std::vector<NodeId> order;
+  order.reserve(n);
+  while (!ready.empty()) {
+    NodeId u = ready.front();
+    ready.pop_front();
+    order.push_back(u);
+    for (NodeId v : g.OutNeighbors(u)) {
+      if (--indegree[v] == 0) ready.push_back(v);
+    }
+  }
+  if (static_cast<int>(order.size()) != n) {
+    return Status::InvalidArgument("graph has a cycle; no topological order");
+  }
+  return order;
+}
+
+Result<std::vector<NodeId>> PriorityTopologicalSort(
+    const Digraph& g, const NodePriority& before) {
+  const int n = g.NumNodes();
+  std::vector<int> indegree(n, 0);
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v : g.OutNeighbors(u)) ++indegree[v];
+  }
+  std::vector<bool> available(n, false);
+  std::vector<bool> emitted(n, false);
+  int num_available = 0;
+  for (NodeId u = 0; u < n; ++u) {
+    if (indegree[u] == 0) {
+      available[u] = true;
+      ++num_available;
+    }
+  }
+  std::vector<NodeId> order;
+  order.reserve(n);
+  while (num_available > 0) {
+    NodeId best = -1;
+    for (NodeId u = 0; u < n; ++u) {
+      if (!available[u] || emitted[u]) continue;
+      if (best == -1 || before(u, best)) best = u;
+    }
+    DISLOCK_CHECK_NE(best, -1);
+    emitted[best] = true;
+    available[best] = false;
+    --num_available;
+    order.push_back(best);
+    for (NodeId v : g.OutNeighbors(best)) {
+      if (--indegree[v] == 0) {
+        available[v] = true;
+        ++num_available;
+      }
+    }
+  }
+  if (static_cast<int>(order.size()) != n) {
+    return Status::InvalidArgument("graph has a cycle; no topological order");
+  }
+  return order;
+}
+
+bool IsAcyclic(const Digraph& g) { return TopologicalSort(g).ok(); }
+
+Result<std::vector<NodeId>> AncestorFirstTopologicalSort(
+    const Digraph& g, const std::vector<NodeId>& priority) {
+  if (!IsAcyclic(g)) {
+    return Status::InvalidArgument("graph has a cycle; no topological order");
+  }
+  const int n = g.NumNodes();
+  std::vector<bool> emitted(n, false);
+  std::vector<NodeId> order;
+  order.reserve(n);
+
+  // Emits every unemitted ancestor of `v` (smaller ids first), then `v`.
+  // Iterative DFS over predecessor arcs.
+  auto emit_with_ancestors = [&](NodeId target) {
+    struct Frame {
+      NodeId v;
+      size_t next_pred;
+      std::vector<NodeId> preds;  // sorted predecessors
+    };
+    std::vector<Frame> stack;
+    auto push = [&](NodeId v) {
+      std::vector<NodeId> preds = g.InNeighbors(v);
+      std::sort(preds.begin(), preds.end());
+      stack.push_back({v, 0, std::move(preds)});
+    };
+    if (emitted[target]) return;
+    push(target);
+    while (!stack.empty()) {
+      Frame& f = stack.back();
+      if (f.next_pred < f.preds.size()) {
+        NodeId p = f.preds[f.next_pred++];
+        if (!emitted[p]) push(p);
+      } else {
+        if (!emitted[f.v]) {
+          emitted[f.v] = true;
+          order.push_back(f.v);
+        }
+        stack.pop_back();
+      }
+    }
+  };
+
+  for (NodeId v : priority) {
+    DISLOCK_CHECK(g.ValidNode(v));
+    emit_with_ancestors(v);
+  }
+  // Remaining nodes in Kahn order by id (their ancestors may still be
+  // pending, so pull ancestors for each in id order).
+  for (NodeId v = 0; v < n; ++v) {
+    emit_with_ancestors(v);
+  }
+  DISLOCK_CHECK_EQ(static_cast<int>(order.size()), n);
+  return order;
+}
+
+Digraph ReverseOf(const Digraph& g) {
+  Digraph rev(g.NumNodes());
+  for (NodeId u = 0; u < g.NumNodes(); ++u) {
+    rev.SetLabel(u, g.Label(u));
+    for (NodeId v : g.OutNeighbors(u)) rev.AddArc(v, u);
+  }
+  return rev;
+}
+
+}  // namespace dislock

@@ -1,0 +1,54 @@
+#ifndef DISLOCK_GRAPH_TOPOLOGICAL_H_
+#define DISLOCK_GRAPH_TOPOLOGICAL_H_
+
+#include <functional>
+#include <vector>
+
+#include "graph/digraph.h"
+#include "util/status.h"
+
+namespace dislock {
+
+/// Returns some topological order of `g`, or InvalidArgument if `g` has a
+/// cycle.
+Result<std::vector<NodeId>> TopologicalSort(const Digraph& g);
+
+/// Priority comparator for PriorityTopologicalSort: returns true when `a`
+/// should be emitted before `b` whenever both are simultaneously available.
+using NodePriority = std::function<bool(NodeId a, NodeId b)>;
+
+/// Kahn's algorithm, always emitting the highest-priority available node.
+///
+/// This implements the "topologically sort giving priority to ..." steps of
+/// the Theorem 2 certificate construction (place Ux, x in X, as early as
+/// possible in t1; place Lx as late as possible in t2, breaking ties by t1's
+/// Ux order). Runs in O(V^2) with a linear scan for the best available node,
+/// which is fine at transaction sizes (the overall test is O(n^2) anyway).
+///
+/// Returns InvalidArgument if `g` has a cycle.
+Result<std::vector<NodeId>> PriorityTopologicalSort(const Digraph& g,
+                                                    const NodePriority& before);
+
+/// True iff `g` is acyclic.
+bool IsAcyclic(const Digraph& g);
+
+/// Topological sort that places each node of `priority` (in the given
+/// relative order) as early as possible: for each priority node, its
+/// not-yet-emitted ancestors are emitted first (in a DFS over predecessor
+/// arcs, smaller node ids first), then the node itself; all remaining nodes
+/// follow in Kahn order (smaller ids first).
+///
+/// This is the "topologically sort giving priority to ... (examining these
+/// steps first in our depth-first search)" of the Theorem 2 proof: a
+/// priority node is preceded by exactly its ancestors and earlier priority
+/// nodes (plus their ancestors). Returns InvalidArgument on a cyclic graph.
+Result<std::vector<NodeId>> AncestorFirstTopologicalSort(
+    const Digraph& g, const std::vector<NodeId>& priority);
+
+/// The graph with every arc reversed (used to run "as late as possible"
+/// sorts as "as early as possible" sorts on the reverse).
+Digraph ReverseOf(const Digraph& g);
+
+}  // namespace dislock
+
+#endif  // DISLOCK_GRAPH_TOPOLOGICAL_H_

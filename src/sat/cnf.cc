@@ -1,0 +1,143 @@
+#include "sat/cnf.h"
+
+#include <sstream>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace dislock {
+
+int Cnf::PositiveOccurrences(int var) const {
+  int n = 0;
+  for (const Clause& c : clauses) {
+    for (const Literal& l : c) {
+      if (l.var == var && !l.negated) ++n;
+    }
+  }
+  return n;
+}
+
+int Cnf::NegativeOccurrences(int var) const {
+  int n = 0;
+  for (const Clause& c : clauses) {
+    for (const Literal& l : c) {
+      if (l.var == var && l.negated) ++n;
+    }
+  }
+  return n;
+}
+
+bool Cnf::IsRestrictedForm(int max_len) const {
+  for (const Clause& c : clauses) {
+    if (static_cast<int>(c.size()) > max_len) return false;
+  }
+  for (int v = 1; v <= num_vars; ++v) {
+    if (PositiveOccurrences(v) > 2 || NegativeOccurrences(v) > 1) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool Cnf::IsSatisfiedBy(const std::vector<bool>& assignment) const {
+  DISLOCK_CHECK_GE(static_cast<int>(assignment.size()), num_vars + 1);
+  for (const Clause& c : clauses) {
+    bool sat = false;
+    for (const Literal& l : c) {
+      if (assignment[l.var] != l.negated) {
+        sat = true;
+        break;
+      }
+    }
+    if (!sat) return false;
+  }
+  return true;
+}
+
+std::string Cnf::ToString() const {
+  std::ostringstream out;
+  for (size_t i = 0; i < clauses.size(); ++i) {
+    if (i > 0) out << " ^ ";
+    out << "(";
+    for (size_t j = 0; j < clauses[i].size(); ++j) {
+      if (j > 0) out << " v ";
+      if (clauses[i][j].negated) out << "~";
+      out << "x" << clauses[i][j].var;
+    }
+    out << ")";
+  }
+  return out.str();
+}
+
+std::string Cnf::ToDimacs() const {
+  std::ostringstream out;
+  out << "p cnf " << num_vars << " " << clauses.size() << "\n";
+  for (const Clause& c : clauses) {
+    for (const Literal& l : c) out << l.Encoded() << " ";
+    out << "0\n";
+  }
+  return out.str();
+}
+
+Result<Cnf> ParseDimacs(const std::string& text) {
+  Cnf cnf;
+  bool saw_header = false;
+  int expected_clauses = -1;
+  Clause current;
+  for (const std::string& raw_line : Split(text, '\n')) {
+    std::string line = Trim(raw_line);
+    if (line.empty() || line[0] == 'c') continue;
+    if (line[0] == 'p') {
+      std::istringstream in(line);
+      std::string p, fmt;
+      in >> p >> fmt >> cnf.num_vars >> expected_clauses;
+      if (fmt != "cnf" || in.fail()) {
+        return Status::InvalidArgument("malformed DIMACS header: " + line);
+      }
+      saw_header = true;
+      continue;
+    }
+    if (!saw_header) {
+      return Status::InvalidArgument("clause before DIMACS header");
+    }
+    std::istringstream in(line);
+    int code;
+    while (in >> code) {
+      if (code == 0) {
+        cnf.clauses.push_back(current);
+        current.clear();
+      } else {
+        if (code > cnf.num_vars || code < -cnf.num_vars) {
+          return Status::InvalidArgument(
+              StrCat("literal ", code, " out of range"));
+        }
+        current.push_back(Literal::FromEncoded(code));
+      }
+    }
+  }
+  if (!current.empty()) cnf.clauses.push_back(current);
+  if (!saw_header) return Status::InvalidArgument("missing DIMACS header");
+  if (expected_clauses >= 0 &&
+      static_cast<int>(cnf.clauses.size()) != expected_clauses) {
+    return Status::InvalidArgument(
+        StrCat("header promises ", expected_clauses, " clauses, found ",
+               cnf.clauses.size()));
+  }
+  return cnf;
+}
+
+Cnf MakeCnf(int num_vars, const std::vector<std::vector<int>>& clauses) {
+  Cnf cnf;
+  cnf.num_vars = num_vars;
+  for (const auto& c : clauses) {
+    Clause clause;
+    for (int code : c) {
+      DISLOCK_CHECK(code != 0 && code <= num_vars && code >= -num_vars);
+      clause.push_back(Literal::FromEncoded(code));
+    }
+    cnf.clauses.push_back(std::move(clause));
+  }
+  return cnf;
+}
+
+}  // namespace dislock

@@ -1,0 +1,63 @@
+#ifndef DISLOCK_SAT_CNF_H_
+#define DISLOCK_SAT_CNF_H_
+
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace dislock {
+
+/// A propositional literal: variable index (1-based) with a sign.
+/// Encoded DIMACS-style as a nonzero int: +v or -v.
+struct Literal {
+  int var = 0;      ///< 1-based variable index
+  bool negated = false;
+
+  /// DIMACS integer encoding.
+  int Encoded() const { return negated ? -var : var; }
+  static Literal FromEncoded(int code) {
+    return {code < 0 ? -code : code, code < 0};
+  }
+  Literal Negated() const { return {var, !negated}; }
+  bool operator==(const Literal&) const = default;
+};
+
+/// A clause: a disjunction of literals.
+using Clause = std::vector<Literal>;
+
+/// A CNF formula.
+struct Cnf {
+  int num_vars = 0;
+  std::vector<Clause> clauses;
+
+  /// Occurrence counts of variable v (1-based).
+  int PositiveOccurrences(int var) const;
+  int NegativeOccurrences(int var) const;
+
+  /// True iff every clause has <= `max_len` literals, every variable occurs
+  /// at most twice unnegated and at most once negated — the restricted SAT
+  /// variant Theorem 3 reduces from.
+  bool IsRestrictedForm(int max_len = 3) const;
+
+  /// True iff `assignment` (index 0 unused; [1..num_vars]) satisfies every
+  /// clause.
+  bool IsSatisfiedBy(const std::vector<bool>& assignment) const;
+
+  /// "(x1 v ~x2 v x3) ^ (...)" rendering.
+  std::string ToString() const;
+
+  /// DIMACS "p cnf" serialization.
+  std::string ToDimacs() const;
+};
+
+/// Parses a DIMACS CNF file body. Comment lines ("c ...") are ignored.
+Result<Cnf> ParseDimacs(const std::string& text);
+
+/// Convenience constructor from DIMACS-encoded clause lists, e.g.
+/// MakeCnf(3, {{1, 2, 3}, {-1, 2, -3}}).
+Cnf MakeCnf(int num_vars, const std::vector<std::vector<int>>& clauses);
+
+}  // namespace dislock
+
+#endif  // DISLOCK_SAT_CNF_H_

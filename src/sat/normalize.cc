@@ -1,0 +1,205 @@
+#include "sat/normalize.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "util/logging.h"
+
+namespace dislock {
+
+std::vector<bool> RestrictedCnf::LiftModel(
+    const std::vector<bool>& model) const {
+  std::vector<bool> out(original_num_vars + 1, false);
+  for (const auto& [var, value] : forced) out[var] = value;
+  for (int v = 1; v <= original_num_vars; ++v) {
+    if (image[v] == 0) continue;
+    Literal l = Literal::FromEncoded(image[v]);
+    DISLOCK_CHECK_LT(static_cast<size_t>(l.var), model.size());
+    out[v] = model[l.var] != l.negated;
+  }
+  return out;
+}
+
+namespace {
+
+/// Removes tautologies and duplicate literals.
+std::vector<Clause> CleanClauses(const std::vector<Clause>& clauses) {
+  std::vector<Clause> out;
+  for (const Clause& c : clauses) {
+    std::set<int> codes;
+    bool tautology = false;
+    Clause cleaned;
+    for (const Literal& l : c) {
+      if (codes.count(-l.Encoded()) > 0) {
+        tautology = true;
+        break;
+      }
+      if (codes.insert(l.Encoded()).second) cleaned.push_back(l);
+    }
+    if (!tautology) out.push_back(std::move(cleaned));
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<RestrictedCnf> NormalizeToRestricted(const Cnf& input) {
+  RestrictedCnf result;
+  result.original_num_vars = input.num_vars;
+  result.image.assign(input.num_vars + 1, 0);
+
+  // --- Step 1+2: clean, then unit-propagate until no unit clauses remain.
+  std::vector<Clause> clauses = CleanClauses(input.clauses);
+  std::vector<int8_t> fixed(input.num_vars + 1, -1);  // -1 unset, 0/1 value
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const Clause& c : clauses) {
+      // Evaluate under `fixed`.
+      int unset = 0;
+      Literal unit{};
+      bool satisfied = false;
+      for (const Literal& l : c) {
+        if (fixed[l.var] == -1) {
+          ++unset;
+          unit = l;
+        } else if ((fixed[l.var] == 1) != l.negated) {
+          satisfied = true;
+          break;
+        }
+      }
+      if (satisfied) continue;
+      if (unset == 0) {
+        result.trivially_unsat = true;
+        return result;
+      }
+      if (unset == 1) {
+        fixed[unit.var] = unit.negated ? 0 : 1;
+        changed = true;
+      }
+    }
+  }
+  for (int v = 1; v <= input.num_vars; ++v) {
+    if (fixed[v] != -1) result.forced.emplace_back(v, fixed[v] == 1);
+  }
+  // Simplify: drop satisfied clauses and false literals.
+  {
+    std::vector<Clause> simplified;
+    for (const Clause& c : clauses) {
+      Clause kept;
+      bool satisfied = false;
+      for (const Literal& l : c) {
+        if (fixed[l.var] == -1) {
+          kept.push_back(l);
+        } else if ((fixed[l.var] == 1) != l.negated) {
+          satisfied = true;
+          break;
+        }
+      }
+      if (!satisfied) {
+        DISLOCK_CHECK_GE(kept.size(), 2u);  // units were propagated away
+        simplified.push_back(std::move(kept));
+      }
+    }
+    clauses = std::move(simplified);
+  }
+  if (clauses.empty()) {
+    result.trivially_sat = true;
+    return result;
+  }
+
+  // --- Renumber the surviving original variables into a dense space.
+  int next_var = 0;
+  std::map<int, int> dense;  // original var -> dense var
+  for (const Clause& c : clauses) {
+    for (const Literal& l : c) {
+      if (dense.emplace(l.var, next_var + 1).second) ++next_var;
+    }
+  }
+  std::vector<int> dense_to_original(next_var + 1, 0);
+  for (const auto& [orig, d] : dense) dense_to_original[d] = orig;
+  for (Clause& c : clauses) {
+    for (Literal& l : c) l.var = dense.at(l.var);
+  }
+
+  // --- Step 3: split clauses longer than 3.
+  std::vector<Clause> split;
+  for (Clause c : clauses) {
+    while (c.size() > 3) {
+      int s = ++next_var;  // fresh chaining variable
+      Clause head = {c[0], c[1], Literal{s, false}};
+      split.push_back(head);
+      Clause rest = {Literal{s, true}};
+      rest.insert(rest.end(), c.begin() + 2, c.end());
+      c = std::move(rest);
+    }
+    split.push_back(std::move(c));
+  }
+  clauses = std::move(split);
+
+  // --- Step 4: occurrence budgeting via copy cycles with per-copy flips.
+  // Collect occurrences per variable.
+  std::map<int, std::vector<std::pair<int, int>>> occurrences;
+  for (int ci = 0; ci < static_cast<int>(clauses.size()); ++ci) {
+    for (int li = 0; li < static_cast<int>(clauses[ci].size()); ++li) {
+      occurrences[clauses[ci][li].var].push_back({ci, li});
+    }
+  }
+  std::vector<Clause> cycle_clauses;
+  // representative[dense var] = encoded literal equal to the var's value.
+  std::map<int, int> representative;
+  for (const auto& [var, occs] : occurrences) {
+    int pos = 0;
+    int neg = 0;
+    for (const auto& [ci, li] : occs) {
+      if (clauses[ci][li].negated) {
+        ++neg;
+      } else {
+        ++pos;
+      }
+    }
+    if (pos <= 2 && neg <= 1) {
+      representative[var] = var;
+      continue;
+    }
+    const int k = static_cast<int>(occs.size());
+    DISLOCK_CHECK_GE(k, 2);
+    // Copies c_0..c_{k-1}; copy i is flipped iff occurrence i is negative.
+    std::vector<int> copy(k);
+    std::vector<bool> flip(k);
+    for (int i = 0; i < k; ++i) {
+      copy[i] = ++next_var;
+      flip[i] = clauses[occs[i].first][occs[i].second].negated;
+    }
+    representative[var] = flip[0] ? -copy[0] : copy[0];
+    // Rewrite occurrence i to its copy: a positive occurrence stays
+    // positive on an unflipped copy; a negative occurrence becomes a
+    // positive literal of the flipped copy.
+    for (int i = 0; i < k; ++i) {
+      clauses[occs[i].first][occs[i].second] = Literal{copy[i], false};
+    }
+    // Equality cycle (~c_i v c_{i+1}), with each literal flipped per its
+    // copy's flip bit.
+    for (int i = 0; i < k; ++i) {
+      int j = (i + 1) % k;
+      Clause link = {Literal{copy[i], !flip[i]},
+                     Literal{copy[j], flip[j]}};
+      // Literal semantics: the link clause encodes v_i -> v_{i+1} on the
+      // underlying original value, i.e. (~value_i v value_{i+1}) where
+      // value_i = copy_i XOR flip_i.
+      cycle_clauses.push_back(std::move(link));
+    }
+  }
+  clauses.insert(clauses.end(), cycle_clauses.begin(), cycle_clauses.end());
+
+  result.cnf.num_vars = next_var;
+  result.cnf.clauses = std::move(clauses);
+  for (const auto& [orig, d] : dense) {
+    auto it = representative.find(d);
+    if (it != representative.end()) result.image[orig] = it->second;
+  }
+  return result;
+}
+
+}  // namespace dislock

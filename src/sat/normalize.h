@@ -1,0 +1,49 @@
+#ifndef DISLOCK_SAT_NORMALIZE_H_
+#define DISLOCK_SAT_NORMALIZE_H_
+
+#include <utility>
+#include <vector>
+
+#include "sat/cnf.h"
+#include "util/status.h"
+
+namespace dislock {
+
+/// A CNF in the restricted form Theorem 3 reduces from — every clause has
+/// 2 or 3 literals, every variable occurs at most twice unnegated and at
+/// most once negated — together with the bookkeeping to map models back to
+/// the original formula.
+struct RestrictedCnf {
+  Cnf cnf;
+  /// Set when preprocessing already decided the formula (the restricted
+  /// `cnf` is then empty).
+  bool trivially_sat = false;
+  bool trivially_unsat = false;
+  /// Values forced by unit propagation, as (original var, value).
+  std::vector<std::pair<int, bool>> forced;
+  int original_num_vars = 0;
+  /// image[v] (v in [1, original_num_vars]): a DIMACS-encoded literal of
+  /// the new formula whose truth value equals original variable v, or 0 if
+  /// v was eliminated (forced or unconstrained).
+  std::vector<int> image;
+
+  /// Translates a model of `cnf` into a model of the original formula.
+  std::vector<bool> LiftModel(const std::vector<bool>& model) const;
+};
+
+/// Normalizes an arbitrary CNF into restricted form, preserving
+/// satisfiability (and mapping models back via LiftModel):
+///   1. drop tautologies and duplicate literals;
+///   2. eliminate unit clauses by propagation (the reduction's gadgets need
+///      clauses of length >= 2);
+///   3. split clauses longer than 3 with fresh chaining variables;
+///   4. for each variable exceeding the (<= 2 positive, <= 1 negative)
+///      occurrence budget, introduce one copy per occurrence tied together
+///      by an implication cycle (~v1 v v2)(~v2 v v3)...(~vk v v1); copies
+///      hosting a negative occurrence are then flipped (substituted by
+///      their own negation) so every copy lands on budget exactly.
+Result<RestrictedCnf> NormalizeToRestricted(const Cnf& input);
+
+}  // namespace dislock
+
+#endif  // DISLOCK_SAT_NORMALIZE_H_

@@ -1,0 +1,254 @@
+#include "sat/reduction.h"
+
+#include <algorithm>
+#include <set>
+
+#include "util/string_util.h"
+
+namespace dislock {
+
+namespace {
+
+/// Builds the two skeleton transactions from the arc list of D: for each
+/// arc (x, y), Lx precedes Uy in T1 and Ly precedes Ux in T2 (plus the
+/// lock-before-unlock pairs). All precedences run lock -> unlock, so the
+/// orders are bipartite DAGs and D(T1,T2) realizes exactly the given arcs.
+struct TxnPair {
+  Transaction t1;
+  Transaction t2;
+  std::vector<StepId> l1, u1, l2, u2;  // per-entity step ids
+};
+
+TxnPair MakeSkeletons(const DistributedDatabase* db) {
+  TxnPair pair{Transaction(db, "T1(F)"), Transaction(db, "T2(F)"), {}, {},
+               {}, {}};
+  const int n = db->NumEntities();
+  pair.l1.resize(n);
+  pair.u1.resize(n);
+  pair.l2.resize(n);
+  pair.u2.resize(n);
+  for (EntityId e = 0; e < n; ++e) {
+    pair.l1[e] = pair.t1.AddStep(StepKind::kLock, e);
+    pair.u1[e] = pair.t1.AddStep(StepKind::kUnlock, e);
+    pair.t1.AddPrecedence(pair.l1[e], pair.u1[e]);
+    pair.l2[e] = pair.t2.AddStep(StepKind::kLock, e);
+    pair.u2[e] = pair.t2.AddStep(StepKind::kUnlock, e);
+    pair.t2.AddPrecedence(pair.l2[e], pair.u2[e]);
+  }
+  return pair;
+}
+
+}  // namespace
+
+Result<ReductionOutput> ReduceCnfToTransactions(const Cnf& formula) {
+  // ---- Preconditions.
+  if (formula.clauses.empty() || formula.num_vars <= 0) {
+    return Status::InvalidArgument("formula must have clauses and variables");
+  }
+  if (!formula.IsRestrictedForm()) {
+    return Status::InvalidArgument(
+        "formula is not in restricted form (<= 3 literals per clause, each "
+        "variable <= 2 unnegated + <= 1 negated); run NormalizeToRestricted");
+  }
+  for (const Clause& c : formula.clauses) {
+    if (c.size() < 2) {
+      return Status::InvalidArgument(
+          "clauses must have 2 or 3 literals (unit-propagate first)");
+    }
+    std::set<int> vars;
+    for (const Literal& l : c) {
+      if (!vars.insert(l.var).second) {
+        return Status::InvalidArgument(
+            "clauses must not repeat a variable");
+      }
+    }
+  }
+
+  ReductionOutput out;
+  out.formula = formula;
+  const int m = formula.num_vars;
+  const int num_clauses = static_cast<int>(formula.clauses.size());
+
+  // ---- Name every entity; each lives on its own site.
+  std::vector<std::string> names;
+  auto reserve = [&names](std::string name) {
+    names.push_back(std::move(name));
+    return static_cast<EntityId>(names.size() - 1);
+  };
+
+  // Upper cycle: u, dummy, c_11, dummy, c_12, dummy, ..., dummy (wraps to u).
+  out.u = reserve("u");
+  out.upper_cycle.push_back(out.u);
+  int dummy_count = 0;
+  out.clause_nodes.resize(num_clauses);
+  for (int i = 0; i < num_clauses; ++i) {
+    for (int j = 0; j < static_cast<int>(formula.clauses[i].size()); ++j) {
+      out.upper_cycle.push_back(reserve(StrCat("du", dummy_count++)));
+      EntityId c = reserve(StrCat("c", i + 1, "_", j + 1));
+      out.clause_nodes[i].push_back(c);
+      out.upper_cycle.push_back(c);
+    }
+  }
+  out.upper_cycle.push_back(reserve(StrCat("du", dummy_count++)));
+
+  // Middle row: per variable, w-copies (one per unnegated occurrence) and
+  // w' when a negated occurrence exists.
+  out.w_nodes.resize(m);
+  out.wneg_nodes.assign(m, kInvalidEntity);
+  for (int k = 1; k <= m; ++k) {
+    int pos = formula.PositiveOccurrences(k);
+    int neg = formula.NegativeOccurrences(k);
+    if (pos == 1) {
+      out.w_nodes[k - 1] = {reserve(StrCat("w", k))};
+    } else if (pos == 2) {
+      out.w_nodes[k - 1] = {reserve(StrCat("w", k, "a")),
+                            reserve(StrCat("w", k, "b"))};
+    }
+    if (neg == 1) out.wneg_nodes[k - 1] = reserve(StrCat("wn", k));
+  }
+
+  // Lower cycle: v, dummy, z_1, dummy, z'_1, dummy, ..., dummy (wraps).
+  out.v = reserve("v");
+  out.lower_cycle.push_back(out.v);
+  out.z_nodes.resize(m);
+  out.zneg_nodes.resize(m);
+  for (int k = 1; k <= m; ++k) {
+    out.lower_cycle.push_back(reserve(StrCat("dl", 2 * k - 2)));
+    out.z_nodes[k - 1] = reserve(StrCat("z", k));
+    out.lower_cycle.push_back(out.z_nodes[k - 1]);
+    out.lower_cycle.push_back(reserve(StrCat("dl", 2 * k - 1)));
+    out.zneg_nodes[k - 1] = reserve(StrCat("zn", k));
+    out.lower_cycle.push_back(out.zneg_nodes[k - 1]);
+  }
+  out.lower_cycle.push_back(reserve(StrCat("dl", 2 * m)));
+
+  // ---- Database: one site per entity.
+  out.db = std::make_shared<DistributedDatabase>(
+      static_cast<int>(names.size()));
+  for (size_t e = 0; e < names.size(); ++e) {
+    out.db->MustAddEntity(names[e], static_cast<SiteId>(e));
+  }
+
+  // ---- The arcs of D.
+  std::vector<std::pair<EntityId, EntityId>> arcs;
+  auto cycle_arcs = [&arcs](const std::vector<EntityId>& cycle) {
+    for (size_t i = 0; i < cycle.size(); ++i) {
+      arcs.emplace_back(cycle[i], cycle[(i + 1) % cycle.size()]);
+    }
+  };
+  cycle_arcs(out.upper_cycle);
+  cycle_arcs(out.lower_cycle);
+  for (int k = 0; k < m; ++k) {
+    if (!out.w_nodes[k].empty()) {
+      arcs.emplace_back(out.u, out.w_nodes[k][0]);
+      arcs.emplace_back(out.w_nodes[k][0], out.v);
+      if (out.w_nodes[k].size() == 2) {
+        arcs.emplace_back(out.w_nodes[k][0], out.w_nodes[k][1]);
+        arcs.emplace_back(out.w_nodes[k][1], out.w_nodes[k][0]);
+      }
+    }
+    if (out.wneg_nodes[k] != kInvalidEntity) {
+      arcs.emplace_back(out.u, out.wneg_nodes[k]);
+      arcs.emplace_back(out.wneg_nodes[k], out.v);
+    }
+  }
+
+  // ---- Skeleton transactions realizing D.
+  TxnPair pair = MakeSkeletons(out.db.get());
+  for (const auto& [x, y] : arcs) {
+    pair.t1.AddPrecedence(pair.l1[x], pair.u1[y]);
+    pair.t2.AddPrecedence(pair.l2[y], pair.u2[x]);
+  }
+
+  // ---- Completion gadgets.
+  // (a) Lz_k <1 Uw_k, Lz'_k <1 Uw'_k; Lw_k <2 Uz'_k, Lw'_k <2 Uz_k.
+  for (int k = 0; k < m; ++k) {
+    EntityId z = out.z_nodes[k];
+    EntityId zn = out.zneg_nodes[k];
+    if (!out.w_nodes[k].empty()) {
+      EntityId w = out.w_nodes[k][0];
+      pair.t1.AddPrecedence(pair.l1[z], pair.u1[w]);
+      pair.t2.AddPrecedence(pair.l2[w], pair.u2[zn]);
+    }
+    if (out.wneg_nodes[k] != kInvalidEntity) {
+      EntityId wn = out.wneg_nodes[k];
+      pair.t1.AddPrecedence(pair.l1[zn], pair.u1[wn]);
+      pair.t2.AddPrecedence(pair.l2[wn], pair.u2[z]);
+    }
+  }
+  // (b)/(c): per literal occurrence, with a distinct w-copy per unnegated
+  // occurrence and the cyclic-successor clause node on the T2 side.
+  {
+    std::vector<int> next_pos_copy(m, 0);
+    for (int i = 0; i < num_clauses; ++i) {
+      const Clause& clause = formula.clauses[i];
+      const int len = static_cast<int>(clause.size());
+      for (int j = 0; j < len; ++j) {
+        const Literal& lit = clause[j];
+        EntityId w;
+        if (lit.negated) {
+          w = out.wneg_nodes[lit.var - 1];
+        } else {
+          w = out.w_nodes[lit.var - 1][next_pos_copy[lit.var - 1]++];
+        }
+        DISLOCK_CHECK_NE(w, kInvalidEntity);
+        EntityId c = out.clause_nodes[i][j];
+        EntityId c_succ = out.clause_nodes[i][(j + 1) % len];
+        pair.t1.AddPrecedence(pair.l1[w], pair.u1[c]);
+        pair.t2.AddPrecedence(pair.l2[c_succ], pair.u2[w]);
+      }
+    }
+  }
+
+  out.system = std::make_shared<TransactionSystem>(out.db.get());
+  out.system->Add(std::move(pair.t1));
+  out.system->Add(std::move(pair.t2));
+  return out;
+}
+
+std::vector<EntityId> AssignmentToDominator(
+    const ReductionOutput& reduction, const std::vector<bool>& assignment) {
+  std::vector<EntityId> dom = reduction.upper_cycle;
+  for (int k = 0; k < reduction.formula.num_vars; ++k) {
+    if (k + 1 < static_cast<int>(assignment.size()) && assignment[k + 1]) {
+      for (EntityId w : reduction.w_nodes[k]) dom.push_back(w);
+    } else if (reduction.wneg_nodes[k] != kInvalidEntity) {
+      dom.push_back(reduction.wneg_nodes[k]);
+    }
+  }
+  std::sort(dom.begin(), dom.end());
+  return dom;
+}
+
+Result<std::vector<bool>> DominatorToAssignment(
+    const ReductionOutput& reduction,
+    const std::vector<EntityId>& dominator) {
+  std::set<EntityId> dom(dominator.begin(), dominator.end());
+  for (EntityId e : reduction.upper_cycle) {
+    if (dom.count(e) == 0) {
+      return Status::InvalidArgument(
+          "dominator does not contain the whole upper cycle");
+    }
+  }
+  for (EntityId e : reduction.lower_cycle) {
+    if (dom.count(e) > 0) {
+      return Status::InvalidArgument(
+          "dominator contains a lower-cycle node");
+    }
+  }
+  std::vector<bool> assignment(reduction.formula.num_vars + 1, false);
+  for (int k = 0; k < reduction.formula.num_vars; ++k) {
+    bool pos = false;
+    for (EntityId w : reduction.w_nodes[k]) pos = pos || dom.count(w) > 0;
+    bool neg = reduction.wneg_nodes[k] != kInvalidEntity &&
+               dom.count(reduction.wneg_nodes[k]) > 0;
+    if (pos && neg) {
+      return Status::InvalidArgument(StrCat(
+          "undesirable dominator: contains both w", k + 1, " and w'", k + 1));
+    }
+    assignment[k + 1] = pos;
+  }
+  return assignment;
+}
+
+}  // namespace dislock

@@ -1,0 +1,81 @@
+#ifndef DISLOCK_SAT_REDUCTION_H_
+#define DISLOCK_SAT_REDUCTION_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sat/cnf.h"
+#include "txn/system.h"
+#include "util/status.h"
+
+namespace dislock {
+
+/// The Theorem 3 reduction: a restricted CNF formula F becomes a pair of
+/// transactions {T1(F), T2(F)}, every entity on its own site, such that the
+/// pair is UNSAFE iff F is satisfiable.
+///
+/// Structure of the conflict digraph D = D(T1(F), T2(F)) (Section 5):
+///  (1) an upper directed cycle through u and one node c_ij per literal
+///      occurrence (dummies between named nodes);
+///  (2) a middle row: per variable k a node w_k (two mutually connected
+///      copies when the variable occurs twice unnegated) and a node w'_k
+///      for its negation, each a direct descendant of u;
+///  (3) a lower directed cycle through v and nodes z_k, z'_k (dummies
+///      between named nodes), with v a direct descendant of the middle row.
+/// The transactions realize exactly these arcs (Definition 1), then the
+/// completion adds the gadget precedences:
+///  (a) Lz_k <1 Uw_k, Lz'_k <1 Uw'_k and Lw_k <2 Uz'_k, Lw'_k <2 Uz_k;
+///  (b) if variable x_k is the j-th literal of clause i: Lw_k <1 Uc_ij and
+///      Lc_{i,succ(j)} <2 Uw_k, using a distinct copy of w_k per
+///      occurrence (succ = cyclic successor within the clause);
+///  (c) as (b) with w'_k for negated literals.
+/// Dominators of D = the upper cycle plus any subset of middle components,
+/// i.e. truth assignments; the gadgets make a dominator's closure succeed
+/// iff its assignment satisfies F.
+struct ReductionOutput {
+  std::shared_ptr<DistributedDatabase> db;
+  std::shared_ptr<TransactionSystem> system;  ///< {T1(F), T2(F)}
+
+  /// The formula that was encoded.
+  Cnf formula;
+
+  // Entity bookkeeping (ids into `db`).
+  EntityId u = kInvalidEntity;
+  EntityId v = kInvalidEntity;
+  /// clause_nodes[i][j] = c_ij.
+  std::vector<std::vector<EntityId>> clause_nodes;
+  /// w_nodes[k] = copies of w_{k+1} (1 or 2 entries); empty if variable
+  /// k+1 never occurs unnegated.
+  std::vector<std::vector<EntityId>> w_nodes;
+  /// wneg_nodes[k] = w'_{k+1}, or kInvalidEntity if never negated.
+  std::vector<EntityId> wneg_nodes;
+  /// z_nodes[k] = z_{k+1}; zneg_nodes[k] = z'_{k+1}.
+  std::vector<EntityId> z_nodes;
+  std::vector<EntityId> zneg_nodes;
+  /// All upper-cycle entities in cycle order (u first), incl. dummies.
+  std::vector<EntityId> upper_cycle;
+  /// All lower-cycle entities in cycle order (v first), incl. dummies.
+  std::vector<EntityId> lower_cycle;
+};
+
+/// Builds {T1(F), T2(F)}. `formula` must be in restricted form (checked):
+/// clauses of 2 or 3 literals, each variable at most twice unnegated and at
+/// most once negated.
+Result<ReductionOutput> ReduceCnfToTransactions(const Cnf& formula);
+
+/// Converts a truth assignment (assignment[v] for v in [1, num_vars]) to
+/// the corresponding dominator of D: the upper cycle plus, per variable,
+/// its w-copies when true or w' when false (only nodes that exist).
+std::vector<EntityId> AssignmentToDominator(
+    const ReductionOutput& reduction, const std::vector<bool>& assignment);
+
+/// Reads a dominator back as an assignment. Fails with InvalidArgument if
+/// the dominator is "undesirable": missing the upper cycle, containing both
+/// w_k and w'_k, or containing a lower-cycle node.
+Result<std::vector<bool>> DominatorToAssignment(
+    const ReductionOutput& reduction, const std::vector<EntityId>& dominator);
+
+}  // namespace dislock
+
+#endif  // DISLOCK_SAT_REDUCTION_H_

@@ -1,0 +1,145 @@
+#include "sat/solver.h"
+
+namespace dislock {
+
+namespace {
+
+enum : int8_t { kUnset = 0, kTrue = 1, kFalse = 2 };
+
+/// Small recursive DPLL engine over a scan-based clause view.
+class Dpll {
+ public:
+  Dpll(const Cnf& cnf, int64_t max_decisions)
+      : cnf_(cnf),
+        assign_(cnf.num_vars + 1, kUnset),
+        max_decisions_(max_decisions) {}
+
+  Result<SatResult> Run() {
+    SatResult result;
+    bool sat = Search(&result);
+    if (exhausted_) {
+      return Status::ResourceExhausted("DPLL decision budget exhausted");
+    }
+    result.satisfiable = sat;
+    if (sat) {
+      result.assignment.assign(cnf_.num_vars + 1, false);
+      for (int v = 1; v <= cnf_.num_vars; ++v) {
+        result.assignment[v] = assign_[v] == kTrue;
+      }
+    }
+    return result;
+  }
+
+ private:
+  bool LiteralTrue(const Literal& l) const {
+    return assign_[l.var] == (l.negated ? kFalse : kTrue);
+  }
+  bool LiteralFalse(const Literal& l) const {
+    return assign_[l.var] == (l.negated ? kTrue : kFalse);
+  }
+
+  /// Unit propagation by scanning. Returns false on conflict; appends the
+  /// variables it sets to `trail`.
+  bool Propagate(std::vector<int>* trail, SatResult* stats) {
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (const Clause& c : cnf_.clauses) {
+        int unset_count = 0;
+        const Literal* unit = nullptr;
+        bool satisfied = false;
+        for (const Literal& l : c) {
+          if (LiteralTrue(l)) {
+            satisfied = true;
+            break;
+          }
+          if (!LiteralFalse(l)) {
+            ++unset_count;
+            unit = &l;
+          }
+        }
+        if (satisfied) continue;
+        if (unset_count == 0) return false;  // conflict
+        if (unset_count == 1) {
+          assign_[unit->var] = unit->negated ? kFalse : kTrue;
+          trail->push_back(unit->var);
+          ++stats->propagations;
+          changed = true;
+        }
+      }
+    }
+    return true;
+  }
+
+  bool Search(SatResult* stats) {
+    std::vector<int> trail;
+    if (!Propagate(&trail, stats)) {
+      for (int v : trail) assign_[v] = kUnset;
+      return false;
+    }
+    int branch_var = 0;
+    for (int v = 1; v <= cnf_.num_vars; ++v) {
+      if (assign_[v] == kUnset) {
+        branch_var = v;
+        break;
+      }
+    }
+    if (branch_var == 0) return true;  // all assigned, no conflict
+    if (++stats->decisions > max_decisions_) {
+      exhausted_ = true;
+      for (int v : trail) assign_[v] = kUnset;
+      return false;
+    }
+    for (int8_t value : {kTrue, kFalse}) {
+      assign_[branch_var] = value;
+      if (Search(stats)) return true;
+      if (exhausted_) break;
+    }
+    assign_[branch_var] = kUnset;
+    for (int v : trail) assign_[v] = kUnset;
+    return false;
+  }
+
+  const Cnf& cnf_;
+  std::vector<int8_t> assign_;
+  int64_t max_decisions_;
+  bool exhausted_ = false;
+};
+
+}  // namespace
+
+Result<SatResult> SolveSat(const Cnf& cnf, int64_t max_decisions) {
+  // An empty clause is unsatisfiable regardless of variables.
+  for (const Clause& c : cnf.clauses) {
+    if (c.empty()) {
+      SatResult result;
+      result.satisfiable = false;
+      return result;
+    }
+  }
+  return Dpll(cnf, max_decisions).Run();
+}
+
+Result<std::vector<std::vector<bool>>> AllModels(const Cnf& cnf,
+                                                 int64_t max_models) {
+  if (cnf.num_vars > 24) {
+    return Status::ResourceExhausted("AllModels limited to 24 variables");
+  }
+  std::vector<std::vector<bool>> models;
+  std::vector<bool> assignment(cnf.num_vars + 1, false);
+  const uint64_t total = uint64_t{1} << cnf.num_vars;
+  for (uint64_t bits = 0; bits < total; ++bits) {
+    for (int v = 1; v <= cnf.num_vars; ++v) {
+      assignment[v] = (bits >> (v - 1)) & 1;
+    }
+    if (cnf.IsSatisfiedBy(assignment)) {
+      models.push_back(assignment);
+      if (static_cast<int64_t>(models.size()) > max_models) {
+        return Status::ResourceExhausted("more models than max_models");
+      }
+    }
+  }
+  return models;
+}
+
+}  // namespace dislock

@@ -1,0 +1,36 @@
+#ifndef DISLOCK_SAT_SOLVER_H_
+#define DISLOCK_SAT_SOLVER_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "sat/cnf.h"
+#include "util/status.h"
+
+namespace dislock {
+
+/// Result of a satisfiability decision.
+struct SatResult {
+  bool satisfiable = false;
+  /// When satisfiable: assignment[v] for v in [1, num_vars] (index 0
+  /// unused).
+  std::vector<bool> assignment;
+  /// Search statistics.
+  int64_t decisions = 0;
+  int64_t propagations = 0;
+};
+
+/// A DPLL solver (unit propagation, pure-literal elimination, first-unset
+/// branching). Built as the ground-truth oracle for validating the
+/// Theorem 3 reduction — formulas there are small, so no CDCL machinery is
+/// needed. `max_decisions` bounds the search (ResourceExhausted beyond it).
+Result<SatResult> SolveSat(const Cnf& cnf, int64_t max_decisions = 1 << 24);
+
+/// Enumerates all satisfying assignments (up to `max_models`).
+Result<std::vector<std::vector<bool>>> AllModels(const Cnf& cnf,
+                                                 int64_t max_models);
+
+}  // namespace dislock
+
+#endif  // DISLOCK_SAT_SOLVER_H_

@@ -1,0 +1,72 @@
+#include "sim/executor.h"
+
+#include <algorithm>
+
+namespace dislock {
+
+namespace {
+
+uint64_t Mix(uint64_t h, uint64_t v) {
+  h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  h *= 0xbf58476d1ce4e5b9ULL;
+  h ^= h >> 29;
+  return h;
+}
+
+}  // namespace
+
+ExecutionResult ExecuteSchedule(const TransactionSystem& system,
+                                const Schedule& schedule) {
+  const int k = system.NumTransactions();
+  ExecutionResult result;
+  result.final_state.resize(system.db().NumEntities());
+  for (EntityId e = 0; e < system.db().NumEntities(); ++e) {
+    result.final_state[e] = Mix(0x1517a1ULL, static_cast<uint64_t>(e));
+  }
+
+  // Captured temp per (txn, update step).
+  std::vector<std::vector<uint64_t>> temp(k);
+  for (int i = 0; i < k; ++i) temp[i].assign(system.txn(i).NumSteps(), 0);
+
+  for (const SysStep& ev : schedule.events()) {
+    const Transaction& t = system.txn(ev.txn);
+    const Step& step = t.GetStep(ev.step);
+    if (step.kind != StepKind::kUpdate) continue;
+    // temp_s := e(s)
+    temp[ev.txn][ev.step] = result.final_state[step.entity];
+    // e(s) := f_s(temps of all predecessors, including s itself). The
+    // predecessor SET is schedule-independent, so mixing in canonical step
+    // order makes equal hashes mean equal symbolic expressions.
+    uint64_t h = Mix(0xf5f5f5f5ULL, static_cast<uint64_t>(ev.txn) << 32 |
+                                        static_cast<uint64_t>(ev.step));
+    for (StepId s = 0; s < t.NumSteps(); ++s) {
+      if (t.GetStep(s).kind != StepKind::kUpdate) continue;
+      if (s == ev.step || t.Precedes(s, ev.step)) {
+        h = Mix(h, temp[ev.txn][s]);
+      }
+    }
+    result.final_state[step.entity] = h;
+  }
+  return result;
+}
+
+Result<bool> SerializableByExecution(const TransactionSystem& system,
+                                     const Schedule& schedule) {
+  const int k = system.NumTransactions();
+  if (k > 8) {
+    return Status::ResourceExhausted(
+        "SerializableByExecution tries all k! serial orders; k > 8");
+  }
+  ExecutionResult actual = ExecuteSchedule(system, schedule);
+  std::vector<int> perm(k);
+  for (int i = 0; i < k; ++i) perm[i] = i;
+  do {
+    auto serial = SerialSchedule(system, perm);
+    if (!serial.ok()) return serial.status();
+    ExecutionResult expected = ExecuteSchedule(system, serial.value());
+    if (expected.final_state == actual.final_state) return true;
+  } while (std::next_permutation(perm.begin(), perm.end()));
+  return false;
+}
+
+}  // namespace dislock

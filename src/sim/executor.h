@@ -1,0 +1,50 @@
+#ifndef DISLOCK_SIM_EXECUTOR_H_
+#define DISLOCK_SIM_EXECUTOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "txn/schedule.h"
+#include "txn/system.h"
+#include "util/status.h"
+
+namespace dislock {
+
+/// Symbolic execution of a schedule under the paper's update semantics:
+/// each update step s executes, indivisibly,
+///   temp_s := e(s);  e(s) := f_s(temp_s1, ..., temp_sk)
+/// where s1..sk are the steps preceding s in its transaction. The update
+/// functions f_s are modeled as a random oracle (a collision-resistant
+/// 64-bit hash of the function identity and its arguments), so two
+/// executions reach equal final states iff they are equivalent under
+/// (essentially) all interpretations of the f_s — the paper's notion of
+/// schedule equivalence, made executable.
+struct ExecutionResult {
+  /// Final symbolic value of every entity.
+  std::vector<uint64_t> final_state;
+};
+
+/// Executes a legal schedule symbolically. Lock/unlock steps do not touch
+/// values; they are assumed already validated by CheckScheduleLegal.
+ExecutionResult ExecuteSchedule(const TransactionSystem& system,
+                                const Schedule& schedule);
+
+/// Operational serializability: true iff the schedule's final state equals
+/// the final state of running the transactions serially in some order
+/// (all k! orders are tried — use only for small k). This is an
+/// implementation-independent cross-check of AnalyzeSerializability.
+///
+/// Caveat that vindicates the paper's model rules: the two notions coincide
+/// only when every lock section contains at least one update — the
+/// well-formedness clause of Section 2 ("there is at least one update x
+/// step between them"; enforceable via
+/// ValidateOptions::require_update_between_locks). A lock section with no
+/// update is "superfluous locking": it constrains scheduling and shows up
+/// in the conflict-based analysis, but cannot affect any execution, so this
+/// function may report true where AnalyzeSerializability reports false.
+Result<bool> SerializableByExecution(const TransactionSystem& system,
+                                     const Schedule& schedule);
+
+}  // namespace dislock
+
+#endif  // DISLOCK_SIM_EXECUTOR_H_

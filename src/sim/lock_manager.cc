@@ -1,0 +1,55 @@
+#include "sim/lock_manager.h"
+
+#include "util/string_util.h"
+
+namespace dislock {
+
+bool SiteLockManager::MayAcquire(EntityId e, int txn, bool shared) const {
+  (void)txn;
+  if (writer_[e] != kFree) return false;
+  return shared || reader_count_[e] == 0;
+}
+
+Status SiteLockManager::Acquire(EntityId e, int txn, bool shared) {
+  if (!db_->ValidEntity(e) || db_->SiteOf(e) != site_) {
+    return Status::InvalidArgument(
+        StrCat("entity ", e, " is not stored at site ", site_));
+  }
+  if (!MayAcquire(e, txn, shared)) {
+    return Status::InvalidArgument(
+        StrCat("entity '", db_->NameOf(e), "' is not available in ",
+               shared ? "shared" : "exclusive", " mode"));
+  }
+  if (shared) {
+    reading_[e][txn] = 1;
+    ++reader_count_[e];
+  } else {
+    writer_[e] = txn;
+  }
+  return Status::OK();
+}
+
+Status SiteLockManager::Release(EntityId e, int txn, bool shared) {
+  if (!db_->ValidEntity(e) || db_->SiteOf(e) != site_) {
+    return Status::InvalidArgument(
+        StrCat("entity ", e, " is not stored at site ", site_));
+  }
+  if (shared) {
+    if (!reading_[e][txn]) {
+      return Status::InvalidArgument(
+          StrCat("T", txn + 1, " holds no read lock on '", db_->NameOf(e),
+                 "'"));
+    }
+    reading_[e][txn] = 0;
+    --reader_count_[e];
+  } else {
+    if (writer_[e] != txn) {
+      return Status::InvalidArgument(
+          StrCat("T", txn + 1, " does not hold '", db_->NameOf(e), "'"));
+    }
+    writer_[e] = kFree;
+  }
+  return Status::OK();
+}
+
+}  // namespace dislock

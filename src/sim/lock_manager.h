@@ -1,0 +1,94 @@
+#ifndef DISLOCK_SIM_LOCK_MANAGER_H_
+#define DISLOCK_SIM_LOCK_MANAGER_H_
+
+#include <vector>
+
+#include "txn/database.h"
+#include "util/status.h"
+
+namespace dislock {
+
+/// The lock table of one site: a reader/writer lock per entity. Exclusive
+/// (write) locks exclude everything; shared (read) locks exclude only
+/// writers. Entities of other sites are rejected — mirroring that in a
+/// distributed system a site can only arbitrate its own granules.
+class SiteLockManager {
+ public:
+  SiteLockManager(const DistributedDatabase* db, SiteId site, int num_txns)
+      : db_(db),
+        site_(site),
+        writer_(db->NumEntities(), kFree),
+        reader_count_(db->NumEntities(), 0),
+        reading_(db->NumEntities(), std::vector<char>(num_txns, 0)) {}
+
+  /// Acquires `e` for transaction `txn`. Fails if `e` is not stored at this
+  /// site or the request conflicts with current holders (no waiting — the
+  /// simulator's scheduler retries instead, which is how it observes
+  /// deadlocks).
+  Status Acquire(EntityId e, int txn, bool shared = false);
+
+  /// Releases `e`; fails unless `txn` holds it in the given mode.
+  Status Release(EntityId e, int txn, bool shared = false);
+
+  /// May `txn` acquire `e` in the given mode right now?
+  bool MayAcquire(EntityId e, int txn, bool shared) const;
+
+  /// Exclusive holder of `e`, or kFree.
+  int WriterOf(EntityId e) const { return writer_[e]; }
+  int ReaderCount(EntityId e) const { return reader_count_[e]; }
+  bool IsReading(EntityId e, int txn) const {
+    return reading_[e][txn] != 0;
+  }
+
+  /// True iff `txn` may update `e` right now (holds its write lock).
+  bool MayUpdate(EntityId e, int txn) const { return writer_[e] == txn; }
+
+  SiteId site() const { return site_; }
+
+  static constexpr int kFree = -1;
+
+ private:
+  const DistributedDatabase* db_;
+  SiteId site_;
+  std::vector<int> writer_;
+  std::vector<int> reader_count_;
+  std::vector<std::vector<char>> reading_;
+};
+
+/// Routes lock operations to per-site managers, as a distributed lock
+/// manager would.
+class DistributedLockManager {
+ public:
+  DistributedLockManager(const DistributedDatabase* db, int num_txns) {
+    db_ = db;
+    for (SiteId s = 0; s < db->NumSites(); ++s) {
+      sites_.emplace_back(db, s, num_txns);
+    }
+  }
+
+  Status Acquire(EntityId e, int txn, bool shared = false) {
+    return sites_[db_->SiteOf(e)].Acquire(e, txn, shared);
+  }
+  Status Release(EntityId e, int txn, bool shared = false) {
+    return sites_[db_->SiteOf(e)].Release(e, txn, shared);
+  }
+  bool MayAcquire(EntityId e, int txn, bool shared) const {
+    return sites_[db_->SiteOf(e)].MayAcquire(e, txn, shared);
+  }
+  int WriterOf(EntityId e) const { return sites_[db_->SiteOf(e)].WriterOf(e); }
+  bool IsReading(EntityId e, int txn) const {
+    return sites_[db_->SiteOf(e)].IsReading(e, txn);
+  }
+  bool MayUpdate(EntityId e, int txn) const {
+    return sites_[db_->SiteOf(e)].MayUpdate(e, txn);
+  }
+  const SiteLockManager& site(SiteId s) const { return sites_[s]; }
+
+ private:
+  const DistributedDatabase* db_;
+  std::vector<SiteLockManager> sites_;
+};
+
+}  // namespace dislock
+
+#endif  // DISLOCK_SIM_LOCK_MANAGER_H_

@@ -1,0 +1,196 @@
+#include "sim/scheduler.h"
+
+#include "sim/lock_manager.h"
+
+namespace dislock {
+
+RunResult SimulateRun(const TransactionSystem& system, Rng* rng) {
+  RunResult result;
+  const int k = system.NumTransactions();
+  DistributedLockManager locks(&system.db(), k);
+
+  // Remaining-predecessor counts per step.
+  std::vector<std::vector<int>> indegree(k);
+  int remaining = 0;
+  for (int i = 0; i < k; ++i) {
+    const Digraph& g = system.txn(i).order();
+    indegree[i].assign(g.NumNodes(), 0);
+    for (NodeId u = 0; u < g.NumNodes(); ++u) {
+      for (NodeId v : g.OutNeighbors(u)) ++indegree[i][v];
+    }
+    remaining += g.NumNodes();
+  }
+
+  Schedule schedule;
+  while (remaining > 0) {
+    // Collect enabled steps.
+    std::vector<SysStep> enabled;
+    for (int i = 0; i < k; ++i) {
+      const Transaction& t = system.txn(i);
+      for (StepId s = 0; s < t.NumSteps(); ++s) {
+        if (indegree[i][s] != 0) continue;
+        const Step& step = t.GetStep(s);
+        if (step.kind == StepKind::kLock &&
+            !locks.MayAcquire(step.entity, i, step.shared)) {
+          continue;
+        }
+        if (step.kind == StepKind::kUnlock) {
+          bool holds = step.shared ? locks.IsReading(step.entity, i)
+                                   : locks.WriterOf(step.entity) == i;
+          if (!holds) continue;
+        }
+        enabled.push_back({i, s});
+      }
+    }
+    if (enabled.empty()) {
+      result.deadlocked = true;
+      return result;
+    }
+    SysStep pick = enabled[rng->Index(enabled.size())];
+    const Transaction& t = system.txn(pick.txn);
+    const Step& step = t.GetStep(pick.step);
+    if (step.kind == StepKind::kLock) {
+      Status st = locks.Acquire(step.entity, pick.txn, step.shared);
+      DISLOCK_CHECK(st.ok()) << st.ToString();
+    } else if (step.kind == StepKind::kUnlock) {
+      Status st = locks.Release(step.entity, pick.txn, step.shared);
+      DISLOCK_CHECK(st.ok()) << st.ToString();
+    }
+    indegree[pick.txn][pick.step] = -1;
+    for (NodeId v : t.order().OutNeighbors(pick.step)) {
+      --indegree[pick.txn][v];
+    }
+    schedule.Append(pick.txn, pick.step);
+    ++result.steps_executed;
+    --remaining;
+  }
+  result.schedule = std::move(schedule);
+  return result;
+}
+
+RecoveryRunResult SimulateRunWithRecovery(const TransactionSystem& system,
+                                          Rng* rng, int max_aborts) {
+  RecoveryRunResult result;
+  const int k = system.NumTransactions();
+  DistributedLockManager locks(&system.db(), k);
+
+  std::vector<std::vector<int>> base_indegree(k);
+  std::vector<std::vector<int>> indegree(k);
+  int remaining = 0;
+  for (int i = 0; i < k; ++i) {
+    const Digraph& g = system.txn(i).order();
+    base_indegree[i].assign(g.NumNodes(), 0);
+    for (NodeId u = 0; u < g.NumNodes(); ++u) {
+      for (NodeId v : g.OutNeighbors(u)) ++base_indegree[i][v];
+    }
+    indegree[i] = base_indegree[i];
+    remaining += g.NumNodes();
+  }
+
+  std::vector<SysStep> events;  // includes aborted attempts, pruned later
+  std::vector<bool> aborted_marker;
+
+  while (remaining > 0) {
+    std::vector<SysStep> enabled;
+    std::vector<int> blocked;  // transactions blocked on a lock
+    for (int i = 0; i < k; ++i) {
+      const Transaction& t = system.txn(i);
+      bool blocked_on_lock = false;
+      for (StepId s = 0; s < t.NumSteps(); ++s) {
+        if (indegree[i][s] != 0) continue;
+        const Step& step = t.GetStep(s);
+        if (step.kind == StepKind::kLock &&
+            !locks.MayAcquire(step.entity, i, step.shared)) {
+          blocked_on_lock = true;
+          continue;
+        }
+        if (step.kind == StepKind::kUnlock) {
+          bool holds = step.shared ? locks.IsReading(step.entity, i)
+                                   : locks.WriterOf(step.entity) == i;
+          if (!holds) continue;
+        }
+        enabled.push_back({i, s});
+      }
+      if (blocked_on_lock) blocked.push_back(i);
+    }
+
+    if (enabled.empty()) {
+      // Deadlock: abort a random blocked victim.
+      if (blocked.empty() || result.aborts >= max_aborts) {
+        result.gave_up = true;
+        return result;
+      }
+      int victim = blocked[rng->Index(blocked.size())];
+      ++result.aborts;
+      const Transaction& t = system.txn(victim);
+      // Release the victim's locks and restore its work to "not executed".
+      int executed_steps = 0;
+      for (StepId s = 0; s < t.NumSteps(); ++s) {
+        if (indegree[victim][s] == -1) ++executed_steps;
+      }
+      for (EntityId e : t.LockedEntities()) {
+        StepId l = t.LockStep(e);
+        StepId u = t.UnlockStep(e);
+        if (indegree[victim][l] == -1 && indegree[victim][u] != -1) {
+          Status st = locks.Release(e, victim, t.GetStep(l).shared);
+          DISLOCK_CHECK(st.ok()) << st.ToString();
+        }
+      }
+      indegree[victim] = base_indegree[victim];
+      remaining += executed_steps;
+      // Mark the victim's past events as aborted.
+      for (size_t i = 0; i < events.size(); ++i) {
+        if (events[i].txn == victim) aborted_marker[i] = true;
+      }
+      continue;
+    }
+
+    SysStep pick = enabled[rng->Index(enabled.size())];
+    const Transaction& t = system.txn(pick.txn);
+    const Step& step = t.GetStep(pick.step);
+    if (step.kind == StepKind::kLock) {
+      Status st = locks.Acquire(step.entity, pick.txn, step.shared);
+      DISLOCK_CHECK(st.ok()) << st.ToString();
+    } else if (step.kind == StepKind::kUnlock) {
+      Status st = locks.Release(step.entity, pick.txn, step.shared);
+      DISLOCK_CHECK(st.ok()) << st.ToString();
+    }
+    indegree[pick.txn][pick.step] = -1;
+    for (NodeId v : t.order().OutNeighbors(pick.step)) {
+      --indegree[pick.txn][v];
+    }
+    events.push_back(pick);
+    aborted_marker.push_back(false);
+    ++result.steps_executed;
+    --remaining;
+  }
+
+  Schedule committed;
+  for (size_t i = 0; i < events.size(); ++i) {
+    if (!aborted_marker[i]) committed.Append(events[i].txn, events[i].step);
+  }
+  result.schedule = std::move(committed);
+  return result;
+}
+
+MonteCarloStats SampleSafety(const TransactionSystem& system, int64_t runs,
+                             Rng* rng, bool keep_going) {
+  MonteCarloStats stats;
+  for (int64_t r = 0; r < runs; ++r) {
+    ++stats.runs;
+    RunResult run = SimulateRun(system, rng);
+    if (run.deadlocked) {
+      ++stats.deadlocked;
+      continue;
+    }
+    ++stats.completed;
+    if (!IsSerializable(system, *run.schedule)) {
+      ++stats.non_serializable;
+      if (!stats.witness.has_value()) stats.witness = *run.schedule;
+      if (!keep_going) return stats;
+    }
+  }
+  return stats;
+}
+
+}  // namespace dislock

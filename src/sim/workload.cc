@@ -1,0 +1,192 @@
+#include "sim/workload.h"
+
+#include <algorithm>
+
+#include "core/policy.h"
+#include "txn/linear_extension.h"
+#include "util/string_util.h"
+
+namespace dislock {
+
+namespace {
+
+std::shared_ptr<DistributedDatabase> MakeDb(int num_sites, int num_entities) {
+  auto db = std::make_shared<DistributedDatabase>(num_sites);
+  for (int e = 0; e < num_entities; ++e) {
+    db->MustAddEntity(StrCat("e", e), e % num_sites);
+  }
+  return db;
+}
+
+/// Appends, for one site, a random legal interleaving of the lock/update/
+/// unlock steps of `entities`, chained into the site-local total order.
+/// Returns the site-chain in order.
+std::vector<StepId> EmitSiteSection(Transaction* txn,
+                                    const std::vector<EntityId>& entities,
+                                    double update_probability,
+                                    double shared_probability, Rng* rng) {
+  // Token = (entity index, phase 0=lock 1=unlock). Shuffle, then repair any
+  // unlock-before-lock by swapping the pair's positions.
+  struct Token {
+    int idx;
+    int phase;
+  };
+  std::vector<Token> tokens;
+  for (int i = 0; i < static_cast<int>(entities.size()); ++i) {
+    tokens.push_back({i, 0});
+    tokens.push_back({i, 1});
+  }
+  rng->Shuffle(&tokens);
+  std::vector<int> first_pos(entities.size(), -1);
+  for (int p = 0; p < static_cast<int>(tokens.size()); ++p) {
+    Token& t = tokens[p];
+    if (first_pos[t.idx] == -1) {
+      first_pos[t.idx] = p;
+      t.phase = 0;  // first occurrence is the lock
+    } else {
+      t.phase = 1;
+    }
+  }
+
+  // Decide per-entity sharedness up front so lock and unlock agree.
+  std::vector<char> shared(entities.size(), 0);
+  for (size_t i = 0; i < entities.size(); ++i) {
+    shared[i] = rng->Bernoulli(shared_probability) ? 1 : 0;
+  }
+
+  std::vector<StepId> chain;
+  StepId prev = kInvalidStep;
+  auto emit = [&](StepKind kind, EntityId e, bool is_shared) {
+    StepId s = txn->AddStep(kind, e, is_shared);
+    if (prev != kInvalidStep) txn->AddPrecedence(prev, s);
+    prev = s;
+    chain.push_back(s);
+  };
+  for (const Token& t : tokens) {
+    EntityId e = entities[t.idx];
+    if (t.phase == 0) {
+      emit(StepKind::kLock, e, shared[t.idx]);
+      if (!shared[t.idx] && rng->Bernoulli(update_probability)) {
+        emit(StepKind::kUpdate, e, false);
+      }
+    } else {
+      emit(StepKind::kUnlock, e, shared[t.idx]);
+    }
+  }
+  return chain;
+}
+
+}  // namespace
+
+Workload MakeRandomWorkload(const WorkloadParams& params, Rng* rng) {
+  Workload w;
+  w.db = MakeDb(params.num_sites, params.num_entities);
+  w.system = std::make_shared<TransactionSystem>(w.db.get());
+
+  for (int t = 0; t < params.num_transactions; ++t) {
+    Transaction txn(w.db.get(), StrCat("T", t + 1));
+    // Choose locked entities; force at least one.
+    std::vector<EntityId> locked;
+    for (EntityId e = 0; e < w.db->NumEntities(); ++e) {
+      if (rng->Bernoulli(params.lock_probability)) locked.push_back(e);
+    }
+    if (locked.empty()) {
+      locked.push_back(static_cast<EntityId>(
+          rng->Index(static_cast<size_t>(w.db->NumEntities()))));
+    }
+    // Per-site random section layout.
+    for (SiteId site = 0; site < w.db->NumSites(); ++site) {
+      std::vector<EntityId> here;
+      for (EntityId e : locked) {
+        if (w.db->SiteOf(e) == site) here.push_back(e);
+      }
+      if (!here.empty()) {
+        EmitSiteSection(&txn, here, params.update_probability,
+                        params.shared_probability, rng);
+      }
+    }
+    // Random cross-site arcs, sampled consistently with one linear
+    // extension so the order stays acyclic.
+    if (txn.NumSteps() > 1) {
+      for (int a = 0; a < params.cross_site_arcs; ++a) {
+        std::vector<StepId> ext = RandomLinearExtension(txn, rng);
+        size_t i = rng->Index(ext.size());
+        size_t j = rng->Index(ext.size());
+        if (i == j) continue;
+        if (i > j) std::swap(i, j);
+        if (txn.SiteOfStep(ext[i]) == txn.SiteOfStep(ext[j])) continue;
+        txn.AddPrecedence(ext[i], ext[j]);
+      }
+    }
+    w.system->Add(std::move(txn));
+  }
+  return w;
+}
+
+Workload MakeRandomTotalOrderPair(int num_entities, Rng* rng) {
+  Workload w;
+  w.db = MakeDb(1, num_entities);
+  w.system = std::make_shared<TransactionSystem>(w.db.get());
+  for (int t = 0; t < 2; ++t) {
+    Transaction txn(w.db.get(), StrCat("t", t + 1));
+    // Three tokens per entity (lock, update, unlock); shuffle positions and
+    // assign the kinds in position order within each entity.
+    std::vector<EntityId> slots;
+    for (EntityId e = 0; e < num_entities; ++e) {
+      slots.push_back(e);
+      slots.push_back(e);
+      slots.push_back(e);
+    }
+    rng->Shuffle(&slots);
+    std::vector<int> seen(num_entities, 0);
+    StepId prev = kInvalidStep;
+    for (EntityId e : slots) {
+      StepKind kind = seen[e] == 0   ? StepKind::kLock
+                      : seen[e] == 1 ? StepKind::kUpdate
+                                     : StepKind::kUnlock;
+      ++seen[e];
+      StepId s = txn.AddStep(kind, e);
+      if (prev != kInvalidStep) txn.AddPrecedence(prev, s);
+      prev = s;
+    }
+    w.system->Add(std::move(txn));
+  }
+  return w;
+}
+
+Workload MakeTwoSiteScalingPair(int num_entities, bool safe, Rng* rng) {
+  (void)rng;
+  Workload w;
+  w.db = MakeDb(2, num_entities);
+  w.system = std::make_shared<TransactionSystem>(w.db.get());
+  std::vector<EntityId> all;
+  for (EntityId e = 0; e < num_entities; ++e) all.push_back(e);
+
+  // T1: strongly two-phase (every lock precedes every unlock), so the
+  // T1-half of every Definition 1 arc condition holds.
+  w.system->Add(MakeTwoPhaseTransaction(w.db.get(), "T1", all));
+
+  if (safe) {
+    // T2 also strongly two-phase: D(T1,T2) is the complete digraph on
+    // num_entities nodes — strongly connected, and the largest possible arc
+    // set (the SCC test's worst case).
+    w.system->Add(MakeTwoPhaseTransaction(w.db.get(), "T2", all));
+  } else {
+    // T2 takes its sections sequentially: Lx0 Ux0 Lx1 Ux1 ... so
+    // Lxj <2 Uxi iff j <= i and D only has downward arcs — not strongly
+    // connected (dominator {x0}).
+    Transaction t2(w.db.get(), "T2");
+    StepId prev = kInvalidStep;
+    for (EntityId e : all) {
+      StepId l = t2.AddStep(StepKind::kLock, e);
+      StepId u = t2.AddStep(StepKind::kUnlock, e);
+      if (prev != kInvalidStep) t2.AddPrecedence(prev, l);
+      t2.AddPrecedence(l, u);
+      prev = u;
+    }
+    w.system->Add(std::move(t2));
+  }
+  return w;
+}
+
+}  // namespace dislock

@@ -1,0 +1,66 @@
+#include "txn/database.h"
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace dislock {
+
+DistributedDatabase::DistributedDatabase(int num_sites)
+    : num_sites_(num_sites) {
+  DISLOCK_CHECK_GT(num_sites, 0);
+}
+
+Result<EntityId> DistributedDatabase::AddEntity(const std::string& name,
+                                                SiteId site) {
+  if (name.empty()) {
+    return Status::InvalidArgument("entity name must be non-empty");
+  }
+  if (site < 0 || site >= num_sites_) {
+    return Status::InvalidArgument(
+        StrCat("site ", site, " out of range [0, ", num_sites_, ")"));
+  }
+  if (by_name_.count(name) > 0) {
+    return Status::InvalidArgument(StrCat("duplicate entity name '", name,
+                                          "'"));
+  }
+  EntityId id = static_cast<EntityId>(sites_.size());
+  sites_.push_back(site);
+  names_.push_back(name);
+  by_name_.emplace(name, id);
+  return id;
+}
+
+EntityId DistributedDatabase::MustAddEntity(const std::string& name,
+                                            SiteId site) {
+  auto result = AddEntity(name, site);
+  DISLOCK_CHECK(result.ok()) << result.status().ToString();
+  return result.value();
+}
+
+SiteId DistributedDatabase::SiteOf(EntityId e) const {
+  DISLOCK_CHECK(ValidEntity(e));
+  return sites_[e];
+}
+
+const std::string& DistributedDatabase::NameOf(EntityId e) const {
+  DISLOCK_CHECK(ValidEntity(e));
+  return names_[e];
+}
+
+Result<EntityId> DistributedDatabase::Find(const std::string& name) const {
+  auto it = by_name_.find(name);
+  if (it == by_name_.end()) {
+    return Status::NotFound(StrCat("no entity named '", name, "'"));
+  }
+  return it->second;
+}
+
+std::vector<EntityId> DistributedDatabase::EntitiesAt(SiteId site) const {
+  std::vector<EntityId> out;
+  for (EntityId e = 0; e < NumEntities(); ++e) {
+    if (sites_[e] == site) out.push_back(e);
+  }
+  return out;
+}
+
+}  // namespace dislock

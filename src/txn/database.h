@@ -1,0 +1,68 @@
+#ifndef DISLOCK_TXN_DATABASE_H_
+#define DISLOCK_TXN_DATABASE_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "util/status.h"
+
+namespace dislock {
+
+/// Dense index of an entity (a lockable granule of data) in a
+/// DistributedDatabase.
+using EntityId = int32_t;
+/// Dense index of a site. Sites are numbered [0, NumSites()).
+using SiteId = int32_t;
+
+constexpr EntityId kInvalidEntity = -1;
+
+/// A distributed database D = (E, m, sigma) as defined in Section 2 of the
+/// paper: a set of entities E, a number of sites m, and a stored-at function
+/// sigma assigning each entity to one site.
+///
+/// Data redundancy (replication) is deliberately not modeled, exactly as in
+/// the paper: a copy relationship between entities at different sites is an
+/// integrity constraint handled at transaction-design time.
+class DistributedDatabase {
+ public:
+  /// Creates a database with `num_sites` sites and no entities.
+  explicit DistributedDatabase(int num_sites = 1);
+
+  /// Adds an entity stored at `site`. Names must be unique and non-empty.
+  Result<EntityId> AddEntity(const std::string& name, SiteId site);
+
+  /// Convenience for tests/examples: adds an entity, aborting on error.
+  EntityId MustAddEntity(const std::string& name, SiteId site);
+
+  /// Site of an entity (the stored-at function sigma).
+  SiteId SiteOf(EntityId e) const;
+
+  /// Name of an entity.
+  const std::string& NameOf(EntityId e) const;
+
+  /// Looks up an entity by name.
+  Result<EntityId> Find(const std::string& name) const;
+
+  int NumEntities() const { return static_cast<int>(sites_.size()); }
+  int NumSites() const { return num_sites_; }
+
+  /// True iff the id refers to an entity of this database.
+  bool ValidEntity(EntityId e) const {
+    return e >= 0 && e < NumEntities();
+  }
+
+  /// All entities stored at `site`.
+  std::vector<EntityId> EntitiesAt(SiteId site) const;
+
+ private:
+  int num_sites_;
+  std::vector<SiteId> sites_;       // indexed by EntityId
+  std::vector<std::string> names_;  // indexed by EntityId
+  std::unordered_map<std::string, EntityId> by_name_;
+};
+
+}  // namespace dislock
+
+#endif  // DISLOCK_TXN_DATABASE_H_

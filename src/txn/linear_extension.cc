@@ -1,0 +1,133 @@
+#include "txn/linear_extension.h"
+
+#include <algorithm>
+
+namespace dislock {
+
+namespace {
+
+/// Shared backtracking core: enumerates extensions, calling `visit` on each
+/// complete prefix. Returns false if stopped early by the visitor, true
+/// otherwise. `budget` counts down; hitting zero aborts with *exhausted set.
+bool Backtrack(const Digraph& order, std::vector<int>* indegree,
+               std::vector<StepId>* prefix, int64_t* budget, bool* exhausted,
+               const LinearExtensionVisitor& visit) {
+  const int n = order.NumNodes();
+  if (static_cast<int>(prefix->size()) == n) {
+    if (*budget <= 0) {
+      *exhausted = true;
+      return false;
+    }
+    --*budget;
+    return visit(*prefix);
+  }
+  for (StepId s = 0; s < n; ++s) {
+    if ((*indegree)[s] != 0) continue;
+    (*indegree)[s] = -1;  // mark emitted
+    for (NodeId t : order.OutNeighbors(s)) --(*indegree)[t];
+    prefix->push_back(s);
+    bool keep_going =
+        Backtrack(order, indegree, prefix, budget, exhausted, visit);
+    prefix->pop_back();
+    for (NodeId t : order.OutNeighbors(s)) ++(*indegree)[t];
+    (*indegree)[s] = 0;
+    if (!keep_going) return false;
+  }
+  return true;
+}
+
+std::vector<int> InitialIndegrees(const Digraph& order) {
+  std::vector<int> indegree(order.NumNodes(), 0);
+  for (NodeId u = 0; u < order.NumNodes(); ++u) {
+    for (NodeId v : order.OutNeighbors(u)) ++indegree[v];
+  }
+  return indegree;
+}
+
+}  // namespace
+
+Status EnumerateLinearExtensions(const Transaction& txn,
+                                 int64_t max_extensions,
+                                 const LinearExtensionVisitor& visit) {
+  std::vector<int> indegree = InitialIndegrees(txn.order());
+  std::vector<StepId> prefix;
+  prefix.reserve(txn.NumSteps());
+  int64_t budget = max_extensions;
+  bool exhausted = false;
+  Backtrack(txn.order(), &indegree, &prefix, &budget, &exhausted, visit);
+  if (exhausted) {
+    return Status::ResourceExhausted(
+        "more linear extensions than the configured cap");
+  }
+  return Status::OK();
+}
+
+int64_t CountLinearExtensions(const Transaction& txn, int64_t cap) {
+  int64_t count = 0;
+  Status st = EnumerateLinearExtensions(
+      txn, cap, [&count](const std::vector<StepId>&) {
+        ++count;
+        return true;
+      });
+  (void)st;  // ResourceExhausted simply means "at least cap".
+  return count;
+}
+
+std::vector<StepId> RandomLinearExtension(const Transaction& txn, Rng* rng) {
+  DISLOCK_CHECK(rng != nullptr);
+  std::vector<int> indegree = InitialIndegrees(txn.order());
+  std::vector<StepId> available;
+  for (StepId s = 0; s < txn.NumSteps(); ++s) {
+    if (indegree[s] == 0) available.push_back(s);
+  }
+  std::vector<StepId> out;
+  out.reserve(txn.NumSteps());
+  while (!available.empty()) {
+    size_t i = rng->Index(available.size());
+    StepId s = available[i];
+    available[i] = available.back();
+    available.pop_back();
+    out.push_back(s);
+    for (NodeId t : txn.order().OutNeighbors(s)) {
+      if (--indegree[t] == 0) available.push_back(t);
+    }
+  }
+  DISLOCK_CHECK_EQ(static_cast<int>(out.size()), txn.NumSteps());
+  return out;
+}
+
+bool IsLinearExtension(const Transaction& txn,
+                       const std::vector<StepId>& order) {
+  if (static_cast<int>(order.size()) != txn.NumSteps()) return false;
+  std::vector<int> position(txn.NumSteps(), -1);
+  for (int i = 0; i < static_cast<int>(order.size()); ++i) {
+    StepId s = order[i];
+    if (!txn.ValidStep(s) || position[s] != -1) return false;
+    position[s] = i;
+  }
+  for (StepId s = 0; s < txn.NumSteps(); ++s) {
+    for (NodeId t : txn.order().OutNeighbors(s)) {
+      if (position[s] > position[t]) return false;
+    }
+  }
+  return true;
+}
+
+Result<Transaction> Linearize(const Transaction& txn,
+                              const std::vector<StepId>& order) {
+  if (!IsLinearExtension(txn, order)) {
+    return Status::InvalidArgument(
+        "order is not a linear extension of the transaction");
+  }
+  Transaction total(&txn.db(), txn.name() + "#total");
+  for (StepId s = 0; s < txn.NumSteps(); ++s) {
+    const Step& step = txn.GetStep(s);
+    total.AddStep(step.kind, step.entity, step.shared);
+  }
+  for (size_t i = 1; i < order.size(); ++i) {
+    total.AddPrecedence(order[i - 1], order[i]);
+  }
+  return total;
+}
+
+}  // namespace dislock

@@ -1,0 +1,57 @@
+#ifndef DISLOCK_TXN_LINEAR_EXTENSION_H_
+#define DISLOCK_TXN_LINEAR_EXTENSION_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "txn/transaction.h"
+#include "util/random.h"
+#include "util/status.h"
+
+namespace dislock {
+
+/// A transaction "can alternatively be thought of as the set of all total
+/// orders t compatible with it" (Section 2). These helpers enumerate and
+/// sample that set; Lemma 1 reduces safety of partial-order transactions to
+/// safety of all pairs of linear extensions, which is what the exhaustive
+/// oracle iterates over.
+
+/// Visitor for EnumerateLinearExtensions; return false to stop early.
+using LinearExtensionVisitor =
+    std::function<bool(const std::vector<StepId>&)>;
+
+/// Enumerates every linear extension of `txn`'s partial order, invoking
+/// `visit` for each. Stops early if `visit` returns false (OK) or if more
+/// than `max_extensions` were produced (ResourceExhausted).
+Status EnumerateLinearExtensions(const Transaction& txn,
+                                 int64_t max_extensions,
+                                 const LinearExtensionVisitor& visit);
+
+/// Counts linear extensions, capped at `cap` (returns `cap` when there are
+/// at least that many). Counting is #P-hard in general; this is plain
+/// backtracking for small instances.
+int64_t CountLinearExtensions(const Transaction& txn, int64_t cap);
+
+/// Returns one uniformly-random *greedy* linear extension: repeatedly picks
+/// a uniform available step. (Not uniform over extensions — fine for
+/// Monte-Carlo schedule sampling, where only coverage matters.)
+std::vector<StepId> RandomLinearExtension(const Transaction& txn, Rng* rng);
+
+/// Materializes the total order `order` (a permutation of txn's steps) as a
+/// new Transaction with the same steps (same ids) whose precedence DAG is
+/// the chain order[0] -> order[1] -> ... . The result is the totally ordered
+/// transaction t in the paper's "t in T" notation.
+///
+/// Precondition: `order` must be a linear extension of `txn` (checked).
+Result<Transaction> Linearize(const Transaction& txn,
+                              const std::vector<StepId>& order);
+
+/// True iff `order` is a permutation of txn's steps respecting its partial
+/// order.
+bool IsLinearExtension(const Transaction& txn,
+                       const std::vector<StepId>& order);
+
+}  // namespace dislock
+
+#endif  // DISLOCK_TXN_LINEAR_EXTENSION_H_

@@ -1,0 +1,22 @@
+#include "txn/step.h"
+
+namespace dislock {
+
+const char* StepKindPrefix(StepKind kind) {
+  switch (kind) {
+    case StepKind::kLock:
+      return "L";
+    case StepKind::kUnlock:
+      return "U";
+    case StepKind::kUpdate:
+      return "";
+  }
+  return "?";
+}
+
+std::string StepToString(const Step& step, const DistributedDatabase& db) {
+  std::string prefix = step.shared ? "S" : "";
+  return prefix + StepKindPrefix(step.kind) + db.NameOf(step.entity);
+}
+
+}  // namespace dislock

@@ -1,0 +1,45 @@
+#ifndef DISLOCK_TXN_STEP_H_
+#define DISLOCK_TXN_STEP_H_
+
+#include <cstdint>
+#include <string>
+
+#include "txn/database.h"
+
+namespace dislock {
+
+/// Index of a step within one transaction.
+using StepId = int32_t;
+constexpr StepId kInvalidStep = -1;
+
+/// The three step kinds of the locking model (Section 2): `lock x` and
+/// `unlock x` set/clear the lock bit of entity x; every other step is an
+/// `update x`, the indivisible execution of
+///   temp_s := x;  x := f_s(temp_s1, ..., temp_sk)
+/// where s1..sk are the steps preceding s in the transaction.
+enum class StepKind : uint8_t { kLock, kUnlock, kUpdate };
+
+/// Short mnemonic: "L", "U", or "u" (updates are lowercase, following the
+/// paper's figures which abbreviate `update x` as plain `x`).
+const char* StepKindPrefix(StepKind kind);
+
+/// One step of a transaction: a kind applied to an entity. `shared` marks
+/// read (shared) locks — the paper's Section 1 "variants of locking"
+/// extension: two shared sections on the same entity may overlap in a
+/// schedule; an exclusive section excludes everything. Updates are writes
+/// and are only permitted inside exclusive sections.
+struct Step {
+  StepKind kind;
+  EntityId entity;
+  bool shared = false;
+
+  bool operator==(const Step&) const = default;
+};
+
+/// Renders a step like the paper does: "Lx", "Ux", or "x" for updates;
+/// shared locks render as "SLx" / "SUx".
+std::string StepToString(const Step& step, const DistributedDatabase& db);
+
+}  // namespace dislock
+
+#endif  // DISLOCK_TXN_STEP_H_

@@ -1,0 +1,69 @@
+#ifndef DISLOCK_TXN_SYSTEM_H_
+#define DISLOCK_TXN_SYSTEM_H_
+
+#include <string>
+#include <vector>
+
+#include "txn/transaction.h"
+#include "txn/validate.h"
+
+namespace dislock {
+
+/// A set of locked transactions T = {T1, ..., Tk} over one distributed
+/// database. The safety question (are all schedules serializable?) is asked
+/// of a TransactionSystem.
+class TransactionSystem {
+ public:
+  /// Creates an empty system over `db`; `db` must outlive the system.
+  explicit TransactionSystem(const DistributedDatabase* db) : db_(db) {
+    DISLOCK_CHECK(db != nullptr);
+  }
+
+  /// Adds a transaction (copied). Must be over the same database object.
+  void Add(Transaction txn) {
+    DISLOCK_CHECK_EQ(&txn.db(), db_);
+    txns_.push_back(std::move(txn));
+  }
+
+  int NumTransactions() const { return static_cast<int>(txns_.size()); }
+  const Transaction& txn(int i) const {
+    DISLOCK_CHECK(i >= 0 && i < NumTransactions());
+    return txns_[i];
+  }
+  Transaction* mutable_txn(int i) {
+    DISLOCK_CHECK(i >= 0 && i < NumTransactions());
+    return &txns_[i];
+  }
+  const DistributedDatabase& db() const { return *db_; }
+
+  /// Total number of steps across all transactions (the "n" of the paper's
+  /// complexity statements).
+  int TotalSteps() const {
+    int n = 0;
+    for (const auto& t : txns_) n += t.NumSteps();
+    return n;
+  }
+
+  /// Validates every transaction.
+  Status Validate(const ValidateOptions& options = ValidateOptions()) const {
+    for (const auto& t : txns_) {
+      DISLOCK_RETURN_NOT_OK(ValidateTransaction(t, options));
+    }
+    return Status::OK();
+  }
+
+  /// Multi-line dump of all transactions.
+  std::string ToString() const {
+    std::string out;
+    for (const auto& t : txns_) out += t.ToString();
+    return out;
+  }
+
+ private:
+  const DistributedDatabase* db_;
+  std::vector<Transaction> txns_;
+};
+
+}  // namespace dislock
+
+#endif  // DISLOCK_TXN_SYSTEM_H_

@@ -1,0 +1,160 @@
+#include "txn/text_format.h"
+
+#include <sstream>
+
+#include "txn/builder.h"
+#include "txn/validate.h"
+#include "util/string_util.h"
+
+namespace dislock {
+
+namespace {
+
+/// Strips a trailing "# comment" and surrounding whitespace.
+std::string StripComment(const std::string& line) {
+  size_t hash = line.find('#');
+  return Trim(hash == std::string::npos ? line : line.substr(0, hash));
+}
+
+}  // namespace
+
+Result<ParsedSystem> ParseSystemText(const std::string& text) {
+  ParsedSystem parsed;
+  std::unique_ptr<TransactionBuilder> builder;
+  bool in_txn = false;
+  int line_no = 0;
+
+  auto error = [&line_no](const std::string& message) {
+    return Status::InvalidArgument(
+        StrCat("line ", line_no, ": ", message));
+  };
+
+  for (const std::string& raw : Split(text, '\n')) {
+    ++line_no;
+    std::string line = StripComment(raw);
+    if (line.empty()) continue;
+    std::istringstream in(line);
+    std::string keyword;
+    in >> keyword;
+
+    if (keyword == "sites") {
+      if (parsed.db != nullptr) return error("duplicate 'sites' directive");
+      int n = 0;
+      in >> n;
+      if (in.fail() || n <= 0) return error("'sites' needs a positive count");
+      parsed.db = std::make_shared<DistributedDatabase>(n);
+      parsed.system = std::make_shared<TransactionSystem>(parsed.db.get());
+      continue;
+    }
+    if (parsed.db == nullptr) {
+      return error("'sites N' must come before everything else");
+    }
+
+    if (keyword == "entity") {
+      if (in_txn) return error("'entity' not allowed inside a txn block");
+      std::string name;
+      int site = -1;
+      in >> name >> site;
+      if (in.fail()) return error("usage: entity <name> <site>");
+      auto added = parsed.db->AddEntity(name, site);
+      if (!added.ok()) return error(added.status().message());
+      continue;
+    }
+
+    if (keyword == "txn") {
+      if (in_txn) return error("nested 'txn' blocks are not allowed");
+      std::string name, flag;
+      in >> name >> flag;
+      if (name.empty()) return error("usage: txn <name> [nochain]");
+      bool auto_chain = true;
+      if (flag == "nochain") {
+        auto_chain = false;
+      } else if (!flag.empty()) {
+        return error(StrCat("unknown txn flag '", flag, "'"));
+      }
+      builder = std::make_unique<TransactionBuilder>(parsed.db.get(), name,
+                                                     auto_chain);
+      in_txn = true;
+      continue;
+    }
+
+    if (keyword == "end") {
+      if (!in_txn) return error("'end' without 'txn'");
+      auto txn = builder->BuildValidated();
+      if (!txn.ok()) return error(txn.status().message());
+      parsed.system->Add(std::move(txn).value());
+      builder.reset();
+      in_txn = false;
+      continue;
+    }
+
+    if (keyword == "lock" || keyword == "update" || keyword == "unlock" ||
+        keyword == "slock" || keyword == "sunlock") {
+      if (!in_txn) return error("step outside a txn block");
+      std::string entity;
+      in >> entity;
+      if (entity.empty()) return error("step needs an entity name");
+      auto e = parsed.db->Find(entity);
+      if (!e.ok()) return error(e.status().message());
+      bool shared = keyword[0] == 's';
+      StepKind kind = keyword == "lock" || keyword == "slock"
+                          ? StepKind::kLock
+                      : keyword == "update" ? StepKind::kUpdate
+                                            : StepKind::kUnlock;
+      builder->Add(kind, e.value(), shared);
+      continue;
+    }
+
+    if (keyword == "edge") {
+      if (!in_txn) return error("'edge' outside a txn block");
+      int a = -1;
+      int b = -1;
+      in >> a >> b;
+      if (in.fail() || !builder->txn().ValidStep(a) ||
+          !builder->txn().ValidStep(b)) {
+        return error("usage: edge <stepA> <stepB> with existing step ids");
+      }
+      builder->Edge(a, b);
+      continue;
+    }
+
+    return error(StrCat("unknown directive '", keyword, "'"));
+  }
+  if (in_txn) return Status::InvalidArgument("unterminated txn block");
+  if (parsed.db == nullptr) {
+    return Status::InvalidArgument("empty input: missing 'sites N'");
+  }
+  return parsed;
+}
+
+std::string SystemToText(const TransactionSystem& system) {
+  const DistributedDatabase& db = system.db();
+  std::ostringstream out;
+  out << "sites " << db.NumSites() << "\n";
+  for (EntityId e = 0; e < db.NumEntities(); ++e) {
+    out << "entity " << db.NameOf(e) << " " << db.SiteOf(e) << "\n";
+  }
+  for (int i = 0; i < system.NumTransactions(); ++i) {
+    const Transaction& t = system.txn(i);
+    out << "\ntxn " << t.name() << " nochain\n";
+    for (StepId s = 0; s < t.NumSteps(); ++s) {
+      const Step& step = t.GetStep(s);
+      const char* kind =
+          step.kind == StepKind::kLock ? (step.shared ? "slock" : "lock")
+          : step.kind == StepKind::kUpdate
+              ? "update"
+              : (step.shared ? "sunlock" : "unlock");
+      out << "  " << kind << " " << db.NameOf(step.entity) << "  # step "
+          << s << "\n";
+    }
+    for (StepId s = 0; s < t.NumSteps(); ++s) {
+      for (NodeId v : t.order().OutNeighbors(s)) {
+        out << "  edge " << s << " " << v << "\n";
+      }
+    }
+    out << "end\n";
+  }
+  return out.str();
+}
+
+}  // namespace dislock

@@ -1,0 +1,54 @@
+#ifndef DISLOCK_TXN_TEXT_FORMAT_H_
+#define DISLOCK_TXN_TEXT_FORMAT_H_
+
+#include <memory>
+#include <string>
+
+#include "txn/system.h"
+#include "util/status.h"
+
+namespace dislock {
+
+/// A parsed transaction system owning its database.
+struct ParsedSystem {
+  std::shared_ptr<DistributedDatabase> db;
+  std::shared_ptr<TransactionSystem> system;
+};
+
+/// Parses the dislock text format. Example:
+///
+///     # A two-site system.
+///     sites 2
+///     entity x 0
+///     entity y 1
+///
+///     txn T1
+///       lock x        # step 0
+///       update x      # step 1
+///       unlock x      # step 2
+///       lock y        # step 3
+///       update y      # step 4
+///       unlock y      # step 5
+///       edge 2 3      # cross-site precedence Ux -> Ly
+///     end
+///
+/// Rules:
+///   * `sites N` must come first; then `entity <name> <site>` lines;
+///   * `txn <name> [nochain]` ... `end` delimits a transaction; steps are
+///     `lock|update|unlock <entity>`, numbered 0,1,2,... in order;
+///   * steps at one site are chained automatically in file order (matching
+///     the model's per-site total order) unless `nochain` is given;
+///   * `edge A B` adds the precedence step A -> step B;
+///   * `#` starts a comment; blank lines are ignored.
+///
+/// The parsed transactions are validated (Section 2 rules).
+Result<ParsedSystem> ParseSystemText(const std::string& text);
+
+/// Serializes a system back to the text format (with explicit `nochain` and
+/// every precedence spelled out as an edge, so arbitrary partial orders
+/// round-trip exactly).
+std::string SystemToText(const TransactionSystem& system);
+
+}  // namespace dislock
+
+#endif  // DISLOCK_TXN_TEXT_FORMAT_H_

@@ -1,0 +1,146 @@
+#include "txn/transaction.h"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+namespace dislock {
+
+Transaction::Transaction(const DistributedDatabase* db, std::string name)
+    : db_(db), name_(std::move(name)) {
+  DISLOCK_CHECK(db != nullptr);
+  lock_step_.assign(db->NumEntities(), kInvalidStep);
+  unlock_step_.assign(db->NumEntities(), kInvalidStep);
+  lock_count_.assign(db->NumEntities(), 0);
+  unlock_count_.assign(db->NumEntities(), 0);
+}
+
+StepId Transaction::AddStep(StepKind kind, EntityId entity, bool shared) {
+  DISLOCK_CHECK(db_->ValidEntity(entity));
+  StepId id = static_cast<StepId>(steps_.size());
+  steps_.push_back({kind, entity, kind != StepKind::kUpdate && shared});
+  order_.AddNode();
+  // The database may have grown since construction.
+  if (entity >= static_cast<EntityId>(lock_step_.size())) {
+    lock_step_.resize(db_->NumEntities(), kInvalidStep);
+    unlock_step_.resize(db_->NumEntities(), kInvalidStep);
+    lock_count_.resize(db_->NumEntities(), 0);
+    unlock_count_.resize(db_->NumEntities(), 0);
+  }
+  if (kind == StepKind::kLock) {
+    if (lock_step_[entity] == kInvalidStep) lock_step_[entity] = id;
+    ++lock_count_[entity];
+  } else if (kind == StepKind::kUnlock) {
+    if (unlock_step_[entity] == kInvalidStep) unlock_step_[entity] = id;
+    ++unlock_count_[entity];
+  }
+  reach_.reset();
+  return id;
+}
+
+void Transaction::AddPrecedence(StepId before, StepId after) {
+  DISLOCK_CHECK(ValidStep(before) && ValidStep(after));
+  if (order_.HasArc(before, after)) return;
+  order_.AddArc(before, after);
+  reach_.reset();
+}
+
+const Reachability& Transaction::Reach() const {
+  if (!reach_) reach_ = std::make_shared<const Reachability>(order_);
+  return *reach_;
+}
+
+bool Transaction::Precedes(StepId a, StepId b) const {
+  DISLOCK_CHECK(ValidStep(a) && ValidStep(b));
+  return a != b && Reach().Reaches(a, b);
+}
+
+bool Transaction::PrecedesOrEqual(StepId a, StepId b) const {
+  DISLOCK_CHECK(ValidStep(a) && ValidStep(b));
+  return Reach().Reaches(a, b);
+}
+
+bool Transaction::Concurrent(StepId a, StepId b) const {
+  DISLOCK_CHECK(ValidStep(a) && ValidStep(b));
+  return Reach().Concurrent(a, b);
+}
+
+bool Transaction::IsSharedSection(EntityId e) const {
+  StepId l = LockStep(e);
+  return l != kInvalidStep && steps_[l].shared;
+}
+
+StepId Transaction::LockStep(EntityId e) const {
+  DISLOCK_CHECK(db_->ValidEntity(e));
+  return e < static_cast<EntityId>(lock_step_.size()) ? lock_step_[e]
+                                                      : kInvalidStep;
+}
+
+StepId Transaction::UnlockStep(EntityId e) const {
+  DISLOCK_CHECK(db_->ValidEntity(e));
+  return e < static_cast<EntityId>(unlock_step_.size()) ? unlock_step_[e]
+                                                        : kInvalidStep;
+}
+
+std::vector<StepId> Transaction::UpdateSteps(EntityId e) const {
+  std::vector<StepId> out;
+  for (StepId s = 0; s < NumSteps(); ++s) {
+    if (steps_[s].kind == StepKind::kUpdate && steps_[s].entity == e) {
+      out.push_back(s);
+    }
+  }
+  return out;
+}
+
+std::vector<EntityId> Transaction::LockedEntities() const {
+  std::vector<EntityId> out;
+  for (EntityId e = 0; e < static_cast<EntityId>(lock_step_.size()); ++e) {
+    if (lock_step_[e] != kInvalidStep && unlock_step_[e] != kInvalidStep) {
+      out.push_back(e);
+    }
+  }
+  return out;
+}
+
+std::vector<EntityId> Transaction::TouchedEntities() const {
+  std::set<EntityId> seen;
+  for (const Step& s : steps_) seen.insert(s.entity);
+  return {seen.begin(), seen.end()};
+}
+
+int Transaction::LockCount(EntityId e) const {
+  DISLOCK_CHECK(db_->ValidEntity(e));
+  return e < static_cast<EntityId>(lock_count_.size()) ? lock_count_[e] : 0;
+}
+
+int Transaction::UnlockCount(EntityId e) const {
+  DISLOCK_CHECK(db_->ValidEntity(e));
+  return e < static_cast<EntityId>(unlock_count_.size()) ? unlock_count_[e]
+                                                         : 0;
+}
+
+std::string Transaction::ToString() const {
+  std::ostringstream out;
+  out << "Transaction " << name_ << " (" << NumSteps() << " steps)\n";
+  for (SiteId site = 0; site < db_->NumSites(); ++site) {
+    std::vector<StepId> here;
+    for (StepId s = 0; s < NumSteps(); ++s) {
+      if (SiteOfStep(s) == site) here.push_back(s);
+    }
+    if (here.empty()) continue;
+    out << "  site " << site << ":";
+    for (StepId s : here) out << " " << StepString(s) << "#" << s;
+    out << "\n";
+  }
+  out << "  arcs:";
+  for (StepId s = 0; s < NumSteps(); ++s) {
+    for (NodeId t : order_.OutNeighbors(s)) {
+      out << " " << StepString(s) << "#" << s << "->" << StepString(t) << "#"
+          << t;
+    }
+  }
+  out << "\n";
+  return out.str();
+}
+
+}  // namespace dislock

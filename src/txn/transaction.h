@@ -1,0 +1,119 @@
+#ifndef DISLOCK_TXN_TRANSACTION_H_
+#define DISLOCK_TXN_TRANSACTION_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "graph/digraph.h"
+#include "graph/reachability.h"
+#include "txn/database.h"
+#include "txn/step.h"
+#include "util/status.h"
+
+namespace dislock {
+
+/// A (possibly distributed) transaction T = (S, A, e): a set of steps S,
+/// a partial order A on S (stored as a DAG of precedence arcs whose
+/// transitive closure is the partial order), and a modifies-function e
+/// mapping each step to an entity (Section 2 of the paper).
+///
+/// The model requires steps on entities stored at the same site to be
+/// totally ordered; with one site this degenerates to the classical totally
+/// ordered (straight-line) transaction. This requirement is checked by
+/// ValidateTransaction(), not enforced during construction, so invalid
+/// objects can be built and rejected in tests.
+///
+/// Transactions are value types (copyable); the Theorem 2 closure operation
+/// works on copies to which it adds precedences.
+class Transaction {
+ public:
+  /// Creates an empty transaction over `db`. `db` must outlive this object.
+  explicit Transaction(const DistributedDatabase* db, std::string name = "T");
+
+  /// Appends a step; returns its id. Ids are dense [0, NumSteps()).
+  /// `shared` marks read locks/unlocks (ignored for updates).
+  StepId AddStep(StepKind kind, EntityId entity, bool shared = false);
+
+  /// True iff entity e's lock section here is a shared (read) section.
+  /// False when e is not locked or the section is exclusive.
+  bool IsSharedSection(EntityId e) const;
+
+  /// Adds the precedence `before` -> `after` (an arc of A). Duplicate arcs
+  /// are ignored. Adding an arc that creates a cycle is allowed here and
+  /// rejected by ValidateTransaction().
+  void AddPrecedence(StepId before, StepId after);
+
+  int NumSteps() const { return static_cast<int>(steps_.size()); }
+  const Step& GetStep(StepId s) const {
+    DISLOCK_CHECK(ValidStep(s));
+    return steps_[s];
+  }
+  bool ValidStep(StepId s) const { return s >= 0 && s < NumSteps(); }
+
+  const DistributedDatabase& db() const { return *db_; }
+  const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  /// The precedence DAG (arcs, not the full closure).
+  const Digraph& order() const { return order_; }
+
+  /// True iff `a` strictly precedes `b` in the partial order (transitive).
+  bool Precedes(StepId a, StepId b) const;
+  /// True iff a == b or a precedes b.
+  bool PrecedesOrEqual(StepId a, StepId b) const;
+  /// True iff neither precedes the other (the steps are concurrent).
+  bool Concurrent(StepId a, StepId b) const;
+
+  /// The `lock x` step, or kInvalidStep if x is not locked here. If the
+  /// transaction is malformed and locks x twice, the first added step is
+  /// returned (validation reports the malformation).
+  StepId LockStep(EntityId e) const;
+  /// The `unlock x` step, or kInvalidStep.
+  StepId UnlockStep(EntityId e) const;
+  /// All `update x` steps, in insertion order.
+  std::vector<StepId> UpdateSteps(EntityId e) const;
+
+  /// Entities with both a lock and an unlock step here, ascending.
+  std::vector<EntityId> LockedEntities() const;
+  /// Entities touched by any step here, ascending.
+  std::vector<EntityId> TouchedEntities() const;
+
+  /// Number of lock steps added for entity e (for validation; > 1 is
+  /// malformed).
+  int LockCount(EntityId e) const;
+  int UnlockCount(EntityId e) const;
+
+  /// Site of the entity of step `s`.
+  SiteId SiteOfStep(StepId s) const {
+    return db_->SiteOf(GetStep(s).entity);
+  }
+
+  /// Human-readable multi-line dump (steps per site, then arcs).
+  std::string ToString() const;
+
+  /// Renders one step, e.g. "Lx", "Uy", "w".
+  std::string StepString(StepId s) const {
+    return StepToString(GetStep(s), *db_);
+  }
+
+ private:
+  const Reachability& Reach() const;
+
+  const DistributedDatabase* db_;
+  std::string name_;
+  std::vector<Step> steps_;
+  Digraph order_;
+  // Per-entity indexes, maintained on AddStep.
+  std::vector<StepId> lock_step_;    // indexed by EntityId; kInvalidStep
+  std::vector<StepId> unlock_step_;  // if absent
+  std::vector<int> lock_count_;
+  std::vector<int> unlock_count_;
+  // Reachability over order_, rebuilt lazily after mutations.
+  mutable std::shared_ptr<const Reachability> reach_;
+};
+
+}  // namespace dislock
+
+#endif  // DISLOCK_TXN_TRANSACTION_H_

@@ -1,0 +1,98 @@
+#include "txn/validate.h"
+
+#include "graph/topological.h"
+#include "util/string_util.h"
+
+namespace dislock {
+
+Status ValidateTransaction(const Transaction& txn,
+                           const ValidateOptions& options) {
+  const DistributedDatabase& db = txn.db();
+
+  // 1. The precedence relation must be acyclic.
+  if (!IsAcyclic(txn.order())) {
+    return Status::InvalidModel(
+        StrCat("transaction ", txn.name(), ": precedence relation is cyclic"));
+  }
+
+  // 2. Lock/unlock pairing per entity.
+  for (EntityId e = 0; e < db.NumEntities(); ++e) {
+    int locks = txn.LockCount(e);
+    int unlocks = txn.UnlockCount(e);
+    if (locks > 1 || unlocks > 1) {
+      return Status::InvalidModel(
+          StrCat("transaction ", txn.name(), ": entity '", db.NameOf(e),
+                 "' has ", locks, " lock and ", unlocks,
+                 " unlock steps (at most one pair allowed)"));
+    }
+    if (locks != unlocks) {
+      return Status::InvalidModel(
+          StrCat("transaction ", txn.name(), ": entity '", db.NameOf(e),
+                 "' has a lock without unlock or vice versa"));
+    }
+    if (locks == 1) {
+      StepId l = txn.LockStep(e);
+      StepId u = txn.UnlockStep(e);
+      if (!txn.Precedes(l, u)) {
+        return Status::InvalidModel(
+            StrCat("transaction ", txn.name(), ": L", db.NameOf(e),
+                   " does not precede U", db.NameOf(e)));
+      }
+      if (txn.GetStep(l).shared != txn.GetStep(u).shared) {
+        return Status::InvalidModel(
+            StrCat("transaction ", txn.name(), ": entity '", db.NameOf(e),
+                   "' mixes a shared and an exclusive lock/unlock"));
+      }
+    }
+  }
+
+  // 3. Update placement.
+  for (EntityId e = 0; e < db.NumEntities(); ++e) {
+    std::vector<StepId> updates = txn.UpdateSteps(e);
+    StepId l = txn.LockStep(e);
+    StepId u = txn.UnlockStep(e);
+    bool locked = l != kInvalidStep && u != kInvalidStep;
+    if (!locked) {
+      if (!updates.empty() && options.forbid_unlocked_updates) {
+        return Status::InvalidModel(
+            StrCat("transaction ", txn.name(), ": update of '", db.NameOf(e),
+                   "' without a surrounding lock/unlock pair"));
+      }
+      continue;
+    }
+    if (!updates.empty() && txn.IsSharedSection(e)) {
+      return Status::InvalidModel(
+          StrCat("transaction ", txn.name(), ": update of '", db.NameOf(e),
+                 "' inside a shared (read) lock section"));
+    }
+    for (StepId s : updates) {
+      if (!txn.Precedes(l, s) || !txn.Precedes(s, u)) {
+        return Status::InvalidModel(
+            StrCat("transaction ", txn.name(), ": update of '", db.NameOf(e),
+                   "' not between L", db.NameOf(e), " and U", db.NameOf(e)));
+      }
+    }
+    if (options.require_update_between_locks && updates.empty()) {
+      return Status::InvalidModel(
+          StrCat("transaction ", txn.name(), ": no update of '", db.NameOf(e),
+                 "' between its lock and unlock (superfluous locking)"));
+    }
+  }
+
+  // 4. Steps at the same site must be totally ordered.
+  for (StepId a = 0; a < txn.NumSteps(); ++a) {
+    for (StepId b = a + 1; b < txn.NumSteps(); ++b) {
+      if (txn.SiteOfStep(a) != txn.SiteOfStep(b)) continue;
+      if (txn.Concurrent(a, b)) {
+        return Status::InvalidModel(StrCat(
+            "transaction ", txn.name(), ": steps ", txn.StepString(a), "#", a,
+            " and ", txn.StepString(b), "#", b, " are at site ",
+            txn.SiteOfStep(a), " but are not ordered"));
+      }
+    }
+  }
+
+  return Status::OK();
+}
+
+}  // namespace dislock

@@ -1,0 +1,36 @@
+#ifndef DISLOCK_TXN_VALIDATE_H_
+#define DISLOCK_TXN_VALIDATE_H_
+
+#include "txn/transaction.h"
+#include "util/status.h"
+
+namespace dislock {
+
+/// Options controlling how strictly the Section 2 well-formedness rules are
+/// enforced.
+struct ValidateOptions {
+  /// Paper rule: "If these [lock/unlock] steps exist there is at least one
+  /// update x step between them". The paper's own figures omit update steps
+  /// ("we omit the update steps, as they do not affect safety"), so this
+  /// defaults to off; turn it on to check fully spelled-out transactions.
+  bool require_update_between_locks = false;
+
+  /// Paper rule: "There is no update x step not surrounded by such a
+  /// [lock/unlock] pair". On by default; an update outside a lock section is
+  /// an incorrectly locked transaction.
+  bool forbid_unlocked_updates = true;
+};
+
+/// Checks the well-formedness of a locked transaction per Section 2:
+///   * the precedence relation is acyclic (a genuine partial order);
+///   * steps on entities stored at the same site are totally ordered;
+///   * each entity has at most one lock and at most one unlock step,
+///     locks and unlocks come in pairs, and the lock precedes the unlock;
+///   * update placement per `options`.
+/// Returns OK or an InvalidModel status naming the first violation.
+Status ValidateTransaction(const Transaction& txn,
+                           const ValidateOptions& options = ValidateOptions());
+
+}  // namespace dislock
+
+#endif  // DISLOCK_TXN_VALIDATE_H_

@@ -1,0 +1,70 @@
+#ifndef DISLOCK_UTIL_BITSET_H_
+#define DISLOCK_UTIL_BITSET_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace dislock {
+
+/// A fixed-size, heap-allocated bitset with word-parallel union, used for
+/// transitive-closure reachability matrices over transaction DAGs and
+/// conflict graphs.
+class DynamicBitset {
+ public:
+  DynamicBitset() = default;
+  /// Creates a bitset of `size` bits, all clear.
+  explicit DynamicBitset(size_t size)
+      : size_(size), words_((size + 63) / 64, 0) {}
+
+  size_t size() const { return size_; }
+
+  void Set(size_t i) {
+    DISLOCK_CHECK_LT(i, size_);
+    words_[i >> 6] |= (uint64_t{1} << (i & 63));
+  }
+
+  void Reset(size_t i) {
+    DISLOCK_CHECK_LT(i, size_);
+    words_[i >> 6] &= ~(uint64_t{1} << (i & 63));
+  }
+
+  bool Test(size_t i) const {
+    DISLOCK_CHECK_LT(i, size_);
+    return (words_[i >> 6] >> (i & 63)) & 1;
+  }
+
+  /// this |= other. Sizes must match.
+  void UnionWith(const DynamicBitset& other) {
+    DISLOCK_CHECK_EQ(size_, other.size_);
+    for (size_t w = 0; w < words_.size(); ++w) words_[w] |= other.words_[w];
+  }
+
+  /// Number of set bits.
+  size_t Count() const {
+    size_t n = 0;
+    for (uint64_t w : words_) n += static_cast<size_t>(__builtin_popcountll(w));
+    return n;
+  }
+
+  /// True iff no bit is set.
+  bool None() const {
+    for (uint64_t w : words_) {
+      if (w != 0) return false;
+    }
+    return true;
+  }
+
+  bool operator==(const DynamicBitset& other) const {
+    return size_ == other.size_ && words_ == other.words_;
+  }
+
+ private:
+  size_t size_ = 0;
+  std::vector<uint64_t> words_;
+};
+
+}  // namespace dislock
+
+#endif  // DISLOCK_UTIL_BITSET_H_

@@ -1,0 +1,47 @@
+#ifndef DISLOCK_UTIL_LOGGING_H_
+#define DISLOCK_UTIL_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+namespace dislock {
+namespace internal {
+
+/// Terminates the process after streaming a failure message. Used by the
+/// DISLOCK_CHECK family for invariants whose violation indicates a bug (not a
+/// recoverable model error, which goes through Status instead).
+class FatalLogMessage {
+ public:
+  FatalLogMessage(const char* file, int line) {
+    stream_ << file << ":" << line << ": CHECK failed: ";
+  }
+  [[noreturn]] ~FatalLogMessage() {
+    std::cerr << stream_.str() << std::endl;
+    std::abort();
+  }
+  std::ostream& stream() { return stream_; }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace dislock
+
+/// Aborts with a message when `cond` is false. For programmer errors only.
+#define DISLOCK_CHECK(cond)                                     \
+  if (cond) {                                                   \
+  } else                                                        \
+    ::dislock::internal::FatalLogMessage(__FILE__, __LINE__)    \
+        .stream()                                               \
+        << #cond << " "
+
+#define DISLOCK_CHECK_EQ(a, b) DISLOCK_CHECK((a) == (b))
+#define DISLOCK_CHECK_NE(a, b) DISLOCK_CHECK((a) != (b))
+#define DISLOCK_CHECK_LT(a, b) DISLOCK_CHECK((a) < (b))
+#define DISLOCK_CHECK_LE(a, b) DISLOCK_CHECK((a) <= (b))
+#define DISLOCK_CHECK_GT(a, b) DISLOCK_CHECK((a) > (b))
+#define DISLOCK_CHECK_GE(a, b) DISLOCK_CHECK((a) >= (b))
+
+#endif  // DISLOCK_UTIL_LOGGING_H_

@@ -1,0 +1,136 @@
+#ifndef DISLOCK_UTIL_STATUS_H_
+#define DISLOCK_UTIL_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace dislock {
+
+/// Error category for a failed operation.
+///
+/// The library does not throw exceptions on ordinary failure paths; fallible
+/// operations return a Status (or a Result<T>, below) in the style of
+/// Arrow/RocksDB.
+enum class StatusCode {
+  kOk = 0,
+  /// The caller supplied an argument that violates a documented precondition.
+  kInvalidArgument,
+  /// A transaction or system violates the well-formedness rules of the model
+  /// (Section 2 of the paper): lock/unlock pairing, per-site total order, ...
+  kInvalidModel,
+  /// A requested object (entity, step, transaction) does not exist.
+  kNotFound,
+  /// The operation would exceed a configured resource limit (e.g. the
+  /// exhaustive safety oracle on an instance with too many linear extensions).
+  kResourceExhausted,
+  /// An internal invariant failed; indicates a bug in the library.
+  kInternal,
+  /// The algorithm cannot decide this instance (e.g. the sufficient-only
+  /// Theorem 1 test on a >2-site system whose D graph is not strongly
+  /// connected).
+  kUndecided,
+};
+
+/// Human-readable name of a StatusCode ("OK", "InvalidArgument", ...).
+const char* StatusCodeName(StatusCode code);
+
+/// A success-or-error value describing the outcome of an operation.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status InvalidModel(std::string msg) {
+    return Status(StatusCode::kInvalidModel, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Undecided(std::string msg) {
+    return Status(StatusCode::kUndecided, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Either a value of type T or an error Status. Analogous to
+/// arrow::Result / absl::StatusOr.
+template <typename T>
+class Result {
+ public:
+  /// Implicit from a value (success).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit from a non-OK status (failure). Constructing from an OK status
+  /// is a programming error and yields an Internal error instead.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    if (status_.ok()) {
+      status_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  /// The contained value; must only be called when ok().
+  const T& value() const& { return *value_; }
+  T& value() & { return *value_; }
+  T&& value() && { return std::move(*value_); }
+
+  const T& operator*() const& { return *value_; }
+  T& operator*() & { return *value_; }
+  const T* operator->() const { return &*value_; }
+  T* operator->() { return &*value_; }
+
+  /// The value, or `fallback` if this Result holds an error.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  std::optional<T> value_;
+  Status status_;  // OK iff value_ present.
+};
+
+/// Propagates a non-OK Status from an expression, RocksDB-style.
+#define DISLOCK_RETURN_NOT_OK(expr)           \
+  do {                                        \
+    ::dislock::Status _st = (expr);           \
+    if (!_st.ok()) return _st;                \
+  } while (false)
+
+/// Evaluates a Result expression; on error returns its Status, otherwise
+/// moves the value into `lhs`.
+#define DISLOCK_ASSIGN_OR_RETURN(lhs, expr)   \
+  auto DISLOCK_CONCAT_(_res, __LINE__) = (expr);              \
+  if (!DISLOCK_CONCAT_(_res, __LINE__).ok())                  \
+    return DISLOCK_CONCAT_(_res, __LINE__).status();          \
+  lhs = std::move(DISLOCK_CONCAT_(_res, __LINE__)).value()
+
+#define DISLOCK_CONCAT_IMPL_(a, b) a##b
+#define DISLOCK_CONCAT_(a, b) DISLOCK_CONCAT_IMPL_(a, b)
+
+}  // namespace dislock
+
+#endif  // DISLOCK_UTIL_STATUS_H_

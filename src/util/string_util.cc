@@ -1,0 +1,39 @@
+#include "util/string_util.h"
+
+#include <cctype>
+
+namespace dislock {
+
+std::vector<std::string> Split(const std::string& s, char delim) {
+  std::vector<std::string> out;
+  std::string field;
+  for (char c : s) {
+    if (c == delim) {
+      out.push_back(field);
+      field.clear();
+    } else {
+      field.push_back(c);
+    }
+  }
+  out.push_back(field);
+  return out;
+}
+
+std::string Trim(const std::string& s) {
+  size_t begin = 0;
+  size_t end = s.size();
+  while (begin < end && std::isspace(static_cast<unsigned char>(s[begin]))) {
+    ++begin;
+  }
+  while (end > begin && std::isspace(static_cast<unsigned char>(s[end - 1]))) {
+    --end;
+  }
+  return s.substr(begin, end - begin);
+}
+
+bool StartsWith(const std::string& s, const std::string& prefix) {
+  return s.size() >= prefix.size() &&
+         s.compare(0, prefix.size(), prefix) == 0;
+}
+
+}  // namespace dislock

@@ -1,0 +1,42 @@
+#ifndef DISLOCK_UTIL_STRING_UTIL_H_
+#define DISLOCK_UTIL_STRING_UTIL_H_
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace dislock {
+
+/// Concatenates the string representations of all arguments.
+template <typename... Args>
+std::string StrCat(const Args&... args) {
+  std::ostringstream out;
+  (out << ... << args);
+  return out.str();
+}
+
+/// Joins the elements of `parts` with `sep` between consecutive elements.
+template <typename Container>
+std::string Join(const Container& parts, const std::string& sep) {
+  std::ostringstream out;
+  bool first = true;
+  for (const auto& p : parts) {
+    if (!first) out << sep;
+    out << p;
+    first = false;
+  }
+  return out.str();
+}
+
+/// Splits `s` on `delim`, keeping empty fields.
+std::vector<std::string> Split(const std::string& s, char delim);
+
+/// Strips leading and trailing ASCII whitespace.
+std::string Trim(const std::string& s);
+
+/// True iff `s` begins with `prefix`.
+bool StartsWith(const std::string& s, const std::string& prefix);
+
+}  // namespace dislock
+
+#endif  // DISLOCK_UTIL_STRING_UTIL_H_

@@ -1,0 +1,190 @@
+// Tests for deadlock analysis: reachable-state search, waits-for graphs,
+// the ordered-acquisition sufficient condition, and cross-validation
+// against the randomized scheduler.
+
+#include <gtest/gtest.h>
+
+#include "core/deadlock.h"
+#include "core/paper.h"
+#include "core/policy.h"
+#include "graph/cycles.h"
+#include "sim/scheduler.h"
+#include "sim/workload.h"
+#include "txn/builder.h"
+
+namespace dislock {
+namespace {
+
+/// The classic opposed-order pair: T1 = Lx Ly Uy Ux, T2 = Ly Lx Ux Uy.
+TransactionSystem MakeOpposedPair(DistributedDatabase* db) {
+  TransactionSystem system(db);
+  {
+    TransactionBuilder b(db, "T1");
+    b.Lock("x");
+    b.Lock("y");
+    b.Unlock("y");
+    b.Unlock("x");
+    system.Add(b.Build());
+  }
+  {
+    TransactionBuilder b(db, "T2");
+    b.Lock("y");
+    b.Lock("x");
+    b.Unlock("x");
+    b.Unlock("y");
+    system.Add(b.Build());
+  }
+  return system;
+}
+
+TEST(Deadlock, OpposedOrderPairDeadlocks) {
+  DistributedDatabase db(1);
+  db.MustAddEntity("x", 0);
+  db.MustAddEntity("y", 0);
+  TransactionSystem system = MakeOpposedPair(&db);
+
+  auto report = AnalyzeDeadlockFreedom(system);
+  ASSERT_TRUE(report.ok());
+  EXPECT_FALSE(report->deadlock_free);
+  ASSERT_TRUE(report->dead_prefix.has_value());
+  EXPECT_EQ(report->blocked_txns.size(), 2u);  // mutual wait
+  EXPECT_FALSE(OrderedLockAcquisition(system));
+
+  // The dead prefix really leaves everything blocked: replay it and build
+  // the waits-for graph, which must have a cycle.
+  std::vector<std::vector<StepId>> executed(2);
+  for (const SysStep& ev : report->dead_prefix->events()) {
+    executed[ev.txn].push_back(ev.step);
+  }
+  auto waits = BuildWaitsForGraph(system, executed);
+  ASSERT_TRUE(waits.ok()) << waits.status().ToString();
+  EXPECT_TRUE(HasCycle(*waits));
+}
+
+TEST(Deadlock, AlignedOrderPairIsDeadlockFree) {
+  DistributedDatabase db(1);
+  db.MustAddEntity("x", 0);
+  db.MustAddEntity("y", 0);
+  TransactionSystem system(&db);
+  for (const char* name : {"T1", "T2"}) {
+    TransactionBuilder b(&db, name);
+    b.Lock("x");
+    b.Lock("y");
+    b.Unlock("y");
+    b.Unlock("x");
+    system.Add(b.Build());
+  }
+  EXPECT_TRUE(OrderedLockAcquisition(system));
+  auto report = AnalyzeDeadlockFreedom(system);
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->deadlock_free);
+  EXPECT_GT(report->states_explored, 0);
+}
+
+TEST(Deadlock, Fig5PairCanDeadlock) {
+  // The Fig. 5 reconstruction is SAFE but not deadlock-free — safety and
+  // deadlock freedom are independent properties.
+  PaperInstance inst = MakeFig5Instance();
+  auto report = AnalyzeDeadlockFreedom(*inst.system);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_FALSE(report->deadlock_free);
+}
+
+TEST(Deadlock, SearchAgreesWithSimulatorOnRandomSystems) {
+  Rng rng(515);
+  int free_seen = 0;
+  int deadlocking_seen = 0;
+  for (int trial = 0; trial < 60; ++trial) {
+    WorkloadParams params;
+    // Alternate centralized (shuffled acquisition orders oppose often, so
+    // deadlocks are common) and two-site layouts.
+    params.num_sites = 1 + (trial % 2);
+    params.num_entities = 4;
+    params.num_transactions = 2;
+    params.lock_probability = 1.0;
+    params.cross_site_arcs = 1;
+    Workload w = MakeRandomWorkload(params, &rng);
+    auto report = AnalyzeDeadlockFreedom(*w.system, 1 << 20);
+    if (!report.ok()) continue;
+
+    // Simulate: if the search says deadlock-free, no run may deadlock; if
+    // not, some run should (the scheduler reaches every state with nonzero
+    // probability).
+    int deadlocked_runs = 0;
+    for (int r = 0; r < 2000; ++r) {
+      if (SimulateRun(*w.system, &rng).deadlocked) ++deadlocked_runs;
+    }
+    if (report->deadlock_free) {
+      EXPECT_EQ(deadlocked_runs, 0) << w.system->ToString();
+      ++free_seen;
+    } else {
+      EXPECT_GT(deadlocked_runs, 0) << w.system->ToString();
+      ++deadlocking_seen;
+    }
+  }
+  EXPECT_GT(free_seen, 3);
+  EXPECT_GT(deadlocking_seen, 3);
+}
+
+TEST(Deadlock, DeadPrefixIsReplayable) {
+  DistributedDatabase db(1);
+  db.MustAddEntity("x", 0);
+  db.MustAddEntity("y", 0);
+  TransactionSystem system = MakeOpposedPair(&db);
+  auto report = AnalyzeDeadlockFreedom(system);
+  ASSERT_TRUE(report.ok());
+  ASSERT_TRUE(report->dead_prefix.has_value());
+  // The canonical dead prefix here is Lx_1 Ly_2 (in some order).
+  EXPECT_EQ(report->dead_prefix->size(), 2u);
+}
+
+TEST(Deadlock, OrderedAcquisitionHoldsForTwoPhaseWithSharedOrder) {
+  DistributedDatabase db(2);
+  std::vector<EntityId> all;
+  for (int e = 0; e < 4; ++e) {
+    all.push_back(db.MustAddEntity(std::string("e") + std::to_string(e),
+                                   e % 2));
+  }
+  TransactionSystem system(&db);
+  system.Add(MakeTwoPhaseTransaction(&db, "T1", all));
+  system.Add(MakeTwoPhaseTransaction(&db, "T2", all));
+  // MakeTwoPhaseTransaction acquires in the given (shared) order per site,
+  // but locks at different sites stay concurrent, so opposition is still
+  // possible across sites; the conservative check may say false. Verify
+  // instead on single-site systems where the order is total.
+  DistributedDatabase db1(1);
+  std::vector<EntityId> all1;
+  for (int e = 0; e < 4; ++e) {
+    all1.push_back(db1.MustAddEntity(std::string("f") + std::to_string(e), 0));
+  }
+  TransactionSystem central(&db1);
+  central.Add(MakeTwoPhaseTransaction(&db1, "T1", all1));
+  central.Add(MakeTwoPhaseTransaction(&db1, "T2", all1));
+  EXPECT_TRUE(OrderedLockAcquisition(central));
+  auto report = AnalyzeDeadlockFreedom(central);
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->deadlock_free);
+}
+
+TEST(WaitsFor, RejectsNonDownClosedState) {
+  DistributedDatabase db(1);
+  db.MustAddEntity("x", 0);
+  db.MustAddEntity("y", 0);
+  TransactionSystem system = MakeOpposedPair(&db);
+  // Executed step 1 (Ly of T1) without step 0 (Lx): not down-closed.
+  std::vector<std::vector<StepId>> executed = {{1}, {}};
+  EXPECT_FALSE(BuildWaitsForGraph(system, executed).ok());
+}
+
+TEST(WaitsFor, EmptyStateHasNoArcs) {
+  DistributedDatabase db(1);
+  db.MustAddEntity("x", 0);
+  db.MustAddEntity("y", 0);
+  TransactionSystem system = MakeOpposedPair(&db);
+  auto waits = BuildWaitsForGraph(system, {{}, {}});
+  ASSERT_TRUE(waits.ok());
+  EXPECT_EQ(waits->NumArcs(), 0);
+}
+
+}  // namespace
+}  // namespace dislock

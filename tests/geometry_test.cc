@@ -1,0 +1,225 @@
+// Unit tests for the geometric method: pictures, rectangles, curves,
+// separation (Proposition 1), and the naive grid-BFS unsafety test.
+
+#include <gtest/gtest.h>
+
+#include "core/conflict_graph.h"
+#include "core/paper.h"
+#include "geometry/curve.h"
+#include "geometry/picture.h"
+#include "graph/scc.h"
+#include "txn/builder.h"
+#include "util/random.h"
+
+namespace dislock {
+namespace {
+
+/// The Fig. 2 pair (both totally ordered).
+struct Fig2 {
+  PaperInstance inst = MakeFig2Instance();
+  const Transaction& t1() { return inst.system->txn(0); }
+  const Transaction& t2() { return inst.system->txn(1); }
+};
+
+TEST(Picture, TotalOrderOfRejectsPartialOrders) {
+  DistributedDatabase db(2);
+  db.MustAddEntity("x", 0);
+  db.MustAddEntity("y", 1);
+  TransactionBuilder b(&db);
+  b.Lock("x");
+  b.Lock("y");  // concurrent with the x steps
+  b.Unlock("x");
+  b.Unlock("y");
+  EXPECT_FALSE(TotalOrderOf(b.Build()).ok());
+}
+
+TEST(Picture, RectangleCoordinatesMatchStepPositions) {
+  Fig2 f;
+  auto pic = PairPicture::Make(f.t1(), f.t2());
+  ASSERT_TRUE(pic.ok());
+  // t1 = Lx Ly x y Ux Uy Lz z Uz: x locked at position 1, unlocked at 5.
+  for (const Rect& r : pic->rects()) {
+    if (f.inst.db->NameOf(r.entity) == "x") {
+      EXPECT_EQ(r.lx1, 1);
+      EXPECT_EQ(r.ux1, 5);
+      // t2 = Lz z Uz Ly Lx x y Ux Uy: x locked at 5, unlocked at 8.
+      EXPECT_EQ(r.lx2, 5);
+      EXPECT_EQ(r.ux2, 8);
+    }
+    if (f.inst.db->NameOf(r.entity) == "z") {
+      EXPECT_EQ(r.lx1, 7);
+      EXPECT_EQ(r.ux1, 9);
+      EXPECT_EQ(r.lx2, 1);
+      EXPECT_EQ(r.ux2, 3);
+    }
+  }
+}
+
+TEST(Picture, RenderShowsForbiddenRegions) {
+  Fig2 f;
+  auto pic = PairPicture::Make(f.t1(), f.t2());
+  ASSERT_TRUE(pic.ok());
+  std::string ascii = pic->Render(*f.inst.system);
+  EXPECT_NE(ascii.find('#'), std::string::npos);
+  EXPECT_NE(ascii.find("Lx"), std::string::npos);
+}
+
+TEST(Curve, RoundTripsThroughSchedule) {
+  Fig2 f;
+  auto pic = PairPicture::Make(f.t1(), f.t2());
+  ASSERT_TRUE(pic.ok());
+  CurveHeights heights(pic->num_steps1() + 1, 0);
+  // Diagonal-ish staircase.
+  for (int c = 0; c <= pic->num_steps1(); ++c) heights[c] = c;
+  Schedule h = CurveToSchedule(*pic, heights);
+  EXPECT_EQ(h.size(), 18u);
+  CurveHeights back = ScheduleToCurve(*pic, h);
+  for (int c = 0; c < pic->num_steps1(); ++c) EXPECT_EQ(back[c], heights[c]);
+}
+
+TEST(Curve, FindSeparatingCurveRequiresPartition) {
+  Fig2 f;
+  auto pic = PairPicture::Make(f.t1(), f.t2());
+  ASSERT_TRUE(pic.ok());
+  EntityId x = f.inst.db->Find("x").value();
+  EntityId y = f.inst.db->Find("y").value();
+  EntityId z = f.inst.db->Find("z").value();
+  EXPECT_FALSE(FindSeparatingCurve(*pic, {x}, {z}).ok());       // y missing
+  EXPECT_FALSE(FindSeparatingCurve(*pic, {x, y}, {y, z}).ok()); // overlap
+}
+
+TEST(Curve, SeparatesZAboveXYBelow) {
+  Fig2 f;
+  auto pic = PairPicture::Make(f.t1(), f.t2());
+  ASSERT_TRUE(pic.ok());
+  EntityId x = f.inst.db->Find("x").value();
+  EntityId y = f.inst.db->Find("y").value();
+  EntityId z = f.inst.db->Find("z").value();
+  auto curve = FindSeparatingCurve(*pic, /*pass_above=*/{z},
+                                   /*pass_below=*/{x, y});
+  ASSERT_TRUE(curve.ok()) << curve.status().ToString();
+  Schedule h = CurveToSchedule(*pic, curve.value());
+  TransactionSystem pair(f.inst.db.get());
+  pair.Add(f.t1());
+  pair.Add(f.t2());
+  EXPECT_TRUE(CheckScheduleLegal(pair, h).ok());
+  EXPECT_FALSE(IsSerializable(pair, h));
+  auto sep = FindSeparation(*pic, h);
+  ASSERT_TRUE(sep.has_value());
+}
+
+TEST(Curve, InfeasiblePartitionIsDetected) {
+  // A safe pair (both strongly two-phase): any split should fail because no
+  // monotone curve can separate intersecting rectangle constraints.
+  DistributedDatabase db(1);
+  db.MustAddEntity("x", 0);
+  db.MustAddEntity("y", 0);
+  TransactionSystem system(&db);
+  for (const char* name : {"t1", "t2"}) {
+    TransactionBuilder b(&db, name);
+    b.Lock("x");
+    b.Lock("y");
+    b.Unlock("x");
+    b.Unlock("y");
+    system.Add(b.Build());
+  }
+  auto pic = PairPicture::Make(system.txn(0), system.txn(1));
+  ASSERT_TRUE(pic.ok());
+  EntityId x = db.Find("x").value();
+  EntityId y = db.Find("y").value();
+  EXPECT_FALSE(FindSeparatingCurve(*pic, {x}, {y}).ok());
+  EXPECT_FALSE(FindSeparatingCurve(*pic, {y}, {x}).ok());
+}
+
+TEST(NaiveGeometric, SafePairHasNoWitness) {
+  DistributedDatabase db(1);
+  db.MustAddEntity("x", 0);
+  db.MustAddEntity("y", 0);
+  TransactionSystem system(&db);
+  for (const char* name : {"t1", "t2"}) {
+    TransactionBuilder b(&db, name);
+    b.Lock("x");
+    b.Lock("y");
+    b.Unlock("x");
+    b.Unlock("y");
+    system.Add(b.Build());
+  }
+  auto pic = PairPicture::Make(system.txn(0), system.txn(1));
+  ASSERT_TRUE(pic.ok());
+  auto witness = NaiveGeometricUnsafetyTest(*pic);
+  EXPECT_FALSE(witness.ok());
+  EXPECT_EQ(witness.status().code(), StatusCode::kNotFound);
+}
+
+TEST(NaiveGeometric, AgreesWithStrongConnectivityOnRandomPairs) {
+  // Proposition 1 + Theorem 1/2: for totally ordered pairs, a separating
+  // schedule exists iff D(t1,t2) is not strongly connected.
+  Rng rng(1234);
+  int unsafe_seen = 0;
+  for (int trial = 0; trial < 150; ++trial) {
+    const int k = 2 + static_cast<int>(rng.Uniform(3));  // 2..4 entities
+    DistributedDatabase db(1);
+    TransactionSystem system(&db);
+    for (int e = 0; e < k; ++e) {
+      db.MustAddEntity(std::string("e") + std::to_string(e), 0);
+    }
+    for (int t = 0; t < 2; ++t) {
+      // Random legal shuffle of L/U tokens.
+      std::vector<int> tokens;
+      for (int e = 0; e < k; ++e) {
+        tokens.push_back(e);
+        tokens.push_back(e);
+      }
+      rng.Shuffle(&tokens);
+      std::vector<bool> seen(k, false);
+      TransactionBuilder b(&db, std::string("t") + std::to_string(t + 1));
+      for (int e : tokens) {
+        if (!seen[e]) {
+          b.Add(StepKind::kLock, e);
+          seen[e] = true;
+        } else {
+          b.Add(StepKind::kUnlock, e);
+        }
+      }
+      system.Add(b.Build());
+    }
+    auto pic = PairPicture::Make(system.txn(0), system.txn(1));
+    ASSERT_TRUE(pic.ok());
+    ConflictGraph d = BuildConflictGraph(system.txn(0), system.txn(1));
+    bool safe_by_scc = IsStronglyConnected(d.graph);
+    auto witness = NaiveGeometricUnsafetyTest(*pic);
+    EXPECT_EQ(!witness.ok(), safe_by_scc) << "trial " << trial;
+    if (witness.ok()) {
+      ++unsafe_seen;
+      EXPECT_TRUE(CheckScheduleLegal(system, witness->schedule).ok());
+      EXPECT_FALSE(IsSerializable(system, witness->schedule));
+    }
+  }
+  EXPECT_GT(unsafe_seen, 10);
+}
+
+TEST(ScheduleSides, DetectsThroughOnIllegalSchedule) {
+  // Interleave the lock sections on x (illegal): side should be kThrough.
+  DistributedDatabase db(1);
+  db.MustAddEntity("x", 0);
+  TransactionSystem system(&db);
+  for (const char* name : {"t1", "t2"}) {
+    TransactionBuilder b(&db, name);
+    b.Lock("x");
+    b.Unlock("x");
+    system.Add(b.Build());
+  }
+  auto pic = PairPicture::Make(system.txn(0), system.txn(1));
+  ASSERT_TRUE(pic.ok());
+  Schedule h;
+  h.Append(0, 0);  // Lx_1
+  h.Append(1, 0);  // Lx_2 (illegal)
+  h.Append(0, 1);
+  h.Append(1, 1);
+  auto sides = ScheduleSides(*pic, h);
+  ASSERT_EQ(sides.size(), 1u);
+  EXPECT_EQ(sides[0], RectSide::kThrough);
+}
+
+}  // namespace
+}  // namespace dislock

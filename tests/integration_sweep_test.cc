@@ -1,0 +1,138 @@
+// Full-matrix integration sweep: for grids of (sites, entities,
+// transactions, seed), every decision path the library offers must tell one
+// consistent story — analyzer verdicts, exhaustive oracles, Monte-Carlo
+// sampling, symbolic execution, and deadlock search. Uses the umbrella
+// header as a compile check of the whole public API.
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "dislock.h"
+
+namespace dislock {
+namespace {
+
+using SweepParam = std::tuple<int, int, int>;  // sites, entities, seed
+
+class PairMatrix : public ::testing::TestWithParam<SweepParam> {};
+
+TEST_P(PairMatrix, AllDecisionPathsAgree) {
+  auto [sites, entities, seed] = GetParam();
+  Rng rng(static_cast<uint64_t>(seed) * 7919 + sites * 31 + entities);
+  for (int trial = 0; trial < 4; ++trial) {
+    WorkloadParams params;
+    params.num_sites = sites;
+    params.num_entities = entities;
+    params.num_transactions = 2;
+    params.lock_probability = 0.85;
+    // Every lock section gets an update: the paper's well-formedness rule,
+    // and the precondition for conflict- and execution-serializability to
+    // coincide (see sim/executor.h).
+    params.update_probability = 1.0;
+    params.cross_site_arcs = 1 + static_cast<int>(rng.Uniform(2));
+    Workload w = MakeRandomWorkload(params, &rng);
+    ASSERT_TRUE(w.system->Validate().ok()) << w.system->ToString();
+    const Transaction& t1 = w.system->txn(0);
+    const Transaction& t2 = w.system->txn(1);
+
+    SafetyOptions options;
+    options.max_extension_pairs = 1 << 16;
+    PairSafetyReport report = AnalyzePairSafety(t1, t2, options);
+
+    // 1. The verdict agrees with the Lemma 1 oracle whenever both decide.
+    auto oracle = ExhaustivePairSafety(t1, t2, 1 << 16);
+    if (oracle.ok() && report.verdict != SafetyVerdict::kUnknown) {
+      EXPECT_EQ(report.verdict == SafetyVerdict::kSafe, oracle->safe)
+          << "method=" << report.method << "\n"
+          << w.system->ToString();
+    }
+
+    // 2. Unsafe verdicts carry certificates that replay against the
+    //    original system, combinatorially and operationally.
+    if (report.certificate.has_value()) {
+      EXPECT_TRUE(
+          VerifyUnsafetyCertificate(t1, t2, *report.certificate).ok());
+      EXPECT_TRUE(
+          CheckScheduleLegal(*w.system, report.certificate->schedule).ok());
+      EXPECT_FALSE(IsSerializable(*w.system, report.certificate->schedule));
+      auto by_exec =
+          SerializableByExecution(*w.system, report.certificate->schedule);
+      ASSERT_TRUE(by_exec.ok());
+      EXPECT_FALSE(by_exec.value());
+    }
+
+    // 3. Safe verdicts survive sampling.
+    if (report.verdict == SafetyVerdict::kSafe) {
+      MonteCarloStats stats = SampleSafety(*w.system, 400, &rng,
+                                           /*keep_going=*/true);
+      EXPECT_EQ(stats.non_serializable, 0) << w.system->ToString();
+    }
+
+    // 4. Deadlock search agrees with simulated deadlock observations.
+    auto deadlock = AnalyzeDeadlockFreedom(*w.system, 1 << 18);
+    if (deadlock.ok() && deadlock->deadlock_free) {
+      int deadlocked = 0;
+      for (int r = 0; r < 300; ++r) {
+        if (SimulateRun(*w.system, &rng).deadlocked) ++deadlocked;
+      }
+      EXPECT_EQ(deadlocked, 0) << w.system->ToString();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, PairMatrix,
+    ::testing::Combine(::testing::Values(1, 2, 3, 4),
+                       ::testing::Values(2, 3, 4),
+                       ::testing::Values(1, 2, 3)),
+    [](const ::testing::TestParamInfo<SweepParam>& info) {
+      return "sites" + std::to_string(std::get<0>(info.param)) + "e" +
+             std::to_string(std::get<1>(info.param)) + "s" +
+             std::to_string(std::get<2>(info.param));
+    });
+
+class SystemMatrix : public ::testing::TestWithParam<SweepParam> {};
+
+TEST_P(SystemMatrix, MultiAnalysisConsistentWithSampling) {
+  auto [sites, txns, seed] = GetParam();
+  Rng rng(static_cast<uint64_t>(seed) * 104729 + sites + txns);
+  for (int trial = 0; trial < 3; ++trial) {
+    WorkloadParams params;
+    params.num_sites = sites;
+    params.num_entities = 3;
+    params.num_transactions = txns;
+    params.lock_probability = 0.6;
+    Workload w = MakeRandomWorkload(params, &rng);
+
+    MultiSafetyOptions options;
+    options.pair_options.max_extension_pairs = 1 << 15;
+    MultiSafetyReport report = AnalyzeMultiSafety(*w.system, options);
+    if (report.verdict == SafetyVerdict::kSafe) {
+      MonteCarloStats stats = SampleSafety(*w.system, 500, &rng,
+                                           /*keep_going=*/true);
+      EXPECT_EQ(stats.non_serializable, 0) << w.system->ToString();
+    }
+    if (report.verdict == SafetyVerdict::kUnsafe) {
+      // The schedule oracle (when affordable) must find a witness.
+      auto oracle = ExhaustiveScheduleSafety(*w.system, 1 << 17);
+      if (oracle.ok()) {
+        EXPECT_FALSE(oracle->safe) << w.system->ToString();
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, SystemMatrix,
+    ::testing::Combine(::testing::Values(1, 2),
+                       ::testing::Values(3, 4),
+                       ::testing::Values(1, 2, 3)),
+    [](const ::testing::TestParamInfo<SweepParam>& info) {
+      return "sites" + std::to_string(std::get<0>(info.param)) + "k" +
+             std::to_string(std::get<1>(info.param)) + "s" +
+             std::to_string(std::get<2>(info.param));
+    });
+
+}  // namespace
+}  // namespace dislock

@@ -1,0 +1,261 @@
+// Machine-checked reproductions of the paper's worked figures. Each test
+// asserts exactly the property the figure is used to demonstrate.
+
+#include <gtest/gtest.h>
+
+#include "core/brute_force.h"
+#include "core/closure.h"
+#include "core/conflict_graph.h"
+#include "core/multi.h"
+#include "core/paper.h"
+#include "core/safety.h"
+#include "geometry/curve.h"
+#include "geometry/picture.h"
+#include "graph/dominator.h"
+#include "graph/scc.h"
+#include "sim/executor.h"
+#include "sim/scheduler.h"
+#include "txn/linear_extension.h"
+
+namespace dislock {
+namespace {
+
+// ---------------------------------------------------------------- Fig. 1 --
+
+TEST(Fig1, SystemIsValid) {
+  PaperInstance inst = MakeFig1Instance();
+  ASSERT_TRUE(inst.system->Validate().ok());
+  EXPECT_EQ(inst.db->NumSites(), 2);
+}
+
+TEST(Fig1, DGraphIsNotStronglyConnected) {
+  PaperInstance inst = MakeFig1Instance();
+  ConflictGraph d = BuildConflictGraph(inst.system->txn(0),
+                                       inst.system->txn(1));
+  EXPECT_EQ(d.graph.NumNodes(), 2);  // x and w are commonly locked
+  EXPECT_FALSE(IsStronglyConnected(d.graph));
+}
+
+TEST(Fig1, TwoSiteTestSaysUnsafeWithVerifiedCertificate) {
+  PaperInstance inst = MakeFig1Instance();
+  auto report = TwoSiteSafetyTest(inst.system->txn(0), inst.system->txn(1));
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->verdict, SafetyVerdict::kUnsafe);
+  ASSERT_TRUE(report->certificate.has_value());
+  EXPECT_TRUE(VerifyUnsafetyCertificate(inst.system->txn(0),
+                                        inst.system->txn(1),
+                                        *report->certificate)
+                  .ok());
+}
+
+TEST(Fig1, HandWrittenNonSerializableScheduleIsLegal) {
+  // The figure's schedule shape: T1's x section, then all of T2, then T1's
+  // w section.
+  PaperInstance inst = MakeFig1Instance();
+  Schedule h;
+  for (StepId s = 0; s < 3; ++s) h.Append(0, s);  // Lx x Ux of T1
+  for (StepId s = 0; s < inst.system->txn(1).NumSteps(); ++s) h.Append(1, s);
+  for (StepId s = 3; s < 6; ++s) h.Append(0, s);  // Lw w Uw of T1
+  ASSERT_TRUE(CheckScheduleLegal(*inst.system, h).ok());
+  EXPECT_FALSE(IsSerializable(*inst.system, h));
+
+  // The operational (symbolic-execution) check agrees.
+  auto by_exec = SerializableByExecution(*inst.system, h);
+  ASSERT_TRUE(by_exec.ok());
+  EXPECT_FALSE(by_exec.value());
+}
+
+TEST(Fig1, ScheduleOracleAgreesSystemIsUnsafe) {
+  PaperInstance inst = MakeFig1Instance();
+  auto oracle = ExhaustiveScheduleSafety(*inst.system, 1 << 22);
+  ASSERT_TRUE(oracle.ok()) << oracle.status().ToString();
+  EXPECT_FALSE(oracle->safe);
+  ASSERT_TRUE(oracle->witness.has_value());
+  EXPECT_FALSE(IsSerializable(*inst.system, *oracle->witness));
+}
+
+// ---------------------------------------------------------------- Fig. 2 --
+
+TEST(Fig2, PictureHasThreeRectangles) {
+  PaperInstance inst = MakeFig2Instance();
+  auto pic = PairPicture::Make(inst.system->txn(0), inst.system->txn(1));
+  ASSERT_TRUE(pic.ok()) << pic.status().ToString();
+  EXPECT_EQ(pic->rects().size(), 3u);
+  EXPECT_EQ(pic->num_steps1(), 9);
+  EXPECT_EQ(pic->num_steps2(), 9);
+}
+
+TEST(Fig2, PaperScheduleSeparatesXandZ) {
+  // h = t1_1..t1_6, all of t2, then t1_7..t1_9 (the paper's curve h).
+  PaperInstance inst = MakeFig2Instance();
+  Schedule h;
+  for (StepId s = 0; s < 6; ++s) h.Append(0, s);
+  for (StepId s = 0; s < 9; ++s) h.Append(1, s);
+  for (StepId s = 6; s < 9; ++s) h.Append(0, s);
+  ASSERT_TRUE(CheckScheduleLegal(*inst.system, h).ok());
+  EXPECT_FALSE(IsSerializable(*inst.system, h));
+
+  auto pic = PairPicture::Make(inst.system->txn(0), inst.system->txn(1));
+  ASSERT_TRUE(pic.ok());
+  auto separation = FindSeparation(*pic, h);
+  ASSERT_TRUE(separation.has_value());
+  // h runs below the x- (and y-) rectangle and above the z-rectangle.
+  std::vector<RectSide> sides = ScheduleSides(*pic, h);
+  ASSERT_EQ(sides.size(), pic->rects().size());
+  for (size_t i = 0; i < sides.size(); ++i) {
+    const std::string& name = inst.db->NameOf(pic->rects()[i].entity);
+    if (name == "z") {
+      EXPECT_EQ(sides[i], RectSide::kAbove);
+    } else {
+      EXPECT_EQ(sides[i], RectSide::kBelow) << name;
+    }
+  }
+}
+
+TEST(Fig2, NaiveGeometricTestFindsTheWitness) {
+  PaperInstance inst = MakeFig2Instance();
+  auto pic = PairPicture::Make(inst.system->txn(0), inst.system->txn(1));
+  ASSERT_TRUE(pic.ok());
+  auto witness = NaiveGeometricUnsafetyTest(*pic);
+  ASSERT_TRUE(witness.ok()) << witness.status().ToString();
+  TransactionSystem pair(inst.db.get());
+  pair.Add(inst.system->txn(0));
+  pair.Add(inst.system->txn(1));
+  EXPECT_TRUE(CheckScheduleLegal(pair, witness->schedule).ok());
+  EXPECT_FALSE(IsSerializable(pair, witness->schedule));
+}
+
+TEST(Fig2, CentralizedStrongConnectivityTestAgrees) {
+  // For total orders the Theorem 1 condition is necessary AND sufficient.
+  PaperInstance inst = MakeFig2Instance();
+  EXPECT_FALSE(Theorem1Sufficient(inst.system->txn(0), inst.system->txn(1)));
+  PairSafetyReport report =
+      AnalyzePairSafety(inst.system->txn(0), inst.system->txn(1));
+  EXPECT_EQ(report.verdict, SafetyVerdict::kUnsafe);
+}
+
+// ---------------------------------------------------------------- Fig. 3 --
+
+TEST(Fig3, SomeExtensionPairsAreSafeOthersUnsafe) {
+  PaperInstance inst = MakeFig3Instance();
+  const Transaction& t1 = inst.system->txn(0);
+  const Transaction& t2 = inst.system->txn(1);
+
+  int safe_pairs = 0;
+  int unsafe_pairs = 0;
+  Status st = EnumerateLinearExtensions(
+      t1, 10000, [&](const std::vector<StepId>& o1) {
+        Status inner = EnumerateLinearExtensions(
+            t2, 10000, [&](const std::vector<StepId>& o2) {
+              auto l1 = Linearize(t1, o1);
+              auto l2 = Linearize(t2, o2);
+              ConflictGraph d = BuildConflictGraph(l1.value(), l2.value());
+              if (IsStronglyConnected(d.graph)) {
+                ++safe_pairs;
+              } else {
+                ++unsafe_pairs;
+              }
+              return true;
+            });
+        return inner.ok();
+      });
+  ASSERT_TRUE(st.ok());
+  EXPECT_GT(safe_pairs, 0) << "Lemma 1 demo needs a safe extension pair";
+  EXPECT_GT(unsafe_pairs, 0) << "and an unsafe one";
+}
+
+TEST(Fig3, SystemIsUnsafeByLemma1) {
+  PaperInstance inst = MakeFig3Instance();
+  auto result = ExhaustivePairSafety(inst.system->txn(0),
+                                     inst.system->txn(1), 1 << 20);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_FALSE(result->safe);
+  ASSERT_TRUE(result->certificate.has_value());
+}
+
+TEST(Fig3, TheoremTwoAgreesAndProducesCertificate) {
+  PaperInstance inst = MakeFig3Instance();
+  auto report = TwoSiteSafetyTest(inst.system->txn(0), inst.system->txn(1));
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->verdict, SafetyVerdict::kUnsafe);
+  EXPECT_FALSE(report->d_strongly_connected);
+}
+
+TEST(Fig3, MonteCarloSamplerFindsWitness) {
+  PaperInstance inst = MakeFig3Instance();
+  Rng rng(42);
+  MonteCarloStats stats = SampleSafety(*inst.system, 100000, &rng);
+  EXPECT_GT(stats.non_serializable, 0);
+}
+
+// ---------------------------------------------------------------- Fig. 5 --
+
+TEST(Fig5, SystemIsValidOverFourSites) {
+  PaperInstance inst = MakeFig5Instance();
+  ASSERT_TRUE(inst.system->Validate().ok())
+      << inst.system->Validate().ToString();
+  EXPECT_EQ(inst.db->NumSites(), 4);
+}
+
+TEST(Fig5, DNotStronglyConnectedAndOnlyDominatorIsX1X2) {
+  PaperInstance inst = MakeFig5Instance();
+  ConflictGraph d = BuildConflictGraph(inst.system->txn(0),
+                                       inst.system->txn(1));
+  ASSERT_EQ(d.graph.NumNodes(), 4);
+  EXPECT_FALSE(IsStronglyConnected(d.graph));
+
+  auto dominators = AllDominators(d.graph, 100);
+  ASSERT_EQ(dominators.size(), 1u);
+  std::vector<EntityId> x = d.EntitiesOf(dominators[0]);
+  ASSERT_EQ(x.size(), 2u);
+  EXPECT_EQ(inst.db->NameOf(x[0]), "x1");
+  EXPECT_EQ(inst.db->NameOf(x[1]), "x2");
+}
+
+TEST(Fig5, ClosureFailsOnTheOnlyDominator) {
+  PaperInstance inst = MakeFig5Instance();
+  ConflictGraph d = BuildConflictGraph(inst.system->txn(0),
+                                       inst.system->txn(1));
+  auto dominators = AllDominators(d.graph, 100);
+  ASSERT_EQ(dominators.size(), 1u);
+  auto closure = CloseWithRespectTo(inst.system->txn(0), inst.system->txn(1),
+                                    d.EntitiesOf(dominators[0]));
+  EXPECT_FALSE(closure.ok());
+  EXPECT_EQ(closure.status().code(), StatusCode::kUndecided)
+      << closure.status().ToString();
+}
+
+TEST(Fig5, ExhaustiveOracleConfirmsSafety) {
+  PaperInstance inst = MakeFig5Instance();
+  auto result = ExhaustivePairSafety(inst.system->txn(0),
+                                     inst.system->txn(1), 100000000);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_TRUE(result->safe)
+      << "Fig. 5 shows Theorem 1's condition is not necessary at 4 sites";
+  EXPECT_GT(result->combinations_checked, 0);
+}
+
+TEST(Fig5, AnalyzerDecidesSafeViaDominatorClosure) {
+  // The closure contradiction on the only dominator is a PROOF of safety —
+  // no exhaustive enumeration needed.
+  PaperInstance inst = MakeFig5Instance();
+  SafetyOptions options;
+  options.max_extension_pairs = 0;  // forbid the exhaustive fallback
+  PairSafetyReport report =
+      AnalyzePairSafety(inst.system->txn(0), inst.system->txn(1), options);
+  EXPECT_EQ(report.verdict, SafetyVerdict::kSafe);
+  EXPECT_EQ(report.method, "dominator-closure");
+  EXPECT_EQ(report.sites_spanned, 4);
+}
+
+TEST(Fig5, MonteCarloNeverFindsNonSerializableSchedule) {
+  PaperInstance inst = MakeFig5Instance();
+  Rng rng(7);
+  MonteCarloStats stats = SampleSafety(*inst.system, 20000, &rng,
+                                       /*keep_going=*/true);
+  EXPECT_EQ(stats.non_serializable, 0);
+  EXPECT_GT(stats.completed, 0);
+}
+
+}  // namespace
+}  // namespace dislock

@@ -1,0 +1,79 @@
+// Robustness of the text-format parser and DIMACS parser under mutation:
+// random corruption of valid inputs must produce a clean Status (or a
+// successful parse of a still-valid mutant), never a crash or a CHECK.
+
+#include <gtest/gtest.h>
+
+#include "core/paper.h"
+#include "sat/cnf.h"
+#include "txn/text_format.h"
+#include "util/random.h"
+
+namespace dislock {
+namespace {
+
+std::string Mutate(const std::string& base, Rng* rng) {
+  std::string s = base;
+  int edits = 1 + static_cast<int>(rng->Uniform(4));
+  for (int e = 0; e < edits && !s.empty(); ++e) {
+    size_t pos = rng->Index(s.size());
+    switch (rng->Uniform(4)) {
+      case 0:  // flip a character
+        s[pos] = static_cast<char>(' ' + rng->Uniform(95));
+        break;
+      case 1:  // delete a character
+        s.erase(pos, 1);
+        break;
+      case 2:  // duplicate a chunk
+        s.insert(pos, s.substr(pos, rng->Uniform(8) + 1));
+        break;
+      case 3:  // delete a line
+      {
+        size_t start = s.rfind('\n', pos);
+        size_t end = s.find('\n', pos);
+        start = start == std::string::npos ? 0 : start;
+        end = end == std::string::npos ? s.size() : end;
+        s.erase(start, end - start);
+        break;
+      }
+    }
+  }
+  return s;
+}
+
+TEST(ParserRobustness, SystemTextSurvivesMutation) {
+  std::string base = SystemToText(*MakeFig1Instance().system);
+  Rng rng(31337);
+  int parsed_ok = 0;
+  for (int trial = 0; trial < 2000; ++trial) {
+    std::string mutant = Mutate(base, &rng);
+    auto result = ParseSystemText(mutant);  // must not crash
+    if (result.ok()) ++parsed_ok;
+  }
+  // Some mutants (comment edits etc.) stay valid; most must be rejected.
+  EXPECT_LT(parsed_ok, 2000);
+}
+
+TEST(ParserRobustness, DimacsSurvivesMutation) {
+  std::string base = MakeCnf(3, {{1, 2, 3}, {-1, 2, -3}}).ToDimacs();
+  Rng rng(42424);
+  for (int trial = 0; trial < 2000; ++trial) {
+    std::string mutant = Mutate(base, &rng);
+    auto result = ParseDimacs(mutant);  // must not crash
+    (void)result;
+  }
+}
+
+TEST(ParserRobustness, PathologicalInputs) {
+  EXPECT_FALSE(ParseSystemText(std::string(1 << 16, 'x')).ok());
+  EXPECT_FALSE(ParseSystemText("sites 999999999999999999999\n").ok());
+  EXPECT_FALSE(ParseSystemText("sites -3\n").ok());
+  // Non-ASCII names are tolerated (treated as opaque bytes); the parser
+  // just must not crash on them.
+  (void)ParseSystemText("sites 1\nentity \xff\xfe 0\n");
+  (void)ParseSystemText("sites 1\nentity x 0\ntxn \xc3\xa9\nend\n");
+  EXPECT_FALSE(ParseDimacs("p cnf 1 1\n" + std::string(1 << 12, '1')).ok());
+}
+
+}  // namespace
+}  // namespace dislock

@@ -1,0 +1,182 @@
+// Property-based cross-validation: every safety decision path (Theorem 2,
+// the dominator-closure loop, Theorem 1, exhaustive oracles, Monte-Carlo
+// sampling) must agree on randomized workloads. Parameterized over seeds so
+// each sweep is independent and reproducible.
+
+#include <gtest/gtest.h>
+
+#include "core/brute_force.h"
+#include "core/certificate.h"
+#include "core/safety.h"
+#include "sim/scheduler.h"
+#include "sim/workload.h"
+
+namespace dislock {
+namespace {
+
+class TwoSiteSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(TwoSiteSweep, Theorem2AgreesWithLemma1Oracle) {
+  Rng rng(1000 + GetParam());
+  for (int trial = 0; trial < 8; ++trial) {
+    WorkloadParams params;
+    params.num_sites = 2;
+    params.num_entities = 2 + static_cast<int>(rng.Uniform(3));
+    params.num_transactions = 2;
+    params.lock_probability = 0.8;
+    params.cross_site_arcs = static_cast<int>(rng.Uniform(3));
+    Workload w = MakeRandomWorkload(params, &rng);
+    ASSERT_TRUE(w.system->Validate().ok());
+
+    auto theorem2 = TwoSiteSafetyTest(w.system->txn(0), w.system->txn(1));
+    ASSERT_TRUE(theorem2.ok()) << theorem2.status().ToString();
+
+    auto oracle = ExhaustivePairSafety(w.system->txn(0), w.system->txn(1),
+                                       1 << 18);
+    if (!oracle.ok()) continue;  // too wide; other trials cover it
+    EXPECT_EQ(theorem2->verdict == SafetyVerdict::kSafe, oracle->safe)
+        << w.system->ToString();
+  }
+}
+
+TEST_P(TwoSiteSweep, UnsafeVerdictsCarryVerifiedCertificates) {
+  Rng rng(2000 + GetParam());
+  for (int trial = 0; trial < 8; ++trial) {
+    WorkloadParams params;
+    params.num_sites = 2;
+    params.num_entities = 3;
+    params.num_transactions = 2;
+    params.cross_site_arcs = 1;
+    Workload w = MakeRandomWorkload(params, &rng);
+    auto report = TwoSiteSafetyTest(w.system->txn(0), w.system->txn(1));
+    ASSERT_TRUE(report.ok());
+    if (report->verdict != SafetyVerdict::kUnsafe) continue;
+    ASSERT_TRUE(report->certificate.has_value());
+    EXPECT_TRUE(VerifyUnsafetyCertificate(w.system->txn(0),
+                                          w.system->txn(1),
+                                          *report->certificate)
+                    .ok());
+    // The schedule itself must be a legal, non-serializable schedule of the
+    // ORIGINAL system.
+    EXPECT_TRUE(
+        CheckScheduleLegal(*w.system, report->certificate->schedule).ok());
+    EXPECT_FALSE(IsSerializable(*w.system, report->certificate->schedule));
+  }
+}
+
+TEST_P(TwoSiteSweep, SafeVerdictsSurviveMonteCarlo) {
+  Rng rng(3000 + GetParam());
+  for (int trial = 0; trial < 5; ++trial) {
+    WorkloadParams params;
+    params.num_sites = 2;
+    params.num_entities = 3;
+    params.num_transactions = 2;
+    params.cross_site_arcs = 2;
+    Workload w = MakeRandomWorkload(params, &rng);
+    auto report = TwoSiteSafetyTest(w.system->txn(0), w.system->txn(1));
+    ASSERT_TRUE(report.ok());
+    if (report->verdict != SafetyVerdict::kSafe) continue;
+    MonteCarloStats stats = SampleSafety(*w.system, 2000, &rng,
+                                         /*keep_going=*/true);
+    EXPECT_EQ(stats.non_serializable, 0) << w.system->ToString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TwoSiteSweep, ::testing::Range(0, 10));
+
+class MultiSiteSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(MultiSiteSweep, AnalyzerAgreesWithOracleWhenDecisive) {
+  Rng rng(4000 + GetParam());
+  for (int trial = 0; trial < 6; ++trial) {
+    WorkloadParams params;
+    params.num_sites = 3 + static_cast<int>(rng.Uniform(2));
+    params.num_entities = params.num_sites;
+    params.num_transactions = 2;
+    params.cross_site_arcs = static_cast<int>(rng.Uniform(4));
+    Workload w = MakeRandomWorkload(params, &rng);
+    ASSERT_TRUE(w.system->Validate().ok());
+
+    SafetyOptions options;
+    options.max_extension_pairs = 1 << 17;
+    PairSafetyReport report =
+        AnalyzePairSafety(w.system->txn(0), w.system->txn(1), options);
+    if (report.verdict == SafetyVerdict::kUnknown) continue;
+
+    auto oracle = ExhaustivePairSafety(w.system->txn(0), w.system->txn(1),
+                                       1 << 18);
+    if (!oracle.ok()) continue;
+    EXPECT_EQ(report.verdict == SafetyVerdict::kSafe, oracle->safe)
+        << "method=" << report.method << "\n"
+        << w.system->ToString();
+  }
+}
+
+TEST_P(MultiSiteSweep, DominatorClosureVerdictsMatchExhaustive) {
+  // Run the closure-only analyzer (no exhaustive fallback) and check every
+  // decisive verdict against the Lemma 1 oracle — this is the strongest
+  // property in the suite: the closure loop is exactly as right as Lemma 1.
+  Rng rng(5000 + GetParam());
+  for (int trial = 0; trial < 6; ++trial) {
+    WorkloadParams params;
+    params.num_sites = 4;
+    params.num_entities = 4;
+    params.num_transactions = 2;
+    params.lock_probability = 0.9;
+    params.cross_site_arcs = static_cast<int>(rng.Uniform(3));
+    Workload w = MakeRandomWorkload(params, &rng);
+
+    SafetyOptions closure_only;
+    closure_only.max_extension_pairs = 0;
+    PairSafetyReport report =
+        AnalyzePairSafety(w.system->txn(0), w.system->txn(1), closure_only);
+    if (report.verdict == SafetyVerdict::kUnknown) continue;
+
+    auto oracle = ExhaustivePairSafety(w.system->txn(0), w.system->txn(1),
+                                       1 << 18);
+    if (!oracle.ok()) continue;
+    EXPECT_EQ(report.verdict == SafetyVerdict::kSafe, oracle->safe)
+        << "method=" << report.method << "\n"
+        << w.system->ToString();
+  }
+}
+
+TEST_P(MultiSiteSweep, Theorem1SafePairsHaveNoWitnessSchedules) {
+  Rng rng(6000 + GetParam());
+  for (int trial = 0; trial < 6; ++trial) {
+    WorkloadParams params;
+    params.num_sites = 3;
+    params.num_entities = 4;
+    params.num_transactions = 2;
+    Workload w = MakeRandomWorkload(params, &rng);
+    if (!Theorem1Sufficient(w.system->txn(0), w.system->txn(1))) continue;
+    MonteCarloStats stats = SampleSafety(*w.system, 1500, &rng,
+                                         /*keep_going=*/true);
+    EXPECT_EQ(stats.non_serializable, 0) << w.system->ToString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MultiSiteSweep, ::testing::Range(0, 8));
+
+class CentralizedSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(CentralizedSweep, TotalOrderPairsMatchScheduleOracle) {
+  // For totally ordered (centralized) pairs, the strong-connectivity test
+  // is exact; the schedule-enumeration oracle must agree.
+  Rng rng(7000 + GetParam());
+  for (int trial = 0; trial < 5; ++trial) {
+    Workload w = MakeRandomTotalOrderPair(3, &rng);
+    PairSafetyReport report =
+        AnalyzePairSafety(w.system->txn(0), w.system->txn(1));
+    ASSERT_NE(report.verdict, SafetyVerdict::kUnknown);
+    auto oracle = ExhaustiveScheduleSafety(*w.system, 1 << 20);
+    if (!oracle.ok()) continue;
+    EXPECT_EQ(report.verdict == SafetyVerdict::kSafe, oracle->safe)
+        << w.system->ToString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CentralizedSweep, ::testing::Range(0, 10));
+
+}  // namespace
+}  // namespace dislock

@@ -1,0 +1,166 @@
+// Tests for locking protocols beyond two-phase: the tree protocol of [12]
+// (safe but non-two-phase) and the centralized image of Section 6.
+
+#include <gtest/gtest.h>
+
+#include "core/brute_force.h"
+#include "core/policy.h"
+#include "core/protocols.h"
+#include "core/safety.h"
+#include "sim/scheduler.h"
+#include "txn/builder.h"
+#include "txn/linear_extension.h"
+
+namespace dislock {
+namespace {
+
+/// A 7-entity binary tree: e0 root; e1,e2 children; e3..e6 grandchildren.
+struct TreeFixture {
+  DistributedDatabase db{1};
+  EntityForest forest;
+  TreeFixture() {
+    for (int e = 0; e < 7; ++e) {
+      db.MustAddEntity(std::string("e") + std::to_string(e), 0);
+    }
+    std::vector<std::pair<EntityId, EntityId>> edges = {
+        {1, 0}, {2, 0}, {3, 1}, {4, 1}, {5, 2}, {6, 2}};
+    forest = EntityForest::Make(db, edges).value();
+  }
+};
+
+TEST(Forest, RejectsCyclesAndDoubleParents) {
+  DistributedDatabase db(1);
+  db.MustAddEntity("a", 0);
+  db.MustAddEntity("b", 0);
+  EXPECT_FALSE(EntityForest::Make(db, {{0, 1}, {1, 0}}).ok());
+  db.MustAddEntity("c", 0);
+  EXPECT_FALSE(EntityForest::Make(db, {{0, 1}, {0, 2}}).ok());
+  EXPECT_TRUE(EntityForest::Make(db, {{1, 0}, {2, 0}}).ok());
+}
+
+TEST(TreeProtocol, GeneratedTransactionsComply) {
+  TreeFixture f;
+  Rng rng(61);
+  for (int trial = 0; trial < 50; ++trial) {
+    auto txn = MakeTreeProtocolTransaction(&f.db, f.forest, "T", 5, &rng);
+    ASSERT_TRUE(txn.ok()) << txn.status().ToString();
+    EXPECT_TRUE(ValidateTransaction(*txn).ok());
+    EXPECT_TRUE(CheckTreeProtocol(*txn, f.forest).ok());
+  }
+}
+
+TEST(TreeProtocol, ViolationsAreCaught) {
+  TreeFixture f;
+  // Locks e3 without holding its parent e1, after locking e0 first.
+  TransactionBuilder b(&f.db, "bad");
+  b.Lock("e0");
+  b.Unlock("e0");
+  b.Lock("e3");
+  b.Unlock("e3");
+  EXPECT_FALSE(CheckTreeProtocol(b.Build(), f.forest).ok());
+
+  // Two entry points.
+  TransactionBuilder b2(&f.db, "bad2");
+  b2.Lock("e3");
+  b2.Unlock("e3");
+  b2.Lock("e5");
+  b2.Unlock("e5");
+  EXPECT_FALSE(CheckTreeProtocol(b2.Build(), f.forest).ok());
+
+  // Compliant chain root -> child with child locked inside the section.
+  TransactionBuilder ok(&f.db, "ok");
+  StepId l0 = ok.Lock("e0");
+  StepId l1 = ok.Lock("e1");
+  StepId u0 = ok.Unlock("e0");
+  StepId u1 = ok.Unlock("e1");
+  ok.Chain({l0, l1, u0, u1});
+  EXPECT_TRUE(CheckTreeProtocol(ok.Build(), f.forest).ok());
+}
+
+TEST(TreeProtocol, DeepTransactionsAreNotTwoPhase) {
+  TreeFixture f;
+  Rng rng(67);
+  int non_two_phase = 0;
+  for (int trial = 0; trial < 50; ++trial) {
+    // Start at the root so the subtree reaches depth 3 (grandchildren are
+    // locked after the root is already released).
+    auto txn = MakeTreeProtocolTransaction(&f.db, f.forest, "T", 7, &rng,
+                                           /*start=*/0);
+    ASSERT_TRUE(txn.ok());
+    if (!IsTwoPhase(*txn)) ++non_two_phase;
+  }
+  EXPECT_EQ(non_two_phase, 50)
+      << "full-tree protocol transactions release the root early";
+}
+
+TEST(TreeProtocol, PairsAreSafeDespiteNotBeingTwoPhase) {
+  // The point of the protocol: safety without two-phaseness. Validate
+  // against the exact analyzers on many random compliant pairs.
+  TreeFixture f;
+  Rng rng(71);
+  int checked = 0;
+  int non_2pl_safe = 0;
+  for (int trial = 0; trial < 60; ++trial) {
+    auto t1 = MakeTreeProtocolTransaction(&f.db, f.forest, "T1", 5, &rng);
+    auto t2 = MakeTreeProtocolTransaction(&f.db, f.forest, "T2", 5, &rng);
+    ASSERT_TRUE(t1.ok() && t2.ok());
+    PairSafetyReport report = AnalyzePairSafety(*t1, *t2);
+    ASSERT_NE(report.verdict, SafetyVerdict::kUnknown);
+    EXPECT_EQ(report.verdict, SafetyVerdict::kSafe)
+        << t1->ToString() << t2->ToString();
+    ++checked;
+    if (!IsTwoPhase(*t1) && report.verdict == SafetyVerdict::kSafe) {
+      ++non_2pl_safe;
+    }
+  }
+  EXPECT_GT(checked, 0);
+  EXPECT_GT(non_2pl_safe, 5) << "want safe systems 2PL cannot explain";
+}
+
+TEST(TreeProtocol, SystemsSurviveMonteCarlo) {
+  TreeFixture f;
+  Rng rng(73);
+  TransactionSystem system(&f.db);
+  for (int t = 0; t < 3; ++t) {
+    auto txn = MakeTreeProtocolTransaction(
+        &f.db, f.forest, std::string("T") + std::to_string(t + 1), 5, &rng);
+    ASSERT_TRUE(txn.ok());
+    system.Add(std::move(txn).value());
+  }
+  MonteCarloStats stats = SampleSafety(system, 5000, &rng,
+                                       /*keep_going=*/true);
+  EXPECT_EQ(stats.non_serializable, 0);
+}
+
+TEST(CentralizedImage, EnumeratesChainTransactions) {
+  DistributedDatabase db(2);
+  db.MustAddEntity("x", 0);
+  db.MustAddEntity("y", 1);
+  TransactionBuilder b(&db, "T");
+  b.Lock("x");
+  b.Unlock("x");
+  b.Lock("y");
+  b.Unlock("y");
+  Transaction txn = b.Build();
+  auto image = CentralizedImage(txn, 100);
+  ASSERT_TRUE(image.ok());
+  EXPECT_EQ(image->size(), 6u);  // C(4,2) interleavings of two 2-chains
+  for (const Transaction& chain : *image) {
+    EXPECT_EQ(CountLinearExtensions(chain, 5), 1);
+  }
+}
+
+TEST(CentralizedImage, RespectsCap) {
+  DistributedDatabase db(4);
+  Transaction txn(&db, "wide");
+  for (int e = 0; e < 4; ++e) {
+    db.MustAddEntity(std::string("e") + std::to_string(e), e);
+    txn.AddStep(StepKind::kLock, e);
+  }
+  auto image = CentralizedImage(txn, 5);
+  EXPECT_FALSE(image.ok());
+  EXPECT_EQ(image.status().code(), StatusCode::kResourceExhausted);
+}
+
+}  // namespace
+}  // namespace dislock

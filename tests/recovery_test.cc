@@ -1,0 +1,158 @@
+// Tests for abort-and-restart deadlock recovery and the report renderers.
+
+#include <gtest/gtest.h>
+
+#include "core/report.h"
+#include "sim/scheduler.h"
+#include "sim/workload.h"
+#include "txn/builder.h"
+
+namespace dislock {
+namespace {
+
+TransactionSystem MakeOpposedPair(DistributedDatabase* db) {
+  TransactionSystem system(db);
+  {
+    TransactionBuilder b(db, "T1");
+    b.Lock("x");
+    b.Lock("y");
+    b.Unlock("y");
+    b.Unlock("x");
+    system.Add(b.Build());
+  }
+  {
+    TransactionBuilder b(db, "T2");
+    b.Lock("y");
+    b.Lock("x");
+    b.Unlock("x");
+    b.Unlock("y");
+    system.Add(b.Build());
+  }
+  return system;
+}
+
+TEST(Recovery, DeadlockingPairAlwaysCompletesWithRecovery) {
+  DistributedDatabase db(1);
+  db.MustAddEntity("x", 0);
+  db.MustAddEntity("y", 0);
+  TransactionSystem system = MakeOpposedPair(&db);
+  Rng rng(111);
+  int total_aborts = 0;
+  for (int r = 0; r < 500; ++r) {
+    RecoveryRunResult run = SimulateRunWithRecovery(system, &rng);
+    ASSERT_FALSE(run.gave_up);
+    ASSERT_TRUE(run.schedule.has_value());
+    EXPECT_TRUE(CheckScheduleLegal(system, *run.schedule).ok())
+        << run.schedule->ToString(system);
+    EXPECT_TRUE(IsSerializable(system, *run.schedule));
+    total_aborts += run.aborts;
+  }
+  // The classic Lx_1 Ly_2 trap happens about half the time.
+  EXPECT_GT(total_aborts, 100);
+}
+
+TEST(Recovery, CommittedSchedulesOfRandomSystemsAreLegal) {
+  Rng rng(113);
+  for (int trial = 0; trial < 30; ++trial) {
+    WorkloadParams params;
+    params.num_sites = 1 + static_cast<int>(rng.Uniform(2));
+    params.num_entities = 4;
+    params.num_transactions = 3;
+    params.lock_probability = 1.0;
+    params.update_probability = 1.0;
+    Workload w = MakeRandomWorkload(params, &rng);
+    for (int r = 0; r < 20; ++r) {
+      RecoveryRunResult run = SimulateRunWithRecovery(*w.system, &rng);
+      if (run.gave_up) continue;
+      ASSERT_TRUE(run.schedule.has_value());
+      EXPECT_TRUE(CheckScheduleLegal(*w.system, *run.schedule).ok())
+          << w.system->ToString();
+    }
+  }
+}
+
+TEST(Recovery, NoDeadlockMeansNoAborts) {
+  DistributedDatabase db(1);
+  db.MustAddEntity("x", 0);
+  db.MustAddEntity("y", 0);
+  TransactionSystem system(&db);
+  for (const char* name : {"T1", "T2"}) {
+    TransactionBuilder b(&db, name);
+    b.Lock("x");
+    b.Lock("y");
+    b.Unlock("y");
+    b.Unlock("x");
+    system.Add(b.Build());
+  }
+  Rng rng(117);
+  for (int r = 0; r < 200; ++r) {
+    RecoveryRunResult run = SimulateRunWithRecovery(system, &rng);
+    EXPECT_EQ(run.aborts, 0);
+    ASSERT_TRUE(run.schedule.has_value());
+    EXPECT_EQ(run.schedule->size(), 8u);
+  }
+}
+
+TEST(Report, JsonEscaping) {
+  EXPECT_EQ(JsonEscape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+  EXPECT_EQ(JsonEscape("plain"), "plain");
+}
+
+TEST(Report, PairReportJsonShape) {
+  DistributedDatabase db(1);
+  db.MustAddEntity("x", 0);
+  db.MustAddEntity("y", 0);
+  TransactionSystem system = MakeOpposedPair(&db);
+  PairSafetyReport report =
+      AnalyzePairSafety(system.txn(0), system.txn(1));
+  std::string json = PairReportToJson(report, db);
+  EXPECT_NE(json.find("\"verdict\": \"SAFE\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"d_strongly_connected\": true"), std::string::npos);
+  EXPECT_NE(json.find("\"certificate\": null"), std::string::npos);
+}
+
+TEST(Report, UnsafePairReportIncludesCertificate) {
+  DistributedDatabase db(1);
+  db.MustAddEntity("x", 0);
+  db.MustAddEntity("y", 0);
+  TransactionSystem system(&db);
+  for (int t = 0; t < 2; ++t) {
+    TransactionBuilder b(&db, t == 0 ? "T1" : "T2");
+    if (t == 0) {
+      b.LockUpdateUnlock("x");
+      b.LockUpdateUnlock("y");
+    } else {
+      b.LockUpdateUnlock("y");
+      b.LockUpdateUnlock("x");
+    }
+    system.Add(b.Build());
+  }
+  PairSafetyReport report =
+      AnalyzePairSafety(system.txn(0), system.txn(1));
+  ASSERT_EQ(report.verdict, SafetyVerdict::kUnsafe);
+  std::string json = PairReportToJson(report, db);
+  EXPECT_NE(json.find("\"verdict\": \"UNSAFE\""), std::string::npos);
+  EXPECT_NE(json.find("\"dominator\": ["), std::string::npos);
+  EXPECT_NE(json.find("\"schedule\": \""), std::string::npos);
+  std::string text = PairReportToText(report, db);
+  EXPECT_NE(text.find("UNSAFE"), std::string::npos);
+}
+
+TEST(Report, MultiAndDeadlockJson) {
+  DistributedDatabase db(1);
+  db.MustAddEntity("x", 0);
+  db.MustAddEntity("y", 0);
+  TransactionSystem system = MakeOpposedPair(&db);
+  MultiSafetyReport multi = AnalyzeMultiSafety(system);
+  std::string mj = MultiReportToJson(multi, system);
+  EXPECT_NE(mj.find("\"pairs_checked\": 1"), std::string::npos) << mj;
+
+  auto deadlock = AnalyzeDeadlockFreedom(system);
+  ASSERT_TRUE(deadlock.ok());
+  std::string dj = DeadlockReportToJson(*deadlock, system);
+  EXPECT_NE(dj.find("\"deadlock_free\": false"), std::string::npos) << dj;
+  EXPECT_NE(dj.find("\"waits_for\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dislock

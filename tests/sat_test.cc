@@ -1,0 +1,169 @@
+// Tests for the SAT substrate: CNF containers, DIMACS I/O, the DPLL
+// solver, and model enumeration.
+
+#include <gtest/gtest.h>
+
+#include "sat/cnf.h"
+#include "sat/normalize.h"
+#include "sat/solver.h"
+#include "util/random.h"
+
+namespace dislock {
+namespace {
+
+TEST(Cnf, LiteralEncoding) {
+  Literal l = Literal::FromEncoded(-3);
+  EXPECT_EQ(l.var, 3);
+  EXPECT_TRUE(l.negated);
+  EXPECT_EQ(l.Encoded(), -3);
+  EXPECT_EQ(l.Negated().Encoded(), 3);
+}
+
+TEST(Cnf, OccurrenceCounting) {
+  Cnf cnf = MakeCnf(2, {{1, -2}, {1, 2}, {-1}});
+  EXPECT_EQ(cnf.PositiveOccurrences(1), 2);
+  EXPECT_EQ(cnf.NegativeOccurrences(1), 1);
+  EXPECT_EQ(cnf.PositiveOccurrences(2), 1);
+  EXPECT_EQ(cnf.NegativeOccurrences(2), 1);
+}
+
+TEST(Cnf, RestrictedFormCheck) {
+  EXPECT_TRUE(MakeCnf(2, {{1, 2}, {1, -2}}).IsRestrictedForm());
+  EXPECT_FALSE(MakeCnf(1, {{-1}, {-1}}).IsRestrictedForm());  // 2 negs
+  EXPECT_FALSE(MakeCnf(1, {{1}, {1}, {1}}).IsRestrictedForm());
+  EXPECT_FALSE(MakeCnf(4, {{1, 2, 3, 4}}).IsRestrictedForm());  // long
+}
+
+TEST(Cnf, SatisfactionCheck) {
+  Cnf cnf = MakeCnf(2, {{1, 2}, {-1, 2}});
+  EXPECT_TRUE(cnf.IsSatisfiedBy({false, false, true}));
+  EXPECT_FALSE(cnf.IsSatisfiedBy({false, true, false}));
+}
+
+TEST(Cnf, DimacsRoundTrip) {
+  Cnf cnf = MakeCnf(3, {{1, -2, 3}, {-1, 2}});
+  auto parsed = ParseDimacs(cnf.ToDimacs());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->num_vars, 3);
+  ASSERT_EQ(parsed->clauses.size(), 2u);
+  EXPECT_EQ(parsed->clauses[0][1].Encoded(), -2);
+}
+
+TEST(Cnf, DimacsParsingErrors) {
+  EXPECT_FALSE(ParseDimacs("1 2 0").ok());                  // no header
+  EXPECT_FALSE(ParseDimacs("p cnf 1 1\n2 0").ok());         // var range
+  EXPECT_FALSE(ParseDimacs("p cnf 2 5\n1 0").ok());         // count lie
+  EXPECT_TRUE(ParseDimacs("c hi\np cnf 2 1\n1 -2 0").ok());
+}
+
+TEST(Solver, SimpleSatAndUnsat) {
+  auto sat = SolveSat(MakeCnf(2, {{1, 2}, {-1, 2}}));
+  ASSERT_TRUE(sat.ok());
+  EXPECT_TRUE(sat->satisfiable);
+  EXPECT_TRUE(MakeCnf(2, {{1, 2}, {-1, 2}}).IsSatisfiedBy(sat->assignment));
+
+  auto unsat =
+      SolveSat(MakeCnf(2, {{1, 2}, {1, -2}, {-1, 2}, {-1, -2}}));
+  ASSERT_TRUE(unsat.ok());
+  EXPECT_FALSE(unsat->satisfiable);
+}
+
+TEST(Solver, EmptyClauseIsUnsat) {
+  Cnf cnf = MakeCnf(1, {{}});
+  auto result = SolveSat(cnf);
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result->satisfiable);
+}
+
+TEST(Solver, EmptyFormulaIsSat) {
+  Cnf cnf;
+  cnf.num_vars = 3;
+  auto result = SolveSat(cnf);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->satisfiable);
+}
+
+TEST(Solver, UnitPropagationChains) {
+  // x1, x1->x2, x2->x3, x3 -> ~x1 is a conflict: unsat.
+  Cnf cnf = MakeCnf(3, {{1}, {-1, 2}, {-2, 3}, {-3, -1}});
+  auto result = SolveSat(cnf);
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result->satisfiable);
+}
+
+TEST(Solver, AgreesWithBruteForceOnRandomFormulas) {
+  Rng rng(4242);
+  for (int trial = 0; trial < 200; ++trial) {
+    int num_vars = 2 + static_cast<int>(rng.Uniform(5));
+    int num_clauses = 1 + static_cast<int>(rng.Uniform(8));
+    std::vector<std::vector<int>> clauses;
+    for (int c = 0; c < num_clauses; ++c) {
+      std::vector<int> clause;
+      int len = 1 + static_cast<int>(rng.Uniform(3));
+      for (int l = 0; l < len; ++l) {
+        int v = 1 + static_cast<int>(rng.Uniform(num_vars));
+        clause.push_back(rng.Bernoulli(0.5) ? v : -v);
+      }
+      clauses.push_back(clause);
+    }
+    Cnf cnf = MakeCnf(num_vars, clauses);
+    auto dpll = SolveSat(cnf);
+    ASSERT_TRUE(dpll.ok());
+    auto models = AllModels(cnf, 1 << 20);
+    ASSERT_TRUE(models.ok());
+    EXPECT_EQ(dpll->satisfiable, !models->empty()) << cnf.ToString();
+    if (dpll->satisfiable) {
+      EXPECT_TRUE(cnf.IsSatisfiedBy(dpll->assignment));
+    }
+  }
+}
+
+TEST(AllModels, EnumeratesExactly) {
+  // (x1 v x2): 3 of 4 assignments satisfy.
+  auto models = AllModels(MakeCnf(2, {{1, 2}}), 100);
+  ASSERT_TRUE(models.ok());
+  EXPECT_EQ(models->size(), 3u);
+}
+
+TEST(Normalize, TriviallySatAndUnsat) {
+  auto taut = NormalizeToRestricted(MakeCnf(1, {{1, -1}}));
+  ASSERT_TRUE(taut.ok());
+  EXPECT_TRUE(taut->trivially_sat);
+
+  auto unsat = NormalizeToRestricted(MakeCnf(1, {{1}, {-1}}));
+  ASSERT_TRUE(unsat.ok());
+  EXPECT_TRUE(unsat->trivially_unsat);
+}
+
+TEST(Normalize, SplitsLongClauses) {
+  Cnf cnf = MakeCnf(5, {{1, 2, 3, 4, 5}, {-1, -2}});
+  auto restricted = NormalizeToRestricted(cnf);
+  ASSERT_TRUE(restricted.ok());
+  EXPECT_TRUE(restricted->cnf.IsRestrictedForm())
+      << restricted->cnf.ToString();
+  auto sat = SolveSat(restricted->cnf);
+  ASSERT_TRUE(sat.ok());
+  EXPECT_TRUE(sat->satisfiable);
+  std::vector<bool> lifted = restricted->LiftModel(sat->assignment);
+  EXPECT_TRUE(cnf.IsSatisfiedBy(lifted));
+}
+
+TEST(Normalize, HandlesHeavyOccurrences) {
+  // x1 used positively 4 times and negatively 3 times.
+  Cnf cnf = MakeCnf(3, {{1, 2}, {1, 3}, {1, -2}, {1, -3}, {-1, 2},
+                        {-1, 3}, {-1, 2, 3}});
+  auto restricted = NormalizeToRestricted(cnf);
+  ASSERT_TRUE(restricted.ok());
+  if (!restricted->trivially_sat && !restricted->trivially_unsat) {
+    EXPECT_TRUE(restricted->cnf.IsRestrictedForm())
+        << restricted->cnf.ToString();
+    auto orig = SolveSat(cnf);
+    auto norm = SolveSat(restricted->cnf);
+    ASSERT_TRUE(orig.ok());
+    ASSERT_TRUE(norm.ok());
+    EXPECT_EQ(orig->satisfiable, norm->satisfiable);
+  }
+}
+
+}  // namespace
+}  // namespace dislock

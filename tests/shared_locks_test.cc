@@ -1,0 +1,288 @@
+// The shared-locks extension (Section 1's "variants of locking ... change
+// the theory very little"): operational semantics of reader/writer locks
+// and the adjusted conflict-graph theory (read-read sections drop out of
+// V), cross-validated against the exhaustive schedule oracle.
+
+#include <gtest/gtest.h>
+
+#include "core/brute_force.h"
+#include "core/conflict_graph.h"
+#include "core/safety.h"
+#include "sim/scheduler.h"
+#include "sim/workload.h"
+#include "txn/builder.h"
+#include "txn/linear_extension.h"
+#include "txn/text_format.h"
+
+namespace dislock {
+namespace {
+
+/// Two transactions read-locking x concurrently (plus a private entity each
+/// so the schedule space is interesting).
+struct ReadersFixture {
+  DistributedDatabase db{1};
+  TransactionSystem system{&db};
+  ReadersFixture() {
+    db.MustAddEntity("x", 0);
+    db.MustAddEntity("a", 0);
+    db.MustAddEntity("b", 0);
+    {
+      TransactionBuilder b1(&db, "R1");
+      b1.LockShared("x");
+      b1.LockUpdateUnlock("a");
+      b1.UnlockShared("x");
+      system.Add(b1.Build());
+    }
+    {
+      TransactionBuilder b2(&db, "R2");
+      b2.LockShared("x");
+      b2.LockUpdateUnlock("b");
+      b2.UnlockShared("x");
+      system.Add(b2.Build());
+    }
+  }
+};
+
+TEST(SharedLocks, ValidationRules) {
+  DistributedDatabase db(1);
+  db.MustAddEntity("x", 0);
+  // Shared lock, exclusive unlock: rejected.
+  {
+    TransactionBuilder b(&db, "T");
+    b.LockShared("x");
+    b.Unlock("x");
+    EXPECT_FALSE(b.BuildValidated().ok());
+  }
+  // Update inside a shared section: rejected.
+  {
+    TransactionBuilder b(&db, "T");
+    b.LockShared("x");
+    b.Update("x");
+    b.UnlockShared("x");
+    EXPECT_FALSE(b.BuildValidated().ok());
+  }
+  // Proper read section: accepted.
+  {
+    TransactionBuilder b(&db, "T");
+    b.LockShared("x");
+    b.UnlockShared("x");
+    EXPECT_TRUE(b.BuildValidated().ok());
+  }
+}
+
+TEST(SharedLocks, ReadSectionsMayOverlapInSchedules) {
+  ReadersFixture f;
+  // Interleave the two read sections: SLx_1 SLx_2 ... both held at once.
+  Schedule h;
+  h.Append(0, 0);  // SLx_1
+  h.Append(1, 0);  // SLx_2 — legal: shared
+  for (StepId s = 1; s < 5; ++s) h.Append(0, s);
+  for (StepId s = 1; s < 5; ++s) h.Append(1, s);
+  EXPECT_TRUE(CheckScheduleLegal(f.system, h).ok())
+      << CheckScheduleLegal(f.system, h).ToString();
+  EXPECT_TRUE(IsSerializable(f.system, h));
+}
+
+TEST(SharedLocks, WriteSectionsStillExclude) {
+  DistributedDatabase db(1);
+  db.MustAddEntity("x", 0);
+  TransactionSystem system(&db);
+  TransactionBuilder b1(&db, "R");
+  b1.LockShared("x");
+  b1.UnlockShared("x");
+  system.Add(b1.Build());
+  TransactionBuilder b2(&db, "W");
+  b2.Lock("x");
+  b2.Update("x");
+  b2.Unlock("x");
+  system.Add(b2.Build());
+  // Writer inside the read section: illegal.
+  Schedule h;
+  h.Append(0, 0);  // SLx_1
+  h.Append(1, 0);  // Lx_2 while read-held
+  h.Append(1, 1);
+  h.Append(1, 2);
+  h.Append(0, 1);
+  EXPECT_FALSE(CheckScheduleLegal(system, h).ok());
+}
+
+TEST(SharedLocks, ReadReadEntitiesDropOutOfD) {
+  ReadersFixture f;
+  ConflictGraph d = BuildConflictGraph(f.system.txn(0), f.system.txn(1));
+  EXPECT_EQ(d.graph.NumNodes(), 0);  // x is read-read; a, b are private
+  PairSafetyReport report = AnalyzePairSafety(f.system.txn(0),
+                                              f.system.txn(1));
+  EXPECT_EQ(report.verdict, SafetyVerdict::kSafe);
+  auto oracle = ExhaustiveScheduleSafety(f.system, 1 << 20);
+  ASSERT_TRUE(oracle.ok());
+  EXPECT_TRUE(oracle->safe);
+}
+
+TEST(SharedLocks, ReadWriteConflictsStillCount) {
+  // T1 reads x then writes y; T2 reads y then writes x — the read/write
+  // sections conflict, D is empty of arcs, and the system is unsafe.
+  DistributedDatabase db(2);
+  db.MustAddEntity("x", 0);
+  db.MustAddEntity("y", 1);
+  TransactionSystem system(&db);
+  {
+    TransactionBuilder b(&db, "T1");
+    b.LockShared("x");
+    StepId ux = b.UnlockShared("x");
+    StepId ly = b.Lock("y");
+    b.Update("y");
+    b.Unlock("y");
+    b.Edge(ux, ly);
+    system.Add(b.Build());
+  }
+  {
+    TransactionBuilder b(&db, "T2");
+    b.LockShared("y");
+    StepId uy = b.UnlockShared("y");
+    StepId lx = b.Lock("x");
+    b.Update("x");
+    b.Unlock("x");
+    b.Edge(uy, lx);
+    system.Add(b.Build());
+  }
+  ConflictGraph d = BuildConflictGraph(system.txn(0), system.txn(1));
+  EXPECT_EQ(d.graph.NumNodes(), 2);
+  PairSafetyReport report =
+      AnalyzePairSafety(system.txn(0), system.txn(1));
+  EXPECT_EQ(report.verdict, SafetyVerdict::kUnsafe);
+  ASSERT_TRUE(report.certificate.has_value());
+  EXPECT_TRUE(CheckScheduleLegal(system, report.certificate->schedule).ok());
+  EXPECT_FALSE(IsSerializable(system, report.certificate->schedule));
+}
+
+TEST(SharedLocks, MonteCarloRespectsReaderConcurrency) {
+  ReadersFixture f;
+  Rng rng(91);
+  MonteCarloStats stats = SampleSafety(f.system, 3000, &rng,
+                                       /*keep_going=*/true);
+  EXPECT_EQ(stats.non_serializable, 0);
+  EXPECT_EQ(stats.deadlocked, 0);
+  EXPECT_EQ(stats.completed, 3000);
+}
+
+TEST(SharedLocks, TextFormatRoundTrip) {
+  constexpr char kText[] = R"(
+sites 1
+entity x 0
+entity a 0
+txn R1
+  slock x
+  lock a
+  update a
+  unlock a
+  sunlock x
+end
+)";
+  auto parsed = ParseSystemText(kText);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const Transaction& t = parsed->system->txn(0);
+  EXPECT_TRUE(t.GetStep(0).shared);
+  EXPECT_FALSE(t.GetStep(1).shared);
+  auto reparsed = ParseSystemText(SystemToText(*parsed->system));
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status().ToString();
+  EXPECT_TRUE(reparsed->system->txn(0).GetStep(0).shared);
+}
+
+TEST(SharedLocks, LinearizePreservesSharedness) {
+  // Regression: Linearize used to drop the shared flag, so certificate
+  // chains treated read locks as exclusive and could separate a read-read
+  // entity — producing a "witness" that did not replay against the
+  // original system (found by dislock_stress, seed 7).
+  constexpr char kRepro[] = R"(
+sites 2
+entity e0 0
+entity e1 1
+entity e2 0
+txn T1 nochain
+  slock e2
+  sunlock e2
+  lock e0
+  update e0
+  unlock e0
+  slock e1
+  sunlock e1
+  edge 0 1
+  edge 1 2
+  edge 2 3
+  edge 3 4
+  edge 5 6
+end
+txn T2 nochain
+  slock e2
+  lock e0
+  update e0
+  unlock e0
+  sunlock e2
+  lock e1
+  update e1
+  unlock e1
+  edge 0 1
+  edge 1 2
+  edge 2 3
+  edge 2 5
+  edge 3 4
+  edge 5 6
+  edge 6 7
+end
+)";
+  auto parsed = ParseSystemText(kRepro);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const TransactionSystem& system = *parsed->system;
+
+  // Linearize must keep the shared flags.
+  Rng rng(7);
+  std::vector<StepId> order = RandomLinearExtension(system.txn(1), &rng);
+  ASSERT_FALSE(order.empty());
+  auto lin = Linearize(system.txn(1), order);
+  ASSERT_TRUE(lin.ok());
+  EntityId e2 = parsed->db->Find("e2").value();
+  EXPECT_TRUE(lin->IsSharedSection(e2));
+
+  // The analyzer's certificate must separate a genuinely conflicting
+  // entity (never the read-read e2) and replay against the original.
+  PairSafetyReport report = AnalyzePairSafety(system.txn(0), system.txn(1));
+  ASSERT_EQ(report.verdict, SafetyVerdict::kUnsafe);
+  ASSERT_TRUE(report.certificate.has_value());
+  for (EntityId x : report.certificate->dominator) EXPECT_NE(x, e2);
+  EXPECT_TRUE(
+      CheckScheduleLegal(system, report.certificate->schedule).ok());
+  EXPECT_FALSE(IsSerializable(system, report.certificate->schedule));
+}
+
+TEST(SharedLocks, AnalyzerMatchesOracleOnRandomSharedWorkloads) {
+  Rng rng(20260705);
+  int checked = 0;
+  int unsafe_seen = 0;
+  for (int trial = 0; trial < 60; ++trial) {
+    WorkloadParams params;
+    params.num_sites = 2;
+    params.num_entities = 3;
+    params.num_transactions = 2;
+    params.lock_probability = 0.9;
+    params.shared_probability = 0.5;
+    params.cross_site_arcs = 1;
+    Workload w = MakeRandomWorkload(params, &rng);
+    ASSERT_TRUE(w.system->Validate().ok()) << w.system->ToString();
+
+    PairSafetyReport report =
+        AnalyzePairSafety(w.system->txn(0), w.system->txn(1));
+    if (report.verdict == SafetyVerdict::kUnknown) continue;
+    auto oracle = ExhaustiveScheduleSafety(*w.system, 1 << 18);
+    if (!oracle.ok()) continue;
+    EXPECT_EQ(report.verdict == SafetyVerdict::kSafe, oracle->safe)
+        << "method=" << report.method << "\n"
+        << w.system->ToString();
+    ++checked;
+    if (!oracle->safe) ++unsafe_seen;
+  }
+  EXPECT_GT(checked, 20);
+  EXPECT_GT(unsafe_seen, 3);
+}
+
+}  // namespace
+}  // namespace dislock

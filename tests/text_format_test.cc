@@ -1,0 +1,144 @@
+// Tests for the dislock text format: parsing, error reporting, round-trip.
+
+#include <gtest/gtest.h>
+
+#include "core/paper.h"
+#include "core/safety.h"
+#include "sim/workload.h"
+#include "txn/text_format.h"
+
+namespace dislock {
+namespace {
+
+constexpr char kSample[] = R"(
+# Fig. 1 style system.
+sites 2
+entity x 0
+entity y 1
+
+txn T1
+  lock x      # 0
+  update x    # 1
+  unlock x    # 2
+  lock y      # 3
+  update y    # 4
+  unlock y    # 5
+  edge 2 3
+end
+
+txn T2
+  lock y
+  update y
+  unlock y
+  lock x
+  update x
+  unlock x
+  edge 2 3
+end
+)";
+
+TEST(TextFormat, ParsesSampleSystem) {
+  auto parsed = ParseSystemText(kSample);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->db->NumSites(), 2);
+  EXPECT_EQ(parsed->db->NumEntities(), 2);
+  ASSERT_EQ(parsed->system->NumTransactions(), 2);
+  const Transaction& t1 = parsed->system->txn(0);
+  EXPECT_EQ(t1.name(), "T1");
+  EXPECT_EQ(t1.NumSteps(), 6);
+  // Auto site chain + the explicit cross edge.
+  EXPECT_TRUE(t1.Precedes(0, 2));
+  EXPECT_TRUE(t1.Precedes(2, 3));
+  // And the parsed system is analyzable.
+  PairSafetyReport report =
+      AnalyzePairSafety(parsed->system->txn(0), parsed->system->txn(1));
+  EXPECT_EQ(report.verdict, SafetyVerdict::kUnsafe);
+}
+
+TEST(TextFormat, ErrorsCarryLineNumbers) {
+  auto missing_sites = ParseSystemText("entity x 0\n");
+  ASSERT_FALSE(missing_sites.ok());
+  EXPECT_NE(missing_sites.status().message().find("line 1"),
+            std::string::npos);
+
+  auto bad_step = ParseSystemText("sites 1\nentity x 0\ntxn T\n  grab x\n");
+  ASSERT_FALSE(bad_step.ok());
+  EXPECT_NE(bad_step.status().message().find("line 4"), std::string::npos);
+  EXPECT_NE(bad_step.status().message().find("grab"), std::string::npos);
+}
+
+TEST(TextFormat, RejectsStructuralMistakes) {
+  EXPECT_FALSE(ParseSystemText("").ok());
+  EXPECT_FALSE(ParseSystemText("sites 0\n").ok());
+  EXPECT_FALSE(ParseSystemText("sites 1\ntxn A\ntxn B\n").ok());
+  EXPECT_FALSE(ParseSystemText("sites 1\nend\n").ok());
+  EXPECT_FALSE(ParseSystemText("sites 1\ntxn A\n  lock x\nend\n").ok());
+  EXPECT_FALSE(
+      ParseSystemText("sites 1\nentity x 0\ntxn A\n  lock x\n").ok());
+  // Invalid edge target.
+  EXPECT_FALSE(ParseSystemText(
+                   "sites 1\nentity x 0\ntxn A\n  lock x\n  unlock x\n"
+                   "  edge 0 7\nend\n")
+                   .ok());
+}
+
+TEST(TextFormat, ValidatesTransactions) {
+  // Lock without unlock.
+  auto parsed = ParseSystemText(
+      "sites 1\nentity x 0\ntxn T\n  lock x\nend\n");
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_NE(parsed.status().message().find("lock without unlock"),
+            std::string::npos);
+}
+
+TEST(TextFormat, RoundTripsPaperInstances) {
+  for (auto make : {MakeFig1Instance, MakeFig2Instance, MakeFig3Instance,
+                    MakeFig5Instance}) {
+    PaperInstance inst = make();
+    std::string text = SystemToText(*inst.system);
+    auto parsed = ParseSystemText(text);
+    ASSERT_TRUE(parsed.ok())
+        << inst.description << ": " << parsed.status().ToString() << "\n"
+        << text;
+    ASSERT_EQ(parsed->system->NumTransactions(),
+              inst.system->NumTransactions());
+    for (int i = 0; i < inst.system->NumTransactions(); ++i) {
+      const Transaction& orig = inst.system->txn(i);
+      const Transaction& back = parsed->system->txn(i);
+      ASSERT_EQ(orig.NumSteps(), back.NumSteps());
+      for (StepId a = 0; a < orig.NumSteps(); ++a) {
+        EXPECT_EQ(orig.GetStep(a).kind, back.GetStep(a).kind);
+        // Entity identity is preserved by name.
+        EXPECT_EQ(inst.db->NameOf(orig.GetStep(a).entity),
+                  parsed->db->NameOf(back.GetStep(a).entity));
+        for (StepId b = 0; b < orig.NumSteps(); ++b) {
+          if (a == b) continue;
+          EXPECT_EQ(orig.Precedes(a, b), back.Precedes(a, b));
+        }
+      }
+    }
+  }
+}
+
+TEST(TextFormat, RoundTripsRandomWorkloads) {
+  Rng rng(404);
+  for (int trial = 0; trial < 20; ++trial) {
+    WorkloadParams params;
+    params.num_sites = 2;
+    params.num_entities = 4;
+    params.num_transactions = 3;
+    params.update_probability = 0.5;
+    Workload w = MakeRandomWorkload(params, &rng);
+    auto parsed = ParseSystemText(SystemToText(*w.system));
+    ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+    // Same safety verdicts after the round trip.
+    PairSafetyReport before =
+        AnalyzePairSafety(w.system->txn(0), w.system->txn(1));
+    PairSafetyReport after =
+        AnalyzePairSafety(parsed->system->txn(0), parsed->system->txn(1));
+    EXPECT_EQ(before.verdict, after.verdict);
+  }
+}
+
+}  // namespace
+}  // namespace dislock

@@ -1,0 +1,318 @@
+// Unit tests for the transaction model: database, steps, builder,
+// validation (Section 2 rules), linear extensions.
+
+#include <gtest/gtest.h>
+
+#include "txn/builder.h"
+#include "txn/linear_extension.h"
+#include "txn/system.h"
+#include "txn/validate.h"
+#include "util/random.h"
+
+namespace dislock {
+namespace {
+
+// ----------------------------------------------------------------- Database
+
+TEST(Database, AddAndLookup) {
+  DistributedDatabase db(2);
+  EntityId x = db.MustAddEntity("x", 0);
+  EntityId y = db.MustAddEntity("y", 1);
+  EXPECT_EQ(db.NumEntities(), 2);
+  EXPECT_EQ(db.SiteOf(x), 0);
+  EXPECT_EQ(db.SiteOf(y), 1);
+  EXPECT_EQ(db.NameOf(x), "x");
+  ASSERT_TRUE(db.Find("y").ok());
+  EXPECT_EQ(db.Find("y").value(), y);
+  EXPECT_FALSE(db.Find("zzz").ok());
+}
+
+TEST(Database, RejectsBadEntities) {
+  DistributedDatabase db(2);
+  EXPECT_FALSE(db.AddEntity("", 0).ok());
+  EXPECT_FALSE(db.AddEntity("x", 2).ok());   // site out of range
+  EXPECT_FALSE(db.AddEntity("x", -1).ok());
+  ASSERT_TRUE(db.AddEntity("x", 0).ok());
+  EXPECT_FALSE(db.AddEntity("x", 1).ok());   // duplicate name
+}
+
+TEST(Database, EntitiesAtSite) {
+  DistributedDatabase db(2);
+  db.MustAddEntity("a", 0);
+  db.MustAddEntity("b", 1);
+  db.MustAddEntity("c", 0);
+  EXPECT_EQ(db.EntitiesAt(0).size(), 2u);
+  EXPECT_EQ(db.EntitiesAt(1).size(), 1u);
+}
+
+// -------------------------------------------------------------- Transaction
+
+TEST(Transaction, StepsAndPrecedence) {
+  DistributedDatabase db(1);
+  db.MustAddEntity("x", 0);
+  Transaction t(&db, "T");
+  StepId l = t.AddStep(StepKind::kLock, 0);
+  StepId u = t.AddStep(StepKind::kUpdate, 0);
+  StepId ul = t.AddStep(StepKind::kUnlock, 0);
+  t.AddPrecedence(l, u);
+  t.AddPrecedence(u, ul);
+  EXPECT_TRUE(t.Precedes(l, ul));   // transitive
+  EXPECT_FALSE(t.Precedes(ul, l));
+  EXPECT_FALSE(t.Precedes(l, l));   // strict
+  EXPECT_TRUE(t.PrecedesOrEqual(l, l));
+  EXPECT_EQ(t.LockStep(0), l);
+  EXPECT_EQ(t.UnlockStep(0), ul);
+  EXPECT_EQ(t.UpdateSteps(0).size(), 1u);
+  EXPECT_EQ(t.LockedEntities().size(), 1u);
+}
+
+TEST(Transaction, MutationInvalidatesReachability) {
+  DistributedDatabase db(1);
+  db.MustAddEntity("x", 0);
+  db.MustAddEntity("y", 0);
+  Transaction t(&db);
+  StepId a = t.AddStep(StepKind::kLock, 0);
+  StepId b = t.AddStep(StepKind::kLock, 1);
+  EXPECT_TRUE(t.Concurrent(a, b));
+  t.AddPrecedence(a, b);
+  EXPECT_TRUE(t.Precedes(a, b));
+}
+
+TEST(Transaction, StepStringMatchesPaperNotation) {
+  DistributedDatabase db(1);
+  db.MustAddEntity("x", 0);
+  Transaction t(&db);
+  StepId l = t.AddStep(StepKind::kLock, 0);
+  StepId u = t.AddStep(StepKind::kUpdate, 0);
+  StepId ul = t.AddStep(StepKind::kUnlock, 0);
+  EXPECT_EQ(t.StepString(l), "Lx");
+  EXPECT_EQ(t.StepString(u), "x");
+  EXPECT_EQ(t.StepString(ul), "Ux");
+}
+
+// ------------------------------------------------------------------ Builder
+
+TEST(Builder, AutoSiteChainOrdersSameSiteSteps) {
+  DistributedDatabase db(2);
+  db.MustAddEntity("x", 0);
+  db.MustAddEntity("y", 1);
+  TransactionBuilder b(&db, "T");
+  StepId lx = b.Lock("x");
+  StepId ly = b.Lock("y");
+  StepId ux = b.Unlock("x");
+  StepId uy = b.Unlock("y");
+  Transaction t = b.Build();
+  EXPECT_TRUE(t.Precedes(lx, ux));  // chained at site 0
+  EXPECT_TRUE(t.Precedes(ly, uy));  // chained at site 1
+  EXPECT_TRUE(t.Concurrent(lx, ly));
+  EXPECT_TRUE(t.Concurrent(ux, uy));
+}
+
+TEST(Builder, LockUpdateUnlockProducesValidSection) {
+  DistributedDatabase db(1);
+  db.MustAddEntity("x", 0);
+  TransactionBuilder b(&db);
+  b.LockUpdateUnlock("x");
+  ValidateOptions strict;
+  strict.require_update_between_locks = true;
+  EXPECT_TRUE(b.BuildValidated(strict).ok());
+}
+
+TEST(Builder, BuildValidatedReportsViolations) {
+  DistributedDatabase db(1);
+  db.MustAddEntity("x", 0);
+  TransactionBuilder b(&db, "T", /*auto_site_chain=*/false);
+  b.Lock("x");  // lock without unlock
+  auto result = b.BuildValidated();
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidModel);
+}
+
+// --------------------------------------------------------------- Validation
+
+TEST(Validate, AcceptsWellFormedDistributedTransaction) {
+  DistributedDatabase db(2);
+  db.MustAddEntity("x", 0);
+  db.MustAddEntity("y", 1);
+  TransactionBuilder b(&db);
+  b.LockUpdateUnlock("x");
+  b.LockUpdateUnlock("y");
+  EXPECT_TRUE(ValidateTransaction(b.Build()).ok());
+}
+
+TEST(Validate, RejectsCyclicPrecedence) {
+  DistributedDatabase db(1);
+  db.MustAddEntity("x", 0);
+  Transaction t(&db);
+  StepId l = t.AddStep(StepKind::kLock, 0);
+  StepId u = t.AddStep(StepKind::kUnlock, 0);
+  t.AddPrecedence(l, u);
+  t.AddPrecedence(u, l);
+  EXPECT_FALSE(ValidateTransaction(t).ok());
+}
+
+TEST(Validate, RejectsDoubleLock) {
+  DistributedDatabase db(1);
+  db.MustAddEntity("x", 0);
+  Transaction t(&db);
+  StepId l1 = t.AddStep(StepKind::kLock, 0);
+  StepId l2 = t.AddStep(StepKind::kLock, 0);
+  StepId u = t.AddStep(StepKind::kUnlock, 0);
+  t.AddPrecedence(l1, l2);
+  t.AddPrecedence(l2, u);
+  EXPECT_FALSE(ValidateTransaction(t).ok());
+}
+
+TEST(Validate, RejectsUnlockBeforeLock) {
+  DistributedDatabase db(1);
+  db.MustAddEntity("x", 0);
+  Transaction t(&db);
+  StepId u = t.AddStep(StepKind::kUnlock, 0);
+  StepId l = t.AddStep(StepKind::kLock, 0);
+  t.AddPrecedence(u, l);
+  EXPECT_FALSE(ValidateTransaction(t).ok());
+}
+
+TEST(Validate, RejectsConcurrentStepsAtOneSite) {
+  DistributedDatabase db(1);
+  db.MustAddEntity("x", 0);
+  db.MustAddEntity("y", 0);  // same site
+  TransactionBuilder b(&db, "T", /*auto_site_chain=*/false);
+  StepId lx = b.Lock("x");
+  StepId ux = b.Unlock("x");
+  StepId ly = b.Lock("y");
+  StepId uy = b.Unlock("y");
+  b.Edge(lx, ux).Edge(ly, uy);  // x and y sections concurrent, same site
+  auto status = ValidateTransaction(b.Build());
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("not ordered"), std::string::npos);
+}
+
+TEST(Validate, RejectsUnlockedUpdateByDefault) {
+  DistributedDatabase db(1);
+  db.MustAddEntity("x", 0);
+  Transaction t(&db);
+  t.AddStep(StepKind::kUpdate, 0);
+  EXPECT_FALSE(ValidateTransaction(t).ok());
+  ValidateOptions lenient;
+  lenient.forbid_unlocked_updates = false;
+  EXPECT_TRUE(ValidateTransaction(t, lenient).ok());
+}
+
+TEST(Validate, RejectsUpdateOutsideItsLockSection) {
+  DistributedDatabase db(1);
+  db.MustAddEntity("x", 0);
+  Transaction t(&db);
+  StepId l = t.AddStep(StepKind::kLock, 0);
+  StepId ul = t.AddStep(StepKind::kUnlock, 0);
+  StepId up = t.AddStep(StepKind::kUpdate, 0);
+  t.AddPrecedence(l, ul);
+  t.AddPrecedence(ul, up);  // update after unlock
+  EXPECT_FALSE(ValidateTransaction(t).ok());
+}
+
+TEST(Validate, StrictModeRequiresUpdateBetweenLocks) {
+  DistributedDatabase db(1);
+  db.MustAddEntity("x", 0);
+  TransactionBuilder b(&db);
+  b.Lock("x");
+  b.Unlock("x");
+  EXPECT_TRUE(ValidateTransaction(b.Build()).ok());  // figures omit updates
+  ValidateOptions strict;
+  strict.require_update_between_locks = true;
+  EXPECT_FALSE(ValidateTransaction(b.Build(), strict).ok());
+}
+
+// -------------------------------------------------------- Linear extensions
+
+TEST(LinearExtensions, ChainHasExactlyOne) {
+  DistributedDatabase db(1);
+  db.MustAddEntity("x", 0);
+  TransactionBuilder b(&db);
+  b.Lock("x");
+  b.Update("x");
+  b.Unlock("x");
+  EXPECT_EQ(CountLinearExtensions(b.Build(), 100), 1);
+}
+
+TEST(LinearExtensions, AntichainHasFactorial) {
+  DistributedDatabase db(4);
+  for (int i = 0; i < 4; ++i) {
+    db.MustAddEntity(std::string("e") + std::to_string(i), i);
+  }
+  Transaction t(&db);
+  for (int i = 0; i < 4; ++i) t.AddStep(StepKind::kLock, i);
+  EXPECT_EQ(CountLinearExtensions(t, 100), 24);  // 4!
+  EXPECT_EQ(CountLinearExtensions(t, 10), 10);   // capped
+}
+
+TEST(LinearExtensions, EnumerationVisitsValidExtensions) {
+  DistributedDatabase db(2);
+  db.MustAddEntity("x", 0);
+  db.MustAddEntity("y", 1);
+  TransactionBuilder b(&db);
+  b.Lock("x");
+  b.Lock("y");
+  b.Unlock("x");
+  b.Unlock("y");
+  Transaction t = b.Build();
+  int count = 0;
+  Status st = EnumerateLinearExtensions(
+      t, 1000, [&](const std::vector<StepId>& order) {
+        EXPECT_TRUE(IsLinearExtension(t, order));
+        ++count;
+        return true;
+      });
+  EXPECT_TRUE(st.ok());
+  // Two independent 2-chains: C(4,2) = 6 interleavings.
+  EXPECT_EQ(count, 6);
+}
+
+TEST(LinearExtensions, RandomExtensionIsValid) {
+  DistributedDatabase db(3);
+  for (int i = 0; i < 3; ++i) {
+    db.MustAddEntity(std::string("e") + std::to_string(i), i);
+  }
+  TransactionBuilder b(&db);
+  for (int i = 0; i < 3; ++i) {
+    b.Lock(std::string("e") + std::to_string(i));
+    b.Unlock(std::string("e") + std::to_string(i));
+  }
+  Transaction t = b.Build();
+  Rng rng(3);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_TRUE(IsLinearExtension(t, RandomLinearExtension(t, &rng)));
+  }
+}
+
+TEST(LinearExtensions, LinearizeBuildsChain) {
+  DistributedDatabase db(2);
+  db.MustAddEntity("x", 0);
+  db.MustAddEntity("y", 1);
+  TransactionBuilder b(&db);
+  StepId lx = b.Lock("x");
+  StepId ly = b.Lock("y");
+  StepId ux = b.Unlock("x");
+  StepId uy = b.Unlock("y");
+  Transaction t = b.Build();
+  auto lin = Linearize(t, {lx, ly, ux, uy});
+  ASSERT_TRUE(lin.ok());
+  EXPECT_TRUE(lin->Precedes(ly, ux));  // new chain constraint
+  EXPECT_EQ(CountLinearExtensions(*lin, 10), 1);
+  // Rejects non-extensions.
+  EXPECT_FALSE(Linearize(t, {ux, lx, ly, uy}).ok());
+  EXPECT_FALSE(Linearize(t, {lx, ly, ux}).ok());
+}
+
+TEST(LinearExtensions, IsLinearExtensionRejectsDuplicates) {
+  DistributedDatabase db(1);
+  db.MustAddEntity("x", 0);
+  TransactionBuilder b(&db);
+  StepId l = b.Lock("x");
+  b.Unlock("x");
+  Transaction t = b.Build();
+  EXPECT_FALSE(IsLinearExtension(t, {l, l}));
+}
+
+}  // namespace
+}  // namespace dislock

@@ -1,0 +1,131 @@
+// Tests for the utility layer: Status/Result, RNG, strings, bitset.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/bitset.h"
+#include "util/random.h"
+#include "util/status.h"
+#include "util/string_util.h"
+
+namespace dislock {
+namespace {
+
+TEST(Status, OkAndErrors) {
+  EXPECT_TRUE(Status::OK().ok());
+  EXPECT_EQ(Status::OK().ToString(), "OK");
+  Status s = Status::InvalidModel("bad lock");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidModel);
+  EXPECT_EQ(s.ToString(), "InvalidModel: bad lock");
+}
+
+TEST(Status, CodeNamesAreStable) {
+  EXPECT_STREQ(StatusCodeName(StatusCode::kOk), "OK");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kUndecided), "Undecided");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kResourceExhausted),
+               "ResourceExhausted");
+}
+
+TEST(Result, ValueAndError) {
+  Result<int> good(42);
+  ASSERT_TRUE(good.ok());
+  EXPECT_EQ(*good, 42);
+  EXPECT_EQ(good.value_or(7), 42);
+
+  Result<int> bad(Status::NotFound("nope"));
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(bad.value_or(7), 7);
+}
+
+TEST(Result, ConstructingFromOkStatusIsInternalError) {
+  Result<int> odd{Status::OK()};
+  EXPECT_FALSE(odd.ok());
+  EXPECT_EQ(odd.status().code(), StatusCode::kInternal);
+}
+
+TEST(Rng, DeterministicAcrossSeeds) {
+  Rng a(123), b(123), c(124);
+  EXPECT_EQ(a.Next64(), b.Next64());
+  EXPECT_NE(a.Next64(), c.Next64());
+}
+
+TEST(Rng, UniformRespectsBound) {
+  Rng rng(9);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    uint64_t v = rng.Uniform(7);
+    EXPECT_LT(v, 7u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);  // all values hit
+}
+
+TEST(Rng, UniformIntInclusiveRange) {
+  Rng rng(10);
+  for (int i = 0; i < 200; ++i) {
+    int64_t v = rng.UniformInt(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+  }
+}
+
+TEST(Rng, BernoulliExtremes) {
+  Rng rng(11);
+  EXPECT_FALSE(rng.Bernoulli(0.0));
+  EXPECT_TRUE(rng.Bernoulli(1.0));
+}
+
+TEST(Rng, ShufflePreservesElements) {
+  Rng rng(12);
+  std::vector<int> v{1, 2, 3, 4, 5};
+  rng.Shuffle(&v);
+  std::set<int> s(v.begin(), v.end());
+  EXPECT_EQ(s.size(), 5u);
+}
+
+TEST(StringUtil, StrCatAndJoin) {
+  EXPECT_EQ(StrCat("a", 1, "b", 2.5), "a1b2.5");
+  std::vector<std::string> parts{"x", "y", "z"};
+  EXPECT_EQ(Join(parts, ", "), "x, y, z");
+  EXPECT_EQ(Join(std::vector<std::string>{}, ","), "");
+}
+
+TEST(StringUtil, SplitAndTrim) {
+  auto parts = Split("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(Trim("  hi \n"), "hi");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_TRUE(StartsWith("p cnf", "p "));
+  EXPECT_FALSE(StartsWith("p", "p cnf"));
+}
+
+TEST(Bitset, SetResetTest) {
+  DynamicBitset bits(130);
+  EXPECT_TRUE(bits.None());
+  bits.Set(0);
+  bits.Set(64);
+  bits.Set(129);
+  EXPECT_TRUE(bits.Test(64));
+  EXPECT_FALSE(bits.Test(63));
+  EXPECT_EQ(bits.Count(), 3u);
+  bits.Reset(64);
+  EXPECT_FALSE(bits.Test(64));
+  EXPECT_EQ(bits.Count(), 2u);
+}
+
+TEST(Bitset, UnionWith) {
+  DynamicBitset a(70), b(70);
+  a.Set(1);
+  b.Set(69);
+  a.UnionWith(b);
+  EXPECT_TRUE(a.Test(1));
+  EXPECT_TRUE(a.Test(69));
+  EXPECT_EQ(a.Count(), 2u);
+}
+
+}  // namespace
+}  // namespace dislock

@@ -1,0 +1,258 @@
+// The dislock command-line analyzer.
+//
+//   dislock analyze <system.dlk>    safety + deadlock analysis of a system
+//   dislock simulate <system.dlk> [runs]
+//                                   Monte-Carlo execution statistics
+//   dislock reduce <formula.cnf>    Theorem 3: decide SAT via locking safety
+//   dislock example                 print a sample system file
+//
+// System files use the dislock text format (see src/txn/text_format.h).
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "core/certificate.h"
+#include "core/deadlock.h"
+#include "core/multi.h"
+#include "core/report.h"
+#include "core/safety.h"
+#include "sat/normalize.h"
+#include "sat/reduction.h"
+#include "sat/solver.h"
+#include "sim/scheduler.h"
+#include "txn/text_format.h"
+
+namespace dislock {
+namespace {
+
+constexpr char kSample[] = R"(# Two transactions over a two-site database.
+sites 2
+entity x 0
+entity y 1
+
+txn T1
+  lock x      # step 0
+  update x    # step 1
+  unlock x    # step 2
+  lock y      # step 3
+  update y    # step 4
+  unlock y    # step 5
+  edge 2 3    # x section before y section
+end
+
+txn T2
+  lock y
+  update y
+  unlock y
+  lock x
+  update x
+  unlock x
+  edge 2 3    # y section before x section
+end
+)";
+
+Result<std::string> ReadFile(const char* path) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound(std::string("cannot open ") + path);
+  std::ostringstream text;
+  text << in.rdbuf();
+  return text.str();
+}
+
+int Analyze(const char* path, bool json) {
+  auto text = ReadFile(path);
+  if (!text.ok()) {
+    std::fprintf(stderr, "%s\n", text.status().ToString().c_str());
+    return 1;
+  }
+  auto parsed = ParseSystemText(*text);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "%s\n", parsed.status().ToString().c_str());
+    return 1;
+  }
+  const TransactionSystem& system = *parsed->system;
+  if (json) {
+    std::printf("{\"transactions\": %d, \"entities\": %d, \"sites\": %d, "
+                "\"steps\": %d",
+                system.NumTransactions(), parsed->db->NumEntities(),
+                parsed->db->NumSites(), system.TotalSteps());
+    if (system.NumTransactions() == 2) {
+      PairSafetyReport report =
+          AnalyzePairSafety(system.txn(0), system.txn(1));
+      std::printf(", \"pair\": %s",
+                  PairReportToJson(report, *parsed->db).c_str());
+    } else if (system.NumTransactions() > 2) {
+      MultiSafetyReport report = AnalyzeMultiSafety(system);
+      std::printf(", \"multi\": %s",
+                  MultiReportToJson(report, system).c_str());
+    }
+    auto deadlock = AnalyzeDeadlockFreedom(system, 1 << 20);
+    if (deadlock.ok()) {
+      std::printf(", \"deadlock\": %s",
+                  DeadlockReportToJson(*deadlock, system).c_str());
+    }
+    std::printf("}\n");
+    return 0;
+  }
+  std::printf("%d transactions, %d entities over %d sites, %d steps\n",
+              system.NumTransactions(), parsed->db->NumEntities(),
+              parsed->db->NumSites(), system.TotalSteps());
+
+  if (system.NumTransactions() == 2) {
+    PairSafetyReport report = AnalyzePairSafety(system.txn(0), system.txn(1));
+    std::printf("%s", PairReportToText(report, *parsed->db).c_str());
+  } else if (system.NumTransactions() > 2) {
+    MultiSafetyReport report = AnalyzeMultiSafety(system);
+    std::printf("safety: %s (pairs: %d, cycles: %d)\n",
+                SafetyVerdictName(report.verdict), report.pairs_checked,
+                report.cycles_checked);
+    if (report.failing_pair.has_value()) {
+      std::printf("  unsafe pair: %s / %s\n",
+                  system.txn(report.failing_pair->first).name().c_str(),
+                  system.txn(report.failing_pair->second).name().c_str());
+    }
+    if (!report.failing_cycle.empty()) {
+      std::printf("  acyclic B_c on transaction cycle:");
+      for (int i : report.failing_cycle) {
+        std::printf(" %s", system.txn(i).name().c_str());
+      }
+      std::printf("\n");
+    }
+  }
+
+  auto deadlock = AnalyzeDeadlockFreedom(system, 1 << 20);
+  if (deadlock.ok()) {
+    if (deadlock->deadlock_free) {
+      std::printf("deadlock: none reachable (%lld states explored)\n",
+                  static_cast<long long>(deadlock->states_explored));
+    } else {
+      std::printf("deadlock: reachable after prefix %s\n",
+                  deadlock->dead_prefix->ToString(system).c_str());
+    }
+  } else {
+    std::printf("deadlock: %s\n", deadlock.status().ToString().c_str());
+  }
+  return 0;
+}
+
+int Simulate(const char* path, int64_t runs) {
+  auto text = ReadFile(path);
+  if (!text.ok()) {
+    std::fprintf(stderr, "%s\n", text.status().ToString().c_str());
+    return 1;
+  }
+  auto parsed = ParseSystemText(*text);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "%s\n", parsed.status().ToString().c_str());
+    return 1;
+  }
+  Rng rng(0xD15C0);
+  MonteCarloStats stats = SampleSafety(*parsed->system, runs, &rng,
+                                       /*keep_going=*/true);
+  std::printf("runs: %lld\ncompleted: %lld\ndeadlocked: %lld\n"
+              "non-serializable: %lld\n",
+              static_cast<long long>(stats.runs),
+              static_cast<long long>(stats.completed),
+              static_cast<long long>(stats.deadlocked),
+              static_cast<long long>(stats.non_serializable));
+  if (stats.witness.has_value()) {
+    std::printf("witness: %s\n",
+                stats.witness->ToString(*parsed->system).c_str());
+  }
+  // With abort-and-restart recovery, every run commits; report abort rates.
+  int64_t aborts = 0;
+  int64_t committed = 0;
+  for (int64_t r = 0; r < runs / 10 + 1; ++r) {
+    RecoveryRunResult run = SimulateRunWithRecovery(*parsed->system, &rng);
+    if (!run.gave_up) ++committed;
+    aborts += run.aborts;
+  }
+  std::printf("with recovery: %lld/%lld committed, %lld aborts\n",
+              static_cast<long long>(committed),
+              static_cast<long long>(runs / 10 + 1),
+              static_cast<long long>(aborts));
+  return 0;
+}
+
+int Reduce(const char* path) {
+  auto text = ReadFile(path);
+  if (!text.ok()) {
+    std::fprintf(stderr, "%s\n", text.status().ToString().c_str());
+    return 1;
+  }
+  auto formula = ParseDimacs(*text);
+  if (!formula.ok()) {
+    std::fprintf(stderr, "%s\n", formula.status().ToString().c_str());
+    return 1;
+  }
+  auto restricted = NormalizeToRestricted(*formula);
+  if (!restricted.ok()) {
+    std::fprintf(stderr, "%s\n", restricted.status().ToString().c_str());
+    return 1;
+  }
+  if (restricted->trivially_sat || restricted->trivially_unsat) {
+    std::printf("preprocessing decided: %s\n",
+                restricted->trivially_sat ? "SATISFIABLE" : "UNSATISFIABLE");
+    return 0;
+  }
+  auto red = ReduceCnfToTransactions(restricted->cnf);
+  if (!red.ok()) {
+    std::fprintf(stderr, "%s\n", red.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("reduced to %d entities / %d steps over %d sites\n",
+              red->db->NumEntities(), red->system->TotalSteps(),
+              red->db->NumSites());
+  SafetyOptions options;
+  options.max_extension_pairs = 0;
+  options.max_dominators = 1 << 16;
+  PairSafetyReport report = AnalyzePairSafety(red->system->txn(0),
+                                              red->system->txn(1), options);
+  std::printf("safety: %s  =>  formula is %s\n",
+              SafetyVerdictName(report.verdict),
+              report.verdict == SafetyVerdict::kUnsafe ? "SATISFIABLE"
+              : report.verdict == SafetyVerdict::kSafe ? "UNSATISFIABLE"
+                                                       : "UNDECIDED");
+  auto dpll = SolveSat(*formula);
+  if (dpll.ok()) {
+    std::printf("DPLL cross-check: %s\n",
+                dpll->satisfiable ? "SATISFIABLE" : "UNSATISFIABLE");
+  }
+  return 0;
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: dislock analyze <system.dlk> [--json]\n"
+               "       dislock simulate <system.dlk> [runs]\n"
+               "       dislock reduce <formula.cnf>\n"
+               "       dislock example\n");
+  return 2;
+}
+
+}  // namespace
+}  // namespace dislock
+
+int main(int argc, char** argv) {
+  using namespace dislock;
+  if (argc < 2) return Usage();
+  if (std::strcmp(argv[1], "example") == 0) {
+    std::printf("%s", kSample);
+    return 0;
+  }
+  if (std::strcmp(argv[1], "analyze") == 0 && argc >= 3) {
+    bool json = argc >= 4 && std::strcmp(argv[3], "--json") == 0;
+    return Analyze(argv[2], json);
+  }
+  if (std::strcmp(argv[1], "simulate") == 0 && argc >= 3) {
+    int64_t runs = argc >= 4 ? std::atoll(argv[3]) : 10000;
+    return Simulate(argv[2], runs);
+  }
+  if (std::strcmp(argv[1], "reduce") == 0 && argc >= 3) {
+    return Reduce(argv[2]);
+  }
+  return Usage();
+}

@@ -1,0 +1,145 @@
+// Differential stress harness: generates random workloads from a seed and
+// cross-checks every decision path against the oracles, printing a summary.
+// Exits non-zero on the first disagreement (making it usable as a fuzzing
+// target or a long-running soak test).
+//
+//   dislock_stress [trials] [seed]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "dislock.h"
+
+using namespace dislock;
+
+namespace {
+
+struct Tally {
+  int64_t trials = 0;
+  int64_t safe = 0;
+  int64_t unsafe_ = 0;
+  int64_t unknown = 0;
+  int64_t oracle_checked = 0;
+  int64_t certificates = 0;
+  int64_t deadlock_free = 0;
+  int64_t deadlocking = 0;
+};
+
+int Fail(const char* what, const Workload& w) {
+  std::fprintf(stderr, "DISAGREEMENT: %s\n%s", what,
+               w.system->ToString().c_str());
+  std::fprintf(stderr, "repro (text format):\n%s",
+               SystemToText(*w.system).c_str());
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int64_t trials = argc > 1 ? std::atoll(argv[1]) : 500;
+  uint64_t seed = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 0xD15C0;
+  Rng rng(seed);
+  Tally tally;
+
+  for (int64_t trial = 0; trial < trials; ++trial) {
+    WorkloadParams params;
+    params.num_sites = 1 + static_cast<int>(rng.Uniform(4));
+    params.num_entities = 2 + static_cast<int>(rng.Uniform(3));
+    params.num_transactions = 2;
+    params.lock_probability = 0.6 + 0.4 * rng.UniformDouble();
+    params.update_probability = 1.0;
+    params.shared_probability = rng.Bernoulli(0.3) ? 0.4 : 0.0;
+    params.cross_site_arcs = static_cast<int>(rng.Uniform(3));
+    Workload w = MakeRandomWorkload(params, &rng);
+    if (!w.system->Validate().ok()) return Fail("generator invalid", w);
+    ++tally.trials;
+
+    SafetyOptions options;
+    options.max_extension_pairs = 1 << 15;
+    PairSafetyReport report =
+        AnalyzePairSafety(w.system->txn(0), w.system->txn(1), options);
+    switch (report.verdict) {
+      case SafetyVerdict::kSafe:
+        ++tally.safe;
+        break;
+      case SafetyVerdict::kUnsafe:
+        ++tally.unsafe_;
+        break;
+      case SafetyVerdict::kUnknown:
+        ++tally.unknown;
+        break;
+    }
+
+    // Certificates must verify and replay.
+    if (report.certificate.has_value()) {
+      ++tally.certificates;
+      if (!VerifyUnsafetyCertificate(w.system->txn(0), w.system->txn(1),
+                                     *report.certificate)
+               .ok()) {
+        return Fail("certificate failed verification", w);
+      }
+      if (!CheckScheduleLegal(*w.system, report.certificate->schedule)
+               .ok() ||
+          IsSerializable(*w.system, report.certificate->schedule)) {
+        return Fail("certificate schedule does not replay", w);
+      }
+    }
+
+    // Exhaustive oracle (when affordable) must agree.
+    auto oracle =
+        ExhaustivePairSafety(w.system->txn(0), w.system->txn(1), 1 << 15);
+    if (oracle.ok() && report.verdict != SafetyVerdict::kUnknown) {
+      ++tally.oracle_checked;
+      if ((report.verdict == SafetyVerdict::kSafe) != oracle->safe) {
+        return Fail("analyzer vs Lemma-1 oracle", w);
+      }
+    }
+
+    // Monte-Carlo must not contradict a safe verdict.
+    if (report.verdict == SafetyVerdict::kSafe) {
+      MonteCarloStats stats = SampleSafety(*w.system, 200, &rng,
+                                           /*keep_going=*/true);
+      if (stats.non_serializable != 0) {
+        return Fail("sampler found witness for safe system", w);
+      }
+    }
+
+    // Deadlock search vs simulation.
+    auto deadlock = AnalyzeDeadlockFreedom(*w.system, 1 << 16);
+    if (deadlock.ok()) {
+      if (deadlock->deadlock_free) {
+        ++tally.deadlock_free;
+        for (int r = 0; r < 100; ++r) {
+          if (SimulateRun(*w.system, &rng).deadlocked) {
+            return Fail("simulator deadlocked a deadlock-free system", w);
+          }
+        }
+      } else {
+        ++tally.deadlocking;
+      }
+      // Recovery must always commit something legal.
+      RecoveryRunResult run = SimulateRunWithRecovery(*w.system, &rng);
+      if (!run.gave_up &&
+          !CheckScheduleLegal(*w.system, *run.schedule).ok()) {
+        return Fail("recovery committed an illegal schedule", w);
+      }
+    }
+  }
+
+  std::printf(
+      "stress: %lld trials (seed %llu)\n"
+      "  verdicts: %lld safe, %lld unsafe, %lld unknown\n"
+      "  oracle-cross-checked: %lld, certificates verified: %lld\n"
+      "  deadlock-free: %lld, deadlocking: %lld\n"
+      "all decision paths agree.\n",
+      static_cast<long long>(tally.trials),
+      static_cast<unsigned long long>(seed),
+      static_cast<long long>(tally.safe),
+      static_cast<long long>(tally.unsafe_),
+      static_cast<long long>(tally.unknown),
+      static_cast<long long>(tally.oracle_checked),
+      static_cast<long long>(tally.certificates),
+      static_cast<long long>(tally.deadlock_free),
+      static_cast<long long>(tally.deadlocking));
+  return 0;
+}
