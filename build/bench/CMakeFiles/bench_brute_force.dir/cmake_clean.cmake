@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_brute_force.dir/bench_brute_force.cc.o"
+  "CMakeFiles/bench_brute_force.dir/bench_brute_force.cc.o.d"
+  "bench_brute_force"
+  "bench_brute_force.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_brute_force.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_deadlock.dir/bench_deadlock.cc.o"
+  "CMakeFiles/bench_deadlock.dir/bench_deadlock.cc.o.d"
+  "bench_deadlock"
+  "bench_deadlock.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_deadlock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_multi.dir/bench_multi.cc.o"
+  "CMakeFiles/bench_multi.dir/bench_multi.cc.o.d"
+  "bench_multi"
+  "bench_multi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_multi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

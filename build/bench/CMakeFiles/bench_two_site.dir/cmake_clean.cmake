@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_two_site.dir/bench_two_site.cc.o"
+  "CMakeFiles/bench_two_site.dir/bench_two_site.cc.o.d"
+  "bench_two_site"
+  "bench_two_site.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_two_site.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sat_gadget.dir/sat_gadget.cc.o"
+  "CMakeFiles/sat_gadget.dir/sat_gadget.cc.o.d"
+  "sat_gadget"
+  "sat_gadget.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sat_gadget.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

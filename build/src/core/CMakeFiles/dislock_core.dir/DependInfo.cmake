@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/brute_force.cc" "src/core/CMakeFiles/dislock_core.dir/brute_force.cc.o" "gcc" "src/core/CMakeFiles/dislock_core.dir/brute_force.cc.o.d"
+  "/root/repo/src/core/certificate.cc" "src/core/CMakeFiles/dislock_core.dir/certificate.cc.o" "gcc" "src/core/CMakeFiles/dislock_core.dir/certificate.cc.o.d"
+  "/root/repo/src/core/closure.cc" "src/core/CMakeFiles/dislock_core.dir/closure.cc.o" "gcc" "src/core/CMakeFiles/dislock_core.dir/closure.cc.o.d"
+  "/root/repo/src/core/conflict_graph.cc" "src/core/CMakeFiles/dislock_core.dir/conflict_graph.cc.o" "gcc" "src/core/CMakeFiles/dislock_core.dir/conflict_graph.cc.o.d"
+  "/root/repo/src/core/deadlock.cc" "src/core/CMakeFiles/dislock_core.dir/deadlock.cc.o" "gcc" "src/core/CMakeFiles/dislock_core.dir/deadlock.cc.o.d"
+  "/root/repo/src/core/multi.cc" "src/core/CMakeFiles/dislock_core.dir/multi.cc.o" "gcc" "src/core/CMakeFiles/dislock_core.dir/multi.cc.o.d"
+  "/root/repo/src/core/paper.cc" "src/core/CMakeFiles/dislock_core.dir/paper.cc.o" "gcc" "src/core/CMakeFiles/dislock_core.dir/paper.cc.o.d"
+  "/root/repo/src/core/policy.cc" "src/core/CMakeFiles/dislock_core.dir/policy.cc.o" "gcc" "src/core/CMakeFiles/dislock_core.dir/policy.cc.o.d"
+  "/root/repo/src/core/protocols.cc" "src/core/CMakeFiles/dislock_core.dir/protocols.cc.o" "gcc" "src/core/CMakeFiles/dislock_core.dir/protocols.cc.o.d"
+  "/root/repo/src/core/report.cc" "src/core/CMakeFiles/dislock_core.dir/report.cc.o" "gcc" "src/core/CMakeFiles/dislock_core.dir/report.cc.o.d"
+  "/root/repo/src/core/safety.cc" "src/core/CMakeFiles/dislock_core.dir/safety.cc.o" "gcc" "src/core/CMakeFiles/dislock_core.dir/safety.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/geometry/CMakeFiles/dislock_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/txn/CMakeFiles/dislock_txn.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/dislock_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dislock_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dislock_core.dir/brute_force.cc.o"
+  "CMakeFiles/dislock_core.dir/brute_force.cc.o.d"
+  "CMakeFiles/dislock_core.dir/certificate.cc.o"
+  "CMakeFiles/dislock_core.dir/certificate.cc.o.d"
+  "CMakeFiles/dislock_core.dir/closure.cc.o"
+  "CMakeFiles/dislock_core.dir/closure.cc.o.d"
+  "CMakeFiles/dislock_core.dir/conflict_graph.cc.o"
+  "CMakeFiles/dislock_core.dir/conflict_graph.cc.o.d"
+  "CMakeFiles/dislock_core.dir/deadlock.cc.o"
+  "CMakeFiles/dislock_core.dir/deadlock.cc.o.d"
+  "CMakeFiles/dislock_core.dir/multi.cc.o"
+  "CMakeFiles/dislock_core.dir/multi.cc.o.d"
+  "CMakeFiles/dislock_core.dir/paper.cc.o"
+  "CMakeFiles/dislock_core.dir/paper.cc.o.d"
+  "CMakeFiles/dislock_core.dir/policy.cc.o"
+  "CMakeFiles/dislock_core.dir/policy.cc.o.d"
+  "CMakeFiles/dislock_core.dir/protocols.cc.o"
+  "CMakeFiles/dislock_core.dir/protocols.cc.o.d"
+  "CMakeFiles/dislock_core.dir/report.cc.o"
+  "CMakeFiles/dislock_core.dir/report.cc.o.d"
+  "CMakeFiles/dislock_core.dir/safety.cc.o"
+  "CMakeFiles/dislock_core.dir/safety.cc.o.d"
+  "libdislock_core.a"
+  "libdislock_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dislock_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/geometry/curve.cc" "src/geometry/CMakeFiles/dislock_geometry.dir/curve.cc.o" "gcc" "src/geometry/CMakeFiles/dislock_geometry.dir/curve.cc.o.d"
+  "/root/repo/src/geometry/deadlock_geometry.cc" "src/geometry/CMakeFiles/dislock_geometry.dir/deadlock_geometry.cc.o" "gcc" "src/geometry/CMakeFiles/dislock_geometry.dir/deadlock_geometry.cc.o.d"
+  "/root/repo/src/geometry/picture.cc" "src/geometry/CMakeFiles/dislock_geometry.dir/picture.cc.o" "gcc" "src/geometry/CMakeFiles/dislock_geometry.dir/picture.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/txn/CMakeFiles/dislock_txn.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/dislock_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dislock_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dislock_geometry.dir/curve.cc.o"
+  "CMakeFiles/dislock_geometry.dir/curve.cc.o.d"
+  "CMakeFiles/dislock_geometry.dir/deadlock_geometry.cc.o"
+  "CMakeFiles/dislock_geometry.dir/deadlock_geometry.cc.o.d"
+  "CMakeFiles/dislock_geometry.dir/picture.cc.o"
+  "CMakeFiles/dislock_geometry.dir/picture.cc.o.d"
+  "libdislock_geometry.a"
+  "libdislock_geometry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dislock_geometry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

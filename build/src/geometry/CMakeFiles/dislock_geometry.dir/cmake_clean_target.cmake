@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdislock_geometry.a"
+)

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dislock_graph.dir/cycles.cc.o"
+  "CMakeFiles/dislock_graph.dir/cycles.cc.o.d"
+  "CMakeFiles/dislock_graph.dir/digraph.cc.o"
+  "CMakeFiles/dislock_graph.dir/digraph.cc.o.d"
+  "CMakeFiles/dislock_graph.dir/dominator.cc.o"
+  "CMakeFiles/dislock_graph.dir/dominator.cc.o.d"
+  "CMakeFiles/dislock_graph.dir/reachability.cc.o"
+  "CMakeFiles/dislock_graph.dir/reachability.cc.o.d"
+  "CMakeFiles/dislock_graph.dir/scc.cc.o"
+  "CMakeFiles/dislock_graph.dir/scc.cc.o.d"
+  "CMakeFiles/dislock_graph.dir/topological.cc.o"
+  "CMakeFiles/dislock_graph.dir/topological.cc.o.d"
+  "libdislock_graph.a"
+  "libdislock_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dislock_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

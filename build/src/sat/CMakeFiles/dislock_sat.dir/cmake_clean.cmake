@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dislock_sat.dir/cnf.cc.o"
+  "CMakeFiles/dislock_sat.dir/cnf.cc.o.d"
+  "CMakeFiles/dislock_sat.dir/normalize.cc.o"
+  "CMakeFiles/dislock_sat.dir/normalize.cc.o.d"
+  "CMakeFiles/dislock_sat.dir/reduction.cc.o"
+  "CMakeFiles/dislock_sat.dir/reduction.cc.o.d"
+  "CMakeFiles/dislock_sat.dir/solver.cc.o"
+  "CMakeFiles/dislock_sat.dir/solver.cc.o.d"
+  "libdislock_sat.a"
+  "libdislock_sat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dislock_sat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/executor.cc" "src/sim/CMakeFiles/dislock_sim.dir/executor.cc.o" "gcc" "src/sim/CMakeFiles/dislock_sim.dir/executor.cc.o.d"
+  "/root/repo/src/sim/lock_manager.cc" "src/sim/CMakeFiles/dislock_sim.dir/lock_manager.cc.o" "gcc" "src/sim/CMakeFiles/dislock_sim.dir/lock_manager.cc.o.d"
+  "/root/repo/src/sim/scheduler.cc" "src/sim/CMakeFiles/dislock_sim.dir/scheduler.cc.o" "gcc" "src/sim/CMakeFiles/dislock_sim.dir/scheduler.cc.o.d"
+  "/root/repo/src/sim/workload.cc" "src/sim/CMakeFiles/dislock_sim.dir/workload.cc.o" "gcc" "src/sim/CMakeFiles/dislock_sim.dir/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/dislock_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/txn/CMakeFiles/dislock_txn.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dislock_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/geometry/CMakeFiles/dislock_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/dislock_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

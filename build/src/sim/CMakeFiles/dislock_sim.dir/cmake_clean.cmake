@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dislock_sim.dir/executor.cc.o"
+  "CMakeFiles/dislock_sim.dir/executor.cc.o.d"
+  "CMakeFiles/dislock_sim.dir/lock_manager.cc.o"
+  "CMakeFiles/dislock_sim.dir/lock_manager.cc.o.d"
+  "CMakeFiles/dislock_sim.dir/scheduler.cc.o"
+  "CMakeFiles/dislock_sim.dir/scheduler.cc.o.d"
+  "CMakeFiles/dislock_sim.dir/workload.cc.o"
+  "CMakeFiles/dislock_sim.dir/workload.cc.o.d"
+  "libdislock_sim.a"
+  "libdislock_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dislock_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

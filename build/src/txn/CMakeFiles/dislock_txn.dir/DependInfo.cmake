@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/txn/builder.cc" "src/txn/CMakeFiles/dislock_txn.dir/builder.cc.o" "gcc" "src/txn/CMakeFiles/dislock_txn.dir/builder.cc.o.d"
+  "/root/repo/src/txn/database.cc" "src/txn/CMakeFiles/dislock_txn.dir/database.cc.o" "gcc" "src/txn/CMakeFiles/dislock_txn.dir/database.cc.o.d"
+  "/root/repo/src/txn/linear_extension.cc" "src/txn/CMakeFiles/dislock_txn.dir/linear_extension.cc.o" "gcc" "src/txn/CMakeFiles/dislock_txn.dir/linear_extension.cc.o.d"
+  "/root/repo/src/txn/schedule.cc" "src/txn/CMakeFiles/dislock_txn.dir/schedule.cc.o" "gcc" "src/txn/CMakeFiles/dislock_txn.dir/schedule.cc.o.d"
+  "/root/repo/src/txn/step.cc" "src/txn/CMakeFiles/dislock_txn.dir/step.cc.o" "gcc" "src/txn/CMakeFiles/dislock_txn.dir/step.cc.o.d"
+  "/root/repo/src/txn/text_format.cc" "src/txn/CMakeFiles/dislock_txn.dir/text_format.cc.o" "gcc" "src/txn/CMakeFiles/dislock_txn.dir/text_format.cc.o.d"
+  "/root/repo/src/txn/transaction.cc" "src/txn/CMakeFiles/dislock_txn.dir/transaction.cc.o" "gcc" "src/txn/CMakeFiles/dislock_txn.dir/transaction.cc.o.d"
+  "/root/repo/src/txn/validate.cc" "src/txn/CMakeFiles/dislock_txn.dir/validate.cc.o" "gcc" "src/txn/CMakeFiles/dislock_txn.dir/validate.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/dislock_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dislock_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dislock_txn.dir/builder.cc.o"
+  "CMakeFiles/dislock_txn.dir/builder.cc.o.d"
+  "CMakeFiles/dislock_txn.dir/database.cc.o"
+  "CMakeFiles/dislock_txn.dir/database.cc.o.d"
+  "CMakeFiles/dislock_txn.dir/linear_extension.cc.o"
+  "CMakeFiles/dislock_txn.dir/linear_extension.cc.o.d"
+  "CMakeFiles/dislock_txn.dir/schedule.cc.o"
+  "CMakeFiles/dislock_txn.dir/schedule.cc.o.d"
+  "CMakeFiles/dislock_txn.dir/step.cc.o"
+  "CMakeFiles/dislock_txn.dir/step.cc.o.d"
+  "CMakeFiles/dislock_txn.dir/text_format.cc.o"
+  "CMakeFiles/dislock_txn.dir/text_format.cc.o.d"
+  "CMakeFiles/dislock_txn.dir/transaction.cc.o"
+  "CMakeFiles/dislock_txn.dir/transaction.cc.o.d"
+  "CMakeFiles/dislock_txn.dir/validate.cc.o"
+  "CMakeFiles/dislock_txn.dir/validate.cc.o.d"
+  "libdislock_txn.a"
+  "libdislock_txn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dislock_txn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

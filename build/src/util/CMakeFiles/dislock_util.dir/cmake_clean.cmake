@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dislock_util.dir/random.cc.o"
+  "CMakeFiles/dislock_util.dir/random.cc.o.d"
+  "CMakeFiles/dislock_util.dir/status.cc.o"
+  "CMakeFiles/dislock_util.dir/status.cc.o.d"
+  "CMakeFiles/dislock_util.dir/string_util.cc.o"
+  "CMakeFiles/dislock_util.dir/string_util.cc.o.d"
+  "libdislock_util.a"
+  "libdislock_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dislock_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

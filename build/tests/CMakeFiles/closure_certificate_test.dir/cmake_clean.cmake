@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/closure_certificate_test.dir/closure_certificate_test.cc.o"
+  "CMakeFiles/closure_certificate_test.dir/closure_certificate_test.cc.o.d"
+  "closure_certificate_test"
+  "closure_certificate_test.pdb"
+  "closure_certificate_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/closure_certificate_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

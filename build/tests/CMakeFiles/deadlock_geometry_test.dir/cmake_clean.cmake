@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deadlock_geometry_test.dir/deadlock_geometry_test.cc.o"
+  "CMakeFiles/deadlock_geometry_test.dir/deadlock_geometry_test.cc.o.d"
+  "deadlock_geometry_test"
+  "deadlock_geometry_test.pdb"
+  "deadlock_geometry_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deadlock_geometry_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/graph_test.cc" "tests/CMakeFiles/graph_test.dir/graph_test.cc.o" "gcc" "tests/CMakeFiles/graph_test.dir/graph_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/dislock_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/sat/CMakeFiles/dislock_sat.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/dislock_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/geometry/CMakeFiles/dislock_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/txn/CMakeFiles/dislock_txn.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/dislock_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dislock_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shared_locks_test.dir/shared_locks_test.cc.o"
+  "CMakeFiles/shared_locks_test.dir/shared_locks_test.cc.o.d"
+  "shared_locks_test"
+  "shared_locks_test.pdb"
+  "shared_locks_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shared_locks_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dislock.dir/dislock_cli.cc.o"
+  "CMakeFiles/dislock.dir/dislock_cli.cc.o.d"
+  "dislock"
+  "dislock.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dislock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

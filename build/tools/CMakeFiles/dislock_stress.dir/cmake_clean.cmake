@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dislock_stress.dir/dislock_stress.cc.o"
+  "CMakeFiles/dislock_stress.dir/dislock_stress.cc.o.d"
+  "dislock_stress"
+  "dislock_stress.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dislock_stress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
