@@ -11,6 +11,7 @@
 #include "core/safety.h"
 #include "sim/workload.h"
 #include "txn/linear_extension.h"
+#include "util/string_util.h"
 
 namespace dislock {
 namespace {
@@ -25,12 +26,12 @@ Workload MakeWidePair(int sections, bool safe) {
   Workload w;
   w.db = std::make_shared<DistributedDatabase>(sections);
   for (int e = 0; e < sections; ++e) {
-    w.db->MustAddEntity(std::string("e") + std::to_string(e),
+    w.db->MustAddEntity(StrCat("e", e),
                         static_cast<SiteId>(e));
   }
   w.system = std::make_shared<TransactionSystem>(w.db.get());
   for (int t = 0; t < 2; ++t) {
-    Transaction txn(w.db.get(), std::string("T") + std::to_string(t + 1));
+    Transaction txn(w.db.get(), StrCat("T", t + 1));
     std::vector<StepId> locks, unlocks;
     for (EntityId e = 0; e < sections; ++e) {
       StepId l = txn.AddStep(StepKind::kLock, e);

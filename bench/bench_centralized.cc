@@ -14,6 +14,7 @@
 #include "geometry/picture.h"
 #include "graph/scc.h"
 #include "sim/workload.h"
+#include "util/string_util.h"
 
 namespace dislock {
 namespace {
@@ -46,11 +47,11 @@ Workload MakeSafeTotalPair(int entities) {
   Workload w;
   w.db = std::make_shared<DistributedDatabase>(1);
   for (int e = 0; e < entities; ++e) {
-    w.db->MustAddEntity(std::string("e") + std::to_string(e), 0);
+    w.db->MustAddEntity(StrCat("e", e), 0);
   }
   w.system = std::make_shared<TransactionSystem>(w.db.get());
   for (int t = 0; t < 2; ++t) {
-    Transaction txn(w.db.get(), std::string("t") + std::to_string(t + 1));
+    Transaction txn(w.db.get(), StrCat("t", t + 1));
     StepId prev = kInvalidStep;
     auto chain = [&](StepKind kind, EntityId e) {
       StepId s = txn.AddStep(kind, e);

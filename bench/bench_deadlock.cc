@@ -10,6 +10,7 @@
 #include "sim/scheduler.h"
 #include "sim/workload.h"
 #include "txn/builder.h"
+#include "util/string_util.h"
 
 namespace dislock {
 namespace {
@@ -20,13 +21,13 @@ Workload MakeDiningSystem(int k) {
   Workload w;
   w.db = std::make_shared<DistributedDatabase>(1);
   for (int e = 0; e < k; ++e) {
-    w.db->MustAddEntity(std::string("e") + std::to_string(e), 0);
+    w.db->MustAddEntity(StrCat("e", e), 0);
   }
   w.system = std::make_shared<TransactionSystem>(w.db.get());
   for (int t = 0; t < k; ++t) {
-    TransactionBuilder b(w.db.get(), std::string("T") + std::to_string(t));
-    std::string first = std::string("e") + std::to_string(t);
-    std::string second = std::string("e") + std::to_string((t + 1) % k);
+    TransactionBuilder b(w.db.get(), StrCat("T", t));
+    std::string first = StrCat("e", t);
+    std::string second = StrCat("e", (t + 1) % k);
     b.Lock(first);
     b.Lock(second);
     b.Unlock(second);

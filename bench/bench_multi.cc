@@ -10,6 +10,7 @@
 #include "core/policy.h"
 #include "graph/cycles.h"
 #include "sim/workload.h"
+#include "util/string_util.h"
 
 namespace dislock {
 namespace {
@@ -21,12 +22,12 @@ Workload MakeRingSystem(int k) {
   Workload w;
   w.db = std::make_shared<DistributedDatabase>(2);
   for (int e = 0; e < k; ++e) {
-    w.db->MustAddEntity(std::string("e") + std::to_string(e), e % 2);
+    w.db->MustAddEntity(StrCat("e", e), e % 2);
   }
   w.system = std::make_shared<TransactionSystem>(w.db.get());
   for (int t = 0; t < k; ++t) {
     w.system->Add(MakeTwoPhaseTransaction(
-        w.db.get(), std::string("T") + std::to_string(t + 1),
+        w.db.get(), StrCat("T", t + 1),
         {static_cast<EntityId>(t), static_cast<EntityId>((t + 1) % k)}));
   }
   return w;
@@ -39,12 +40,12 @@ Workload MakeDenseSystem(int k, int entities) {
   std::vector<EntityId> all;
   for (int e = 0; e < entities; ++e) {
     all.push_back(w.db->MustAddEntity(
-        std::string("e") + std::to_string(e), e % 2));
+        StrCat("e", e), e % 2));
   }
   w.system = std::make_shared<TransactionSystem>(w.db.get());
   for (int t = 0; t < k; ++t) {
     w.system->Add(MakeTwoPhaseTransaction(
-        w.db.get(), std::string("T") + std::to_string(t + 1), all));
+        w.db.get(), StrCat("T", t + 1), all));
   }
   return w;
 }

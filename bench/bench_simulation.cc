@@ -11,6 +11,7 @@
 #include "sim/scheduler.h"
 #include "sim/workload.h"
 #include "txn/builder.h"
+#include "util/string_util.h"
 
 namespace dislock {
 namespace {
@@ -139,13 +140,13 @@ void BM_MonteCarloSafe_TwoPhase(benchmark::State& state) {
   DistributedDatabase db(2);
   std::vector<EntityId> all;
   for (int e = 0; e < 4; ++e) {
-    all.push_back(db.MustAddEntity(std::string("e") + std::to_string(e),
+    all.push_back(db.MustAddEntity(StrCat("e", e),
                                    e % 2));
   }
   TransactionSystem system(&db);
   for (int t = 0; t < 3; ++t) {
     system.Add(MakeTwoPhaseTransaction(
-        &db, std::string("T") + std::to_string(t + 1), all));
+        &db, StrCat("T", t + 1), all));
   }
   int64_t witnesses = 0;
   for (auto _ : state) {
@@ -169,13 +170,13 @@ void BM_ReaderConcurrency(benchmark::State& state) {
   DistributedDatabase db(1);
   db.MustAddEntity("hot", 0);
   for (int t = 0; t < k; ++t) {
-    db.MustAddEntity(std::string("p") + std::to_string(t), 0);
+    db.MustAddEntity(StrCat("p", t), 0);
   }
   TransactionSystem system(&db);
   for (int t = 0; t < k; ++t) {
-    TransactionBuilder b(&db, std::string("T") + std::to_string(t + 1));
+    TransactionBuilder b(&db, StrCat("T", t + 1));
     b.Add(StepKind::kLock, 0, shared);
-    b.LockUpdateUnlock(std::string("p") + std::to_string(t));
+    b.LockUpdateUnlock(StrCat("p", t));
     b.Add(StepKind::kUnlock, 0, shared);
     system.Add(b.Build());
   }

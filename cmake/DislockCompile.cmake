@@ -1,0 +1,51 @@
+# Shared compile/link options for every dislock target.
+#
+# Included once from the root CMakeLists; each subdirectory applies the
+# options per target via dislock_apply_build_options() so that warnings,
+# -Werror and sanitizer instrumentation are attached uniformly to libraries,
+# tools, tests, benchmarks and examples (and so individual targets could opt
+# out if they ever need to).
+
+set(DISLOCK_SANITIZE "" CACHE STRING
+    "Sanitizers to instrument with (comma/semicolon list): address, undefined, thread, leak. E.g. -DDISLOCK_SANITIZE=address,undefined")
+option(DISLOCK_WERROR "Treat compiler warnings as errors" OFF)
+
+string(REPLACE "," ";" _dislock_sanitize_list "${DISLOCK_SANITIZE}")
+set(DISLOCK_SANITIZE_FLAGS "")
+foreach(_san IN LISTS _dislock_sanitize_list)
+  string(STRIP "${_san}" _san)
+  if(_san STREQUAL "")
+    continue()
+  endif()
+  if(NOT _san MATCHES "^(address|undefined|thread|leak)$")
+    message(FATAL_ERROR
+            "DISLOCK_SANITIZE: unknown sanitizer '${_san}' "
+            "(expected address, undefined, thread or leak)")
+  endif()
+  list(APPEND DISLOCK_SANITIZE_FLAGS "-fsanitize=${_san}")
+endforeach()
+
+if("-fsanitize=thread" IN_LIST DISLOCK_SANITIZE_FLAGS AND
+   ("-fsanitize=address" IN_LIST DISLOCK_SANITIZE_FLAGS OR
+    "-fsanitize=leak" IN_LIST DISLOCK_SANITIZE_FLAGS))
+  message(FATAL_ERROR
+          "DISLOCK_SANITIZE: thread cannot be combined with address/leak")
+endif()
+
+if(DISLOCK_SANITIZE_FLAGS)
+  # Keep stacks readable and make any sanitizer report fatal so ctest fails.
+  list(APPEND DISLOCK_SANITIZE_FLAGS
+       -fno-omit-frame-pointer -fno-sanitize-recover=all)
+  message(STATUS "dislock: sanitizers enabled: ${DISLOCK_SANITIZE}")
+endif()
+
+function(dislock_apply_build_options target)
+  target_compile_options(${target} PRIVATE -Wall -Wextra)
+  if(DISLOCK_WERROR)
+    target_compile_options(${target} PRIVATE -Werror)
+  endif()
+  if(DISLOCK_SANITIZE_FLAGS)
+    target_compile_options(${target} PRIVATE ${DISLOCK_SANITIZE_FLAGS})
+    target_link_options(${target} PRIVATE ${DISLOCK_SANITIZE_FLAGS})
+  endif()
+endfunction()

@@ -1,0 +1,103 @@
+#include "analysis/analyzer.h"
+
+#include "txn/schedule.h"
+#include "util/string_util.h"
+
+namespace dislock {
+
+AnalysisResult AnalyzeSystem(const TransactionSystem& system,
+                             const AnalysisOptions& options) {
+  PassManager manager;
+  manager.AddAllPasses();
+  return manager.Run(system, options);
+}
+
+namespace {
+
+bool IsPairRule(const std::string& rule) {
+  return rule == "DL002" || rule == "DL003" || rule == "DL004" ||
+         rule == "DL005";
+}
+
+}  // namespace
+
+Status AuditAnalysis(const TransactionSystem& system,
+                     const AnalysisResult& result,
+                     const AnalysisOptions& options) {
+  // 1. Certificates must re-verify against the pair they indict.
+  for (const Diagnostic& d : result.diagnostics) {
+    if (!d.certificate.has_value()) continue;
+    if (d.rule != "DL002" && d.rule != "DL004") {
+      return Status::Internal(
+          StrCat("certificate attached to non-unsafe rule ", d.rule));
+    }
+    const DiagnosticLocation& loc = d.location;
+    if (loc.txn < 0 || loc.other_txn < 0) {
+      return Status::Internal(
+          StrCat(d.rule, " diagnostic lacks a pair location"));
+    }
+    Status verified =
+        VerifyUnsafetyCertificate(system.txn(loc.txn),
+                                  system.txn(loc.other_txn), *d.certificate);
+    if (!verified.ok()) {
+      return Status::Internal(StrCat("certificate for pair (", loc.txn,
+                                     ", ", loc.other_txn,
+                                     ") failed re-verification: ",
+                                     verified.ToString()));
+    }
+    // Independent replay: the schedule must be legal for the certificate's
+    // total orders and non-serializable.
+    TransactionSystem pair(&d.certificate->t1.db());
+    pair.Add(d.certificate->t1);
+    pair.Add(d.certificate->t2);
+    Status legal = CheckScheduleLegal(pair, d.certificate->schedule);
+    if (!legal.ok()) {
+      return Status::Internal(
+          StrCat("certificate schedule is illegal: ", legal.ToString()));
+    }
+    if (IsSerializable(pair, d.certificate->schedule)) {
+      return Status::Internal("certificate schedule is serializable");
+    }
+  }
+
+  // 2. Pair diagnostics must match the decision procedure, pair by pair.
+  for (int i = 0; i < system.NumTransactions(); ++i) {
+    for (int j = i + 1; j < system.NumTransactions(); ++j) {
+      PairSafetyReport report =
+          AnalyzePairSafety(system.txn(i), system.txn(j), options.safety);
+      const char* expected_rule =
+          report.verdict == SafetyVerdict::kSafe     ? "DL003"
+          : report.verdict == SafetyVerdict::kUnsafe ? (report.sites_spanned <= 2 ? "DL002" : "DL004")
+                                                     : "DL005";
+      bool found = false;
+      for (const Diagnostic& d : result.diagnostics) {
+        if (!IsPairRule(d.rule)) continue;
+        if (d.location.txn != i || d.location.other_txn != j) continue;
+        if (found) {
+          return Status::Internal(
+              StrCat("duplicate pair diagnostic for (", i, ", ", j, ")"));
+        }
+        found = true;
+        if (d.rule != expected_rule) {
+          return Status::Internal(
+              StrCat("pair (", i, ", ", j, "): analyzer emitted ", d.rule,
+                     " but the decision procedure expects ",
+                     expected_rule));
+        }
+        if ((d.rule == std::string("DL002") ||
+             d.rule == std::string("DL004")) &&
+            !d.certificate.has_value()) {
+          return Status::Internal(StrCat("unsafe pair (", i, ", ", j,
+                                         ") reported without certificate"));
+        }
+      }
+      if (!found) {
+        return Status::Internal(
+            StrCat("no pair diagnostic for (", i, ", ", j, ")"));
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace dislock

@@ -1,0 +1,34 @@
+#ifndef DISLOCK_ANALYSIS_ANALYZER_H_
+#define DISLOCK_ANALYSIS_ANALYZER_H_
+
+#include "analysis/diagnostic.h"
+#include "analysis/emit.h"
+#include "analysis/pass.h"
+#include "analysis/passes.h"
+#include "txn/system.h"
+#include "util/status.h"
+
+namespace dislock {
+
+/// Runs every registered pass over `system` with default pipeline order.
+/// Equivalent to PassManager{AddAllPasses()}.Run(system, options).
+AnalysisResult AnalyzeSystem(const TransactionSystem& system,
+                             const AnalysisOptions& options = {});
+
+/// Differential audit of an analysis result against the decision
+/// procedures it summarizes — the cross-check dislock_stress runs after
+/// every trial. Verifies that:
+///   * every attached certificate independently re-verifies against its
+///     pair (legal + non-serializable schedule, orders are extensions);
+///   * for every pair, an unsafe-pair diagnostic (DL002/DL004) is present
+///     iff AnalyzePairSafety says unsafe, a safe-pair note (DL003) iff
+///     safe, and an undecided warning (DL005) iff unknown;
+///   * unsafe diagnostics carry a certificate.
+/// Returns Internal with a description on the first disagreement.
+Status AuditAnalysis(const TransactionSystem& system,
+                     const AnalysisResult& result,
+                     const AnalysisOptions& options = {});
+
+}  // namespace dislock
+
+#endif  // DISLOCK_ANALYSIS_ANALYZER_H_

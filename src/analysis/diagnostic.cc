@@ -1,0 +1,77 @@
+#include "analysis/diagnostic.h"
+
+namespace dislock {
+
+const char* DiagSeverityName(DiagSeverity severity) {
+  switch (severity) {
+    case DiagSeverity::kNote:
+      return "note";
+    case DiagSeverity::kWarning:
+      return "warning";
+    case DiagSeverity::kError:
+      return "error";
+  }
+  return "unknown";
+}
+
+const std::vector<AnalysisRule>& AnalysisRules() {
+  static const std::vector<AnalysisRule> kRules = {
+      {"DL001", "non-two-phase",
+       "Section 1 (two-phase locking, after Eswaran et al.)",
+       "transaction releases a lock before acquiring another; 2PL "
+       "transactions are always safe, non-2PL ones need the paper's "
+       "analysis"},
+      {"DL002", "unsafe-pair", "Theorem 2 / Corollary 1",
+       "pair spanning at most two sites whose conflict digraph D(T1,T2) is "
+       "not strongly connected: provably unsafe, certificate attached"},
+      {"DL003", "safe-pair", "Theorem 1 (also Corollary 2 loop, Lemma 1)",
+       "pair proven safe; when D(T1,T2) is strongly connected this holds at "
+       "any number of sites"},
+      {"DL004", "unsafe-pair-multisite", "Corollary 2 (Lemmas 2-3 closure)",
+       "pair spanning three or more sites with a dominator whose closure "
+       "converges: provably unsafe, certificate attached"},
+      {"DL005", "undecided-pair", "Theorem 3 (coNP-completeness)",
+       "pair analysis exhausted its dominator/extension budgets without a "
+       "proof either way"},
+      {"DL006", "unsafe-cycle", "Proposition 2, condition (b)",
+       "directed cycle of the transaction conflict graph G whose combined "
+       "digraph B_c is acyclic: the system is unsafe even if every pair is "
+       "safe"},
+      {"DL007", "undecided-system", "Proposition 2",
+       "the cycle enumeration of Proposition 2 exceeded its budget; no "
+       "system-level verdict"},
+      {"DL008", "safe-system", "Proposition 2",
+       "every pair is safe and every examined cycle's B_c has a cycle: the "
+       "whole system is safe"},
+      {"DL101", "redundant-lock", "Definition 1 (D is built from "
+       "lock-unlock sections); Section 2 well-formedness",
+       "exclusive lock section that never updates its entity and whose "
+       "removal leaves every D(Ti,Tj) unchanged"},
+      {"DL102", "unlock-before-use", "Section 2 (updates must lie between "
+       "Lx and Ux)",
+       "an update of x is not ordered before Ux, so some execution applies "
+       "it after the lock is gone"},
+      {"DL103", "lock-order", "Section 7 (distributed deadlock discussion)",
+       "locks are not acquired in the canonical (site, entity) order; a "
+       "consistent acquisition order across transactions prevents "
+       "distributed deadlock"},
+  };
+  return kRules;
+}
+
+const AnalysisRule* FindAnalysisRule(std::string_view id) {
+  for (const AnalysisRule& rule : AnalysisRules()) {
+    if (id == rule.id) return &rule;
+  }
+  return nullptr;
+}
+
+int AnalysisResult::Count(DiagSeverity severity) const {
+  int n = 0;
+  for (const Diagnostic& d : diagnostics) {
+    if (d.severity == severity) ++n;
+  }
+  return n;
+}
+
+}  // namespace dislock

@@ -1,0 +1,163 @@
+#include "analysis/emit.h"
+
+#include <sstream>
+
+#include "core/report.h"
+#include "util/string_util.h"
+
+namespace dislock {
+namespace {
+
+std::string Quoted(const std::string& s) {
+  std::string out = "\"";
+  out += JsonEscape(s);
+  out += "\"";
+  return out;
+}
+
+/// "system", "T1", "T1/T2", optionally suffixed ":Lx#3".
+std::string LocationText(const DiagnosticLocation& loc,
+                         const TransactionSystem& system) {
+  if (loc.txn < 0) return "system";
+  std::string out = system.txn(loc.txn).name();
+  if (loc.other_txn >= 0) {
+    out += "/" + system.txn(loc.other_txn).name();
+  }
+  if (loc.step != kInvalidStep && loc.other_txn < 0) {
+    out += StrCat(":", system.txn(loc.txn).StepString(loc.step), "#",
+                  loc.step);
+  }
+  return out;
+}
+
+std::string Indented(const std::string& block, const char* prefix) {
+  std::istringstream in(block);
+  std::ostringstream out;
+  std::string line;
+  while (std::getline(in, line)) out << prefix << line << "\n";
+  return out.str();
+}
+
+std::string SummaryText(const AnalysisResult& result) {
+  return StrCat(result.Count(DiagSeverity::kError), " error(s), ",
+                result.Count(DiagSeverity::kWarning), " warning(s), ",
+                result.Count(DiagSeverity::kNote), " note(s) from ",
+                result.passes_run.size(), " pass(es)");
+}
+
+}  // namespace
+
+std::string DiagnosticsToText(const AnalysisResult& result,
+                              const TransactionSystem& system) {
+  std::ostringstream out;
+  for (const Diagnostic& d : result.diagnostics) {
+    const AnalysisRule* rule = FindAnalysisRule(d.rule);
+    out << LocationText(d.location, system) << ": "
+        << DiagSeverityName(d.severity) << " [" << d.rule << "/"
+        << (rule != nullptr ? rule->name : "?") << "] " << d.message
+        << "\n";
+    if (!d.fix_hint.empty()) {
+      out << "  hint: " << d.fix_hint << "\n";
+    }
+    if (d.certificate.has_value()) {
+      out << "  certificate:\n"
+          << Indented(CertificateToString(*d.certificate, system.db()),
+                      "    ");
+    }
+  }
+  out << SummaryText(result) << "\n";
+  return out.str();
+}
+
+std::string DiagnosticsToJson(const AnalysisResult& result,
+                              const TransactionSystem& system) {
+  std::ostringstream out;
+  out << "{\"passes\": [";
+  for (size_t i = 0; i < result.passes_run.size(); ++i) {
+    if (i > 0) out << ", ";
+    out << Quoted(result.passes_run[i]);
+  }
+  out << "], \"diagnostics\": [";
+  for (size_t i = 0; i < result.diagnostics.size(); ++i) {
+    const Diagnostic& d = result.diagnostics[i];
+    const AnalysisRule* rule = FindAnalysisRule(d.rule);
+    if (i > 0) out << ", ";
+    out << "{\"severity\": " << Quoted(DiagSeverityName(d.severity))
+        << ", \"rule\": " << Quoted(d.rule) << ", \"name\": "
+        << Quoted(rule != nullptr ? rule->name : "?") << ", \"txn\": ";
+    if (d.location.txn >= 0) {
+      out << Quoted(system.txn(d.location.txn).name());
+    } else {
+      out << "null";
+    }
+    out << ", \"other_txn\": ";
+    if (d.location.other_txn >= 0) {
+      out << Quoted(system.txn(d.location.other_txn).name());
+    } else {
+      out << "null";
+    }
+    out << ", \"step\": ";
+    if (d.location.step != kInvalidStep) {
+      out << d.location.step;
+    } else {
+      out << "null";
+    }
+    out << ", \"entity\": ";
+    if (d.location.entity != kInvalidEntity) {
+      out << Quoted(system.db().NameOf(d.location.entity));
+    } else {
+      out << "null";
+    }
+    out << ", \"message\": " << Quoted(d.message) << ", \"fix_hint\": "
+        << Quoted(d.fix_hint) << ", \"certificate\": ";
+    if (d.certificate.has_value()) {
+      out << CertificateToJson(*d.certificate, system.db());
+    } else {
+      out << "null";
+    }
+    out << "}";
+  }
+  out << "], \"summary\": {\"errors\": " << result.Count(DiagSeverity::kError)
+      << ", \"warnings\": " << result.Count(DiagSeverity::kWarning)
+      << ", \"notes\": " << result.Count(DiagSeverity::kNote) << "}}";
+  return out.str();
+}
+
+std::string DiagnosticsToSarif(const AnalysisResult& result,
+                               const TransactionSystem& system) {
+  // SARIF maps severities onto "note"/"warning"/"error" levels directly.
+  std::ostringstream out;
+  out << "{\"$schema\": "
+         "\"https://json.schemastore.org/sarif-2.1.0.json\", "
+         "\"version\": \"2.1.0\", \"runs\": [{\"tool\": {\"driver\": "
+         "{\"name\": \"dislock-analyze\", \"informationUri\": "
+         "\"https://example.invalid/dislock\", \"rules\": [";
+  const std::vector<AnalysisRule>& rules = AnalysisRules();
+  for (size_t i = 0; i < rules.size(); ++i) {
+    if (i > 0) out << ", ";
+    out << "{\"id\": " << Quoted(rules[i].id) << ", \"name\": "
+        << Quoted(rules[i].name) << ", \"shortDescription\": {\"text\": "
+        << Quoted(rules[i].summary) << "}, \"help\": {\"text\": "
+        << Quoted(rules[i].citation) << "}}";
+  }
+  out << "]}}, \"results\": [";
+  for (size_t i = 0; i < result.diagnostics.size(); ++i) {
+    const Diagnostic& d = result.diagnostics[i];
+    size_t rule_index = 0;
+    for (size_t r = 0; r < rules.size(); ++r) {
+      if (d.rule == rules[r].id) rule_index = r;
+    }
+    if (i > 0) out << ", ";
+    out << "{\"ruleId\": " << Quoted(d.rule) << ", \"ruleIndex\": "
+        << rule_index << ", \"level\": "
+        << Quoted(DiagSeverityName(d.severity)) << ", \"message\": "
+        << "{\"text\": " << Quoted(d.message) << "}, \"locations\": "
+        << "[{\"logicalLocations\": [{\"name\": "
+        << Quoted(LocationText(d.location, system))
+        << ", \"kind\": \"object\"}]}]}";
+  }
+  out << "]}]}";
+  return out.str();
+}
+
+}  // namespace dislock

@@ -1,0 +1,40 @@
+#ifndef DISLOCK_ANALYSIS_EMIT_H_
+#define DISLOCK_ANALYSIS_EMIT_H_
+
+#include <string>
+
+#include "analysis/diagnostic.h"
+#include "txn/system.h"
+
+namespace dislock {
+
+/// Human-readable rendering, one clang-style line per diagnostic
+///
+///   T1/T2: error [DL002/unsafe-pair] pair {T1, T2} ...
+///     hint: ...
+///     certificate: ...
+///
+/// followed by a summary line. Deterministic (golden-testable).
+std::string DiagnosticsToText(const AnalysisResult& result,
+                              const TransactionSystem& system);
+
+/// Machine-readable JSON:
+///   {"passes": [...],
+///    "diagnostics": [{"severity", "rule", "name", "txn", "other_txn",
+///                     "step", "entity", "message", "fix_hint",
+///                     "certificate"}, ...],
+///    "summary": {"errors": n, "warnings": n, "notes": n}}
+/// Hand-rolled like core/report.cc; no external dependency.
+std::string DiagnosticsToJson(const AnalysisResult& result,
+                              const TransactionSystem& system);
+
+/// SARIF 2.1.0 (the interchange format IDEs and code-scanning services
+/// ingest): one run of tool "dislock-analyze" with the full rule catalog
+/// as driver metadata and one result per diagnostic, located by logical
+/// location (transaction / step).
+std::string DiagnosticsToSarif(const AnalysisResult& result,
+                               const TransactionSystem& system);
+
+}  // namespace dislock
+
+#endif  // DISLOCK_ANALYSIS_EMIT_H_

@@ -1,0 +1,155 @@
+#include <algorithm>
+#include <unordered_set>
+
+#include "analysis/passes.h"
+#include "core/conflict_graph.h"
+#include "util/string_util.h"
+
+namespace dislock {
+namespace {
+
+/// DL101-DL103: lint-grade findings. These never change a safety verdict;
+/// they point at lock sections that cost concurrency (or deadlock headroom)
+/// without buying anything.
+class LintPass : public AnalysisPass {
+ public:
+  const char* name() const override { return "lints"; }
+  const char* description() const override {
+    return "redundant locks, unlock-before-use, lock acquisition order "
+           "(DL101-DL103)";
+  }
+
+  void Run(AnalysisContext* ctx, std::vector<Diagnostic>* out) override {
+    const TransactionSystem& system = ctx->system();
+    for (int i = 0; i < system.NumTransactions(); ++i) {
+      RedundantLocks(system, i, out);
+      UnlockBeforeUse(system, i, out);
+      LockOrder(system, i, out);
+    }
+  }
+
+ private:
+  /// DL101: an exclusive section that never updates its entity is dead
+  /// weight if dropping it leaves every conflict digraph unchanged, i.e.
+  /// the entity is on no D(Ti, Tj) involving this transaction. (D arcs
+  /// among the remaining entities only consult their own lock/unlock
+  /// steps, and restricting a partial order preserves those precedences,
+  /// so removal is safe exactly when the entity is not a D node.) Shared
+  /// sections are exempt: an update-free shared section is a read.
+  void RedundantLocks(const TransactionSystem& system, int i,
+                      std::vector<Diagnostic>* out) {
+    const Transaction& txn = system.txn(i);
+    for (EntityId e : txn.LockedEntities()) {
+      if (!txn.UpdateSteps(e).empty()) continue;
+      if (txn.IsSharedSection(e)) continue;
+      bool in_some_d = false;
+      for (int j = 0; j < system.NumTransactions() && !in_some_d; ++j) {
+        if (j == i) continue;
+        std::vector<EntityId> conflicting =
+            ConflictingEntities(txn, system.txn(j));
+        in_some_d = std::find(conflicting.begin(), conflicting.end(), e) !=
+                    conflicting.end();
+      }
+      if (in_some_d) continue;
+      Diagnostic d;
+      d.severity = DiagSeverity::kWarning;
+      d.rule = "DL101";
+      d.location.txn = i;
+      d.location.step = txn.LockStep(e);
+      d.location.entity = e;
+      d.message = StrCat(
+          "transaction ", txn.name(), " locks '", system.db().NameOf(e),
+          "' but never updates it, and no other transaction conflicts on "
+          "it: the section is redundant (removing it changes no "
+          "D(Ti,Tj))");
+      d.fix_hint = StrCat("delete the L", system.db().NameOf(e), "/U",
+                          system.db().NameOf(e), " pair");
+      out->push_back(std::move(d));
+    }
+  }
+
+  /// DL102: every update of x must be ordered strictly before Ux;
+  /// otherwise some execution applies the update after the lock is
+  /// released. ValidateTransaction rejects this outright, so the lint
+  /// exists for systems assembled programmatically without validation.
+  void UnlockBeforeUse(const TransactionSystem& system, int i,
+                       std::vector<Diagnostic>* out) {
+    const Transaction& txn = system.txn(i);
+    for (EntityId e : txn.LockedEntities()) {
+      StepId unlock = txn.UnlockStep(e);
+      for (StepId update : txn.UpdateSteps(e)) {
+        if (txn.Precedes(update, unlock)) continue;
+        Diagnostic d;
+        d.severity = DiagSeverity::kWarning;
+        d.rule = "DL102";
+        d.location.txn = i;
+        d.location.step = update;
+        d.location.entity = e;
+        d.message = StrCat(
+            "transaction ", txn.name(), ": update of '",
+            system.db().NameOf(e), "' (step #", update,
+            ") is not ordered before U", system.db().NameOf(e), "#",
+            unlock, " — the unlock can come before the last use");
+        d.fix_hint = StrCat("add the precedence edge ", update, " ",
+                            unlock, " (update before unlock)");
+        out->push_back(std::move(d));
+      }
+    }
+  }
+
+  /// DL103: flags lock acquisitions that disagree with the canonical
+  /// (site, entity-id) order. When every transaction acquires locks in one
+  /// global order no waits-for cycle can form, so a violation marks
+  /// deadlock headroom given away; it is NOT an unsafety claim. One
+  /// witness per transaction.
+  void LockOrder(const TransactionSystem& system, int i,
+                 std::vector<Diagnostic>* out) {
+    const Transaction& txn = system.txn(i);
+    const DistributedDatabase& db = system.db();
+    std::vector<EntityId> locked = txn.LockedEntities();
+    auto canon_less = [&db](EntityId a, EntityId b) {
+      return std::make_pair(db.SiteOf(a), a) <
+             std::make_pair(db.SiteOf(b), b);
+    };
+    for (EntityId a : locked) {
+      for (EntityId b : locked) {
+        if (!canon_less(a, b)) continue;
+        // Violation: the canonically later entity is locked strictly
+        // first.
+        if (!txn.Precedes(txn.LockStep(b), txn.LockStep(a))) continue;
+        Diagnostic d;
+        d.severity = DiagSeverity::kNote;
+        d.rule = "DL103";
+        d.location.txn = i;
+        d.location.step = txn.LockStep(b);
+        d.location.entity = b;
+        d.message = StrCat(
+            "transaction ", txn.name(), " acquires L", db.NameOf(b),
+            " (site ", db.SiteOf(b), ") before L", db.NameOf(a), " (site ",
+            db.SiteOf(a), "), against the canonical (site, entity) order; "
+            "a consistent acquisition order across transactions prevents "
+            "distributed deadlock");
+        d.fix_hint = StrCat("acquire L", db.NameOf(a), " before L",
+                            db.NameOf(b),
+                            " (or adopt any one global order everywhere)");
+        out->push_back(std::move(d));
+        return;  // one witness per transaction
+      }
+    }
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<AnalysisPass> MakeLintPass() {
+  return std::make_unique<LintPass>();
+}
+
+void RegisterBuiltinAnalysisPasses() {
+  RegisterAnalysisPass("two-phase", MakeTwoPhasePass);
+  RegisterAnalysisPass("pair-safety", MakePairSafetyPass);
+  RegisterAnalysisPass("system-safety", MakeSystemSafetyPass);
+  RegisterAnalysisPass("lints", MakeLintPass);
+}
+
+}  // namespace dislock

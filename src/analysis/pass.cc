@@ -1,0 +1,118 @@
+#include "analysis/pass.h"
+
+#include <algorithm>
+
+#include "analysis/passes.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace dislock {
+
+const PairSafetyReport& AnalysisContext::PairReport(int i, int j) {
+  DISLOCK_CHECK(i != j);
+  if (i > j) std::swap(i, j);
+  auto it = pair_cache_.find({i, j});
+  if (it == pair_cache_.end()) {
+    it = pair_cache_
+             .emplace(std::make_pair(i, j),
+                      AnalyzePairSafety(system_.txn(i), system_.txn(j),
+                                        options_.safety))
+             .first;
+  }
+  return it->second;
+}
+
+const MultiSafetyReport& AnalysisContext::MultiReport() {
+  if (!multi_cache_.has_value()) {
+    MultiSafetyOptions multi;
+    multi.pair_options = options_.safety;
+    multi.max_cycles = options_.max_cycles;
+    multi_cache_ = AnalyzeMultiSafety(system_, multi);
+  }
+  return *multi_cache_;
+}
+
+namespace {
+
+struct RegistryEntry {
+  std::string name;
+  AnalysisPassFactory factory;
+};
+
+std::vector<RegistryEntry>& Registry() {
+  static std::vector<RegistryEntry>* registry =
+      new std::vector<RegistryEntry>();
+  return *registry;
+}
+
+// Built-in passes register lazily, on first registry access, so that no
+// static-initialization-order or archive-linking tricks are needed.
+void EnsureBuiltinsRegistered() {
+  static const bool done = [] {
+    RegisterBuiltinAnalysisPasses();
+    return true;
+  }();
+  (void)done;
+}
+
+}  // namespace
+
+void RegisterAnalysisPass(const std::string& name,
+                          AnalysisPassFactory factory) {
+  DISLOCK_CHECK(factory != nullptr);
+  for (const RegistryEntry& entry : Registry()) {
+    DISLOCK_CHECK(entry.name != name);
+  }
+  Registry().push_back({name, factory});
+}
+
+std::vector<std::string> RegisteredAnalysisPasses() {
+  EnsureBuiltinsRegistered();
+  std::vector<std::string> names;
+  names.reserve(Registry().size());
+  for (const RegistryEntry& entry : Registry()) names.push_back(entry.name);
+  return names;
+}
+
+Result<std::unique_ptr<AnalysisPass>> MakeAnalysisPass(
+    const std::string& name) {
+  EnsureBuiltinsRegistered();
+  for (const RegistryEntry& entry : Registry()) {
+    if (entry.name == name) return entry.factory();
+  }
+  return Status::NotFound(StrCat("no analysis pass named '", name, "'"));
+}
+
+Status PassManager::Add(const std::string& pass_name) {
+  DISLOCK_ASSIGN_OR_RETURN(std::unique_ptr<AnalysisPass> pass,
+                           MakeAnalysisPass(pass_name));
+  passes_.push_back(std::move(pass));
+  return Status::OK();
+}
+
+void PassManager::AddAllPasses() {
+  for (const std::string& name : RegisteredAnalysisPasses()) {
+    Status st = Add(name);
+    DISLOCK_CHECK(st.ok());
+  }
+}
+
+std::vector<std::string> PassManager::PipelineNames() const {
+  std::vector<std::string> names;
+  names.reserve(passes_.size());
+  for (const auto& pass : passes_) names.emplace_back(pass->name());
+  return names;
+}
+
+AnalysisResult PassManager::Run(const TransactionSystem& system,
+                                const AnalysisOptions& options) const {
+  AnalysisContext ctx(system, options);
+  AnalysisResult result;
+  for (const auto& pass : passes_) {
+    pass->Run(&ctx, &result.diagnostics);
+    result.passes_run.emplace_back(pass->name());
+  }
+  return result;
+}
+
+}  // namespace dislock

@@ -1,0 +1,105 @@
+#ifndef DISLOCK_ANALYSIS_PASS_H_
+#define DISLOCK_ANALYSIS_PASS_H_
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "analysis/diagnostic.h"
+#include "core/multi.h"
+#include "core/safety.h"
+#include "txn/system.h"
+#include "util/status.h"
+
+namespace dislock {
+
+/// Tuning for a PassManager run.
+struct AnalysisOptions {
+  /// Budgets for the per-pair decision procedure (dominator enumeration,
+  /// Lemma 1 fallback).
+  SafetyOptions safety;
+  /// Cap on the Proposition 2 cycle enumeration of the system-safety pass.
+  int64_t max_cycles = 1 << 14;
+};
+
+/// Shared state handed to every pass: the system under analysis plus
+/// memoized results of the expensive decision procedures, so that e.g. the
+/// pair-safety pass and the system-safety pass never re-run
+/// AnalyzePairSafety on the same pair.
+class AnalysisContext {
+ public:
+  AnalysisContext(const TransactionSystem& system,
+                  const AnalysisOptions& options)
+      : system_(system), options_(options) {}
+
+  const TransactionSystem& system() const { return system_; }
+  const DistributedDatabase& db() const { return system_.db(); }
+  const AnalysisOptions& options() const { return options_; }
+
+  /// The (cached) AnalyzePairSafety report for the unordered pair {i, j}.
+  const PairSafetyReport& PairReport(int i, int j);
+
+  /// The (cached) Proposition 2 report for the whole system.
+  const MultiSafetyReport& MultiReport();
+
+ private:
+  const TransactionSystem& system_;
+  const AnalysisOptions& options_;
+  std::map<std::pair<int, int>, PairSafetyReport> pair_cache_;
+  std::optional<MultiSafetyReport> multi_cache_;
+};
+
+/// One analysis pass: inspects the system through the context and appends
+/// diagnostics. Passes must be deterministic and must not mutate the
+/// system; the pass manager owns the run order.
+class AnalysisPass {
+ public:
+  virtual ~AnalysisPass() = default;
+  /// Stable identifier used for registration and --passes selection.
+  virtual const char* name() const = 0;
+  virtual const char* description() const = 0;
+  virtual void Run(AnalysisContext* ctx, std::vector<Diagnostic>* out) = 0;
+};
+
+using AnalysisPassFactory = std::unique_ptr<AnalysisPass> (*)();
+
+/// Registers a pass factory under a unique name. The built-in passes
+/// self-register on first registry use; library users can add their own.
+void RegisterAnalysisPass(const std::string& name,
+                          AnalysisPassFactory factory);
+
+/// Names of all registered passes, in registration order (which is the
+/// default pipeline order).
+std::vector<std::string> RegisteredAnalysisPasses();
+
+/// Instantiates a registered pass; NotFound for unknown names.
+Result<std::unique_ptr<AnalysisPass>> MakeAnalysisPass(
+    const std::string& name);
+
+/// Runs a configurable pipeline of passes over a system.
+class PassManager {
+ public:
+  /// Appends a registered pass to the pipeline; NotFound if unknown.
+  Status Add(const std::string& pass_name);
+
+  /// Appends every registered pass, in registration order.
+  void AddAllPasses();
+
+  /// Names of the passes in the pipeline, in run order.
+  std::vector<std::string> PipelineNames() const;
+
+  /// Runs the pipeline. Diagnostics appear in pass order, and within one
+  /// pass in the order the pass emitted them.
+  AnalysisResult Run(const TransactionSystem& system,
+                     const AnalysisOptions& options = {}) const;
+
+ private:
+  std::vector<std::unique_ptr<AnalysisPass>> passes_;
+};
+
+}  // namespace dislock
+
+#endif  // DISLOCK_ANALYSIS_PASS_H_

@@ -1,0 +1,29 @@
+#ifndef DISLOCK_ANALYSIS_PASSES_H_
+#define DISLOCK_ANALYSIS_PASSES_H_
+
+#include <memory>
+
+#include "analysis/pass.h"
+
+namespace dislock {
+
+/// The built-in pipeline, in default run order:
+///   * "two-phase"     — DL001: per-transaction 2PL violations;
+///   * "pair-safety"   — DL002-DL005: the paper's pairwise decision
+///                       procedure with certificates;
+///   * "system-safety" — DL006-DL008: Proposition 2 on >= 3 transactions;
+///   * "lints"         — DL101-DL103: redundant locks, unlock-before-use,
+///                       lock acquisition order.
+std::unique_ptr<AnalysisPass> MakeTwoPhasePass();
+std::unique_ptr<AnalysisPass> MakePairSafetyPass();
+std::unique_ptr<AnalysisPass> MakeSystemSafetyPass();
+std::unique_ptr<AnalysisPass> MakeLintPass();
+
+/// Registers the four built-in passes. Called automatically on first
+/// registry use; idempotence is the caller's concern (the registry CHECKs
+/// duplicate names).
+void RegisterBuiltinAnalysisPasses();
+
+}  // namespace dislock
+
+#endif  // DISLOCK_ANALYSIS_PASSES_H_

@@ -1,0 +1,57 @@
+#include "analysis/passes.h"
+#include "util/string_util.h"
+
+namespace dislock {
+namespace {
+
+/// DL001: a transaction is two-phase iff no unlock precedes a lock in its
+/// partial order. Non-2PL is not a defect in this model — the paper exists
+/// because safe non-2PL systems do — so the finding is a note that the
+/// pair/system analyses must carry the safety argument.
+class TwoPhasePass : public AnalysisPass {
+ public:
+  const char* name() const override { return "two-phase"; }
+  const char* description() const override {
+    return "reports transactions that are not two-phase (DL001)";
+  }
+
+  void Run(AnalysisContext* ctx, std::vector<Diagnostic>* out) override {
+    const TransactionSystem& system = ctx->system();
+    for (int i = 0; i < system.NumTransactions(); ++i) {
+      const Transaction& txn = system.txn(i);
+      // First (unlock, lock) witness in step order.
+      for (StepId u = 0; u < txn.NumSteps(); ++u) {
+        if (txn.GetStep(u).kind != StepKind::kUnlock) continue;
+        for (StepId l = 0; l < txn.NumSteps(); ++l) {
+          if (txn.GetStep(l).kind != StepKind::kLock) continue;
+          if (!txn.Precedes(u, l)) continue;
+          Diagnostic d;
+          d.severity = DiagSeverity::kNote;
+          d.rule = "DL001";
+          d.location.txn = i;
+          d.location.step = l;
+          d.location.entity = txn.GetStep(l).entity;
+          d.message = StrCat(
+              "transaction ", txn.name(), " is not two-phase: ",
+              txn.StepString(u), "#", u, " precedes ", txn.StepString(l),
+              "#", l);
+          d.fix_hint = StrCat(
+              "two-phase transactions are always safe; move ",
+              txn.StepString(l), " before the first unlock, or rely on the "
+              "pair-safety analysis");
+          out->push_back(std::move(d));
+          goto next_txn;  // one witness per transaction is enough
+        }
+      }
+    next_txn:;
+    }
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<AnalysisPass> MakeTwoPhasePass() {
+  return std::make_unique<TwoPhasePass>();
+}
+
+}  // namespace dislock

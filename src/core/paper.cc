@@ -108,6 +108,35 @@ PaperInstance MakeFig3Instance() {
   return inst;
 }
 
+PaperInstance MakeFig4Instance() {
+  PaperInstance inst;
+  inst.db = std::make_shared<DistributedDatabase>(2);
+  inst.db->MustAddEntity("x", 0);
+  inst.db->MustAddEntity("y", 1);
+  inst.system = std::make_shared<TransactionSystem>(inst.db.get());
+
+  // Both transactions keep their x and y sections overlapping (Lx < Uy and
+  // Ly < Ux), which realizes both arcs (x, y) and (y, x) of Definition 1:
+  //   (x, y) needs Lx <1 Uy and Ly <2 Ux;  (y, x) needs Ly <1 Ux and
+  //   Lx <2 Uy. D(T1, T2) is then the 2-cycle x <-> y: strongly connected.
+  for (const char* name : {"T1", "T2"}) {
+    TransactionBuilder b(inst.db.get(), name);
+    StepId lx = b.Lock("x");
+    b.Update("x");
+    StepId ux = b.Unlock("x");
+    StepId ly = b.Lock("y");
+    b.Update("y");
+    StepId uy = b.Unlock("y");
+    b.Edge(ly, ux).Edge(lx, uy);
+    inst.system->Add(b.Build());
+  }
+
+  inst.description =
+      "Fig. 4 (reconstruction): two-site pair whose D(T1,T2) is strongly "
+      "connected, hence safe by Theorem 1";
+  return inst;
+}
+
 PaperInstance MakeFig5Instance() {
   PaperInstance inst;
   inst.db = std::make_shared<DistributedDatabase>(4);

@@ -42,6 +42,14 @@ PaperInstance MakeFig2Instance();
 /// illustrating Lemma 1. D(T1, T2) is not strongly connected (Fig. 3e).
 PaperInstance MakeFig3Instance();
 
+/// Fig. 4: the Definition 1 conflict digraph, exercised on a two-site pair
+/// whose lock sections overlap both ways: T1 holds x (site 1) into its y
+/// section (site 2) and vice versa for T2, so D(T1, T2) has both arcs
+/// (x, y) and (y, x). Property: D is strongly connected, hence the pair is
+/// safe by Theorem 1 — at ANY number of sites — and the exhaustive oracle
+/// agrees.
+PaperInstance MakeFig4Instance();
+
 /// Fig. 5: two transactions over FOUR sites (entities x1, x2, y1, y2, one
 /// per site) whose D(T1,T2) is not strongly connected — its only dominator
 /// is X = {x1, x2} — yet the system is safe: the Definition 3 closure with

@@ -41,8 +41,13 @@ std::string JsonEscape(const std::string& s) {
 namespace {
 
 std::string Quoted(const std::string& s) {
-  return "\"" + JsonEscape(s) + "\"";
+  std::string out = "\"";
+  out += JsonEscape(s);
+  out += "\"";
+  return out;
 }
+
+}  // namespace
 
 std::string CertificateToJson(const UnsafetyCertificate& cert,
                               const DistributedDatabase& db) {
@@ -71,8 +76,6 @@ std::string CertificateToJson(const UnsafetyCertificate& cert,
       << "}";
   return out.str();
 }
-
-}  // namespace
 
 std::string PairReportToJson(const PairSafetyReport& report,
                              const DistributedDatabase& db) {

@@ -17,6 +17,12 @@ namespace dislock {
 /// Escapes a string for inclusion in a JSON document.
 std::string JsonEscape(const std::string& s);
 
+/// {"dominator": [...], "t1": [...], "t2": [...], "schedule": "...",
+///  "separates_above": "...", "separates_below": "..."} — the Theorem 2
+/// witness. Shared with the analysis-layer emitters.
+std::string CertificateToJson(const UnsafetyCertificate& cert,
+                              const DistributedDatabase& db);
+
 /// {"verdict": "...", "method": "...", "sites": n, "d_nodes": n,
 ///  "d_arcs": n, "d_strongly_connected": b, "detail": "...",
 ///  "certificate": {...} | null}

@@ -13,6 +13,10 @@
 ///                    txn/linear_extension.h, txn/text_format.h
 ///   * geometry     — geometry/picture.h, geometry/curve.h,
 ///                    geometry/deadlock_geometry.h
+///   * analysis     — analysis/diagnostic.h, analysis/pass.h,
+///                    analysis/passes.h, analysis/emit.h,
+///                    analysis/analyzer.h (the pass-manager static
+///                    analyzer over the results layer)
 ///   * results      — core/conflict_graph.h (Definition 1),
 ///                    core/safety.h (Theorems 1-2, the dominator-closure
 ///                    loop), core/closure.h (Lemmas 2-3, Definition 3),
@@ -25,6 +29,11 @@
 ///   * simulation   — sim/lock_manager.h, sim/scheduler.h, sim/executor.h,
 ///                    sim/workload.h
 
+#include "analysis/analyzer.h"
+#include "analysis/diagnostic.h"
+#include "analysis/emit.h"
+#include "analysis/pass.h"
+#include "analysis/passes.h"
 #include "core/brute_force.h"
 #include "core/certificate.h"
 #include "core/closure.h"

@@ -1,0 +1,109 @@
+// Golden-output tests for the analyzer on the paper's Fig. 4 and Fig. 5
+// fixtures (data/fig4.dlk, data/fig5.dlk). The exact text rendering is part
+// of the analyzer's contract — downstream tooling greps these lines — so
+// any change here is a deliberate interface change.
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "analysis/analyzer.h"
+#include "analysis/emit.h"
+#include "core/paper.h"
+#include "txn/text_format.h"
+
+namespace dislock {
+namespace {
+
+std::string ReadFixture(const std::string& relative_path) {
+  std::string path = std::string(DISLOCK_SOURCE_DIR) + "/" + relative_path;
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << "cannot open " << path;
+  std::ostringstream text;
+  text << in.rdbuf();
+  return text.str();
+}
+
+ParsedSystem MustParseFixture(const std::string& relative_path) {
+  auto parsed = ParseSystemText(ReadFixture(relative_path));
+  EXPECT_TRUE(parsed.ok()) << parsed.status().ToString();
+  return *parsed;
+}
+
+constexpr char kFig4Golden[] =
+    "T1/T2: note [DL003/safe-pair] pair {T1, T2} is safe: D(T1,T2) = "
+    "[D = { V: {x, y}, A: {x->y, y->x} }] is strongly connected (Theorem 1; "
+    "holds at any number of sites)\n"
+    "0 error(s), 0 warning(s), 1 note(s) from 4 pass(es)\n";
+
+constexpr char kFig5Golden[] =
+    "T1/T2: note [DL003/safe-pair] pair {T1, T2} is safe (method: "
+    "dominator-closure): all 1 dominators of D provably admit no closed "
+    "extension pair\n"
+    "0 error(s), 0 warning(s), 1 note(s) from 4 pass(es)\n";
+
+TEST(AnalyzerGolden, Fig4TextOutput) {
+  ParsedSystem parsed = MustParseFixture("data/fig4.dlk");
+  AnalysisResult result = AnalyzeSystem(*parsed.system);
+  EXPECT_EQ(DiagnosticsToText(result, *parsed.system), kFig4Golden);
+}
+
+TEST(AnalyzerGolden, Fig5TextOutput) {
+  ParsedSystem parsed = MustParseFixture("data/fig5.dlk");
+  AnalysisResult result = AnalyzeSystem(*parsed.system);
+  EXPECT_EQ(DiagnosticsToText(result, *parsed.system), kFig5Golden);
+}
+
+TEST(AnalyzerGolden, Fig4FixtureMatchesFactoryVerdict) {
+  // The .dlk fixture and MakeFig4Instance() must describe the same system:
+  // safe by Theorem 1 (strong connectivity), reported as a single DL003.
+  ParsedSystem parsed = MustParseFixture("data/fig4.dlk");
+  PaperInstance inst = MakeFig4Instance();
+  EXPECT_EQ(SystemToText(*parsed.system), SystemToText(*inst.system));
+}
+
+TEST(AnalyzerGolden, Fig5FixtureMatchesFactoryVerdict) {
+  ParsedSystem parsed = MustParseFixture("data/fig5.dlk");
+  PaperInstance inst = MakeFig5Instance();
+  EXPECT_EQ(SystemToText(*parsed.system), SystemToText(*inst.system));
+}
+
+TEST(AnalyzerGolden, Fig5MustNotBeReportedUnsafe) {
+  // The load-bearing property of Fig. 5: D is not strongly connected, yet
+  // the analyzer must NOT emit DL002/DL004 — the closure contradiction on
+  // the only dominator proves safety at four sites.
+  ParsedSystem parsed = MustParseFixture("data/fig5.dlk");
+  AnalysisResult result = AnalyzeSystem(*parsed.system);
+  for (const Diagnostic& d : result.diagnostics) {
+    EXPECT_NE(d.rule, "DL002") << d.message;
+    EXPECT_NE(d.rule, "DL004") << d.message;
+  }
+  EXPECT_FALSE(result.HasErrors());
+}
+
+TEST(AnalyzerGolden, Fig4JsonOutput) {
+  ParsedSystem parsed = MustParseFixture("data/fig4.dlk");
+  AnalysisResult result = AnalyzeSystem(*parsed.system);
+  std::string json = DiagnosticsToJson(result, *parsed.system);
+  EXPECT_NE(json.find("\"rule\": \"DL003\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"errors\": 0"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"notes\": 1"), std::string::npos) << json;
+}
+
+TEST(AnalyzerGolden, UnsafeFig1FixtureReportsVerifiedCertificate) {
+  // data/fig1.dlk is the repo's canonical unsafe two-site pair: the golden
+  // contract is one DL002 whose rendered certificate names the dominator
+  // and the separating schedule.
+  ParsedSystem parsed = MustParseFixture("data/fig1.dlk");
+  AnalysisResult result = AnalyzeSystem(*parsed.system);
+  std::string text = DiagnosticsToText(result, *parsed.system);
+  EXPECT_NE(text.find("error [DL002/unsafe-pair]"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("dominator X = {x}"), std::string::npos) << text;
+  EXPECT_NE(text.find("1 error(s)"), std::string::npos) << text;
+}
+
+}  // namespace
+}  // namespace dislock

@@ -14,6 +14,7 @@
 #include "graph/scc.h"
 #include "txn/builder.h"
 #include "txn/linear_extension.h"
+#include "util/string_util.h"
 
 namespace dislock {
 namespace {
@@ -54,7 +55,7 @@ TEST(ConflictGraph, StronglyTwoPhasePairIsComplete) {
   DistributedDatabase db(2);
   std::vector<EntityId> all;
   for (int i = 0; i < 4; ++i) {
-    all.push_back(db.MustAddEntity(std::string("e") + std::to_string(i),
+    all.push_back(db.MustAddEntity(StrCat("e", i),
                                    i % 2));
   }
   ConflictGraph d;

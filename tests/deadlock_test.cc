@@ -11,6 +11,7 @@
 #include "sim/scheduler.h"
 #include "sim/workload.h"
 #include "txn/builder.h"
+#include "util/string_util.h"
 
 namespace dislock {
 namespace {
@@ -142,7 +143,7 @@ TEST(Deadlock, OrderedAcquisitionHoldsForTwoPhaseWithSharedOrder) {
   DistributedDatabase db(2);
   std::vector<EntityId> all;
   for (int e = 0; e < 4; ++e) {
-    all.push_back(db.MustAddEntity(std::string("e") + std::to_string(e),
+    all.push_back(db.MustAddEntity(StrCat("e", e),
                                    e % 2));
   }
   TransactionSystem system(&db);
@@ -155,7 +156,7 @@ TEST(Deadlock, OrderedAcquisitionHoldsForTwoPhaseWithSharedOrder) {
   DistributedDatabase db1(1);
   std::vector<EntityId> all1;
   for (int e = 0; e < 4; ++e) {
-    all1.push_back(db1.MustAddEntity(std::string("f") + std::to_string(e), 0));
+    all1.push_back(db1.MustAddEntity(StrCat("f", e), 0));
   }
   TransactionSystem central(&db1);
   central.Add(MakeTwoPhaseTransaction(&db1, "T1", all1));

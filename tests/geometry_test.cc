@@ -10,6 +10,7 @@
 #include "graph/scc.h"
 #include "txn/builder.h"
 #include "util/random.h"
+#include "util/string_util.h"
 
 namespace dislock {
 namespace {
@@ -161,7 +162,7 @@ TEST(NaiveGeometric, AgreesWithStrongConnectivityOnRandomPairs) {
     DistributedDatabase db(1);
     TransactionSystem system(&db);
     for (int e = 0; e < k; ++e) {
-      db.MustAddEntity(std::string("e") + std::to_string(e), 0);
+      db.MustAddEntity(StrCat("e", e), 0);
     }
     for (int t = 0; t < 2; ++t) {
       // Random legal shuffle of L/U tokens.
@@ -172,7 +173,7 @@ TEST(NaiveGeometric, AgreesWithStrongConnectivityOnRandomPairs) {
       }
       rng.Shuffle(&tokens);
       std::vector<bool> seen(k, false);
-      TransactionBuilder b(&db, std::string("t") + std::to_string(t + 1));
+      TransactionBuilder b(&db, StrCat("t", t + 1));
       for (int e : tokens) {
         if (!seen[e]) {
           b.Add(StepKind::kLock, e);

@@ -11,6 +11,7 @@
 #include "graph/cycles.h"
 #include "sim/workload.h"
 #include "txn/builder.h"
+#include "util/string_util.h"
 
 namespace dislock {
 namespace {
@@ -56,16 +57,18 @@ TEST(MultiSafety, StronglyTwoPhaseSystemsAreSafe) {
     std::vector<EntityId> all;
     for (int e = 0; e < 3; ++e) {
       all.push_back(
-          db.MustAddEntity(std::string("e") + std::to_string(e), e % 2));
+          db.MustAddEntity(StrCat("e", e), e % 2));
     }
     TransactionSystem system(&db);
     for (int t = 0; t < k; ++t) {
       system.Add(MakeTwoPhaseTransaction(
-          &db, std::string("T") + std::to_string(t + 1), all));
+          &db, StrCat("T", t + 1), all));
     }
     MultiSafetyReport report = AnalyzeMultiSafety(system);
     EXPECT_EQ(report.verdict, SafetyVerdict::kSafe) << k << " transactions";
-    if (k >= 3) EXPECT_GT(report.cycles_checked, 0);  // no 3-cycles at k=2
+    if (k >= 3) {
+      EXPECT_GT(report.cycles_checked, 0);  // no 3-cycles at k=2
+    }
   }
 }
 

@@ -188,6 +188,51 @@ TEST(Fig3, MonteCarloSamplerFindsWitness) {
   EXPECT_GT(stats.non_serializable, 0);
 }
 
+// ---------------------------------------------------------------- Fig. 4 --
+
+TEST(Fig4, SystemIsValidOverTwoSites) {
+  PaperInstance inst = MakeFig4Instance();
+  ASSERT_TRUE(inst.system->Validate().ok())
+      << inst.system->Validate().ToString();
+  EXPECT_EQ(inst.db->NumSites(), 2);
+  EXPECT_EQ(inst.system->NumTransactions(), 2);
+}
+
+TEST(Fig4, DIsTheTwoCycleAndStronglyConnected) {
+  PaperInstance inst = MakeFig4Instance();
+  ConflictGraph d = BuildConflictGraph(inst.system->txn(0),
+                                       inst.system->txn(1));
+  ASSERT_EQ(d.graph.NumNodes(), 2);
+  EXPECT_EQ(d.graph.NumArcs(), 2);
+  EXPECT_TRUE(IsStronglyConnected(d.graph));
+}
+
+TEST(Fig4, TheoremOneDecidesSafe) {
+  PaperInstance inst = MakeFig4Instance();
+  PairSafetyReport report =
+      AnalyzePairSafety(inst.system->txn(0), inst.system->txn(1));
+  EXPECT_EQ(report.verdict, SafetyVerdict::kSafe);
+  EXPECT_EQ(report.method, "theorem-1");
+  EXPECT_TRUE(report.d_strongly_connected);
+}
+
+TEST(Fig4, ExhaustiveOracleAgrees) {
+  PaperInstance inst = MakeFig4Instance();
+  auto result = ExhaustivePairSafety(inst.system->txn(0),
+                                     inst.system->txn(1), 1 << 22);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_TRUE(result->safe);
+}
+
+TEST(Fig4, MonteCarloNeverFindsNonSerializableSchedule) {
+  PaperInstance inst = MakeFig4Instance();
+  Rng rng(4);
+  MonteCarloStats stats = SampleSafety(*inst.system, 20000, &rng,
+                                       /*keep_going=*/true);
+  EXPECT_EQ(stats.non_serializable, 0);
+  EXPECT_GT(stats.completed, 0);
+}
+
 // ---------------------------------------------------------------- Fig. 5 --
 
 TEST(Fig5, SystemIsValidOverFourSites) {

@@ -10,6 +10,7 @@
 #include "sim/scheduler.h"
 #include "txn/builder.h"
 #include "txn/linear_extension.h"
+#include "util/string_util.h"
 
 namespace dislock {
 namespace {
@@ -20,7 +21,7 @@ struct TreeFixture {
   EntityForest forest;
   TreeFixture() {
     for (int e = 0; e < 7; ++e) {
-      db.MustAddEntity(std::string("e") + std::to_string(e), 0);
+      db.MustAddEntity(StrCat("e", e), 0);
     }
     std::vector<std::pair<EntityId, EntityId>> edges = {
         {1, 0}, {2, 0}, {3, 1}, {4, 1}, {5, 2}, {6, 2}};
@@ -123,7 +124,7 @@ TEST(TreeProtocol, SystemsSurviveMonteCarlo) {
   TransactionSystem system(&f.db);
   for (int t = 0; t < 3; ++t) {
     auto txn = MakeTreeProtocolTransaction(
-        &f.db, f.forest, std::string("T") + std::to_string(t + 1), 5, &rng);
+        &f.db, f.forest, StrCat("T", t + 1), 5, &rng);
     ASSERT_TRUE(txn.ok());
     system.Add(std::move(txn).value());
   }
@@ -154,7 +155,7 @@ TEST(CentralizedImage, RespectsCap) {
   DistributedDatabase db(4);
   Transaction txn(&db, "wide");
   for (int e = 0; e < 4; ++e) {
-    db.MustAddEntity(std::string("e") + std::to_string(e), e);
+    db.MustAddEntity(StrCat("e", e), e);
     txn.AddStep(StepKind::kLock, e);
   }
   auto image = CentralizedImage(txn, 5);

@@ -9,6 +9,7 @@
 #include "core/policy.h"
 #include "core/safety.h"
 #include "txn/builder.h"
+#include "util/string_util.h"
 
 namespace dislock {
 namespace {
@@ -26,7 +27,7 @@ TEST(Theorem1, StronglyTwoPhasePairsAreAlwaysSafe) {
     std::vector<EntityId> all;
     for (int e = 0; e < 6; ++e) {
       all.push_back(
-          db.MustAddEntity(std::string("e") + std::to_string(e), e % sites));
+          db.MustAddEntity(StrCat("e", e), e % sites));
     }
     Transaction t1 = MakeTwoPhaseTransaction(&db, "T1", all);
     Transaction t2 = MakeTwoPhaseTransaction(&db, "T2", all);
@@ -133,7 +134,7 @@ TEST(Policy, MakeTwoPhaseTransactionIsValidEverywhere) {
   std::vector<EntityId> all;
   for (int e = 0; e < 7; ++e) {
     all.push_back(
-        db.MustAddEntity(std::string("e") + std::to_string(e), e % 3));
+        db.MustAddEntity(StrCat("e", e), e % 3));
   }
   Transaction t = MakeTwoPhaseTransaction(&db, "T", all);
   ValidateOptions strict;

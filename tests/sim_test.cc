@@ -12,6 +12,7 @@
 #include "sim/workload.h"
 #include "txn/builder.h"
 #include "txn/linear_extension.h"
+#include "util/string_util.h"
 
 namespace dislock {
 namespace {
@@ -87,7 +88,7 @@ TEST(MonteCarlo, SafeSystemNeverYieldsWitness) {
   std::vector<EntityId> all;
   for (int e = 0; e < 3; ++e) {
     all.push_back(
-        db.MustAddEntity(std::string("e") + std::to_string(e), e % 2));
+        db.MustAddEntity(StrCat("e", e), e % 2));
   }
   TransactionSystem system(&db);
   system.Add(MakeTwoPhaseTransaction(&db, "T1", all));

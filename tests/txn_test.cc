@@ -8,6 +8,7 @@
 #include "txn/system.h"
 #include "txn/validate.h"
 #include "util/random.h"
+#include "util/string_util.h"
 
 namespace dislock {
 namespace {
@@ -238,7 +239,7 @@ TEST(LinearExtensions, ChainHasExactlyOne) {
 TEST(LinearExtensions, AntichainHasFactorial) {
   DistributedDatabase db(4);
   for (int i = 0; i < 4; ++i) {
-    db.MustAddEntity(std::string("e") + std::to_string(i), i);
+    db.MustAddEntity(StrCat("e", i), i);
   }
   Transaction t(&db);
   for (int i = 0; i < 4; ++i) t.AddStep(StepKind::kLock, i);
@@ -271,12 +272,12 @@ TEST(LinearExtensions, EnumerationVisitsValidExtensions) {
 TEST(LinearExtensions, RandomExtensionIsValid) {
   DistributedDatabase db(3);
   for (int i = 0; i < 3; ++i) {
-    db.MustAddEntity(std::string("e") + std::to_string(i), i);
+    db.MustAddEntity(StrCat("e", i), i);
   }
   TransactionBuilder b(&db);
   for (int i = 0; i < 3; ++i) {
-    b.Lock(std::string("e") + std::to_string(i));
-    b.Unlock(std::string("e") + std::to_string(i));
+    b.Lock(StrCat("e", i));
+    b.Unlock(StrCat("e", i));
   }
   Transaction t = b.Build();
   Rng rng(3);

@@ -1,19 +1,27 @@
 // The dislock command-line analyzer.
 //
-//   dislock analyze <system.dlk>    safety + deadlock analysis of a system
+//   dislock analyze <system.dlk> [--json|--sarif] [--passes a,b] [--no-deadlock]
+//                                   multi-pass static analysis: per-rule
+//                                   diagnostics (DL001-DL103) + deadlock
+//   dislock passes                  list the registered analysis passes
 //   dislock simulate <system.dlk> [runs]
 //                                   Monte-Carlo execution statistics
 //   dislock reduce <formula.cnf>    Theorem 3: decide SAT via locking safety
 //   dislock example                 print a sample system file
 //
 // System files use the dislock text format (see src/txn/text_format.h).
+// `analyze` exits 0 when the analysis ran (regardless of findings), 1 on
+// input errors, 2 on usage errors; pass --exit-error to exit 3 when any
+// error-severity diagnostic was reported (for CI gates).
 
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <vector>
 
+#include "analysis/analyzer.h"
 #include "core/certificate.h"
 #include "core/deadlock.h"
 #include "core/multi.h"
@@ -62,8 +70,18 @@ Result<std::string> ReadFile(const char* path) {
   return text.str();
 }
 
-int Analyze(const char* path, bool json) {
-  auto text = ReadFile(path);
+enum class AnalyzeFormat { kText, kJson, kSarif };
+
+struct AnalyzeArgs {
+  const char* path = nullptr;
+  AnalyzeFormat format = AnalyzeFormat::kText;
+  bool deadlock = true;
+  bool exit_error = false;
+  std::vector<std::string> passes;  // empty = all registered
+};
+
+int Analyze(const AnalyzeArgs& args) {
+  auto text = ReadFile(args.path);
   if (!text.ok()) {
     std::fprintf(stderr, "%s\n", text.status().ToString().c_str());
     return 1;
@@ -74,66 +92,70 @@ int Analyze(const char* path, bool json) {
     return 1;
   }
   const TransactionSystem& system = *parsed->system;
-  if (json) {
-    std::printf("{\"transactions\": %d, \"entities\": %d, \"sites\": %d, "
-                "\"steps\": %d",
-                system.NumTransactions(), parsed->db->NumEntities(),
-                parsed->db->NumSites(), system.TotalSteps());
-    if (system.NumTransactions() == 2) {
-      PairSafetyReport report =
-          AnalyzePairSafety(system.txn(0), system.txn(1));
-      std::printf(", \"pair\": %s",
-                  PairReportToJson(report, *parsed->db).c_str());
-    } else if (system.NumTransactions() > 2) {
-      MultiSafetyReport report = AnalyzeMultiSafety(system);
-      std::printf(", \"multi\": %s",
-                  MultiReportToJson(report, system).c_str());
+
+  PassManager manager;
+  if (args.passes.empty()) {
+    manager.AddAllPasses();
+  } else {
+    for (const std::string& name : args.passes) {
+      Status st = manager.Add(name);
+      if (!st.ok()) {
+        std::fprintf(stderr, "%s\n", st.ToString().c_str());
+        return 2;
+      }
     }
-    auto deadlock = AnalyzeDeadlockFreedom(system, 1 << 20);
-    if (deadlock.ok()) {
-      std::printf(", \"deadlock\": %s",
-                  DeadlockReportToJson(*deadlock, system).c_str());
+  }
+  AnalysisResult result = manager.Run(system);
+
+  if (args.format == AnalyzeFormat::kSarif) {
+    std::printf("%s\n", DiagnosticsToSarif(result, system).c_str());
+    return args.exit_error && result.HasErrors() ? 3 : 0;
+  }
+
+  if (args.format == AnalyzeFormat::kJson) {
+    std::printf("{\"transactions\": %d, \"entities\": %d, \"sites\": %d, "
+                "\"steps\": %d, \"analysis\": %s",
+                system.NumTransactions(), parsed->db->NumEntities(),
+                parsed->db->NumSites(), system.TotalSteps(),
+                DiagnosticsToJson(result, system).c_str());
+    if (args.deadlock) {
+      auto deadlock = AnalyzeDeadlockFreedom(system, 1 << 20);
+      if (deadlock.ok()) {
+        std::printf(", \"deadlock\": %s",
+                    DeadlockReportToJson(*deadlock, system).c_str());
+      }
     }
     std::printf("}\n");
-    return 0;
+    return args.exit_error && result.HasErrors() ? 3 : 0;
   }
+
   std::printf("%d transactions, %d entities over %d sites, %d steps\n",
               system.NumTransactions(), parsed->db->NumEntities(),
               parsed->db->NumSites(), system.TotalSteps());
+  std::printf("%s", DiagnosticsToText(result, system).c_str());
 
-  if (system.NumTransactions() == 2) {
-    PairSafetyReport report = AnalyzePairSafety(system.txn(0), system.txn(1));
-    std::printf("%s", PairReportToText(report, *parsed->db).c_str());
-  } else if (system.NumTransactions() > 2) {
-    MultiSafetyReport report = AnalyzeMultiSafety(system);
-    std::printf("safety: %s (pairs: %d, cycles: %d)\n",
-                SafetyVerdictName(report.verdict), report.pairs_checked,
-                report.cycles_checked);
-    if (report.failing_pair.has_value()) {
-      std::printf("  unsafe pair: %s / %s\n",
-                  system.txn(report.failing_pair->first).name().c_str(),
-                  system.txn(report.failing_pair->second).name().c_str());
-    }
-    if (!report.failing_cycle.empty()) {
-      std::printf("  acyclic B_c on transaction cycle:");
-      for (int i : report.failing_cycle) {
-        std::printf(" %s", system.txn(i).name().c_str());
+  if (args.deadlock) {
+    auto deadlock = AnalyzeDeadlockFreedom(system, 1 << 20);
+    if (deadlock.ok()) {
+      if (deadlock->deadlock_free) {
+        std::printf("deadlock: none reachable (%lld states explored)\n",
+                    static_cast<long long>(deadlock->states_explored));
+      } else {
+        std::printf("deadlock: reachable after prefix %s\n",
+                    deadlock->dead_prefix->ToString(system).c_str());
       }
-      std::printf("\n");
+    } else {
+      std::printf("deadlock: %s\n", deadlock.status().ToString().c_str());
     }
   }
+  return args.exit_error && result.HasErrors() ? 3 : 0;
+}
 
-  auto deadlock = AnalyzeDeadlockFreedom(system, 1 << 20);
-  if (deadlock.ok()) {
-    if (deadlock->deadlock_free) {
-      std::printf("deadlock: none reachable (%lld states explored)\n",
-                  static_cast<long long>(deadlock->states_explored));
-    } else {
-      std::printf("deadlock: reachable after prefix %s\n",
-                  deadlock->dead_prefix->ToString(system).c_str());
-    }
-  } else {
-    std::printf("deadlock: %s\n", deadlock.status().ToString().c_str());
+int ListPasses() {
+  for (const std::string& name : RegisteredAnalysisPasses()) {
+    auto pass = MakeAnalysisPass(name);
+    std::printf("%-14s %s\n", name.c_str(),
+                pass.ok() ? (*pass)->description() : "?");
   }
   return 0;
 }
@@ -226,11 +248,29 @@ int Reduce(const char* path) {
 
 int Usage() {
   std::fprintf(stderr,
-               "usage: dislock analyze <system.dlk> [--json]\n"
+               "usage: dislock analyze <system.dlk> [--json|--sarif]\n"
+               "                       [--passes a,b,c] [--no-deadlock]\n"
+               "                       [--exit-error]\n"
+               "       dislock passes\n"
                "       dislock simulate <system.dlk> [runs]\n"
                "       dislock reduce <formula.cnf>\n"
                "       dislock example\n");
   return 2;
+}
+
+std::vector<std::string> SplitCommas(const char* s) {
+  std::vector<std::string> out;
+  std::string current;
+  for (const char* p = s; *p != '\0'; ++p) {
+    if (*p == ',') {
+      if (!current.empty()) out.push_back(current);
+      current.clear();
+    } else {
+      current += *p;
+    }
+  }
+  if (!current.empty()) out.push_back(current);
+  return out;
 }
 
 }  // namespace
@@ -244,8 +284,27 @@ int main(int argc, char** argv) {
     return 0;
   }
   if (std::strcmp(argv[1], "analyze") == 0 && argc >= 3) {
-    bool json = argc >= 4 && std::strcmp(argv[3], "--json") == 0;
-    return Analyze(argv[2], json);
+    AnalyzeArgs args;
+    args.path = argv[2];
+    for (int i = 3; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--json") == 0) {
+        args.format = AnalyzeFormat::kJson;
+      } else if (std::strcmp(argv[i], "--sarif") == 0) {
+        args.format = AnalyzeFormat::kSarif;
+      } else if (std::strcmp(argv[i], "--no-deadlock") == 0) {
+        args.deadlock = false;
+      } else if (std::strcmp(argv[i], "--exit-error") == 0) {
+        args.exit_error = true;
+      } else if (std::strcmp(argv[i], "--passes") == 0 && i + 1 < argc) {
+        args.passes = SplitCommas(argv[++i]);
+      } else {
+        return Usage();
+      }
+    }
+    return Analyze(args);
+  }
+  if (std::strcmp(argv[1], "passes") == 0) {
+    return ListPasses();
   }
   if (std::strcmp(argv[1], "simulate") == 0 && argc >= 3) {
     int64_t runs = argc >= 4 ? std::atoll(argv[3]) : 10000;

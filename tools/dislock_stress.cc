@@ -23,6 +23,8 @@ struct Tally {
   int64_t certificates = 0;
   int64_t deadlock_free = 0;
   int64_t deadlocking = 0;
+  int64_t diagnostics = 0;
+  int64_t audits = 0;
 };
 
 int Fail(const char* what, const Workload& w) {
@@ -85,6 +87,22 @@ int main(int argc, char** argv) {
       }
     }
 
+    // Static-analyzer audit: the full pass pipeline must agree with the
+    // decision procedures, and every diagnostic certificate must replay.
+    {
+      AnalysisOptions analysis_options;
+      analysis_options.safety = options;
+      AnalysisResult analysis = AnalyzeSystem(*w.system, analysis_options);
+      tally.diagnostics += static_cast<int64_t>(analysis.diagnostics.size());
+      Status audit = AuditAnalysis(*w.system, analysis, analysis_options);
+      if (!audit.ok()) {
+        std::fprintf(stderr, "analyzer audit: %s\n",
+                     audit.ToString().c_str());
+        return Fail("static analyzer vs decision procedures", w);
+      }
+      ++tally.audits;
+    }
+
     // Exhaustive oracle (when affordable) must agree.
     auto oracle =
         ExhaustivePairSafety(w.system->txn(0), w.system->txn(1), 1 << 15);
@@ -130,6 +148,7 @@ int main(int argc, char** argv) {
       "stress: %lld trials (seed %llu)\n"
       "  verdicts: %lld safe, %lld unsafe, %lld unknown\n"
       "  oracle-cross-checked: %lld, certificates verified: %lld\n"
+      "  analyzer audits passed: %lld (%lld diagnostics)\n"
       "  deadlock-free: %lld, deadlocking: %lld\n"
       "all decision paths agree.\n",
       static_cast<long long>(tally.trials),
@@ -139,6 +158,8 @@ int main(int argc, char** argv) {
       static_cast<long long>(tally.unknown),
       static_cast<long long>(tally.oracle_checked),
       static_cast<long long>(tally.certificates),
+      static_cast<long long>(tally.audits),
+      static_cast<long long>(tally.diagnostics),
       static_cast<long long>(tally.deadlock_free),
       static_cast<long long>(tally.deadlocking));
   return 0;
