@@ -27,6 +27,8 @@ const MultiSafetyReport& AnalysisContext::MultiReport() {
     MultiSafetyOptions multi;
     multi.pair_options = options_.safety;
     multi.max_cycles = options_.max_cycles;
+    multi.num_threads = options_.num_threads;
+    multi.cache = options_.verdict_cache;
     multi_cache_ = AnalyzeMultiSafety(system_, multi);
   }
   return *multi_cache_;

@@ -23,6 +23,13 @@ struct AnalysisOptions {
   SafetyOptions safety;
   /// Cap on the Proposition 2 cycle enumeration of the system-safety pass.
   int64_t max_cycles = 1 << 14;
+  /// Worker threads for the system-safety pass's parallel engine (pair
+  /// tests and cycle checks). 1 = serial, 0 = one per hardware thread.
+  /// Diagnostics are bit-identical at any thread count (see
+  /// AnalyzeMultiSafety).
+  int num_threads = 1;
+  /// Optional pair-verdict memo shared across analyses; not owned.
+  PairVerdictCache* verdict_cache = nullptr;
 };
 
 /// Shared state handed to every pass: the system under analysis plus

@@ -1,9 +1,17 @@
 #include "core/multi.h"
 
+#include <algorithm>
+#include <atomic>
+#include <future>
 #include <map>
+#include <memory>
+#include <string>
+#include <unordered_map>
 
+#include "core/verdict_cache.h"
 #include "graph/cycles.h"
 #include "util/string_util.h"
+#include "util/thread_pool.h"
 
 namespace dislock {
 
@@ -15,6 +23,31 @@ std::vector<EntityId> CommonLocked(const Transaction& a,
                                    const Transaction& b) {
   return ConflictingEntities(a, b);
 }
+
+int EffectiveThreads(int num_threads) {
+  return num_threads <= 0 ? ThreadPool::HardwareThreads() : num_threads;
+}
+
+/// Atomically lowers `target` to `idx` if `idx` is smaller.
+void AtomicMin(std::atomic<size_t>* target, size_t idx) {
+  size_t seen = target->load(std::memory_order_acquire);
+  while (idx < seen && !target->compare_exchange_weak(
+                           seen, idx, std::memory_order_acq_rel)) {
+  }
+}
+
+/// One unit of condition (a) work: the lexicographically-first member of a
+/// group of fingerprint-equal conflicting pairs (every pair is its own
+/// group when no cache is configured).
+struct PairGroup {
+  std::pair<int, int> rep;      // lex-first member, the one actually run
+  size_t rep_scan_index = 0;    // its position in the lex scan order
+  std::string fingerprint;      // empty when no cache is configured
+  /// Pre-populated SAFE cache hit: the whole group is skipped.
+  bool cached_safe = false;
+  PairSafetyReport report;      // filled by the run (unless cached_safe)
+  bool ran = false;
+};
 
 }  // namespace
 
@@ -93,42 +126,199 @@ MultiSafetyReport AnalyzeMultiSafety(const TransactionSystem& system,
                                      const MultiSafetyOptions& options) {
   MultiSafetyReport report;
   const int k = system.NumTransactions();
+  const int threads = EffectiveThreads(options.num_threads);
 
-  // Condition (a): every two-transaction subsystem is safe.
+  // The conflict graph G drives both conditions: its arcs are exactly the
+  // conflicting pairs of condition (a), and its directed cycles are the
+  // subject of condition (b). Build it once.
+  Digraph g = BuildTransactionConflictGraph(system);
+
+  // ---- Condition (a): every two-transaction subsystem is safe. ----
+
+  // Conflicting pairs in the lexicographic scan order of the serial loop.
+  std::vector<std::pair<int, int>> pairs;
   for (int i = 0; i < k; ++i) {
     for (int j = i + 1; j < k; ++j) {
-      if (CommonLocked(system.txn(i), system.txn(j)).empty()) continue;
-      ++report.pairs_checked;
-      PairSafetyReport pair =
-          AnalyzePairSafety(system.txn(i), system.txn(j),
-                            options.pair_options);
-      if (pair.verdict == SafetyVerdict::kSafe) continue;
-      report.verdict = pair.verdict;
-      report.failing_pair = {i, j};
-      report.pair_report = std::move(pair);
-      return report;
+      if (g.HasArc(i, j)) pairs.emplace_back(i, j);
     }
   }
 
-  // Condition (b): every directed cycle's B_c graph has a cycle.
-  Digraph g = BuildTransactionConflictGraph(system);
+  // Group fingerprint-equal pairs; only each group's lex-first member runs
+  // the (potentially coNP-hard) pair procedure. Without a cache every pair
+  // is a singleton group and this degenerates to the plain pairwise scan.
+  std::vector<PairGroup> groups;
+  std::vector<int> group_of(pairs.size());
+  if (options.cache != nullptr) {
+    std::unordered_map<std::string, int> group_index;
+    for (size_t p = 0; p < pairs.size(); ++p) {
+      std::string fp = PairFingerprint(system.txn(pairs[p].first),
+                                       system.txn(pairs[p].second));
+      auto [it, inserted] =
+          group_index.emplace(std::move(fp), static_cast<int>(groups.size()));
+      if (inserted) {
+        PairGroup group;
+        group.rep = pairs[p];
+        group.rep_scan_index = p;
+        group.fingerprint = it->first;
+        auto cached = options.cache->Lookup(it->first);
+        group.cached_safe =
+            cached.has_value() && cached->verdict == SafetyVerdict::kSafe;
+        groups.push_back(std::move(group));
+      }
+      group_of[p] = it->second;
+    }
+  } else {
+    groups.reserve(pairs.size());
+    for (size_t p = 0; p < pairs.size(); ++p) {
+      PairGroup group;
+      group.rep = pairs[p];
+      group.rep_scan_index = p;
+      groups.push_back(std::move(group));
+      group_of[p] = static_cast<int>(p);
+    }
+  }
+
+  // Run the group representatives. Parallel runs use early-exit
+  // cancellation: once a representative at scan index s reports a non-safe
+  // verdict, representatives with scan index > s are skipped — the serial
+  // scan would have stopped at s and never reached them. Representatives
+  // with a smaller index always complete, so the lexicographically-first
+  // failing pair is found exactly.
+  std::vector<size_t> to_run;
+  for (size_t gi = 0; gi < groups.size(); ++gi) {
+    if (!groups[gi].cached_safe) to_run.push_back(gi);
+  }
+  SafetyOptions pair_options = options.pair_options;
+  if (threads > 1) {
+    // The pair fan-out owns the pool; nested per-pair dominator
+    // parallelism would oversubscribe the workers.
+    pair_options.num_threads = 1;
+  }
+  auto run_group = [&](PairGroup* group) {
+    group->report = AnalyzePairSafety(system.txn(group->rep.first),
+                                      system.txn(group->rep.second),
+                                      pair_options);
+    group->ran = true;
+  };
+  if (threads > 1 && to_run.size() > 1) {
+    std::atomic<size_t> first_failing_scan_index{pairs.size()};
+    ThreadPool pool(
+        static_cast<int>(std::min<size_t>(threads, to_run.size())));
+    std::vector<std::future<void>> futures;
+    futures.reserve(to_run.size());
+    for (size_t gi : to_run) {
+      futures.push_back(pool.Submit([&, gi] {
+        PairGroup* group = &groups[gi];
+        if (group->rep_scan_index >
+            first_failing_scan_index.load(std::memory_order_acquire)) {
+          return;  // the serial scan would have stopped earlier
+        }
+        run_group(group);
+        if (group->report.verdict != SafetyVerdict::kSafe) {
+          AtomicMin(&first_failing_scan_index, group->rep_scan_index);
+        }
+      }));
+    }
+    for (auto& f : futures) f.get();
+  } else {
+    // Serial: scan representatives in order, stopping at the first
+    // non-safe verdict like the classic loop.
+    for (size_t gi : to_run) {
+      run_group(&groups[gi]);
+      if (groups[gi].report.verdict != SafetyVerdict::kSafe) break;
+    }
+  }
+
+  // Deterministic reduction: replay the serial memoized scan over the
+  // computed group verdicts to reconstruct the counters and find the
+  // lexicographically-first failing pair.
+  std::optional<size_t> failing_group;
+  {
+    std::vector<bool> group_seen(groups.size(), false);
+    for (size_t p = 0; p < pairs.size(); ++p) {
+      PairGroup& group = groups[static_cast<size_t>(group_of[p])];
+      if (group.cached_safe || group_seen[group_of[p]]) {
+        // Skipped via the cache (pre-populated SAFE entry, or decided at
+        // the group's first member earlier in this very scan).
+        ++report.pairs_cached;
+        continue;
+      }
+      group_seen[group_of[p]] = true;
+      ++report.pairs_checked;
+      // p is this group's first member, i.e. its representative.
+      DISLOCK_CHECK(group.ran);
+      if (options.cache != nullptr) {
+        options.cache->Insert(group.fingerprint, group.report);
+      }
+      if (group.report.verdict != SafetyVerdict::kSafe) {
+        failing_group = static_cast<size_t>(group_of[p]);
+        break;
+      }
+    }
+  }
+  if (failing_group.has_value()) {
+    PairGroup& group = groups[*failing_group];
+    report.verdict = group.report.verdict;
+    report.failing_pair = group.rep;
+    report.pair_report = std::move(group.report);
+    return report;
+  }
+
+  // ---- Condition (b): every directed cycle's B_c graph has a cycle. ----
   std::vector<std::vector<NodeId>> cycles =
       SimpleCycles(g, options.max_cycles);
   report.cycle_budget_exhausted =
       static_cast<int64_t>(cycles.size()) >= options.max_cycles;
   const size_t min_len = options.include_two_cycles ? 2 : 3;
+  std::vector<std::vector<int>> to_check;
   for (const auto& cycle : cycles) {
     if (cycle.size() < min_len) continue;
-    ++report.cycles_checked;
-    std::vector<int> c(cycle.begin(), cycle.end());
-    Digraph b = BuildCycleGraph(system, c);
-    if (!HasCycle(b)) {
-      report.verdict = SafetyVerdict::kUnsafe;
-      report.failing_cycle = c;
-      return report;
+    to_check.emplace_back(cycle.begin(), cycle.end());
+  }
+
+  // Index (in enumeration order) of the first cycle whose B_c is acyclic.
+  size_t first_acyclic = to_check.size();
+  if (threads > 1 && to_check.size() > 1) {
+    // Cycles are cheap relative to task dispatch, so they are checked in
+    // chunks; cancellation is re-checked per cycle inside a chunk.
+    constexpr size_t kChunk = 16;
+    std::atomic<size_t> first_failing{to_check.size()};
+    {
+      ThreadPool pool(static_cast<int>(std::min<size_t>(
+          threads, (to_check.size() + kChunk - 1) / kChunk)));
+      std::vector<std::future<void>> futures;
+      for (size_t begin = 0; begin < to_check.size(); begin += kChunk) {
+        size_t end = std::min(begin + kChunk, to_check.size());
+        futures.push_back(pool.Submit([&, begin, end] {
+          for (size_t c = begin; c < end; ++c) {
+            if (c > first_failing.load(std::memory_order_acquire)) return;
+            if (!HasCycle(BuildCycleGraph(system, to_check[c]))) {
+              AtomicMin(&first_failing, c);
+            }
+          }
+        }));
+      }
+      for (auto& f : futures) f.get();
+    }
+    first_acyclic = first_failing.load(std::memory_order_acquire);
+  } else {
+    for (size_t c = 0; c < to_check.size(); ++c) {
+      if (!HasCycle(BuildCycleGraph(system, to_check[c]))) {
+        first_acyclic = c;
+        break;
+      }
     }
   }
 
+  if (first_acyclic < to_check.size()) {
+    // The serial loop counts every cycle examined up to and including the
+    // failing one.
+    report.cycles_checked = static_cast<int>(first_acyclic) + 1;
+    report.verdict = SafetyVerdict::kUnsafe;
+    report.failing_cycle = std::move(to_check[first_acyclic]);
+    return report;
+  }
+  report.cycles_checked = static_cast<int>(to_check.size());
   report.verdict = report.cycle_budget_exhausted ? SafetyVerdict::kUnknown
                                                  : SafetyVerdict::kSafe;
   return report;

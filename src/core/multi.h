@@ -34,6 +34,8 @@ struct BijkNodeKey {
   auto operator<=>(const BijkNodeKey&) const = default;
 };
 
+class PairVerdictCache;
+
 /// Result of the Proposition 2 analysis.
 struct MultiSafetyReport {
   SafetyVerdict verdict = SafetyVerdict::kUnknown;
@@ -42,8 +44,11 @@ struct MultiSafetyReport {
   std::optional<PairSafetyReport> pair_report;
   /// Condition (b) failure: a directed cycle c of G whose B_c is acyclic.
   std::vector<int> failing_cycle;
-  /// Work counters.
+  /// Work counters: conflicting pairs decided by running the full pair
+  /// procedure, pairs whose safe verdict came from the verdict cache, and
+  /// directed cycles examined.
   int pairs_checked = 0;
+  int pairs_cached = 0;
   int cycles_checked = 0;
   /// True when the cycle enumeration hit its cap (verdict degraded to
   /// kUnknown if everything else passed).
@@ -59,6 +64,16 @@ struct MultiSafetyOptions {
   /// of condition (a) already decides pairs exactly, so the default skips
   /// them; enabling is useful for experiments.
   bool include_two_cycles = false;
+  /// Worker threads for the condition (a) pair tests and condition (b)
+  /// cycle checks. 1 = serial (default), 0 = one per hardware thread. Any
+  /// thread count yields a bit-identical report (see AnalyzeMultiSafety).
+  int num_threads = 1;
+  /// Optional memo of pair verdicts keyed by structural fingerprint
+  /// (core/verdict_cache.h). Structurally identical pairs — ubiquitous in
+  /// generated ring/dense workloads — are decided once; later pairs whose
+  /// fingerprint hit a SAFE entry are skipped and counted in pairs_cached.
+  /// The cache may be shared across calls (and threads). Not owned.
+  PairVerdictCache* cache = nullptr;
 };
 
 /// Proposition 2: a system T is safe iff (a) every two-transaction
@@ -67,6 +82,14 @@ struct MultiSafetyOptions {
 ///
 /// Testing (b) is itself coNP-complete in the number of transactions (it
 /// already is in the centralized case), so the cycle enumeration is capped.
+///
+/// Determinism: the report is a pure function of (system, options) minus
+/// num_threads — parallel runs reduce to the lexicographically-first
+/// failing pair (respectively the first failing cycle in enumeration
+/// order), which is exactly what the serial scan reports, and the work
+/// counters are reconstructed by replaying the serial scan order over the
+/// computed verdicts. Early-exit cancellation only ever skips work the
+/// serial scan would not have reached.
 MultiSafetyReport AnalyzeMultiSafety(const TransactionSystem& system,
                                      const MultiSafetyOptions& options = {});
 

@@ -102,6 +102,7 @@ std::string MultiReportToJson(const MultiSafetyReport& report,
   std::ostringstream out;
   out << "{\"verdict\": " << Quoted(SafetyVerdictName(report.verdict))
       << ", \"pairs_checked\": " << report.pairs_checked
+      << ", \"pairs_cached\": " << report.pairs_cached
       << ", \"cycles_checked\": " << report.cycles_checked
       << ", \"failing_pair\": ";
   if (report.failing_pair.has_value()) {

@@ -29,7 +29,8 @@ std::string CertificateToJson(const UnsafetyCertificate& cert,
 std::string PairReportToJson(const PairSafetyReport& report,
                              const DistributedDatabase& db);
 
-/// {"verdict": "...", "pairs_checked": n, "cycles_checked": n,
+/// {"verdict": "...", "pairs_checked": n, "pairs_cached": n,
+/// "cycles_checked": n,
 ///  "failing_pair": [i, j] | null, "failing_cycle": [...] | null}
 std::string MultiReportToJson(const MultiSafetyReport& report,
                               const TransactionSystem& system);

@@ -1,11 +1,16 @@
 #include "core/safety.h"
 
-#include <set>
+#include <algorithm>
+#include <atomic>
+#include <future>
+#include <limits>
+#include <vector>
 
 #include "core/closure.h"
 #include "graph/dominator.h"
 #include "graph/scc.h"
 #include "util/string_util.h"
+#include "util/thread_pool.h"
 
 namespace dislock {
 
@@ -22,10 +27,26 @@ const char* SafetyVerdictName(SafetyVerdict v) {
 }
 
 int SitesSpanned(const Transaction& t1, const Transaction& t2) {
-  std::set<SiteId> sites;
-  for (EntityId e : t1.TouchedEntities()) sites.insert(t1.db().SiteOf(e));
-  for (EntityId e : t2.TouchedEntities()) sites.insert(t2.db().SiteOf(e));
-  return static_cast<int>(sites.size());
+  // Both site lists are sorted and maintained incrementally by the
+  // transactions, so the pair count is a linear merge — this runs O(k^2)
+  // times per multi-transaction analysis.
+  const std::vector<SiteId>& a = t1.TouchedSites();
+  const std::vector<SiteId>& b = t2.TouchedSites();
+  size_t i = 0;
+  size_t j = 0;
+  int distinct = 0;
+  while (i < a.size() || j < b.size()) {
+    ++distinct;
+    if (j == b.size() || (i < a.size() && a[i] < b[j])) {
+      ++i;
+    } else if (i == a.size() || b[j] < a[i]) {
+      ++j;
+    } else {
+      ++i;
+      ++j;
+    }
+  }
+  return distinct;
 }
 
 bool Theorem1Sufficient(const Transaction& t1, const Transaction& t2) {
@@ -97,35 +118,100 @@ PairSafetyReport AnalyzePairSafety(const Transaction& t1,
 
   // 3. The dominator-closure loop (see header): complete when the
   //    enumeration covers all dominators and every failure is a proof.
+  //    The per-dominator closure runs are independent, so with
+  //    options.num_threads > 1 they fan out over a work-stealing pool; the
+  //    reduction picks the first certifying dominator in enumeration order
+  //    (exactly what the serial scan reports) and cancels dominators past
+  //    it, so the report is bit-identical at any thread count.
   {
     std::vector<std::vector<NodeId>> dominators =
         AllDominators(report.d.graph, options.max_dominators + 1);
     bool enumeration_complete =
         static_cast<int64_t>(dominators.size()) <= options.max_dominators;
     if (!enumeration_complete) dominators.pop_back();
-    bool all_failures_proven = true;
-    for (const auto& dom_nodes : dominators) {
+
+    enum class Outcome {
+      kProof,      // closure contradiction: X provably certifies nothing
+      kUnproven,   // closure failed without a proof, or certificate failed
+      kCertified,  // closed w.r.t. X and the certificate verified
+    };
+    struct DominatorResult {
+      Outcome outcome = Outcome::kUnproven;
+      std::optional<UnsafetyCertificate> certificate;
+    };
+    auto evaluate =
+        [&](const std::vector<NodeId>& dom_nodes) -> DominatorResult {
       std::vector<EntityId> x = report.d.EntitiesOf(dom_nodes);
       auto closed = CloseWithRespectTo(t1, t2, x);
       if (!closed.ok()) {
         // kUndecided from the closure is a PROOF that X cannot certify
         // unsafety (the contradiction holds in every extension pair).
-        if (closed.status().code() != StatusCode::kUndecided) {
-          all_failures_proven = false;
-        }
-        continue;
+        return {closed.status().code() == StatusCode::kUndecided
+                    ? Outcome::kProof
+                    : Outcome::kUnproven,
+                std::nullopt};
       }
       // Closed with respect to a dominator: Corollary 2 says unsafe;
       // construct and verify the certificate.
       auto cert = BuildUnsafetyCertificate(t1, t2, x);
-      if (cert.ok()) {
-        report.verdict = SafetyVerdict::kUnsafe;
-        report.method = "corollary-2";
-        report.detail = "system closes with respect to a dominator of D";
-        report.certificate = std::move(cert).value();
-        return report;
+      if (!cert.ok()) return {Outcome::kUnproven, std::nullopt};
+      return {Outcome::kCertified, std::move(cert).value()};
+    };
+    auto report_certified = [&](DominatorResult result) {
+      report.verdict = SafetyVerdict::kUnsafe;
+      report.method = "corollary-2";
+      report.detail = "system closes with respect to a dominator of D";
+      report.certificate = std::move(result.certificate);
+      return report;
+    };
+
+    const size_t count = dominators.size();
+    const int threads =
+        options.num_threads <= 0 ? ThreadPool::HardwareThreads()
+                                 : options.num_threads;
+    bool all_failures_proven = true;
+    if (threads > 1 && count > 1) {
+      std::vector<DominatorResult> results(count);
+      // Indices past the first certifying one are cancelled; their slots
+      // stay kUnproven but are never consulted by the reduction.
+      std::atomic<size_t> first_certified{count};
+      {
+        ThreadPool pool(
+            static_cast<int>(std::min<size_t>(threads, count)));
+        std::vector<std::future<void>> futures;
+        futures.reserve(count);
+        for (size_t idx = 0; idx < count; ++idx) {
+          futures.push_back(pool.Submit([&, idx] {
+            if (idx > first_certified.load(std::memory_order_acquire)) {
+              return;  // a smaller index already certified
+            }
+            results[idx] = evaluate(dominators[idx]);
+            if (results[idx].outcome == Outcome::kCertified) {
+              size_t seen = first_certified.load(std::memory_order_acquire);
+              while (idx < seen &&
+                     !first_certified.compare_exchange_weak(
+                         seen, idx, std::memory_order_acq_rel)) {
+              }
+            }
+          }));
+        }
+        for (auto& f : futures) f.get();
       }
-      all_failures_proven = false;
+      size_t winner = first_certified.load(std::memory_order_acquire);
+      if (winner < count) {
+        return report_certified(std::move(results[winner]));
+      }
+      for (const DominatorResult& r : results) {
+        if (r.outcome != Outcome::kProof) all_failures_proven = false;
+      }
+    } else {
+      for (const auto& dom_nodes : dominators) {
+        DominatorResult result = evaluate(dom_nodes);
+        if (result.outcome == Outcome::kCertified) {
+          return report_certified(std::move(result));
+        }
+        if (result.outcome != Outcome::kProof) all_failures_proven = false;
+      }
     }
     if (enumeration_complete && all_failures_proven) {
       report.verdict = SafetyVerdict::kSafe;

@@ -31,6 +31,13 @@ struct SafetyOptions {
   /// safety EXACTLY — see AnalyzePairSafety — so this knob is the "2^n" of
   /// the coNP-complete regime.
   int64_t max_dominators = 1024;
+  /// Worker threads for the dominator-closure loop on pairs spanning three
+  /// or more sites (the per-dominator closure runs are independent).
+  /// 1 = serial (default), 0 = one per hardware thread. The report is
+  /// bit-identical at any thread count: the reduction picks the first
+  /// certifying dominator in enumeration order, exactly as the serial loop
+  /// does.
+  int num_threads = 1;
 };
 
 /// Everything the analyzer can say about a pair.

@@ -1,0 +1,110 @@
+#include "core/verdict_cache.h"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+namespace dislock {
+
+namespace {
+
+/// Appends one transaction's structure to `out` under the shared canonical
+/// renaming maps (entity -> dense index, site -> dense index).
+void AppendCanonical(const Transaction& t,
+                     std::unordered_map<EntityId, int>* entity_index,
+                     std::unordered_map<SiteId, int>* site_index,
+                     std::string* out) {
+  auto canonical_entity = [&](EntityId e) {
+    auto [it, inserted] =
+        entity_index->emplace(e, static_cast<int>(entity_index->size()));
+    if (inserted) {
+      // First appearance also pins the entity's site into the pattern.
+      site_index->emplace(t.db().SiteOf(e),
+                          static_cast<int>(site_index->size()));
+    }
+    return it->second;
+  };
+  out->push_back('t');
+  for (StepId s = 0; s < t.NumSteps(); ++s) {
+    const Step& step = t.GetStep(s);
+    char kind = step.kind == StepKind::kLock     ? 'L'
+                : step.kind == StepKind::kUnlock ? 'U'
+                                                 : 'u';
+    out->push_back(kind);
+    if (step.shared) out->push_back('s');
+    *out += std::to_string(canonical_entity(step.entity));
+    out->push_back('@');
+    *out += std::to_string(site_index->at(t.db().SiteOf(step.entity)));
+    out->push_back(';');
+  }
+  // The precedence arc set, sorted so the fingerprint does not depend on
+  // construction order. (Arc-set equality is finer than equality of the
+  // induced partial orders, so this can only cause extra misses, never a
+  // wrong hit.)
+  std::vector<std::pair<NodeId, NodeId>> arcs;
+  const Digraph& order = t.order();
+  for (NodeId u = 0; u < order.NumNodes(); ++u) {
+    for (NodeId v : order.OutNeighbors(u)) arcs.emplace_back(u, v);
+  }
+  std::sort(arcs.begin(), arcs.end());
+  arcs.erase(std::unique(arcs.begin(), arcs.end()), arcs.end());
+  out->push_back('|');
+  for (const auto& [u, v] : arcs) {
+    *out += std::to_string(u);
+    out->push_back('>');
+    *out += std::to_string(v);
+    out->push_back(';');
+  }
+}
+
+}  // namespace
+
+std::string PairFingerprint(const Transaction& t1, const Transaction& t2) {
+  std::string out;
+  out.reserve(static_cast<size_t>(t1.NumSteps() + t2.NumSteps()) * 6 + 16);
+  std::unordered_map<EntityId, int> entity_index;
+  std::unordered_map<SiteId, int> site_index;
+  AppendCanonical(t1, &entity_index, &site_index, &out);
+  AppendCanonical(t2, &entity_index, &site_index, &out);
+  return out;
+}
+
+std::optional<CachedPairVerdict> PairVerdictCache::Lookup(
+    const std::string& fingerprint) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = map_.find(fingerprint);
+  if (it == map_.end()) {
+    ++stats_.misses;
+    return std::nullopt;
+  }
+  ++stats_.hits;
+  return it->second;
+}
+
+void PairVerdictCache::Insert(const std::string& fingerprint,
+                              const PairSafetyReport& report) {
+  CachedPairVerdict entry;
+  entry.verdict = report.verdict;
+  entry.method = report.method;
+  entry.sites_spanned = report.sites_spanned;
+  std::lock_guard<std::mutex> lock(mu_);
+  map_.emplace(fingerprint, std::move(entry));
+}
+
+PairVerdictCache::Stats PairVerdictCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+int64_t PairVerdictCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int64_t>(map_.size());
+}
+
+void PairVerdictCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  map_.clear();
+  stats_ = Stats();
+}
+
+}  // namespace dislock

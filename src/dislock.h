@@ -45,6 +45,7 @@
 #include "core/protocols.h"
 #include "core/report.h"
 #include "core/safety.h"
+#include "core/verdict_cache.h"
 #include "geometry/curve.h"
 #include "geometry/deadlock_geometry.h"
 #include "geometry/picture.h"

@@ -1,10 +1,20 @@
 #include "txn/transaction.h"
 
 #include <algorithm>
-#include <set>
 #include <sstream>
 
 namespace dislock {
+
+namespace {
+
+/// Inserts `value` into the sorted vector `sorted` if not already present.
+template <typename T>
+void InsertSortedUnique(std::vector<T>* sorted, T value) {
+  auto it = std::lower_bound(sorted->begin(), sorted->end(), value);
+  if (it == sorted->end() || *it != value) sorted->insert(it, value);
+}
+
+}  // namespace
 
 Transaction::Transaction(const DistributedDatabase* db, std::string name)
     : db_(db), name_(std::move(name)) {
@@ -13,6 +23,84 @@ Transaction::Transaction(const DistributedDatabase* db, std::string name)
   unlock_step_.assign(db->NumEntities(), kInvalidStep);
   lock_count_.assign(db->NumEntities(), 0);
   unlock_count_.assign(db->NumEntities(), 0);
+}
+
+Transaction::Transaction(const Transaction& other)
+    : db_(other.db_),
+      name_(other.name_),
+      steps_(other.steps_),
+      order_(other.order_),
+      lock_step_(other.lock_step_),
+      unlock_step_(other.unlock_step_),
+      lock_count_(other.lock_count_),
+      unlock_count_(other.unlock_count_),
+      locked_entities_(other.locked_entities_),
+      touched_entities_(other.touched_entities_),
+      touched_sites_(other.touched_sites_) {
+  // Share the immutable reachability cache if the source has built one.
+  std::lock_guard<std::mutex> lock(other.reach_mu_);
+  reach_ = other.reach_;
+  reach_fast_.store(reach_.get(), std::memory_order_release);
+}
+
+Transaction& Transaction::operator=(const Transaction& other) {
+  if (this == &other) return *this;
+  db_ = other.db_;
+  name_ = other.name_;
+  steps_ = other.steps_;
+  order_ = other.order_;
+  lock_step_ = other.lock_step_;
+  unlock_step_ = other.unlock_step_;
+  lock_count_ = other.lock_count_;
+  unlock_count_ = other.unlock_count_;
+  locked_entities_ = other.locked_entities_;
+  touched_entities_ = other.touched_entities_;
+  touched_sites_ = other.touched_sites_;
+  std::shared_ptr<const Reachability> reach;
+  {
+    std::lock_guard<std::mutex> lock(other.reach_mu_);
+    reach = other.reach_;
+  }
+  std::lock_guard<std::mutex> lock(reach_mu_);
+  reach_ = std::move(reach);
+  reach_fast_.store(reach_.get(), std::memory_order_release);
+  return *this;
+}
+
+Transaction::Transaction(Transaction&& other) noexcept
+    : db_(other.db_),
+      name_(std::move(other.name_)),
+      steps_(std::move(other.steps_)),
+      order_(std::move(other.order_)),
+      lock_step_(std::move(other.lock_step_)),
+      unlock_step_(std::move(other.unlock_step_)),
+      lock_count_(std::move(other.lock_count_)),
+      unlock_count_(std::move(other.unlock_count_)),
+      locked_entities_(std::move(other.locked_entities_)),
+      touched_entities_(std::move(other.touched_entities_)),
+      touched_sites_(std::move(other.touched_sites_)),
+      reach_(std::move(other.reach_)) {
+  reach_fast_.store(reach_.get(), std::memory_order_release);
+  other.reach_fast_.store(nullptr, std::memory_order_release);
+}
+
+Transaction& Transaction::operator=(Transaction&& other) noexcept {
+  if (this == &other) return *this;
+  db_ = other.db_;
+  name_ = std::move(other.name_);
+  steps_ = std::move(other.steps_);
+  order_ = std::move(other.order_);
+  lock_step_ = std::move(other.lock_step_);
+  unlock_step_ = std::move(other.unlock_step_);
+  lock_count_ = std::move(other.lock_count_);
+  unlock_count_ = std::move(other.unlock_count_);
+  locked_entities_ = std::move(other.locked_entities_);
+  touched_entities_ = std::move(other.touched_entities_);
+  touched_sites_ = std::move(other.touched_sites_);
+  reach_ = std::move(other.reach_);
+  reach_fast_.store(reach_.get(), std::memory_order_release);
+  other.reach_fast_.store(nullptr, std::memory_order_release);
+  return *this;
 }
 
 StepId Transaction::AddStep(StepKind kind, EntityId entity, bool shared) {
@@ -34,7 +122,13 @@ StepId Transaction::AddStep(StepKind kind, EntityId entity, bool shared) {
     if (unlock_step_[entity] == kInvalidStep) unlock_step_[entity] = id;
     ++unlock_count_[entity];
   }
-  reach_.reset();
+  InsertSortedUnique(&touched_entities_, entity);
+  InsertSortedUnique(&touched_sites_, db_->SiteOf(entity));
+  if (lock_step_[entity] != kInvalidStep &&
+      unlock_step_[entity] != kInvalidStep) {
+    InsertSortedUnique(&locked_entities_, entity);
+  }
+  InvalidateReach();
   return id;
 }
 
@@ -42,11 +136,21 @@ void Transaction::AddPrecedence(StepId before, StepId after) {
   DISLOCK_CHECK(ValidStep(before) && ValidStep(after));
   if (order_.HasArc(before, after)) return;
   order_.AddArc(before, after);
+  InvalidateReach();
+}
+
+void Transaction::InvalidateReach() {
+  std::lock_guard<std::mutex> lock(reach_mu_);
+  reach_fast_.store(nullptr, std::memory_order_release);
   reach_.reset();
 }
 
 const Reachability& Transaction::Reach() const {
+  const Reachability* fast = reach_fast_.load(std::memory_order_acquire);
+  if (fast != nullptr) return *fast;
+  std::lock_guard<std::mutex> lock(reach_mu_);
   if (!reach_) reach_ = std::make_shared<const Reachability>(order_);
+  reach_fast_.store(reach_.get(), std::memory_order_release);
   return *reach_;
 }
 
@@ -90,22 +194,6 @@ std::vector<StepId> Transaction::UpdateSteps(EntityId e) const {
     }
   }
   return out;
-}
-
-std::vector<EntityId> Transaction::LockedEntities() const {
-  std::vector<EntityId> out;
-  for (EntityId e = 0; e < static_cast<EntityId>(lock_step_.size()); ++e) {
-    if (lock_step_[e] != kInvalidStep && unlock_step_[e] != kInvalidStep) {
-      out.push_back(e);
-    }
-  }
-  return out;
-}
-
-std::vector<EntityId> Transaction::TouchedEntities() const {
-  std::set<EntityId> seen;
-  for (const Step& s : steps_) seen.insert(s.entity);
-  return {seen.begin(), seen.end()};
 }
 
 int Transaction::LockCount(EntityId e) const {

@@ -1,7 +1,9 @@
 #ifndef DISLOCK_TXN_TRANSACTION_H_
 #define DISLOCK_TXN_TRANSACTION_H_
 
+#include <atomic>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -27,10 +29,23 @@ namespace dislock {
 ///
 /// Transactions are value types (copyable); the Theorem 2 closure operation
 /// works on copies to which it adds precedences.
+///
+/// Const access is thread-safe: the derived structures a query needs
+/// (reachability over the step DAG, the touched-entity and touched-site
+/// sets) are either maintained eagerly on AddStep or built lazily behind a
+/// mutex with a lock-free fast path, so the parallel safety engine can run
+/// many pair/cycle analyses over the same transactions concurrently.
+/// Mutation (AddStep/AddPrecedence) must still be externally synchronized
+/// with respect to readers, as for any value type.
 class Transaction {
  public:
   /// Creates an empty transaction over `db`. `db` must outlive this object.
   explicit Transaction(const DistributedDatabase* db, std::string name = "T");
+
+  Transaction(const Transaction& other);
+  Transaction& operator=(const Transaction& other);
+  Transaction(Transaction&& other) noexcept;
+  Transaction& operator=(Transaction&& other) noexcept;
 
   /// Appends a step; returns its id. Ids are dense [0, NumSteps()).
   /// `shared` marks read locks/unlocks (ignored for updates).
@@ -76,9 +91,19 @@ class Transaction {
   std::vector<StepId> UpdateSteps(EntityId e) const;
 
   /// Entities with both a lock and an unlock step here, ascending.
-  std::vector<EntityId> LockedEntities() const;
-  /// Entities touched by any step here, ascending.
-  std::vector<EntityId> TouchedEntities() const;
+  /// Maintained incrementally on AddStep (the multi-transaction analysis
+  /// consults it O(k^2) times per run), so this is O(1).
+  const std::vector<EntityId>& LockedEntities() const {
+    return locked_entities_;
+  }
+  /// Entities touched by any step here, ascending. O(1), see above.
+  const std::vector<EntityId>& TouchedEntities() const {
+    return touched_entities_;
+  }
+  /// Distinct sites hosting the touched entities, ascending. O(1); lets
+  /// SitesSpanned merge two site lists instead of re-deriving them from the
+  /// entity sets on every pair test.
+  const std::vector<SiteId>& TouchedSites() const { return touched_sites_; }
 
   /// Number of lock steps added for entity e (for validation; > 1 is
   /// malformed).
@@ -100,6 +125,7 @@ class Transaction {
 
  private:
   const Reachability& Reach() const;
+  void InvalidateReach();
 
   const DistributedDatabase* db_;
   std::string name_;
@@ -110,8 +136,16 @@ class Transaction {
   std::vector<StepId> unlock_step_;  // if absent
   std::vector<int> lock_count_;
   std::vector<int> unlock_count_;
-  // Reachability over order_, rebuilt lazily after mutations.
+  // Sorted distinct-entity/site summaries, maintained on AddStep.
+  std::vector<EntityId> locked_entities_;
+  std::vector<EntityId> touched_entities_;
+  std::vector<SiteId> touched_sites_;
+  // Reachability over order_, rebuilt lazily after mutations. Double-checked:
+  // readers take the lock-free acquire path once built; the build (and the
+  // invalidation on mutation) happens under reach_mu_.
+  mutable std::mutex reach_mu_;
   mutable std::shared_ptr<const Reachability> reach_;
+  mutable std::atomic<const Reachability*> reach_fast_{nullptr};
 };
 
 }  // namespace dislock

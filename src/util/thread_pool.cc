@@ -1,0 +1,112 @@
+#include "util/thread_pool.h"
+
+namespace dislock {
+
+namespace {
+
+/// Identifies the pool (and worker slot) the current thread belongs to, so
+/// Submit() from inside a task can push to the caller's own deque instead
+/// of bouncing through the round-robin distributor.
+thread_local ThreadPool* current_pool = nullptr;
+thread_local int current_worker = -1;
+
+}  // namespace
+
+int ThreadPool::HardwareThreads() {
+  unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<int>(n);
+}
+
+ThreadPool::ThreadPool(int num_threads) {
+  if (num_threads <= 0) num_threads = HardwareThreads();
+  queues_.reserve(num_threads);
+  for (int i = 0; i < num_threads; ++i) {
+    queues_.push_back(std::make_unique<WorkerQueue>());
+  }
+  workers_.reserve(num_threads);
+  for (int i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(wake_mu_);
+    stopping_.store(true, std::memory_order_release);
+  }
+  wake_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::Push(std::function<void()> fn) {
+  int target;
+  if (current_pool == this) {
+    target = current_worker;
+  } else {
+    target = static_cast<int>(
+        next_queue_.fetch_add(1, std::memory_order_relaxed) %
+        queues_.size());
+  }
+  {
+    std::lock_guard<std::mutex> lock(queues_[target]->mu);
+    queues_[target]->tasks.push_back(std::move(fn));
+  }
+  {
+    // The increment must be ordered against the predicate check in
+    // WorkerLoop's wait (which runs under wake_mu_), or a worker that just
+    // found the deques empty could miss this notification and sleep.
+    std::lock_guard<std::mutex> lock(wake_mu_);
+    pending_.fetch_add(1, std::memory_order_release);
+  }
+  wake_cv_.notify_one();
+}
+
+std::function<void()> ThreadPool::TakeTask(int self) {
+  // Own deque first, newest task (LIFO).
+  {
+    std::lock_guard<std::mutex> lock(queues_[self]->mu);
+    if (!queues_[self]->tasks.empty()) {
+      std::function<void()> fn = std::move(queues_[self]->tasks.back());
+      queues_[self]->tasks.pop_back();
+      return fn;
+    }
+  }
+  // Steal the oldest task (FIFO) from the first non-empty victim.
+  const int n = static_cast<int>(queues_.size());
+  for (int d = 1; d < n; ++d) {
+    int victim = (self + d) % n;
+    std::lock_guard<std::mutex> lock(queues_[victim]->mu);
+    if (!queues_[victim]->tasks.empty()) {
+      std::function<void()> fn = std::move(queues_[victim]->tasks.front());
+      queues_[victim]->tasks.pop_front();
+      return fn;
+    }
+  }
+  return {};
+}
+
+void ThreadPool::WorkerLoop(int self) {
+  current_pool = this;
+  current_worker = self;
+  for (;;) {
+    std::function<void()> fn = TakeTask(self);
+    if (fn) {
+      pending_.fetch_sub(1, std::memory_order_release);
+      fn();  // packaged_task: exceptions land in the future
+      continue;
+    }
+    std::unique_lock<std::mutex> lock(wake_mu_);
+    wake_cv_.wait(lock, [this] {
+      return pending_.load(std::memory_order_acquire) > 0 ||
+             stopping_.load(std::memory_order_acquire);
+    });
+    if (stopping_.load(std::memory_order_acquire) &&
+        pending_.load(std::memory_order_acquire) == 0) {
+      break;
+    }
+  }
+  current_pool = nullptr;
+  current_worker = -1;
+}
+
+}  // namespace dislock

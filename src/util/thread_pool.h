@@ -1,0 +1,102 @@
+#ifndef DISLOCK_UTIL_THREAD_POOL_H_
+#define DISLOCK_UTIL_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace dislock {
+
+/// Cooperative cancellation flag shared between a task producer and its
+/// tasks. Cancellation never interrupts a running task; tasks are expected
+/// to poll cancelled() at safe points (the parallel safety engine checks it
+/// before starting each pair/cycle unit) and return early.
+class CancellationToken {
+ public:
+  void Cancel() { cancelled_.store(true, std::memory_order_release); }
+  bool cancelled() const {
+    return cancelled_.load(std::memory_order_acquire);
+  }
+  void Reset() { cancelled_.store(false, std::memory_order_release); }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+};
+
+/// A work-stealing thread pool.
+///
+/// Each worker owns a deque of tasks: it pushes and pops work at the back
+/// (LIFO, cache-friendly for task trees) and steals from the *front* of a
+/// victim's deque (FIFO, takes the oldest — and typically largest — unit of
+/// work) when its own deque runs dry. Tasks submitted from outside the pool
+/// are distributed round-robin; tasks submitted from a worker thread go to
+/// that worker's own deque, which is what makes recursive fan-out cheap.
+///
+/// Submit() returns a std::future: exceptions thrown by a task are captured
+/// and rethrown on future.get(), and results are moved out through the
+/// shared state. The destructor drains every queued task before joining
+/// (tasks already submitted are completed, not dropped).
+///
+/// The pool is not tied to any dislock type; the safety engine
+/// (core/multi.cc, core/safety.cc) layers deterministic reduction and
+/// cancellation on top of it.
+class ThreadPool {
+ public:
+  /// Creates `num_threads` workers; num_threads <= 0 means
+  /// HardwareThreads().
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+  /// std::thread::hardware_concurrency() with a floor of 1.
+  static int HardwareThreads();
+
+  /// Schedules `fn` and returns a future for its result. Safe to call from
+  /// worker threads (the task lands on the calling worker's deque).
+  template <typename Fn>
+  auto Submit(Fn&& fn) -> std::future<std::invoke_result_t<Fn>> {
+    using R = std::invoke_result_t<Fn>;
+    auto task =
+        std::make_shared<std::packaged_task<R()>>(std::forward<Fn>(fn));
+    std::future<R> future = task->get_future();
+    Push([task]() { (*task)(); });
+    return future;
+  }
+
+ private:
+  struct WorkerQueue {
+    std::mutex mu;
+    std::deque<std::function<void()>> tasks;
+  };
+
+  void Push(std::function<void()> fn);
+  void WorkerLoop(int self);
+  /// Pops from the back of worker `self`'s deque, or steals from the front
+  /// of another worker's; empty function when no work is available.
+  std::function<void()> TakeTask(int self);
+
+  std::vector<std::unique_ptr<WorkerQueue>> queues_;
+  std::vector<std::thread> workers_;
+  /// Wakes idle workers; guards stopping_ transitions.
+  std::mutex wake_mu_;
+  std::condition_variable wake_cv_;
+  std::atomic<int64_t> pending_{0};
+  std::atomic<bool> stopping_{false};
+  std::atomic<uint64_t> next_queue_{0};
+};
+
+}  // namespace dislock
+
+#endif  // DISLOCK_UTIL_THREAD_POOL_H_

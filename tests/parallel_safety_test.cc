@@ -1,0 +1,180 @@
+// The parallel safety engine's central contract: AnalyzeMultiSafety and
+// AnalyzePairSafety render bit-identical reports at every thread count,
+// with and without a verdict cache, across randomized workloads. The JSON
+// renderings are compared as strings so every field — verdict, counters,
+// failing pair/cycle, certificate — participates in the equality.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/multi.h"
+#include "core/policy.h"
+#include "core/report.h"
+#include "core/verdict_cache.h"
+#include "sim/workload.h"
+#include "txn/text_format.h"
+#include "util/random.h"
+#include "util/string_util.h"
+
+namespace dislock {
+namespace {
+
+const int kThreadCounts[] = {2, 3, 4, 8};
+
+Workload RandomWorkload(Rng* rng, int num_transactions) {
+  WorkloadParams params;
+  params.num_sites = 1 + static_cast<int>(rng->Uniform(3));
+  params.num_entities = 2 + static_cast<int>(rng->Uniform(3));
+  params.num_transactions = num_transactions;
+  params.lock_probability = 0.5 + 0.5 * rng->UniformDouble();
+  params.update_probability = 1.0;
+  params.shared_probability = rng->Bernoulli(0.3) ? 0.4 : 0.0;
+  params.cross_site_arcs = static_cast<int>(rng->Uniform(3));
+  Workload w = MakeRandomWorkload(params, rng);
+  EXPECT_TRUE(w.system->Validate().ok());
+  return w;
+}
+
+TEST(ParallelMultiSafety, BitIdenticalAcrossThreadCounts) {
+  Rng rng(0xBEEF);
+  for (int trial = 0; trial < 40; ++trial) {
+    Workload w =
+        RandomWorkload(&rng, 2 + static_cast<int>(rng.Uniform(4)));
+    MultiSafetyOptions serial;
+    serial.max_cycles = 1 << 10;
+    serial.pair_options.max_extension_pairs = 1 << 14;
+    std::string expected = MultiReportToJson(
+        AnalyzeMultiSafety(*w.system, serial), *w.system);
+    for (int threads : kThreadCounts) {
+      MultiSafetyOptions parallel = serial;
+      parallel.num_threads = threads;
+      std::string actual = MultiReportToJson(
+          AnalyzeMultiSafety(*w.system, parallel), *w.system);
+      EXPECT_EQ(expected, actual)
+          << "trial " << trial << ", " << threads << " threads\n"
+          << SystemToText(*w.system);
+    }
+  }
+}
+
+TEST(ParallelMultiSafety, BitIdenticalWithVerdictCache) {
+  // Fresh caches on both sides: the deterministic scan-order insert makes
+  // even the pairs_checked / pairs_cached counters match.
+  Rng rng(0xCAFE);
+  for (int trial = 0; trial < 25; ++trial) {
+    Workload w =
+        RandomWorkload(&rng, 3 + static_cast<int>(rng.Uniform(3)));
+    MultiSafetyOptions serial;
+    serial.max_cycles = 1 << 10;
+    serial.pair_options.max_extension_pairs = 1 << 14;
+    PairVerdictCache serial_cache;
+    serial.cache = &serial_cache;
+    std::string expected = MultiReportToJson(
+        AnalyzeMultiSafety(*w.system, serial), *w.system);
+    for (int threads : kThreadCounts) {
+      MultiSafetyOptions parallel = serial;
+      PairVerdictCache parallel_cache;
+      parallel.cache = &parallel_cache;
+      parallel.num_threads = threads;
+      std::string actual = MultiReportToJson(
+          AnalyzeMultiSafety(*w.system, parallel), *w.system);
+      EXPECT_EQ(expected, actual)
+          << "trial " << trial << ", " << threads << " threads\n"
+          << SystemToText(*w.system);
+      EXPECT_EQ(serial_cache.size(), parallel_cache.size())
+          << "trial " << trial << ", " << threads << " threads";
+    }
+  }
+}
+
+TEST(ParallelMultiSafety, SharedCacheAccelleratesSecondAnalysisUnchanged) {
+  // A cache warmed by a serial run must leave a later parallel run's
+  // verdict and failure details unchanged (counters legitimately shift
+  // from pairs_checked to pairs_cached).
+  Rng rng(0xF00D);
+  for (int trial = 0; trial < 15; ++trial) {
+    Workload w = RandomWorkload(&rng, 4);
+    MultiSafetyOptions bare;
+    bare.max_cycles = 1 << 10;
+    MultiSafetyReport reference = AnalyzeMultiSafety(*w.system, bare);
+
+    PairVerdictCache cache;
+    MultiSafetyOptions warm = bare;
+    warm.cache = &cache;
+    AnalyzeMultiSafety(*w.system, warm);  // warms the cache
+    warm.num_threads = 4;
+    MultiSafetyReport cached = AnalyzeMultiSafety(*w.system, warm);
+    EXPECT_EQ(cached.verdict, reference.verdict) << SystemToText(*w.system);
+    EXPECT_EQ(cached.failing_pair, reference.failing_pair);
+    EXPECT_EQ(cached.failing_cycle, reference.failing_cycle);
+    EXPECT_EQ(cached.cycles_checked, reference.cycles_checked);
+    EXPECT_EQ(cached.pairs_checked + cached.pairs_cached,
+              reference.pairs_checked + reference.pairs_cached);
+  }
+}
+
+TEST(ParallelPairSafety, DominatorClosureBitIdenticalAcrossThreadCounts) {
+  // The >= 3-site dominator-closure fan-out inside AnalyzePairSafety.
+  Rng rng(0xD00D);
+  int multi_site_pairs = 0;
+  for (int trial = 0; trial < 60; ++trial) {
+    WorkloadParams params;
+    params.num_sites = 3 + static_cast<int>(rng.Uniform(2));
+    params.num_entities = 3 + static_cast<int>(rng.Uniform(3));
+    params.num_transactions = 2;
+    params.lock_probability = 0.8;
+    params.update_probability = 1.0;
+    params.cross_site_arcs = static_cast<int>(rng.Uniform(4));
+    Workload w = MakeRandomWorkload(params, &rng);
+    ASSERT_TRUE(w.system->Validate().ok());
+    const Transaction& t1 = w.system->txn(0);
+    const Transaction& t2 = w.system->txn(1);
+    if (SitesSpanned(t1, t2) >= 3) ++multi_site_pairs;
+    SafetyOptions serial;
+    serial.max_extension_pairs = 1 << 14;
+    std::string expected =
+        PairReportToJson(AnalyzePairSafety(t1, t2, serial), w.system->db());
+    for (int threads : kThreadCounts) {
+      SafetyOptions parallel = serial;
+      parallel.num_threads = threads;
+      std::string actual = PairReportToJson(
+          AnalyzePairSafety(t1, t2, parallel), w.system->db());
+      EXPECT_EQ(expected, actual)
+          << "trial " << trial << ", " << threads << " threads\n"
+          << SystemToText(*w.system);
+    }
+  }
+  // The generator must actually exercise the parallel regime.
+  EXPECT_GT(multi_site_pairs, 10);
+}
+
+TEST(ParallelMultiSafety, DenseCycleWorkloadIdenticalAndDecided) {
+  // Deterministic many-cycle workload (the bench's dense case): the cycle
+  // fan-out must agree with serial on a nontrivial cycles_checked count.
+  DistributedDatabase db(2);
+  std::vector<EntityId> all;
+  for (int e = 0; e < 3; ++e) {
+    all.push_back(db.MustAddEntity(StrCat("e", e), e % 2));
+  }
+  TransactionSystem system(&db);
+  for (int t = 0; t < 7; ++t) {
+    system.Add(MakeTwoPhaseTransaction(&db, StrCat("T", t + 1), all));
+  }
+  MultiSafetyOptions serial;
+  serial.max_cycles = 1 << 12;
+  MultiSafetyReport serial_report = AnalyzeMultiSafety(system, serial);
+  EXPECT_GT(serial_report.cycles_checked, 100);
+  std::string expected = MultiReportToJson(serial_report, system);
+  for (int threads : kThreadCounts) {
+    MultiSafetyOptions parallel = serial;
+    parallel.num_threads = threads;
+    EXPECT_EQ(expected, MultiReportToJson(
+                            AnalyzeMultiSafety(system, parallel), system))
+        << threads << " threads";
+  }
+}
+
+}  // namespace
+}  // namespace dislock

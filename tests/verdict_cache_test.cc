@@ -1,0 +1,185 @@
+// Tests for the pair-verdict cache: the canonical fingerprint must identify
+// exactly the structurally isomorphic pairs (same verdicts guaranteed) and
+// distinguish pairs that differ in step order, sharing, site placement or
+// precedence structure; the cache itself must count hits/misses and keep
+// cached verdicts consistent with recomputation.
+
+#include "core/verdict_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/safety.h"
+#include "txn/builder.h"
+#include "txn/database.h"
+
+namespace dislock {
+namespace {
+
+/// Two-phase pair over entities (a, b) at the given sites, with distinct
+/// names so only structure can make fingerprints collide.
+struct PairFixture {
+  DistributedDatabase db;
+  Transaction t1;
+  Transaction t2;
+
+  PairFixture(const std::string& ea, int site_a, const std::string& eb,
+              int site_b, int num_sites = 3)
+      : db(num_sites),
+        t1(MakeTxn(ea, site_a, eb, site_b, "T1")),
+        t2(MakeTxn(ea, site_a, eb, site_b, "T2")) {}
+
+ private:
+  Transaction MakeTxn(const std::string& ea, int site_a,
+                      const std::string& eb, int site_b,
+                      const std::string& name) {
+    if (!db.Find(ea).ok()) db.MustAddEntity(ea, site_a);
+    if (!db.Find(eb).ok()) db.MustAddEntity(eb, site_b);
+    TransactionBuilder b(&db, name);
+    StepId la = b.Lock(ea);
+    StepId lb = b.Lock(eb);
+    StepId ua = b.Unlock(ea);
+    StepId ub = b.Unlock(eb);
+    b.Edge(la, ub);
+    b.Edge(lb, ua);
+    return b.Build();
+  }
+};
+
+TEST(PairFingerprint, RenamedEntitiesCollide) {
+  // Identical structure over differently named entities on the same site
+  // pattern must fingerprint-collide: names play no role.
+  PairFixture p1("x", 0, "y", 1);
+  PairFixture p2("alpha", 0, "beta", 1);
+  EXPECT_EQ(PairFingerprint(p1.t1, p1.t2), PairFingerprint(p2.t1, p2.t2));
+}
+
+TEST(PairFingerprint, RenamedSitesCollide) {
+  // Sites are canonicalized by first appearance too: (site 0, site 1) and
+  // (site 2, site 1) induce the same two-site pattern.
+  PairFixture p1("x", 0, "y", 1);
+  PairFixture p2("x", 2, "y", 1);
+  EXPECT_EQ(PairFingerprint(p1.t1, p1.t2), PairFingerprint(p2.t1, p2.t2));
+}
+
+TEST(PairFingerprint, SitePatternDiscriminates) {
+  // Same step sequences, but one pair is single-site and the other spans
+  // two sites — different patterns, different fingerprints (and indeed
+  // possibly different verdicts).
+  PairFixture one_site("x", 0, "y", 0);
+  PairFixture two_sites("x", 0, "y", 1);
+  EXPECT_NE(PairFingerprint(one_site.t1, one_site.t2),
+            PairFingerprint(two_sites.t1, two_sites.t2));
+}
+
+TEST(PairFingerprint, SharedFlagDiscriminates) {
+  DistributedDatabase db(1);
+  db.MustAddEntity("x", 0);
+  TransactionBuilder exclusive(&db, "T1");
+  exclusive.LockUpdateUnlock("x");
+  TransactionBuilder shared(&db, "T1");
+  shared.LockShared("x");
+  shared.Update("x");
+  shared.UnlockShared("x");
+  TransactionBuilder other(&db, "T2");
+  other.LockUpdateUnlock("x");
+  EXPECT_NE(PairFingerprint(exclusive.Build(), other.Build()),
+            PairFingerprint(shared.Build(), other.Build()));
+}
+
+TEST(PairFingerprint, PrecedenceArcsDiscriminate) {
+  DistributedDatabase db(2);
+  db.MustAddEntity("x", 0);
+  db.MustAddEntity("y", 1);
+  auto make = [&](bool cross_arc) {
+    TransactionBuilder b(&db, "T1");
+    StepId lx = b.Lock("x");
+    StepId ux = b.Unlock("x");
+    StepId ly = b.Lock("y");
+    StepId uy = b.Unlock("y");
+    (void)lx;
+    (void)uy;
+    if (cross_arc) b.Edge(ux, ly);
+    return b.Build();
+  };
+  TransactionBuilder other(&db, "T2");
+  other.LockUpdateUnlock("x");
+  other.LockUpdateUnlock("y");
+  EXPECT_NE(PairFingerprint(make(false), other.Build()),
+            PairFingerprint(make(true), other.Build()));
+}
+
+TEST(PairFingerprint, OrderOfTransactionsMatters) {
+  // The fingerprint is of the ordered pair; AnalyzeMultiSafety always
+  // queries in scan order (i < j), so asymmetry is fine — but it must be
+  // deterministic.
+  DistributedDatabase db(1);
+  db.MustAddEntity("x", 0);
+  TransactionBuilder a(&db, "T1");
+  a.LockUpdateUnlock("x");
+  TransactionBuilder b(&db, "T2");
+  b.Lock("x");
+  b.Update("x");
+  b.Update("x");
+  b.Unlock("x");
+  std::string ab = PairFingerprint(a.Build(), b.Build());
+  EXPECT_EQ(ab, PairFingerprint(a.Build(), b.Build()));
+  EXPECT_NE(ab, PairFingerprint(b.Build(), a.Build()));
+}
+
+TEST(PairVerdictCache, CountsHitsAndMisses) {
+  PairFixture p("x", 0, "y", 1);
+  std::string fp = PairFingerprint(p.t1, p.t2);
+  PairVerdictCache cache;
+  EXPECT_FALSE(cache.Lookup(fp).has_value());
+  PairSafetyReport report = AnalyzePairSafety(p.t1, p.t2);
+  cache.Insert(fp, report);
+  EXPECT_EQ(cache.size(), 1);
+  auto hit = cache.Lookup(fp);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->verdict, report.verdict);
+  EXPECT_EQ(hit->method, report.method);
+  EXPECT_EQ(hit->sites_spanned, report.sites_spanned);
+  PairVerdictCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1);
+  EXPECT_EQ(stats.misses, 1);
+  EXPECT_DOUBLE_EQ(stats.HitRate(), 0.5);
+  cache.Clear();
+  EXPECT_EQ(cache.size(), 0);
+  EXPECT_EQ(cache.stats().hits, 0);
+}
+
+TEST(PairVerdictCache, FirstInsertWins) {
+  PairVerdictCache cache;
+  PairSafetyReport safe;
+  safe.verdict = SafetyVerdict::kSafe;
+  safe.method = "theorem-1";
+  PairSafetyReport unsafe_;
+  unsafe_.verdict = SafetyVerdict::kUnsafe;
+  cache.Insert("fp", safe);
+  cache.Insert("fp", unsafe_);  // no-op: concurrent equal-fingerprint
+                                // inserts must be benign
+  auto hit = cache.Lookup("fp");
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->verdict, SafetyVerdict::kSafe);
+}
+
+TEST(PairVerdictCache, CachedVerdictMatchesRecomputationOnIsomorphs) {
+  // The soundness contract end-to-end: decide one pair, then check a
+  // renamed isomorphic pair against the cached verdict.
+  PairFixture original("x", 0, "y", 1);
+  PairFixture renamed("p", 2, "q", 1);
+  PairVerdictCache cache;
+  cache.Insert(PairFingerprint(original.t1, original.t2),
+               AnalyzePairSafety(original.t1, original.t2));
+  auto hit = cache.Lookup(PairFingerprint(renamed.t1, renamed.t2));
+  ASSERT_TRUE(hit.has_value());
+  PairSafetyReport recomputed = AnalyzePairSafety(renamed.t1, renamed.t2);
+  EXPECT_EQ(hit->verdict, recomputed.verdict);
+  EXPECT_EQ(hit->method, recomputed.method);
+  EXPECT_EQ(hit->sites_spanned, recomputed.sites_spanned);
+}
+
+}  // namespace
+}  // namespace dislock

@@ -1,0 +1,224 @@
+// Benchmark trajectory for the parallel safety engine: times
+// AnalyzeMultiSafety serial vs parallel on the E11 ring/dense workloads,
+// verifies the reports are bit-identical, measures the verdict-cache
+// trajectory, and writes everything as JSON (BENCH_multi.json).
+//
+//   dislock_bench [--quick] [--threads N] [--reps N] [--out path]
+//
+// --threads defaults to 0 (one worker per hardware thread). Speedups are a
+// property of the machine: on a single-core container parallel ≈ serial by
+// construction; the deterministic-output check is meaningful everywhere.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/multi.h"
+#include "core/policy.h"
+#include "core/report.h"
+#include "core/verdict_cache.h"
+#include "sim/workload.h"
+#include "util/string_util.h"
+#include "util/thread_pool.h"
+
+namespace dislock {
+namespace {
+
+/// k strongly-two-phase transactions over a sparse entity ring: Ti locks
+/// {e_i, e_(i+1 mod k)}, so G is a ring (2 directed k-cycles; the pair
+/// tests dominate).
+Workload MakeRingSystem(int k) {
+  Workload w;
+  w.db = std::make_shared<DistributedDatabase>(2);
+  for (int e = 0; e < k; ++e) {
+    w.db->MustAddEntity(StrCat("e", e), e % 2);
+  }
+  w.system = std::make_shared<TransactionSystem>(w.db.get());
+  for (int t = 0; t < k; ++t) {
+    w.system->Add(MakeTwoPhaseTransaction(
+        w.db.get(), StrCat("T", t + 1),
+        {static_cast<EntityId>(t), static_cast<EntityId>((t + 1) % k)}));
+  }
+  return w;
+}
+
+/// Dense system: every transaction locks every entity, so G is complete and
+/// the (capped) cycle enumeration dominates — the embarrassingly parallel
+/// regime.
+Workload MakeDenseSystem(int k, int entities) {
+  Workload w;
+  w.db = std::make_shared<DistributedDatabase>(2);
+  std::vector<EntityId> all;
+  for (int e = 0; e < entities; ++e) {
+    all.push_back(w.db->MustAddEntity(StrCat("e", e), e % 2));
+  }
+  w.system = std::make_shared<TransactionSystem>(w.db.get());
+  for (int t = 0; t < k; ++t) {
+    w.system->Add(MakeTwoPhaseTransaction(w.db.get(), StrCat("T", t + 1),
+                                          all));
+  }
+  return w;
+}
+
+struct BenchCase {
+  std::string name;
+  std::string kind;
+  int k = 0;
+  Workload workload;
+};
+
+double MinMs(const std::vector<double>& samples) {
+  // min-of-reps: the standard way to strip scheduler noise from a
+  // deterministic computation.
+  double best = samples.front();
+  for (double s : samples) best = std::min(best, s);
+  return best;
+}
+
+template <typename Fn>
+double TimeMs(int reps, const Fn& fn) {
+  std::vector<double> samples;
+  samples.reserve(reps);
+  for (int r = 0; r < reps; ++r) {
+    auto start = std::chrono::steady_clock::now();
+    fn();
+    auto stop = std::chrono::steady_clock::now();
+    samples.push_back(
+        std::chrono::duration<double, std::milli>(stop - start).count());
+  }
+  return MinMs(samples);
+}
+
+}  // namespace
+}  // namespace dislock
+
+int main(int argc, char** argv) {
+  using namespace dislock;
+  bool quick = false;
+  int threads = 0;  // one per hardware thread
+  int reps = 0;     // 0 = pick per mode below
+  const char* out_path = "BENCH_multi.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      threads = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--reps") == 0 && i + 1 < argc) {
+      reps = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: dislock_bench [--quick] [--threads N] "
+                   "[--reps N] [--out path]\n");
+      return 2;
+    }
+  }
+  if (reps <= 0) reps = quick ? 2 : 5;
+  const int effective_threads =
+      threads <= 0 ? ThreadPool::HardwareThreads() : threads;
+
+  std::vector<BenchCase> cases;
+  for (int k : quick ? std::vector<int>{8} : std::vector<int>{8, 12, 16}) {
+    cases.push_back({StrCat("ring_k", k), "ring", k, MakeRingSystem(k)});
+  }
+  for (int k : quick ? std::vector<int>{6} : std::vector<int>{8, 12}) {
+    cases.push_back(
+        {StrCat("dense_k", k), "dense", k, MakeDenseSystem(k, 3)});
+  }
+
+  std::ostringstream json;
+  json << "{\"bench\": \"multi_safety_parallel\", \"threads\": "
+       << effective_threads
+       << ", \"hardware_threads\": " << ThreadPool::HardwareThreads()
+       << ", \"reps\": " << reps << ", \"quick\": "
+       << (quick ? "true" : "false") << ", \"workloads\": [";
+
+  bool all_identical = true;
+  for (size_t c = 0; c < cases.size(); ++c) {
+    const BenchCase& bench = cases[c];
+    const TransactionSystem& system = *bench.workload.system;
+    MultiSafetyOptions serial_opts;
+    serial_opts.max_cycles = 1 << 14;
+    MultiSafetyOptions parallel_opts = serial_opts;
+    parallel_opts.num_threads = threads <= 0 ? 0 : threads;
+
+    // Warm up once (faults in the code and builds the transaction
+    // reachability memos), then time serial and parallel.
+    MultiSafetyReport serial_report = AnalyzeMultiSafety(system, serial_opts);
+    double serial_ms = TimeMs(reps, [&] {
+      serial_report = AnalyzeMultiSafety(system, serial_opts);
+    });
+    MultiSafetyReport parallel_report =
+        AnalyzeMultiSafety(system, parallel_opts);
+    double parallel_ms = TimeMs(reps, [&] {
+      parallel_report = AnalyzeMultiSafety(system, parallel_opts);
+    });
+
+    std::string serial_json = MultiReportToJson(serial_report, system);
+    std::string parallel_json = MultiReportToJson(parallel_report, system);
+    bool identical = serial_json == parallel_json;
+    all_identical = all_identical && identical;
+
+    // Cache trajectory: a fresh cache sees the workload's internal
+    // structural redundancy on the first analysis (ring/dense systems are
+    // transitive on their pairs), and a second analysis over the same
+    // cache is pure hits.
+    PairVerdictCache cache;
+    MultiSafetyOptions cached_opts = parallel_opts;
+    cached_opts.cache = &cache;
+    MultiSafetyReport first_cached = AnalyzeMultiSafety(system, cached_opts);
+    double cached_ms = TimeMs(reps, [&] {
+      AnalyzeMultiSafety(system, cached_opts);
+    });
+    PairVerdictCache::Stats stats = cache.stats();
+
+    if (c > 0) json << ", ";
+    json << "{\"name\": \"" << bench.name << "\", \"kind\": \""
+         << bench.kind << "\", \"k\": " << bench.k
+         << ", \"verdict\": \"" << SafetyVerdictName(serial_report.verdict)
+         << "\", \"pairs_checked\": " << serial_report.pairs_checked
+         << ", \"cycles_checked\": " << serial_report.cycles_checked
+         << ", \"serial_ms\": " << serial_ms
+         << ", \"parallel_ms\": " << parallel_ms
+         << ", \"speedup\": "
+         << (parallel_ms > 0 ? serial_ms / parallel_ms : 0.0)
+         << ", \"reports_identical\": " << (identical ? "true" : "false")
+         << ", \"cache\": {\"first_pairs_checked\": "
+         << first_cached.pairs_checked
+         << ", \"first_pairs_cached\": " << first_cached.pairs_cached
+         << ", \"hits\": " << stats.hits
+         << ", \"misses\": " << stats.misses
+         << ", \"hit_rate\": " << stats.HitRate()
+         << ", \"warm_ms\": " << cached_ms << "}}";
+
+    std::printf(
+        "%-10s verdict=%s pairs=%d cycles=%d serial=%.2fms "
+        "parallel=%.2fms speedup=%.2fx cache-hit-rate=%.2f %s\n",
+        bench.name.c_str(), SafetyVerdictName(serial_report.verdict),
+        serial_report.pairs_checked, serial_report.cycles_checked,
+        serial_ms, parallel_ms,
+        parallel_ms > 0 ? serial_ms / parallel_ms : 0.0, stats.HitRate(),
+        identical ? "identical" : "REPORTS DIFFER");
+    if (!identical) {
+      std::fprintf(stderr, "serial:   %s\nparallel: %s\n",
+                   serial_json.c_str(), parallel_json.c_str());
+    }
+  }
+  json << "]}";
+
+  std::ofstream out(out_path);
+  out << json.str() << "\n";
+  out.close();
+  std::printf("wrote %s (threads=%d, hardware=%d)\n", out_path,
+              effective_threads, ThreadPool::HardwareThreads());
+  // Determinism is the contract; a differing report is a bug regardless of
+  // the measured speedup.
+  return all_identical ? 0 : 1;
+}

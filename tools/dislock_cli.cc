@@ -77,6 +77,7 @@ struct AnalyzeArgs {
   AnalyzeFormat format = AnalyzeFormat::kText;
   bool deadlock = true;
   bool exit_error = false;
+  int num_threads = 1;  // 1 = serial, 0 = one per hardware thread
   std::vector<std::string> passes;  // empty = all registered
 };
 
@@ -105,7 +106,9 @@ int Analyze(const AnalyzeArgs& args) {
       }
     }
   }
-  AnalysisResult result = manager.Run(system);
+  AnalysisOptions options;
+  options.num_threads = args.num_threads;
+  AnalysisResult result = manager.Run(system, options);
 
   if (args.format == AnalyzeFormat::kSarif) {
     std::printf("%s\n", DiagnosticsToSarif(result, system).c_str());
@@ -250,7 +253,10 @@ int Usage() {
   std::fprintf(stderr,
                "usage: dislock analyze <system.dlk> [--json|--sarif]\n"
                "                       [--passes a,b,c] [--no-deadlock]\n"
-               "                       [--exit-error]\n"
+               "                       [--exit-error] [--threads N]\n"
+               "         (--threads: safety-engine workers; 1 = serial,\n"
+               "          0 = one per hardware thread; output is identical\n"
+               "          at any thread count)\n"
                "       dislock passes\n"
                "       dislock simulate <system.dlk> [runs]\n"
                "       dislock reduce <formula.cnf>\n"
@@ -297,6 +303,8 @@ int main(int argc, char** argv) {
         args.exit_error = true;
       } else if (std::strcmp(argv[i], "--passes") == 0 && i + 1 < argc) {
         args.passes = SplitCommas(argv[++i]);
+      } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+        args.num_threads = std::atoi(argv[++i]);
       } else {
         return Usage();
       }

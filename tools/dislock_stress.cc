@@ -7,6 +7,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <string>
 
 #include "dislock.h"
 
@@ -25,6 +26,8 @@ struct Tally {
   int64_t deadlocking = 0;
   int64_t diagnostics = 0;
   int64_t audits = 0;
+  int64_t verdict_cache_audits = 0;
+  int64_t parallel_equivalence_checks = 0;
 };
 
 int Fail(const char* what, const Workload& w) {
@@ -42,6 +45,9 @@ int main(int argc, char** argv) {
   uint64_t seed = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 0xD15C0;
   Rng rng(seed);
   Tally tally;
+  // Persists across all trials: a cached verdict must match the verdict the
+  // full procedure recomputes on every structurally identical later pair.
+  PairVerdictCache verdict_cache;
 
   for (int64_t trial = 0; trial < trials; ++trial) {
     WorkloadParams params;
@@ -70,6 +76,23 @@ int main(int argc, char** argv) {
       case SafetyVerdict::kUnknown:
         ++tally.unknown;
         break;
+    }
+
+    // Verdict-cache audit: the fingerprint promises that structurally
+    // identical pairs get identical verdicts, so a hit from ANY earlier
+    // trial must agree with the verdict just recomputed from scratch.
+    {
+      std::string fp =
+          PairFingerprint(w.system->txn(0), w.system->txn(1));
+      auto cached = verdict_cache.Lookup(fp);
+      if (cached.has_value()) {
+        if (cached->verdict != report.verdict ||
+            cached->sites_spanned != report.sites_spanned) {
+          return Fail("verdict cache vs recomputed pair verdict", w);
+        }
+        ++tally.verdict_cache_audits;
+      }
+      verdict_cache.Insert(fp, report);
     }
 
     // Certificates must verify and replay.
@@ -142,6 +165,47 @@ int main(int argc, char** argv) {
         return Fail("recovery committed an illegal schedule", w);
       }
     }
+
+    // Parallel-engine equivalence: on a periodic multi-transaction
+    // workload, AnalyzeMultiSafety must render bit-identical JSON serial
+    // vs parallel — both bare and with (separate, fresh) verdict caches,
+    // whose deterministic insert order makes even pairs_cached match.
+    if (trial % 16 == 0) {
+      WorkloadParams multi_params = params;
+      multi_params.num_transactions = 4;
+      Workload mw = MakeRandomWorkload(multi_params, &rng);
+      if (!mw.system->Validate().ok()) {
+        return Fail("generator invalid (multi)", mw);
+      }
+      MultiSafetyOptions serial_opts;
+      serial_opts.pair_options = options;
+      serial_opts.max_cycles = 1 << 10;
+      MultiSafetyOptions parallel_opts = serial_opts;
+      parallel_opts.num_threads = 4;
+      PairVerdictCache serial_cache;
+      PairVerdictCache parallel_cache;
+      std::string serial_json = MultiReportToJson(
+          AnalyzeMultiSafety(*mw.system, serial_opts), *mw.system);
+      std::string parallel_json = MultiReportToJson(
+          AnalyzeMultiSafety(*mw.system, parallel_opts), *mw.system);
+      if (serial_json != parallel_json) {
+        std::fprintf(stderr, "serial:   %s\nparallel: %s\n",
+                     serial_json.c_str(), parallel_json.c_str());
+        return Fail("parallel multi-safety != serial", mw);
+      }
+      serial_opts.cache = &serial_cache;
+      parallel_opts.cache = &parallel_cache;
+      serial_json = MultiReportToJson(
+          AnalyzeMultiSafety(*mw.system, serial_opts), *mw.system);
+      parallel_json = MultiReportToJson(
+          AnalyzeMultiSafety(*mw.system, parallel_opts), *mw.system);
+      if (serial_json != parallel_json) {
+        std::fprintf(stderr, "serial:   %s\nparallel: %s\n",
+                     serial_json.c_str(), parallel_json.c_str());
+        return Fail("parallel multi-safety != serial (cached)", mw);
+      }
+      ++tally.parallel_equivalence_checks;
+    }
   }
 
   std::printf(
@@ -150,6 +214,8 @@ int main(int argc, char** argv) {
       "  oracle-cross-checked: %lld, certificates verified: %lld\n"
       "  analyzer audits passed: %lld (%lld diagnostics)\n"
       "  deadlock-free: %lld, deadlocking: %lld\n"
+      "  verdict-cache audits: %lld (%lld entries, %.0f%% hit rate)\n"
+      "  serial/parallel equivalence checks: %lld\n"
       "all decision paths agree.\n",
       static_cast<long long>(tally.trials),
       static_cast<unsigned long long>(seed),
@@ -161,6 +227,10 @@ int main(int argc, char** argv) {
       static_cast<long long>(tally.audits),
       static_cast<long long>(tally.diagnostics),
       static_cast<long long>(tally.deadlock_free),
-      static_cast<long long>(tally.deadlocking));
+      static_cast<long long>(tally.deadlocking),
+      static_cast<long long>(tally.verdict_cache_audits),
+      static_cast<long long>(verdict_cache.size()),
+      100.0 * verdict_cache.stats().HitRate(),
+      static_cast<long long>(tally.parallel_equivalence_checks));
   return 0;
 }
