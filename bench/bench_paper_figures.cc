@@ -35,7 +35,7 @@ void Fig1() {
   std::printf("%s", inst.system->ToString().c_str());
   auto report = TwoSiteSafetyTest(inst.system->txn(0), inst.system->txn(1));
   std::printf("verdict: %s (%s)\n", SafetyVerdictName(report->verdict),
-              report->method.c_str());
+              DecisionMethodName(report->method));
   std::printf("D(T1,T2): %s\n",
               ConflictGraphToString(report->d, *inst.db).c_str());
   std::printf("witness schedule: %s\n",

@@ -44,7 +44,7 @@ int main() {
   // connected — in O(n^2).
   PairSafetyReport report = AnalyzePairSafety(t1, t2);
   std::printf("verdict: %s (method: %s, %d sites)\n",
-              SafetyVerdictName(report.verdict), report.method.c_str(),
+              SafetyVerdictName(report.verdict), DecisionMethodName(report.method),
               report.sites_spanned);
   std::printf("D(T1,T2): %s\n",
               ConflictGraphToString(report.d, db).c_str());
@@ -70,6 +70,6 @@ int main() {
 
   PairSafetyReport fixed = AnalyzePairSafety(t1_fixed, t1_fixed);
   std::printf("\nafter adding a lock point: %s (method: %s)\n",
-              SafetyVerdictName(fixed.verdict), fixed.method.c_str());
+              SafetyVerdictName(fixed.verdict), DecisionMethodName(fixed.method));
   return 0;
 }

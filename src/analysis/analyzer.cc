@@ -64,7 +64,7 @@ Status AuditAnalysis(const TransactionSystem& system,
   for (int i = 0; i < system.NumTransactions(); ++i) {
     for (int j = i + 1; j < system.NumTransactions(); ++j) {
       PairSafetyReport report =
-          AnalyzePairSafety(system.txn(i), system.txn(j), options.safety);
+          AnalyzePairSafety(system.txn(i), system.txn(j), options);
       const char* expected_rule =
           report.verdict == SafetyVerdict::kSafe     ? "DL003"
           : report.verdict == SafetyVerdict::kUnsafe ? (report.sites_spanned <= 2 ? "DL002" : "DL004")

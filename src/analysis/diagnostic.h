@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "core/certificate.h"
+#include "core/decision/stats.h"
 #include "txn/step.h"
 
 namespace dislock {
@@ -66,6 +67,10 @@ struct AnalysisResult {
   std::vector<Diagnostic> diagnostics;
   /// Names of the passes that ran, in order.
   std::vector<std::string> passes_run;
+  /// DecisionPipeline statistics summed over every pair/system analysis the
+  /// run memoized (see AnalysisContext::PipelineTotals). Deterministic at
+  /// any thread count, like the diagnostics themselves.
+  PipelineStats pipeline;
 
   int Count(DiagSeverity severity) const;
   bool HasErrors() const { return Count(DiagSeverity::kError) > 0; }

@@ -117,7 +117,8 @@ std::string DiagnosticsToJson(const AnalysisResult& result,
     }
     out << "}";
   }
-  out << "], \"summary\": {\"errors\": " << result.Count(DiagSeverity::kError)
+  out << "], \"pipeline\": " << PipelineStatsToJson(result.pipeline)
+      << ", \"summary\": {\"errors\": " << result.Count(DiagSeverity::kError)
       << ", \"warnings\": " << result.Count(DiagSeverity::kWarning)
       << ", \"notes\": " << result.Count(DiagSeverity::kNote) << "}}";
   return out.str();
@@ -156,7 +157,10 @@ std::string DiagnosticsToSarif(const AnalysisResult& result,
         << Quoted(LocationText(d.location, system))
         << ", \"kind\": \"object\"}]}]}";
   }
-  out << "]}]}";
+  // The per-stage DecisionPipeline counters ride along as a run-level
+  // property bag (SARIF's extension point for tool-specific data).
+  out << "], \"properties\": {\"pipeline\": "
+      << PipelineStatsToJson(result.pipeline) << "}}]}";
   return out.str();
 }
 

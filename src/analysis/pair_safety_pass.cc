@@ -43,7 +43,7 @@ class PairSafetyPass : public AnalysisPass {
       case SafetyVerdict::kSafe:
         d.severity = DiagSeverity::kNote;
         d.rule = "DL003";
-        if (report.method == "theorem-1") {
+        if (report.method == DecisionMethod::kTheorem1) {
           d.message = StrCat(
               "pair ", PairName(system, i, j), " is safe: D(T1,T2) = [",
               d_text, "] is strongly connected (Theorem 1; holds at any "
@@ -51,7 +51,7 @@ class PairSafetyPass : public AnalysisPass {
         } else {
           d.message = StrCat(
               "pair ", PairName(system, i, j), " is safe (method: ",
-              report.method, "): ", report.detail);
+              DecisionMethodName(report.method), "): ", report.detail);
         }
         break;
       case SafetyVerdict::kUnsafe:
@@ -63,7 +63,7 @@ class PairSafetyPass : public AnalysisPass {
         d.message = StrCat(
             "pair ", PairName(system, i, j), " spanning ",
             report.sites_spanned, " site(s) is UNSAFE (method: ",
-            report.method, "): D(T1,T2) = [", d_text,
+            DecisionMethodName(report.method), "): D(T1,T2) = [", d_text,
             "] is not strongly connected; a legal non-serializable "
             "schedule exists (certificate attached)");
         d.fix_hint = StrCat(
@@ -85,7 +85,7 @@ class PairSafetyPass : public AnalysisPass {
             " site(s) could not be decided within budget (this regime is "
             "coNP-complete, Theorem 3): ", report.detail);
         d.fix_hint =
-            "raise SafetyOptions budgets (max_dominators, "
+            "raise EngineConfig budgets (max_dominators, max_sat_decisions, "
             "max_extension_pairs) or reduce the number of sites the pair "
             "spans";
         break;

@@ -16,7 +16,7 @@ const PairSafetyReport& AnalysisContext::PairReport(int i, int j) {
     it = pair_cache_
              .emplace(std::make_pair(i, j),
                       AnalyzePairSafety(system_.txn(i), system_.txn(j),
-                                        options_.safety))
+                                        &engine_))
              .first;
   }
   return it->second;
@@ -24,14 +24,18 @@ const PairSafetyReport& AnalysisContext::PairReport(int i, int j) {
 
 const MultiSafetyReport& AnalysisContext::MultiReport() {
   if (!multi_cache_.has_value()) {
-    MultiSafetyOptions multi;
-    multi.pair_options = options_.safety;
-    multi.max_cycles = options_.max_cycles;
-    multi.num_threads = options_.num_threads;
-    multi.cache = options_.verdict_cache;
-    multi_cache_ = AnalyzeMultiSafety(system_, multi);
+    multi_cache_ = AnalyzeMultiSafety(system_, &engine_);
   }
   return *multi_cache_;
+}
+
+PipelineStats AnalysisContext::PipelineTotals() const {
+  PipelineStats totals;
+  for (const auto& [pair, report] : pair_cache_) {
+    totals.Add(report.pipeline);
+  }
+  if (multi_cache_.has_value()) totals.Add(multi_cache_->pipeline);
+  return totals;
 }
 
 namespace {
@@ -114,6 +118,7 @@ AnalysisResult PassManager::Run(const TransactionSystem& system,
     pass->Run(&ctx, &result.diagnostics);
     result.passes_run.emplace_back(pass->name());
   }
+  result.pipeline = ctx.PipelineTotals();
   return result;
 }
 

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "analysis/diagnostic.h"
+#include "core/decision/context.h"
 #include "core/multi.h"
 #include "core/safety.h"
 #include "txn/system.h"
@@ -16,35 +17,28 @@
 
 namespace dislock {
 
-/// Tuning for a PassManager run.
-struct AnalysisOptions {
-  /// Budgets for the per-pair decision procedure (dominator enumeration,
-  /// Lemma 1 fallback).
-  SafetyOptions safety;
-  /// Cap on the Proposition 2 cycle enumeration of the system-safety pass.
-  int64_t max_cycles = 1 << 14;
-  /// Worker threads for the system-safety pass's parallel engine (pair
-  /// tests and cycle checks). 1 = serial, 0 = one per hardware thread.
-  /// Diagnostics are bit-identical at any thread count (see
-  /// AnalyzeMultiSafety).
-  int num_threads = 1;
-  /// Optional pair-verdict memo shared across analyses; not owned.
-  PairVerdictCache* verdict_cache = nullptr;
-};
+/// Tuning for a PassManager run. Historically a struct of its own wrapping
+/// a nested SafetyOptions (`.safety`) plus cycle/thread/cache knobs
+/// (`.verdict_cache`); all of it is now the one flat EngineConfig
+/// (core/decision/config.h), so a single config flows unchanged from a tool
+/// flag down into every pipeline stage.
+using AnalysisOptions = EngineConfig;
 
-/// Shared state handed to every pass: the system under analysis plus
-/// memoized results of the expensive decision procedures, so that e.g. the
-/// pair-safety pass and the system-safety pass never re-run
-/// AnalyzePairSafety on the same pair.
+/// Shared state handed to every pass: the system under analysis, the
+/// EngineContext owning the run's thread pool / verdict cache /
+/// cancellation token, and memoized results of the expensive decision
+/// procedures, so that e.g. the pair-safety pass and the system-safety pass
+/// never re-run AnalyzePairSafety on the same pair.
 class AnalysisContext {
  public:
   AnalysisContext(const TransactionSystem& system,
                   const AnalysisOptions& options)
-      : system_(system), options_(options) {}
+      : system_(system), engine_(options) {}
 
   const TransactionSystem& system() const { return system_; }
   const DistributedDatabase& db() const { return system_.db(); }
-  const AnalysisOptions& options() const { return options_; }
+  const AnalysisOptions& options() const { return engine_.config(); }
+  EngineContext* engine() { return &engine_; }
 
   /// The (cached) AnalyzePairSafety report for the unordered pair {i, j}.
   const PairSafetyReport& PairReport(int i, int j);
@@ -52,9 +46,13 @@ class AnalysisContext {
   /// The (cached) Proposition 2 report for the whole system.
   const MultiSafetyReport& MultiReport();
 
+  /// Sum of the DecisionPipeline statistics over every memoized analysis
+  /// (each distinct pair report, plus the multi report's aggregate).
+  PipelineStats PipelineTotals() const;
+
  private:
   const TransactionSystem& system_;
-  const AnalysisOptions& options_;
+  EngineContext engine_;
   std::map<std::pair<int, int>, PairSafetyReport> pair_cache_;
   std::optional<MultiSafetyReport> multi_cache_;
 };

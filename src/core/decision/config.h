@@ -1,0 +1,64 @@
+#ifndef DISLOCK_CORE_DECISION_CONFIG_H_
+#define DISLOCK_CORE_DECISION_CONFIG_H_
+
+#include <cstdint>
+
+namespace dislock {
+
+class PairVerdictCache;
+
+/// The one tuning struct of the decision engine. It replaces the formerly
+/// duplicated SafetyOptions / MultiSafetyOptions / AnalysisOptions trio
+/// (those names survive as aliases of this type), so a single config flows
+/// unchanged from a tool flag through the analysis passes into every
+/// pipeline stage.
+struct EngineConfig {
+  // ---- Per-pair stage budgets (the DecisionPipeline) ----
+
+  /// Budget for the Lemma 1 brute-force stage (pairs of linear
+  /// extensions); 0 disables the stage.
+  int64_t max_extension_pairs = 1 << 20;
+
+  /// How many dominators the Corollary 2 closure stage enumerates on pairs
+  /// spanning three or more sites. When the enumeration is complete (the
+  /// pair has at most this many dominators) the closure loop decides safety
+  /// EXACTLY — this knob is the "2^n" of the coNP-complete regime.
+  int64_t max_dominators = 1024;
+
+  /// Cumulative DPLL decision budget for the SAT-exhaustive stage, which
+  /// routes src/sat/ (cnf + solver) into the >= 3-site fallback: dominators
+  /// of D are enumerated as models of a predecessor-closure CNF and each
+  /// model's closure is tested. 0 disables the stage (restoring the
+  /// pre-pipeline cascade exactly).
+  int64_t max_sat_decisions = 1 << 20;
+
+  // ---- System-level budgets (Proposition 2 / AnalyzeMultiSafety) ----
+
+  /// Cap on the number of directed cycles of G examined by condition (b).
+  int64_t max_cycles = 1 << 14;
+
+  /// Include directed 2-cycles (Ti, Tj) in condition (b). The pairwise test
+  /// of condition (a) already decides pairs exactly, so the default skips
+  /// them; enabling is useful for experiments.
+  bool include_two_cycles = false;
+
+  // ---- Execution ----
+
+  /// Worker threads for the parallel engine (pair tests, cycle checks, the
+  /// per-pair dominator fan-out). 1 = serial (default), 0 = one per
+  /// hardware thread. Reports are bit-identical at any thread count.
+  int num_threads = 1;
+
+  /// Optional external pair-verdict memo shared across analyses; not
+  /// owned. Overrides enable_cache.
+  PairVerdictCache* cache = nullptr;
+
+  /// When true and `cache` is null, the EngineContext owns a private
+  /// PairVerdictCache for the lifetime of the context (what the tools'
+  /// --cache flag toggles).
+  bool enable_cache = false;
+};
+
+}  // namespace dislock
+
+#endif  // DISLOCK_CORE_DECISION_CONFIG_H_

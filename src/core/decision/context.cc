@@ -1,0 +1,34 @@
+#include "core/decision/context.h"
+
+#include "core/verdict_cache.h"
+
+namespace dislock {
+
+EngineContext::EngineContext(const EngineConfig& config) : config_(config) {}
+
+EngineContext::~EngineContext() = default;
+
+int EngineContext::EffectiveThreads() const {
+  return config_.num_threads <= 0 ? ThreadPool::HardwareThreads()
+                                  : config_.num_threads;
+}
+
+ThreadPool* EngineContext::pool() {
+  const int threads = EffectiveThreads();
+  if (threads <= 1) return nullptr;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (pool_ == nullptr) pool_ = std::make_unique<ThreadPool>(threads);
+  return pool_.get();
+}
+
+PairVerdictCache* EngineContext::cache() {
+  if (config_.cache != nullptr) return config_.cache;
+  if (!config_.enable_cache) return nullptr;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (owned_cache_ == nullptr) {
+    owned_cache_ = std::make_unique<PairVerdictCache>();
+  }
+  return owned_cache_.get();
+}
+
+}  // namespace dislock

@@ -1,0 +1,62 @@
+#ifndef DISLOCK_CORE_DECISION_CONTEXT_H_
+#define DISLOCK_CORE_DECISION_CONTEXT_H_
+
+#include <memory>
+#include <mutex>
+
+#include "core/decision/config.h"
+#include "util/thread_pool.h"
+
+namespace dislock {
+
+class PairVerdictCache;
+
+/// Execution state shared by every decision made under one configuration:
+/// the config itself, a lazily created work-stealing ThreadPool, an
+/// optional PairVerdictCache (borrowed from the config or owned here), and
+/// a CancellationToken the stages poll at safe points.
+///
+/// Before this class existed the pool was rebuilt per AnalyzePairSafety /
+/// AnalyzeMultiSafety call and the cache re-plumbed through three options
+/// structs; an EngineContext is created once per analysis session (CLI
+/// invocation, stress trial, bench case) and handed to every engine entry
+/// point. Determinism is unaffected: the engine's reductions are
+/// scheduling-independent, so sharing one pool cannot change any report.
+class EngineContext {
+ public:
+  explicit EngineContext(const EngineConfig& config = {});
+  ~EngineContext();
+
+  EngineContext(const EngineContext&) = delete;
+  EngineContext& operator=(const EngineContext&) = delete;
+
+  const EngineConfig& config() const { return config_; }
+
+  /// config().num_threads with 0 resolved to HardwareThreads().
+  int EffectiveThreads() const;
+
+  /// The shared pool, created on first use with EffectiveThreads() workers;
+  /// nullptr when EffectiveThreads() <= 1 (serial engine — no pool needed).
+  ThreadPool* pool();
+
+  /// The verdict cache to consult: config().cache when set, else a
+  /// context-owned cache when config().enable_cache, else nullptr.
+  PairVerdictCache* cache();
+
+  /// Cooperative cancellation for long-running stages. Cancel() makes the
+  /// pipeline skip not-yet-attempted stages and in-flight stages return
+  /// undecided at their next safe point; the report then lands on
+  /// kUnknown rather than a partial (potentially wrong) verdict.
+  CancellationToken* cancel_token() { return &cancel_; }
+
+ private:
+  EngineConfig config_;
+  std::mutex mu_;  ///< guards lazy pool/cache creation
+  std::unique_ptr<ThreadPool> pool_;
+  std::unique_ptr<PairVerdictCache> owned_cache_;
+  CancellationToken cancel_;
+};
+
+}  // namespace dislock
+
+#endif  // DISLOCK_CORE_DECISION_CONTEXT_H_

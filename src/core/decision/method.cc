@@ -1,0 +1,43 @@
+#include "core/decision/method.h"
+
+#include "core/decision/stats.h"
+
+namespace dislock {
+
+const char* DecisionMethodName(DecisionMethod method) {
+  switch (method) {
+    case DecisionMethod::kNone:
+      return "none";
+    case DecisionMethod::kTheorem1:
+      return "theorem-1";
+    case DecisionMethod::kTheorem2:
+      return "theorem-2";
+    case DecisionMethod::kCorollary2:
+      return "corollary-2";
+    case DecisionMethod::kDominatorClosure:
+      return "dominator-closure";
+    case DecisionMethod::kSatExhaustive:
+      return "sat-exhaustive";
+    case DecisionMethod::kExhaustive:
+      return "exhaustive";
+  }
+  return "?";
+}
+
+const char* DecisionStageName(DecisionStageId stage) {
+  switch (stage) {
+    case DecisionStageId::kTheorem1Scc:
+      return "theorem1-scc";
+    case DecisionStageId::kTheorem2TwoSite:
+      return "theorem2-two-site";
+    case DecisionStageId::kCorollary2Closure:
+      return "corollary2-closure";
+    case DecisionStageId::kSatExhaustive:
+      return "sat-exhaustive";
+    case DecisionStageId::kBruteForceLemma1:
+      return "brute-force-lemma1";
+  }
+  return "?";
+}
+
+}  // namespace dislock

@@ -8,6 +8,7 @@
 #include <string>
 #include <unordered_map>
 
+#include "core/decision/context.h"
 #include "core/verdict_cache.h"
 #include "graph/cycles.h"
 #include "util/string_util.h"
@@ -22,10 +23,6 @@ namespace {
 std::vector<EntityId> CommonLocked(const Transaction& a,
                                    const Transaction& b) {
   return ConflictingEntities(a, b);
-}
-
-int EffectiveThreads(int num_threads) {
-  return num_threads <= 0 ? ThreadPool::HardwareThreads() : num_threads;
 }
 
 /// Atomically lowers `target` to `idx` if `idx` is smaller.
@@ -124,9 +121,16 @@ Digraph BuildCycleGraph(const TransactionSystem& system,
 
 MultiSafetyReport AnalyzeMultiSafety(const TransactionSystem& system,
                                      const MultiSafetyOptions& options) {
+  EngineContext ctx(options);
+  return AnalyzeMultiSafety(system, &ctx);
+}
+
+MultiSafetyReport AnalyzeMultiSafety(const TransactionSystem& system,
+                                     EngineContext* ctx) {
+  const MultiSafetyOptions& options = ctx->config();
   MultiSafetyReport report;
   const int k = system.NumTransactions();
-  const int threads = EffectiveThreads(options.num_threads);
+  PairVerdictCache* cache = ctx->cache();
 
   // The conflict graph G drives both conditions: its arcs are exactly the
   // conflicting pairs of condition (a), and its directed cycles are the
@@ -148,7 +152,7 @@ MultiSafetyReport AnalyzeMultiSafety(const TransactionSystem& system,
   // is a singleton group and this degenerates to the plain pairwise scan.
   std::vector<PairGroup> groups;
   std::vector<int> group_of(pairs.size());
-  if (options.cache != nullptr) {
+  if (cache != nullptr) {
     std::unordered_map<std::string, int> group_index;
     for (size_t p = 0; p < pairs.size(); ++p) {
       std::string fp = PairFingerprint(system.txn(pairs[p].first),
@@ -160,7 +164,7 @@ MultiSafetyReport AnalyzeMultiSafety(const TransactionSystem& system,
         group.rep = pairs[p];
         group.rep_scan_index = p;
         group.fingerprint = it->first;
-        auto cached = options.cache->Lookup(it->first);
+        auto cached = cache->Lookup(it->first);
         group.cached_safe =
             cached.has_value() && cached->verdict == SafetyVerdict::kSafe;
         groups.push_back(std::move(group));
@@ -188,26 +192,27 @@ MultiSafetyReport AnalyzeMultiSafety(const TransactionSystem& system,
   for (size_t gi = 0; gi < groups.size(); ++gi) {
     if (!groups[gi].cached_safe) to_run.push_back(gi);
   }
-  SafetyOptions pair_options = options.pair_options;
-  if (threads > 1) {
+  ThreadPool* pool = ctx->pool();
+  EngineConfig pair_config = options;
+  pair_config.cache = nullptr;
+  pair_config.enable_cache = false;
+  if (pool != nullptr) {
     // The pair fan-out owns the pool; nested per-pair dominator
     // parallelism would oversubscribe the workers.
-    pair_options.num_threads = 1;
+    pair_config.num_threads = 1;
   }
   auto run_group = [&](PairGroup* group) {
     group->report = AnalyzePairSafety(system.txn(group->rep.first),
                                       system.txn(group->rep.second),
-                                      pair_options);
+                                      pair_config);
     group->ran = true;
   };
-  if (threads > 1 && to_run.size() > 1) {
+  if (pool != nullptr && to_run.size() > 1) {
     std::atomic<size_t> first_failing_scan_index{pairs.size()};
-    ThreadPool pool(
-        static_cast<int>(std::min<size_t>(threads, to_run.size())));
     std::vector<std::future<void>> futures;
     futures.reserve(to_run.size());
     for (size_t gi : to_run) {
-      futures.push_back(pool.Submit([&, gi] {
+      futures.push_back(pool->Submit([&, gi] {
         PairGroup* group = &groups[gi];
         if (group->rep_scan_index >
             first_failing_scan_index.load(std::memory_order_acquire)) {
@@ -230,8 +235,9 @@ MultiSafetyReport AnalyzeMultiSafety(const TransactionSystem& system,
   }
 
   // Deterministic reduction: replay the serial memoized scan over the
-  // computed group verdicts to reconstruct the counters and find the
-  // lexicographically-first failing pair.
+  // computed group verdicts to reconstruct the counters (including the
+  // aggregated pipeline statistics) and find the lexicographically-first
+  // failing pair.
   std::optional<size_t> failing_group;
   {
     std::vector<bool> group_seen(groups.size(), false);
@@ -247,8 +253,9 @@ MultiSafetyReport AnalyzeMultiSafety(const TransactionSystem& system,
       ++report.pairs_checked;
       // p is this group's first member, i.e. its representative.
       DISLOCK_CHECK(group.ran);
-      if (options.cache != nullptr) {
-        options.cache->Insert(group.fingerprint, group.report);
+      report.pipeline.Add(group.report.pipeline);
+      if (cache != nullptr) {
+        cache->Insert(group.fingerprint, group.report);
       }
       if (group.report.verdict != SafetyVerdict::kSafe) {
         failing_group = static_cast<size_t>(group_of[p]);
@@ -278,28 +285,24 @@ MultiSafetyReport AnalyzeMultiSafety(const TransactionSystem& system,
 
   // Index (in enumeration order) of the first cycle whose B_c is acyclic.
   size_t first_acyclic = to_check.size();
-  if (threads > 1 && to_check.size() > 1) {
+  if (pool != nullptr && to_check.size() > 1) {
     // Cycles are cheap relative to task dispatch, so they are checked in
     // chunks; cancellation is re-checked per cycle inside a chunk.
     constexpr size_t kChunk = 16;
     std::atomic<size_t> first_failing{to_check.size()};
-    {
-      ThreadPool pool(static_cast<int>(std::min<size_t>(
-          threads, (to_check.size() + kChunk - 1) / kChunk)));
-      std::vector<std::future<void>> futures;
-      for (size_t begin = 0; begin < to_check.size(); begin += kChunk) {
-        size_t end = std::min(begin + kChunk, to_check.size());
-        futures.push_back(pool.Submit([&, begin, end] {
-          for (size_t c = begin; c < end; ++c) {
-            if (c > first_failing.load(std::memory_order_acquire)) return;
-            if (!HasCycle(BuildCycleGraph(system, to_check[c]))) {
-              AtomicMin(&first_failing, c);
-            }
+    std::vector<std::future<void>> futures;
+    for (size_t begin = 0; begin < to_check.size(); begin += kChunk) {
+      size_t end = std::min(begin + kChunk, to_check.size());
+      futures.push_back(pool->Submit([&, begin, end] {
+        for (size_t c = begin; c < end; ++c) {
+          if (c > first_failing.load(std::memory_order_acquire)) return;
+          if (!HasCycle(BuildCycleGraph(system, to_check[c]))) {
+            AtomicMin(&first_failing, c);
           }
-        }));
-      }
-      for (auto& f : futures) f.get();
+        }
+      }));
     }
+    for (auto& f : futures) f.get();
     first_acyclic = first_failing.load(std::memory_order_acquire);
   } else {
     for (size_t c = 0; c < to_check.size(); ++c) {

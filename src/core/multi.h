@@ -12,6 +12,8 @@
 
 namespace dislock {
 
+class EngineContext;
+
 /// The transaction conflict graph G of Section 6: one vertex per
 /// transaction, an (undirected) edge [Ti, Tj] iff Ti and Tj lock-unlock a
 /// common entity. Represented as a symmetric digraph so directed traversals
@@ -34,8 +36,6 @@ struct BijkNodeKey {
   auto operator<=>(const BijkNodeKey&) const = default;
 };
 
-class PairVerdictCache;
-
 /// Result of the Proposition 2 analysis.
 struct MultiSafetyReport {
   SafetyVerdict verdict = SafetyVerdict::kUnknown;
@@ -53,28 +53,17 @@ struct MultiSafetyReport {
   /// True when the cycle enumeration hit its cap (verdict degraded to
   /// kUnknown if everything else passed).
   bool cycle_budget_exhausted = false;
+  /// DecisionPipeline statistics summed over the pairs_checked pairs (cache
+  /// hits contribute nothing — no pipeline ran for them). Aggregated in the
+  /// deterministic serial-replay order, so like every other field it is
+  /// bit-identical at any thread count.
+  PipelineStats pipeline;
 };
 
-/// Options for AnalyzeMultiSafety.
-struct MultiSafetyOptions {
-  SafetyOptions pair_options;
-  /// Cap on the number of directed cycles of G examined.
-  int64_t max_cycles = 1 << 14;
-  /// Include directed 2-cycles (Ti, Tj) in condition (b). The pairwise test
-  /// of condition (a) already decides pairs exactly, so the default skips
-  /// them; enabling is useful for experiments.
-  bool include_two_cycles = false;
-  /// Worker threads for the condition (a) pair tests and condition (b)
-  /// cycle checks. 1 = serial (default), 0 = one per hardware thread. Any
-  /// thread count yields a bit-identical report (see AnalyzeMultiSafety).
-  int num_threads = 1;
-  /// Optional memo of pair verdicts keyed by structural fingerprint
-  /// (core/verdict_cache.h). Structurally identical pairs — ubiquitous in
-  /// generated ring/dense workloads — are decided once; later pairs whose
-  /// fingerprint hit a SAFE entry are skipped and counted in pairs_cached.
-  /// The cache may be shared across calls (and threads). Not owned.
-  PairVerdictCache* cache = nullptr;
-};
+/// Historically a separate struct wrapping a nested SafetyOptions
+/// (`.pair_options`) plus cycle/thread/cache knobs; all of it now lives
+/// flat in the one EngineConfig (core/decision/config.h).
+using MultiSafetyOptions = EngineConfig;
 
 /// Proposition 2: a system T is safe iff (a) every two-transaction
 /// subsystem is safe, and (b) for each directed cycle c of G the union B_c
@@ -83,7 +72,7 @@ struct MultiSafetyOptions {
 /// Testing (b) is itself coNP-complete in the number of transactions (it
 /// already is in the centralized case), so the cycle enumeration is capped.
 ///
-/// Determinism: the report is a pure function of (system, options) minus
+/// Determinism: the report is a pure function of (system, config) minus
 /// num_threads — parallel runs reduce to the lexicographically-first
 /// failing pair (respectively the first failing cycle in enumeration
 /// order), which is exactly what the serial scan reports, and the work
@@ -92,6 +81,11 @@ struct MultiSafetyOptions {
 /// serial scan would not have reached.
 MultiSafetyReport AnalyzeMultiSafety(const TransactionSystem& system,
                                      const MultiSafetyOptions& options = {});
+
+/// As above but sharing an existing EngineContext (thread pool, verdict
+/// cache, cancellation token) across many calls.
+MultiSafetyReport AnalyzeMultiSafety(const TransactionSystem& system,
+                                     EngineContext* ctx);
 
 /// Builds B_c for a directed cycle (sequence of transaction indices,
 /// traversed cyclically) — exposed for tests and experiments.

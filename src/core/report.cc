@@ -77,17 +77,36 @@ std::string CertificateToJson(const UnsafetyCertificate& cert,
   return out.str();
 }
 
+std::string PipelineStatsToJson(const PipelineStats& stats) {
+  std::ostringstream out;
+  out << "[";
+  for (int i = 0; i < kNumDecisionStages; ++i) {
+    const StageCounters& c = stats.stages[static_cast<size_t>(i)];
+    if (i > 0) out << ", ";
+    out << "{\"stage\": "
+        << Quoted(DecisionStageName(static_cast<DecisionStageId>(i)))
+        << ", \"attempts\": " << c.attempts
+        << ", \"decided\": " << c.decided << ", \"skipped\": " << c.skipped
+        << ", \"budget_exhausted\": " << c.budget_exhausted
+        << ", \"work\": " << c.work << "}";
+  }
+  out << "]";
+  return out.str();
+}
+
 std::string PairReportToJson(const PairSafetyReport& report,
                              const DistributedDatabase& db) {
   std::ostringstream out;
   out << "{\"verdict\": " << Quoted(SafetyVerdictName(report.verdict))
-      << ", \"method\": " << Quoted(report.method)
+      << ", \"method\": " << Quoted(DecisionMethodName(report.method))
       << ", \"sites\": " << report.sites_spanned
       << ", \"d_nodes\": " << report.d.graph.NumNodes()
       << ", \"d_arcs\": " << report.d.graph.NumArcs()
       << ", \"d_strongly_connected\": "
       << (report.d_strongly_connected ? "true" : "false")
-      << ", \"detail\": " << Quoted(report.detail) << ", \"certificate\": ";
+      << ", \"detail\": " << Quoted(report.detail)
+      << ", \"pipeline\": " << PipelineStatsToJson(report.pipeline)
+      << ", \"certificate\": ";
   if (report.certificate.has_value()) {
     out << CertificateToJson(*report.certificate, db);
   } else {
@@ -123,7 +142,7 @@ std::string MultiReportToJson(const MultiSafetyReport& report,
   } else {
     out << "null";
   }
-  out << "}";
+  out << ", \"pipeline\": " << PipelineStatsToJson(report.pipeline) << "}";
   return out.str();
 }
 
@@ -156,8 +175,8 @@ std::string PairReportToText(const PairSafetyReport& report,
                              const DistributedDatabase& db) {
   std::ostringstream out;
   out << "verdict: " << SafetyVerdictName(report.verdict)
-      << " (method: " << report.method << ", " << report.sites_spanned
-      << " site(s))\n";
+      << " (method: " << DecisionMethodName(report.method) << ", "
+      << report.sites_spanned << " site(s))\n";
   out << "D(T1,T2): " << ConflictGraphToString(report.d, db) << "\n";
   if (!report.detail.empty()) out << "detail: " << report.detail << "\n";
   if (report.certificate.has_value()) {

@@ -23,15 +23,23 @@ std::string JsonEscape(const std::string& s);
 std::string CertificateToJson(const UnsafetyCertificate& cert,
                               const DistributedDatabase& db);
 
+/// [{"stage": "theorem1-scc", "attempts": n, "decided": n, "skipped": n,
+///   "budget_exhausted": n, "work": n}, ...] — one entry per registered
+/// DecisionPipeline stage, in pipeline order. Wall-clock is deliberately
+/// omitted: every field of the JSON reports is deterministic (bit-identical
+/// across runs and thread counts); timing goes to the bench tables instead.
+std::string PipelineStatsToJson(const PipelineStats& stats);
+
 /// {"verdict": "...", "method": "...", "sites": n, "d_nodes": n,
 ///  "d_arcs": n, "d_strongly_connected": b, "detail": "...",
-///  "certificate": {...} | null}
+///  "pipeline": [...], "certificate": {...} | null}
 std::string PairReportToJson(const PairSafetyReport& report,
                              const DistributedDatabase& db);
 
 /// {"verdict": "...", "pairs_checked": n, "pairs_cached": n,
 /// "cycles_checked": n,
-///  "failing_pair": [i, j] | null, "failing_cycle": [...] | null}
+///  "failing_pair": [i, j] | null, "failing_cycle": [...] | null,
+///  "pipeline": [...]}
 std::string MultiReportToJson(const MultiSafetyReport& report,
                               const TransactionSystem& system);
 

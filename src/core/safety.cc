@@ -1,16 +1,10 @@
 #include "core/safety.h"
 
-#include <algorithm>
-#include <atomic>
-#include <future>
-#include <limits>
-#include <vector>
-
-#include "core/closure.h"
+#include "core/decision/context.h"
+#include "core/decision/pipeline.h"
 #include "graph/dominator.h"
 #include "graph/scc.h"
 #include "util/string_util.h"
-#include "util/thread_pool.h"
 
 namespace dislock {
 
@@ -67,7 +61,7 @@ Result<PairSafetyReport> TwoSiteSafetyTest(const Transaction& t1,
   report.d_strongly_connected = IsStronglyConnected(report.d.graph);
   if (report.d_strongly_connected) {
     report.verdict = SafetyVerdict::kSafe;
-    report.method = "theorem-2";
+    report.method = DecisionMethod::kTheorem2;
     report.detail = "D(T1,T2) is strongly connected";
     return report;
   }
@@ -85,7 +79,7 @@ Result<PairSafetyReport> TwoSiteSafetyTest(const Transaction& t1,
         cert.status().ToString());
   }
   report.verdict = SafetyVerdict::kUnsafe;
-  report.method = "theorem-2";
+  report.method = DecisionMethod::kTheorem2;
   report.detail = "D(T1,T2) is not strongly connected";
   report.certificate = std::move(cert).value();
   return report;
@@ -93,164 +87,15 @@ Result<PairSafetyReport> TwoSiteSafetyTest(const Transaction& t1,
 
 PairSafetyReport AnalyzePairSafety(const Transaction& t1,
                                    const Transaction& t2,
-                                   const SafetyOptions& options) {
-  PairSafetyReport report;
-  report.sites_spanned = SitesSpanned(t1, t2);
-  report.d = BuildConflictGraph(t1, t2);
-  report.d_strongly_connected = IsStronglyConnected(report.d.graph);
+                                   const EngineConfig& config) {
+  EngineContext ctx(config);
+  return AnalyzePairSafety(t1, t2, &ctx);
+}
 
-  // 1. Theorem 1 (any number of sites).
-  if (report.d_strongly_connected) {
-    report.verdict = SafetyVerdict::kSafe;
-    report.method = "theorem-1";
-    report.detail = "D(T1,T2) is strongly connected";
-    return report;
-  }
-
-  // 2. Theorem 2 (complete at <= 2 sites).
-  if (report.sites_spanned <= 2) {
-    auto two_site = TwoSiteSafetyTest(t1, t2);
-    if (two_site.ok()) return std::move(two_site).value();
-    report.verdict = SafetyVerdict::kUnknown;
-    report.detail = two_site.status().ToString();
-    return report;
-  }
-
-  // 3. The dominator-closure loop (see header): complete when the
-  //    enumeration covers all dominators and every failure is a proof.
-  //    The per-dominator closure runs are independent, so with
-  //    options.num_threads > 1 they fan out over a work-stealing pool; the
-  //    reduction picks the first certifying dominator in enumeration order
-  //    (exactly what the serial scan reports) and cancels dominators past
-  //    it, so the report is bit-identical at any thread count.
-  {
-    std::vector<std::vector<NodeId>> dominators =
-        AllDominators(report.d.graph, options.max_dominators + 1);
-    bool enumeration_complete =
-        static_cast<int64_t>(dominators.size()) <= options.max_dominators;
-    if (!enumeration_complete) dominators.pop_back();
-
-    enum class Outcome {
-      kProof,      // closure contradiction: X provably certifies nothing
-      kUnproven,   // closure failed without a proof, or certificate failed
-      kCertified,  // closed w.r.t. X and the certificate verified
-    };
-    struct DominatorResult {
-      Outcome outcome = Outcome::kUnproven;
-      std::optional<UnsafetyCertificate> certificate;
-    };
-    auto evaluate =
-        [&](const std::vector<NodeId>& dom_nodes) -> DominatorResult {
-      std::vector<EntityId> x = report.d.EntitiesOf(dom_nodes);
-      auto closed = CloseWithRespectTo(t1, t2, x);
-      if (!closed.ok()) {
-        // kUndecided from the closure is a PROOF that X cannot certify
-        // unsafety (the contradiction holds in every extension pair).
-        return {closed.status().code() == StatusCode::kUndecided
-                    ? Outcome::kProof
-                    : Outcome::kUnproven,
-                std::nullopt};
-      }
-      // Closed with respect to a dominator: Corollary 2 says unsafe;
-      // construct and verify the certificate.
-      auto cert = BuildUnsafetyCertificate(t1, t2, x);
-      if (!cert.ok()) return {Outcome::kUnproven, std::nullopt};
-      return {Outcome::kCertified, std::move(cert).value()};
-    };
-    auto report_certified = [&](DominatorResult result) {
-      report.verdict = SafetyVerdict::kUnsafe;
-      report.method = "corollary-2";
-      report.detail = "system closes with respect to a dominator of D";
-      report.certificate = std::move(result.certificate);
-      return report;
-    };
-
-    const size_t count = dominators.size();
-    const int threads =
-        options.num_threads <= 0 ? ThreadPool::HardwareThreads()
-                                 : options.num_threads;
-    bool all_failures_proven = true;
-    if (threads > 1 && count > 1) {
-      std::vector<DominatorResult> results(count);
-      // Indices past the first certifying one are cancelled; their slots
-      // stay kUnproven but are never consulted by the reduction.
-      std::atomic<size_t> first_certified{count};
-      {
-        ThreadPool pool(
-            static_cast<int>(std::min<size_t>(threads, count)));
-        std::vector<std::future<void>> futures;
-        futures.reserve(count);
-        for (size_t idx = 0; idx < count; ++idx) {
-          futures.push_back(pool.Submit([&, idx] {
-            if (idx > first_certified.load(std::memory_order_acquire)) {
-              return;  // a smaller index already certified
-            }
-            results[idx] = evaluate(dominators[idx]);
-            if (results[idx].outcome == Outcome::kCertified) {
-              size_t seen = first_certified.load(std::memory_order_acquire);
-              while (idx < seen &&
-                     !first_certified.compare_exchange_weak(
-                         seen, idx, std::memory_order_acq_rel)) {
-              }
-            }
-          }));
-        }
-        for (auto& f : futures) f.get();
-      }
-      size_t winner = first_certified.load(std::memory_order_acquire);
-      if (winner < count) {
-        return report_certified(std::move(results[winner]));
-      }
-      for (const DominatorResult& r : results) {
-        if (r.outcome != Outcome::kProof) all_failures_proven = false;
-      }
-    } else {
-      for (const auto& dom_nodes : dominators) {
-        DominatorResult result = evaluate(dom_nodes);
-        if (result.outcome == Outcome::kCertified) {
-          return report_certified(std::move(result));
-        }
-        if (result.outcome != Outcome::kProof) all_failures_proven = false;
-      }
-    }
-    if (enumeration_complete && all_failures_proven) {
-      report.verdict = SafetyVerdict::kSafe;
-      report.method = "dominator-closure";
-      report.detail = StrCat(
-          "all ", dominators.size(),
-          " dominators of D provably admit no closed extension pair");
-      return report;
-    }
-  }
-
-  // 4. Exhaustive Lemma 1 fallback.
-  if (options.max_extension_pairs > 0) {
-    auto exhaustive =
-        ExhaustivePairSafety(t1, t2, options.max_extension_pairs);
-    if (exhaustive.ok()) {
-      report.method = "exhaustive";
-      if (exhaustive.value().safe) {
-        report.verdict = SafetyVerdict::kSafe;
-        report.detail =
-            StrCat("all ", exhaustive.value().combinations_checked,
-                   " extension pairs are safe");
-      } else {
-        report.verdict = SafetyVerdict::kUnsafe;
-        report.certificate = std::move(exhaustive.value().certificate);
-        report.detail = "an unsafe pair of linear extensions exists";
-      }
-      return report;
-    }
-    report.detail = exhaustive.status().ToString();
-  }
-
-  // 5. The coNP-complete regime: undecided.
-  report.verdict = SafetyVerdict::kUnknown;
-  report.method = "none";
-  if (report.detail.empty()) {
-    report.detail = "three or more sites and exhaustive fallback disabled";
-  }
-  return report;
+PairSafetyReport AnalyzePairSafety(const Transaction& t1,
+                                   const Transaction& t2,
+                                   EngineContext* ctx) {
+  return DecisionPipeline::Default().Decide(t1, t2, ctx);
 }
 
 }  // namespace dislock

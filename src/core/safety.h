@@ -7,45 +7,35 @@
 #include "core/brute_force.h"
 #include "core/certificate.h"
 #include "core/conflict_graph.h"
+#include "core/decision/config.h"
+#include "core/decision/method.h"
+#include "core/decision/stats.h"
 #include "txn/transaction.h"
 #include "util/status.h"
 
 namespace dislock {
 
+class EngineContext;
+
 /// Three-valued safety answer. kUnknown arises only for pairs spanning
-/// three or more sites when the exhaustive fallback is disabled or over
+/// three or more sites when every fallback stage is disabled or over
 /// budget — the regime where the decision problem is coNP-complete
 /// (Theorem 3), so an efficient complete test cannot be expected.
 enum class SafetyVerdict { kSafe, kUnsafe, kUnknown };
 
 const char* SafetyVerdictName(SafetyVerdict v);
 
-/// Tuning knobs for AnalyzePairSafety.
-struct SafetyOptions {
-  /// Budget for the Lemma 1 exhaustive fallback (pairs of linear
-  /// extensions); 0 disables it.
-  int64_t max_extension_pairs = 1 << 20;
-  /// How many dominators to attempt for the Corollary 2 closure test on
-  /// pairs spanning three or more sites. When the enumeration is complete
-  /// (the pair has at most this many dominators) the closure loop decides
-  /// safety EXACTLY — see AnalyzePairSafety — so this knob is the "2^n" of
-  /// the coNP-complete regime.
-  int64_t max_dominators = 1024;
-  /// Worker threads for the dominator-closure loop on pairs spanning three
-  /// or more sites (the per-dominator closure runs are independent).
-  /// 1 = serial (default), 0 = one per hardware thread. The report is
-  /// bit-identical at any thread count: the reduction picks the first
-  /// certifying dominator in enumeration order, exactly as the serial loop
-  /// does.
-  int num_threads = 1;
-};
+/// Tuning knobs for the decision engine. Historically SafetyOptions,
+/// MultiSafetyOptions and AnalysisOptions were three separate structs
+/// duplicating these fields; all three are now the one EngineConfig
+/// (core/decision/config.h).
+using SafetyOptions = EngineConfig;
 
 /// Everything the analyzer can say about a pair.
 struct PairSafetyReport {
   SafetyVerdict verdict = SafetyVerdict::kUnknown;
-  /// Which result decided: "theorem-1", "theorem-2", "corollary-2",
-  /// "exhaustive", or "none".
-  std::string method = "none";
+  /// Which result decided (see core/decision/method.h).
+  DecisionMethod method = DecisionMethod::kNone;
   /// The conflict digraph D(T1, T2) of Definition 1.
   ConflictGraph d;
   bool d_strongly_connected = false;
@@ -54,6 +44,9 @@ struct PairSafetyReport {
   /// When unsafe: a verified certificate.
   std::optional<UnsafetyCertificate> certificate;
   std::string detail;
+  /// Per-stage counters of the DecisionPipeline run that produced this
+  /// report (attempts/decided/skipped/budget-exhausted/work per stage).
+  PipelineStats pipeline;
 };
 
 /// Number of distinct sites hosting entities touched by either transaction.
@@ -70,28 +63,21 @@ bool Theorem1Sufficient(const Transaction& t1, const Transaction& t2);
 Result<PairSafetyReport> TwoSiteSafetyTest(const Transaction& t1,
                                            const Transaction& t2);
 
-/// The general pair analyzer. Strategy, in order:
-///   1. Theorem 1: D strongly connected -> safe (any sites).
-///   2. <= 2 sites: Theorem 2 -> unsafe with certificate.
-///   3. >= 3 sites: the dominator-closure loop. For each dominator X of D,
-///      run the Lemma 2/3 closure:
-///        * closure converges -> Corollary 2 -> unsafe, with certificate;
-///        * closure derives a contradiction -> PROOF that no compatible
-///          pair of total orders is closed with respect to X (the forced
-///          precedences hold in every extension), so X certifies nothing.
-///      Every unsafe system has an unsafe extension pair (Lemma 1), whose
-///      D(t1,t2) has a dominator, with respect to which the pair is closed;
-///      that dominator is also a dominator of D(T1,T2) (extensions only add
-///      arcs over the same vertex set). Hence if the enumeration covered
-///      ALL dominators and every closure failed with a proof, the system is
-///      SAFE (method "dominator-closure"). The number of dominators can be
-///      exponential — this is exactly where Theorem 3's coNP-hardness
-///      lives (dominators of the reduction encode truth assignments).
-///   4. Exhaustive Lemma 1 fallback within options.max_extension_pairs.
-///   5. Otherwise kUnknown.
+/// The general pair analyzer: runs the default DecisionPipeline
+/// (core/decision/pipeline.h) — Theorem1Scc, Theorem2TwoSite,
+/// Corollary2Closure, SatExhaustive, BruteForceLemma1 — with early exit at
+/// the first stage that decides, recording per-stage statistics in
+/// PairSafetyReport::pipeline. See the pipeline header for the stage
+/// contract and docs/pipeline.md for the architecture.
 PairSafetyReport AnalyzePairSafety(const Transaction& t1,
                                    const Transaction& t2,
-                                   const SafetyOptions& options = {});
+                                   const EngineConfig& config = {});
+
+/// As above but sharing an existing EngineContext (thread pool, verdict
+/// cache, cancellation token) across many calls.
+PairSafetyReport AnalyzePairSafety(const Transaction& t1,
+                                   const Transaction& t2,
+                                   EngineContext* ctx);
 
 }  // namespace dislock
 

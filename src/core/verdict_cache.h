@@ -35,7 +35,7 @@ std::string PairFingerprint(const Transaction& t1, const Transaction& t2);
 /// the concrete pair when a caller needs one (see AnalyzeMultiSafety).
 struct CachedPairVerdict {
   SafetyVerdict verdict = SafetyVerdict::kUnknown;
-  std::string method = "none";
+  DecisionMethod method = DecisionMethod::kNone;
   int sites_spanned = 0;
 };
 

@@ -18,10 +18,12 @@
 ///                    analysis/analyzer.h (the pass-manager static
 ///                    analyzer over the results layer)
 ///   * results      — core/conflict_graph.h (Definition 1),
-///                    core/safety.h (Theorems 1-2, the dominator-closure
-///                    loop), core/closure.h (Lemmas 2-3, Definition 3),
-///                    core/certificate.h (the Theorem 2 construction),
-///                    core/brute_force.h (Lemma 1 oracles),
+///                    core/safety.h (Theorems 1-2 entry points),
+///                    core/decision/ (the tiered DecisionPipeline:
+///                    procedure.h, pipeline.h, config.h, context.h,
+///                    method.h, stats.h), core/closure.h (Lemmas 2-3,
+///                    Definition 3), core/certificate.h (the Theorem 2
+///                    construction), core/brute_force.h (Lemma 1 oracles),
 ///                    core/multi.h (Proposition 2), core/deadlock.h,
 ///                    core/policy.h, core/protocols.h, core/paper.h
 ///   * reduction    — sat/cnf.h, sat/solver.h, sat/normalize.h,
@@ -39,6 +41,12 @@
 #include "core/closure.h"
 #include "core/conflict_graph.h"
 #include "core/deadlock.h"
+#include "core/decision/config.h"
+#include "core/decision/context.h"
+#include "core/decision/method.h"
+#include "core/decision/pipeline.h"
+#include "core/decision/procedure.h"
+#include "core/decision/stats.h"
 #include "core/multi.h"
 #include "core/paper.h"
 #include "core/policy.h"

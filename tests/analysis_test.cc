@@ -190,10 +190,8 @@ TEST(PairSafetyPass, StronglyConnectedFig4GetsDl003) {
 
 TEST(PairSafetyPass, Fig5SafeViaDominatorClosureGetsDl003) {
   PaperInstance inst = MakeFig5Instance();
-  SafetyOptions safety;
-  safety.max_extension_pairs = 0;  // the closure proof must suffice
   AnalysisOptions options;
-  options.safety = safety;
+  options.max_extension_pairs = 0;  // the closure proof must suffice
   AnalysisResult result = AnalyzeSystem(*inst.system, options);
   auto notes = WithRule(result, "DL003");
   ASSERT_EQ(notes.size(), 1u);
@@ -228,8 +226,9 @@ TEST(PairSafetyPass, BudgetExhaustionGetsDl005Warning) {
   db.MustAddEntity("z", 2);
   TransactionSystem system = MakeThreeSiteUnsafeSystem(&db);
   AnalysisOptions options;
-  options.safety.max_dominators = 0;       // dominator loop can't finish
-  options.safety.max_extension_pairs = 0;  // no exhaustive fallback
+  options.max_dominators = 0;       // dominator loop can't finish
+  options.max_sat_decisions = 0;    // no SAT-guided enumeration either
+  options.max_extension_pairs = 0;  // no exhaustive fallback
   AnalysisResult result = AnalyzeSystem(system, options);
   auto warnings = WithRule(result, "DL005");
   ASSERT_EQ(warnings.size(), 1u) << DiagnosticsToText(result, system);

@@ -44,7 +44,7 @@ TEST_P(PairMatrix, AllDecisionPathsAgree) {
     auto oracle = ExhaustivePairSafety(t1, t2, 1 << 16);
     if (oracle.ok() && report.verdict != SafetyVerdict::kUnknown) {
       EXPECT_EQ(report.verdict == SafetyVerdict::kSafe, oracle->safe)
-          << "method=" << report.method << "\n"
+          << "method=" << DecisionMethodName(report.method) << "\n"
           << w.system->ToString();
     }
 
@@ -106,7 +106,7 @@ TEST_P(SystemMatrix, MultiAnalysisConsistentWithSampling) {
     Workload w = MakeRandomWorkload(params, &rng);
 
     MultiSafetyOptions options;
-    options.pair_options.max_extension_pairs = 1 << 15;
+    options.max_extension_pairs = 1 << 15;
     MultiSafetyReport report = AnalyzeMultiSafety(*w.system, options);
     if (report.verdict == SafetyVerdict::kSafe) {
       MonteCarloStats stats = SampleSafety(*w.system, 500, &rng,

@@ -212,7 +212,7 @@ TEST(Fig4, TheoremOneDecidesSafe) {
   PairSafetyReport report =
       AnalyzePairSafety(inst.system->txn(0), inst.system->txn(1));
   EXPECT_EQ(report.verdict, SafetyVerdict::kSafe);
-  EXPECT_EQ(report.method, "theorem-1");
+  EXPECT_EQ(report.method, DecisionMethod::kTheorem1);
   EXPECT_TRUE(report.d_strongly_connected);
 }
 
@@ -289,7 +289,7 @@ TEST(Fig5, AnalyzerDecidesSafeViaDominatorClosure) {
   PairSafetyReport report =
       AnalyzePairSafety(inst.system->txn(0), inst.system->txn(1), options);
   EXPECT_EQ(report.verdict, SafetyVerdict::kSafe);
-  EXPECT_EQ(report.method, "dominator-closure");
+  EXPECT_EQ(report.method, DecisionMethod::kDominatorClosure);
   EXPECT_EQ(report.sites_spanned, 4);
 }
 

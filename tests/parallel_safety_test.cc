@@ -44,7 +44,7 @@ TEST(ParallelMultiSafety, BitIdenticalAcrossThreadCounts) {
         RandomWorkload(&rng, 2 + static_cast<int>(rng.Uniform(4)));
     MultiSafetyOptions serial;
     serial.max_cycles = 1 << 10;
-    serial.pair_options.max_extension_pairs = 1 << 14;
+    serial.max_extension_pairs = 1 << 14;
     std::string expected = MultiReportToJson(
         AnalyzeMultiSafety(*w.system, serial), *w.system);
     for (int threads : kThreadCounts) {
@@ -68,7 +68,7 @@ TEST(ParallelMultiSafety, BitIdenticalWithVerdictCache) {
         RandomWorkload(&rng, 3 + static_cast<int>(rng.Uniform(3)));
     MultiSafetyOptions serial;
     serial.max_cycles = 1 << 10;
-    serial.pair_options.max_extension_pairs = 1 << 14;
+    serial.max_extension_pairs = 1 << 14;
     PairVerdictCache serial_cache;
     serial.cache = &serial_cache;
     std::string expected = MultiReportToJson(

@@ -107,7 +107,7 @@ TEST_P(MultiSiteSweep, AnalyzerAgreesWithOracleWhenDecisive) {
                                        1 << 18);
     if (!oracle.ok()) continue;
     EXPECT_EQ(report.verdict == SafetyVerdict::kSafe, oracle->safe)
-        << "method=" << report.method << "\n"
+        << "method=" << DecisionMethodName(report.method) << "\n"
         << w.system->ToString();
   }
 }
@@ -136,7 +136,7 @@ TEST_P(MultiSiteSweep, DominatorClosureVerdictsMatchExhaustive) {
                                        1 << 18);
     if (!oracle.ok()) continue;
     EXPECT_EQ(report.verdict == SafetyVerdict::kSafe, oracle->safe)
-        << "method=" << report.method << "\n"
+        << "method=" << DecisionMethodName(report.method) << "\n"
         << w.system->ToString();
   }
 }

@@ -37,7 +37,7 @@ TEST(Theorem1, StronglyTwoPhasePairsAreAlwaysSafe) {
     EXPECT_TRUE(Theorem1Sufficient(t1, t2)) << sites << " sites";
     PairSafetyReport report = AnalyzePairSafety(t1, t2);
     EXPECT_EQ(report.verdict, SafetyVerdict::kSafe);
-    EXPECT_EQ(report.method, "theorem-1");
+    EXPECT_EQ(report.method, DecisionMethod::kTheorem1);
   }
 }
 
@@ -68,7 +68,7 @@ TEST(TwoSite, UnsafeVerdictCarriesCertificate) {
   auto report = TwoSiteSafetyTest(inst.system->txn(0), inst.system->txn(1));
   ASSERT_TRUE(report.ok());
   EXPECT_EQ(report->verdict, SafetyVerdict::kUnsafe);
-  EXPECT_EQ(report->method, "theorem-2");
+  EXPECT_EQ(report->method, DecisionMethod::kTheorem2);
   ASSERT_TRUE(report->certificate.has_value());
   EXPECT_FALSE(report->certificate->schedule.events().empty());
 }
@@ -90,6 +90,7 @@ TEST(Analyzer, UnknownWhenAllFallbacksDisabled) {
   SafetyOptions options;
   options.max_extension_pairs = 0;
   options.max_dominators = 0;  // closure loop sees an incomplete enumeration
+  options.max_sat_decisions = 0;  // SAT-guided enumeration disabled too
   PairSafetyReport report =
       AnalyzePairSafety(inst.system->txn(0), inst.system->txn(1), options);
   EXPECT_EQ(report.verdict, SafetyVerdict::kUnknown);

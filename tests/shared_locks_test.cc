@@ -275,7 +275,7 @@ TEST(SharedLocks, AnalyzerMatchesOracleOnRandomSharedWorkloads) {
     auto oracle = ExhaustiveScheduleSafety(*w.system, 1 << 18);
     if (!oracle.ok()) continue;
     EXPECT_EQ(report.verdict == SafetyVerdict::kSafe, oracle->safe)
-        << "method=" << report.method << "\n"
+        << "method=" << DecisionMethodName(report.method) << "\n"
         << w.system->ToString();
     ++checked;
     if (!oracle->safe) ++unsafe_seen;

@@ -154,7 +154,7 @@ TEST(PairVerdictCache, FirstInsertWins) {
   PairVerdictCache cache;
   PairSafetyReport safe;
   safe.verdict = SafetyVerdict::kSafe;
-  safe.method = "theorem-1";
+  safe.method = DecisionMethod::kTheorem1;
   PairSafetyReport unsafe_;
   unsafe_.verdict = SafetyVerdict::kUnsafe;
   cache.Insert("fp", safe);

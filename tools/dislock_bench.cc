@@ -3,11 +3,18 @@
 // verifies the reports are bit-identical, measures the verdict-cache
 // trajectory, and writes everything as JSON (BENCH_multi.json).
 //
-//   dislock_bench [--quick] [--threads N] [--reps N] [--out path]
+//   dislock_bench [--quick] [--threads N] [--cache] [--reps N] [--out path]
 //
 // --threads defaults to 0 (one worker per hardware thread). Speedups are a
 // property of the machine: on a single-core container parallel ≈ serial by
 // construction; the deterministic-output check is meaningful everywhere.
+// --cache additionally enables the engine-owned pair-verdict cache inside
+// the timed runs (the dedicated cache-trajectory measurement always runs).
+//
+// Each workload row also carries per-stage DecisionPipeline timing columns
+// (attempts/decided/work/wall_ms per stage, from the last timed serial
+// run) — wall_ms lives only here, never in the report JSON, which stays
+// deterministic.
 
 #include <algorithm>
 #include <chrono>
@@ -73,6 +80,23 @@ struct BenchCase {
   Workload workload;
 };
 
+/// Per-stage bench columns. Unlike PipelineStatsToJson (deterministic
+/// report data only), this includes the measured wall_ms.
+std::string PipelineTimingJson(const PipelineStats& stats) {
+  std::ostringstream out;
+  out << "[";
+  for (int s = 0; s < kNumDecisionStages; ++s) {
+    const StageCounters& c = stats.stages[static_cast<size_t>(s)];
+    if (s > 0) out << ", ";
+    out << "{\"stage\": \"" << DecisionStageName(static_cast<DecisionStageId>(s))
+        << "\", \"attempts\": " << c.attempts
+        << ", \"decided\": " << c.decided << ", \"work\": " << c.work
+        << ", \"wall_ms\": " << c.wall_ms << "}";
+  }
+  out << "]";
+  return out.str();
+}
+
 double MinMs(const std::vector<double>& samples) {
   // min-of-reps: the standard way to strip scheduler noise from a
   // deterministic computation.
@@ -102,6 +126,7 @@ int main(int argc, char** argv) {
   using namespace dislock;
   bool quick = false;
   int threads = 0;  // one per hardware thread
+  bool engine_cache = false;
   int reps = 0;     // 0 = pick per mode below
   const char* out_path = "BENCH_multi.json";
   for (int i = 1; i < argc; ++i) {
@@ -109,13 +134,15 @@ int main(int argc, char** argv) {
       quick = true;
     } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
       threads = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--cache") == 0) {
+      engine_cache = true;
     } else if (std::strcmp(argv[i], "--reps") == 0 && i + 1 < argc) {
       reps = std::atoi(argv[++i]);
     } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
       out_path = argv[++i];
     } else {
       std::fprintf(stderr,
-                   "usage: dislock_bench [--quick] [--threads N] "
+                   "usage: dislock_bench [--quick] [--threads N] [--cache] "
                    "[--reps N] [--out path]\n");
       return 2;
     }
@@ -146,6 +173,7 @@ int main(int argc, char** argv) {
     const TransactionSystem& system = *bench.workload.system;
     MultiSafetyOptions serial_opts;
     serial_opts.max_cycles = 1 << 14;
+    serial_opts.enable_cache = engine_cache;
     MultiSafetyOptions parallel_opts = serial_opts;
     parallel_opts.num_threads = threads <= 0 ? 0 : threads;
 
@@ -196,7 +224,9 @@ int main(int argc, char** argv) {
          << ", \"hits\": " << stats.hits
          << ", \"misses\": " << stats.misses
          << ", \"hit_rate\": " << stats.HitRate()
-         << ", \"warm_ms\": " << cached_ms << "}}";
+         << ", \"warm_ms\": " << cached_ms
+         << "}, \"pipeline\": " << PipelineTimingJson(serial_report.pipeline)
+         << "}";
 
     std::printf(
         "%-10s verdict=%s pairs=%d cycles=%d serial=%.2fms "
@@ -209,6 +239,17 @@ int main(int argc, char** argv) {
     if (!identical) {
       std::fprintf(stderr, "serial:   %s\nparallel: %s\n",
                    serial_json.c_str(), parallel_json.c_str());
+    }
+    for (int s = 0; s < kNumDecisionStages; ++s) {
+      const StageCounters& sc =
+          serial_report.pipeline.stages[static_cast<size_t>(s)];
+      if (sc.attempts == 0 && sc.skipped == 0) continue;
+      std::printf("    stage %-18s attempts=%lld decided=%lld work=%lld "
+                  "wall=%.3fms\n",
+                  DecisionStageName(static_cast<DecisionStageId>(s)),
+                  static_cast<long long>(sc.attempts),
+                  static_cast<long long>(sc.decided),
+                  static_cast<long long>(sc.work), sc.wall_ms);
     }
   }
   json << "]}";

@@ -78,6 +78,7 @@ struct AnalyzeArgs {
   bool deadlock = true;
   bool exit_error = false;
   int num_threads = 1;  // 1 = serial, 0 = one per hardware thread
+  bool cache = false;   // engine-owned pair-verdict cache
   std::vector<std::string> passes;  // empty = all registered
 };
 
@@ -108,6 +109,7 @@ int Analyze(const AnalyzeArgs& args) {
   }
   AnalysisOptions options;
   options.num_threads = args.num_threads;
+  options.enable_cache = args.cache;
   AnalysisResult result = manager.Run(system, options);
 
   if (args.format == AnalyzeFormat::kSarif) {
@@ -251,12 +253,16 @@ int Reduce(const char* path) {
 
 int Usage() {
   std::fprintf(stderr,
-               "usage: dislock analyze <system.dlk> [--json|--sarif]\n"
+               "usage: dislock analyze <system.dlk>\n"
+               "                       [--format=text|json|sarif]\n"
+               "                       [--json|--sarif]  (aliases)\n"
                "                       [--passes a,b,c] [--no-deadlock]\n"
-               "                       [--exit-error] [--threads N]\n"
+               "                       [--exit-error] [--threads N] [--cache]\n"
                "         (--threads: safety-engine workers; 1 = serial,\n"
                "          0 = one per hardware thread; output is identical\n"
                "          at any thread count)\n"
+               "         (--cache: memoize pair verdicts by structural\n"
+               "          fingerprint for the run)\n"
                "       dislock passes\n"
                "       dislock simulate <system.dlk> [runs]\n"
                "       dislock reduce <formula.cnf>\n"
@@ -297,6 +303,20 @@ int main(int argc, char** argv) {
         args.format = AnalyzeFormat::kJson;
       } else if (std::strcmp(argv[i], "--sarif") == 0) {
         args.format = AnalyzeFormat::kSarif;
+      } else if (std::strncmp(argv[i], "--format=", 9) == 0 ||
+                 (std::strcmp(argv[i], "--format") == 0 && i + 1 < argc)) {
+        const char* value = argv[i][8] == '=' ? argv[i] + 9 : argv[++i];
+        if (std::strcmp(value, "text") == 0) {
+          args.format = AnalyzeFormat::kText;
+        } else if (std::strcmp(value, "json") == 0) {
+          args.format = AnalyzeFormat::kJson;
+        } else if (std::strcmp(value, "sarif") == 0) {
+          args.format = AnalyzeFormat::kSarif;
+        } else {
+          return Usage();
+        }
+      } else if (std::strcmp(argv[i], "--cache") == 0) {
+        args.cache = true;
       } else if (std::strcmp(argv[i], "--no-deadlock") == 0) {
         args.deadlock = false;
       } else if (std::strcmp(argv[i], "--exit-error") == 0) {

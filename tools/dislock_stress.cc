@@ -3,10 +3,16 @@
 // Exits non-zero on the first disagreement (making it usable as a fuzzing
 // target or a long-running soak test).
 //
-//   dislock_stress [trials] [seed]
+//   dislock_stress [trials] [seed] [--threads N] [--cache]
+//
+// --threads feeds EngineConfig::num_threads (1 = serial, 0 = hardware);
+// --cache turns on the engine-owned pair-verdict cache inside the audited
+// analyses. Neither may change any verdict — that is part of what the
+// harness checks.
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <string>
 
 #include "dislock.h"
@@ -41,8 +47,29 @@ int Fail(const char* what, const Workload& w) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  int64_t trials = argc > 1 ? std::atoll(argv[1]) : 500;
-  uint64_t seed = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 0xD15C0;
+  int64_t trials = 500;
+  uint64_t seed = 0xD15C0;
+  int num_threads = 1;
+  bool engine_cache = false;
+  int positional = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      num_threads = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--cache") == 0) {
+      engine_cache = true;
+    } else if (positional == 0) {
+      trials = std::atoll(argv[i]);
+      ++positional;
+    } else if (positional == 1) {
+      seed = std::strtoull(argv[i], nullptr, 10);
+      ++positional;
+    } else {
+      std::fprintf(stderr,
+                   "usage: dislock_stress [trials] [seed] [--threads N] "
+                   "[--cache]\n");
+      return 2;
+    }
+  }
   Rng rng(seed);
   Tally tally;
   // Persists across all trials: a cached verdict must match the verdict the
@@ -64,6 +91,8 @@ int main(int argc, char** argv) {
 
     SafetyOptions options;
     options.max_extension_pairs = 1 << 15;
+    options.num_threads = num_threads;
+    options.enable_cache = engine_cache;
     PairSafetyReport report =
         AnalyzePairSafety(w.system->txn(0), w.system->txn(1), options);
     switch (report.verdict) {
@@ -113,8 +142,7 @@ int main(int argc, char** argv) {
     // Static-analyzer audit: the full pass pipeline must agree with the
     // decision procedures, and every diagnostic certificate must replay.
     {
-      AnalysisOptions analysis_options;
-      analysis_options.safety = options;
+      AnalysisOptions analysis_options = options;
       AnalysisResult analysis = AnalyzeSystem(*w.system, analysis_options);
       tally.diagnostics += static_cast<int64_t>(analysis.diagnostics.size());
       Status audit = AuditAnalysis(*w.system, analysis, analysis_options);
@@ -177,9 +205,10 @@ int main(int argc, char** argv) {
       if (!mw.system->Validate().ok()) {
         return Fail("generator invalid (multi)", mw);
       }
-      MultiSafetyOptions serial_opts;
-      serial_opts.pair_options = options;
+      MultiSafetyOptions serial_opts = options;
       serial_opts.max_cycles = 1 << 10;
+      serial_opts.num_threads = 1;
+      serial_opts.enable_cache = false;
       MultiSafetyOptions parallel_opts = serial_opts;
       parallel_opts.num_threads = 4;
       PairVerdictCache serial_cache;
