@@ -12,6 +12,13 @@ AnalysisResult AnalyzeSystem(const TransactionSystem& system,
   return manager.Run(system, options);
 }
 
+AnalysisResult AnalyzeSystem(const CatalogSnapshot& snapshot,
+                             const AnalysisOptions& options) {
+  PassManager manager;
+  manager.AddAllPasses();
+  return manager.Run(snapshot, options);
+}
+
 namespace {
 
 bool IsPairRule(const std::string& rule) {
@@ -47,9 +54,8 @@ Status AuditAnalysis(const TransactionSystem& system,
     }
     // Independent replay: the schedule must be legal for the certificate's
     // total orders and non-serializable.
-    TransactionSystem pair(&d.certificate->t1.db());
-    pair.Add(d.certificate->t1);
-    pair.Add(d.certificate->t2);
+    TransactionSystem pair =
+        MakePairSystem(d.certificate->t1, d.certificate->t2);
     Status legal = CheckScheduleLegal(pair, d.certificate->schedule);
     if (!legal.ok()) {
       return Status::Internal(

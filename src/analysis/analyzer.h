@@ -15,6 +15,10 @@ namespace dislock {
 AnalysisResult AnalyzeSystem(const TransactionSystem& system,
                              const AnalysisOptions& options = {});
 
+/// As above, over a catalog snapshot (materialized in dense order).
+AnalysisResult AnalyzeSystem(const CatalogSnapshot& snapshot,
+                             const AnalysisOptions& options = {});
+
 /// Differential audit of an analysis result against the decision
 /// procedures it summarizes — the cross-check dislock_stress runs after
 /// every trial. Verifies that:

@@ -122,4 +122,10 @@ AnalysisResult PassManager::Run(const TransactionSystem& system,
   return result;
 }
 
+AnalysisResult PassManager::Run(const CatalogSnapshot& snapshot,
+                                const AnalysisOptions& options) const {
+  TransactionSystem system = snapshot.Materialize();
+  return Run(system, options);
+}
+
 }  // namespace dislock

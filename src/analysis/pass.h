@@ -12,6 +12,7 @@
 #include "core/decision/context.h"
 #include "core/multi.h"
 #include "core/safety.h"
+#include "txn/catalog.h"
 #include "txn/system.h"
 #include "util/status.h"
 
@@ -99,6 +100,12 @@ class PassManager {
   /// Runs the pipeline. Diagnostics appear in pass order, and within one
   /// pass in the order the pass emitted them.
   AnalysisResult Run(const TransactionSystem& system,
+                     const AnalysisOptions& options = {}) const;
+
+  /// As above, over a catalog snapshot (txn/catalog.h): the snapshot is
+  /// materialized in dense order for the duration of the run, so the
+  /// transaction indices in the diagnostics are snapshot indices.
+  AnalysisResult Run(const CatalogSnapshot& snapshot,
                      const AnalysisOptions& options = {}) const;
 
  private:

@@ -193,9 +193,7 @@ Status VerifyUnsafetyCertificate(const Transaction& t1, const Transaction& t2,
     return Status::InvalidArgument(
         "certificate t2 is not a linear extension of T2");
   }
-  TransactionSystem pair(&t1.db());
-  pair.Add(cert.t1);
-  pair.Add(cert.t2);
+  TransactionSystem pair = MakePairSystem(cert.t1, cert.t2);
   DISLOCK_RETURN_NOT_OK(CheckScheduleLegal(pair, cert.schedule));
   if (IsSerializable(pair, cert.schedule)) {
     return Status::InvalidArgument("certificate schedule is serializable");
@@ -215,9 +213,7 @@ std::string CertificateToString(const UnsafetyCertificate& cert,
   for (StepId s : cert.order1) out << " " << cert.t1.StepString(s);
   out << "\n  t2:";
   for (StepId s : cert.order2) out << " " << cert.t2.StepString(s);
-  TransactionSystem pair(&cert.t1.db());
-  pair.Add(cert.t1);
-  pair.Add(cert.t2);
+  TransactionSystem pair = MakePairSystem(cert.t1, cert.t2);
   out << "\n  schedule: " << cert.schedule.ToString(pair);
   out << "\n  separates: " << db.NameOf(cert.separation.above)
       << " (above) from " << db.NameOf(cert.separation.below) << " (below)\n";

@@ -1,0 +1,44 @@
+#ifndef DISLOCK_CORE_INCREMENTAL_DELTA_H_
+#define DISLOCK_CORE_INCREMENTAL_DELTA_H_
+
+#include <cstdint>
+
+namespace dislock {
+
+/// What one incremental re-analysis actually did, versus what it reused
+/// from the engine's stores. Attached to MultiSafetyReport::delta by the
+/// IncrementalSafetyEngine; absent (nullopt) on batch analyses, so batch
+/// JSON output is unchanged.
+///
+/// Every field is a pure function of (previous engine state, catalog
+/// contents, config): the engine recomputes exactly the dirty work with no
+/// early exit, so like the rest of the report these counters are
+/// bit-identical at any thread count.
+struct DeltaStats {
+  /// Edits absorbed since the previous Check (0/0/0 with a set `full`
+  /// flag on the first analysis of a catalog).
+  int64_t txns_added = 0;
+  int64_t txns_removed = 0;
+  int64_t txns_replaced = 0;
+
+  /// Conflicting pairs of the current conflict graph whose verdict was
+  /// taken from the store vs decided by running the pair procedure now. A
+  /// single-transaction edit dirties exactly the edited transaction's
+  /// incident pairs, so pairs_recomputed <= degree(edited txn) + 1.
+  int64_t pairs_reused = 0;
+  int64_t pairs_recomputed = 0;
+
+  /// Directed cycles of G examined by condition (b), split the same way.
+  /// Both are 0 when condition (a) already failed (the batch scan would
+  /// not have enumerated cycles either).
+  int64_t cycles_reused = 0;
+  int64_t cycles_recomputed = 0;
+
+  /// True when nothing could be reused: the engine's first look at this
+  /// catalog.
+  bool full = false;
+};
+
+}  // namespace dislock
+
+#endif  // DISLOCK_CORE_INCREMENTAL_DELTA_H_

@@ -1,0 +1,53 @@
+#ifndef DISLOCK_CORE_INCREMENTAL_SESSION_H_
+#define DISLOCK_CORE_INCREMENTAL_SESSION_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "core/decision/config.h"
+
+namespace dislock {
+
+/// Options for `dislock session` (tools/dislock_cli.cc).
+struct SessionOptions {
+  /// Emit one JSON object per command instead of human-readable text.
+  bool json = false;
+  /// When non-empty, relative `load` paths are resolved against this
+  /// directory (tests use it to run scripts from any working directory).
+  std::string load_root;
+  /// Engine configuration (num_threads 0 = one worker per hardware
+  /// thread, enable_cache, cycle budget, ...).
+  EngineConfig config;
+};
+
+/// The interactive / scripted front end of the incremental engine: reads
+/// line-oriented commands from `in`, maintains a TransactionCatalog and an
+/// IncrementalSafetyEngine, and writes one response per command to `out`.
+///
+/// Commands:
+///   load <path>        parse a system file; (re)initializes the catalog
+///   add                followed by a `txn <name> ... end` block: add it
+///   remove <name>      remove the named transaction
+///   replace <name>     followed by a `txn ... end` block: swap the
+///                      definition in place (id and slot preserved; the
+///                      block may rename)
+///   check              incremental safety analysis of the current catalog
+///   list               live transactions with their ids
+///   stats              generation, store sizes, cumulative reuse totals
+///   help               command summary
+///   quit | exit        stop (EOF also stops)
+/// Blank lines and `#` comments are ignored. A failed command prints
+/// `error: ...` (or {"ok": false, ...} in JSON mode) and the session
+/// continues; the catalog is unchanged by failed commands.
+///
+/// Output in both modes is deterministic (golden-tested) at any thread
+/// count — it surfaces only report fields, which carry the engine's
+/// determinism guarantee.
+///
+/// Returns the number of failed commands (0 = clean run).
+int RunSession(std::istream& in, std::ostream& out,
+               const SessionOptions& options);
+
+}  // namespace dislock
+
+#endif  // DISLOCK_CORE_INCREMENTAL_SESSION_H_

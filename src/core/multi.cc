@@ -48,13 +48,13 @@ struct PairGroup {
 
 }  // namespace
 
-Digraph BuildTransactionConflictGraph(const TransactionSystem& system) {
-  const int k = system.NumTransactions();
+Digraph BuildTransactionConflictGraph(const SystemView& view) {
+  const int k = view.NumTransactions();
   Digraph g(k);
   for (int i = 0; i < k; ++i) {
-    g.SetLabel(i, system.txn(i).name());
+    g.SetLabel(i, view.txn(i).name());
     for (int j = i + 1; j < k; ++j) {
-      if (!CommonLocked(system.txn(i), system.txn(j)).empty()) {
+      if (!CommonLocked(view.txn(i), view.txn(j)).empty()) {
         g.AddArc(i, j);
         g.AddArc(j, i);
       }
@@ -63,7 +63,11 @@ Digraph BuildTransactionConflictGraph(const TransactionSystem& system) {
   return g;
 }
 
-Digraph BuildCycleGraph(const TransactionSystem& system,
+Digraph BuildTransactionConflictGraph(const TransactionSystem& system) {
+  return BuildTransactionConflictGraph(system.View());
+}
+
+Digraph BuildCycleGraph(const SystemView& view,
                         const std::vector<int>& cycle) {
   const int len = static_cast<int>(cycle.size());
   DISLOCK_CHECK_GE(len, 2);
@@ -74,7 +78,7 @@ Digraph BuildCycleGraph(const TransactionSystem& system,
     BijkNodeKey key{std::min(ti, tj), std::max(ti, tj), e};
     auto it = node_of.find(key);
     if (it != node_of.end()) return it->second;
-    NodeId id = b.AddNode(StrCat(system.db().NameOf(e), "_", key.lo_txn + 1,
+    NodeId id = b.AddNode(StrCat(view.db().NameOf(e), "_", key.lo_txn + 1,
                                  key.hi_txn + 1));
     node_of.emplace(key, id);
     return id;
@@ -85,9 +89,9 @@ Digraph BuildCycleGraph(const TransactionSystem& system,
     int i = cycle[(p + len - 1) % len];
     int j = cycle[p];
     int k = cycle[(p + 1) % len];
-    const Transaction& tj = system.txn(j);
-    std::vector<EntityId> in_pair = CommonLocked(system.txn(i), tj);
-    std::vector<EntityId> out_pair = CommonLocked(tj, system.txn(k));
+    const Transaction& tj = view.txn(j);
+    std::vector<EntityId> in_pair = CommonLocked(view.txn(i), tj);
+    std::vector<EntityId> out_pair = CommonLocked(tj, view.txn(k));
 
     // (x_ij, y_jk) iff Lx precedes Uy in Tj.
     for (EntityId x : in_pair) {
@@ -119,6 +123,68 @@ Digraph BuildCycleGraph(const TransactionSystem& system,
   return b;
 }
 
+Digraph BuildCycleGraph(const TransactionSystem& system,
+                        const std::vector<int>& cycle) {
+  return BuildCycleGraph(system.View(), cycle);
+}
+
+std::vector<std::pair<int, int>> ConflictingPairs(const Digraph& g) {
+  const int k = g.NumNodes();
+  std::vector<std::pair<int, int>> pairs;
+  for (int i = 0; i < k; ++i) {
+    for (int j = i + 1; j < k; ++j) {
+      if (g.HasArc(i, j)) pairs.emplace_back(i, j);
+    }
+  }
+  return pairs;
+}
+
+std::optional<size_t> ReplayPairScan(
+    const std::vector<ScanPair>& scan, int num_groups,
+    const std::function<void(const ScanPair&)>& on_checked,
+    MultiSafetyReport* report) {
+  std::vector<bool> group_seen(static_cast<size_t>(num_groups), false);
+  for (size_t p = 0; p < scan.size(); ++p) {
+    const ScanPair& pair = scan[p];
+    if (pair.cached_safe || group_seen[static_cast<size_t>(pair.group)]) {
+      // Skipped via the cache (pre-populated SAFE entry, or decided at
+      // the group's first member earlier in this very scan).
+      ++report->pairs_cached;
+      continue;
+    }
+    group_seen[static_cast<size_t>(pair.group)] = true;
+    ++report->pairs_checked;
+    // p is this group's first member, i.e. its representative.
+    DISLOCK_CHECK(pair.report != nullptr);
+    report->pipeline.Add(pair.report->pipeline);
+    if (on_checked) on_checked(pair);
+    if (pair.report->verdict != SafetyVerdict::kSafe) {
+      report->verdict = pair.report->verdict;
+      report->failing_pair = pair.txns;
+      report->pair_report = *pair.report;
+      return p;
+    }
+  }
+  return std::nullopt;
+}
+
+void ReduceCycleScan(std::vector<std::vector<int>>* to_check,
+                     size_t first_acyclic, bool budget_exhausted,
+                     MultiSafetyReport* report) {
+  report->cycle_budget_exhausted = budget_exhausted;
+  if (first_acyclic < to_check->size()) {
+    // The serial loop counts every cycle examined up to and including the
+    // failing one.
+    report->cycles_checked = static_cast<int>(first_acyclic) + 1;
+    report->verdict = SafetyVerdict::kUnsafe;
+    report->failing_cycle = std::move((*to_check)[first_acyclic]);
+    return;
+  }
+  report->cycles_checked = static_cast<int>(to_check->size());
+  report->verdict = budget_exhausted ? SafetyVerdict::kUnknown
+                                     : SafetyVerdict::kSafe;
+}
+
 MultiSafetyReport AnalyzeMultiSafety(const TransactionSystem& system,
                                      const MultiSafetyOptions& options) {
   EngineContext ctx(options);
@@ -127,25 +193,24 @@ MultiSafetyReport AnalyzeMultiSafety(const TransactionSystem& system,
 
 MultiSafetyReport AnalyzeMultiSafety(const TransactionSystem& system,
                                      EngineContext* ctx) {
+  return AnalyzeMultiSafety(system.View(), ctx);
+}
+
+MultiSafetyReport AnalyzeMultiSafety(const SystemView& view,
+                                     EngineContext* ctx) {
   const MultiSafetyOptions& options = ctx->config();
   MultiSafetyReport report;
-  const int k = system.NumTransactions();
   PairVerdictCache* cache = ctx->cache();
 
   // The conflict graph G drives both conditions: its arcs are exactly the
   // conflicting pairs of condition (a), and its directed cycles are the
   // subject of condition (b). Build it once.
-  Digraph g = BuildTransactionConflictGraph(system);
+  Digraph g = BuildTransactionConflictGraph(view);
 
   // ---- Condition (a): every two-transaction subsystem is safe. ----
 
   // Conflicting pairs in the lexicographic scan order of the serial loop.
-  std::vector<std::pair<int, int>> pairs;
-  for (int i = 0; i < k; ++i) {
-    for (int j = i + 1; j < k; ++j) {
-      if (g.HasArc(i, j)) pairs.emplace_back(i, j);
-    }
-  }
+  std::vector<std::pair<int, int>> pairs = ConflictingPairs(g);
 
   // Group fingerprint-equal pairs; only each group's lex-first member runs
   // the (potentially coNP-hard) pair procedure. Without a cache every pair
@@ -155,8 +220,8 @@ MultiSafetyReport AnalyzeMultiSafety(const TransactionSystem& system,
   if (cache != nullptr) {
     std::unordered_map<std::string, int> group_index;
     for (size_t p = 0; p < pairs.size(); ++p) {
-      std::string fp = PairFingerprint(system.txn(pairs[p].first),
-                                       system.txn(pairs[p].second));
+      std::string fp = PairFingerprint(view.txn(pairs[p].first),
+                                       view.txn(pairs[p].second));
       auto [it, inserted] =
           group_index.emplace(std::move(fp), static_cast<int>(groups.size()));
       if (inserted) {
@@ -202,8 +267,8 @@ MultiSafetyReport AnalyzeMultiSafety(const TransactionSystem& system,
     pair_config.num_threads = 1;
   }
   auto run_group = [&](PairGroup* group) {
-    group->report = AnalyzePairSafety(system.txn(group->rep.first),
-                                      system.txn(group->rep.second),
+    group->report = AnalyzePairSafety(view.txn(group->rep.first),
+                                      view.txn(group->rep.second),
                                       pair_config);
     group->ran = true;
   };
@@ -238,43 +303,31 @@ MultiSafetyReport AnalyzeMultiSafety(const TransactionSystem& system,
   // computed group verdicts to reconstruct the counters (including the
   // aggregated pipeline statistics) and find the lexicographically-first
   // failing pair.
-  std::optional<size_t> failing_group;
-  {
-    std::vector<bool> group_seen(groups.size(), false);
-    for (size_t p = 0; p < pairs.size(); ++p) {
-      PairGroup& group = groups[static_cast<size_t>(group_of[p])];
-      if (group.cached_safe || group_seen[group_of[p]]) {
-        // Skipped via the cache (pre-populated SAFE entry, or decided at
-        // the group's first member earlier in this very scan).
-        ++report.pairs_cached;
-        continue;
-      }
-      group_seen[group_of[p]] = true;
-      ++report.pairs_checked;
-      // p is this group's first member, i.e. its representative.
-      DISLOCK_CHECK(group.ran);
-      report.pipeline.Add(group.report.pipeline);
-      if (cache != nullptr) {
-        cache->Insert(group.fingerprint, group.report);
-      }
-      if (group.report.verdict != SafetyVerdict::kSafe) {
-        failing_group = static_cast<size_t>(group_of[p]);
-        break;
-      }
+  std::vector<ScanPair> scan;
+  scan.reserve(pairs.size());
+  for (size_t p = 0; p < pairs.size(); ++p) {
+    const PairGroup& group = groups[static_cast<size_t>(group_of[p])];
+    ScanPair sp;
+    sp.txns = pairs[p];
+    sp.group = group_of[p];
+    sp.report = group.ran ? &group.report : nullptr;
+    sp.cached_safe = group.cached_safe;
+    scan.push_back(sp);
+  }
+  auto insert_into_cache = [&](const ScanPair& sp) {
+    if (cache != nullptr) {
+      cache->Insert(groups[static_cast<size_t>(sp.group)].fingerprint,
+                    *sp.report);
     }
-  }
-  if (failing_group.has_value()) {
-    PairGroup& group = groups[*failing_group];
-    report.verdict = group.report.verdict;
-    report.failing_pair = group.rep;
-    report.pair_report = std::move(group.report);
-    return report;
-  }
+  };
+  std::optional<size_t> failing = ReplayPairScan(
+      scan, static_cast<int>(groups.size()), insert_into_cache, &report);
+  if (failing.has_value()) return report;
 
   // ---- Condition (b): every directed cycle's B_c graph has a cycle. ----
   std::vector<std::vector<NodeId>> cycles =
       SimpleCycles(g, options.max_cycles);
-  report.cycle_budget_exhausted =
+  bool budget_exhausted =
       static_cast<int64_t>(cycles.size()) >= options.max_cycles;
   const size_t min_len = options.include_two_cycles ? 2 : 3;
   std::vector<std::vector<int>> to_check;
@@ -296,7 +349,7 @@ MultiSafetyReport AnalyzeMultiSafety(const TransactionSystem& system,
       futures.push_back(pool->Submit([&, begin, end] {
         for (size_t c = begin; c < end; ++c) {
           if (c > first_failing.load(std::memory_order_acquire)) return;
-          if (!HasCycle(BuildCycleGraph(system, to_check[c]))) {
+          if (!HasCycle(BuildCycleGraph(view, to_check[c]))) {
             AtomicMin(&first_failing, c);
           }
         }
@@ -306,24 +359,14 @@ MultiSafetyReport AnalyzeMultiSafety(const TransactionSystem& system,
     first_acyclic = first_failing.load(std::memory_order_acquire);
   } else {
     for (size_t c = 0; c < to_check.size(); ++c) {
-      if (!HasCycle(BuildCycleGraph(system, to_check[c]))) {
+      if (!HasCycle(BuildCycleGraph(view, to_check[c]))) {
         first_acyclic = c;
         break;
       }
     }
   }
 
-  if (first_acyclic < to_check.size()) {
-    // The serial loop counts every cycle examined up to and including the
-    // failing one.
-    report.cycles_checked = static_cast<int>(first_acyclic) + 1;
-    report.verdict = SafetyVerdict::kUnsafe;
-    report.failing_cycle = std::move(to_check[first_acyclic]);
-    return report;
-  }
-  report.cycles_checked = static_cast<int>(to_check.size());
-  report.verdict = report.cycle_budget_exhausted ? SafetyVerdict::kUnknown
-                                                 : SafetyVerdict::kSafe;
+  ReduceCycleScan(&to_check, first_acyclic, budget_exhausted, &report);
   return report;
 }
 

@@ -1,10 +1,12 @@
 #ifndef DISLOCK_CORE_MULTI_H_
 #define DISLOCK_CORE_MULTI_H_
 
+#include <functional>
 #include <optional>
 #include <utility>
 #include <vector>
 
+#include "core/incremental/delta.h"
 #include "core/safety.h"
 #include "graph/digraph.h"
 #include "txn/system.h"
@@ -18,6 +20,7 @@ class EngineContext;
 /// transaction, an (undirected) edge [Ti, Tj] iff Ti and Tj lock-unlock a
 /// common entity. Represented as a symmetric digraph so directed traversals
 /// of its cycles can be enumerated.
+Digraph BuildTransactionConflictGraph(const SystemView& view);
 Digraph BuildTransactionConflictGraph(const TransactionSystem& system);
 
 /// Builds the digraph B_ijk for the directed two-path (Ti, Tj, Tk) of G:
@@ -58,6 +61,9 @@ struct MultiSafetyReport {
   /// deterministic serial-replay order, so like every other field it is
   /// bit-identical at any thread count.
   PipelineStats pipeline;
+  /// Reuse accounting of the incremental engine
+  /// (core/incremental/engine.h); absent on batch analyses.
+  std::optional<DeltaStats> delta;
 };
 
 /// Historically a separate struct wrapping a nested SafetyOptions
@@ -87,10 +93,63 @@ MultiSafetyReport AnalyzeMultiSafety(const TransactionSystem& system,
 MultiSafetyReport AnalyzeMultiSafety(const TransactionSystem& system,
                                      EngineContext* ctx);
 
+/// The view-based engine entry point both containers route through: a
+/// TransactionSystem and a CatalogSnapshot analyze identically when their
+/// views agree.
+MultiSafetyReport AnalyzeMultiSafety(const SystemView& view,
+                                     EngineContext* ctx);
+
 /// Builds B_c for a directed cycle (sequence of transaction indices,
 /// traversed cyclically) — exposed for tests and experiments.
+Digraph BuildCycleGraph(const SystemView& view, const std::vector<int>& cycle);
 Digraph BuildCycleGraph(const TransactionSystem& system,
                         const std::vector<int>& cycle);
+
+// ---------------------------------------------------------------------------
+// Deterministic-replay plumbing, shared between the batch path above and the
+// delta path (core/incremental/engine.h). The batch analysis is the special
+// case where every verdict was computed this call; the incremental engine
+// feeds the same reducers verdicts pulled from its stores.
+// ---------------------------------------------------------------------------
+
+/// The conflicting pairs (i < j) of G in the lexicographic scan order of
+/// the classic serial loop — the order every reduction replays.
+std::vector<std::pair<int, int>> ConflictingPairs(const Digraph& g);
+
+/// One conflicting pair in scan order, with its resolved verdict source.
+struct ScanPair {
+  std::pair<int, int> txns;  ///< dense indices, first < second
+  /// Fingerprint group of the pair (every pair its own group when no
+  /// verdict cache is configured). Groups are numbered by first appearance
+  /// in scan order.
+  int group = 0;
+  /// The group representative's report. Consulted only at the group's
+  /// first scan appearance; may be null for pairs the serial scan never
+  /// reaches (early-exit cancellation skipped them).
+  const PairSafetyReport* report = nullptr;
+  /// The whole group was pre-decided SAFE by an external verdict cache.
+  bool cached_safe = false;
+};
+
+/// Replays the serial memoized scan over resolved pair verdicts: counts
+/// pairs_checked / pairs_cached, aggregates pipeline statistics, and stops
+/// at the lexicographically-first non-safe group. On failure fills
+/// verdict / failing_pair / pair_report and returns the failing scan
+/// index. `on_checked` fires once per counted group, in scan order (the
+/// batch path inserts the verdict into the cache there).
+std::optional<size_t> ReplayPairScan(
+    const std::vector<ScanPair>& scan, int num_groups,
+    const std::function<void(const ScanPair&)>& on_checked,
+    MultiSafetyReport* report);
+
+/// Reduces condition (b): given the filtered directed cycles in enumeration
+/// order and the index of the first cycle whose B_c is acyclic (or
+/// to_check->size() if none), fills cycles_checked / verdict /
+/// failing_cycle / cycle_budget_exhausted exactly like the serial loop.
+/// Consumes `to_check` (the failing cycle is moved out).
+void ReduceCycleScan(std::vector<std::vector<int>>* to_check,
+                     size_t first_acyclic, bool budget_exhausted,
+                     MultiSafetyReport* report);
 
 }  // namespace dislock
 

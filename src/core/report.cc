@@ -67,9 +67,7 @@ std::string CertificateToJson(const UnsafetyCertificate& cert,
     if (i > 0) out << ", ";
     out << Quoted(cert.t2.StepString(cert.order2[i]));
   }
-  TransactionSystem pair(&cert.t1.db());
-  pair.Add(cert.t1);
-  pair.Add(cert.t2);
+  TransactionSystem pair = MakePairSystem(cert.t1, cert.t2);
   out << "], \"schedule\": " << Quoted(cert.schedule.ToString(pair))
       << ", \"separates_above\": " << Quoted(db.NameOf(cert.separation.above))
       << ", \"separates_below\": " << Quoted(db.NameOf(cert.separation.below))
@@ -116,8 +114,21 @@ std::string PairReportToJson(const PairSafetyReport& report,
   return out.str();
 }
 
+std::string DeltaStatsToJson(const DeltaStats& delta) {
+  std::ostringstream out;
+  out << "{\"txns_added\": " << delta.txns_added
+      << ", \"txns_removed\": " << delta.txns_removed
+      << ", \"txns_replaced\": " << delta.txns_replaced
+      << ", \"pairs_reused\": " << delta.pairs_reused
+      << ", \"pairs_recomputed\": " << delta.pairs_recomputed
+      << ", \"cycles_reused\": " << delta.cycles_reused
+      << ", \"cycles_recomputed\": " << delta.cycles_recomputed
+      << ", \"full\": " << (delta.full ? "true" : "false") << "}";
+  return out.str();
+}
+
 std::string MultiReportToJson(const MultiSafetyReport& report,
-                              const TransactionSystem& system) {
+                              const SystemView& view) {
   std::ostringstream out;
   out << "{\"verdict\": " << Quoted(SafetyVerdictName(report.verdict))
       << ", \"pairs_checked\": " << report.pairs_checked
@@ -125,8 +136,8 @@ std::string MultiReportToJson(const MultiSafetyReport& report,
       << ", \"cycles_checked\": " << report.cycles_checked
       << ", \"failing_pair\": ";
   if (report.failing_pair.has_value()) {
-    out << "[" << Quoted(system.txn(report.failing_pair->first).name())
-        << ", " << Quoted(system.txn(report.failing_pair->second).name())
+    out << "[" << Quoted(view.txn(report.failing_pair->first).name())
+        << ", " << Quoted(view.txn(report.failing_pair->second).name())
         << "]";
   } else {
     out << "null";
@@ -136,14 +147,23 @@ std::string MultiReportToJson(const MultiSafetyReport& report,
     out << "[";
     for (size_t i = 0; i < report.failing_cycle.size(); ++i) {
       if (i > 0) out << ", ";
-      out << Quoted(system.txn(report.failing_cycle[i]).name());
+      out << Quoted(view.txn(report.failing_cycle[i]).name());
     }
     out << "]";
   } else {
     out << "null";
   }
-  out << ", \"pipeline\": " << PipelineStatsToJson(report.pipeline) << "}";
+  out << ", \"pipeline\": " << PipelineStatsToJson(report.pipeline);
+  if (report.delta.has_value()) {
+    out << ", \"delta\": " << DeltaStatsToJson(*report.delta);
+  }
+  out << "}";
   return out.str();
+}
+
+std::string MultiReportToJson(const MultiSafetyReport& report,
+                              const TransactionSystem& system) {
+  return MultiReportToJson(report, system.View());
 }
 
 std::string DeadlockReportToJson(const DeadlockReport& report,

@@ -36,10 +36,22 @@ std::string PipelineStatsToJson(const PipelineStats& stats);
 std::string PairReportToJson(const PairSafetyReport& report,
                              const DistributedDatabase& db);
 
+/// {"txns_added": n, "txns_removed": n, "txns_replaced": n,
+///  "pairs_reused": n, "pairs_recomputed": n, "cycles_reused": n,
+///  "cycles_recomputed": n, "full": b} — the incremental engine's reuse
+/// accounting (core/incremental/delta.h).
+std::string DeltaStatsToJson(const DeltaStats& delta);
+
 /// {"verdict": "...", "pairs_checked": n, "pairs_cached": n,
 /// "cycles_checked": n,
 ///  "failing_pair": [i, j] | null, "failing_cycle": [...] | null,
 ///  "pipeline": [...]}
+/// Incremental reports additionally carry "delta": {...} (see
+/// DeltaStatsToJson); the key is omitted entirely on batch reports, so
+/// batch output is byte-identical to what it was before the incremental
+/// engine existed.
+std::string MultiReportToJson(const MultiSafetyReport& report,
+                              const SystemView& view);
 std::string MultiReportToJson(const MultiSafetyReport& report,
                               const TransactionSystem& system);
 

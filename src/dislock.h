@@ -17,6 +17,10 @@
 ///                    analysis/passes.h, analysis/emit.h,
 ///                    analysis/analyzer.h (the pass-manager static
 ///                    analyzer over the results layer)
+///   * catalog      — txn/catalog.h (mutable versioned catalog with stable
+///                    TxnIds), core/incremental/engine.h (delta
+///                    re-analysis), core/incremental/session.h (the
+///                    `dislock session` REPL)
 ///   * results      — core/conflict_graph.h (Definition 1),
 ///                    core/safety.h (Theorems 1-2 entry points),
 ///                    core/decision/ (the tiered DecisionPipeline:
@@ -47,6 +51,9 @@
 #include "core/decision/pipeline.h"
 #include "core/decision/procedure.h"
 #include "core/decision/stats.h"
+#include "core/incremental/delta.h"
+#include "core/incremental/engine.h"
+#include "core/incremental/session.h"
 #include "core/multi.h"
 #include "core/paper.h"
 #include "core/policy.h"
@@ -66,6 +73,7 @@
 #include "sim/scheduler.h"
 #include "sim/workload.h"
 #include "txn/builder.h"
+#include "txn/catalog.h"
 #include "txn/linear_extension.h"
 #include "txn/schedule.h"
 #include "txn/system.h"

@@ -2,6 +2,7 @@
 #define DISLOCK_TXN_SYSTEM_H_
 
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "txn/transaction.h"
@@ -9,9 +10,46 @@
 
 namespace dislock {
 
+/// A borrowed, index-dense view of a set of transactions over one database:
+/// the common currency of the analysis layer. Both the immutable
+/// TransactionSystem (batch container) and a CatalogSnapshot
+/// (txn/catalog.h) produce one, so every decision procedure is written once
+/// against this view. Holds raw pointers; the producer must outlive it.
+class SystemView {
+ public:
+  SystemView(const DistributedDatabase* db,
+             std::vector<const Transaction*> txns)
+      : db_(db), txns_(std::move(txns)) {
+    DISLOCK_CHECK(db != nullptr);
+  }
+
+  int NumTransactions() const { return static_cast<int>(txns_.size()); }
+  const Transaction& txn(int i) const {
+    DISLOCK_CHECK(i >= 0 && i < NumTransactions());
+    return *txns_[static_cast<size_t>(i)];
+  }
+  const DistributedDatabase& db() const { return *db_; }
+
+  /// Total number of steps across all transactions (the "n" of the paper's
+  /// complexity statements).
+  int TotalSteps() const {
+    int n = 0;
+    for (const Transaction* t : txns_) n += t->NumSteps();
+    return n;
+  }
+
+ private:
+  const DistributedDatabase* db_;
+  std::vector<const Transaction*> txns_;
+};
+
 /// A set of locked transactions T = {T1, ..., Tk} over one distributed
 /// database. The safety question (are all schedules serializable?) is asked
 /// of a TransactionSystem.
+///
+/// This is the immutable batch container; for add/remove/replace workloads
+/// use the versioned TransactionCatalog (txn/catalog.h), whose snapshots
+/// the same analyses accept.
 class TransactionSystem {
  public:
   /// Creates an empty system over `db`; `db` must outlive the system.
@@ -20,9 +58,19 @@ class TransactionSystem {
   }
 
   /// Adds a transaction (copied). Must be over the same database object.
-  void Add(Transaction txn) {
+  /// Rejects a transaction whose name is already present — two transactions
+  /// named "T1" would make every diagnostic referring to "T1" ambiguous —
+  /// with InvalidModel; on error the system is unchanged.
+  Status Add(Transaction txn) {
     DISLOCK_CHECK_EQ(&txn.db(), db_);
+    for (const auto& t : txns_) {
+      if (t.name() == txn.name()) {
+        return Status::InvalidModel("duplicate transaction name '" +
+                                    txn.name() + "'");
+      }
+    }
     txns_.push_back(std::move(txn));
+    return Status::OK();
   }
 
   int NumTransactions() const { return static_cast<int>(txns_.size()); }
@@ -35,6 +83,15 @@ class TransactionSystem {
     return &txns_[i];
   }
   const DistributedDatabase& db() const { return *db_; }
+
+  /// A borrowed dense view over this system's transactions, in index
+  /// order. Valid while the system is neither destroyed nor mutated.
+  SystemView View() const {
+    std::vector<const Transaction*> ptrs;
+    ptrs.reserve(txns_.size());
+    for (const auto& t : txns_) ptrs.push_back(&t);
+    return SystemView(db_, std::move(ptrs));
+  }
 
   /// Total number of steps across all transactions (the "n" of the paper's
   /// complexity statements).
@@ -63,6 +120,25 @@ class TransactionSystem {
   const DistributedDatabase* db_;
   std::vector<Transaction> txns_;
 };
+
+/// Two-transaction scratch system for certificate verification and
+/// rendering. Unlike TransactionSystem::Add this cannot fail: when the two
+/// transactions share a name (legal for raw pairs handed straight to
+/// AnalyzePairSafety, which never went through a container), the second is
+/// disambiguated with a prime suffix so schedule renderings stay readable.
+inline TransactionSystem MakePairSystem(const Transaction& t1,
+                                        const Transaction& t2) {
+  TransactionSystem pair(&t1.db());
+  DISLOCK_CHECK(pair.Add(t1).ok());
+  if (t1.name() == t2.name()) {
+    Transaction renamed = t2;
+    renamed.set_name(t2.name() + "'");
+    DISLOCK_CHECK(pair.Add(std::move(renamed)).ok());
+  } else {
+    DISLOCK_CHECK(pair.Add(t2).ok());
+  }
+  return pair;
+}
 
 }  // namespace dislock
 

@@ -16,6 +16,68 @@ std::string StripComment(const std::string& line) {
   return Trim(hash == std::string::npos ? line : line.substr(0, hash));
 }
 
+/// Parses the arguments of a `txn` header line (everything after the
+/// keyword): a name plus an optional `nochain` flag.
+Status ParseTxnHeader(std::istringstream* in, std::string* name,
+                      bool* auto_chain) {
+  std::string flag;
+  *in >> *name >> flag;
+  if (name->empty()) {
+    return Status::InvalidArgument("usage: txn <name> [nochain]");
+  }
+  *auto_chain = true;
+  if (flag == "nochain") {
+    *auto_chain = false;
+  } else if (!flag.empty()) {
+    return Status::InvalidArgument(StrCat("unknown txn flag '", flag, "'"));
+  }
+  return Status::OK();
+}
+
+/// Parses one line of a txn block body (a step or an edge) into `builder`.
+/// The line is already stripped and non-empty and is not `end`.
+Status ParseTxnBodyLine(const std::string& line,
+                        const DistributedDatabase& db,
+                        TransactionBuilder* builder) {
+  std::istringstream in(line);
+  std::string keyword;
+  in >> keyword;
+
+  if (keyword == "lock" || keyword == "update" || keyword == "unlock" ||
+      keyword == "slock" || keyword == "sunlock") {
+    std::string entity;
+    in >> entity;
+    if (entity.empty()) {
+      return Status::InvalidArgument("step needs an entity name");
+    }
+    auto e = db.Find(entity);
+    if (!e.ok()) return e.status();
+    bool shared = keyword[0] == 's';
+    StepKind kind = keyword == "lock" || keyword == "slock"
+                        ? StepKind::kLock
+                    : keyword == "update" ? StepKind::kUpdate
+                                          : StepKind::kUnlock;
+    builder->Add(kind, e.value(), shared);
+    return Status::OK();
+  }
+
+  if (keyword == "edge") {
+    int a = -1;
+    int b = -1;
+    in >> a >> b;
+    if (in.fail() || !builder->txn().ValidStep(a) ||
+        !builder->txn().ValidStep(b)) {
+      return Status::InvalidArgument(
+          "usage: edge <stepA> <stepB> with existing step ids");
+    }
+    builder->Edge(a, b);
+    return Status::OK();
+  }
+
+  return Status::InvalidArgument(
+      StrCat("unknown directive '", keyword, "'"));
+}
+
 }  // namespace
 
 Result<ParsedSystem> ParseSystemText(const std::string& text) {
@@ -63,15 +125,10 @@ Result<ParsedSystem> ParseSystemText(const std::string& text) {
 
     if (keyword == "txn") {
       if (in_txn) return error("nested 'txn' blocks are not allowed");
-      std::string name, flag;
-      in >> name >> flag;
-      if (name.empty()) return error("usage: txn <name> [nochain]");
+      std::string name;
       bool auto_chain = true;
-      if (flag == "nochain") {
-        auto_chain = false;
-      } else if (!flag.empty()) {
-        return error(StrCat("unknown txn flag '", flag, "'"));
-      }
+      Status header = ParseTxnHeader(&in, &name, &auto_chain);
+      if (!header.ok()) return error(header.message());
       builder = std::make_unique<TransactionBuilder>(parsed.db.get(), name,
                                                      auto_chain);
       in_txn = true;
@@ -82,39 +139,16 @@ Result<ParsedSystem> ParseSystemText(const std::string& text) {
       if (!in_txn) return error("'end' without 'txn'");
       auto txn = builder->BuildValidated();
       if (!txn.ok()) return error(txn.status().message());
-      parsed.system->Add(std::move(txn).value());
+      Status added = parsed.system->Add(std::move(txn).value());
+      if (!added.ok()) return error(added.message());
       builder.reset();
       in_txn = false;
       continue;
     }
 
-    if (keyword == "lock" || keyword == "update" || keyword == "unlock" ||
-        keyword == "slock" || keyword == "sunlock") {
-      if (!in_txn) return error("step outside a txn block");
-      std::string entity;
-      in >> entity;
-      if (entity.empty()) return error("step needs an entity name");
-      auto e = parsed.db->Find(entity);
-      if (!e.ok()) return error(e.status().message());
-      bool shared = keyword[0] == 's';
-      StepKind kind = keyword == "lock" || keyword == "slock"
-                          ? StepKind::kLock
-                      : keyword == "update" ? StepKind::kUpdate
-                                            : StepKind::kUnlock;
-      builder->Add(kind, e.value(), shared);
-      continue;
-    }
-
-    if (keyword == "edge") {
-      if (!in_txn) return error("'edge' outside a txn block");
-      int a = -1;
-      int b = -1;
-      in >> a >> b;
-      if (in.fail() || !builder->txn().ValidStep(a) ||
-          !builder->txn().ValidStep(b)) {
-        return error("usage: edge <stepA> <stepB> with existing step ids");
-      }
-      builder->Edge(a, b);
+    if (in_txn) {
+      Status body = ParseTxnBodyLine(line, *parsed.db, builder.get());
+      if (!body.ok()) return error(body.message());
       continue;
     }
 
@@ -125,6 +159,55 @@ Result<ParsedSystem> ParseSystemText(const std::string& text) {
     return Status::InvalidArgument("empty input: missing 'sites N'");
   }
   return parsed;
+}
+
+Result<Transaction> ParseTransactionText(const std::string& text,
+                                         const DistributedDatabase& db) {
+  std::unique_ptr<TransactionBuilder> builder;
+  bool in_txn = false;
+  bool done = false;
+  int line_no = 0;
+
+  auto error = [&line_no](const std::string& message) {
+    return Status::InvalidArgument(
+        StrCat("line ", line_no, ": ", message));
+  };
+
+  for (const std::string& raw : Split(text, '\n')) {
+    ++line_no;
+    std::string line = StripComment(raw);
+    if (line.empty()) continue;
+    if (done) return error("trailing content after 'end'");
+    std::istringstream in(line);
+    std::string keyword;
+    in >> keyword;
+
+    if (keyword == "txn") {
+      if (in_txn) return error("nested 'txn' blocks are not allowed");
+      std::string name;
+      bool auto_chain = true;
+      Status header = ParseTxnHeader(&in, &name, &auto_chain);
+      if (!header.ok()) return error(header.message());
+      builder = std::make_unique<TransactionBuilder>(&db, name, auto_chain);
+      in_txn = true;
+      continue;
+    }
+    if (!in_txn) return error("expected a 'txn <name>' header");
+
+    if (keyword == "end") {
+      in_txn = false;
+      done = true;
+      continue;
+    }
+
+    Status body = ParseTxnBodyLine(line, db, builder.get());
+    if (!body.ok()) return error(body.message());
+  }
+  if (in_txn) return Status::InvalidArgument("unterminated txn block");
+  if (!done) return Status::InvalidArgument("empty input: missing 'txn' block");
+  auto txn = builder->BuildValidated();
+  if (!txn.ok()) return txn.status();
+  return std::move(txn).value();
 }
 
 std::string SystemToText(const TransactionSystem& system) {

@@ -41,8 +41,18 @@ struct ParsedSystem {
 ///   * `edge A B` adds the precedence step A -> step B;
 ///   * `#` starts a comment; blank lines are ignored.
 ///
-/// The parsed transactions are validated (Section 2 rules).
+/// The parsed transactions are validated (Section 2 rules), and duplicate
+/// transaction names are rejected as a validation error.
 Result<ParsedSystem> ParseSystemText(const std::string& text);
+
+/// Parses a single `txn <name> [nochain] ... end` block (same grammar as
+/// inside a system file) against an existing database — the `add` /
+/// `replace` path of `dislock session`, where the database is fixed by the
+/// loaded system and transactions arrive one at a time. The transaction is
+/// validated; it is NOT checked against any catalog (name uniqueness is
+/// enforced at the catalog insert).
+Result<Transaction> ParseTransactionText(const std::string& text,
+                                         const DistributedDatabase& db);
 
 /// Serializes a system back to the text format (with explicit `nochain` and
 /// every precedence spelled out as an edge, so arbitrary partial orders

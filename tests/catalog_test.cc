@@ -1,0 +1,203 @@
+// TransactionCatalog: stable ids, generation counting, name uniqueness at
+// the mutation boundary (a validation error, never a crash), snapshot
+// immutability, and the TransactionSystem duplicate-name regression.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/policy.h"
+#include "txn/catalog.h"
+#include "txn/system.h"
+#include "txn/text_format.h"
+
+namespace dislock {
+namespace {
+
+struct Fixture {
+  Fixture() : db(2) {
+    x = db.MustAddEntity("x", 0);
+    y = db.MustAddEntity("y", 1);
+  }
+  Transaction TwoPhase(const std::string& name,
+                       const std::vector<EntityId>& entities) {
+    return MakeTwoPhaseTransaction(&db, name, entities);
+  }
+  DistributedDatabase db;
+  EntityId x;
+  EntityId y;
+};
+
+TEST(Catalog, AddAssignsStableIdsAndBumpsGeneration) {
+  Fixture f;
+  TransactionCatalog catalog(&f.db);
+  EXPECT_EQ(catalog.generation(), 0);
+
+  auto id1 = catalog.Add(f.TwoPhase("T1", {f.x}));
+  auto id2 = catalog.Add(f.TwoPhase("T2", {f.x, f.y}));
+  ASSERT_TRUE(id1.ok());
+  ASSERT_TRUE(id2.ok());
+  EXPECT_EQ(*id1, 0);
+  EXPECT_EQ(*id2, 1);
+  EXPECT_EQ(catalog.generation(), 2);
+  EXPECT_EQ(catalog.NumTransactions(), 2);
+
+  // Ids are never reused: removing T1 and adding again yields a fresh id.
+  ASSERT_TRUE(catalog.Remove(*id1).ok());
+  auto id3 = catalog.Add(f.TwoPhase("T1", {f.y}));
+  ASSERT_TRUE(id3.ok());
+  EXPECT_EQ(*id3, 2);
+  EXPECT_EQ(catalog.generation(), 4);
+}
+
+TEST(Catalog, DuplicateNameIsValidationErrorNotCrash) {
+  Fixture f;
+  TransactionCatalog catalog(&f.db);
+  ASSERT_TRUE(catalog.Add(f.TwoPhase("T1", {f.x})).ok());
+
+  auto dup = catalog.Add(f.TwoPhase("T1", {f.y}));
+  ASSERT_FALSE(dup.ok());
+  EXPECT_NE(dup.status().message().find("duplicate transaction name 'T1'"),
+            std::string::npos)
+      << dup.status().ToString();
+  // The failed Add left the catalog untouched.
+  EXPECT_EQ(catalog.NumTransactions(), 1);
+  EXPECT_EQ(catalog.generation(), 1);
+}
+
+TEST(Catalog, TransactionSystemAddRejectsDuplicateName) {
+  // Regression: TransactionSystem::Add used to accept duplicate names
+  // silently, making every "T1" diagnostic ambiguous. It is now a
+  // validation error.
+  Fixture f;
+  TransactionSystem system(&f.db);
+  EXPECT_TRUE(system.Add(f.TwoPhase("T1", {f.x})).ok());
+  Status dup = system.Add(f.TwoPhase("T1", {f.y}));
+  ASSERT_FALSE(dup.ok());
+  EXPECT_NE(dup.message().find("duplicate transaction name 'T1'"),
+            std::string::npos);
+  EXPECT_EQ(system.NumTransactions(), 1);
+}
+
+TEST(Catalog, ParserRejectsDuplicateTxnNames) {
+  auto parsed = ParseSystemText(
+      "sites 1\n"
+      "entity a 0\n"
+      "txn T1\n  lock a\n  unlock a\nend\n"
+      "txn T1\n  lock a\n  unlock a\nend\n");
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_NE(parsed.status().message().find("duplicate transaction name"),
+            std::string::npos)
+      << parsed.status().ToString();
+}
+
+TEST(Catalog, MakePairSystemDisambiguatesEqualNames) {
+  Fixture f;
+  Transaction t1 = f.TwoPhase("T", {f.x});
+  Transaction t2 = f.TwoPhase("T", {f.x, f.y});
+  TransactionSystem pair = MakePairSystem(t1, t2);
+  ASSERT_EQ(pair.NumTransactions(), 2);
+  EXPECT_EQ(pair.txn(0).name(), "T");
+  EXPECT_EQ(pair.txn(1).name(), "T'");
+}
+
+TEST(Catalog, ReplaceKeepsIdAndSlot) {
+  Fixture f;
+  TransactionCatalog catalog(&f.db);
+  auto id1 = catalog.Add(f.TwoPhase("T1", {f.x}));
+  auto id2 = catalog.Add(f.TwoPhase("T2", {f.y}));
+  ASSERT_TRUE(id1.ok());
+  ASSERT_TRUE(id2.ok());
+
+  ASSERT_TRUE(catalog.Replace(*id1, f.TwoPhase("T1", {f.x, f.y})).ok());
+  CatalogSnapshot snap = catalog.Snapshot();
+  EXPECT_EQ(snap.id(0), *id1);  // same slot, same id
+  EXPECT_EQ(snap.txn(0).name(), "T1");
+  EXPECT_EQ(snap.txn(0).LockedEntities().size(), 2u);
+  EXPECT_EQ(snap.id(1), *id2);
+
+  // Replace may rename, subject to uniqueness against the others.
+  ASSERT_TRUE(catalog.Replace(*id1, f.TwoPhase("T3", {f.x})).ok());
+  EXPECT_TRUE(catalog.FindByName("T3").has_value());
+  EXPECT_FALSE(catalog.FindByName("T1").has_value());
+  Status clash = catalog.Replace(*id1, f.TwoPhase("T2", {f.x}));
+  ASSERT_FALSE(clash.ok());
+  EXPECT_NE(clash.message().find("duplicate"), std::string::npos);
+  // Replacing under its own current name is fine.
+  EXPECT_TRUE(catalog.Replace(*id1, f.TwoPhase("T3", {f.y})).ok());
+}
+
+TEST(Catalog, RemoveAndLookupByName) {
+  Fixture f;
+  TransactionCatalog catalog(&f.db);
+  ASSERT_TRUE(catalog.Add(f.TwoPhase("T1", {f.x})).ok());
+  ASSERT_TRUE(catalog.Add(f.TwoPhase("T2", {f.y})).ok());
+
+  EXPECT_FALSE(catalog.RemoveByName("nope").ok());
+  EXPECT_FALSE(catalog.Remove(42).ok());
+  EXPECT_FALSE(catalog.ReplaceByName("nope", f.TwoPhase("T9", {f.x})).ok());
+
+  ASSERT_TRUE(catalog.RemoveByName("T1").ok());
+  EXPECT_EQ(catalog.NumTransactions(), 1);
+  EXPECT_EQ(catalog.Find(0), nullptr);
+  ASSERT_NE(catalog.Find(1), nullptr);
+  EXPECT_EQ(catalog.Find(1)->name(), "T2");
+}
+
+TEST(Catalog, RejectsTransactionOverDifferentDatabase) {
+  Fixture f;
+  DistributedDatabase other(1);
+  other.MustAddEntity("z", 0);
+  TransactionCatalog catalog(&f.db);
+  auto wrong =
+      catalog.Add(MakeTwoPhaseTransaction(&other, "T1", {EntityId{0}}));
+  ASSERT_FALSE(wrong.ok());
+  EXPECT_NE(wrong.status().message().find("different database"),
+            std::string::npos);
+}
+
+TEST(Catalog, SnapshotSurvivesLaterEdits) {
+  Fixture f;
+  TransactionCatalog catalog(&f.db);
+  auto id1 = catalog.Add(f.TwoPhase("T1", {f.x}));
+  ASSERT_TRUE(id1.ok());
+  CatalogSnapshot before = catalog.Snapshot();
+
+  ASSERT_TRUE(catalog.Replace(*id1, f.TwoPhase("T1", {f.x, f.y})).ok());
+  ASSERT_TRUE(catalog.RemoveByName("T1").ok());
+
+  // The old snapshot still reads the old definition.
+  ASSERT_EQ(before.NumTransactions(), 1);
+  EXPECT_EQ(before.txn(0).LockedEntities().size(), 1u);
+  EXPECT_EQ(before.generation(), 1);
+  EXPECT_EQ(catalog.NumTransactions(), 0);
+
+  // Materialize preserves dense order and contents.
+  TransactionSystem materialized = before.Materialize();
+  EXPECT_EQ(materialized.NumTransactions(), 1);
+  EXPECT_EQ(materialized.txn(0).name(), "T1");
+  EXPECT_EQ(materialized.TotalSteps(), before.TotalSteps());
+}
+
+TEST(Catalog, ParseTransactionTextSingleBlock) {
+  Fixture f;
+  auto txn = ParseTransactionText(
+      "# a comment\n"
+      "txn T9\n  lock x\n  update x\n  unlock x\nend\n",
+      f.db);
+  ASSERT_TRUE(txn.ok()) << txn.status().ToString();
+  EXPECT_EQ(txn->name(), "T9");
+  EXPECT_EQ(txn->NumSteps(), 3);
+
+  EXPECT_FALSE(ParseTransactionText("lock x\n", f.db).ok());
+  EXPECT_FALSE(ParseTransactionText("", f.db).ok());
+  EXPECT_FALSE(
+      ParseTransactionText("txn A\n lock x\n unlock x\nend\njunk\n", f.db)
+          .ok());
+  EXPECT_FALSE(ParseTransactionText("txn A\n lock x\n", f.db).ok());
+}
+
+}  // namespace
+}  // namespace dislock

@@ -1,0 +1,103 @@
+// Golden test for `dislock session`: replays data/session_demo.dls through
+// RunSession and compares both renderings byte-for-byte against the
+// committed goldens (data/session_demo.golden.{txt,jsonl}), serially and at
+// 4 threads. Also exercises the error paths: a failed command reports,
+// counts toward the return value, and leaves the catalog untouched.
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "core/incremental/session.h"
+
+namespace dislock {
+namespace {
+
+std::string RepoPath(const std::string& relative_path) {
+  return std::string(DISLOCK_SOURCE_DIR) + "/" + relative_path;
+}
+
+std::string ReadFileOrDie(const std::string& relative_path) {
+  std::ifstream in(RepoPath(relative_path));
+  EXPECT_TRUE(in.good()) << "cannot open " << relative_path;
+  std::ostringstream contents;
+  contents << in.rdbuf();
+  return contents.str();
+}
+
+// Runs the demo script and returns the full output.
+std::string RunDemo(bool json, int num_threads) {
+  std::istringstream in(ReadFileOrDie("data/session_demo.dls"));
+  std::ostringstream out;
+  SessionOptions options;
+  options.json = json;
+  options.load_root = DISLOCK_SOURCE_DIR;
+  options.config.num_threads = num_threads;
+  EXPECT_EQ(RunSession(in, out, options), 0) << "demo script had errors";
+  return out.str();
+}
+
+TEST(Session, DemoScriptMatchesTextGolden) {
+  EXPECT_EQ(RunDemo(/*json=*/false, /*num_threads=*/1),
+            ReadFileOrDie("data/session_demo.golden.txt"));
+}
+
+TEST(Session, DemoScriptMatchesJsonGolden) {
+  EXPECT_EQ(RunDemo(/*json=*/true, /*num_threads=*/1),
+            ReadFileOrDie("data/session_demo.golden.jsonl"));
+}
+
+TEST(Session, OutputIsThreadCountInvariant) {
+  EXPECT_EQ(RunDemo(/*json=*/false, /*num_threads=*/4),
+            ReadFileOrDie("data/session_demo.golden.txt"));
+  EXPECT_EQ(RunDemo(/*json=*/true, /*num_threads=*/4),
+            ReadFileOrDie("data/session_demo.golden.jsonl"));
+}
+
+TEST(Session, FailedCommandsReportAndContinue) {
+  std::istringstream in(
+      "check\n"               // error: no system loaded
+      "frobnicate\n"          // error: unknown command
+      "load data/ring3.dlk\n"
+      "remove NotThere\n"     // error: no such transaction
+      "add\n"                 // error: duplicate name
+      "txn MoveAB\n  lock a\n  unlock a\nend\n"
+      "list\n"                // catalog unchanged by the failures
+      "quit\n");
+  std::ostringstream out;
+  SessionOptions options;
+  options.load_root = DISLOCK_SOURCE_DIR;
+  EXPECT_EQ(RunSession(in, out, options), 4);
+  std::string text = out.str();
+  EXPECT_NE(text.find("error: no system loaded"), std::string::npos) << text;
+  EXPECT_NE(text.find("unknown command"), std::string::npos) << text;
+  EXPECT_NE(text.find("duplicate transaction name"), std::string::npos)
+      << text;
+  // Still exactly the three loaded transactions, original ids.
+  EXPECT_NE(text.find("[0] MoveAB\n[1] MoveBC\n[2] MoveCA\n"),
+            std::string::npos)
+      << text;
+}
+
+TEST(Session, JsonErrorsCarryOkFalse) {
+  std::istringstream in("check\nbogus\n");
+  std::ostringstream out;
+  SessionOptions options;
+  options.json = true;
+  EXPECT_EQ(RunSession(in, out, options), 2);
+  std::string text = out.str();
+  EXPECT_NE(text.find("\"ok\": false"), std::string::npos) << text;
+  EXPECT_NE(text.find("no system loaded"), std::string::npos) << text;
+}
+
+TEST(Session, EofEndsSessionCleanly) {
+  std::istringstream in("# just a comment\n\n");
+  std::ostringstream out;
+  EXPECT_EQ(RunSession(in, out, SessionOptions()), 0);
+  EXPECT_EQ(out.str(), "");
+}
+
+}  // namespace
+}  // namespace dislock

@@ -1,7 +1,11 @@
 // Benchmark trajectory for the parallel safety engine: times
 // AnalyzeMultiSafety serial vs parallel on the E11 ring/dense workloads,
 // verifies the reports are bit-identical, measures the verdict-cache
-// trajectory, and writes everything as JSON (BENCH_multi.json).
+// trajectory, and writes everything as JSON (BENCH_multi.json). A second
+// table (BENCH_incremental.json) drives the incremental engine through a
+// single-transaction edit stream, checks the invalidation bound
+// (pairs_recomputed <= degree + 1 per edit) and incremental-vs-scratch
+// report equality, and compares wall time.
 //
 //   dislock_bench [--quick] [--threads N] [--cache] [--reps N] [--out path]
 //
@@ -26,11 +30,14 @@
 #include <string>
 #include <vector>
 
+#include "core/decision/context.h"
+#include "core/incremental/engine.h"
 #include "core/multi.h"
 #include "core/policy.h"
 #include "core/report.h"
 #include "core/verdict_cache.h"
 #include "sim/workload.h"
+#include "txn/catalog.h"
 #include "util/string_util.h"
 #include "util/thread_pool.h"
 
@@ -119,6 +126,98 @@ double TimeMs(int reps, const Fn& fn) {
   return MinMs(samples);
 }
 
+template <typename Fn>
+double OnceMs(const Fn& fn) {
+  auto start = std::chrono::steady_clock::now();
+  fn();
+  auto stop = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::milli>(stop - start).count();
+}
+
+/// The edit-stream workload of the incremental engine: load a system into a
+/// catalog, run one full Check, then stream single-transaction Replace
+/// edits (each reverses the edited transaction's entity order — a real
+/// definition change that leaves the conflict graph intact), re-Checking
+/// after each. Measures incremental vs from-scratch wall time, verifies the
+/// reports are identical (modulo the delta block), and verifies the
+/// invalidation bound: per single-transaction edit,
+/// pairs_recomputed <= degree_G(edited txn) + 1.
+struct EditStreamRow {
+  std::string name;
+  int k = 0;
+  int edits = 0;
+  double incremental_ms = 0;  // summed over the edit stream
+  double scratch_ms = 0;      // same edits re-analyzed from scratch
+  int64_t max_pairs_recomputed = 0;
+  int64_t degree_bound = 0;  // max over edits of degree(edited) + 1
+  bool bound_ok = true;
+  bool reports_identical = true;
+  int64_t pairs_reused_total = 0;
+  int64_t pairs_recomputed_total = 0;
+};
+
+EditStreamRow RunEditStream(const std::string& name, const Workload& base,
+                            int edits, const MultiSafetyOptions& options) {
+  EditStreamRow row;
+  row.name = name;
+  row.k = base.system->NumTransactions();
+  row.edits = edits;
+
+  TransactionCatalog catalog(base.db.get());
+  std::vector<TxnId> ids;
+  for (int i = 0; i < base.system->NumTransactions(); ++i) {
+    auto id = catalog.Add(base.system->txn(i));
+    DISLOCK_CHECK(id.ok());
+    ids.push_back(*id);
+  }
+  EngineContext ctx(options);
+  IncrementalSafetyEngine engine(&catalog, &ctx);
+  engine.Check();  // the full first analysis; the stream measures steady state
+
+  for (int e = 0; e < edits; ++e) {
+    const int slot = e % row.k;
+    // Reverse the entity order of the edited transaction: a definition
+    // change (new steps, new precedences) over the same entity set.
+    std::shared_ptr<const Transaction> old_txn = catalog.Find(ids[slot]);
+    std::vector<EntityId> entities = old_txn->LockedEntities();
+    if (e / row.k % 2 == 0) {
+      std::reverse(entities.begin(), entities.end());
+    }
+    Transaction replacement = MakeTwoPhaseTransaction(
+        base.db.get(), old_txn->name(), entities);
+    DISLOCK_CHECK(catalog.Replace(ids[slot], std::move(replacement)).ok());
+
+    MultiSafetyReport incr;
+    row.incremental_ms += OnceMs([&] { incr = engine.Check(); });
+
+    const DeltaStats& delta = *incr.delta;
+    row.pairs_reused_total += delta.pairs_reused;
+    row.pairs_recomputed_total += delta.pairs_recomputed;
+    row.max_pairs_recomputed =
+        std::max(row.max_pairs_recomputed, delta.pairs_recomputed);
+    CatalogSnapshot snap = catalog.Snapshot();
+    Digraph g = BuildTransactionConflictGraph(snap.View());
+    int64_t degree =
+        static_cast<int64_t>(g.OutNeighbors(slot).size());
+    row.degree_bound = std::max(row.degree_bound, degree + 1);
+    if (delta.pairs_recomputed > degree + 1) row.bound_ok = false;
+
+    // From-scratch comparison run, under a fresh context with the same
+    // config — the engine's equivalence contract.
+    TransactionSystem scratch_system = snap.Materialize();
+    MultiSafetyReport scratch;
+    row.scratch_ms += OnceMs([&] {
+      scratch = AnalyzeMultiSafety(scratch_system, options);
+    });
+    incr.delta.reset();
+    if (MultiReportToJson(incr, snap.View()) !=
+        MultiReportToJson(scratch, scratch_system)) {
+      row.reports_identical = false;
+    }
+  }
+  return row;
+}
+
 }  // namespace
 }  // namespace dislock
 
@@ -143,7 +242,12 @@ int main(int argc, char** argv) {
     } else {
       std::fprintf(stderr,
                    "usage: dislock_bench [--quick] [--threads N] [--cache] "
-                   "[--reps N] [--out path]\n");
+                   "[--reps N] [--out path]\n"
+                   "  --threads N  safety-engine workers; 1 = serial,\n"
+                   "               0 (default) = one per hardware thread;\n"
+                   "               reports are identical at any thread count\n"
+                   "  --out path   also directs the incremental edit-stream\n"
+                   "               table to <path dir>/BENCH_incremental.json\n");
       return 2;
     }
   }
@@ -259,7 +363,71 @@ int main(int argc, char** argv) {
   out.close();
   std::printf("wrote %s (threads=%d, hardware=%d)\n", out_path,
               effective_threads, ThreadPool::HardwareThreads());
+
+  // ---- Incremental edit-stream trajectory (BENCH_incremental.json,
+  // written next to --out). ----
+  MultiSafetyOptions inc_opts;
+  inc_opts.max_cycles = 1 << 14;
+  inc_opts.num_threads = threads <= 0 ? 0 : threads;
+  inc_opts.enable_cache = engine_cache;
+  const int edits = quick ? 8 : 32;
+  std::vector<EditStreamRow> rows;
+  rows.push_back(
+      RunEditStream("ring_k64", MakeRingSystem(64), edits, inc_opts));
+  rows.push_back(
+      RunEditStream("dense_k12", MakeDenseSystem(12, 3), edits, inc_opts));
+
+  bool inc_ok = true;
+  std::ostringstream inc_json;
+  inc_json << "{\"bench\": \"incremental_edit_stream\", \"threads\": "
+           << effective_threads
+           << ", \"hardware_threads\": " << ThreadPool::HardwareThreads()
+           << ", \"edits\": " << edits << ", \"quick\": "
+           << (quick ? "true" : "false") << ", \"workloads\": [";
+  for (size_t r = 0; r < rows.size(); ++r) {
+    const EditStreamRow& row = rows[r];
+    inc_ok = inc_ok && row.bound_ok && row.reports_identical;
+    if (r > 0) inc_json << ", ";
+    inc_json << "{\"name\": \"" << row.name << "\", \"k\": " << row.k
+             << ", \"edits\": " << row.edits
+             << ", \"incremental_ms\": " << row.incremental_ms
+             << ", \"scratch_ms\": " << row.scratch_ms
+             << ", \"speedup\": "
+             << (row.incremental_ms > 0 ? row.scratch_ms / row.incremental_ms
+                                        : 0.0)
+             << ", \"pairs_reused\": " << row.pairs_reused_total
+             << ", \"pairs_recomputed\": " << row.pairs_recomputed_total
+             << ", \"max_pairs_recomputed\": " << row.max_pairs_recomputed
+             << ", \"degree_bound\": " << row.degree_bound
+             << ", \"bound_ok\": " << (row.bound_ok ? "true" : "false")
+             << ", \"reports_identical\": "
+             << (row.reports_identical ? "true" : "false") << "}";
+    std::printf(
+        "%-10s edits=%d incremental=%.2fms scratch=%.2fms speedup=%.2fx "
+        "max-recomputed=%lld (bound %lld) %s %s\n",
+        row.name.c_str(), row.edits, row.incremental_ms, row.scratch_ms,
+        row.incremental_ms > 0 ? row.scratch_ms / row.incremental_ms : 0.0,
+        static_cast<long long>(row.max_pairs_recomputed),
+        static_cast<long long>(row.degree_bound),
+        row.bound_ok ? "bound-ok" : "BOUND EXCEEDED",
+        row.reports_identical ? "identical" : "REPORTS DIFFER");
+  }
+  inc_json << "]}";
+
+  std::string inc_path = "BENCH_incremental.json";
+  {
+    std::string out_str(out_path);
+    size_t slash = out_str.rfind('/');
+    if (slash != std::string::npos) {
+      inc_path = out_str.substr(0, slash + 1) + inc_path;
+    }
+  }
+  std::ofstream inc_out(inc_path);
+  inc_out << inc_json.str() << "\n";
+  inc_out.close();
+  std::printf("wrote %s\n", inc_path.c_str());
+
   // Determinism is the contract; a differing report is a bug regardless of
   // the measured speedup.
-  return all_identical ? 0 : 1;
+  return all_identical && inc_ok ? 0 : 1;
 }

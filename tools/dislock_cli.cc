@@ -7,6 +7,10 @@
 //   dislock simulate <system.dlk> [runs]
 //                                   Monte-Carlo execution statistics
 //   dislock reduce <formula.cnf>    Theorem 3: decide SAT via locking safety
+//   dislock session [script] [--json] [--threads N] [--cache]
+//                                   interactive / scripted incremental
+//                                   re-analysis (load/add/remove/replace/
+//                                   check) backed by the delta engine
 //   dislock example                 print a sample system file
 //
 // System files use the dislock text format (see src/txn/text_format.h).
@@ -17,6 +21,7 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <iostream>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -26,6 +31,7 @@
 #include "core/deadlock.h"
 #include "core/multi.h"
 #include "core/report.h"
+#include "core/incremental/session.h"
 #include "core/safety.h"
 #include "sat/normalize.h"
 #include "sat/reduction.h"
@@ -251,6 +257,35 @@ int Reduce(const char* path) {
   return 0;
 }
 
+int RunSessionCommand(int argc, char** argv) {
+  SessionOptions options;
+  const char* script = nullptr;
+  for (int i = 2; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      options.json = true;
+    } else if (std::strcmp(argv[i], "--cache") == 0) {
+      options.config.enable_cache = true;
+    } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      options.config.num_threads = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--load-root") == 0 && i + 1 < argc) {
+      options.load_root = argv[++i];
+    } else if (argv[i][0] != '-' && script == nullptr) {
+      script = argv[i];
+    } else {
+      return 2;
+    }
+  }
+  if (script != nullptr) {
+    std::ifstream file(script);
+    if (!file) {
+      std::fprintf(stderr, "cannot open %s\n", script);
+      return 1;
+    }
+    return RunSession(file, std::cout, options) == 0 ? 0 : 1;
+  }
+  return RunSession(std::cin, std::cout, options) == 0 ? 0 : 1;
+}
+
 int Usage() {
   std::fprintf(stderr,
                "usage: dislock analyze <system.dlk>\n"
@@ -266,6 +301,13 @@ int Usage() {
                "       dislock passes\n"
                "       dislock simulate <system.dlk> [runs]\n"
                "       dislock reduce <formula.cnf>\n"
+               "       dislock session [script.dls] [--json] [--cache]\n"
+               "                       [--threads N] [--load-root DIR]\n"
+               "         (incremental re-analysis REPL backed by the delta\n"
+               "          engine; reads stdin when no script is given.\n"
+               "          --threads: safety-engine workers; 1 = serial,\n"
+               "          0 = one per hardware thread; output is identical\n"
+               "          at any thread count)\n"
                "       dislock example\n");
   return 2;
 }
@@ -340,6 +382,10 @@ int main(int argc, char** argv) {
   }
   if (std::strcmp(argv[1], "reduce") == 0 && argc >= 3) {
     return Reduce(argv[2]);
+  }
+  if (std::strcmp(argv[1], "session") == 0) {
+    int rc = RunSessionCommand(argc, argv);
+    return rc == 2 ? Usage() : rc;
   }
   return Usage();
 }

@@ -66,7 +66,12 @@ int main(int argc, char** argv) {
     } else {
       std::fprintf(stderr,
                    "usage: dislock_stress [trials] [seed] [--threads N] "
-                   "[--cache]\n");
+                   "[--cache]\n"
+                   "  --threads N  safety-engine workers; 1 = serial,\n"
+                   "               0 = one per hardware thread; results are\n"
+                   "               identical at any thread count\n"
+                   "  --cache      memoize pair verdicts by structural\n"
+                   "               fingerprint across trials\n");
       return 2;
     }
   }
