@@ -3,6 +3,9 @@
 #include <sstream>
 
 #include "core/report.h"
+#include "core/stats_export.h"
+#include "core/wire_keys.h"
+#include "obs/stats_sink.h"
 #include "util/string_util.h"
 
 namespace dislock {
@@ -13,6 +16,11 @@ std::string Quoted(const std::string& s) {
   out += JsonEscape(s);
   out += "\"";
   return out;
+}
+
+// `"<key>": ` with the key from core/wire_keys.h (see report.cc).
+std::string Key(const char* name) {
+  return std::string("\"") + name + "\": ";
 }
 
 /// "system", "T1", "T1/T2", optionally suffixed ":Lx#3".
@@ -72,44 +80,46 @@ std::string DiagnosticsToText(const AnalysisResult& result,
 std::string DiagnosticsToJson(const AnalysisResult& result,
                               const TransactionSystem& system) {
   std::ostringstream out;
-  out << "{\"passes\": [";
+  out << "{" << Key(wire::kPasses) << "[";
   for (size_t i = 0; i < result.passes_run.size(); ++i) {
     if (i > 0) out << ", ";
     out << Quoted(result.passes_run[i]);
   }
-  out << "], \"diagnostics\": [";
+  out << "], " << Key(wire::kDiagnostics) << "[";
   for (size_t i = 0; i < result.diagnostics.size(); ++i) {
     const Diagnostic& d = result.diagnostics[i];
     const AnalysisRule* rule = FindAnalysisRule(d.rule);
     if (i > 0) out << ", ";
-    out << "{\"severity\": " << Quoted(DiagSeverityName(d.severity))
-        << ", \"rule\": " << Quoted(d.rule) << ", \"name\": "
-        << Quoted(rule != nullptr ? rule->name : "?") << ", \"txn\": ";
+    out << "{" << Key(wire::kSeverity) << Quoted(DiagSeverityName(d.severity))
+        << ", " << Key(wire::kRule) << Quoted(d.rule) << ", "
+        << Key(wire::kRuleName) << Quoted(rule != nullptr ? rule->name : "?")
+        << ", " << Key(wire::kTxn);
     if (d.location.txn >= 0) {
       out << Quoted(system.txn(d.location.txn).name());
     } else {
       out << "null";
     }
-    out << ", \"other_txn\": ";
+    out << ", " << Key(wire::kOtherTxn);
     if (d.location.other_txn >= 0) {
       out << Quoted(system.txn(d.location.other_txn).name());
     } else {
       out << "null";
     }
-    out << ", \"step\": ";
+    out << ", " << Key(wire::kStep);
     if (d.location.step != kInvalidStep) {
       out << d.location.step;
     } else {
       out << "null";
     }
-    out << ", \"entity\": ";
+    out << ", " << Key(wire::kEntity);
     if (d.location.entity != kInvalidEntity) {
       out << Quoted(system.db().NameOf(d.location.entity));
     } else {
       out << "null";
     }
-    out << ", \"message\": " << Quoted(d.message) << ", \"fix_hint\": "
-        << Quoted(d.fix_hint) << ", \"certificate\": ";
+    out << ", " << Key(wire::kMessage) << Quoted(d.message) << ", "
+        << Key(wire::kFixHint) << Quoted(d.fix_hint) << ", "
+        << Key(wire::kCertificate);
     if (d.certificate.has_value()) {
       out << CertificateToJson(*d.certificate, system.db());
     } else {
@@ -117,10 +127,11 @@ std::string DiagnosticsToJson(const AnalysisResult& result,
     }
     out << "}";
   }
-  out << "], \"pipeline\": " << PipelineStatsToJson(result.pipeline)
-      << ", \"summary\": {\"errors\": " << result.Count(DiagSeverity::kError)
-      << ", \"warnings\": " << result.Count(DiagSeverity::kWarning)
-      << ", \"notes\": " << result.Count(DiagSeverity::kNote) << "}}";
+  out << "], " << Key(wire::kPipeline) << PipelineStatsToJson(result.pipeline)
+      << ", " << Key(wire::kSummary) << "{" << Key(wire::kErrors)
+      << result.Count(DiagSeverity::kError) << ", " << Key(wire::kWarnings)
+      << result.Count(DiagSeverity::kWarning) << ", " << Key(wire::kNotes)
+      << result.Count(DiagSeverity::kNote) << "}}";
   return out.str();
 }
 
@@ -158,10 +169,31 @@ std::string DiagnosticsToSarif(const AnalysisResult& result,
         << ", \"kind\": \"object\"}]}]}";
   }
   // The per-stage DecisionPipeline counters ride along as a run-level
-  // property bag (SARIF's extension point for tool-specific data).
-  out << "], \"properties\": {\"pipeline\": "
-      << PipelineStatsToJson(result.pipeline) << "}}]}";
+  // property bag (SARIF's extension point for tool-specific data); the
+  // SARIF document itself is versioned by "version", so our schema_version
+  // tags only the property bag.
+  out << "], " << Key(wire::kProperties) << "{"
+      << Key(wire::kSchemaVersionKey) << wire::kSchemaVersion << ", "
+      << Key(wire::kPipeline) << PipelineStatsToJson(result.pipeline)
+      << "}}]}";
   return out.str();
+}
+
+void ExportAnalysisResultStats(const AnalysisResult& result,
+                               obs::StatsSink* sink) {
+  if (sink == nullptr) return;
+  auto name = [](const char* leaf) {
+    return StrCat(wire::kMetricAnalysisPrefix, ".", leaf);
+  };
+  sink->AddCounter(name(wire::kPasses),
+                   static_cast<int64_t>(result.passes_run.size()));
+  sink->AddCounter(name(wire::kDiagnostics),
+                   static_cast<int64_t>(result.diagnostics.size()));
+  sink->AddCounter(name(wire::kErrors), result.Count(DiagSeverity::kError));
+  sink->AddCounter(name(wire::kWarnings),
+                   result.Count(DiagSeverity::kWarning));
+  sink->AddCounter(name(wire::kNotes), result.Count(DiagSeverity::kNote));
+  ExportPipelineStats(result.pipeline, sink);
 }
 
 }  // namespace dislock

@@ -8,6 +8,10 @@
 
 namespace dislock {
 
+namespace obs {
+class StatsSink;
+}  // namespace obs
+
 /// Human-readable rendering, one clang-style line per diagnostic
 ///
 ///   T1/T2: error [DL002/unsafe-pair] pair {T1, T2} ...
@@ -34,6 +38,14 @@ std::string DiagnosticsToJson(const AnalysisResult& result,
 /// location (transaction / step).
 std::string DiagnosticsToSarif(const AnalysisResult& result,
                                const TransactionSystem& system);
+
+/// Pours the run's aggregate counters into `sink` (no-op when null):
+/// "analysis.passes", "analysis.diagnostics", "analysis.errors",
+/// "analysis.warnings", "analysis.notes", plus the summed DecisionPipeline
+/// stats under "pipeline.<stage>.*". PassManager::Run calls this once per
+/// run (the owner-exports-once convention of core/stats_export.h).
+void ExportAnalysisResultStats(const AnalysisResult& result,
+                               obs::StatsSink* sink);
 
 }  // namespace dislock
 

@@ -2,7 +2,11 @@
 
 #include <algorithm>
 
+#include "analysis/emit.h"
 #include "analysis/passes.h"
+#include "core/stats_export.h"
+#include "core/wire_keys.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 #include "util/string_util.h"
 
@@ -115,10 +119,18 @@ AnalysisResult PassManager::Run(const TransactionSystem& system,
   AnalysisContext ctx(system, options);
   AnalysisResult result;
   for (const auto& pass : passes_) {
+    obs::TraceSpan span(options.trace, wire::kSpanPass);
     pass->Run(&ctx, &result.diagnostics);
     result.passes_run.emplace_back(pass->name());
   }
   result.pipeline = ctx.PipelineTotals();
+  // The run owner exports once: aggregate counters plus, when the run had
+  // a verdict cache, its hit/miss stats.
+  ExportAnalysisResultStats(result, options.stats);
+  if (options.stats != nullptr &&
+      (options.cache != nullptr || options.enable_cache)) {
+    ExportCacheStats(*ctx.engine()->cache(), options.stats);
+  }
   return result;
 }
 

@@ -6,6 +6,10 @@
 namespace dislock {
 
 class PairVerdictCache;
+namespace obs {
+class StatsSink;
+class TraceRecorder;
+}  // namespace obs
 
 /// The one tuning struct of the decision engine. It replaces the formerly
 /// duplicated SafetyOptions / MultiSafetyOptions / AnalysisOptions trio
@@ -57,6 +61,23 @@ struct EngineConfig {
   /// PairVerdictCache for the lifetime of the context (what the tools'
   /// --cache flag toggles).
   bool enable_cache = false;
+
+  // ---- Observability ----
+
+  /// Optional span recorder (obs/trace.h); not owned. Null (the default)
+  /// means tracing off — every instrumentation site degrades to a no-op.
+  /// Flows with the config through every engine entry point, so one
+  /// --trace=FILE flag covers pair tests, the multi engine, the
+  /// incremental engine, and the pool's workers. Recording spans never
+  /// changes a report byte: timing lands only in the trace file.
+  obs::TraceRecorder* trace = nullptr;
+
+  /// Optional metrics sink (obs/stats_sink.h); not owned. Only the
+  /// OUTERMOST report owner pours into it — PassManager::Run, the session
+  /// loop, or the tool itself (core/stats_export.h) — never the nested
+  /// library stages, so each analysis is counted exactly once. Like
+  /// `trace`, setting it never changes a report byte.
+  obs::StatsSink* stats = nullptr;
 };
 
 }  // namespace dislock

@@ -17,7 +17,10 @@ ThreadPool* EngineContext::pool() {
   const int threads = EffectiveThreads();
   if (threads <= 1) return nullptr;
   std::lock_guard<std::mutex> lock(mu_);
-  if (pool_ == nullptr) pool_ = std::make_unique<ThreadPool>(threads);
+  if (pool_ == nullptr) {
+    pool_ = std::make_unique<ThreadPool>(threads);
+    pool_->set_trace_recorder(config_.trace);
+  }
   return pool_.get();
 }
 

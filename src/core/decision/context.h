@@ -43,6 +43,13 @@ class EngineContext {
   /// context-owned cache when config().enable_cache, else nullptr.
   PairVerdictCache* cache();
 
+  /// The span recorder instrumentation sites use; nullptr (tracing off)
+  /// unless the config carried one. The context is the recorder's owner in
+  /// spirit — it installs the recorder on the pool it creates — but the
+  /// storage is borrowed from the caller (the tools' Observability bundle),
+  /// which outlives the context.
+  obs::TraceRecorder* trace() const { return config_.trace; }
+
   /// Cooperative cancellation for long-running stages. Cancel() makes the
   /// pipeline skip not-yet-attempted stages and in-flight stages return
   /// undecided at their next safe point; the report then lands on

@@ -1,43 +1,29 @@
 #include "core/decision/method.h"
 
 #include "core/decision/stats.h"
+#include "core/wire_keys.h"
 
 namespace dislock {
 
+static_assert(wire::kNumDecisionStageNames == kNumDecisionStages,
+              "stage name table out of sync with DecisionStageId");
+static_assert(wire::kNumDecisionMethodNames ==
+                  static_cast<int>(DecisionMethod::kExhaustive) + 1,
+              "method name table out of sync with DecisionMethod");
+
+// Both name tables live in core/wire_keys.h with every other wire string;
+// these accessors add the enum typing and the out-of-range "?".
+
 const char* DecisionMethodName(DecisionMethod method) {
-  switch (method) {
-    case DecisionMethod::kNone:
-      return "none";
-    case DecisionMethod::kTheorem1:
-      return "theorem-1";
-    case DecisionMethod::kTheorem2:
-      return "theorem-2";
-    case DecisionMethod::kCorollary2:
-      return "corollary-2";
-    case DecisionMethod::kDominatorClosure:
-      return "dominator-closure";
-    case DecisionMethod::kSatExhaustive:
-      return "sat-exhaustive";
-    case DecisionMethod::kExhaustive:
-      return "exhaustive";
-  }
-  return "?";
+  int i = static_cast<int>(method);
+  if (i < 0 || i >= wire::kNumDecisionMethodNames) return "?";
+  return wire::kDecisionMethodNames[i];
 }
 
 const char* DecisionStageName(DecisionStageId stage) {
-  switch (stage) {
-    case DecisionStageId::kTheorem1Scc:
-      return "theorem1-scc";
-    case DecisionStageId::kTheorem2TwoSite:
-      return "theorem2-two-site";
-    case DecisionStageId::kCorollary2Closure:
-      return "corollary2-closure";
-    case DecisionStageId::kSatExhaustive:
-      return "sat-exhaustive";
-    case DecisionStageId::kBruteForceLemma1:
-      return "brute-force-lemma1";
-  }
-  return "?";
+  int i = static_cast<int>(stage);
+  if (i < 0 || i >= wire::kNumDecisionStageNames) return "?";
+  return wire::kDecisionStageNames[i];
 }
 
 }  // namespace dislock

@@ -4,7 +4,9 @@
 #include <utility>
 
 #include "core/conflict_graph.h"
+#include "core/wire_keys.h"
 #include "graph/scc.h"
+#include "obs/trace.h"
 
 namespace dislock {
 
@@ -59,6 +61,12 @@ PairSafetyReport DecisionPipeline::Decide(const Transaction& t1,
       continue;
     }
     counters.attempts += 1;
+    // One span per attempted stage, named "stage.<wire name>" — the CI
+    // trace smoke step checks that every stage with attempts > 0 in the
+    // report also shows up in the trace.
+    obs::TraceSpan span(
+        ctx->trace(),
+        wire::kStageSpanNames[static_cast<int>(stage.stage())]);
     const auto started = std::chrono::steady_clock::now();
     StageOutcome outcome = stage.Decide(t1, t2, report, ctx);
     counters.wall_ms +=

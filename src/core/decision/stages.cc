@@ -13,7 +13,9 @@
 
 #include "core/closure.h"
 #include "core/decision/procedure.h"
+#include "core/wire_keys.h"
 #include "graph/dominator.h"
+#include "obs/trace.h"
 #include "sat/cnf.h"
 #include "sat/solver.h"
 #include "util/string_util.h"
@@ -162,8 +164,10 @@ class Corollary2ClosureStage : public DecisionProcedure {
     const EngineConfig& config = ctx->config();
     StageOutcome out;
 
-    std::vector<std::vector<NodeId>> dominators =
-        AllDominators(draft.d.graph, config.max_dominators + 1);
+    std::vector<std::vector<NodeId>> dominators = [&] {
+      obs::TraceSpan span(ctx->trace(), wire::kSpanClosureDominators);
+      return AllDominators(draft.d.graph, config.max_dominators + 1);
+    }();
     bool enumeration_complete =
         static_cast<int64_t>(dominators.size()) <= config.max_dominators;
     if (!enumeration_complete) dominators.pop_back();
@@ -171,6 +175,9 @@ class Corollary2ClosureStage : public DecisionProcedure {
 
     auto evaluate =
         [&](const std::vector<NodeId>& dom_nodes) -> ClosureAttempt {
+      // One span per closure run, from whichever thread runs it — this is
+      // the loop the trace exists to make visible.
+      obs::TraceSpan span(ctx->trace(), wire::kSpanClosureDominator);
       return TryCloseDominator(t1, t2, draft.d.EntitiesOf(dom_nodes));
     };
     auto certified = [&](ClosureAttempt attempt, size_t winner) {
@@ -320,6 +327,7 @@ class SatExhaustiveStage : public DecisionProcedure {
     int64_t remaining = ctx->config().max_sat_decisions;
     int64_t models = 0;
     bool all_failures_proven = true;
+    obs::TraceSpan models_span(ctx->trace(), wire::kSpanSatModels);
     while (true) {
       if (token->cancelled()) {
         out.detail = "analysis cancelled";

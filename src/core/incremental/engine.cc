@@ -8,7 +8,9 @@
 
 #include "core/decision/context.h"
 #include "core/verdict_cache.h"
+#include "core/wire_keys.h"
 #include "graph/cycles.h"
+#include "obs/trace.h"
 #include "util/thread_pool.h"
 
 namespace dislock {
@@ -52,6 +54,8 @@ MultiSafetyReport IncrementalSafetyEngine::Check() {
   DeltaStats delta;
 
   // ---- Diff against the previous Check by pointer identity per id. ----
+  std::optional<obs::TraceSpan> diff_span;
+  diff_span.emplace(ctx_->trace(), wire::kSpanIncrementalDiff);
   std::unordered_map<TxnId, std::shared_ptr<const Transaction>> cur;
   cur.reserve(static_cast<size_t>(snap.NumTransactions()));
   for (int i = 0; i < snap.NumTransactions(); ++i) {
@@ -76,8 +80,12 @@ MultiSafetyReport IncrementalSafetyEngine::Check() {
     }
   }
 
+  diff_span.reset();
+
   // ---- Invalidate exactly the store entries that mention an edited id:
   // the edited transaction's incident pairs and the cycles through it. ----
+  std::optional<obs::TraceSpan> invalidate_span;
+  invalidate_span.emplace(ctx_->trace(), wire::kSpanIncrementalInvalidate);
   if (!edited.empty()) {
     for (auto it = pair_store_.begin(); it != pair_store_.end();) {
       if (edited.count(it->first.first) != 0 ||
@@ -98,8 +106,12 @@ MultiSafetyReport IncrementalSafetyEngine::Check() {
     }
   }
 
+  invalidate_span.reset();
+
   // ---- Condition (a): decide the dirty conflicting pairs, reuse the
   // rest. ----
+  std::optional<obs::TraceSpan> pairs_span;
+  pairs_span.emplace(ctx_->trace(), wire::kSpanIncrementalPairs);
   Digraph g = BuildTransactionConflictGraph(view);
   std::vector<std::pair<int, int>> pairs = ConflictingPairs(g);
   auto key_of = [&snap](const std::pair<int, int>& p) {
@@ -176,12 +188,14 @@ MultiSafetyReport IncrementalSafetyEngine::Check() {
     }
   }
   std::optional<size_t> failing = ReplayPairScan(scan, num_groups, {}, &report);
+  pairs_span.reset();
 
   prev_ = std::move(cur);
   has_prev_ = true;
 
   if (!failing.has_value()) {
     // ---- Condition (b): examine the dirty cycles, reuse the rest. ----
+    obs::TraceSpan cycles_span(ctx_->trace(), wire::kSpanIncrementalCycles);
     std::vector<std::vector<NodeId>> cycles =
         SimpleCycles(g, options.max_cycles);
     bool budget_exhausted =

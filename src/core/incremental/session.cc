@@ -1,5 +1,6 @@
 #include "core/incremental/session.h"
 
+#include <cstdint>
 #include <fstream>
 #include <iostream>
 #include <memory>
@@ -9,6 +10,10 @@
 #include "core/decision/context.h"
 #include "core/incremental/engine.h"
 #include "core/report.h"
+#include "core/stats_export.h"
+#include "core/wire_keys.h"
+#include "obs/stats_sink.h"
+#include "obs/trace.h"
 #include "txn/catalog.h"
 #include "txn/text_format.h"
 #include "util/string_util.h"
@@ -70,16 +75,27 @@ class Session {
       std::string verb;
       cmd >> verb;
       if (verb == "quit" || verb == "exit") break;
-      Status st = Dispatch(verb, &cmd);
+      ++commands_;
+      Status st;
+      {
+        obs::TraceSpan span(options_.config.trace, wire::kSpanSessionCommand);
+        st = Dispatch(verb, &cmd);
+      }
       if (!st.ok()) {
         ++errors_;
         if (options_.json) {
-          out_ << "{\"cmd\": " << Quoted(verb) << ", \"ok\": false, "
+          out_ << LineOpen() << "\"cmd\": " << Quoted(verb)
+               << ", \"ok\": false, "
                << "\"error\": " << Quoted(st.message()) << "}\n";
         } else {
           out_ << "error: " << st.message() << "\n";
         }
       }
+    }
+    if (obs::StatsSink* sink = options_.config.stats) {
+      sink->AddCounter(wire::kMetricSessionCommands, commands_);
+      sink->AddCounter(wire::kMetricSessionChecks, checks_);
+      sink->AddCounter(wire::kMetricSessionErrors, errors_);
     }
     return errors_;
   }
@@ -87,6 +103,13 @@ class Session {
  private:
   static std::string Quoted(const std::string& s) {
     return StrCat("\"", JsonEscape(s), "\"");
+  }
+
+  /// Every JSON line the session emits is individually versioned — the
+  /// line protocol has no enclosing document to carry the version.
+  static std::string LineOpen() {
+    return StrCat("{\"", wire::kSchemaVersionKey,
+                  "\": ", std::to_string(wire::kSchemaVersion), ", ");
   }
 
   Status Dispatch(const std::string& verb, std::istringstream* cmd) {
@@ -99,7 +122,7 @@ class Session {
     if (verb == "stats") return Stats();
     if (verb == "help") {
       if (options_.json) {
-        out_ << "{\"cmd\": \"help\", \"ok\": true}\n";
+        out_ << LineOpen() << "\"cmd\": \"help\", \"ok\": true}\n";
       } else {
         out_ << kHelp;
       }
@@ -144,7 +167,8 @@ class Session {
     state_ = std::move(state);
 
     if (options_.json) {
-      out_ << "{\"cmd\": \"load\", \"ok\": true, \"path\": " << Quoted(path)
+      out_ << LineOpen() << "\"cmd\": \"load\", \"ok\": true, \"path\": "
+           << Quoted(path)
            << ", \"transactions\": " << state_.catalog->NumTransactions()
            << ", \"entities\": " << state_.db->NumEntities()
            << ", \"sites\": " << state_.db->NumSites() << "}\n";
@@ -166,7 +190,8 @@ class Session {
     auto id = state_.catalog->Add(std::move(txn).value());
     if (!id.ok()) return id.status();
     if (options_.json) {
-      out_ << "{\"cmd\": \"add\", \"ok\": true, \"name\": " << Quoted(name)
+      out_ << LineOpen() << "\"cmd\": \"add\", \"ok\": true, \"name\": "
+           << Quoted(name)
            << ", \"id\": " << *id << "}\n";
     } else {
       out_ << "added " << name << " (id " << *id << ")\n";
@@ -181,8 +206,8 @@ class Session {
     if (name.empty()) return Status::InvalidArgument("usage: remove <name>");
     DISLOCK_RETURN_NOT_OK(state_.catalog->RemoveByName(name));
     if (options_.json) {
-      out_ << "{\"cmd\": \"remove\", \"ok\": true, \"name\": " << Quoted(name)
-           << "}\n";
+      out_ << LineOpen() << "\"cmd\": \"remove\", \"ok\": true, \"name\": "
+           << Quoted(name) << "}\n";
     } else {
       out_ << "removed " << name << "\n";
     }
@@ -203,8 +228,8 @@ class Session {
     DISLOCK_RETURN_NOT_OK(
         state_.catalog->ReplaceByName(name, std::move(txn).value()));
     if (options_.json) {
-      out_ << "{\"cmd\": \"replace\", \"ok\": true, \"name\": " << Quoted(name)
-           << "}\n";
+      out_ << LineOpen() << "\"cmd\": \"replace\", \"ok\": true, \"name\": "
+           << Quoted(name) << "}\n";
     } else {
       out_ << "replaced " << name << "\n";
     }
@@ -213,12 +238,15 @@ class Session {
 
   Status Check() {
     DISLOCK_RETURN_NOT_OK(RequireLoaded());
+    ++checks_;
     MultiSafetyReport report = state_.engine->Check();
+    // Per-check report stats accumulate across the session (counters sum).
+    ExportMultiReportStats(report, options_.config.stats);
     // The session is single-threaded between Check and this render, so the
     // snapshot here has the dense order the report's indices refer to.
     CatalogSnapshot snap = state_.catalog->Snapshot();
     if (options_.json) {
-      out_ << "{\"cmd\": \"check\", \"ok\": true, \"report\": "
+      out_ << LineOpen() << "\"cmd\": \"check\", \"ok\": true, \"report\": "
            << MultiReportToJson(report, snap.View()) << "}\n";
       return Status::OK();
     }
@@ -255,7 +283,8 @@ class Session {
     DISLOCK_RETURN_NOT_OK(RequireLoaded());
     CatalogSnapshot snap = state_.catalog->Snapshot();
     if (options_.json) {
-      out_ << "{\"cmd\": \"list\", \"ok\": true, \"transactions\": [";
+      out_ << LineOpen() << "\"cmd\": \"list\", \"ok\": true, "
+           << "\"transactions\": [";
       for (int i = 0; i < snap.NumTransactions(); ++i) {
         if (i > 0) out_ << ", ";
         out_ << "{\"id\": " << snap.id(i)
@@ -274,8 +303,8 @@ class Session {
     DISLOCK_RETURN_NOT_OK(RequireLoaded());
     const EngineTotals& t = state_.engine->totals();
     if (options_.json) {
-      out_ << "{\"cmd\": \"stats\", \"ok\": true, \"generation\": "
-           << state_.catalog->generation()
+      out_ << LineOpen() << "\"cmd\": \"stats\", \"ok\": true, "
+           << "\"generation\": " << state_.catalog->generation()
            << ", \"transactions\": " << state_.catalog->NumTransactions()
            << ", \"checks\": " << t.checks
            << ", \"pair_store\": " << state_.engine->PairStoreSize()
@@ -301,6 +330,8 @@ class Session {
   std::ostream& out_;
   const SessionOptions& options_;
   SessionState state_;
+  int64_t commands_ = 0;
+  int64_t checks_ = 0;
   int errors_ = 0;
 };
 

@@ -16,7 +16,11 @@ struct SessionOptions {
   /// directory (tests use it to run scripts from any working directory).
   std::string load_root;
   /// Engine configuration (num_threads 0 = one worker per hardware
-  /// thread, enable_cache, cycle budget, ...).
+  /// thread, enable_cache, cycle budget, ...). `config.trace` drives the
+  /// per-command "session.command" spans; `config.stats`, when set,
+  /// receives the session counters (session.commands / session.checks /
+  /// session.errors) plus per-check report stats when the run ends.
+  /// Neither ever affects session output.
   EngineConfig config;
 };
 

@@ -10,7 +10,9 @@
 
 #include "core/decision/context.h"
 #include "core/verdict_cache.h"
+#include "core/wire_keys.h"
 #include "graph/cycles.h"
+#include "obs/trace.h"
 #include "util/string_util.h"
 #include "util/thread_pool.h"
 
@@ -201,6 +203,10 @@ MultiSafetyReport AnalyzeMultiSafety(const SystemView& view,
   const MultiSafetyOptions& options = ctx->config();
   MultiSafetyReport report;
   PairVerdictCache* cache = ctx->cache();
+  // Phase span for condition (a); the per-pair work shows up nested under
+  // it (serial) or under the workers' "pool.task" spans (parallel).
+  std::optional<obs::TraceSpan> pairs_span;
+  pairs_span.emplace(ctx->trace(), wire::kSpanMultiPairs);
 
   // The conflict graph G drives both conditions: its arcs are exactly the
   // conflicting pairs of condition (a), and its directed cycles are the
@@ -322,9 +328,11 @@ MultiSafetyReport AnalyzeMultiSafety(const SystemView& view,
   };
   std::optional<size_t> failing = ReplayPairScan(
       scan, static_cast<int>(groups.size()), insert_into_cache, &report);
+  pairs_span.reset();
   if (failing.has_value()) return report;
 
   // ---- Condition (b): every directed cycle's B_c graph has a cycle. ----
+  obs::TraceSpan cycles_span(ctx->trace(), wire::kSpanMultiCycles);
   std::vector<std::vector<NodeId>> cycles =
       SimpleCycles(g, options.max_cycles);
   bool budget_exhausted =

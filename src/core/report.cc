@@ -3,6 +3,7 @@
 #include <sstream>
 
 #include "core/certificate.h"
+#include "core/wire_keys.h"
 
 namespace dislock {
 
@@ -47,31 +48,38 @@ std::string Quoted(const std::string& s) {
   return out;
 }
 
+// `"<key>": ` — every key below comes from core/wire_keys.h, so emitters
+// cannot drift from each other (the fig4/fig5 goldens pin the bytes).
+std::string Key(const char* name) {
+  return std::string("\"") + name + "\": ";
+}
+
 }  // namespace
 
 std::string CertificateToJson(const UnsafetyCertificate& cert,
                               const DistributedDatabase& db) {
   std::ostringstream out;
-  out << "{\"dominator\": [";
+  out << "{" << Key(wire::kDominator) << "[";
   for (size_t i = 0; i < cert.dominator.size(); ++i) {
     if (i > 0) out << ", ";
     out << Quoted(db.NameOf(cert.dominator[i]));
   }
-  out << "], \"t1\": [";
+  out << "], " << Key(wire::kT1) << "[";
   for (size_t i = 0; i < cert.order1.size(); ++i) {
     if (i > 0) out << ", ";
     out << Quoted(cert.t1.StepString(cert.order1[i]));
   }
-  out << "], \"t2\": [";
+  out << "], " << Key(wire::kT2) << "[";
   for (size_t i = 0; i < cert.order2.size(); ++i) {
     if (i > 0) out << ", ";
     out << Quoted(cert.t2.StepString(cert.order2[i]));
   }
   TransactionSystem pair = MakePairSystem(cert.t1, cert.t2);
-  out << "], \"schedule\": " << Quoted(cert.schedule.ToString(pair))
-      << ", \"separates_above\": " << Quoted(db.NameOf(cert.separation.above))
-      << ", \"separates_below\": " << Quoted(db.NameOf(cert.separation.below))
-      << "}";
+  out << "], " << Key(wire::kSchedule) << Quoted(cert.schedule.ToString(pair))
+      << ", " << Key(wire::kSeparatesAbove)
+      << Quoted(db.NameOf(cert.separation.above)) << ", "
+      << Key(wire::kSeparatesBelow)
+      << Quoted(db.NameOf(cert.separation.below)) << "}";
   return out.str();
 }
 
@@ -81,12 +89,12 @@ std::string PipelineStatsToJson(const PipelineStats& stats) {
   for (int i = 0; i < kNumDecisionStages; ++i) {
     const StageCounters& c = stats.stages[static_cast<size_t>(i)];
     if (i > 0) out << ", ";
-    out << "{\"stage\": "
-        << Quoted(DecisionStageName(static_cast<DecisionStageId>(i)))
-        << ", \"attempts\": " << c.attempts
-        << ", \"decided\": " << c.decided << ", \"skipped\": " << c.skipped
-        << ", \"budget_exhausted\": " << c.budget_exhausted
-        << ", \"work\": " << c.work << "}";
+    out << "{" << Key(wire::kStage)
+        << Quoted(DecisionStageName(static_cast<DecisionStageId>(i))) << ", "
+        << Key(wire::kAttempts) << c.attempts << ", " << Key(wire::kDecided)
+        << c.decided << ", " << Key(wire::kSkipped) << c.skipped << ", "
+        << Key(wire::kBudgetExhausted) << c.budget_exhausted << ", "
+        << Key(wire::kWork) << c.work << "}";
   }
   out << "]";
   return out.str();
@@ -95,16 +103,16 @@ std::string PipelineStatsToJson(const PipelineStats& stats) {
 std::string PairReportToJson(const PairSafetyReport& report,
                              const DistributedDatabase& db) {
   std::ostringstream out;
-  out << "{\"verdict\": " << Quoted(SafetyVerdictName(report.verdict))
-      << ", \"method\": " << Quoted(DecisionMethodName(report.method))
-      << ", \"sites\": " << report.sites_spanned
-      << ", \"d_nodes\": " << report.d.graph.NumNodes()
-      << ", \"d_arcs\": " << report.d.graph.NumArcs()
-      << ", \"d_strongly_connected\": "
-      << (report.d_strongly_connected ? "true" : "false")
-      << ", \"detail\": " << Quoted(report.detail)
-      << ", \"pipeline\": " << PipelineStatsToJson(report.pipeline)
-      << ", \"certificate\": ";
+  out << "{" << Key(wire::kVerdict) << Quoted(SafetyVerdictName(report.verdict))
+      << ", " << Key(wire::kMethod) << Quoted(DecisionMethodName(report.method))
+      << ", " << Key(wire::kSites) << report.sites_spanned << ", "
+      << Key(wire::kDNodes) << report.d.graph.NumNodes() << ", "
+      << Key(wire::kDArcs) << report.d.graph.NumArcs() << ", "
+      << Key(wire::kDStronglyConnected)
+      << (report.d_strongly_connected ? "true" : "false") << ", "
+      << Key(wire::kDetail) << Quoted(report.detail) << ", "
+      << Key(wire::kPipeline) << PipelineStatsToJson(report.pipeline) << ", "
+      << Key(wire::kCertificate);
   if (report.certificate.has_value()) {
     out << CertificateToJson(*report.certificate, db);
   } else {
@@ -116,25 +124,25 @@ std::string PairReportToJson(const PairSafetyReport& report,
 
 std::string DeltaStatsToJson(const DeltaStats& delta) {
   std::ostringstream out;
-  out << "{\"txns_added\": " << delta.txns_added
-      << ", \"txns_removed\": " << delta.txns_removed
-      << ", \"txns_replaced\": " << delta.txns_replaced
-      << ", \"pairs_reused\": " << delta.pairs_reused
-      << ", \"pairs_recomputed\": " << delta.pairs_recomputed
-      << ", \"cycles_reused\": " << delta.cycles_reused
-      << ", \"cycles_recomputed\": " << delta.cycles_recomputed
-      << ", \"full\": " << (delta.full ? "true" : "false") << "}";
+  out << "{" << Key(wire::kTxnsAdded) << delta.txns_added << ", "
+      << Key(wire::kTxnsRemoved) << delta.txns_removed << ", "
+      << Key(wire::kTxnsReplaced) << delta.txns_replaced << ", "
+      << Key(wire::kPairsReused) << delta.pairs_reused << ", "
+      << Key(wire::kPairsRecomputed) << delta.pairs_recomputed << ", "
+      << Key(wire::kCyclesReused) << delta.cycles_reused << ", "
+      << Key(wire::kCyclesRecomputed) << delta.cycles_recomputed << ", "
+      << Key(wire::kFull) << (delta.full ? "true" : "false") << "}";
   return out.str();
 }
 
 std::string MultiReportToJson(const MultiSafetyReport& report,
                               const SystemView& view) {
   std::ostringstream out;
-  out << "{\"verdict\": " << Quoted(SafetyVerdictName(report.verdict))
-      << ", \"pairs_checked\": " << report.pairs_checked
-      << ", \"pairs_cached\": " << report.pairs_cached
-      << ", \"cycles_checked\": " << report.cycles_checked
-      << ", \"failing_pair\": ";
+  out << "{" << Key(wire::kVerdict) << Quoted(SafetyVerdictName(report.verdict))
+      << ", " << Key(wire::kPairsChecked) << report.pairs_checked << ", "
+      << Key(wire::kPairsCached) << report.pairs_cached << ", "
+      << Key(wire::kCyclesChecked) << report.cycles_checked << ", "
+      << Key(wire::kFailingPair);
   if (report.failing_pair.has_value()) {
     out << "[" << Quoted(view.txn(report.failing_pair->first).name())
         << ", " << Quoted(view.txn(report.failing_pair->second).name())
@@ -142,7 +150,7 @@ std::string MultiReportToJson(const MultiSafetyReport& report,
   } else {
     out << "null";
   }
-  out << ", \"failing_cycle\": ";
+  out << ", " << Key(wire::kFailingCycle);
   if (!report.failing_cycle.empty()) {
     out << "[";
     for (size_t i = 0; i < report.failing_cycle.size(); ++i) {
@@ -153,9 +161,9 @@ std::string MultiReportToJson(const MultiSafetyReport& report,
   } else {
     out << "null";
   }
-  out << ", \"pipeline\": " << PipelineStatsToJson(report.pipeline);
+  out << ", " << Key(wire::kPipeline) << PipelineStatsToJson(report.pipeline);
   if (report.delta.has_value()) {
-    out << ", \"delta\": " << DeltaStatsToJson(*report.delta);
+    out << ", " << Key(wire::kDelta) << DeltaStatsToJson(*report.delta);
   }
   out << "}";
   return out.str();
@@ -169,19 +177,21 @@ std::string MultiReportToJson(const MultiSafetyReport& report,
 std::string DeadlockReportToJson(const DeadlockReport& report,
                                  const TransactionSystem& system) {
   std::ostringstream out;
-  out << "{\"deadlock_free\": " << (report.deadlock_free ? "true" : "false")
-      << ", \"states_explored\": " << report.states_explored
-      << ", \"dead_prefix\": ";
+  out << "{" << Key(wire::kDeadlockFree)
+      << (report.deadlock_free ? "true" : "false") << ", "
+      << Key(wire::kStatesExplored) << report.states_explored << ", "
+      << Key(wire::kDeadPrefix);
   if (report.dead_prefix.has_value()) {
     out << Quoted(report.dead_prefix->ToString(system));
   } else {
     out << "null";
   }
-  out << ", \"blocked\": [";
+  out << ", " << Key(wire::kBlocked) << "[";
   for (size_t i = 0; i < report.blocked_txns.size(); ++i) {
     if (i > 0) out << ", ";
-    out << "{\"txn\": " << Quoted(system.txn(report.blocked_txns[i]).name())
-        << ", \"waits_for\": "
+    out << "{" << Key(wire::kTxn)
+        << Quoted(system.txn(report.blocked_txns[i]).name()) << ", "
+        << Key(wire::kWaitsFor)
         << Quoted(report.waited_entities[i] == kInvalidEntity
                       ? std::string("?")
                       : system.db().NameOf(report.waited_entities[i]))

@@ -1,0 +1,92 @@
+#include "core/stats_export.h"
+
+#include <string>
+
+#include "core/wire_keys.h"
+
+namespace dislock {
+
+namespace {
+
+std::string Dotted(const char* a, const char* b) {
+  return std::string(a) + "." + b;
+}
+
+std::string Dotted(const char* a, const char* b, const char* c) {
+  return std::string(a) + "." + b + "." + c;
+}
+
+}  // namespace
+
+void ExportPipelineStats(const PipelineStats& stats, obs::StatsSink* sink) {
+  if (sink == nullptr) return;
+  for (int s = 0; s < kNumDecisionStages; ++s) {
+    const StageCounters& c = stats.stages[static_cast<size_t>(s)];
+    const char* stage = DecisionStageName(static_cast<DecisionStageId>(s));
+    const char* prefix = wire::kMetricPipelinePrefix;
+    sink->AddCounter(Dotted(prefix, stage, wire::kAttempts), c.attempts);
+    sink->AddCounter(Dotted(prefix, stage, wire::kDecided), c.decided);
+    sink->AddCounter(Dotted(prefix, stage, wire::kSkipped), c.skipped);
+    sink->AddCounter(Dotted(prefix, stage, wire::kBudgetExhausted),
+                     c.budget_exhausted);
+    sink->AddCounter(Dotted(prefix, stage, wire::kWork), c.work);
+    // wall_ms is measured, not a pure function of the input; it stays out
+    // of the metrics block for the same reason it stays out of reports.
+  }
+}
+
+void ExportPairReportStats(const PairSafetyReport& report,
+                           obs::StatsSink* sink) {
+  if (sink == nullptr) return;
+  sink->AddCounter(Dotted(wire::kMetricPairPrefix, "analyses"), 1);
+  sink->AddCounter(Dotted(wire::kMetricPairPrefix, wire::kVerdict,
+                          SafetyVerdictName(report.verdict)),
+                   1);
+  if (report.certificate.has_value()) {
+    sink->AddCounter(Dotted(wire::kMetricPairPrefix, "certificates"), 1);
+  }
+  ExportPipelineStats(report.pipeline, sink);
+}
+
+void ExportMultiReportStats(const MultiSafetyReport& report,
+                            obs::StatsSink* sink) {
+  if (sink == nullptr) return;
+  sink->AddCounter(Dotted(wire::kMetricMultiPrefix, "analyses"), 1);
+  sink->AddCounter(Dotted(wire::kMetricMultiPrefix, wire::kVerdict,
+                          SafetyVerdictName(report.verdict)),
+                   1);
+  sink->AddCounter(Dotted(wire::kMetricMultiPrefix, wire::kPairsChecked),
+                   report.pairs_checked);
+  sink->AddCounter(Dotted(wire::kMetricMultiPrefix, wire::kPairsCached),
+                   report.pairs_cached);
+  sink->AddCounter(Dotted(wire::kMetricMultiPrefix, wire::kCyclesChecked),
+                   report.cycles_checked);
+  ExportPipelineStats(report.pipeline, sink);
+  if (report.delta.has_value()) ExportDeltaStats(*report.delta, sink);
+}
+
+void ExportDeltaStats(const DeltaStats& delta, obs::StatsSink* sink) {
+  if (sink == nullptr) return;
+  const char* prefix = wire::kMetricDeltaPrefix;
+  sink->AddCounter(Dotted(prefix, wire::kTxnsAdded), delta.txns_added);
+  sink->AddCounter(Dotted(prefix, wire::kTxnsRemoved), delta.txns_removed);
+  sink->AddCounter(Dotted(prefix, wire::kTxnsReplaced), delta.txns_replaced);
+  sink->AddCounter(Dotted(prefix, wire::kPairsReused), delta.pairs_reused);
+  sink->AddCounter(Dotted(prefix, wire::kPairsRecomputed),
+                   delta.pairs_recomputed);
+  sink->AddCounter(Dotted(prefix, wire::kCyclesReused), delta.cycles_reused);
+  sink->AddCounter(Dotted(prefix, wire::kCyclesRecomputed),
+                   delta.cycles_recomputed);
+  sink->AddCounter(Dotted(prefix, "full_analyses"), delta.full ? 1 : 0);
+}
+
+void ExportCacheStats(const PairVerdictCache& cache, obs::StatsSink* sink) {
+  if (sink == nullptr) return;
+  PairVerdictCache::Stats stats = cache.stats();
+  sink->AddCounter(wire::kMetricCacheHits, stats.hits);
+  sink->AddCounter(wire::kMetricCacheMisses, stats.misses);
+  sink->SetGauge(wire::kMetricCacheSize, static_cast<double>(cache.size()));
+  sink->SetGauge(wire::kMetricCacheHitRate, stats.HitRate());
+}
+
+}  // namespace dislock

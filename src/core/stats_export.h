@@ -1,0 +1,47 @@
+#ifndef DISLOCK_CORE_STATS_EXPORT_H_
+#define DISLOCK_CORE_STATS_EXPORT_H_
+
+#include "core/multi.h"
+#include "core/safety.h"
+#include "core/verdict_cache.h"
+#include "obs/stats_sink.h"
+
+namespace dislock {
+
+// The redesigned stats API: every typed stats struct the engine grew
+// (PipelineStats, the multi/pair report counters, DeltaStats, the
+// verdict-cache Stats) pours itself into one obs::StatsSink under the
+// dotted-name taxonomy of core/wire_keys.h / docs/observability.md.
+//
+// Convention: the owner of a finished report exports it exactly once —
+// PassManager::Run for analyze, the session's check command, the tools for
+// their own runs. Library code never exports (it only records trace
+// spans), so nothing is double counted when reports nest.
+
+// "pipeline.<stage>.{attempts,decided,skipped,budget_exhausted,work}"
+// counters. wall_ms stays out, as everywhere.
+void ExportPipelineStats(const PipelineStats& stats, obs::StatsSink* sink);
+
+// "pair.analyses", "pair.verdict.<verdict>", "pair.certificates" counters
+// plus the report's pipeline stats.
+void ExportPairReportStats(const PairSafetyReport& report,
+                           obs::StatsSink* sink);
+
+// "multi.analyses", "multi.verdict.<verdict>", "multi.pairs_checked",
+// "multi.pairs_cached", "multi.cycles_checked" counters, the report's
+// pipeline stats, and — when the report came from the incremental engine —
+// its DeltaStats.
+void ExportMultiReportStats(const MultiSafetyReport& report,
+                            obs::StatsSink* sink);
+
+// "delta.{txns_added,txns_removed,txns_replaced,pairs_reused,
+// pairs_recomputed,cycles_reused,cycles_recomputed,full_analyses}" counters.
+void ExportDeltaStats(const DeltaStats& delta, obs::StatsSink* sink);
+
+// "cache.hits"/"cache.misses" counters plus "cache.size"/"cache.hit_rate"
+// gauges for an engine- or caller-owned PairVerdictCache.
+void ExportCacheStats(const PairVerdictCache& cache, obs::StatsSink* sink);
+
+}  // namespace dislock
+
+#endif  // DISLOCK_CORE_STATS_EXPORT_H_

@@ -1,0 +1,161 @@
+#ifndef DISLOCK_CORE_WIRE_KEYS_H_
+#define DISLOCK_CORE_WIRE_KEYS_H_
+
+namespace dislock {
+namespace wire {
+
+// Single source of truth for the strings that cross the wire: JSON/SARIF
+// keys, the DecisionMethod/DecisionStageId name tables, trace span names,
+// and metric names. core/report.cc, analysis/emit.cc, the stats exporters
+// (core/stats_export.h), and the instrumentation sites all reference these
+// constants, so a key cannot drift between emitters — the fig4/fig5 golden
+// tests pin the resulting bytes. docs/formats.md documents the schema;
+// docs/observability.md documents the span/metric taxonomy.
+
+// ---- Schema version -------------------------------------------------------
+// Stamped as the first key of every top-level JSON document the repo emits
+// (analyze --json, SARIF run properties, session lines, bench tables,
+// metrics, traces). Bump on any incompatible key change.
+inline constexpr int kSchemaVersion = 1;
+inline constexpr char kSchemaVersionKey[] = "schema_version";
+
+// ---- Decision method / stage wire names -----------------------------------
+// Indexed by the integer value of DecisionMethod / DecisionStageId
+// (core/decision/method.h, core/decision/stats.h); those headers document
+// the same strings and DecisionMethodName()/DecisionStageName() serve them.
+inline constexpr const char* kDecisionMethodNames[] = {
+    "none",              // DecisionMethod::kNone
+    "theorem-1",         // DecisionMethod::kTheorem1
+    "theorem-2",         // DecisionMethod::kTheorem2
+    "corollary-2",       // DecisionMethod::kCorollary2
+    "dominator-closure", // DecisionMethod::kDominatorClosure
+    "sat-exhaustive",    // DecisionMethod::kSatExhaustive
+    "exhaustive",        // DecisionMethod::kExhaustive
+};
+inline constexpr int kNumDecisionMethodNames =
+    sizeof(kDecisionMethodNames) / sizeof(kDecisionMethodNames[0]);
+
+inline constexpr const char* kDecisionStageNames[] = {
+    "theorem1-scc",        // DecisionStageId::kTheorem1Scc
+    "theorem2-two-site",   // DecisionStageId::kTheorem2TwoSite
+    "corollary2-closure",  // DecisionStageId::kCorollary2Closure
+    "sat-exhaustive",      // DecisionStageId::kSatExhaustive
+    "brute-force-lemma1",  // DecisionStageId::kBruteForceLemma1
+};
+inline constexpr int kNumDecisionStageNames =
+    sizeof(kDecisionStageNames) / sizeof(kDecisionStageNames[0]);
+
+// ---- Pipeline stat keys (PipelineStatsToJson) -----------------------------
+inline constexpr char kStage[] = "stage";
+inline constexpr char kAttempts[] = "attempts";
+inline constexpr char kDecided[] = "decided";
+inline constexpr char kSkipped[] = "skipped";
+inline constexpr char kBudgetExhausted[] = "budget_exhausted";
+inline constexpr char kWork[] = "work";
+
+// ---- Pair report keys (PairReportToJson) ----------------------------------
+inline constexpr char kVerdict[] = "verdict";
+inline constexpr char kMethod[] = "method";
+inline constexpr char kSites[] = "sites";
+inline constexpr char kDNodes[] = "d_nodes";
+inline constexpr char kDArcs[] = "d_arcs";
+inline constexpr char kDStronglyConnected[] = "d_strongly_connected";
+inline constexpr char kDetail[] = "detail";
+inline constexpr char kPipeline[] = "pipeline";
+inline constexpr char kCertificate[] = "certificate";
+
+// ---- Certificate keys (CertificateToJson) ---------------------------------
+inline constexpr char kDominator[] = "dominator";
+inline constexpr char kT1[] = "t1";
+inline constexpr char kT2[] = "t2";
+inline constexpr char kSchedule[] = "schedule";
+inline constexpr char kSeparatesAbove[] = "separates_above";
+inline constexpr char kSeparatesBelow[] = "separates_below";
+
+// ---- Multi report keys (MultiReportToJson) --------------------------------
+inline constexpr char kPairsChecked[] = "pairs_checked";
+inline constexpr char kPairsCached[] = "pairs_cached";
+inline constexpr char kCyclesChecked[] = "cycles_checked";
+inline constexpr char kFailingPair[] = "failing_pair";
+inline constexpr char kFailingCycle[] = "failing_cycle";
+inline constexpr char kDelta[] = "delta";
+
+// ---- Delta stat keys (DeltaStatsToJson) -----------------------------------
+inline constexpr char kTxnsAdded[] = "txns_added";
+inline constexpr char kTxnsRemoved[] = "txns_removed";
+inline constexpr char kTxnsReplaced[] = "txns_replaced";
+inline constexpr char kPairsReused[] = "pairs_reused";
+inline constexpr char kPairsRecomputed[] = "pairs_recomputed";
+inline constexpr char kCyclesReused[] = "cycles_reused";
+inline constexpr char kCyclesRecomputed[] = "cycles_recomputed";
+inline constexpr char kFull[] = "full";
+
+// ---- Deadlock report keys (DeadlockReportToJson) --------------------------
+inline constexpr char kDeadlockFree[] = "deadlock_free";
+inline constexpr char kStatesExplored[] = "states_explored";
+inline constexpr char kDeadPrefix[] = "dead_prefix";
+inline constexpr char kBlocked[] = "blocked";
+inline constexpr char kTxn[] = "txn";
+inline constexpr char kWaitsFor[] = "waits_for";
+
+// ---- Analysis emitters (analysis/emit.cc) ---------------------------------
+inline constexpr char kPasses[] = "passes";
+inline constexpr char kDiagnostics[] = "diagnostics";
+inline constexpr char kSeverity[] = "severity";
+inline constexpr char kRule[] = "rule";
+inline constexpr char kRuleName[] = "name";
+inline constexpr char kOtherTxn[] = "other_txn";
+inline constexpr char kStep[] = "step";
+inline constexpr char kEntity[] = "entity";
+inline constexpr char kMessage[] = "message";
+inline constexpr char kFixHint[] = "fix_hint";
+inline constexpr char kSummary[] = "summary";
+inline constexpr char kErrors[] = "errors";
+inline constexpr char kWarnings[] = "warnings";
+inline constexpr char kNotes[] = "notes";
+inline constexpr char kProperties[] = "properties";
+
+// ---- Trace span taxonomy --------------------------------------------------
+// Every TraceSpan in the engine uses one of these literals (plus
+// "pool.task", which lives in util/thread_pool.cc because util sits below
+// core). Per-stage spans are "stage." + kDecisionStageNames[s], served
+// pre-joined by kStageSpanNames.
+inline constexpr char kSpanPoolTask[] = "pool.task";
+inline constexpr const char* kStageSpanNames[] = {
+    "stage.theorem1-scc",       "stage.theorem2-two-site",
+    "stage.corollary2-closure", "stage.sat-exhaustive",
+    "stage.brute-force-lemma1",
+};
+inline constexpr char kSpanClosureDominators[] = "closure.dominators";
+inline constexpr char kSpanClosureDominator[] = "closure.dominator";
+inline constexpr char kSpanSatModels[] = "sat.models";
+inline constexpr char kSpanMultiPairs[] = "multi.pairs";
+inline constexpr char kSpanMultiCycles[] = "multi.cycles";
+inline constexpr char kSpanIncrementalDiff[] = "incremental.diff";
+inline constexpr char kSpanIncrementalInvalidate[] = "incremental.invalidate";
+inline constexpr char kSpanIncrementalPairs[] = "incremental.pairs";
+inline constexpr char kSpanIncrementalCycles[] = "incremental.cycles";
+inline constexpr char kSpanSessionCommand[] = "session.command";
+inline constexpr char kSpanPass[] = "analysis.pass";
+inline constexpr char kSpanDeadlock[] = "deadlock.search";
+
+// ---- Metric name taxonomy (dotted, for obs::StatsSink) --------------------
+// Pipeline counters expand to "pipeline.<stage>.<counter>" with the stage
+// and counter names above. The rest:
+inline constexpr char kMetricCacheHits[] = "cache.hits";
+inline constexpr char kMetricCacheMisses[] = "cache.misses";
+inline constexpr char kMetricCacheSize[] = "cache.size";
+inline constexpr char kMetricCacheHitRate[] = "cache.hit_rate";
+inline constexpr char kMetricPipelinePrefix[] = "pipeline";
+inline constexpr char kMetricPairPrefix[] = "pair";
+inline constexpr char kMetricMultiPrefix[] = "multi";
+inline constexpr char kMetricDeltaPrefix[] = "delta";
+inline constexpr char kMetricAnalysisPrefix[] = "analysis";
+inline constexpr char kMetricSessionCommands[] = "session.commands";
+inline constexpr char kMetricSessionChecks[] = "session.checks";
+inline constexpr char kMetricSessionErrors[] = "session.errors";
+
+}  // namespace wire
+}  // namespace dislock
+
+#endif  // DISLOCK_CORE_WIRE_KEYS_H_

@@ -34,6 +34,12 @@
 ///                    sat/reduction.h (Theorem 3)
 ///   * simulation   — sim/lock_manager.h, sim/scheduler.h, sim/executor.h,
 ///                    sim/workload.h
+///   * observability— obs/trace.h (RAII spans + Chrome trace_event
+///                    export), obs/metrics.h (typed counter/gauge
+///                    registry), obs/stats_sink.h (the one stats
+///                    interface), obs/observability.h (tool-side bundle),
+///                    core/wire_keys.h (wire strings), core/stats_export.h
+///                    (report → sink), util/flags.h (shared tool flags)
 
 #include "analysis/analyzer.h"
 #include "analysis/diagnostic.h"
@@ -60,10 +66,17 @@
 #include "core/protocols.h"
 #include "core/report.h"
 #include "core/safety.h"
+#include "core/stats_export.h"
 #include "core/verdict_cache.h"
+#include "core/wire_keys.h"
 #include "geometry/curve.h"
 #include "geometry/deadlock_geometry.h"
 #include "geometry/picture.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/observability.h"
+#include "obs/stats_sink.h"
+#include "obs/trace.h"
 #include "sat/cnf.h"
 #include "sat/normalize.h"
 #include "sat/reduction.h"
@@ -79,5 +92,6 @@
 #include "txn/system.h"
 #include "txn/text_format.h"
 #include "txn/validate.h"
+#include "util/flags.h"
 
 #endif  // DISLOCK_DISLOCK_H_

@@ -1,0 +1,26 @@
+#ifndef DISLOCK_OBS_JSON_H_
+#define DISLOCK_OBS_JSON_H_
+
+#include <string>
+#include <string_view>
+
+namespace dislock {
+namespace obs {
+
+// Returns `s` wrapped in double quotes with JSON escaping applied
+// (quote, backslash, control characters). The obs layer sits below core,
+// so it carries its own escaper rather than reaching up to core/report.h.
+std::string JsonQuote(std::string_view s);
+
+// Minimal JSON validator: accepts exactly the RFC 8259 grammar (objects,
+// arrays, strings, numbers, true/false/null) with arbitrary nesting.
+// Used by tests and the CI trace smoke step to check that every exporter
+// in the repo emits well-formed JSON; not a parser — nothing is built.
+// On failure returns false and, when `error` is non-null, stores a short
+// description with a byte offset.
+bool IsValidJson(std::string_view text, std::string* error = nullptr);
+
+}  // namespace obs
+}  // namespace dislock
+
+#endif  // DISLOCK_OBS_JSON_H_

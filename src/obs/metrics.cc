@@ -1,0 +1,90 @@
+#include "obs/metrics.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "obs/json.h"
+
+namespace dislock {
+namespace obs {
+
+void MetricsRegistry::AddCounter(std::string_view name, int64_t value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    counters_.emplace(std::string(name), value);
+  } else {
+    it->second += value;
+  }
+}
+
+void MetricsRegistry::SetGauge(std::string_view name, double value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    gauges_.emplace(std::string(name), value);
+  } else {
+    it->second = value;
+  }
+}
+
+int64_t MetricsRegistry::CounterValue(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+double MetricsRegistry::GaugeValue(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  return it == gauges_.end() ? 0.0 : it->second;
+}
+
+std::map<std::string, int64_t> MetricsRegistry::Counters() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return {counters_.begin(), counters_.end()};
+}
+
+std::map<std::string, double> MetricsRegistry::Gauges() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return {gauges_.begin(), gauges_.end()};
+}
+
+bool MetricsRegistry::empty() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counters_.empty() && gauges_.empty();
+}
+
+void MetricsRegistry::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  counters_.clear();
+  gauges_.clear();
+}
+
+std::string MetricsRegistry::ToJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out = "{\n  \"schema_version\": 1,\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, value] : counters_) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    " + JsonQuote(name) + ": " + std::to_string(value);
+  }
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"gauges\": {";
+  first = true;
+  for (const auto& [name, value] : gauges_) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    char buf[64];
+    // JSON has no inf/nan tokens; clamp non-finite values to 0.
+    std::snprintf(buf, sizeof buf, "%.6g", std::isfinite(value) ? value : 0.0);
+    out += "    " + JsonQuote(name) + ": " + buf;
+  }
+  out += first ? "}\n" : "\n  }\n";
+  out += "}\n";
+  return out;
+}
+
+}  // namespace obs
+}  // namespace dislock

@@ -1,0 +1,53 @@
+#ifndef DISLOCK_OBS_METRICS_H_
+#define DISLOCK_OBS_METRICS_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+#include "obs/stats_sink.h"
+
+namespace dislock {
+namespace obs {
+
+// Thread-safe StatsSink backed by sorted maps.
+//
+// Counters accumulate across AddCounter calls (including concurrent calls
+// from ThreadPool workers); gauges keep the last value set. ToJson()
+// iterates the maps in key order, so the exported block is deterministic
+// for a deterministic set of (name, value) pairs regardless of insertion
+// or thread interleaving.
+class MetricsRegistry final : public StatsSink {
+ public:
+  void AddCounter(std::string_view name, int64_t value) override;
+  void SetGauge(std::string_view name, double value) override;
+
+  // Returns the counter's current value, or 0 if never added to.
+  int64_t CounterValue(std::string_view name) const;
+  // Returns the gauge's current value, or 0.0 if never set.
+  double GaugeValue(std::string_view name) const;
+
+  // Snapshot copies, sorted by name.
+  std::map<std::string, int64_t> Counters() const;
+  std::map<std::string, double> Gauges() const;
+
+  bool empty() const;
+  void Clear();
+
+  // Flat metrics block:
+  //   {"schema_version": 1, "counters": {...}, "gauges": {...}}
+  // Keys sorted; gauges formatted with %.6g.
+  std::string ToJson() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, int64_t, std::less<>> counters_;
+  std::map<std::string, double, std::less<>> gauges_;
+};
+
+}  // namespace obs
+}  // namespace dislock
+
+#endif  // DISLOCK_OBS_METRICS_H_

@@ -1,0 +1,52 @@
+#include "obs/observability.h"
+
+#include <cstdio>
+#include <fstream>
+#include <utility>
+
+namespace dislock {
+namespace obs {
+
+Observability::Observability(std::string trace_path, bool metrics_requested,
+                             std::string metrics_path)
+    : trace_path_(std::move(trace_path)), metrics_path_(std::move(metrics_path)) {
+  if (!trace_path_.empty()) trace_ = std::make_unique<TraceRecorder>();
+  if (metrics_requested) metrics_ = std::make_unique<MetricsRegistry>();
+}
+
+namespace {
+bool WriteFile(const std::string& path, const std::string& body,
+               std::string* error) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    if (error != nullptr) *error = "cannot open " + path + " for writing";
+    return false;
+  }
+  out << body;
+  out.flush();
+  if (!out) {
+    if (error != nullptr) *error = "error writing " + path;
+    return false;
+  }
+  return true;
+}
+}  // namespace
+
+bool Observability::Flush(std::string* error) const {
+  if (trace_ != nullptr &&
+      !WriteFile(trace_path_, trace_->ToChromeTraceJson(), error)) {
+    return false;
+  }
+  if (metrics_ != nullptr) {
+    const std::string body = metrics_->ToJson();
+    if (metrics_path_.empty() || metrics_path_ == "-") {
+      std::fputs(body.c_str(), stderr);
+    } else if (!WriteFile(metrics_path_, body, error)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace obs
+}  // namespace dislock

@@ -1,0 +1,48 @@
+#ifndef DISLOCK_OBS_OBSERVABILITY_H_
+#define DISLOCK_OBS_OBSERVABILITY_H_
+
+#include <memory>
+#include <string>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace dislock {
+namespace obs {
+
+// Tool-side bundle: owns the TraceRecorder / MetricsRegistry a run opted
+// into and knows where to flush them. Both pointers are null unless the
+// matching flag was given, so `bundle.trace()`/`bundle.metrics()` plug
+// straight into EngineConfig and the no-op span path.
+class Observability {
+ public:
+  Observability() = default;
+
+  // `trace_path`: when non-empty, allocates a recorder; Flush() writes the
+  // Chrome trace JSON there. `metrics_requested`: when true, allocates a
+  // registry; Flush() writes the metrics JSON to `metrics_path`, or to
+  // stderr when the path is empty or "-".
+  Observability(std::string trace_path, bool metrics_requested,
+                std::string metrics_path);
+
+  TraceRecorder* trace() const { return trace_.get(); }
+  MetricsRegistry* metrics() const { return metrics_.get(); }
+  bool enabled() const { return trace_ || metrics_; }
+
+  // Writes whatever was requested. Returns false (with a message in
+  // `*error`) if a file cannot be written; a run's report has already
+  // been emitted by then, so callers surface the error without changing
+  // their exit status logic for the analysis itself.
+  bool Flush(std::string* error) const;
+
+ private:
+  std::unique_ptr<TraceRecorder> trace_;
+  std::unique_ptr<MetricsRegistry> metrics_;
+  std::string trace_path_;
+  std::string metrics_path_;
+};
+
+}  // namespace obs
+}  // namespace dislock
+
+#endif  // DISLOCK_OBS_OBSERVABILITY_H_

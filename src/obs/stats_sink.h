@@ -1,0 +1,60 @@
+#ifndef DISLOCK_OBS_STATS_SINK_H_
+#define DISLOCK_OBS_STATS_SINK_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace dislock {
+namespace obs {
+
+// The one interface every stats producer in the engine speaks.
+//
+// The engine historically grew four ad-hoc stats structs (PipelineStats,
+// the verdict-cache Stats, DeltaStats, and the pass-manager diagnostic
+// counts). Each keeps its typed struct — those are part of the report
+// surface and serialize deterministically — but they all additionally
+// know how to pour themselves into a StatsSink (see core/stats_export.h
+// and analysis/emit.h), so a tool that wants "all the numbers" asks one
+// interface instead of four structs.
+//
+// Names are stable dotted paths ("pipeline.theorem1-scc.attempts",
+// "cache.hits"); the taxonomy lives in docs/observability.md and the
+// constants in core/wire_keys.h.
+class StatsSink {
+ public:
+  virtual ~StatsSink() = default;
+
+  // Adds `value` to the counter `name`. Counters are summable: concurrent
+  // or repeated adds accumulate.
+  virtual void AddCounter(std::string_view name, int64_t value) = 0;
+
+  // Sets the gauge `name` to `value`. Last write wins.
+  virtual void SetGauge(std::string_view name, double value) = 0;
+};
+
+// Decorator that prepends "<prefix>." to every metric name before
+// forwarding. Lets a caller namespace a component's stats (e.g. pour two
+// reports into one registry under "multi." and "incremental.") without
+// the component knowing.
+class PrefixedSink final : public StatsSink {
+ public:
+  PrefixedSink(std::string_view prefix, StatsSink* wrapped)
+      : prefix_(std::string(prefix) + "."), wrapped_(wrapped) {}
+
+  void AddCounter(std::string_view name, int64_t value) override {
+    wrapped_->AddCounter(prefix_ + std::string(name), value);
+  }
+  void SetGauge(std::string_view name, double value) override {
+    wrapped_->SetGauge(prefix_ + std::string(name), value);
+  }
+
+ private:
+  std::string prefix_;
+  StatsSink* wrapped_;
+};
+
+}  // namespace obs
+}  // namespace dislock
+
+#endif  // DISLOCK_OBS_STATS_SINK_H_

@@ -1,0 +1,86 @@
+#include "obs/trace.h"
+
+#include "obs/json.h"
+
+namespace dislock {
+namespace obs {
+
+namespace {
+// Nesting depth of open TraceSpans on this thread. Depth is a per-thread
+// notion (a worker's task span is a root even while the submitting
+// thread has spans open), so a plain thread_local counter is exact.
+thread_local int g_span_depth = 0;
+}  // namespace
+
+TraceRecorder::TraceRecorder() : epoch_(Now()) {}
+
+int TraceRecorder::TidLocked(std::thread::id id) {
+  auto it = tids_.find(id);
+  if (it != tids_.end()) return it->second;
+  int tid = static_cast<int>(tids_.size());
+  tids_.emplace(id, tid);
+  return tid;
+}
+
+void TraceRecorder::Record(const char* name, int depth,
+                           std::chrono::steady_clock::time_point start,
+                           std::chrono::steady_clock::time_point end) {
+  TraceEvent ev;
+  ev.name = name;
+  ev.depth = depth;
+  ev.start_us = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(start - epoch_)
+          .count());
+  ev.dur_us = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(end - start)
+          .count());
+  std::lock_guard<std::mutex> lock(mu_);
+  ev.tid = TidLocked(std::this_thread::get_id());
+  events_.push_back(ev);
+}
+
+std::vector<TraceEvent> TraceRecorder::Events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_;
+}
+
+size_t TraceRecorder::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_.size();
+}
+
+std::string TraceRecorder::ToChromeTraceJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out =
+      "{\n  \"schema_version\": 1,\n  \"displayTimeUnit\": \"ms\",\n"
+      "  \"traceEvents\": [";
+  bool first = true;
+  for (const TraceEvent& ev : events_) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    {\"name\": " + JsonQuote(ev.name) +
+           ", \"cat\": \"dislock\", \"ph\": \"X\", \"pid\": 1, \"tid\": " +
+           std::to_string(ev.tid) + ", \"ts\": " + std::to_string(ev.start_us) +
+           ", \"dur\": " + std::to_string(ev.dur_us) +
+           ", \"args\": {\"depth\": " + std::to_string(ev.depth) + "}}";
+  }
+  out += first ? "]\n" : "\n  ]\n";
+  out += "}\n";
+  return out;
+}
+
+TraceSpan::TraceSpan(TraceRecorder* recorder, const char* name)
+    : recorder_(recorder), name_(name) {
+  if (recorder_ == nullptr) return;
+  depth_ = g_span_depth++;
+  start_ = TraceRecorder::Now();
+}
+
+TraceSpan::~TraceSpan() {
+  if (recorder_ == nullptr) return;
+  --g_span_depth;
+  recorder_->Record(name_, depth_, start_, TraceRecorder::Now());
+}
+
+}  // namespace obs
+}  // namespace dislock

@@ -1,0 +1,100 @@
+#ifndef DISLOCK_OBS_TRACE_H_
+#define DISLOCK_OBS_TRACE_H_
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace dislock {
+namespace obs {
+
+// One completed span. `name` must point at storage that outlives the
+// recorder — in practice every span name in the engine is a string
+// literal from the taxonomy in core/wire_keys.h (docs/observability.md
+// lists them all), so the recorder stores the pointer, not a copy.
+struct TraceEvent {
+  const char* name = "";
+  int tid = 0;            // recorder-local thread id, in registration order
+  int depth = 0;          // span nesting depth on that thread at entry
+  uint64_t start_us = 0;  // microseconds since the recorder's epoch
+  uint64_t dur_us = 0;
+};
+
+// Structured tracing: RAII TraceSpans record (thread id, nesting depth,
+// monotonic start, duration) into a thread-safe buffer that exports as
+// Chrome trace_event JSON — load the file in Perfetto
+// (https://ui.perfetto.dev) or chrome://tracing.
+//
+// Tracing is compiled in but off by default: instrumentation sites hold a
+// TraceRecorder* that is null unless a caller opted in (--trace=FILE in
+// the tools), and a TraceSpan over a null recorder does nothing. The
+// engine-wide invariant is that enabling tracing never changes a report
+// byte — timing lives only in the trace/metrics files, mirroring the
+// wall_ms rule ("measured; never serialized") in core/decision/stats.h.
+class TraceRecorder {
+ public:
+  TraceRecorder();
+
+  TraceRecorder(const TraceRecorder&) = delete;
+  TraceRecorder& operator=(const TraceRecorder&) = delete;
+
+  // Records a completed span. `start`/`end` come from Now(); depth is the
+  // caller's nesting depth at span entry. The calling thread is
+  // registered on first use. Thread-safe.
+  void Record(const char* name, int depth,
+              std::chrono::steady_clock::time_point start,
+              std::chrono::steady_clock::time_point end);
+
+  static std::chrono::steady_clock::time_point Now() {
+    return std::chrono::steady_clock::now();
+  }
+
+  // Snapshot of everything recorded so far.
+  std::vector<TraceEvent> Events() const;
+  size_t size() const;
+
+  // Exports the Chrome trace_event JSON document:
+  //   {"schema_version": 1, "displayTimeUnit": "ms",
+  //    "traceEvents": [{"name": ..., "cat": "dislock", "ph": "X",
+  //                     "pid": 1, "tid": ..., "ts": ..., "dur": ...,
+  //                     "args": {"depth": ...}}, ...]}
+  // Complete ("X") events only; `ts`/`dur` are integer microseconds
+  // relative to the recorder's construction. Both viewers ignore the
+  // unknown schema_version key.
+  std::string ToChromeTraceJson() const;
+
+ private:
+  int TidLocked(std::thread::id id);
+
+  const std::chrono::steady_clock::time_point epoch_;
+  mutable std::mutex mu_;
+  std::vector<TraceEvent> events_;
+  std::map<std::thread::id, int> tids_;
+};
+
+// RAII span: measures from construction to destruction and records into
+// `recorder` (no-op when null). Maintains a per-thread nesting depth so
+// child spans opened on the same thread report depth parent+1.
+class TraceSpan {
+ public:
+  TraceSpan(TraceRecorder* recorder, const char* name);
+  ~TraceSpan();
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  TraceRecorder* recorder_;
+  const char* name_;
+  int depth_ = 0;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace obs
+}  // namespace dislock
+
+#endif  // DISLOCK_OBS_TRACE_H_

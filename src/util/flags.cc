@@ -1,0 +1,143 @@
+#include "util/flags.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace dislock {
+
+namespace {
+
+// Matches "--name VALUE" and "--name=VALUE". Returns nullptr when argv[i]
+// is not `name`; on a match stores the value and whether argv[i+1] was
+// consumed. A bare "--name" with no value in either spelling returns the
+// sentinel kMissing.
+const char kMissing[] = "";
+
+const char* FlagValue(int argc, char** argv, int i, const char* name,
+                      bool* consumed_next) {
+  *consumed_next = false;
+  size_t len = std::strlen(name);
+  if (std::strncmp(argv[i], name, len) != 0) return nullptr;
+  if (argv[i][len] == '=') return argv[i] + len + 1;
+  if (argv[i][len] != '\0') return nullptr;  // e.g. --threadsabc
+  if (i + 1 >= argc) return kMissing;
+  *consumed_next = true;
+  return argv[i + 1];
+}
+
+}  // namespace
+
+FlagParse ParseCommonFlag(int argc, char** argv, int i, unsigned accepted,
+                          CommonFlags* flags, std::string* error) {
+  const char* arg = argv[i];
+  bool two = false;
+
+  if ((accepted & kThreadsFlag) != 0) {
+    if (const char* v = FlagValue(argc, argv, i, "--threads", &two)) {
+      if (v == kMissing) {
+        if (error != nullptr) *error = "--threads requires a value";
+        return FlagParse::kError;
+      }
+      flags->num_threads = std::atoi(v);
+      return two ? FlagParse::kConsumedTwo : FlagParse::kConsumedOne;
+    }
+  }
+
+  if ((accepted & kCacheFlag) != 0 && std::strcmp(arg, "--cache") == 0) {
+    flags->cache = true;
+    return FlagParse::kConsumedOne;
+  }
+
+  if ((accepted & kFormatFlag) != 0) {
+    if (std::strcmp(arg, "--json") == 0) {
+      flags->format = "json";
+      return FlagParse::kConsumedOne;
+    }
+    if (std::strcmp(arg, "--sarif") == 0) {
+      flags->format = "sarif";
+      return FlagParse::kConsumedOne;
+    }
+    if (const char* v = FlagValue(argc, argv, i, "--format", &two)) {
+      if (v != kMissing && (std::strcmp(v, "text") == 0 ||
+                            std::strcmp(v, "json") == 0 ||
+                            std::strcmp(v, "sarif") == 0)) {
+        flags->format = v;
+        return two ? FlagParse::kConsumedTwo : FlagParse::kConsumedOne;
+      }
+      if (error != nullptr) {
+        *error = "--format requires text, json, or sarif";
+      }
+      return FlagParse::kError;
+    }
+  }
+
+  if ((accepted & kTraceFlag) != 0) {
+    if (const char* v = FlagValue(argc, argv, i, "--trace", &two)) {
+      if (v == kMissing || v[0] == '\0') {
+        if (error != nullptr) *error = "--trace requires an output file";
+        return FlagParse::kError;
+      }
+      flags->trace_path = v;
+      return two ? FlagParse::kConsumedTwo : FlagParse::kConsumedOne;
+    }
+  }
+
+  if ((accepted & kMetricsFlag) != 0) {
+    // --metrics takes an *optional* =FILE, so the space-separated spelling
+    // is not supported (it would swallow positionals).
+    if (std::strcmp(arg, "--metrics") == 0) {
+      flags->metrics = true;
+      return FlagParse::kConsumedOne;
+    }
+    if (std::strncmp(arg, "--metrics=", 10) == 0) {
+      flags->metrics = true;
+      flags->metrics_path = arg + 10;
+      return FlagParse::kConsumedOne;
+    }
+  }
+
+  return FlagParse::kNotCommon;
+}
+
+std::string CommonFlagsHelp(unsigned accepted) {
+  std::string out;
+  if ((accepted & kThreadsFlag) != 0) {
+    out +=
+        "  --threads N       safety-engine workers; 1 = serial, 0 = one per\n"
+        "                    hardware thread; output is identical at any\n"
+        "                    thread count\n";
+  }
+  if ((accepted & kCacheFlag) != 0) {
+    out +=
+        "  --cache           memoize pair verdicts by structural fingerprint\n"
+        "                    for the run\n";
+  }
+  if ((accepted & kFormatFlag) != 0) {
+    out +=
+        "  --format=FMT      text (default), json, or sarif; --json and\n"
+        "                    --sarif are aliases\n";
+  }
+  if ((accepted & kTraceFlag) != 0) {
+    out +=
+        "  --trace=FILE      write a Chrome trace_event JSON timeline of the\n"
+        "                    run to FILE (open in Perfetto or\n"
+        "                    chrome://tracing); never changes report output\n";
+  }
+  if ((accepted & kMetricsFlag) != 0) {
+    out +=
+        "  --metrics[=FILE]  write the flat metrics JSON block to FILE\n"
+        "                    (default: stderr); never changes report output\n";
+  }
+  return out;
+}
+
+void ReportUnknownArgument(const char* tool, const char* arg) {
+  std::fprintf(stderr, "%s: unknown argument '%s'\n", tool, arg);
+}
+
+void ReportBadFlag(const char* tool, const std::string& message) {
+  std::fprintf(stderr, "%s: %s\n", tool, message.c_str());
+}
+
+}  // namespace dislock

@@ -1,0 +1,60 @@
+#ifndef DISLOCK_UTIL_FLAGS_H_
+#define DISLOCK_UTIL_FLAGS_H_
+
+#include <string>
+
+namespace dislock {
+
+// The shared command-line surface of dislock / dislock_stress /
+// dislock_bench. Each tool used to hand-roll its own `--threads/--cache/
+// --format` loop; this helper is the single copy. A tool declares which
+// shared flags it accepts (a CommonFlagSet mask), calls ParseCommonFlag
+// per argv slot, handles its tool-specific flags on kNotCommon, and
+// rejects anything left over with ReportUnknownArgument + its usage text
+// (exit code 2 — the uniform contract across all tools).
+struct CommonFlags {
+  int num_threads = 1;       // 1 = serial, 0 = one per hardware thread
+  bool cache = false;        // engine-owned pair-verdict cache
+  std::string format = "text";  // "text" | "json" | "sarif"
+  std::string trace_path;    // --trace=FILE; empty = tracing off
+  bool metrics = false;      // --metrics[=FILE]
+  std::string metrics_path;  // empty or "-" = stderr
+};
+
+enum CommonFlagSet : unsigned {
+  kThreadsFlag = 1u << 0,  // --threads N | --threads=N
+  kCacheFlag = 1u << 1,    // --cache
+  kFormatFlag = 1u << 2,   // --format[=]text|json|sarif, --json, --sarif
+  kTraceFlag = 1u << 3,    // --trace=FILE | --trace FILE
+  kMetricsFlag = 1u << 4,  // --metrics[=FILE]
+  kObsFlags = kTraceFlag | kMetricsFlag,
+};
+
+enum class FlagParse {
+  kNotCommon,    // argv[i] is not an accepted shared flag; tool's turn
+  kConsumedOne,  // recognized; argv[i] consumed
+  kConsumedTwo,  // recognized; argv[i] and argv[i+1] consumed
+  kError,        // recognized but malformed (bad value / missing argument)
+};
+
+// Tries argv[i] against the shared flags in `accepted`. On kError a
+// one-line description is stored in *error (when non-null); print it with
+// ReportBadFlag and exit 2.
+FlagParse ParseCommonFlag(int argc, char** argv, int i, unsigned accepted,
+                          CommonFlags* flags, std::string* error = nullptr);
+
+// Help text for the accepted shared flags, one aligned "  --flag  ..."
+// block per flag, for embedding into a tool's usage message. Every tool
+// documents a shared flag with exactly these words.
+std::string CommonFlagsHelp(unsigned accepted);
+
+// The uniform rejection lines, printed to stderr:
+//   "<tool>: unknown argument '<arg>'"          (ReportUnknownArgument)
+//   "<tool>: <message>"                          (ReportBadFlag)
+// Callers follow up with their usage text and return 2.
+void ReportUnknownArgument(const char* tool, const char* arg);
+void ReportBadFlag(const char* tool, const std::string& message);
+
+}  // namespace dislock
+
+#endif  // DISLOCK_UTIL_FLAGS_H_

@@ -92,6 +92,11 @@ void ThreadPool::WorkerLoop(int self) {
     std::function<void()> fn = TakeTask(self);
     if (fn) {
       pending_.fetch_sub(1, std::memory_order_release);
+      // The span name literal lives here rather than core/wire_keys.h
+      // because util cannot see core; docs/observability.md and the
+      // wire_keys table both document "pool.task" as the worker span.
+      obs::TraceSpan span(trace_.load(std::memory_order_acquire),
+                          "pool.task");
       fn();  // packaged_task: exceptions land in the future
       continue;
     }

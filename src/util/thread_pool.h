@@ -13,6 +13,8 @@
 #include <utility>
 #include <vector>
 
+#include "obs/trace.h"
+
 namespace dislock {
 
 /// Cooperative cancellation flag shared between a task producer and its
@@ -63,6 +65,18 @@ class ThreadPool {
   /// std::thread::hardware_concurrency() with a floor of 1.
   static int HardwareThreads();
 
+  /// Installs (or clears, with nullptr) a trace recorder: every task a
+  /// worker executes from now on is wrapped in a "pool.task" span. The
+  /// recorder is borrowed and must outlive the pool or the next
+  /// set_trace_recorder call. Tasks already running keep whatever recorder
+  /// they started with; callers install the recorder before submitting.
+  void set_trace_recorder(obs::TraceRecorder* recorder) {
+    trace_.store(recorder, std::memory_order_release);
+  }
+  obs::TraceRecorder* trace_recorder() const {
+    return trace_.load(std::memory_order_acquire);
+  }
+
   /// Schedules `fn` and returns a future for its result. Safe to call from
   /// worker threads (the task lands on the calling worker's deque).
   template <typename Fn>
@@ -95,6 +109,7 @@ class ThreadPool {
   std::atomic<int64_t> pending_{0};
   std::atomic<bool> stopping_{false};
   std::atomic<uint64_t> next_queue_{0};
+  std::atomic<obs::TraceRecorder*> trace_{nullptr};
 };
 
 }  // namespace dislock

@@ -1,0 +1,155 @@
+// Unit tests for the shared tool flag parser (util/flags.h): both
+// spellings of every common flag, the accepted-set gating, the error
+// paths, and the help text that all three tools embed.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "util/flags.h"
+
+namespace dislock {
+namespace {
+
+// Runs ParseCommonFlag over a full argv-style vector the way the tools
+// do, returning the outcome of the first slot (the tests only ever need
+// one flag per call).
+struct ParseOutcome {
+  FlagParse result;
+  CommonFlags flags;
+  std::string error;
+};
+
+ParseOutcome Parse(std::vector<std::string> args,
+                   unsigned accepted = kThreadsFlag | kCacheFlag |
+                                       kFormatFlag | kObsFlags) {
+  std::vector<char*> argv;
+  argv.push_back(const_cast<char*>("tool"));
+  for (std::string& arg : args) argv.push_back(arg.data());
+  ParseOutcome out;
+  out.result = ParseCommonFlag(static_cast<int>(argv.size()), argv.data(),
+                               1, accepted, &out.flags, &out.error);
+  return out;
+}
+
+TEST(Flags, ThreadsBothSpellings) {
+  ParseOutcome space = Parse({"--threads", "4"});
+  EXPECT_EQ(space.result, FlagParse::kConsumedTwo);
+  EXPECT_EQ(space.flags.num_threads, 4);
+
+  ParseOutcome equals = Parse({"--threads=8"});
+  EXPECT_EQ(equals.result, FlagParse::kConsumedOne);
+  EXPECT_EQ(equals.flags.num_threads, 8);
+}
+
+TEST(Flags, ThreadsMissingValueIsAnError) {
+  ParseOutcome out = Parse({"--threads"});
+  EXPECT_EQ(out.result, FlagParse::kError);
+  EXPECT_FALSE(out.error.empty());
+}
+
+TEST(Flags, PrefixOfAFlagIsNotTheFlag) {
+  // "--threadsabc" must not match --threads; it falls through to the
+  // tool's unknown-argument rejection.
+  EXPECT_EQ(Parse({"--threadsabc"}).result, FlagParse::kNotCommon);
+}
+
+TEST(Flags, Cache) {
+  ParseOutcome out = Parse({"--cache"});
+  EXPECT_EQ(out.result, FlagParse::kConsumedOne);
+  EXPECT_TRUE(out.flags.cache);
+}
+
+TEST(Flags, FormatSpellingsAndAliases) {
+  for (const char* fmt : {"text", "json", "sarif"}) {
+    ParseOutcome out = Parse({std::string("--format=") + fmt});
+    EXPECT_EQ(out.result, FlagParse::kConsumedOne) << fmt;
+    EXPECT_EQ(out.flags.format, fmt);
+  }
+  ParseOutcome space = Parse({"--format", "sarif"});
+  EXPECT_EQ(space.result, FlagParse::kConsumedTwo);
+  EXPECT_EQ(space.flags.format, "sarif");
+
+  EXPECT_EQ(Parse({"--json"}).flags.format, "json");
+  EXPECT_EQ(Parse({"--sarif"}).flags.format, "sarif");
+}
+
+TEST(Flags, FormatRejectsUnknownValues) {
+  ParseOutcome out = Parse({"--format=yaml"});
+  EXPECT_EQ(out.result, FlagParse::kError);
+  EXPECT_NE(out.error.find("text, json, or sarif"), std::string::npos);
+  EXPECT_EQ(Parse({"--format"}).result, FlagParse::kError);
+}
+
+TEST(Flags, TraceRequiresAFile) {
+  ParseOutcome equals = Parse({"--trace=out.json"});
+  EXPECT_EQ(equals.result, FlagParse::kConsumedOne);
+  EXPECT_EQ(equals.flags.trace_path, "out.json");
+
+  ParseOutcome space = Parse({"--trace", "out.json"});
+  EXPECT_EQ(space.result, FlagParse::kConsumedTwo);
+  EXPECT_EQ(space.flags.trace_path, "out.json");
+
+  EXPECT_EQ(Parse({"--trace"}).result, FlagParse::kError);
+  EXPECT_EQ(Parse({"--trace="}).result, FlagParse::kError);
+}
+
+TEST(Flags, MetricsValueIsOptionalButNeverSpaceSeparated) {
+  ParseOutcome bare = Parse({"--metrics"});
+  EXPECT_EQ(bare.result, FlagParse::kConsumedOne);
+  EXPECT_TRUE(bare.flags.metrics);
+  EXPECT_TRUE(bare.flags.metrics_path.empty());
+
+  ParseOutcome file = Parse({"--metrics=m.json"});
+  EXPECT_EQ(file.result, FlagParse::kConsumedOne);
+  EXPECT_TRUE(file.flags.metrics);
+  EXPECT_EQ(file.flags.metrics_path, "m.json");
+
+  // The space spelling must NOT consume the next argument (it would
+  // swallow a positional); "--metrics input.dlk" is bare --metrics and
+  // then the tool's positional.
+  ParseOutcome space = Parse({"--metrics", "input.dlk"});
+  EXPECT_EQ(space.result, FlagParse::kConsumedOne);
+  EXPECT_TRUE(space.flags.metrics_path.empty());
+}
+
+TEST(Flags, UnacceptedFlagsAreNotCommon) {
+  // A tool that doesn't accept --format must leave it for its own
+  // rejection path, even though the parser knows the flag.
+  EXPECT_EQ(Parse({"--format=json"}, kThreadsFlag | kCacheFlag).result,
+            FlagParse::kNotCommon);
+  EXPECT_EQ(Parse({"--cache"}, kThreadsFlag).result, FlagParse::kNotCommon);
+  EXPECT_EQ(Parse({"--trace=x.json"}, kThreadsFlag).result,
+            FlagParse::kNotCommon);
+}
+
+TEST(Flags, NonFlagsAreNotCommon) {
+  EXPECT_EQ(Parse({"input.dlk"}).result, FlagParse::kNotCommon);
+  EXPECT_EQ(Parse({"--something-else"}).result, FlagParse::kNotCommon);
+}
+
+TEST(Flags, HelpTextCoversExactlyTheAcceptedSet) {
+  std::string all = CommonFlagsHelp(kThreadsFlag | kCacheFlag |
+                                    kFormatFlag | kObsFlags);
+  for (const char* flag :
+       {"--threads", "--cache", "--format", "--trace", "--metrics"}) {
+    EXPECT_NE(all.find(flag), std::string::npos) << flag;
+  }
+  std::string narrow = CommonFlagsHelp(kThreadsFlag | kCacheFlag);
+  EXPECT_NE(narrow.find("--threads"), std::string::npos);
+  EXPECT_EQ(narrow.find("--format"), std::string::npos);
+  EXPECT_EQ(narrow.find("--trace"), std::string::npos);
+}
+
+TEST(Flags, DefaultsMatchTheDocumentedContract) {
+  CommonFlags flags;
+  EXPECT_EQ(flags.num_threads, 1);
+  EXPECT_FALSE(flags.cache);
+  EXPECT_EQ(flags.format, "text");
+  EXPECT_TRUE(flags.trace_path.empty());
+  EXPECT_FALSE(flags.metrics);
+}
+
+}  // namespace
+}  // namespace dislock

@@ -1,0 +1,309 @@
+// Unit tests for the obs/ layer: TraceSpan nesting and thread ids,
+// MetricsRegistry counter/gauge semantics (including aggregation across
+// ThreadPool workers), the JSON validator, and the well-formedness of the
+// Chrome trace / flat metrics exports.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <fstream>
+#include <future>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/observability.h"
+#include "obs/stats_sink.h"
+#include "obs/trace.h"
+#include "util/thread_pool.h"
+
+namespace dislock {
+namespace {
+
+// ---- TraceSpan / TraceRecorder --------------------------------------------
+
+TEST(TraceSpan, RecordsNestingDepth) {
+  obs::TraceRecorder recorder;
+  {
+    obs::TraceSpan outer(&recorder, "outer");
+    {
+      obs::TraceSpan middle(&recorder, "middle");
+      obs::TraceSpan inner(&recorder, "inner");
+    }
+  }
+  std::vector<obs::TraceEvent> events = recorder.Events();
+  ASSERT_EQ(events.size(), 3u);
+  // Spans record at destruction, so children land before parents.
+  EXPECT_STREQ(events[0].name, "inner");
+  EXPECT_EQ(events[0].depth, 2);
+  EXPECT_STREQ(events[1].name, "middle");
+  EXPECT_EQ(events[1].depth, 1);
+  EXPECT_STREQ(events[2].name, "outer");
+  EXPECT_EQ(events[2].depth, 0);
+}
+
+TEST(TraceSpan, DepthResetsBetweenSiblings) {
+  obs::TraceRecorder recorder;
+  { obs::TraceSpan a(&recorder, "a"); }
+  { obs::TraceSpan b(&recorder, "b"); }
+  std::vector<obs::TraceEvent> events = recorder.Events();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].depth, 0);
+  EXPECT_EQ(events[1].depth, 0);
+}
+
+TEST(TraceSpan, NullRecorderIsNoOpAndKeepsDepthExact) {
+  // A disabled span must not perturb the per-thread depth bookkeeping of
+  // enabled spans around it.
+  obs::TraceRecorder recorder;
+  {
+    obs::TraceSpan enabled(&recorder, "enabled");
+    obs::TraceSpan disabled(nullptr, "disabled");
+    obs::TraceSpan child(&recorder, "child");
+  }
+  std::vector<obs::TraceEvent> events = recorder.Events();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_STREQ(events[0].name, "child");
+  EXPECT_EQ(events[0].depth, 1);
+  EXPECT_STREQ(events[1].name, "enabled");
+  EXPECT_EQ(events[1].depth, 0);
+}
+
+TEST(TraceRecorder, AssignsThreadIdsInRegistrationOrder) {
+  obs::TraceRecorder recorder;
+  { obs::TraceSpan main_span(&recorder, "main"); }
+  std::thread other([&recorder] {
+    obs::TraceSpan span(&recorder, "worker");
+  });
+  other.join();
+  std::vector<obs::TraceEvent> events = recorder.Events();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].tid, 0);  // this thread registered first
+  EXPECT_EQ(events[1].tid, 1);
+  // Worker spans are roots on their own thread regardless of what the
+  // submitting thread had open.
+  EXPECT_EQ(events[1].depth, 0);
+}
+
+TEST(TraceRecorder, SpanDurationsAreOrderedAndNested) {
+  obs::TraceRecorder recorder;
+  {
+    obs::TraceSpan outer(&recorder, "outer");
+    obs::TraceSpan inner(&recorder, "inner");
+  }
+  std::vector<obs::TraceEvent> events = recorder.Events();
+  ASSERT_EQ(events.size(), 2u);
+  const obs::TraceEvent& inner = events[0];
+  const obs::TraceEvent& outer = events[1];
+  EXPECT_GE(inner.start_us, outer.start_us);
+  EXPECT_LE(inner.start_us + inner.dur_us, outer.start_us + outer.dur_us);
+}
+
+TEST(TraceRecorder, ChromeTraceJsonIsValidAndVersioned) {
+  obs::TraceRecorder recorder;
+  {
+    obs::TraceSpan span(&recorder, "needs \"escaping\"\n");
+    obs::TraceSpan child(&recorder, "child");
+  }
+  std::string json = recorder.ToChromeTraceJson();
+  std::string error;
+  EXPECT_TRUE(obs::IsValidJson(json, &error)) << error;
+  EXPECT_NE(json.find("\"schema_version\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"needs \\\"escaping\\\"\\n\""), std::string::npos);
+}
+
+TEST(TraceRecorder, EmptyTraceIsStillValidJson) {
+  obs::TraceRecorder recorder;
+  std::string error;
+  EXPECT_TRUE(obs::IsValidJson(recorder.ToChromeTraceJson(), &error))
+      << error;
+}
+
+// ---- MetricsRegistry ------------------------------------------------------
+
+TEST(MetricsRegistry, CountersAccumulateAndGaugesLastWriteWins) {
+  obs::MetricsRegistry registry;
+  EXPECT_TRUE(registry.empty());
+  EXPECT_EQ(registry.CounterValue("never.touched"), 0);
+  registry.AddCounter("a.count", 2);
+  registry.AddCounter("a.count", 3);
+  registry.SetGauge("a.rate", 0.25);
+  registry.SetGauge("a.rate", 0.75);
+  EXPECT_EQ(registry.CounterValue("a.count"), 5);
+  EXPECT_DOUBLE_EQ(registry.GaugeValue("a.rate"), 0.75);
+  EXPECT_FALSE(registry.empty());
+  registry.Clear();
+  EXPECT_TRUE(registry.empty());
+  EXPECT_EQ(registry.CounterValue("a.count"), 0);
+}
+
+TEST(MetricsRegistry, AggregatesAcrossThreadPoolWorkers) {
+  // The counter contract under concurrency: N workers each adding 1 to the
+  // same counter must sum exactly, with no lost updates.
+  obs::MetricsRegistry registry;
+  constexpr int kTasks = 200;
+  {
+    ThreadPool pool(4);
+    std::vector<std::future<void>> futures;
+    futures.reserve(kTasks);
+    for (int i = 0; i < kTasks; ++i) {
+      futures.push_back(pool.Submit([&registry] {
+        registry.AddCounter("pool.increments", 1);
+        registry.SetGauge("pool.last", 1.0);
+      }));
+    }
+    for (auto& f : futures) f.get();
+  }
+  EXPECT_EQ(registry.CounterValue("pool.increments"), kTasks);
+  EXPECT_DOUBLE_EQ(registry.GaugeValue("pool.last"), 1.0);
+}
+
+TEST(MetricsRegistry, ToJsonIsValidSortedAndVersioned) {
+  obs::MetricsRegistry registry;
+  registry.AddCounter("zeta", 1);
+  registry.AddCounter("alpha", 2);
+  registry.SetGauge("mid \"quote\"", 0.5);
+  std::string json = registry.ToJson();
+  std::string error;
+  EXPECT_TRUE(obs::IsValidJson(json, &error)) << error;
+  // First key of the document is schema_version.
+  EXPECT_EQ(json.find("\"schema_version\": 1"), json.find('"'));
+  // Sorted by key: alpha before zeta.
+  EXPECT_LT(json.find("\"alpha\""), json.find("\"zeta\""));
+  EXPECT_NE(json.find("\"mid \\\"quote\\\"\""), std::string::npos);
+}
+
+TEST(MetricsRegistry, NonFiniteGaugesExportAsZero) {
+  obs::MetricsRegistry registry;
+  registry.SetGauge("a", std::numeric_limits<double>::quiet_NaN());
+  registry.SetGauge("b", std::numeric_limits<double>::infinity());
+  std::string json = registry.ToJson();
+  std::string error;
+  // NaN/Inf are not JSON; the exporter must clamp rather than emit them.
+  EXPECT_TRUE(obs::IsValidJson(json, &error)) << error;
+  EXPECT_EQ(json.find("nan"), std::string::npos);
+  EXPECT_EQ(json.find("inf"), std::string::npos);
+  EXPECT_NE(json.find("\"a\": 0"), std::string::npos);
+  EXPECT_NE(json.find("\"b\": 0"), std::string::npos);
+}
+
+TEST(PrefixedSink, NamespacesEveryMetric) {
+  obs::MetricsRegistry registry;
+  obs::PrefixedSink prefixed("inc", &registry);
+  prefixed.AddCounter("pairs", 3);
+  prefixed.SetGauge("rate", 0.5);
+  EXPECT_EQ(registry.CounterValue("inc.pairs"), 3);
+  EXPECT_DOUBLE_EQ(registry.GaugeValue("inc.rate"), 0.5);
+}
+
+// ---- ThreadPool tracing ---------------------------------------------------
+
+TEST(ThreadPoolTrace, WrapsEveryTaskInAPoolTaskSpan) {
+  obs::TraceRecorder recorder;
+  constexpr int kTasks = 25;
+  {
+    ThreadPool pool(2);
+    pool.set_trace_recorder(&recorder);
+    std::vector<std::future<int>> futures;
+    for (int i = 0; i < kTasks; ++i) {
+      futures.push_back(pool.Submit([i] { return i; }));
+    }
+    for (int i = 0; i < kTasks; ++i) EXPECT_EQ(futures[i].get(), i);
+  }
+  std::vector<obs::TraceEvent> events = recorder.Events();
+  ASSERT_EQ(events.size(), static_cast<size_t>(kTasks));
+  for (const obs::TraceEvent& ev : events) {
+    EXPECT_STREQ(ev.name, "pool.task");
+    EXPECT_EQ(ev.depth, 0);  // tasks are roots on their worker threads
+    EXPECT_GE(ev.tid, 0);
+    EXPECT_LT(ev.tid, 2);
+  }
+}
+
+TEST(ThreadPoolTrace, NoRecorderMeansNoEvents) {
+  ThreadPool pool(2);
+  EXPECT_EQ(pool.trace_recorder(), nullptr);
+  pool.Submit([] {}).get();
+}
+
+// ---- JSON helpers ---------------------------------------------------------
+
+TEST(Json, QuoteEscapes) {
+  EXPECT_EQ(obs::JsonQuote("plain"), "\"plain\"");
+  EXPECT_EQ(obs::JsonQuote("a\"b\\c"), "\"a\\\"b\\\\c\"");
+  EXPECT_EQ(obs::JsonQuote("\n"), "\"\\n\"");
+  std::string error;
+  EXPECT_TRUE(obs::IsValidJson(obs::JsonQuote(std::string(1, '\x01')),
+                               &error))
+      << error;
+}
+
+TEST(Json, ValidatorAcceptsTheGrammar) {
+  for (const char* ok :
+       {"{}", "[]", "null", "true", "false", "0", "-1.5e3",
+        "\"s\"", "{\"a\": [1, {\"b\": null}], \"c\": \"\\u0041\"}",
+        "  [ 1 , 2 ]  "}) {
+    std::string error;
+    EXPECT_TRUE(obs::IsValidJson(ok, &error)) << ok << ": " << error;
+  }
+}
+
+TEST(Json, ValidatorRejectsMalformedText) {
+  for (const char* bad :
+       {"", "{", "}", "[1,]", "{\"a\":}", "{\"a\" 1}", "nul", "01",
+        "\"unterminated", "{} trailing", "[1 2]", "{'a': 1}"}) {
+    EXPECT_FALSE(obs::IsValidJson(bad)) << bad;
+  }
+}
+
+// ---- Observability bundle -------------------------------------------------
+
+TEST(Observability, DisabledBundleHasNullHooks) {
+  obs::Observability bundle;
+  EXPECT_EQ(bundle.trace(), nullptr);
+  EXPECT_EQ(bundle.metrics(), nullptr);
+  EXPECT_FALSE(bundle.enabled());
+  std::string error;
+  EXPECT_TRUE(bundle.Flush(&error)) << error;
+}
+
+TEST(Observability, FlushWritesRequestedFiles) {
+  std::string trace_path =
+      testing::TempDir() + "/obs_test_trace.json";
+  std::string metrics_path =
+      testing::TempDir() + "/obs_test_metrics.json";
+  obs::Observability bundle(trace_path, /*metrics_requested=*/true,
+                            metrics_path);
+  ASSERT_TRUE(bundle.enabled());
+  {
+    obs::TraceSpan span(bundle.trace(), "flush.test");
+  }
+  bundle.metrics()->AddCounter("flush.count", 1);
+  std::string error;
+  ASSERT_TRUE(bundle.Flush(&error)) << error;
+  for (const std::string& path : {trace_path, metrics_path}) {
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good()) << path;
+    std::ostringstream contents;
+    contents << in.rdbuf();
+    EXPECT_TRUE(obs::IsValidJson(contents.str(), &error))
+        << path << ": " << error;
+  }
+}
+
+TEST(Observability, FlushReportsUnwritablePath) {
+  obs::Observability bundle("/nonexistent-dir/trace.json",
+                            /*metrics_requested=*/false, "");
+  std::string error;
+  EXPECT_FALSE(bundle.Flush(&error));
+  EXPECT_FALSE(error.empty());
+}
+
+}  // namespace
+}  // namespace dislock

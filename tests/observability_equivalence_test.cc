@@ -1,0 +1,181 @@
+// The observability invariant, as a property test: enabling tracing and
+// metrics NEVER changes a report byte, serially or with a thread pool.
+// Every comparison renders the full report to a string so all fields
+// participate, mirroring tests/parallel_safety_test.cc; the instrumented
+// runs additionally assert that spans/metrics actually flowed, so the
+// equality is not vacuous.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "analysis/analyzer.h"
+#include "analysis/emit.h"
+#include "core/incremental/session.h"
+#include "core/multi.h"
+#include "core/paper.h"
+#include "core/report.h"
+#include "core/safety.h"
+#include "core/wire_keys.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "sim/workload.h"
+#include "txn/text_format.h"
+#include "util/random.h"
+
+namespace dislock {
+namespace {
+
+const int kThreadCounts[] = {1, 4};
+
+Workload RandomWorkload(Rng* rng, int num_transactions) {
+  WorkloadParams params;
+  params.num_sites = 1 + static_cast<int>(rng->Uniform(3));
+  params.num_entities = 2 + static_cast<int>(rng->Uniform(3));
+  params.num_transactions = num_transactions;
+  params.lock_probability = 0.5 + 0.5 * rng->UniformDouble();
+  params.update_probability = 1.0;
+  params.shared_probability = rng->Bernoulli(0.3) ? 0.4 : 0.0;
+  params.cross_site_arcs = static_cast<int>(rng->Uniform(3));
+  Workload w = MakeRandomWorkload(params, rng);
+  EXPECT_TRUE(w.system->Validate().ok());
+  return w;
+}
+
+TEST(ObservabilityEquivalence, PairReportsByteIdentical) {
+  Rng rng(0x0B5E);
+  for (int trial = 0; trial < 25; ++trial) {
+    Workload w = RandomWorkload(&rng, 2);
+    SafetyOptions plain;
+    plain.max_extension_pairs = 1 << 14;
+    std::string expected = PairReportToJson(
+        AnalyzePairSafety(w.system->txn(0), w.system->txn(1), plain),
+        w.system->db());
+    for (int threads : kThreadCounts) {
+      obs::TraceRecorder recorder;
+      obs::MetricsRegistry registry;
+      SafetyOptions instrumented = plain;
+      instrumented.num_threads = threads;
+      instrumented.trace = &recorder;
+      instrumented.stats = &registry;
+      std::string actual = PairReportToJson(
+          AnalyzePairSafety(w.system->txn(0), w.system->txn(1),
+                            instrumented),
+          w.system->db());
+      EXPECT_EQ(expected, actual)
+          << "trial " << trial << ", " << threads << " threads\n"
+          << SystemToText(*w.system);
+      // Every decided pair ran at least one pipeline stage under a span.
+      EXPECT_GT(recorder.size(), 0u) << "trial " << trial;
+    }
+  }
+}
+
+TEST(ObservabilityEquivalence, MultiReportsByteIdentical) {
+  Rng rng(0x0B5F);
+  for (int trial = 0; trial < 15; ++trial) {
+    Workload w = RandomWorkload(&rng, 3 + static_cast<int>(rng.Uniform(3)));
+    MultiSafetyOptions plain;
+    plain.max_cycles = 1 << 10;
+    plain.max_extension_pairs = 1 << 14;
+    std::string expected = MultiReportToJson(
+        AnalyzeMultiSafety(*w.system, plain), *w.system);
+    for (int threads : kThreadCounts) {
+      obs::TraceRecorder recorder;
+      obs::MetricsRegistry registry;
+      MultiSafetyOptions instrumented = plain;
+      instrumented.num_threads = threads;
+      instrumented.trace = &recorder;
+      instrumented.stats = &registry;
+      std::string actual = MultiReportToJson(
+          AnalyzeMultiSafety(*w.system, instrumented), *w.system);
+      EXPECT_EQ(expected, actual)
+          << "trial " << trial << ", " << threads << " threads\n"
+          << SystemToText(*w.system);
+      EXPECT_GT(recorder.size(), 0u) << "trial " << trial;
+    }
+  }
+}
+
+TEST(ObservabilityEquivalence, AnalyzerOutputByteIdentical) {
+  // The full pass-manager analyzer: text AND json renderings, with the
+  // engine cache on (so cache stats flow into the sink too).
+  Rng rng(0x0B60);
+  for (int trial = 0; trial < 10; ++trial) {
+    Workload w = RandomWorkload(&rng, 2 + static_cast<int>(rng.Uniform(3)));
+    AnalysisOptions plain;
+    plain.max_extension_pairs = 1 << 14;
+    plain.enable_cache = true;
+    AnalysisResult baseline = AnalyzeSystem(*w.system, plain);
+    std::string expected_text = DiagnosticsToText(baseline, *w.system);
+    std::string expected_json = DiagnosticsToJson(baseline, *w.system);
+    for (int threads : kThreadCounts) {
+      obs::TraceRecorder recorder;
+      obs::MetricsRegistry registry;
+      AnalysisOptions instrumented = plain;
+      instrumented.num_threads = threads;
+      instrumented.trace = &recorder;
+      instrumented.stats = &registry;
+      AnalysisResult result = AnalyzeSystem(*w.system, instrumented);
+      EXPECT_EQ(expected_text, DiagnosticsToText(result, *w.system))
+          << "trial " << trial << ", " << threads << " threads\n"
+          << SystemToText(*w.system);
+      EXPECT_EQ(expected_json, DiagnosticsToJson(result, *w.system))
+          << "trial " << trial << ", " << threads << " threads";
+      // PassManager::Run is the report owner: it must have exported the
+      // aggregate counters and (cache on) the cache stats exactly once.
+      EXPECT_EQ(registry.CounterValue("analysis.passes"),
+                static_cast<int64_t>(result.passes_run.size()));
+      EXPECT_EQ(registry.Gauges().count(wire::kMetricCacheSize), 1u);
+      EXPECT_GT(recorder.size(), 0u) << "trial " << trial;
+    }
+  }
+}
+
+TEST(ObservabilityEquivalence, SessionOutputByteIdentical) {
+  std::ifstream script(std::string(DISLOCK_SOURCE_DIR) +
+                       "/data/session_demo.dls");
+  ASSERT_TRUE(script.good());
+  std::ostringstream script_text;
+  script_text << script.rdbuf();
+
+  for (bool json : {false, true}) {
+    std::string expected;
+    {
+      std::istringstream in(script_text.str());
+      std::ostringstream out;
+      SessionOptions options;
+      options.json = json;
+      options.load_root = DISLOCK_SOURCE_DIR;
+      EXPECT_EQ(RunSession(in, out, options), 0);
+      expected = out.str();
+    }
+    for (int threads : kThreadCounts) {
+      obs::TraceRecorder recorder;
+      obs::MetricsRegistry registry;
+      std::istringstream in(script_text.str());
+      std::ostringstream out;
+      SessionOptions options;
+      options.json = json;
+      options.load_root = DISLOCK_SOURCE_DIR;
+      options.config.num_threads = threads;
+      options.config.trace = &recorder;
+      options.config.stats = &registry;
+      EXPECT_EQ(RunSession(in, out, options), 0);
+      EXPECT_EQ(expected, out.str())
+          << "json=" << json << ", " << threads << " threads";
+      // Every command ran under a "session.command" span and the session
+      // poured its counters at the end of the run.
+      EXPECT_GT(recorder.size(), 0u);
+      EXPECT_GT(registry.CounterValue(wire::kMetricSessionCommands), 0);
+      EXPECT_GT(registry.CounterValue(wire::kMetricSessionChecks), 0);
+      EXPECT_EQ(registry.CounterValue(wire::kMetricSessionErrors), 0);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dislock

@@ -1,0 +1,146 @@
+// Pins the wire contract of core/wire_keys.h: the method/stage name
+// tables agree with the enum-to-name functions, the pre-joined span names
+// agree with the stage table, every JSON emitter in the repo produces
+// well-formed JSON, and every top-level document (and every session line)
+// leads with "schema_version": 1.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "analysis/analyzer.h"
+#include "analysis/emit.h"
+#include "core/deadlock.h"
+#include "core/multi.h"
+#include "core/paper.h"
+#include "core/report.h"
+#include "core/safety.h"
+#include "core/decision/method.h"
+#include "core/decision/stats.h"
+#include "core/incremental/session.h"
+#include "core/wire_keys.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace dislock {
+namespace {
+
+constexpr char kVersionPrefix[] = "{\"schema_version\": 1, ";
+
+void ExpectValidJson(const std::string& text, const char* what) {
+  std::string error;
+  EXPECT_TRUE(obs::IsValidJson(text, &error)) << what << ": " << error;
+}
+
+// ---- Name tables ----------------------------------------------------------
+
+TEST(WireKeys, MethodTableMatchesEnumNames) {
+  for (int m = 0; m < wire::kNumDecisionMethodNames; ++m) {
+    EXPECT_STREQ(wire::kDecisionMethodNames[m],
+                 DecisionMethodName(static_cast<DecisionMethod>(m)))
+        << "method " << m;
+  }
+}
+
+TEST(WireKeys, StageTableMatchesEnumNames) {
+  for (int s = 0; s < wire::kNumDecisionStageNames; ++s) {
+    EXPECT_STREQ(wire::kDecisionStageNames[s],
+                 DecisionStageName(static_cast<DecisionStageId>(s)))
+        << "stage " << s;
+  }
+}
+
+TEST(WireKeys, StageSpanNamesAreStageDotStageName) {
+  for (int s = 0; s < wire::kNumDecisionStageNames; ++s) {
+    EXPECT_EQ(std::string(wire::kStageSpanNames[s]),
+              std::string("stage.") + wire::kDecisionStageNames[s])
+        << "stage " << s;
+  }
+}
+
+// ---- Report emitters ------------------------------------------------------
+
+TEST(WireFormat, PairAndMultiReportsAreValidJson) {
+  for (auto make : {MakeFig4Instance, MakeFig5Instance}) {
+    PaperInstance inst = make();
+    SafetyOptions options;
+    PairSafetyReport pair = AnalyzePairSafety(
+        inst.system->txn(0), inst.system->txn(1), options);
+    ExpectValidJson(PairReportToJson(pair, *inst.db), "pair report");
+    MultiSafetyOptions multi_options;
+    MultiSafetyReport multi = AnalyzeMultiSafety(*inst.system,
+                                                 multi_options);
+    ExpectValidJson(MultiReportToJson(multi, *inst.system), "multi report");
+  }
+}
+
+TEST(WireFormat, DeadlockReportIsValidJson) {
+  PaperInstance inst = MakeFig4Instance();
+  auto report = AnalyzeDeadlockFreedom(*inst.system, 1 << 16);
+  ASSERT_TRUE(report.ok());
+  ExpectValidJson(DeadlockReportToJson(*report, *inst.system),
+                  "deadlock report");
+}
+
+TEST(WireFormat, AnalysisEmittersAreValidJsonAndSarifIsVersioned) {
+  PaperInstance inst = MakeFig1Instance();  // unsafe: produces diagnostics
+  AnalysisOptions options;
+  AnalysisResult result = AnalyzeSystem(*inst.system, options);
+  EXPECT_FALSE(result.diagnostics.empty());
+  std::string json = DiagnosticsToJson(result, *inst.system);
+  ExpectValidJson(json, "diagnostics json");
+  std::string sarif = DiagnosticsToSarif(result, *inst.system);
+  ExpectValidJson(sarif, "sarif");
+  // The run properties bag stamps the repo-wide schema version.
+  EXPECT_NE(sarif.find("\"schema_version\": 1"), std::string::npos);
+}
+
+// ---- Session line protocol ------------------------------------------------
+
+TEST(WireFormat, EverySessionJsonLineIsVersionedAndValid) {
+  // The line protocol has no enclosing document, so each line carries its
+  // own schema_version — including error lines.
+  std::istringstream in(
+      "help\n"
+      "load data/ring3.dlk\n"
+      "check\n"
+      "list\n"
+      "stats\n"
+      "remove NoSuchTxn\n");
+  std::ostringstream out;
+  SessionOptions options;
+  options.json = true;
+  options.load_root = DISLOCK_SOURCE_DIR;
+  EXPECT_EQ(RunSession(in, out, options), 1);  // the bad remove
+  std::istringstream lines(out.str());
+  std::string line;
+  int count = 0;
+  while (std::getline(lines, line)) {
+    ++count;
+    EXPECT_EQ(line.rfind(kVersionPrefix, 0), 0u) << line;
+    ExpectValidJson(line, "session line");
+  }
+  EXPECT_EQ(count, 6);
+}
+
+// ---- Observability emitters -----------------------------------------------
+
+TEST(WireFormat, TraceAndMetricsDocumentsLeadWithSchemaVersion) {
+  obs::TraceRecorder recorder;
+  { obs::TraceSpan span(&recorder, wire::kSpanPass); }
+  std::string trace = recorder.ToChromeTraceJson();
+  ExpectValidJson(trace, "trace");
+  // First key of the document (after whitespace) is schema_version.
+  EXPECT_EQ(trace.find("\"schema_version\": 1"), trace.find('"'));
+
+  obs::MetricsRegistry registry;
+  registry.AddCounter(wire::kMetricSessionCommands, 1);
+  std::string metrics = registry.ToJson();
+  ExpectValidJson(metrics, "metrics");
+  EXPECT_EQ(metrics.find("\"schema_version\": 1"), metrics.find('"'));
+}
+
+}  // namespace
+}  // namespace dislock

@@ -8,6 +8,7 @@
 // report equality, and compares wall time.
 //
 //   dislock_bench [--quick] [--threads N] [--cache] [--reps N] [--out path]
+//                 [--trace=FILE] [--metrics[=FILE]]
 //
 // --threads defaults to 0 (one worker per hardware thread). Speedups are a
 // property of the machine: on a single-core container parallel ≈ serial by
@@ -35,9 +36,13 @@
 #include "core/multi.h"
 #include "core/policy.h"
 #include "core/report.h"
+#include "core/stats_export.h"
 #include "core/verdict_cache.h"
+#include "core/wire_keys.h"
+#include "obs/observability.h"
 #include "sim/workload.h"
 #include "txn/catalog.h"
+#include "util/flags.h"
 #include "util/string_util.h"
 #include "util/thread_pool.h"
 
@@ -221,36 +226,61 @@ EditStreamRow RunEditStream(const std::string& name, const Workload& base,
 }  // namespace
 }  // namespace dislock
 
+namespace {
+
+int BenchUsage() {
+  std::fprintf(stderr,
+               "usage: dislock_bench [--quick] [--reps N] [--out path]\n"
+               "%s"
+               "  --out path        also directs the incremental edit-stream\n"
+               "                    table to <path dir>/BENCH_incremental."
+               "json\n",
+               dislock::CommonFlagsHelp(dislock::kThreadsFlag |
+                                        dislock::kCacheFlag |
+                                        dislock::kObsFlags)
+                   .c_str());
+  return 2;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   using namespace dislock;
   bool quick = false;
-  int threads = 0;  // one per hardware thread
-  bool engine_cache = false;
   int reps = 0;     // 0 = pick per mode below
   const char* out_path = "BENCH_multi.json";
+  CommonFlags flags;
+  flags.num_threads = 0;  // bench default: one worker per hardware thread
+  constexpr unsigned kAccepted = kThreadsFlag | kCacheFlag | kObsFlags;
   for (int i = 1; i < argc; ++i) {
+    std::string error;
+    switch (ParseCommonFlag(argc, argv, i, kAccepted, &flags, &error)) {
+      case FlagParse::kConsumedTwo:
+        ++i;
+        [[fallthrough]];
+      case FlagParse::kConsumedOne:
+        continue;
+      case FlagParse::kError:
+        ReportBadFlag("dislock_bench", error);
+        return BenchUsage();
+      case FlagParse::kNotCommon:
+        break;
+    }
     if (std::strcmp(argv[i], "--quick") == 0) {
       quick = true;
-    } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
-      threads = std::atoi(argv[++i]);
-    } else if (std::strcmp(argv[i], "--cache") == 0) {
-      engine_cache = true;
     } else if (std::strcmp(argv[i], "--reps") == 0 && i + 1 < argc) {
       reps = std::atoi(argv[++i]);
     } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
       out_path = argv[++i];
     } else {
-      std::fprintf(stderr,
-                   "usage: dislock_bench [--quick] [--threads N] [--cache] "
-                   "[--reps N] [--out path]\n"
-                   "  --threads N  safety-engine workers; 1 = serial,\n"
-                   "               0 (default) = one per hardware thread;\n"
-                   "               reports are identical at any thread count\n"
-                   "  --out path   also directs the incremental edit-stream\n"
-                   "               table to <path dir>/BENCH_incremental.json\n");
-      return 2;
+      ReportUnknownArgument("dislock_bench", argv[i]);
+      return BenchUsage();
     }
   }
+  const int threads = flags.num_threads;
+  const bool engine_cache = flags.cache;
+  obs::Observability bundle(flags.trace_path, flags.metrics,
+                            flags.metrics_path);
   if (reps <= 0) reps = quick ? 2 : 5;
   const int effective_threads =
       threads <= 0 ? ThreadPool::HardwareThreads() : threads;
@@ -265,7 +295,8 @@ int main(int argc, char** argv) {
   }
 
   std::ostringstream json;
-  json << "{\"bench\": \"multi_safety_parallel\", \"threads\": "
+  json << "{\"" << wire::kSchemaVersionKey << "\": " << wire::kSchemaVersion
+       << ", \"bench\": \"multi_safety_parallel\", \"threads\": "
        << effective_threads
        << ", \"hardware_threads\": " << ThreadPool::HardwareThreads()
        << ", \"reps\": " << reps << ", \"quick\": "
@@ -278,6 +309,7 @@ int main(int argc, char** argv) {
     MultiSafetyOptions serial_opts;
     serial_opts.max_cycles = 1 << 14;
     serial_opts.enable_cache = engine_cache;
+    serial_opts.trace = bundle.trace();
     MultiSafetyOptions parallel_opts = serial_opts;
     parallel_opts.num_threads = threads <= 0 ? 0 : threads;
 
@@ -297,6 +329,8 @@ int main(int argc, char** argv) {
     std::string parallel_json = MultiReportToJson(parallel_report, system);
     bool identical = serial_json == parallel_json;
     all_identical = all_identical && identical;
+    // One export per case (the last timed serial report), not per rep.
+    ExportMultiReportStats(serial_report, bundle.metrics());
 
     // Cache trajectory: a fresh cache sees the workload's internal
     // structural redundancy on the first analysis (ring/dense systems are
@@ -370,6 +404,7 @@ int main(int argc, char** argv) {
   inc_opts.max_cycles = 1 << 14;
   inc_opts.num_threads = threads <= 0 ? 0 : threads;
   inc_opts.enable_cache = engine_cache;
+  inc_opts.trace = bundle.trace();
   const int edits = quick ? 8 : 32;
   std::vector<EditStreamRow> rows;
   rows.push_back(
@@ -379,7 +414,9 @@ int main(int argc, char** argv) {
 
   bool inc_ok = true;
   std::ostringstream inc_json;
-  inc_json << "{\"bench\": \"incremental_edit_stream\", \"threads\": "
+  inc_json << "{\"" << wire::kSchemaVersionKey << "\": "
+           << wire::kSchemaVersion
+           << ", \"bench\": \"incremental_edit_stream\", \"threads\": "
            << effective_threads
            << ", \"hardware_threads\": " << ThreadPool::HardwareThreads()
            << ", \"edits\": " << edits << ", \"quick\": "
@@ -426,6 +463,11 @@ int main(int argc, char** argv) {
   inc_out << inc_json.str() << "\n";
   inc_out.close();
   std::printf("wrote %s\n", inc_path.c_str());
+
+  std::string obs_error;
+  if (!bundle.Flush(&obs_error)) {
+    std::fprintf(stderr, "%s\n", obs_error.c_str());
+  }
 
   // Determinism is the contract; a differing report is a bug regardless of
   // the measured speedup.

@@ -13,6 +13,11 @@
 //                                   check) backed by the delta engine
 //   dislock example                 print a sample system file
 //
+// `analyze` and `session` also take the shared observability flags
+// --trace=FILE (Chrome trace_event timeline; see docs/observability.md)
+// and --metrics[=FILE] (flat metrics JSON, default stderr). Neither ever
+// changes report output.
+//
 // System files use the dislock text format (see src/txn/text_format.h).
 // `analyze` exits 0 when the analysis ran (regardless of findings), 1 on
 // input errors, 2 on usage errors; pass --exit-error to exit 3 when any
@@ -33,11 +38,15 @@
 #include "core/report.h"
 #include "core/incremental/session.h"
 #include "core/safety.h"
+#include "core/wire_keys.h"
+#include "obs/observability.h"
+#include "obs/trace.h"
 #include "sat/normalize.h"
 #include "sat/reduction.h"
 #include "sat/solver.h"
 #include "sim/scheduler.h"
 #include "txn/text_format.h"
+#include "util/flags.h"
 
 namespace dislock {
 namespace {
@@ -76,17 +85,22 @@ Result<std::string> ReadFile(const char* path) {
   return text.str();
 }
 
-enum class AnalyzeFormat { kText, kJson, kSarif };
-
 struct AnalyzeArgs {
   const char* path = nullptr;
-  AnalyzeFormat format = AnalyzeFormat::kText;
   bool deadlock = true;
   bool exit_error = false;
-  int num_threads = 1;  // 1 = serial, 0 = one per hardware thread
-  bool cache = false;   // engine-owned pair-verdict cache
   std::vector<std::string> passes;  // empty = all registered
+  CommonFlags common;  // --threads/--cache/--format/--trace/--metrics
 };
+
+// Writes the trace/metrics files a run opted into; a failure to write them
+// is reported but never changes the exit status of the analysis itself.
+void FlushObservability(const obs::Observability& bundle) {
+  std::string error;
+  if (!bundle.Flush(&error)) {
+    std::fprintf(stderr, "%s\n", error.c_str());
+  }
+}
 
 int Analyze(const AnalyzeArgs& args) {
   auto text = ReadFile(args.path);
@@ -113,31 +127,43 @@ int Analyze(const AnalyzeArgs& args) {
       }
     }
   }
+  obs::Observability bundle(args.common.trace_path, args.common.metrics,
+                            args.common.metrics_path);
   AnalysisOptions options;
-  options.num_threads = args.num_threads;
-  options.enable_cache = args.cache;
+  options.num_threads = args.common.num_threads;
+  options.enable_cache = args.common.cache;
+  options.trace = bundle.trace();
+  options.stats = bundle.metrics();
   AnalysisResult result = manager.Run(system, options);
+  const int rc = args.exit_error && result.HasErrors() ? 3 : 0;
+  auto run_deadlock = [&] {
+    obs::TraceSpan span(bundle.trace(), wire::kSpanDeadlock);
+    return AnalyzeDeadlockFreedom(system, 1 << 20);
+  };
 
-  if (args.format == AnalyzeFormat::kSarif) {
+  if (args.common.format == "sarif") {
     std::printf("%s\n", DiagnosticsToSarif(result, system).c_str());
-    return args.exit_error && result.HasErrors() ? 3 : 0;
+    FlushObservability(bundle);
+    return rc;
   }
 
-  if (args.format == AnalyzeFormat::kJson) {
-    std::printf("{\"transactions\": %d, \"entities\": %d, \"sites\": %d, "
-                "\"steps\": %d, \"analysis\": %s",
+  if (args.common.format == "json") {
+    std::printf("{\"%s\": %d, \"transactions\": %d, \"entities\": %d, "
+                "\"sites\": %d, \"steps\": %d, \"analysis\": %s",
+                wire::kSchemaVersionKey, wire::kSchemaVersion,
                 system.NumTransactions(), parsed->db->NumEntities(),
                 parsed->db->NumSites(), system.TotalSteps(),
                 DiagnosticsToJson(result, system).c_str());
     if (args.deadlock) {
-      auto deadlock = AnalyzeDeadlockFreedom(system, 1 << 20);
+      auto deadlock = run_deadlock();
       if (deadlock.ok()) {
         std::printf(", \"deadlock\": %s",
                     DeadlockReportToJson(*deadlock, system).c_str());
       }
     }
     std::printf("}\n");
-    return args.exit_error && result.HasErrors() ? 3 : 0;
+    FlushObservability(bundle);
+    return rc;
   }
 
   std::printf("%d transactions, %d entities over %d sites, %d steps\n",
@@ -146,7 +172,7 @@ int Analyze(const AnalyzeArgs& args) {
   std::printf("%s", DiagnosticsToText(result, system).c_str());
 
   if (args.deadlock) {
-    auto deadlock = AnalyzeDeadlockFreedom(system, 1 << 20);
+    auto deadlock = run_deadlock();
     if (deadlock.ok()) {
       if (deadlock->deadlock_free) {
         std::printf("deadlock: none reachable (%lld states explored)\n",
@@ -159,7 +185,8 @@ int Analyze(const AnalyzeArgs& args) {
       std::printf("deadlock: %s\n", deadlock.status().ToString().c_str());
     }
   }
-  return args.exit_error && result.HasErrors() ? 3 : 0;
+  FlushObservability(bundle);
+  return rc;
 }
 
 int ListPasses() {
@@ -259,56 +286,76 @@ int Reduce(const char* path) {
 
 int RunSessionCommand(int argc, char** argv) {
   SessionOptions options;
+  CommonFlags common;
   const char* script = nullptr;
+  constexpr unsigned kAccepted = kThreadsFlag | kCacheFlag | kObsFlags;
   for (int i = 2; i < argc; ++i) {
+    std::string error;
+    switch (ParseCommonFlag(argc, argv, i, kAccepted, &common, &error)) {
+      case FlagParse::kConsumedTwo:
+        ++i;
+        [[fallthrough]];
+      case FlagParse::kConsumedOne:
+        continue;
+      case FlagParse::kError:
+        ReportBadFlag("dislock", error);
+        return 2;
+      case FlagParse::kNotCommon:
+        break;
+    }
     if (std::strcmp(argv[i], "--json") == 0) {
       options.json = true;
-    } else if (std::strcmp(argv[i], "--cache") == 0) {
-      options.config.enable_cache = true;
-    } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
-      options.config.num_threads = std::atoi(argv[++i]);
     } else if (std::strcmp(argv[i], "--load-root") == 0 && i + 1 < argc) {
       options.load_root = argv[++i];
     } else if (argv[i][0] != '-' && script == nullptr) {
       script = argv[i];
     } else {
+      ReportUnknownArgument("dislock", argv[i]);
       return 2;
     }
   }
+  obs::Observability bundle(common.trace_path, common.metrics,
+                            common.metrics_path);
+  options.config.num_threads = common.num_threads;
+  options.config.enable_cache = common.cache;
+  options.config.trace = bundle.trace();
+  options.config.stats = bundle.metrics();
+  int failed;
   if (script != nullptr) {
     std::ifstream file(script);
     if (!file) {
       std::fprintf(stderr, "cannot open %s\n", script);
       return 1;
     }
-    return RunSession(file, std::cout, options) == 0 ? 0 : 1;
+    failed = RunSession(file, std::cout, options);
+  } else {
+    failed = RunSession(std::cin, std::cout, options);
   }
-  return RunSession(std::cin, std::cout, options) == 0 ? 0 : 1;
+  FlushObservability(bundle);
+  return failed == 0 ? 0 : 1;
 }
 
 int Usage() {
+  std::string analyze_help =
+      CommonFlagsHelp(kThreadsFlag | kCacheFlag | kFormatFlag | kObsFlags);
+  std::string session_help =
+      CommonFlagsHelp(kThreadsFlag | kCacheFlag | kObsFlags);
   std::fprintf(stderr,
                "usage: dislock analyze <system.dlk>\n"
-               "                       [--format=text|json|sarif]\n"
-               "                       [--json|--sarif]  (aliases)\n"
                "                       [--passes a,b,c] [--no-deadlock]\n"
-               "                       [--exit-error] [--threads N] [--cache]\n"
-               "         (--threads: safety-engine workers; 1 = serial,\n"
-               "          0 = one per hardware thread; output is identical\n"
-               "          at any thread count)\n"
-               "         (--cache: memoize pair verdicts by structural\n"
-               "          fingerprint for the run)\n"
+               "                       [--exit-error]\n"
+               "%s"
                "       dislock passes\n"
                "       dislock simulate <system.dlk> [runs]\n"
                "       dislock reduce <formula.cnf>\n"
-               "       dislock session [script.dls] [--json] [--cache]\n"
-               "                       [--threads N] [--load-root DIR]\n"
+               "       dislock session [script.dls] [--json]\n"
+               "                       [--load-root DIR]\n"
                "         (incremental re-analysis REPL backed by the delta\n"
-               "          engine; reads stdin when no script is given.\n"
-               "          --threads: safety-engine workers; 1 = serial,\n"
-               "          0 = one per hardware thread; output is identical\n"
-               "          at any thread count)\n"
-               "       dislock example\n");
+               "          engine; reads stdin when no script is given;\n"
+               "          --json emits one JSON object per command)\n"
+               "%s"
+               "       dislock example\n",
+               analyze_help.c_str(), session_help.c_str());
   return 2;
 }
 
@@ -340,34 +387,31 @@ int main(int argc, char** argv) {
   if (std::strcmp(argv[1], "analyze") == 0 && argc >= 3) {
     AnalyzeArgs args;
     args.path = argv[2];
+    constexpr unsigned kAccepted =
+        kThreadsFlag | kCacheFlag | kFormatFlag | kObsFlags;
     for (int i = 3; i < argc; ++i) {
-      if (std::strcmp(argv[i], "--json") == 0) {
-        args.format = AnalyzeFormat::kJson;
-      } else if (std::strcmp(argv[i], "--sarif") == 0) {
-        args.format = AnalyzeFormat::kSarif;
-      } else if (std::strncmp(argv[i], "--format=", 9) == 0 ||
-                 (std::strcmp(argv[i], "--format") == 0 && i + 1 < argc)) {
-        const char* value = argv[i][8] == '=' ? argv[i] + 9 : argv[++i];
-        if (std::strcmp(value, "text") == 0) {
-          args.format = AnalyzeFormat::kText;
-        } else if (std::strcmp(value, "json") == 0) {
-          args.format = AnalyzeFormat::kJson;
-        } else if (std::strcmp(value, "sarif") == 0) {
-          args.format = AnalyzeFormat::kSarif;
-        } else {
+      std::string error;
+      switch (ParseCommonFlag(argc, argv, i, kAccepted, &args.common,
+                              &error)) {
+        case FlagParse::kConsumedTwo:
+          ++i;
+          [[fallthrough]];
+        case FlagParse::kConsumedOne:
+          continue;
+        case FlagParse::kError:
+          ReportBadFlag("dislock", error);
           return Usage();
-        }
-      } else if (std::strcmp(argv[i], "--cache") == 0) {
-        args.cache = true;
-      } else if (std::strcmp(argv[i], "--no-deadlock") == 0) {
+        case FlagParse::kNotCommon:
+          break;
+      }
+      if (std::strcmp(argv[i], "--no-deadlock") == 0) {
         args.deadlock = false;
       } else if (std::strcmp(argv[i], "--exit-error") == 0) {
         args.exit_error = true;
       } else if (std::strcmp(argv[i], "--passes") == 0 && i + 1 < argc) {
         args.passes = SplitCommas(argv[++i]);
-      } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
-        args.num_threads = std::atoi(argv[++i]);
       } else {
+        ReportUnknownArgument("dislock", argv[i]);
         return Usage();
       }
     }

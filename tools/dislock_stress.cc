@@ -4,11 +4,13 @@
 // target or a long-running soak test).
 //
 //   dislock_stress [trials] [seed] [--threads N] [--cache]
+//                  [--trace=FILE] [--metrics[=FILE]]
 //
 // --threads feeds EngineConfig::num_threads (1 = serial, 0 = hardware);
 // --cache turns on the engine-owned pair-verdict cache inside the audited
 // analyses. Neither may change any verdict — that is part of what the
-// harness checks.
+// harness checks. --trace/--metrics opt into the obs/ subsystem; they
+// never change verdicts either.
 
 #include <cstdio>
 #include <cstdlib>
@@ -46,35 +48,48 @@ int Fail(const char* what, const Workload& w) {
 
 }  // namespace
 
+int Usage() {
+  std::fprintf(stderr,
+               "usage: dislock_stress [trials] [seed]\n%s",
+               CommonFlagsHelp(kThreadsFlag | kCacheFlag | kObsFlags).c_str());
+  return 2;
+}
+
 int main(int argc, char** argv) {
   int64_t trials = 500;
   uint64_t seed = 0xD15C0;
-  int num_threads = 1;
-  bool engine_cache = false;
+  CommonFlags flags;
   int positional = 0;
+  constexpr unsigned kAccepted = kThreadsFlag | kCacheFlag | kObsFlags;
   for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
-      num_threads = std::atoi(argv[++i]);
-    } else if (std::strcmp(argv[i], "--cache") == 0) {
-      engine_cache = true;
-    } else if (positional == 0) {
+    std::string error;
+    switch (ParseCommonFlag(argc, argv, i, kAccepted, &flags, &error)) {
+      case FlagParse::kConsumedTwo:
+        ++i;
+        [[fallthrough]];
+      case FlagParse::kConsumedOne:
+        continue;
+      case FlagParse::kError:
+        ReportBadFlag("dislock_stress", error);
+        return Usage();
+      case FlagParse::kNotCommon:
+        break;
+    }
+    if (argv[i][0] != '-' && positional == 0) {
       trials = std::atoll(argv[i]);
       ++positional;
-    } else if (positional == 1) {
+    } else if (argv[i][0] != '-' && positional == 1) {
       seed = std::strtoull(argv[i], nullptr, 10);
       ++positional;
     } else {
-      std::fprintf(stderr,
-                   "usage: dislock_stress [trials] [seed] [--threads N] "
-                   "[--cache]\n"
-                   "  --threads N  safety-engine workers; 1 = serial,\n"
-                   "               0 = one per hardware thread; results are\n"
-                   "               identical at any thread count\n"
-                   "  --cache      memoize pair verdicts by structural\n"
-                   "               fingerprint across trials\n");
-      return 2;
+      ReportUnknownArgument("dislock_stress", argv[i]);
+      return Usage();
     }
   }
+  const int num_threads = flags.num_threads;
+  const bool engine_cache = flags.cache;
+  obs::Observability bundle(flags.trace_path, flags.metrics,
+                            flags.metrics_path);
   Rng rng(seed);
   Tally tally;
   // Persists across all trials: a cached verdict must match the verdict the
@@ -98,8 +113,13 @@ int main(int argc, char** argv) {
     options.max_extension_pairs = 1 << 15;
     options.num_threads = num_threads;
     options.enable_cache = engine_cache;
+    options.trace = bundle.trace();
+    options.stats = bundle.metrics();
     PairSafetyReport report =
         AnalyzePairSafety(w.system->txn(0), w.system->txn(1), options);
+    // This trial's top-level pair analysis is owned by the harness, so the
+    // harness exports it (no-op when --metrics is off).
+    ExportPairReportStats(report, bundle.metrics());
     switch (report.verdict) {
       case SafetyVerdict::kSafe:
         ++tally.safe;
@@ -266,5 +286,10 @@ int main(int argc, char** argv) {
       static_cast<long long>(verdict_cache.size()),
       100.0 * verdict_cache.stats().HitRate(),
       static_cast<long long>(tally.parallel_equivalence_checks));
+  ExportCacheStats(verdict_cache, bundle.metrics());
+  std::string obs_error;
+  if (!bundle.Flush(&obs_error)) {
+    std::fprintf(stderr, "%s\n", obs_error.c_str());
+  }
   return 0;
 }
