@@ -28,11 +28,37 @@ bool IsPairRule(const std::string& rule) {
 
 }  // namespace
 
+SessionAnalyzeFn MakeSessionAnalyzer() {
+  return [](const CatalogSnapshot& snapshot, const EngineConfig& config,
+            bool json) {
+    TransactionSystem system = snapshot.Materialize();
+    // The session owns the stats sink and exports once at the end of the
+    // run; a nested export here would double-count the shared counters.
+    EngineConfig nested = config;
+    nested.stats = nullptr;
+    AnalysisResult result = AnalyzeSystem(system, nested);
+    return json ? DiagnosticsToJson(result, system)
+                : DiagnosticsToText(result, system);
+  };
+}
+
 Status AuditAnalysis(const TransactionSystem& system,
                      const AnalysisResult& result,
                      const AnalysisOptions& options) {
   // 1. Certificates must re-verify against the pair they indict.
   for (const Diagnostic& d : result.diagnostics) {
+    if (d.deadlock_certificate.has_value()) {
+      if (d.rule != "DL201") {
+        return Status::Internal(StrCat(
+            "deadlock certificate attached to non-deadlock rule ", d.rule));
+      }
+      Status replayed = VerifyDeadlockWitness(system, *d.deadlock_certificate);
+      if (!replayed.ok()) {
+        return Status::Internal(
+            StrCat("deadlock witness failed re-verification: ",
+                   replayed.ToString()));
+      }
+    }
     if (!d.certificate.has_value()) continue;
     if (d.rule != "DL002" && d.rule != "DL004") {
       return Status::Internal(

@@ -5,6 +5,7 @@
 #include "analysis/emit.h"
 #include "analysis/pass.h"
 #include "analysis/passes.h"
+#include "core/incremental/session.h"
 #include "txn/system.h"
 #include "util/status.h"
 
@@ -32,6 +33,12 @@ AnalysisResult AnalyzeSystem(const CatalogSnapshot& snapshot,
 Status AuditAnalysis(const TransactionSystem& system,
                      const AnalysisResult& result,
                      const AnalysisOptions& options = {});
+
+/// The analyzer hook for `dislock session`'s `analyze` command: runs every
+/// registered pass over the snapshot and renders the diagnostics (text or
+/// JSON per the session's mode). Stats are suppressed for the nested run —
+/// the session owns its sink and exports its own counters once at the end.
+SessionAnalyzeFn MakeSessionAnalyzer();
 
 }  // namespace dislock
 

@@ -1,0 +1,115 @@
+#include "analysis/passes.h"
+#include "core/deadlock.h"
+#include "util/string_util.h"
+
+namespace dislock {
+namespace {
+
+/// DL201/DL202/DL205/DL206: the operational companion of the safety rules.
+/// The exhaustive reachable-state search (AnalysisContext::Deadlock, bounded
+/// by max_deadlock_states) either proves deadlock freedom (DL205), proves a
+/// reachable deadlock and attaches the replayable witness (DL201), or runs
+/// out of budget (DL206). DL202 flags the hold-and-wait precondition —
+/// opposing lock-acquisition orders on a pair of common entities — whenever
+/// deadlock freedom was NOT proven.
+class DeadlockPass : public AnalysisPass {
+ public:
+  const char* name() const override { return "deadlock"; }
+  const char* description() const override {
+    return "reachable-state deadlock search with witness certificates "
+           "(DL201/DL202/DL205/DL206)";
+  }
+
+  void Run(AnalysisContext* ctx, std::vector<Diagnostic>* out) override {
+    const TransactionSystem& system = ctx->system();
+    const Result<DeadlockReport>& dl = ctx->Deadlock();
+    if (!dl.ok()) {
+      Diagnostic d;
+      d.severity = DiagSeverity::kWarning;
+      d.rule = "DL206";
+      d.message = StrCat("deadlock search undecided: ", dl.status().message());
+      d.fix_hint =
+          "raise max_deadlock_states to let the reachable-state search "
+          "finish";
+      out->push_back(std::move(d));
+      EmitOpposingOrders(system, out);
+      return;
+    }
+    if (!dl->deadlock_free) {
+      DeadlockCertificate cert = MakeDeadlockCertificate(*dl);
+      Diagnostic d;
+      d.severity = DiagSeverity::kError;
+      d.rule = "DL201";
+      d.location.txn = cert.blocked_txns.empty() ? -1 : cert.blocked_txns[0];
+      if (cert.blocked_txns.size() > 1) {
+        d.location.other_txn = cert.blocked_txns[1];
+      }
+      if (!cert.waited_entities.empty()) {
+        d.location.entity = cert.waited_entities[0];
+      }
+      std::string waits;
+      for (size_t i = 0; i < cert.blocked_txns.size(); ++i) {
+        if (i > 0) waits += " and ";
+        waits += StrCat(system.txn(cert.blocked_txns[i]).name(),
+                        " waits for '",
+                        system.db().NameOf(cert.waited_entities[i]), "'");
+      }
+      d.message = StrCat("deadlock is reachable: after the legal prefix \"",
+                         cert.prefix.ToString(system), "\", ", waits);
+      d.fix_hint =
+          "impose one global lock-acquisition order across transactions "
+          "(see DL103), or run `dislock fix` for a verified repair";
+      d.deadlock_certificate = std::move(cert);
+      out->push_back(std::move(d));
+      EmitOpposingOrders(system, out);
+      return;
+    }
+    Diagnostic d;
+    d.severity = DiagSeverity::kNote;
+    d.rule = "DL205";
+    d.message = StrCat("the system is deadlock-free: every one of its ",
+                       dl->states_explored,
+                       " reachable states has an enabled step");
+    out->push_back(std::move(d));
+  }
+
+ private:
+  /// DL202 per unordered pair with a potentially opposing acquisition
+  /// order. Only called when deadlock freedom is unproven: against a proof
+  /// the precondition is noise.
+  static void EmitOpposingOrders(const TransactionSystem& system,
+                                 std::vector<Diagnostic>* out) {
+    for (int i = 0; i < system.NumTransactions(); ++i) {
+      for (int j = i + 1; j < system.NumTransactions(); ++j) {
+        std::optional<OpposingLockOrder> opp =
+            FindOpposingLockOrder(system.txn(i), system.txn(j));
+        if (!opp.has_value()) continue;
+        Diagnostic d;
+        d.severity = DiagSeverity::kWarning;
+        d.rule = "DL202";
+        d.location.txn = i;
+        d.location.other_txn = j;
+        d.location.entity = opp->x;
+        d.message = StrCat(
+            "transactions ", system.txn(i).name(), " and ",
+            system.txn(j).name(), " can acquire the locks on '",
+            system.db().NameOf(opp->x), "' and '",
+            system.db().NameOf(opp->y),
+            "' in opposite orders (hold-and-wait precondition)");
+        d.fix_hint = StrCat(
+            "order L", system.db().NameOf(opp->x), " and L",
+            system.db().NameOf(opp->y),
+            " the same way in both transactions");
+        out->push_back(std::move(d));
+      }
+    }
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<AnalysisPass> MakeDeadlockPass() {
+  return std::make_unique<DeadlockPass>();
+}
+
+}  // namespace dislock

@@ -20,41 +20,82 @@ const std::vector<AnalysisRule>& AnalysisRules() {
        "Section 1 (two-phase locking, after Eswaran et al.)",
        "transaction releases a lock before acquiring another; 2PL "
        "transactions are always safe, non-2PL ones need the paper's "
-       "analysis"},
+       "analysis",
+       DiagSeverity::kNote},
       {"DL002", "unsafe-pair", "Theorem 2 / Corollary 1",
        "pair spanning at most two sites whose conflict digraph D(T1,T2) is "
-       "not strongly connected: provably unsafe, certificate attached"},
+       "not strongly connected: provably unsafe, certificate attached",
+       DiagSeverity::kError},
       {"DL003", "safe-pair", "Theorem 1 (also Corollary 2 loop, Lemma 1)",
        "pair proven safe; when D(T1,T2) is strongly connected this holds at "
-       "any number of sites"},
+       "any number of sites",
+       DiagSeverity::kNote},
       {"DL004", "unsafe-pair-multisite", "Corollary 2 (Lemmas 2-3 closure)",
        "pair spanning three or more sites with a dominator whose closure "
-       "converges: provably unsafe, certificate attached"},
+       "converges: provably unsafe, certificate attached",
+       DiagSeverity::kError},
       {"DL005", "undecided-pair", "Theorem 3 (coNP-completeness)",
        "pair analysis exhausted its dominator/extension budgets without a "
-       "proof either way"},
+       "proof either way",
+       DiagSeverity::kWarning},
       {"DL006", "unsafe-cycle", "Proposition 2, condition (b)",
        "directed cycle of the transaction conflict graph G whose combined "
        "digraph B_c is acyclic: the system is unsafe even if every pair is "
-       "safe"},
+       "safe",
+       DiagSeverity::kError},
       {"DL007", "undecided-system", "Proposition 2",
        "the cycle enumeration of Proposition 2 exceeded its budget; no "
-       "system-level verdict"},
+       "system-level verdict",
+       DiagSeverity::kWarning},
       {"DL008", "safe-system", "Proposition 2",
        "every pair is safe and every examined cycle's B_c has a cycle: the "
-       "whole system is safe"},
+       "whole system is safe",
+       DiagSeverity::kNote},
       {"DL101", "redundant-lock", "Definition 1 (D is built from "
        "lock-unlock sections); Section 2 well-formedness",
        "exclusive lock section that never updates its entity and whose "
-       "removal leaves every D(Ti,Tj) unchanged"},
+       "removal leaves every D(Ti,Tj) unchanged",
+       DiagSeverity::kWarning},
       {"DL102", "unlock-before-use", "Section 2 (updates must lie between "
        "Lx and Ux)",
        "an update of x is not ordered before Ux, so some execution applies "
-       "it after the lock is gone"},
+       "it after the lock is gone",
+       DiagSeverity::kWarning},
       {"DL103", "lock-order", "Section 7 (distributed deadlock discussion)",
        "locks are not acquired in the canonical (site, entity) order; a "
        "consistent acquisition order across transactions prevents "
-       "distributed deadlock"},
+       "distributed deadlock",
+       DiagSeverity::kNote},
+      {"DL201", "reachable-deadlock", "Section 7 (distributed deadlock); "
+       "centralized deadlock theory of [7, 17]",
+       "a legal execution prefix reaches a state where every remaining "
+       "step is blocked on a lock: proven deadlock, replayable witness "
+       "attached",
+       DiagSeverity::kError},
+      {"DL202", "opposing-lock-orders", "Section 7 (hold-and-wait "
+       "precondition)",
+       "two transactions can acquire locks on a pair of common entities in "
+       "opposite orders, the classic precondition for a cyclic wait",
+       DiagSeverity::kWarning},
+      {"DL203", "tree-protocol-violation", "Section 6 (hierarchical "
+       "protocols of [12])",
+       "transaction locks entities in a pattern that breaks the tree "
+       "protocol over the system's inferred entity forest",
+       DiagSeverity::kNote},
+      {"DL204", "centralized-image-divergence", "Section 6 (centralized "
+       "image / linearizations)",
+       "an unlock and a later lock are unordered, so some linearizations "
+       "of the transaction are two-phase and others are not: the "
+       "centralized image diverges from the distributed intent",
+       DiagSeverity::kNote},
+      {"DL205", "deadlock-free", "Section 7; reachable-state search",
+       "the exhaustive reachable-state search proved the system "
+       "deadlock-free",
+       DiagSeverity::kNote},
+      {"DL206", "deadlock-undecided", "Section 7; reachable-state search",
+       "the deadlock search exhausted its state budget without a verdict "
+       "either way",
+       DiagSeverity::kWarning},
   };
   return kRules;
 }

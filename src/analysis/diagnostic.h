@@ -7,7 +7,9 @@
 #include <vector>
 
 #include "core/certificate.h"
+#include "core/deadlock.h"
 #include "core/decision/stats.h"
+#include "analysis/repair/engine.h"
 #include "txn/step.h"
 
 namespace dislock {
@@ -23,12 +25,15 @@ const char* DiagSeverityName(DiagSeverity severity);
 
 /// One rule of the analyzer's catalog. Rule ids are stable ("DL002") so
 /// downstream tooling can filter on them; DL0xx are safety results, DL1xx
-/// are lint-grade findings.
+/// are lint-grade findings, DL2xx are deadlock/protocol findings. Each rule
+/// carries the severity its diagnostics are emitted at (`dislock rules`
+/// prints the catalog; the SARIF driver exports it as defaultConfiguration).
 struct AnalysisRule {
-  const char* id;        ///< e.g. "DL002"
-  const char* name;      ///< e.g. "unsafe-pair"
-  const char* citation;  ///< where in the paper the rule comes from
-  const char* summary;   ///< one-line description
+  const char* id;         ///< e.g. "DL002"
+  const char* name;       ///< e.g. "unsafe-pair"
+  const char* citation;   ///< where in the paper the rule comes from
+  const char* summary;    ///< one-line description
+  DiagSeverity severity;  ///< severity this rule's diagnostics carry
 };
 
 /// The full rule catalog, ordered by id. docs/analyzer.md documents each
@@ -60,6 +65,9 @@ struct Diagnostic {
   std::string fix_hint;
   /// For unsafe verdicts: the verified Theorem 2 / Corollary 2 witness.
   std::optional<UnsafetyCertificate> certificate;
+  /// For DL201: the replayable deadlock witness (schedule prefix plus the
+  /// dead state's waits-for lists), re-verified by AuditAnalysis.
+  std::optional<DeadlockCertificate> deadlock_certificate;
 };
 
 /// Everything a PassManager run produced.
@@ -71,6 +79,9 @@ struct AnalysisResult {
   /// run memoized (see AnalysisContext::PipelineTotals). Deterministic at
   /// any thread count, like the diagnostics themselves.
   PipelineStats pipeline;
+  /// When the tool ran repair synthesis (analyze --repair, dislock fix):
+  /// the verified-repair report, rendered by every emitter.
+  std::optional<RepairReport> repair;
 
   int Count(DiagSeverity severity) const;
   bool HasErrors() const { return Count(DiagSeverity::kError) > 0; }

@@ -53,6 +53,62 @@ std::string SummaryText(const AnalysisResult& result) {
                 result.passes_run.size(), " pass(es)");
 }
 
+/// "deadlock-free", "deadlock reachable" or "deadlock undecided".
+std::string DeadlockBeforeText(const RepairReport& r) {
+  if (r.deadlock_undecided_before) return "deadlock undecided";
+  return r.deadlock_free_before ? "deadlock-free" : "deadlock reachable";
+}
+
+/// The repair block appended after the summary line by DiagnosticsToText.
+std::string RepairSectionText(const RepairReport& r) {
+  std::ostringstream out;
+  if (!r.attempted) {
+    out << "repair: nothing to repair (the system is safe and "
+           "deadlock-free)\n";
+    return out.str();
+  }
+  out << "repair: before: safety " << SafetyVerdictName(r.safety_before)
+      << ", " << DeadlockBeforeText(r) << "; " << r.candidates_tried
+      << " candidate(s) tried, " << r.candidates_verified << " verified\n";
+  for (size_t i = 0; i < r.repairs.size(); ++i) {
+    const VerifiedRepair& v = r.repairs[i];
+    out << "  [" << (i + 1) << "] " << RepairEditKindName(v.edit.kind)
+        << " (cost " << v.edit.cost << "): " << v.edit.description << "\n"
+        << "      after: safety " << SafetyVerdictName(v.safety_after)
+        << ", deadlock-free (re-verified)\n";
+  }
+  return out.str();
+}
+
+/// {"dead_prefix": "...", "blocked": [{"txn", "waits_for"}, ...]} — the
+/// same shape as DeadlockReportToJson's witness fields.
+std::string DeadlockCertificateToJson(const DeadlockCertificate& cert,
+                                      const TransactionSystem& system) {
+  std::ostringstream out;
+  out << "{" << Key(wire::kDeadPrefix)
+      << Quoted(cert.prefix.ToString(system)) << ", "
+      << Key(wire::kBlocked) << "[";
+  for (size_t i = 0; i < cert.blocked_txns.size(); ++i) {
+    if (i > 0) out << ", ";
+    out << "{" << Key(wire::kTxn)
+        << Quoted(system.txn(cert.blocked_txns[i]).name()) << ", "
+        << Key(wire::kWaitsFor)
+        << Quoted(cert.waited_entities[i] == kInvalidEntity
+                      ? std::string("?")
+                      : system.db().NameOf(cert.waited_entities[i]))
+        << "}";
+  }
+  out << "]}";
+  return out.str();
+}
+
+/// Rules whose findings the repair engine can fix (the SARIF results that
+/// carry the `fixes` array when verified repairs exist).
+bool IsRepairableRule(const std::string& rule) {
+  return rule == "DL002" || rule == "DL004" || rule == "DL006" ||
+         rule == "DL201";
+}
+
 }  // namespace
 
 std::string DiagnosticsToText(const AnalysisResult& result,
@@ -72,8 +128,15 @@ std::string DiagnosticsToText(const AnalysisResult& result,
           << Indented(CertificateToString(*d.certificate, system.db()),
                       "    ");
     }
+    if (d.deadlock_certificate.has_value()) {
+      out << "  deadlock witness:\n"
+          << Indented(
+                 DeadlockCertificateToString(*d.deadlock_certificate, system),
+                 "    ");
+    }
   }
   out << SummaryText(result) << "\n";
+  if (result.repair.has_value()) out << RepairSectionText(*result.repair);
   return out.str();
 }
 
@@ -125,19 +188,68 @@ std::string DiagnosticsToJson(const AnalysisResult& result,
     } else {
       out << "null";
     }
+    // Emitted only when present so runs without the deadlock pass keep
+    // their exact historical bytes.
+    if (d.deadlock_certificate.has_value()) {
+      out << ", " << Key(wire::kDeadlockCertificate)
+          << DeadlockCertificateToJson(*d.deadlock_certificate, system);
+    }
     out << "}";
   }
-  out << "], " << Key(wire::kPipeline) << PipelineStatsToJson(result.pipeline)
-      << ", " << Key(wire::kSummary) << "{" << Key(wire::kErrors)
+  out << "], " << Key(wire::kPipeline) << PipelineStatsToJson(result.pipeline);
+  if (result.repair.has_value()) {
+    out << ", " << Key(wire::kRepair)
+        << RepairReportToJson(*result.repair, system);
+  }
+  out << ", " << Key(wire::kSummary) << "{" << Key(wire::kErrors)
       << result.Count(DiagSeverity::kError) << ", " << Key(wire::kWarnings)
       << result.Count(DiagSeverity::kWarning) << ", " << Key(wire::kNotes)
       << result.Count(DiagSeverity::kNote) << "}}";
   return out.str();
 }
 
-std::string DiagnosticsToSarif(const AnalysisResult& result,
+std::string RepairReportToJson(const RepairReport& report,
                                const TransactionSystem& system) {
+  std::ostringstream out;
+  out << "{" << Key(wire::kAttempted)
+      << (report.attempted ? "true" : "false") << ", " << Key(wire::kBefore)
+      << "{" << Key(wire::kSafety)
+      << Quoted(SafetyVerdictName(report.safety_before)) << ", "
+      << Key(wire::kDeadlockFree)
+      << (report.deadlock_free_before ? "true" : "false") << ", "
+      << Key(wire::kDeadlockUndecided)
+      << (report.deadlock_undecided_before ? "true" : "false") << "}, "
+      << Key(wire::kCandidatesTried) << report.candidates_tried << ", "
+      << Key(wire::kCandidatesVerified) << report.candidates_verified << ", "
+      << Key(wire::kRepairs) << "[";
+  for (size_t i = 0; i < report.repairs.size(); ++i) {
+    const VerifiedRepair& v = report.repairs[i];
+    if (i > 0) out << ", ";
+    out << "{" << Key(wire::kKind) << Quoted(RepairEditKindName(v.edit.kind))
+        << ", " << Key(wire::kTxns) << "[";
+    for (size_t t = 0; t < v.edit.txns.size(); ++t) {
+      if (t > 0) out << ", ";
+      out << Quoted(system.txn(v.edit.txns[t]).name());
+    }
+    out << "], " << Key(wire::kDescription) << Quoted(v.edit.description)
+        << ", " << Key(wire::kCost) << v.edit.cost << ", "
+        << Key(wire::kAfter) << "{" << Key(wire::kSafety)
+        << Quoted(SafetyVerdictName(v.safety_after)) << ", "
+        << Key(wire::kDeadlockFree)
+        << (v.deadlock_free_after ? "true" : "false") << "}, "
+        << Key(wire::kRepairedSystem) << Quoted(v.repaired_text) << "}";
+  }
+  out << "]}";
+  return out.str();
+}
+
+std::string DiagnosticsToSarif(const AnalysisResult& result,
+                               const TransactionSystem& system,
+                               const SarifArtifact& artifact) {
   // SARIF maps severities onto "note"/"warning"/"error" levels directly.
+  const std::string uri =
+      artifact.uri.empty() ? std::string("system.dlk") : artifact.uri;
+  const int end_line = artifact.end_line > 0 ? artifact.end_line : 1;
   std::ostringstream out;
   out << "{\"$schema\": "
          "\"https://json.schemastore.org/sarif-2.1.0.json\", "
@@ -150,9 +262,13 @@ std::string DiagnosticsToSarif(const AnalysisResult& result,
     out << "{\"id\": " << Quoted(rules[i].id) << ", \"name\": "
         << Quoted(rules[i].name) << ", \"shortDescription\": {\"text\": "
         << Quoted(rules[i].summary) << "}, \"help\": {\"text\": "
-        << Quoted(rules[i].citation) << "}}";
+        << Quoted(rules[i].citation) << "}, \"defaultConfiguration\": "
+        << "{\"level\": " << Quoted(DiagSeverityName(rules[i].severity))
+        << "}}";
   }
   out << "]}}, \"results\": [";
+  const bool have_repairs =
+      result.repair.has_value() && !result.repair->repairs.empty();
   for (size_t i = 0; i < result.diagnostics.size(); ++i) {
     const Diagnostic& d = result.diagnostics[i];
     size_t rule_index = 0;
@@ -166,7 +282,25 @@ std::string DiagnosticsToSarif(const AnalysisResult& result,
         << "{\"text\": " << Quoted(d.message) << "}, \"locations\": "
         << "[{\"logicalLocations\": [{\"name\": "
         << Quoted(LocationText(d.location, system))
-        << ", \"kind\": \"object\"}]}]}";
+        << ", \"kind\": \"object\"}]}]";
+    if (have_repairs && IsRepairableRule(d.rule)) {
+      // One fix per verified repair: a whole-file replacement of the .dlk
+      // text (SystemToText round-trips exactly).
+      out << ", \"fixes\": [";
+      const std::vector<VerifiedRepair>& repairs = result.repair->repairs;
+      for (size_t f = 0; f < repairs.size(); ++f) {
+        if (f > 0) out << ", ";
+        out << "{\"description\": {\"text\": "
+            << Quoted(repairs[f].edit.description)
+            << "}, \"artifactChanges\": [{\"artifactLocation\": {\"uri\": "
+            << Quoted(uri) << "}, \"replacements\": [{\"deletedRegion\": "
+            << "{\"startLine\": 1, \"startColumn\": 1, \"endLine\": "
+            << end_line << "}, \"insertedContent\": {\"text\": "
+            << Quoted(repairs[f].repaired_text) << "}}]}]}";
+      }
+      out << "]";
+    }
+    out << "}";
   }
   // The per-stage DecisionPipeline counters ride along as a run-level
   // property bag (SARIF's extension point for tool-specific data); the
@@ -176,6 +310,52 @@ std::string DiagnosticsToSarif(const AnalysisResult& result,
       << Key(wire::kSchemaVersionKey) << wire::kSchemaVersion << ", "
       << Key(wire::kPipeline) << PipelineStatsToJson(result.pipeline)
       << "}}]}";
+  return out.str();
+}
+
+std::string RulesToText() {
+  std::ostringstream out;
+  for (const AnalysisRule& r : AnalysisRules()) {
+    out << r.id << " " << DiagSeverityName(r.severity) << " " << r.name
+        << "\n  " << r.summary << "\n  citation: " << r.citation << "\n";
+  }
+  return out.str();
+}
+
+std::string RulesToJson() {
+  std::ostringstream out;
+  out << "{" << Key(wire::kSchemaVersionKey) << wire::kSchemaVersion << ", "
+      << Key(wire::kRules) << "[";
+  const std::vector<AnalysisRule>& rules = AnalysisRules();
+  for (size_t i = 0; i < rules.size(); ++i) {
+    if (i > 0) out << ", ";
+    out << "{" << Key(wire::kId) << Quoted(rules[i].id) << ", "
+        << Key(wire::kRuleName) << Quoted(rules[i].name) << ", "
+        << Key(wire::kSeverity)
+        << Quoted(DiagSeverityName(rules[i].severity)) << ", "
+        << Key(wire::kCitation) << Quoted(rules[i].citation) << ", "
+        << Key(wire::kSummary) << Quoted(rules[i].summary) << "}";
+  }
+  out << "]}";
+  return out.str();
+}
+
+std::string RulesToMarkdown() {
+  std::ostringstream out;
+  out << "# Analyzer rule catalog\n"
+         "\n"
+         "<!-- Generated by `dislock rules --markdown`. Do not edit by "
+         "hand:\n"
+         "     rules_catalog_test fails when this file and the catalog in\n"
+         "     src/analysis/diagnostic.cc drift. -->\n"
+         "\n"
+         "| Id | Name | Severity | Paper citation | Summary |\n"
+         "|----|------|----------|----------------|---------|\n";
+  for (const AnalysisRule& r : AnalysisRules()) {
+    out << "| " << r.id << " | " << r.name << " | "
+        << DiagSeverityName(r.severity) << " | " << r.citation << " | "
+        << r.summary << " |\n";
+  }
   return out.str();
 }
 

@@ -32,12 +32,40 @@ std::string DiagnosticsToText(const AnalysisResult& result,
 std::string DiagnosticsToJson(const AnalysisResult& result,
                               const TransactionSystem& system);
 
+/// Physical anchor for the SARIF emitter: the URI of the analyzed .dlk
+/// file and its line count, so `fixes` can describe a whole-file
+/// replacement. Default (empty uri) falls back to "system.dlk" / line 1.
+struct SarifArtifact {
+  std::string uri;
+  int end_line = 0;
+};
+
 /// SARIF 2.1.0 (the interchange format IDEs and code-scanning services
 /// ingest): one run of tool "dislock-analyze" with the full rule catalog
-/// as driver metadata and one result per diagnostic, located by logical
-/// location (transaction / step).
+/// as driver metadata (including each rule's defaultConfiguration level)
+/// and one result per diagnostic, located by logical location
+/// (transaction / step). When result.repair holds verified repairs, the
+/// results for repairable rules (DL002/DL004/DL006/DL201) carry a `fixes`
+/// array — one whole-file replacement per verified repair.
 std::string DiagnosticsToSarif(const AnalysisResult& result,
+                               const TransactionSystem& system,
+                               const SarifArtifact& artifact = {});
+
+/// The repair report as JSON (the "repair" value of DiagnosticsToJson;
+/// also emitted standalone by `dislock fix --json`).
+std::string RepairReportToJson(const RepairReport& report,
                                const TransactionSystem& system);
+
+/// The rule catalog (id, severity, name, summary, citation) as aligned
+/// text, one block per rule. `dislock rules` prints this.
+std::string RulesToText();
+
+/// The catalog as {"schema_version": 1, "rules": [...]}.
+std::string RulesToJson();
+
+/// The catalog as the generated docs/rules.md (table plus do-not-edit
+/// preamble); rules_catalog_test fails when doc and catalog drift.
+std::string RulesToMarkdown();
 
 /// Pours the run's aggregate counters into `sink` (no-op when null):
 /// "analysis.passes", "analysis.diagnostics", "analysis.errors",

@@ -150,6 +150,8 @@ void RegisterBuiltinAnalysisPasses() {
   RegisterAnalysisPass("pair-safety", MakePairSafetyPass);
   RegisterAnalysisPass("system-safety", MakeSystemSafetyPass);
   RegisterAnalysisPass("lints", MakeLintPass);
+  RegisterAnalysisPass("deadlock", MakeDeadlockPass);
+  RegisterAnalysisPass("protocols", MakeProtocolsPass);
 }
 
 }  // namespace dislock

@@ -33,6 +33,15 @@ const MultiSafetyReport& AnalysisContext::MultiReport() {
   return *multi_cache_;
 }
 
+const Result<DeadlockReport>& AnalysisContext::Deadlock() {
+  if (!deadlock_cache_.has_value()) {
+    obs::TraceSpan span(engine_.config().trace, wire::kSpanDeadlock);
+    deadlock_cache_ = AnalyzeDeadlockFreedom(
+        system_, engine_.config().max_deadlock_states);
+  }
+  return *deadlock_cache_;
+}
+
 PipelineStats AnalysisContext::PipelineTotals() const {
   PipelineStats totals;
   for (const auto& [pair, report] : pair_cache_) {

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "analysis/diagnostic.h"
+#include "core/deadlock.h"
 #include "core/decision/context.h"
 #include "core/multi.h"
 #include "core/safety.h"
@@ -47,6 +48,11 @@ class AnalysisContext {
   /// The (cached) Proposition 2 report for the whole system.
   const MultiSafetyReport& MultiReport();
 
+  /// The (cached) reachable-state deadlock search, bounded by the config's
+  /// max_deadlock_states (ResourceExhausted beyond). Traced under
+  /// "deadlock.search".
+  const Result<DeadlockReport>& Deadlock();
+
   /// Sum of the DecisionPipeline statistics over every memoized analysis
   /// (each distinct pair report, plus the multi report's aggregate).
   PipelineStats PipelineTotals() const;
@@ -56,6 +62,7 @@ class AnalysisContext {
   EngineContext engine_;
   std::map<std::pair<int, int>, PairSafetyReport> pair_cache_;
   std::optional<MultiSafetyReport> multi_cache_;
+  std::optional<Result<DeadlockReport>> deadlock_cache_;
 };
 
 /// One analysis pass: inspects the system through the context and appends

@@ -13,13 +13,21 @@ namespace dislock {
 ///                       procedure with certificates;
 ///   * "system-safety" — DL006-DL008: Proposition 2 on >= 3 transactions;
 ///   * "lints"         — DL101-DL103: redundant locks, unlock-before-use,
-///                       lock acquisition order.
+///                       lock acquisition order;
+///   * "deadlock"      — DL201/DL202/DL205/DL206: the reachable-state
+///                       deadlock search (witness certificates) plus the
+///                       opposing-lock-order precondition;
+///   * "protocols"     — DL203/DL204: tree-protocol conformance against the
+///                       inferred entity forest and Section 6
+///                       centralized-image divergence.
 std::unique_ptr<AnalysisPass> MakeTwoPhasePass();
 std::unique_ptr<AnalysisPass> MakePairSafetyPass();
 std::unique_ptr<AnalysisPass> MakeSystemSafetyPass();
 std::unique_ptr<AnalysisPass> MakeLintPass();
+std::unique_ptr<AnalysisPass> MakeDeadlockPass();
+std::unique_ptr<AnalysisPass> MakeProtocolsPass();
 
-/// Registers the four built-in passes. Called automatically on first
+/// Registers the six built-in passes. Called automatically on first
 /// registry use; idempotence is the caller's concern (the registry CHECKs
 /// duplicate names).
 void RegisterBuiltinAnalysisPasses();

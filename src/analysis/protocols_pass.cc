@@ -1,0 +1,122 @@
+#include "analysis/passes.h"
+#include "core/protocols.h"
+#include "util/string_util.h"
+
+namespace dislock {
+namespace {
+
+/// DL203/DL204: Section 6 protocol conformance.
+///
+/// DL203 checks each transaction against the tree protocol of [12] over
+/// the entity forest the system itself implies (InferEntityForest): when
+/// transactions nest their lock sections, the nesting pattern is the
+/// intended hierarchy, and a transaction that breaks it forfeits the
+/// protocol's safety guarantee. Trivial (all-roots) forests are skipped —
+/// without nesting there is no hierarchy to conform to.
+///
+/// DL204 flags centralized-image divergence: an unlock and a later lock
+/// left unordered, so some linearizations of the transaction are two-phase
+/// and others are not. The distributed transaction then sits between two
+/// different centralized policies (Section 6 reduces correctness to the
+/// centralized image — the union of all linearizations). Transactions with
+/// a FORCED unlock-before-lock are DL001's territory and skipped here.
+class ProtocolsPass : public AnalysisPass {
+ public:
+  const char* name() const override { return "protocols"; }
+  const char* description() const override {
+    return "tree-protocol conformance and centralized-image divergence "
+           "(DL203/DL204)";
+  }
+
+  void Run(AnalysisContext* ctx, std::vector<Diagnostic>* out) override {
+    const TransactionSystem& system = ctx->system();
+    EmitTreeProtocol(system, out);
+    EmitImageDivergence(system, out);
+  }
+
+ private:
+  static void EmitTreeProtocol(const TransactionSystem& system,
+                               std::vector<Diagnostic>* out) {
+    EntityForest forest = InferEntityForest(system);
+    std::string rendered;
+    for (EntityId e = 0; e < static_cast<EntityId>(forest.parent.size());
+         ++e) {
+      if (forest.parent[e] == kInvalidEntity) continue;
+      if (!rendered.empty()) rendered += ", ";
+      rendered += StrCat("'", system.db().NameOf(e), "' under '",
+                         system.db().NameOf(forest.parent[e]), "'");
+    }
+    if (rendered.empty()) return;  // trivial forest: nothing to conform to
+    for (int i = 0; i < system.NumTransactions(); ++i) {
+      Status st = CheckTreeProtocol(system.txn(i), forest);
+      if (st.ok()) continue;
+      Diagnostic d;
+      d.severity = DiagSeverity::kNote;
+      d.rule = "DL203";
+      d.location.txn = i;
+      d.message = StrCat(
+          "against the inferred entity forest (", rendered, "): ",
+          st.message());
+      d.fix_hint =
+          "lock entities only while holding their parents (tree protocol "
+          "of [12]), or keep the transaction two-phase";
+      out->push_back(std::move(d));
+    }
+  }
+
+  static void EmitImageDivergence(const TransactionSystem& system,
+                                  std::vector<Diagnostic>* out) {
+    for (int i = 0; i < system.NumTransactions(); ++i) {
+      const Transaction& txn = system.txn(i);
+      // A forced unlock-before-lock means the whole image is non-2PL:
+      // DL001 reports that; divergence needs the orders to disagree.
+      bool forced = false;
+      for (StepId u = 0; u < txn.NumSteps() && !forced; ++u) {
+        if (txn.GetStep(u).kind != StepKind::kUnlock) continue;
+        for (StepId l = 0; l < txn.NumSteps(); ++l) {
+          if (txn.GetStep(l).kind != StepKind::kLock) continue;
+          if (txn.Precedes(u, l)) {
+            forced = true;
+            break;
+          }
+        }
+      }
+      if (forced) continue;
+      for (StepId u = 0; u < txn.NumSteps(); ++u) {
+        if (txn.GetStep(u).kind != StepKind::kUnlock) continue;
+        bool found = false;
+        for (StepId l = 0; l < txn.NumSteps(); ++l) {
+          if (txn.GetStep(l).kind != StepKind::kLock) continue;
+          if (!txn.Concurrent(u, l)) continue;
+          Diagnostic d;
+          d.severity = DiagSeverity::kNote;
+          d.rule = "DL204";
+          d.location.txn = i;
+          d.location.step = l;
+          d.location.entity = txn.GetStep(l).entity;
+          d.message = StrCat(
+              "centralized image of ", txn.name(), " diverges: ",
+              txn.StepString(u), "#", u, " and ", txn.StepString(l), "#", l,
+              " are unordered, so some linearizations are two-phase and "
+              "others are not (Section 6)");
+          d.fix_hint = StrCat(
+              "add `edge ", l, " ", u, "` to order ", txn.StepString(l),
+              " before ", txn.StepString(u),
+              " and keep every linearization two-phase");
+          out->push_back(std::move(d));
+          found = true;
+          break;  // one witness per transaction is enough
+        }
+        if (found) break;
+      }
+    }
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<AnalysisPass> MakeProtocolsPass() {
+  return std::make_unique<ProtocolsPass>();
+}
+
+}  // namespace dislock

@@ -1,0 +1,121 @@
+#include "analysis/repair/edit.h"
+
+#include <algorithm>
+
+namespace dislock {
+
+namespace {
+
+/// Touched entities of `t` in the canonical (site, entity) order that
+/// DL103 and the Section 7 discussion use.
+std::vector<EntityId> CanonicalEntities(const Transaction& t) {
+  std::vector<EntityId> entities = t.TouchedEntities();
+  const DistributedDatabase& db = t.db();
+  std::stable_sort(entities.begin(), entities.end(),
+                   [&db](EntityId a, EntityId b) {
+                     if (db.SiteOf(a) != db.SiteOf(b)) {
+                       return db.SiteOf(a) < db.SiteOf(b);
+                     }
+                     return a < b;
+                   });
+  return entities;
+}
+
+/// Appends `step` to `out` and chains it after `*prev` (total order).
+StepId Chain(Transaction* out, StepId* prev, StepKind kind, EntityId entity,
+             bool shared) {
+  StepId s = out->AddStep(kind, entity, shared);
+  if (*prev != kInvalidStep) out->AddPrecedence(*prev, s);
+  *prev = s;
+  return s;
+}
+
+}  // namespace
+
+const char* RepairEditKindName(RepairEditKind kind) {
+  switch (kind) {
+    case RepairEditKind::kWidenLock:
+      return "widen-lock";
+    case RepairEditKind::kReorderLocks:
+      return "reorder-locks";
+    case RepairEditKind::kCanonicalTwoPhase:
+      return "canonical-restriction";
+  }
+  return "unknown";
+}
+
+std::optional<Transaction> WithPrecedence(const Transaction& t, StepId before,
+                                          StepId after) {
+  if (t.Precedes(before, after)) return std::nullopt;    // redundant
+  if (t.PrecedesOrEqual(after, before)) return std::nullopt;  // cycle
+  Transaction widened = t;
+  widened.AddPrecedence(before, after);
+  return widened;
+}
+
+std::optional<Transaction> WidenTwoPhase(const Transaction& t,
+                                         int* arcs_added) {
+  // If any unlock strictly precedes any lock, lock-before-unlock arcs
+  // close a cycle and the transaction is not widenable; otherwise the
+  // widened order is acyclic by exactly the same argument.
+  for (EntityId a : t.LockedEntities()) {
+    for (EntityId b : t.LockedEntities()) {
+      if (t.Precedes(t.UnlockStep(a), t.LockStep(b))) return std::nullopt;
+    }
+  }
+  Transaction widened = t;
+  int added = 0;
+  for (EntityId a : t.LockedEntities()) {
+    for (EntityId b : t.LockedEntities()) {
+      StepId l = t.LockStep(a);
+      StepId u = t.UnlockStep(b);
+      if (!t.Precedes(l, u) && l != u) {
+        widened.AddPrecedence(l, u);
+        ++added;
+      }
+    }
+  }
+  if (arcs_added != nullptr) *arcs_added = added;
+  return widened;
+}
+
+Transaction ReorderCanonicalSections(const Transaction& t) {
+  Transaction out(&t.db(), t.name());
+  StepId prev = kInvalidStep;
+  for (EntityId e : CanonicalEntities(t)) {
+    bool locked = t.LockStep(e) != kInvalidStep &&
+                  t.UnlockStep(e) != kInvalidStep;
+    bool shared = t.IsSharedSection(e);
+    if (locked) Chain(&out, &prev, StepKind::kLock, e, shared);
+    for (size_t i = 0; i < t.UpdateSteps(e).size(); ++i) {
+      Chain(&out, &prev, StepKind::kUpdate, e, false);
+    }
+    if (locked) Chain(&out, &prev, StepKind::kUnlock, e, shared);
+  }
+  return out;
+}
+
+Transaction RebuildCanonicalTwoPhase(const Transaction& t) {
+  Transaction out(&t.db(), t.name());
+  StepId prev = kInvalidStep;
+  std::vector<EntityId> canonical = CanonicalEntities(t);
+  for (EntityId e : canonical) {
+    if (t.LockStep(e) != kInvalidStep && t.UnlockStep(e) != kInvalidStep) {
+      Chain(&out, &prev, StepKind::kLock, e, t.IsSharedSection(e));
+    }
+  }
+  for (EntityId e : canonical) {
+    for (size_t i = 0; i < t.UpdateSteps(e).size(); ++i) {
+      Chain(&out, &prev, StepKind::kUpdate, e, false);
+    }
+  }
+  for (auto it = canonical.rbegin(); it != canonical.rend(); ++it) {
+    if (t.LockStep(*it) != kInvalidStep &&
+        t.UnlockStep(*it) != kInvalidStep) {
+      Chain(&out, &prev, StepKind::kUnlock, *it, t.IsSharedSection(*it));
+    }
+  }
+  return out;
+}
+
+}  // namespace dislock

@@ -1,0 +1,75 @@
+#ifndef DISLOCK_ANALYSIS_REPAIR_EDIT_H_
+#define DISLOCK_ANALYSIS_REPAIR_EDIT_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "txn/transaction.h"
+
+namespace dislock {
+
+/// The bounded edit space of the repair engine (analysis/repair/engine.h).
+/// Every edit is a transformation of one or more transactions that the
+/// engine re-verifies from scratch — the builders here only promise
+/// well-formedness (a validating transaction), never safety.
+
+/// The three edit families, in increasing order of intrusiveness:
+///   * kWidenLock        — add precedence arcs only (widen lock sections /
+///                         complete the conflict digraph D); every original
+///                         order is preserved;
+///   * kReorderLocks     — rebuild the transaction as sequential per-entity
+///                         lock sections in the canonical (site, entity)
+///                         order (shortest hold times, Section 7's
+///                         consistent-order discipline);
+///   * kCanonicalTwoPhase — rebuild as a totally ordered two-phase
+///                         transaction locking in canonical order and
+///                         unlocking in reverse (the Section 6/7 move:
+///                         restrict to a centralized-image-safe policy).
+enum class RepairEditKind { kWidenLock, kReorderLocks, kCanonicalTwoPhase };
+
+/// "widen-lock", "reorder-locks" or "canonical-restriction".
+const char* RepairEditKindName(RepairEditKind kind);
+
+/// One candidate edit, as reported to the user (the repaired system itself
+/// travels separately as text).
+struct RepairEdit {
+  RepairEditKind kind = RepairEditKind::kWidenLock;
+  /// Indices of the transactions the edit rewrites.
+  std::vector<int> txns;
+  std::string description;
+  /// Search-ordering key: arcs added for kWidenLock, steps rebuilt for the
+  /// rebuild kinds (cheaper edits are tried and reported first).
+  int cost = 0;
+};
+
+/// Copy of `t` with the precedence `before` -> `after` added. nullopt when
+/// the arc is redundant (already ordered) or would create a cycle.
+std::optional<Transaction> WithPrecedence(const Transaction& t, StepId before,
+                                          StepId after);
+
+/// Copy of `t` with every lock step ordered before every unlock step — the
+/// least widening that makes the transaction two-phase. nullopt iff `t` is
+/// not widenable, i.e. some unlock strictly precedes some lock (then any
+/// such arc set is cyclic); a transaction that is already two-phase yields
+/// a copy with zero added arcs. `arcs_added` (optional out) receives the
+/// number of new arcs.
+std::optional<Transaction> WidenTwoPhase(const Transaction& t,
+                                         int* arcs_added = nullptr);
+
+/// Rebuilds `t` as a totally ordered chain of per-entity sections in the
+/// canonical (site, entity) order: for each locked entity L, updates, U in
+/// sequence (unlocked entities contribute their updates alone). Shared
+/// sections stay shared. Lock hold times are minimal, and two such
+/// transactions can never hold-and-wait.
+Transaction ReorderCanonicalSections(const Transaction& t);
+
+/// Rebuilds `t` as a totally ordered two-phase transaction: all locks in
+/// canonical (site, entity) order, then all updates (per entity, original
+/// order), then all unlocks in reverse canonical order. Shared sections
+/// stay shared.
+Transaction RebuildCanonicalTwoPhase(const Transaction& t);
+
+}  // namespace dislock
+
+#endif  // DISLOCK_ANALYSIS_REPAIR_EDIT_H_

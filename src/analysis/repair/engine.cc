@@ -1,0 +1,240 @@
+#include "analysis/repair/engine.h"
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <utility>
+
+#include "core/deadlock.h"
+#include "core/multi.h"
+#include "core/wire_keys.h"
+#include "obs/stats_sink.h"
+#include "obs/trace.h"
+#include "txn/text_format.h"
+#include "util/string_util.h"
+
+namespace dislock {
+
+namespace {
+
+/// One candidate: the edit plus the rewritten transactions (by index).
+struct Candidate {
+  RepairEdit edit;
+  std::vector<std::pair<int, Transaction>> replacements;
+};
+
+/// The "complete D" widening of an unsafe pair: order Lx before Uy for
+/// every ordered pair of common locked entities in BOTH transactions, so
+/// every arc of the conflict digraph D(Ti,Tj) exists and Theorem 1 applies.
+/// nullopt when some required arc would be cyclic.
+std::optional<Candidate> MakeCompleteDCandidate(const TransactionSystem& sys,
+                                                int i, int j) {
+  const Transaction& ti = sys.txn(i);
+  const Transaction& tj = sys.txn(j);
+  std::vector<EntityId> common;
+  for (EntityId e : ti.LockedEntities()) {
+    if (tj.LockStep(e) != kInvalidStep && tj.UnlockStep(e) != kInvalidStep) {
+      common.push_back(e);
+    }
+  }
+  if (common.size() < 2) return std::nullopt;
+  Candidate c;
+  c.edit.kind = RepairEditKind::kWidenLock;
+  c.edit.txns = {i, j};
+  c.edit.cost = 0;
+  Transaction wi = ti;
+  Transaction wj = tj;
+  for (Transaction* t : {&wi, &wj}) {
+    for (EntityId x : common) {
+      for (EntityId y : common) {
+        if (x == y) continue;
+        StepId l = t->LockStep(x);
+        StepId u = t->UnlockStep(y);
+        if (t->Precedes(l, u)) continue;
+        if (t->PrecedesOrEqual(u, l)) return std::nullopt;  // cyclic
+        t->AddPrecedence(l, u);
+        ++c.edit.cost;
+      }
+    }
+  }
+  if (c.edit.cost == 0) return std::nullopt;  // D already complete
+  c.edit.description =
+      StrCat("complete the conflict digraph D(", ti.name(), ", ", tj.name(),
+             ") by widening their common lock sections (", c.edit.cost,
+             " precedence arc(s); Theorem 1 then proves the pair safe)");
+  c.replacements = {{i, std::move(wi)}, {j, std::move(wj)}};
+  return c;
+}
+
+void AddPerTxnCandidates(const TransactionSystem& sys, int i,
+                         std::vector<Candidate>* out) {
+  const Transaction& t = sys.txn(i);
+  int arcs = 0;
+  if (auto widened = WidenTwoPhase(t, &arcs); widened && arcs > 0) {
+    Candidate c;
+    c.edit = {RepairEditKind::kWidenLock,
+              {i},
+              StrCat("make ", t.name(), " two-phase by widening its lock "
+                     "sections (", arcs, " precedence arc(s))"),
+              arcs};
+    c.replacements = {{i, std::move(*widened)}};
+    out->push_back(std::move(c));
+  }
+  {
+    Candidate c;
+    c.edit = {RepairEditKind::kReorderLocks,
+              {i},
+              StrCat("rewrite ", t.name(), " as sequential per-entity "
+                     "sections in the canonical (site, entity) order"),
+              t.NumSteps()};
+    c.replacements = {{i, ReorderCanonicalSections(t)}};
+    out->push_back(std::move(c));
+  }
+  {
+    Candidate c;
+    c.edit = {RepairEditKind::kCanonicalTwoPhase,
+              {i},
+              StrCat("rewrite ", t.name(), " as a two-phase transaction "
+                     "locking in the canonical (site, entity) order"),
+              t.NumSteps() + 1};
+    c.replacements = {{i, RebuildCanonicalTwoPhase(t)}};
+    out->push_back(std::move(c));
+  }
+}
+
+}  // namespace
+
+RepairReport SynthesizeRepairs(const TransactionSystem& system,
+                               const RepairOptions& options) {
+  RepairReport report;
+  EngineConfig cfg = options.engine;
+  cfg.stats = nullptr;  // owner-exports-once: tools call ExportRepairStats
+
+  MultiSafetyReport before = AnalyzeMultiSafety(system, cfg);
+  auto dl_before = AnalyzeDeadlockFreedom(system, cfg.max_deadlock_states);
+  report.safety_before = before.verdict;
+  report.deadlock_undecided_before = !dl_before.ok();
+  report.deadlock_free_before = dl_before.ok() && dl_before->deadlock_free;
+  if (report.safety_before == SafetyVerdict::kSafe &&
+      report.deadlock_free_before) {
+    return report;  // nothing to repair
+  }
+  report.attempted = true;
+
+  const int k = system.NumTransactions();
+  std::vector<Candidate> candidates;
+
+  // Tier 1: widen the reported unsafe pair until D is complete.
+  if (before.failing_pair.has_value()) {
+    auto [i, j] = *before.failing_pair;
+    if (auto c = MakeCompleteDCandidate(system, i, j)) {
+      candidates.push_back(std::move(*c));
+    }
+  }
+
+  // Target transactions: those implicated by the safety report or by an
+  // opposing lock order; everything when nothing is implicated.
+  std::set<int> targets;
+  if (before.failing_pair.has_value()) {
+    targets.insert(before.failing_pair->first);
+    targets.insert(before.failing_pair->second);
+  }
+  for (int t : before.failing_cycle) targets.insert(t);
+  for (int i = 0; i < k; ++i) {
+    for (int j = i + 1; j < k; ++j) {
+      if (FindOpposingLockOrder(system.txn(i), system.txn(j)).has_value()) {
+        targets.insert(i);
+        targets.insert(j);
+      }
+    }
+  }
+  if (targets.empty()) {
+    for (int i = 0; i < k; ++i) targets.insert(i);
+  }
+  for (int i : targets) AddPerTxnCandidates(system, i, &candidates);
+
+  // Tier 3: rewrite every transaction at once (the global canonical
+  // restriction of Sections 6-7) — expensive, so costed last.
+  if (k > 1) {
+    Candidate reorder;
+    reorder.edit.kind = RepairEditKind::kReorderLocks;
+    reorder.edit.description =
+        "rewrite every transaction as sequential per-entity sections in "
+        "the canonical (site, entity) order";
+    reorder.edit.cost = system.TotalSteps();
+    Candidate c2pl;
+    c2pl.edit.kind = RepairEditKind::kCanonicalTwoPhase;
+    c2pl.edit.description =
+        "rewrite every transaction as two-phase in the canonical "
+        "(site, entity) order";
+    c2pl.edit.cost = system.TotalSteps() + 1;
+    for (int i = 0; i < k; ++i) {
+      reorder.edit.txns.push_back(i);
+      reorder.replacements.emplace_back(
+          i, ReorderCanonicalSections(system.txn(i)));
+      c2pl.edit.txns.push_back(i);
+      c2pl.replacements.emplace_back(
+          i, RebuildCanonicalTwoPhase(system.txn(i)));
+    }
+    candidates.push_back(std::move(reorder));
+    candidates.push_back(std::move(c2pl));
+  }
+
+  std::stable_sort(candidates.begin(), candidates.end(),
+                   [](const Candidate& a, const Candidate& b) {
+                     return a.edit.cost < b.edit.cost;
+                   });
+
+  const std::string original_text = SystemToText(system);
+  std::set<std::string> seen_texts;
+  for (Candidate& c : candidates) {
+    if (report.candidates_tried >= options.max_candidates) break;
+    obs::TraceSpan span(cfg.trace, wire::kSpanRepairCandidate);
+    TransactionSystem repaired(&system.db());
+    bool built = true;
+    for (int i = 0; i < k; ++i) {
+      const Transaction* t = &system.txn(i);
+      for (const auto& [idx, txn] : c.replacements) {
+        if (idx == i) t = &txn;
+      }
+      if (!repaired.Add(*t).ok()) {
+        built = false;
+        break;
+      }
+    }
+    if (!built || !repaired.Validate().ok()) continue;
+    std::string text = SystemToText(repaired);
+    if (text == original_text || seen_texts.count(text) > 0) continue;
+    ++report.candidates_tried;
+
+    obs::TraceSpan verify_span(cfg.trace, wire::kSpanRepairVerify);
+    EngineConfig verify_cfg = cfg;
+    verify_cfg.cache = nullptr;  // fresh context: no cross-system reuse
+    verify_cfg.enable_cache = false;
+    MultiSafetyReport after = AnalyzeMultiSafety(repaired, verify_cfg);
+    if (after.verdict != SafetyVerdict::kSafe) continue;
+    auto dl_after = AnalyzeDeadlockFreedom(repaired, cfg.max_deadlock_states);
+    if (!dl_after.ok() || !dl_after->deadlock_free) continue;
+
+    ++report.candidates_verified;
+    seen_texts.insert(text);
+    report.repairs.push_back(
+        {std::move(c.edit), after.verdict, true, std::move(text)});
+    if (static_cast<int>(report.repairs.size()) >= options.max_repairs) {
+      break;
+    }
+  }
+  return report;
+}
+
+void ExportRepairStats(const RepairReport& report, obs::StatsSink* sink) {
+  if (sink == nullptr) return;
+  obs::PrefixedSink repair(wire::kMetricRepairPrefix, sink);
+  repair.AddCounter(wire::kAttempted, report.attempted ? 1 : 0);
+  repair.AddCounter(wire::kCandidatesTried, report.candidates_tried);
+  repair.AddCounter(wire::kCandidatesVerified, report.candidates_verified);
+  repair.AddCounter(wire::kRepairs,
+                    static_cast<int64_t>(report.repairs.size()));
+}
+
+}  // namespace dislock

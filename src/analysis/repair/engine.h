@@ -1,0 +1,80 @@
+#ifndef DISLOCK_ANALYSIS_REPAIR_ENGINE_H_
+#define DISLOCK_ANALYSIS_REPAIR_ENGINE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/repair/edit.h"
+#include "core/decision/config.h"
+#include "core/safety.h"
+#include "txn/system.h"
+
+namespace dislock {
+
+namespace obs {
+class StatsSink;
+}  // namespace obs
+
+/// Repair synthesis: search a bounded space of minimal edits
+/// (analysis/repair/edit.h) that turn an unsafe or deadlock-prone system
+/// into one that is provably safe AND deadlock-free, re-running the full
+/// decision pipeline and the reachable-state deadlock search on every
+/// candidate. Only candidates that pass BOTH re-analyses are reported —
+/// a repair in the output is a theorem, not a suggestion. This is the
+/// static counterpart of the controller-synthesis line of work the related
+/// papers pursue dynamically.
+
+struct RepairOptions {
+  /// Budgets/threads for the per-candidate re-analyses. The engine never
+  /// pours into `engine.stats` itself (owner-exports-once): tools call
+  /// ExportRepairStats on the finished report.
+  EngineConfig engine;
+  /// Stop after this many verified repairs.
+  int max_repairs = 3;
+  /// Cap on candidates tried (search is cost-ordered, so the cheapest
+  /// candidates are always the ones tried).
+  int64_t max_candidates = 64;
+};
+
+/// One verified repair: the edit, the re-analysis verdicts it achieved, and
+/// the full repaired system in .dlk text form (SystemToText round-trips
+/// exactly, so this is also the patch payload for SARIF fixes and
+/// `dislock fix`).
+struct VerifiedRepair {
+  RepairEdit edit;
+  SafetyVerdict safety_after = SafetyVerdict::kUnknown;
+  bool deadlock_free_after = false;
+  std::string repaired_text;
+};
+
+/// The synthesis outcome, attached to AnalysisResult::repair and rendered
+/// by every emitter.
+struct RepairReport {
+  /// False when the system was already safe and deadlock-free (nothing to
+  /// repair; no candidates were generated).
+  bool attempted = false;
+  SafetyVerdict safety_before = SafetyVerdict::kUnknown;
+  bool deadlock_free_before = false;
+  /// True when the baseline deadlock search exhausted its state budget.
+  bool deadlock_undecided_before = false;
+  int64_t candidates_tried = 0;
+  int64_t candidates_verified = 0;
+  /// Verified repairs, cheapest first (at most max_repairs).
+  std::vector<VerifiedRepair> repairs;
+};
+
+/// Runs the search. Deterministic for a fixed (system, options) at any
+/// thread count, like the analyses it wraps. Candidate/verification work
+/// is traced under the "repair.candidate" / "repair.verify" spans when
+/// options.engine.trace is set.
+RepairReport SynthesizeRepairs(const TransactionSystem& system,
+                               const RepairOptions& options = {});
+
+/// Pours the report's counters into `sink` under the "repair." prefix
+/// (no-op on null). Call once, from the report's owner.
+void ExportRepairStats(const RepairReport& report, obs::StatsSink* sink);
+
+}  // namespace dislock
+
+#endif  // DISLOCK_ANALYSIS_REPAIR_ENGINE_H_

@@ -186,37 +186,132 @@ Result<DeadlockReport> AnalyzeDeadlockFreedom(const TransactionSystem& system,
   return report;
 }
 
+DeadlockCertificate MakeDeadlockCertificate(const DeadlockReport& report) {
+  DeadlockCertificate cert;
+  cert.prefix = report.dead_prefix.value();
+  cert.blocked_txns = report.blocked_txns;
+  cert.waited_entities = report.waited_entities;
+  return cert;
+}
+
+Status VerifyDeadlockWitness(const TransactionSystem& system,
+                             const DeadlockCertificate& cert) {
+  const int k = system.NumTransactions();
+  std::vector<std::vector<bool>> executed(k);
+  int executed_count = 0;
+  for (int i = 0; i < k; ++i) {
+    executed[i].assign(system.txn(i).NumSteps(), false);
+  }
+  // Replay: each event must be a fresh, order-ready, enabled step.
+  for (size_t e = 0; e < cert.prefix.size(); ++e) {
+    const SysStep& event = cert.prefix.at(e);
+    if (event.txn < 0 || event.txn >= k) {
+      return Status::InvalidArgument(
+          StrCat("witness event ", e, ": invalid transaction ", event.txn));
+    }
+    const Transaction& t = system.txn(event.txn);
+    if (!t.ValidStep(event.step)) {
+      return Status::InvalidArgument(
+          StrCat("witness event ", e, ": invalid step ", event.step));
+    }
+    if (executed[event.txn][event.step]) {
+      return Status::InvalidArgument(
+          StrCat("witness event ", e, ": step executed twice"));
+    }
+    for (NodeId p : t.order().InNeighbors(event.step)) {
+      if (!executed[event.txn][p]) {
+        return Status::InvalidArgument(
+            StrCat("witness event ", e, ": predecessor step ", p,
+                   " of ", t.name(), " not yet executed"));
+      }
+    }
+    LockState locks = LockStateOf(system, executed);
+    if (!StepEnabled(t, event.step, event.txn, locks)) {
+      return Status::InvalidArgument(
+          StrCat("witness event ", e, ": step not enabled (lock held)"));
+    }
+    executed[event.txn][event.step] = true;
+    ++executed_count;
+  }
+  if (executed_count >= system.TotalSteps()) {
+    return Status::InvalidArgument(
+        "witness prefix is a complete schedule, not a dead state");
+  }
+  // The reached state must be dead, with exactly the claimed waits.
+  LockState locks = LockStateOf(system, executed);
+  std::vector<int> blocked_txns;
+  std::vector<EntityId> waited;
+  for (int i = 0; i < k; ++i) {
+    const Transaction& t = system.txn(i);
+    bool txn_blocked_on_lock = false;
+    EntityId waited_entity = kInvalidEntity;
+    for (StepId s : OrderReadySteps(t, executed[i])) {
+      if (!StepEnabled(t, s, i, locks)) {
+        txn_blocked_on_lock = true;
+        waited_entity = t.GetStep(s).entity;
+        continue;
+      }
+      return Status::InvalidArgument(
+          StrCat("state after prefix is not dead: step ", s, " of ",
+                 t.name(), " is enabled"));
+    }
+    if (txn_blocked_on_lock) {
+      blocked_txns.push_back(i);
+      waited.push_back(waited_entity);
+    }
+  }
+  if (blocked_txns != cert.blocked_txns) {
+    return Status::InvalidArgument(
+        "blocked-transaction list does not match the dead state");
+  }
+  if (waited != cert.waited_entities) {
+    return Status::InvalidArgument(
+        "waited-entity list does not match the dead state");
+  }
+  return Status::OK();
+}
+
+std::string DeadlockCertificateToString(const DeadlockCertificate& cert,
+                                        const TransactionSystem& system) {
+  std::string out = StrCat("prefix: ", cert.prefix.ToString(system));
+  for (size_t i = 0; i < cert.blocked_txns.size(); ++i) {
+    out += StrCat("\n", system.txn(cert.blocked_txns[i]).name(),
+                  " waits for '",
+                  system.db().NameOf(cert.waited_entities[i]), "'");
+  }
+  return out;
+}
+
+std::optional<OpposingLockOrder> FindOpposingLockOrder(const Transaction& ti,
+                                                       const Transaction& tj) {
+  std::vector<EntityId> common;
+  for (EntityId e : ti.LockedEntities()) {
+    if (tj.LockStep(e) != kInvalidStep && tj.UnlockStep(e) != kInvalidStep) {
+      common.push_back(e);
+    }
+  }
+  for (size_t a = 0; a < common.size(); ++a) {
+    for (size_t b = a + 1; b < common.size(); ++b) {
+      EntityId x = common[a];
+      EntityId y = common[b];
+      // Ti may lock x before y unless Ly strictly precedes Lx.
+      bool i_x_first = !ti.Precedes(ti.LockStep(y), ti.LockStep(x));
+      bool i_y_first = !ti.Precedes(ti.LockStep(x), ti.LockStep(y));
+      bool j_x_first = !tj.Precedes(tj.LockStep(y), tj.LockStep(x));
+      bool j_y_first = !tj.Precedes(tj.LockStep(x), tj.LockStep(y));
+      if (i_x_first && j_y_first) return OpposingLockOrder{x, y};
+      if (i_y_first && j_x_first) return OpposingLockOrder{y, x};
+    }
+  }
+  return std::nullopt;
+}
+
 bool OrderedLockAcquisition(const TransactionSystem& system) {
   const int k = system.NumTransactions();
   for (int i = 0; i < k; ++i) {
     for (int j = i + 1; j < k; ++j) {
-      const Transaction& ti = system.txn(i);
-      const Transaction& tj = system.txn(j);
-      std::vector<EntityId> common;
-      for (EntityId e : ti.LockedEntities()) {
-        if (tj.LockStep(e) != kInvalidStep &&
-            tj.UnlockStep(e) != kInvalidStep) {
-          common.push_back(e);
-        }
-      }
-      for (size_t a = 0; a < common.size(); ++a) {
-        for (size_t b = a + 1; b < common.size(); ++b) {
-          EntityId x = common[a];
-          EntityId y = common[b];
-          // Ti may lock x before y unless Ly strictly precedes Lx.
-          bool i_x_first =
-              !ti.Precedes(ti.LockStep(y), ti.LockStep(x));
-          bool i_y_first =
-              !ti.Precedes(ti.LockStep(x), ti.LockStep(y));
-          bool j_x_first =
-              !tj.Precedes(tj.LockStep(y), tj.LockStep(x));
-          bool j_y_first =
-              !tj.Precedes(tj.LockStep(x), tj.LockStep(y));
-          // Opposing acquisition orders possible?
-          if ((i_x_first && j_y_first) || (i_y_first && j_x_first)) {
-            return false;
-          }
-        }
+      if (FindOpposingLockOrder(system.txn(i), system.txn(j)).has_value()) {
+        return false;
       }
     }
   }

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "txn/schedule.h"
@@ -44,6 +45,48 @@ struct DeadlockReport {
 /// (ResourceExhausted beyond it).
 Result<DeadlockReport> AnalyzeDeadlockFreedom(const TransactionSystem& system,
                                               int64_t max_states = 1 << 22);
+
+/// Self-contained, machine-checkable witness of a reachable deadlock: the
+/// legal schedule prefix plus the blocked-transaction/waited-entity lists of
+/// the dead state it reaches. The analysis layer attaches one to every
+/// DL201 diagnostic; VerifyDeadlockWitness replays it from scratch.
+struct DeadlockCertificate {
+  Schedule prefix;
+  std::vector<int> blocked_txns;
+  std::vector<EntityId> waited_entities;
+};
+
+/// Packages the witness of a non-deadlock-free report (requires
+/// `report.dead_prefix` to be set).
+DeadlockCertificate MakeDeadlockCertificate(const DeadlockReport& report);
+
+/// Replays `cert.prefix` event by event — each step must be unexecuted,
+/// order-ready, and enabled under the implied lock table — then checks that
+/// the reached state is genuinely dead (not final, nothing enabled) and
+/// that its blocked/waited lists match the certificate exactly. OK iff the
+/// certificate proves the deadlock; InvalidArgument otherwise.
+Status VerifyDeadlockWitness(const TransactionSystem& system,
+                             const DeadlockCertificate& cert);
+
+/// Human-readable rendering: the prefix in Fig. 1 notation plus one
+/// "Ti waits for 'x'" line per blocked transaction.
+std::string DeadlockCertificateToString(const DeadlockCertificate& cert,
+                                        const TransactionSystem& system);
+
+/// A pair of entities both transactions lock in (potentially) opposing
+/// orders — the classic hold-and-wait precondition. x is the entity the
+/// first transaction can lock first, y the one the second can.
+struct OpposingLockOrder {
+  EntityId x = kInvalidEntity;
+  EntityId y = kInvalidEntity;
+};
+
+/// Finds the first (in entity order) pair of common entities whose lock
+/// acquisitions can oppose between `ti` and `tj`, checked conservatively on
+/// the partial orders exactly as OrderedLockAcquisition does. nullopt means
+/// the pair's acquisition orders are provably compatible.
+std::optional<OpposingLockOrder> FindOpposingLockOrder(const Transaction& ti,
+                                                       const Transaction& tj);
 
 /// Quick sufficient condition: if every pair of transactions acquires its
 /// common entities' locks in a compatible order (no two transactions both

@@ -46,6 +46,13 @@ struct EngineConfig {
   /// them; enabling is useful for experiments.
   bool include_two_cycles = false;
 
+  /// State budget for the deadlock pass's reachable-state search
+  /// (core/deadlock.h). The state space is a product of down-set lattices,
+  /// so the default is deliberately modest: exceeding it downgrades the
+  /// verdict to DL206 (deadlock-undecided) instead of stalling the
+  /// analysis. Tools that run the search standalone pass larger budgets.
+  int64_t max_deadlock_states = 1 << 14;
+
   // ---- Execution ----
 
   /// Worker threads for the parallel engine (pair tests, cycle checks, the

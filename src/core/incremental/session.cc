@@ -56,6 +56,7 @@ constexpr char kHelp[] =
     "  remove <name>    remove the named transaction\n"
     "  replace <name>   followed by a 'txn ... end' block\n"
     "  check            incremental safety analysis\n"
+    "  analyze          full pass diagnostics on the current snapshot\n"
     "  list             live transactions with their ids\n"
     "  stats            generation, store sizes, reuse totals\n"
     "  help             this summary\n"
@@ -118,6 +119,7 @@ class Session {
     if (verb == "remove") return Remove(cmd);
     if (verb == "replace") return Replace(cmd);
     if (verb == "check") return Check();
+    if (verb == "analyze") return Analyze();
     if (verb == "list") return List();
     if (verb == "stats") return Stats();
     if (verb == "help") {
@@ -276,6 +278,24 @@ class Session {
     out_ << "; pairs " << d.pairs_recomputed << " recomputed, "
          << d.pairs_reused << " reused; cycles " << d.cycles_recomputed
          << " recomputed, " << d.cycles_reused << " reused\n";
+    return Status::OK();
+  }
+
+  Status Analyze() {
+    DISLOCK_RETURN_NOT_OK(RequireLoaded());
+    if (!options_.analyze) {
+      return Status::InvalidArgument(
+          "analyze is not available: no analyzer wired into this session");
+    }
+    CatalogSnapshot snap = state_.catalog->Snapshot();
+    std::string body = options_.analyze(snap, options_.config, options_.json);
+    if (options_.json) {
+      // `body` is already a JSON object; embed it verbatim.
+      out_ << LineOpen() << "\"cmd\": \"analyze\", \"ok\": true, "
+           << "\"analysis\": " << body << "}\n";
+    } else {
+      out_ << body;
+    }
     return Status::OK();
   }
 

@@ -1,12 +1,23 @@
 #ifndef DISLOCK_CORE_INCREMENTAL_SESSION_H_
 #define DISLOCK_CORE_INCREMENTAL_SESSION_H_
 
+#include <functional>
 #include <iosfwd>
 #include <string>
 
 #include "core/decision/config.h"
 
 namespace dislock {
+
+class CatalogSnapshot;
+
+/// Hook the `analyze` session command calls on the current catalog
+/// snapshot. Returns the rendered analysis — DiagnosticsToText when `json`
+/// is false, DiagnosticsToJson otherwise. Injected (rather than called
+/// directly) because the pass framework lives in the analysis layer, above
+/// this one; analysis/analyzer.h provides MakeSessionAnalyzer().
+using SessionAnalyzeFn = std::function<std::string(
+    const CatalogSnapshot& snapshot, const EngineConfig& config, bool json)>;
 
 /// Options for `dislock session` (tools/dislock_cli.cc).
 struct SessionOptions {
@@ -22,6 +33,9 @@ struct SessionOptions {
   /// session.errors) plus per-check report stats when the run ends.
   /// Neither ever affects session output.
   EngineConfig config;
+  /// Handler for the `analyze` command; when unset, `analyze` reports an
+  /// error explaining that the front end did not wire the analyzer in.
+  SessionAnalyzeFn analyze;
 };
 
 /// The interactive / scripted front end of the incremental engine: reads
@@ -36,6 +50,7 @@ struct SessionOptions {
 ///                      definition in place (id and slot preserved; the
 ///                      block may rename)
 ///   check              incremental safety analysis of the current catalog
+///   analyze            full pass diagnostics (via SessionOptions::analyze)
 ///   list               live transactions with their ids
 ///   stats              generation, store sizes, cumulative reuse totals
 ///   help               command summary

@@ -35,6 +35,47 @@ Result<EntityForest> EntityForest::Make(
   return forest;
 }
 
+EntityForest InferEntityForest(const TransactionSystem& system) {
+  const int n = system.db().NumEntities();
+  std::vector<std::vector<int>> held(n, std::vector<int>(n, 0));
+  for (int i = 0; i < system.NumTransactions(); ++i) {
+    const Transaction& t = system.txn(i);
+    for (EntityId x : t.LockedEntities()) {
+      for (EntityId y : t.LockedEntities()) {
+        if (x == y) continue;
+        if (t.Precedes(t.LockStep(x), t.LockStep(y)) &&
+            t.Precedes(t.LockStep(y), t.UnlockStep(x))) {
+          ++held[x][y];  // y locked while x is held
+        }
+      }
+    }
+  }
+  EntityForest forest;
+  forest.parent.assign(n, kInvalidEntity);
+  for (EntityId y = 0; y < n; ++y) {
+    int best = 0;
+    EntityId candidate = kInvalidEntity;
+    for (EntityId x = 0; x < n; ++x) {
+      if (held[x][y] > best) {
+        best = held[x][y];
+        candidate = x;
+      }
+    }
+    if (candidate == kInvalidEntity) continue;
+    // Adding y -> candidate must not close a cycle; parent pointers
+    // assigned so far are acyclic, so the ancestor walk terminates.
+    bool cycle = false;
+    for (EntityId a = candidate; a != kInvalidEntity; a = forest.parent[a]) {
+      if (a == y) {
+        cycle = true;
+        break;
+      }
+    }
+    if (!cycle) forest.parent[y] = candidate;
+  }
+  return forest;
+}
+
 Status CheckTreeProtocol(const Transaction& txn, const EntityForest& forest) {
   const DistributedDatabase& db = txn.db();
   std::vector<EntityId> locked = txn.LockedEntities();

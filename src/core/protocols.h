@@ -3,6 +3,7 @@
 
 #include <vector>
 
+#include "txn/system.h"
 #include "txn/transaction.h"
 #include "util/random.h"
 #include "util/status.h"
@@ -28,6 +29,15 @@ struct EntityForest {
       const DistributedDatabase& db,
       const std::vector<std::pair<EntityId, EntityId>>& child_parent);
 };
+
+/// Infers a plausible entity forest from the system's lock-nesting
+/// behavior, for checking transactions against the hierarchy they appear
+/// to intend. A nesting x -> y is counted once per transaction that locks
+/// y while provably holding x (Lx before Ly before Ux in its partial
+/// order); each entity's parent is its most frequent holder (ties to the
+/// smallest entity id), and arcs that would close a cycle are dropped.
+/// Systems that never nest yield the trivial all-roots forest.
+EntityForest InferEntityForest(const TransactionSystem& system);
 
 /// Checks the tree-protocol rules of [12] against a locked transaction:
 ///   * the first-locked entity is arbitrary (the entry point);

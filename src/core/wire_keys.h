@@ -114,6 +114,28 @@ inline constexpr char kErrors[] = "errors";
 inline constexpr char kWarnings[] = "warnings";
 inline constexpr char kNotes[] = "notes";
 inline constexpr char kProperties[] = "properties";
+inline constexpr char kDeadlockCertificate[] = "deadlock_certificate";
+
+// ---- Rule catalog (RulesToJson) -------------------------------------------
+inline constexpr char kRules[] = "rules";
+inline constexpr char kId[] = "id";
+inline constexpr char kCitation[] = "citation";
+
+// ---- Repair report keys (RepairReportToJson) ------------------------------
+inline constexpr char kRepair[] = "repair";
+inline constexpr char kAttempted[] = "attempted";
+inline constexpr char kBefore[] = "before";
+inline constexpr char kAfter[] = "after";
+inline constexpr char kSafety[] = "safety";
+inline constexpr char kDeadlockUndecided[] = "deadlock_undecided";
+inline constexpr char kCandidatesTried[] = "candidates_tried";
+inline constexpr char kCandidatesVerified[] = "candidates_verified";
+inline constexpr char kRepairs[] = "repairs";
+inline constexpr char kKind[] = "kind";
+inline constexpr char kTxns[] = "txns";
+inline constexpr char kDescription[] = "description";
+inline constexpr char kCost[] = "cost";
+inline constexpr char kRepairedSystem[] = "repaired_system";
 
 // ---- Trace span taxonomy --------------------------------------------------
 // Every TraceSpan in the engine uses one of these literals (plus
@@ -138,6 +160,8 @@ inline constexpr char kSpanIncrementalCycles[] = "incremental.cycles";
 inline constexpr char kSpanSessionCommand[] = "session.command";
 inline constexpr char kSpanPass[] = "analysis.pass";
 inline constexpr char kSpanDeadlock[] = "deadlock.search";
+inline constexpr char kSpanRepairCandidate[] = "repair.candidate";
+inline constexpr char kSpanRepairVerify[] = "repair.verify";
 
 // ---- Metric name taxonomy (dotted, for obs::StatsSink) --------------------
 // Pipeline counters expand to "pipeline.<stage>.<counter>" with the stage
@@ -151,6 +175,7 @@ inline constexpr char kMetricPairPrefix[] = "pair";
 inline constexpr char kMetricMultiPrefix[] = "multi";
 inline constexpr char kMetricDeltaPrefix[] = "delta";
 inline constexpr char kMetricAnalysisPrefix[] = "analysis";
+inline constexpr char kMetricRepairPrefix[] = "repair";
 inline constexpr char kMetricSessionCommands[] = "session.commands";
 inline constexpr char kMetricSessionChecks[] = "session.checks";
 inline constexpr char kMetricSessionErrors[] = "session.errors";

@@ -150,6 +150,7 @@ TEST(ObservabilityEquivalence, SessionOutputByteIdentical) {
       SessionOptions options;
       options.json = json;
       options.load_root = DISLOCK_SOURCE_DIR;
+      options.analyze = MakeSessionAnalyzer();
       EXPECT_EQ(RunSession(in, out, options), 0);
       expected = out.str();
     }
@@ -161,6 +162,7 @@ TEST(ObservabilityEquivalence, SessionOutputByteIdentical) {
       SessionOptions options;
       options.json = json;
       options.load_root = DISLOCK_SOURCE_DIR;
+      options.analyze = MakeSessionAnalyzer();
       options.config.num_threads = threads;
       options.config.trace = &recorder;
       options.config.stats = &registry;

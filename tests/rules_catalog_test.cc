@@ -1,0 +1,95 @@
+// Guards the analyzer rule catalog: docs/rules.md is generated from
+// RulesToMarkdown() (via `dislock rules --markdown`) and this test fails
+// when the two drift; the text/JSON renderings must cover every rule; and
+// every diagnostic the analyzer emits must carry exactly the severity its
+// catalog entry declares.
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "analysis/analyzer.h"
+#include "analysis/diagnostic.h"
+#include "analysis/emit.h"
+#include "core/paper.h"
+#include "txn/builder.h"
+
+namespace dislock {
+namespace {
+
+std::string ReadSourceFile(const std::string& relative) {
+  std::ifstream in(std::string(DISLOCK_SOURCE_DIR) + "/" + relative);
+  EXPECT_TRUE(in.good()) << "cannot open " << relative;
+  std::ostringstream text;
+  text << in.rdbuf();
+  return text.str();
+}
+
+TEST(RulesCatalog, GeneratedMarkdownMatchesDocsRulesMd) {
+  EXPECT_EQ(ReadSourceFile("docs/rules.md"), RulesToMarkdown())
+      << "docs/rules.md is out of date; regenerate it with\n"
+         "  dislock rules --markdown > docs/rules.md";
+}
+
+TEST(RulesCatalog, TextAndJsonCoverEveryRule) {
+  std::string text = RulesToText();
+  std::string json = RulesToJson();
+  std::string markdown = RulesToMarkdown();
+  for (const AnalysisRule& rule : AnalysisRules()) {
+    EXPECT_NE(text.find(rule.id), std::string::npos) << rule.id;
+    EXPECT_NE(json.find(rule.id), std::string::npos) << rule.id;
+    EXPECT_NE(markdown.find(rule.id), std::string::npos) << rule.id;
+    EXPECT_NE(text.find(rule.name), std::string::npos) << rule.id;
+    EXPECT_NE(json.find(DiagSeverityName(rule.severity)), std::string::npos)
+        << rule.id;
+  }
+}
+
+TEST(RulesCatalog, EmittedSeveritiesMatchTheCatalog) {
+  // A mix of instances that between them exercise safety errors, deadlock
+  // errors, warnings, and notes.
+  auto check = [](const TransactionSystem& system) {
+    AnalysisResult result = AnalyzeSystem(system);
+    for (const Diagnostic& d : result.diagnostics) {
+      const AnalysisRule* rule = FindAnalysisRule(d.rule);
+      ASSERT_NE(rule, nullptr) << "unknown rule " << d.rule;
+      EXPECT_EQ(d.severity, rule->severity) << d.rule << ": " << d.message;
+    }
+  };
+  check(*MakeFig1Instance().system);
+  check(*MakeFig4Instance().system);
+  check(*MakeFig5Instance().system);
+
+  DistributedDatabase db(1);
+  db.MustAddEntity("x", 0);
+  db.MustAddEntity("y", 0);
+  TransactionSystem opposed(&db);
+  {
+    TransactionBuilder b(&db, "T1");
+    b.Lock("x");
+    b.Lock("y");
+    b.Unlock("y");
+    b.Unlock("x");
+    opposed.Add(b.Build());
+  }
+  {
+    TransactionBuilder b(&db, "T2");
+    b.Lock("y");
+    b.Lock("x");
+    b.Unlock("x");
+    b.Unlock("y");
+    opposed.Add(b.Build());
+  }
+  check(opposed);
+}
+
+TEST(RulesCatalog, MarkdownCarriesTheDriftWarning) {
+  std::string markdown = RulesToMarkdown();
+  EXPECT_NE(markdown.find("Generated"), std::string::npos);
+  EXPECT_NE(markdown.find("rules_catalog_test"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dislock

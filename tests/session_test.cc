@@ -10,6 +10,7 @@
 #include <sstream>
 #include <string>
 
+#include "analysis/analyzer.h"
 #include "core/incremental/session.h"
 
 namespace dislock {
@@ -35,6 +36,7 @@ std::string RunDemo(bool json, int num_threads) {
   options.json = json;
   options.load_root = DISLOCK_SOURCE_DIR;
   options.config.num_threads = num_threads;
+  options.analyze = MakeSessionAnalyzer();
   EXPECT_EQ(RunSession(in, out, options), 0) << "demo script had errors";
   return out.str();
 }
@@ -90,6 +92,20 @@ TEST(Session, JsonErrorsCarryOkFalse) {
   std::string text = out.str();
   EXPECT_NE(text.find("\"ok\": false"), std::string::npos) << text;
   EXPECT_NE(text.find("no system loaded"), std::string::npos) << text;
+}
+
+TEST(Session, AnalyzeWithoutHookReportsCleanError) {
+  // A session built without the analysis layer (options.analyze unset)
+  // must fail the command, not crash, and keep running.
+  std::istringstream in("load data/ring3.dlk\nanalyze\nlist\n");
+  std::ostringstream out;
+  SessionOptions options;
+  options.load_root = DISLOCK_SOURCE_DIR;
+  EXPECT_EQ(RunSession(in, out, options), 1);
+  std::string text = out.str();
+  EXPECT_NE(text.find("error: analyze is not available"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("[0] MoveAB"), std::string::npos) << text;
 }
 
 TEST(Session, EofEndsSessionCleanly) {

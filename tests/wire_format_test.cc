@@ -11,6 +11,7 @@
 
 #include "analysis/analyzer.h"
 #include "analysis/emit.h"
+#include "analysis/repair/engine.h"
 #include "core/deadlock.h"
 #include "core/multi.h"
 #include "core/paper.h"
@@ -95,6 +96,39 @@ TEST(WireFormat, AnalysisEmittersAreValidJsonAndSarifIsVersioned) {
   ExpectValidJson(sarif, "sarif");
   // The run properties bag stamps the repo-wide schema version.
   EXPECT_NE(sarif.find("\"schema_version\": 1"), std::string::npos);
+}
+
+TEST(WireFormat, SarifFixesCarryWholeFileReplacements) {
+  // When verified repairs ride along on the result, the SARIF rendering
+  // attaches runs[].results[].fixes to the repairable diagnostics: one fix
+  // per repair, each a whole-file replacement of the named artifact.
+  PaperInstance inst = MakeFig1Instance();  // unsafe: DL002 is repairable
+  AnalysisResult result = AnalyzeSystem(*inst.system);
+  result.repair = SynthesizeRepairs(*inst.system, RepairOptions());
+  ASSERT_TRUE(result.repair->attempted);
+  ASSERT_FALSE(result.repair->repairs.empty());
+
+  SarifArtifact artifact;
+  artifact.uri = "data/fig1.dlk";
+  artifact.end_line = 20;
+  std::string sarif = DiagnosticsToSarif(result, *inst.system, artifact);
+  ExpectValidJson(sarif, "sarif with fixes");
+  EXPECT_NE(sarif.find("\"fixes\": ["), std::string::npos) << sarif;
+  EXPECT_NE(sarif.find("\"artifactChanges\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"artifactLocation\": {\"uri\": \"data/fig1.dlk\"}"),
+            std::string::npos);
+  EXPECT_NE(sarif.find("\"deletedRegion\": {\"startLine\": 1, "
+                       "\"startColumn\": 1, \"endLine\": 20}"),
+            std::string::npos);
+  EXPECT_NE(sarif.find("\"insertedContent\""), std::string::npos);
+  // The driver rules carry their catalog severities as defaultConfiguration.
+  EXPECT_NE(sarif.find("\"defaultConfiguration\": {\"level\": \"error\"}"),
+            std::string::npos);
+
+  // Without a repair report, the fixes key must not appear at all.
+  AnalysisResult plain = AnalyzeSystem(*inst.system);
+  EXPECT_EQ(DiagnosticsToSarif(plain, *inst.system).find("\"fixes\""),
+            std::string::npos);
 }
 
 // ---- Session line protocol ------------------------------------------------

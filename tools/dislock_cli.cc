@@ -2,7 +2,13 @@
 //
 //   dislock analyze <system.dlk> [--json|--sarif] [--passes a,b] [--no-deadlock]
 //                                   multi-pass static analysis: per-rule
-//                                   diagnostics (DL001-DL103) + deadlock
+//                                   diagnostics (DL001-DL206) + deadlock;
+//                                   --repair adds verified repair synthesis
+//   dislock fix <system.dlk> [--dry-run] [--json]
+//                                   apply the cheapest verified repair in
+//                                   place (--dry-run prints it instead)
+//   dislock rules [--json|--markdown]
+//                                   print the analyzer rule catalog
 //   dislock passes                  list the registered analysis passes
 //   dislock simulate <system.dlk> [runs]
 //                                   Monte-Carlo execution statistics
@@ -10,7 +16,7 @@
 //   dislock session [script] [--json] [--threads N] [--cache]
 //                                   interactive / scripted incremental
 //                                   re-analysis (load/add/remove/replace/
-//                                   check) backed by the delta engine
+//                                   check/analyze) backed by the delta engine
 //   dislock example                 print a sample system file
 //
 // `analyze` and `session` also take the shared observability flags
@@ -20,18 +26,21 @@
 //
 // System files use the dislock text format (see src/txn/text_format.h).
 // `analyze` exits 0 when the analysis ran (regardless of findings), 1 on
-// input errors, 2 on usage errors; pass --exit-error to exit 3 when any
-// error-severity diagnostic was reported (for CI gates).
+// input errors, 2 on usage errors; pass --fail-on=note|warning|error to
+// exit 3 when any diagnostic at or above that severity was reported
+// (--exit-error is the historical spelling of --fail-on=error).
 
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "analysis/analyzer.h"
+#include "analysis/repair/engine.h"
 #include "core/certificate.h"
 #include "core/deadlock.h"
 #include "core/multi.h"
@@ -88,10 +97,38 @@ Result<std::string> ReadFile(const char* path) {
 struct AnalyzeArgs {
   const char* path = nullptr;
   bool deadlock = true;
-  bool exit_error = false;
+  bool repair = false;
+  /// Exit 3 when a diagnostic at or above this severity was emitted;
+  /// unset (the default) preserves the historical always-0 behavior.
+  std::optional<DiagSeverity> fail_on;
   std::vector<std::string> passes;  // empty = all registered
   CommonFlags common;  // --threads/--cache/--format/--trace/--metrics
 };
+
+/// Exit code for --fail-on: counts the diagnostics at or above the
+/// threshold severity (error ⊇ warning ⊇ note in strictness order).
+int FailOnExitCode(const AnalysisResult& result,
+                   const std::optional<DiagSeverity>& fail_on) {
+  if (!fail_on.has_value()) return 0;
+  int64_t over = result.Count(DiagSeverity::kError);
+  if (*fail_on != DiagSeverity::kError) {
+    over += result.Count(DiagSeverity::kWarning);
+  }
+  if (*fail_on == DiagSeverity::kNote) {
+    over += result.Count(DiagSeverity::kNote);
+  }
+  return over > 0 ? 3 : 0;
+}
+
+/// Line count of the analyzed file, for the SARIF whole-file fix region.
+int CountLines(const std::string& text) {
+  int lines = 0;
+  for (char c : text) {
+    if (c == '\n') ++lines;
+  }
+  if (!text.empty() && text.back() != '\n') ++lines;
+  return lines > 0 ? lines : 1;
+}
 
 // Writes the trace/metrics files a run opted into; a failure to write them
 // is reported but never changes the exit status of the analysis itself.
@@ -135,14 +172,25 @@ int Analyze(const AnalyzeArgs& args) {
   options.trace = bundle.trace();
   options.stats = bundle.metrics();
   AnalysisResult result = manager.Run(system, options);
-  const int rc = args.exit_error && result.HasErrors() ? 3 : 0;
+  if (args.repair) {
+    RepairOptions repair_options;
+    repair_options.engine = options;
+    result.repair = SynthesizeRepairs(system, repair_options);
+    // The synthesis engine never exports (owner-exports-once); this run
+    // owns the report, so it pours the repair counters here.
+    ExportRepairStats(*result.repair, bundle.metrics());
+  }
+  const int rc = FailOnExitCode(result, args.fail_on);
   auto run_deadlock = [&] {
     obs::TraceSpan span(bundle.trace(), wire::kSpanDeadlock);
     return AnalyzeDeadlockFreedom(system, 1 << 20);
   };
 
   if (args.common.format == "sarif") {
-    std::printf("%s\n", DiagnosticsToSarif(result, system).c_str());
+    SarifArtifact artifact;
+    artifact.uri = args.path;
+    artifact.end_line = CountLines(*text);
+    std::printf("%s\n", DiagnosticsToSarif(result, system, artifact).c_str());
     FlushObservability(bundle);
     return rc;
   }
@@ -196,6 +244,152 @@ int ListPasses() {
                 pass.ok() ? (*pass)->description() : "?");
   }
   return 0;
+}
+
+int Rules(int argc, char** argv) {
+  std::string mode = "text";
+  for (int i = 2; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      mode = "json";
+    } else if (std::strcmp(argv[i], "--markdown") == 0) {
+      mode = "markdown";
+    } else {
+      ReportUnknownArgument("dislock", argv[i]);
+      return 2;
+    }
+  }
+  if (mode == "json") {
+    std::printf("%s\n", RulesToJson().c_str());
+  } else if (mode == "markdown") {
+    std::printf("%s", RulesToMarkdown().c_str());
+  } else {
+    std::printf("%s", RulesToText().c_str());
+  }
+  return 0;
+}
+
+struct FixArgs {
+  const char* path = nullptr;
+  bool dry_run = false;
+  bool json = false;
+  CommonFlags common;
+};
+
+// `dislock fix`: synthesize verified repairs and apply the cheapest one in
+// place (or print it with --dry-run). Exits 0 when nothing needed fixing or
+// a repair was applied, 1 when the system is broken but no verified repair
+// was found (or on input errors), 2 on usage errors.
+int Fix(const FixArgs& args) {
+  auto text = ReadFile(args.path);
+  if (!text.ok()) {
+    std::fprintf(stderr, "%s\n", text.status().ToString().c_str());
+    return 1;
+  }
+  auto parsed = ParseSystemText(*text);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "%s\n", parsed.status().ToString().c_str());
+    return 1;
+  }
+  const TransactionSystem& system = *parsed->system;
+
+  obs::Observability bundle(args.common.trace_path, args.common.metrics,
+                            args.common.metrics_path);
+  RepairOptions options;
+  options.engine.num_threads = args.common.num_threads;
+  options.engine.trace = bundle.trace();
+  RepairReport report = SynthesizeRepairs(system, options);
+  ExportRepairStats(report, bundle.metrics());
+
+  if (args.json) {
+    std::printf("{\"%s\": %d, \"repair\": %s}\n", wire::kSchemaVersionKey,
+                wire::kSchemaVersion,
+                RepairReportToJson(report, system).c_str());
+  }
+  if (!report.attempted) {
+    if (!args.json) {
+      std::printf("nothing to fix: %s is already safe and deadlock-free\n",
+                  args.path);
+    }
+    FlushObservability(bundle);
+    return 0;
+  }
+  if (report.repairs.empty()) {
+    std::fprintf(stderr,
+                 "no verified repair found for %s (%lld candidates tried)\n",
+                 args.path,
+                 static_cast<long long>(report.candidates_tried));
+    FlushObservability(bundle);
+    return 1;
+  }
+
+  const VerifiedRepair& top = report.repairs.front();
+  // Round-trip guarantee: the repaired text must parse back to a valid
+  // system before it is allowed to replace the user's file.
+  auto reparsed = ParseSystemText(top.repaired_text);
+  if (!reparsed.ok()) {
+    std::fprintf(stderr, "internal error: repaired system does not parse: %s\n",
+                 reparsed.status().ToString().c_str());
+    FlushObservability(bundle);
+    return 1;
+  }
+  if (!args.json) {
+    std::printf("repair (%s, cost %d): %s\n",
+                RepairEditKindName(top.edit.kind), top.edit.cost,
+                top.edit.description.c_str());
+    std::printf("verified after repair: safety %s, deadlock-free\n",
+                SafetyVerdictName(top.safety_after));
+  }
+  if (args.dry_run) {
+    if (!args.json) {
+      std::printf("--dry-run: repaired system follows\n%s",
+                  top.repaired_text.c_str());
+    }
+    FlushObservability(bundle);
+    return 0;
+  }
+  std::ofstream out(args.path, std::ios::trunc);
+  if (!out || !(out << top.repaired_text) || !out.flush()) {
+    std::fprintf(stderr, "cannot write %s\n", args.path);
+    FlushObservability(bundle);
+    return 1;
+  }
+  if (!args.json) {
+    std::printf("wrote %s\n", args.path);
+  }
+  FlushObservability(bundle);
+  return 0;
+}
+
+int RunFixCommand(int argc, char** argv) {
+  FixArgs args;
+  constexpr unsigned kAccepted = kThreadsFlag | kObsFlags;
+  for (int i = 2; i < argc; ++i) {
+    std::string error;
+    switch (ParseCommonFlag(argc, argv, i, kAccepted, &args.common, &error)) {
+      case FlagParse::kConsumedTwo:
+        ++i;
+        [[fallthrough]];
+      case FlagParse::kConsumedOne:
+        continue;
+      case FlagParse::kError:
+        ReportBadFlag("dislock", error);
+        return 2;
+      case FlagParse::kNotCommon:
+        break;
+    }
+    if (std::strcmp(argv[i], "--dry-run") == 0) {
+      args.dry_run = true;
+    } else if (std::strcmp(argv[i], "--json") == 0) {
+      args.json = true;
+    } else if (argv[i][0] != '-' && args.path == nullptr) {
+      args.path = argv[i];
+    } else {
+      ReportUnknownArgument("dislock", argv[i]);
+      return 2;
+    }
+  }
+  if (args.path == nullptr) return 2;
+  return Fix(args);
 }
 
 int Simulate(const char* path, int64_t runs) {
@@ -320,6 +514,7 @@ int RunSessionCommand(int argc, char** argv) {
   options.config.enable_cache = common.cache;
   options.config.trace = bundle.trace();
   options.config.stats = bundle.metrics();
+  options.analyze = MakeSessionAnalyzer();
   int failed;
   if (script != nullptr) {
     std::ifstream file(script);
@@ -343,8 +538,13 @@ int Usage() {
   std::fprintf(stderr,
                "usage: dislock analyze <system.dlk>\n"
                "                       [--passes a,b,c] [--no-deadlock]\n"
-               "                       [--exit-error]\n"
+               "                       [--repair] [--exit-error]\n"
+               "                       [--fail-on=note|warning|error]\n"
                "%s"
+               "       dislock fix <system.dlk> [--dry-run] [--json]\n"
+               "         (apply the cheapest verified repair in place;\n"
+               "          --dry-run prints the repaired system instead)\n"
+               "       dislock rules [--json|--markdown]\n"
                "       dislock passes\n"
                "       dislock simulate <system.dlk> [runs]\n"
                "       dislock reduce <formula.cnf>\n"
@@ -407,7 +607,22 @@ int main(int argc, char** argv) {
       if (std::strcmp(argv[i], "--no-deadlock") == 0) {
         args.deadlock = false;
       } else if (std::strcmp(argv[i], "--exit-error") == 0) {
-        args.exit_error = true;
+        args.fail_on = DiagSeverity::kError;
+      } else if (std::strncmp(argv[i], "--fail-on=", 10) == 0) {
+        const char* level = argv[i] + 10;
+        if (std::strcmp(level, "note") == 0) {
+          args.fail_on = DiagSeverity::kNote;
+        } else if (std::strcmp(level, "warning") == 0) {
+          args.fail_on = DiagSeverity::kWarning;
+        } else if (std::strcmp(level, "error") == 0) {
+          args.fail_on = DiagSeverity::kError;
+        } else {
+          std::fprintf(stderr,
+                       "dislock: --fail-on takes note, warning, or error\n");
+          return Usage();
+        }
+      } else if (std::strcmp(argv[i], "--repair") == 0) {
+        args.repair = true;
       } else if (std::strcmp(argv[i], "--passes") == 0 && i + 1 < argc) {
         args.passes = SplitCommas(argv[++i]);
       } else {
@@ -419,6 +634,14 @@ int main(int argc, char** argv) {
   }
   if (std::strcmp(argv[1], "passes") == 0) {
     return ListPasses();
+  }
+  if (std::strcmp(argv[1], "rules") == 0) {
+    int rc = Rules(argc, argv);
+    return rc == 2 ? Usage() : rc;
+  }
+  if (std::strcmp(argv[1], "fix") == 0 && argc >= 3) {
+    int rc = RunFixCommand(argc, argv);
+    return rc == 2 ? Usage() : rc;
   }
   if (std::strcmp(argv[1], "simulate") == 0 && argc >= 3) {
     int64_t runs = argc >= 4 ? std::atoll(argv[3]) : 10000;
