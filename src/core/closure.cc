@@ -1,9 +1,13 @@
 #include "core/closure.h"
 
+#include <algorithm>
 #include <set>
 
 #include "core/conflict_graph.h"
+#include "graph/csr.h"
 #include "graph/dominator.h"
+#include "util/arena.h"
+#include "util/bitset.h"
 #include "util/string_util.h"
 
 namespace dislock {
@@ -129,6 +133,203 @@ Result<ClosureResult> CloseWithRespectTo(const Transaction& t1,
     std::vector<NodeId> nodes;
     for (EntityId e : x_set) nodes.push_back(d.node_of.at(e));
     if (!IsDominator(d.graph, nodes)) {
+      return Status::Undecided(
+          "X stopped being a dominator during closure (possible only with "
+          "three or more sites)");
+    }
+  }
+  return Status::Internal("closure did not converge within its round bound");
+}
+
+namespace {
+
+/// The flat closure's working state for one transaction: its strict partial
+/// order as a reflexive-transitive-closure bitset matrix over step ids,
+/// updated incrementally as the closure adds precedence arcs.
+struct FlatOrder {
+  int num_steps = 0;
+  size_t words = 0;        ///< words per row
+  uint64_t* rows = nullptr;  ///< num_steps rows, arena-owned
+
+  void Build(const Transaction& t, Arena* arena) {
+    num_steps = t.NumSteps();
+    words = bits::WordsForBits(static_cast<size_t>(num_steps));
+    rows = arena->AllocateZeroed<uint64_t>(
+        static_cast<size_t>(num_steps) * words);
+    CsrGraph csr = BuildCsr(t.order(), arena);
+    ReachabilityWordsOnCsr(csr, rows, arena);
+  }
+
+  uint64_t* Row(StepId s) {
+    return rows + static_cast<size_t>(s) * words;
+  }
+  const uint64_t* Row(StepId s) const {
+    return rows + static_cast<size_t>(s) * words;
+  }
+
+  /// Transaction::Precedes semantics: strict (a != b) transitive order.
+  bool Precedes(StepId a, StepId b) const {
+    return a != b && bits::TestBit(Row(a), static_cast<size_t>(b));
+  }
+
+  /// Registers the new arc u -> v: every row that reaches u absorbs v's
+  /// row. One pass over the matrix, no rebuild — this is what replaces the
+  /// legacy loop's full Reachability reconstruction per added precedence.
+  void AddArc(StepId u, StepId v) {
+    const uint64_t* vrow = Row(v);
+    for (int a = 0; a < num_steps; ++a) {
+      uint64_t* arow = Row(a);
+      if (arow == vrow) continue;  // v's row already contains itself
+      if (bits::TestBit(arow, static_cast<size_t>(u))) {
+        bits::OrWords(arow, vrow, words);
+      }
+    }
+  }
+};
+
+/// D(T1,T2) evaluated directly from the two flat orders. Returns true iff
+/// X (given as a membership mask over `common` indices) is a dominator of
+/// the *current* D: no arc from V - X into X. Matches IsDominator over
+/// BuildConflictGraph byte for byte because the arc predicate is the same
+/// pair of strict-precedence queries.
+bool FlatXIsDominator(const FlatOrder& o1, const FlatOrder& o2,
+                      const std::vector<EntityId>& common,
+                      const StepId* lock1, const StepId* unlock1,
+                      const StepId* lock2, const StepId* unlock2,
+                      const uint8_t* in_x, int num_in_x) {
+  const int k = static_cast<int>(common.size());
+  if (num_in_x == 0 || num_in_x >= k) return false;
+  for (int i = 0; i < k; ++i) {
+    if (in_x[i]) continue;  // arcs from V - X only
+    for (int j = 0; j < k; ++j) {
+      if (!in_x[j] || j == i) continue;
+      // Arc (i, j) of D: Lx_i <1 Ux_j and Lx_j <2 Ux_i.
+      if (o1.Precedes(lock1[i], unlock1[j]) &&
+          o2.Precedes(lock2[j], unlock2[i])) {
+        return false;  // incoming arc from V - X
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+Result<ClosureResult> CloseWithRespectToFlat(
+    const Transaction& t1, const Transaction& t2,
+    const std::vector<EntityId>& x_set) {
+  ClosureResult result{t1, t2, 0, 0};
+  std::vector<EntityId> common = CommonLocked(t1, t2);
+  const int k = static_cast<int>(common.size());
+
+  Arena* arena = ScratchArena();
+  ArenaScope scope(arena);
+
+  // Dense membership + step-id tables over the V = `common` index space.
+  uint8_t* in_x = arena->AllocateZeroed<uint8_t>(static_cast<size_t>(k));
+  StepId* lock1 = arena->AllocateArray<StepId>(static_cast<size_t>(k));
+  StepId* unlock1 = arena->AllocateArray<StepId>(static_cast<size_t>(k));
+  StepId* lock2 = arena->AllocateArray<StepId>(static_cast<size_t>(k));
+  StepId* unlock2 = arena->AllocateArray<StepId>(static_cast<size_t>(k));
+  for (int i = 0; i < k; ++i) {
+    lock1[i] = t1.LockStep(common[i]);
+    unlock1[i] = t1.UnlockStep(common[i]);
+    lock2[i] = t2.LockStep(common[i]);
+    unlock2[i] = t2.UnlockStep(common[i]);
+  }
+
+  // Validate X in two passes mirroring the legacy order exactly: first every
+  // member must be commonly locked (first offender reported by name), only
+  // then are duplicates rejected (legacy IsDominator sees them after the
+  // whole mapping loop succeeded).
+  for (EntityId e : x_set) {
+    if (!std::binary_search(common.begin(), common.end(), e)) {
+      return Status::InvalidArgument(
+          StrCat("entity '", t1.db().NameOf(e), "' is not commonly locked"));
+    }
+  }
+  int num_in_x = 0;
+  bool duplicate = false;
+  for (EntityId e : x_set) {
+    const int i = static_cast<int>(
+        std::lower_bound(common.begin(), common.end(), e) - common.begin());
+    if (in_x[i]) duplicate = true;
+    in_x[i] = 1;
+  }
+  for (int i = 0; i < k; ++i) num_in_x += in_x[i];
+  if (duplicate) {
+    return Status::InvalidArgument("X is not a dominator of D(T1,T2)");
+  }
+
+  FlatOrder o1, o2;
+  o1.Build(t1, arena);
+  o2.Build(t2, arena);
+
+  if (!FlatXIsDominator(o1, o2, common, lock1, unlock1, lock2, unlock2, in_x,
+                        num_in_x)) {
+    return Status::InvalidArgument("X is not a dominator of D(T1,T2)");
+  }
+
+  // Ascending-id X iteration, mirroring the legacy std::set<EntityId> scan.
+  std::vector<int> x_idx;
+  x_idx.reserve(static_cast<size_t>(num_in_x));
+  for (int i = 0; i < k; ++i) {
+    if (in_x[i]) x_idx.push_back(i);
+  }
+
+  const int max_rounds = 4 * k * k + 8;
+  for (int round = 0; round < max_rounds; ++round) {
+    ++result.iterations;
+
+    // FindViolation on the evolving flat orders: identical scan order (z
+    // ascending over common minus X, then x, then y ascending over X).
+    int vz = -1, vx = -1, vy = -1;
+    for (int z = 0; z < k && vz < 0; ++z) {
+      if (in_x[z]) continue;
+      for (int x : x_idx) {
+        if (!o1.Precedes(lock1[z], unlock1[x])) continue;
+        bool stop = false;
+        for (int y : x_idx) {
+          if (!o2.Precedes(lock2[y], unlock2[z])) continue;
+          bool ok = x != y && o1.Precedes(unlock1[y], unlock1[x]) &&
+                    o2.Precedes(lock2[y], lock2[x]);
+          if (!ok) {
+            vz = z;
+            vx = x;
+            vy = y;
+            stop = true;
+            break;
+          }
+        }
+        if (stop) break;
+      }
+    }
+    if (vz < 0) return result;
+
+    if (vx == vy) {
+      return Status::Undecided(
+          "Lemma 2 antecedent holds with x == y: X is no longer a dominator "
+          "(possible only with three or more sites)");
+    }
+    if (o1.Precedes(unlock1[vx], unlock1[vy]) ||
+        o2.Precedes(lock2[vx], lock2[vy])) {
+      return Status::Undecided(
+          "Lemma 2 inference contradicts the existing partial orders "
+          "(possible only with three or more sites)");
+    }
+    if (!o1.Precedes(unlock1[vy], unlock1[vx])) {
+      result.t1.AddPrecedence(unlock1[vy], unlock1[vx]);
+      o1.AddArc(unlock1[vy], unlock1[vx]);
+      ++result.precedences_added;
+    }
+    if (!o2.Precedes(lock2[vy], lock2[vx])) {
+      result.t2.AddPrecedence(lock2[vy], lock2[vx]);
+      o2.AddArc(lock2[vy], lock2[vx]);
+      ++result.precedences_added;
+    }
+
+    if (!FlatXIsDominator(o1, o2, common, lock1, unlock1, lock2, unlock2,
+                          in_x, num_in_x)) {
       return Status::Undecided(
           "X stopped being a dominator during closure (possible only with "
           "three or more sites)");

@@ -167,8 +167,12 @@ MultiSafetyReport IncrementalSafetyEngine::Check() {
   if (options.cache != nullptr || options.enable_cache) {
     std::unordered_map<std::string, int> group_index;
     for (size_t p = 0; p < pairs.size(); ++p) {
-      std::string fp = PairFingerprint(view.txn(pairs[p].first),
-                                       view.txn(pairs[p].second));
+      std::string fp =
+          options.use_flat_kernel
+              ? PairFingerprintFlat(view.txn(pairs[p].first),
+                                    view.txn(pairs[p].second))
+              : PairFingerprint(view.txn(pairs[p].first),
+                                view.txn(pairs[p].second));
       auto [it, inserted] = group_index.emplace(std::move(fp), num_groups);
       if (inserted) ++num_groups;
       ScanPair sp;
@@ -197,7 +201,8 @@ MultiSafetyReport IncrementalSafetyEngine::Check() {
     // ---- Condition (b): examine the dirty cycles, reuse the rest. ----
     obs::TraceSpan cycles_span(ctx_->trace(), wire::kSpanIncrementalCycles);
     std::vector<std::vector<NodeId>> cycles =
-        SimpleCycles(g, options.max_cycles);
+        options.use_flat_kernel ? SimpleCyclesFlat(g, options.max_cycles)
+                                : SimpleCycles(g, options.max_cycles);
     bool budget_exhausted =
         static_cast<int64_t>(cycles.size()) >= options.max_cycles;
     const size_t min_len = options.include_two_cycles ? 2 : 3;
@@ -226,9 +231,18 @@ MultiSafetyReport IncrementalSafetyEngine::Check() {
 
     // Again exhaustively, no early exit, for store determinism.
     std::vector<char> dirty_has_cycle(dirty_cycles.size(), 0);
+    std::optional<FlatCycleChecker> flat_checker;
+    if (options.use_flat_kernel && !dirty_cycles.empty()) {
+      flat_checker.emplace(view, pairs);
+    }
     auto run_cycle = [&](size_t d) {
+      const std::vector<int>& cycle = to_check[dirty_cycles[d]];
       dirty_has_cycle[d] =
-          HasCycle(BuildCycleGraph(view, to_check[dirty_cycles[d]])) ? 1 : 0;
+          (flat_checker.has_value()
+               ? flat_checker->BcHasCycle(cycle)
+               : HasCycle(BuildCycleGraph(view, cycle)))
+              ? 1
+              : 0;
     };
     if (pool != nullptr && dirty_cycles.size() > 1) {
       constexpr size_t kChunk = 16;

@@ -11,8 +11,10 @@
 #include "core/decision/context.h"
 #include "core/verdict_cache.h"
 #include "core/wire_keys.h"
+#include "graph/csr.h"
 #include "graph/cycles.h"
 #include "obs/trace.h"
+#include "util/arena.h"
 #include "util/string_util.h"
 #include "util/thread_pool.h"
 
@@ -49,6 +51,124 @@ struct PairGroup {
 };
 
 }  // namespace
+
+FlatCycleChecker::FlatCycleChecker(
+    const SystemView& view, const std::vector<std::pair<int, int>>& pairs)
+    : view_(view) {
+  common_.reserve(pairs.size());
+  for (size_t p = 0; p < pairs.size(); ++p) {
+    index_.emplace(Key(pairs[p].first, pairs[p].second),
+                   static_cast<int>(p));
+    common_.push_back(ConflictingEntities(view.txn(pairs[p].first),
+                                          view.txn(pairs[p].second)));
+  }
+}
+
+// Arc duplicates that AddArcUnique would have filtered are kept — they
+// cannot change acyclicity — so the verdict matches the legacy check.
+bool FlatCycleChecker::BcHasCycle(const std::vector<int>& cycle) const {
+  const int len = static_cast<int>(cycle.size());
+  DISLOCK_CHECK_GE(len, 2);
+  Arena* arena = ScratchArena();
+  ArenaScope scope(arena);
+
+  // Edge slot per cycle position; a 2-cycle's two positions share one
+  // unordered pair (and therefore one slot), exactly like the
+  // BijkNodeKey canonicalization.
+  int* slot_of_p = arena->AllocateArray<int>(static_cast<size_t>(len));
+  const std::vector<EntityId>** slot_entities =
+      arena->AllocateArray<const std::vector<EntityId>*>(
+          static_cast<size_t>(len));
+  int64_t* slot_keys = arena->AllocateArray<int64_t>(
+      static_cast<size_t>(len));
+  int num_slots = 0;
+  for (int p = 0; p < len; ++p) {
+    const int64_t key = Key(cycle[p], cycle[(p + 1) % len]);
+    int slot = -1;
+    for (int s = 0; s < num_slots; ++s) {
+      if (slot_keys[s] == key) {
+        slot = s;
+        break;
+      }
+    }
+    if (slot < 0) {
+      slot = num_slots++;
+      slot_keys[slot] = key;
+      slot_entities[slot] = &common_[static_cast<size_t>(index_.at(key))];
+    }
+    slot_of_p[p] = slot;
+  }
+
+  // Dense node ids: base[slot] + (index of the entity in its list).
+  int* base = arena->AllocateArray<int>(static_cast<size_t>(num_slots) + 1);
+  base[0] = 0;
+  for (int s = 0; s < num_slots; ++s) {
+    base[s + 1] = base[s] + static_cast<int>(slot_entities[s]->size());
+  }
+  const int num_nodes = base[num_slots];
+
+  size_t arc_cap = 0;
+  for (int p = 0; p < len; ++p) {
+    const size_t in = slot_entities[slot_of_p[(p + len - 1) % len]]->size();
+    const size_t out = slot_entities[slot_of_p[p]]->size();
+    arc_cap += in * out + in * in + out * out;
+  }
+  NodeId* tails = arena->AllocateArray<NodeId>(arc_cap);
+  NodeId* heads = arena->AllocateArray<NodeId>(arc_cap);
+  int32_t m = 0;
+
+  auto node = [&](int slot, size_t entity_idx) {
+    return static_cast<NodeId>(base[slot] + static_cast<int>(entity_idx));
+  };
+
+  for (int p = 0; p < len; ++p) {
+    const int j = cycle[p];
+    const Transaction& tj = view_.txn(j);
+    const int in_slot = slot_of_p[(p + len - 1) % len];
+    const int out_slot = slot_of_p[p];
+    const std::vector<EntityId>& in_pair = *slot_entities[in_slot];
+    const std::vector<EntityId>& out_pair = *slot_entities[out_slot];
+
+    // (x_ij, y_jk) iff Lx precedes Uy in Tj.
+    for (size_t xi = 0; xi < in_pair.size(); ++xi) {
+      const StepId lx = tj.LockStep(in_pair[xi]);
+      for (size_t yi = 0; yi < out_pair.size(); ++yi) {
+        if (tj.Precedes(lx, tj.UnlockStep(out_pair[yi]))) {
+          tails[m] = node(in_slot, xi);
+          heads[m] = node(out_slot, yi);
+          ++m;
+        }
+      }
+    }
+    // (x_ij, x'_ij) iff Lx precedes Lx' in Tj.
+    for (size_t xi = 0; xi < in_pair.size(); ++xi) {
+      const StepId lx = tj.LockStep(in_pair[xi]);
+      for (size_t x2 = 0; x2 < in_pair.size(); ++x2) {
+        if (x2 == xi) continue;
+        if (tj.Precedes(lx, tj.LockStep(in_pair[x2]))) {
+          tails[m] = node(in_slot, xi);
+          heads[m] = node(in_slot, x2);
+          ++m;
+        }
+      }
+    }
+    // (y_jk, y'_jk) iff Uy precedes Uy' in Tj.
+    for (size_t yi = 0; yi < out_pair.size(); ++yi) {
+      const StepId uy = tj.UnlockStep(out_pair[yi]);
+      for (size_t y2 = 0; y2 < out_pair.size(); ++y2) {
+        if (y2 == yi) continue;
+        if (tj.Precedes(uy, tj.UnlockStep(out_pair[y2]))) {
+          tails[m] = node(out_slot, yi);
+          heads[m] = node(out_slot, y2);
+          ++m;
+        }
+      }
+    }
+  }
+
+  CsrGraph bc = BuildCsrFromArcs(num_nodes, tails, heads, m, arena);
+  return HasCycleOnCsr(bc, arena);
+}
 
 Digraph BuildTransactionConflictGraph(const SystemView& view) {
   const int k = view.NumTransactions();
@@ -226,8 +346,12 @@ MultiSafetyReport AnalyzeMultiSafety(const SystemView& view,
   if (cache != nullptr) {
     std::unordered_map<std::string, int> group_index;
     for (size_t p = 0; p < pairs.size(); ++p) {
-      std::string fp = PairFingerprint(view.txn(pairs[p].first),
-                                       view.txn(pairs[p].second));
+      std::string fp =
+          options.use_flat_kernel
+              ? PairFingerprintFlat(view.txn(pairs[p].first),
+                                    view.txn(pairs[p].second))
+              : PairFingerprint(view.txn(pairs[p].first),
+                                view.txn(pairs[p].second));
       auto [it, inserted] =
           group_index.emplace(std::move(fp), static_cast<int>(groups.size()));
       if (inserted) {
@@ -334,7 +458,8 @@ MultiSafetyReport AnalyzeMultiSafety(const SystemView& view,
   // ---- Condition (b): every directed cycle's B_c graph has a cycle. ----
   obs::TraceSpan cycles_span(ctx->trace(), wire::kSpanMultiCycles);
   std::vector<std::vector<NodeId>> cycles =
-      SimpleCycles(g, options.max_cycles);
+      options.use_flat_kernel ? SimpleCyclesFlat(g, options.max_cycles)
+                              : SimpleCycles(g, options.max_cycles);
   bool budget_exhausted =
       static_cast<int64_t>(cycles.size()) >= options.max_cycles;
   const size_t min_len = options.include_two_cycles ? 2 : 3;
@@ -343,6 +468,18 @@ MultiSafetyReport AnalyzeMultiSafety(const SystemView& view,
     if (cycle.size() < min_len) continue;
     to_check.emplace_back(cycle.begin(), cycle.end());
   }
+
+  // The flat B_c kernel shares one read-only pair-entity table across the
+  // fan-out; each worker's scratch lives in its thread-local arena.
+  std::optional<FlatCycleChecker> flat_checker;
+  if (options.use_flat_kernel && !to_check.empty()) {
+    flat_checker.emplace(view, pairs);
+  }
+  auto bc_is_acyclic = [&](const std::vector<int>& cycle) {
+    return flat_checker.has_value()
+               ? !flat_checker->BcHasCycle(cycle)
+               : !HasCycle(BuildCycleGraph(view, cycle));
+  };
 
   // Index (in enumeration order) of the first cycle whose B_c is acyclic.
   size_t first_acyclic = to_check.size();
@@ -357,7 +494,7 @@ MultiSafetyReport AnalyzeMultiSafety(const SystemView& view,
       futures.push_back(pool->Submit([&, begin, end] {
         for (size_t c = begin; c < end; ++c) {
           if (c > first_failing.load(std::memory_order_acquire)) return;
-          if (!HasCycle(BuildCycleGraph(view, to_check[c]))) {
+          if (bc_is_acyclic(to_check[c])) {
             AtomicMin(&first_failing, c);
           }
         }
@@ -367,7 +504,7 @@ MultiSafetyReport AnalyzeMultiSafety(const SystemView& view,
     first_acyclic = first_failing.load(std::memory_order_acquire);
   } else {
     for (size_t c = 0; c < to_check.size(); ++c) {
-      if (!HasCycle(BuildCycleGraph(view, to_check[c]))) {
+      if (bc_is_acyclic(to_check[c])) {
         first_acyclic = c;
         break;
       }

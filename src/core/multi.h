@@ -1,8 +1,10 @@
 #ifndef DISLOCK_CORE_MULTI_H_
 #define DISLOCK_CORE_MULTI_H_
 
+#include <cstdint>
 #include <functional>
 #include <optional>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -104,6 +106,37 @@ MultiSafetyReport AnalyzeMultiSafety(const SystemView& view,
 Digraph BuildCycleGraph(const SystemView& view, const std::vector<int>& cycle);
 Digraph BuildCycleGraph(const TransactionSystem& system,
                         const std::vector<int>& cycle);
+
+/// The flat condition-(b) kernel (EngineConfig::use_flat_kernel): decides
+/// HasCycle(BuildCycleGraph(view, cycle)) without materializing a Digraph.
+/// The conflicting-pair entity lists are computed once at construction and
+/// shared read-only across a pool fan-out; each BcHasCycle call generates
+/// B_c's arcs straight into thread-local arena arrays with dense remapped
+/// node ids and runs the CSR Kahn kernel. Used by both the batch analysis
+/// and the incremental engine; `view` must outlive the checker.
+class FlatCycleChecker {
+ public:
+  /// `pairs` are the conflicting pairs of G (ConflictingPairs order); every
+  /// consecutive transaction pair of a checked cycle must appear in it.
+  FlatCycleChecker(const SystemView& view,
+                   const std::vector<std::pair<int, int>>& pairs);
+
+  /// True iff B_c of the directed cycle has a directed cycle — the same
+  /// verdict as HasCycle(BuildCycleGraph(view, cycle)).
+  bool BcHasCycle(const std::vector<int>& cycle) const;
+
+ private:
+  /// Unordered-pair key, matching the BijkNodeKey canonicalization.
+  static int64_t Key(int a, int b) {
+    const int lo = a < b ? a : b;
+    const int hi = a < b ? b : a;
+    return (static_cast<int64_t>(lo) << 32) | static_cast<uint32_t>(hi);
+  }
+
+  const SystemView& view_;
+  std::unordered_map<int64_t, int> index_;
+  std::vector<std::vector<EntityId>> common_;
+};
 
 // ---------------------------------------------------------------------------
 // Deterministic-replay plumbing, shared between the batch path above and the

@@ -49,7 +49,8 @@ bool Theorem1Sufficient(const Transaction& t1, const Transaction& t2) {
 }
 
 Result<PairSafetyReport> TwoSiteSafetyTest(const Transaction& t1,
-                                           const Transaction& t2) {
+                                           const Transaction& t2,
+                                           bool use_flat_kernel) {
   PairSafetyReport report;
   report.sites_spanned = SitesSpanned(t1, t2);
   if (report.sites_spanned > 2) {
@@ -58,14 +59,17 @@ Result<PairSafetyReport> TwoSiteSafetyTest(const Transaction& t1,
                report.sites_spanned));
   }
   report.d = BuildConflictGraph(t1, t2);
-  report.d_strongly_connected = IsStronglyConnected(report.d.graph);
+  report.d_strongly_connected = use_flat_kernel
+                                    ? IsStronglyConnectedFlat(report.d.graph)
+                                    : IsStronglyConnected(report.d.graph);
   if (report.d_strongly_connected) {
     report.verdict = SafetyVerdict::kSafe;
     report.method = DecisionMethod::kTheorem2;
     report.detail = "D(T1,T2) is strongly connected";
     return report;
   }
-  auto dom = FindDominator(report.d.graph);
+  auto dom = use_flat_kernel ? FindDominatorFlat(report.d.graph)
+                             : FindDominator(report.d.graph);
   if (!dom.ok()) {
     return Status::Internal(
         "non-strongly-connected D has no dominator: " +

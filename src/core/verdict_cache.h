@@ -27,6 +27,15 @@ namespace dislock {
 /// many fingerprint-equal pairs over differently named entities.
 std::string PairFingerprint(const Transaction& t1, const Transaction& t2);
 
+/// Flat-kernel fingerprint (EngineConfig::use_flat_kernel): byte-identical
+/// output to PairFingerprint — grouping and the pairs_cached counter depend
+/// on exact string equality — but the canonical renaming runs on dense
+/// arena-backed index arrays over [0, NumEntities()) / [0, NumSites())
+/// instead of unordered_maps, the arc set is sorted as packed 64-bit keys,
+/// and the string is assembled in one pass into a single preallocated
+/// buffer.
+std::string PairFingerprintFlat(const Transaction& t1, const Transaction& t2);
+
 /// What the cache remembers about a decided pair. The full PairSafetyReport
 /// is NOT cached: its conflict graph and certificate reference the concrete
 /// entities and transactions of the pair that produced it, which a

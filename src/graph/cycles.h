@@ -22,6 +22,17 @@ bool HasCycle(const Digraph& g);
 std::vector<std::vector<NodeId>> SimpleCycles(const Digraph& g,
                                               int64_t max_cycles);
 
+/// Flat-kernel variants (graph/csr.h): one CSR lowering for the whole
+/// enumeration, masked arena-backed Tarjan for Johnson's per-start subgraph
+/// instead of materializing a sub-Digraph, and linked-list block maps in
+/// place of per-node vectors. Cycle sequences are byte-identical to the
+/// legacy functions above (same adjacency order, same recursion); selected
+/// via EngineConfig::use_flat_kernel.
+bool HasCycleFlat(const Digraph& g);
+
+std::vector<std::vector<NodeId>> SimpleCyclesFlat(const Digraph& g,
+                                                  int64_t max_cycles);
+
 }  // namespace dislock
 
 #endif  // DISLOCK_GRAPH_CYCLES_H_

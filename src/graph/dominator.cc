@@ -2,7 +2,9 @@
 
 #include <algorithm>
 
+#include "graph/csr.h"
 #include "graph/scc.h"
+#include "util/arena.h"
 
 namespace dislock {
 
@@ -107,6 +109,103 @@ std::vector<std::vector<NodeId>> AllDominators(const Digraph& g,
   }
   std::vector<bool> chosen(scc.num_components, false);
   EnumerateClosedSets(cond, topo_order, scc, 0, &chosen, 0, max_count, &out);
+  return out;
+}
+
+Result<std::vector<NodeId>> FindDominatorFlat(const Digraph& g) {
+  if (g.NumNodes() < 2) {
+    return Status::NotFound("graph has < 2 nodes; no dominator");
+  }
+  Arena* arena = ScratchArena();
+  ArenaScope scope(arena);
+  CsrGraph csr = BuildCsr(g, arena);
+  FlatScc scc = SccOnCsr(csr, arena);
+  if (scc.num_components == 1) {
+    return Status::NotFound("graph is strongly connected; no dominator");
+  }
+  FlatSccMembers members = GroupSccMembers(scc, g.NumNodes(), arena);
+  CsrGraph cond_in = CondensationInArcsOnCsr(csr, scc, arena);
+  for (int32_t c = 0; c < scc.num_components; ++c) {
+    if (cond_in.OutDegree(c) == 0) {  // cond_in stores IN-neighbors: a
+                                      // component with none is a source
+      // Members come back in ascending node id from the counting sort —
+      // already the sorted order the legacy path produces.
+      return std::vector<NodeId>(members.nodes + members.offsets[c],
+                                 members.nodes + members.offsets[c + 1]);
+    }
+  }
+  return Status::Internal("condensation DAG has no source component");
+}
+
+namespace {
+
+/// Flat mirror of EnumerateClosedSets: identical recursion (exclude first,
+/// then include if every predecessor is chosen; components visited in
+/// descending id = topological order), so the emitted dominator sequence is
+/// byte-identical to the legacy enumeration.
+struct FlatEnumCtx {
+  const CsrGraph* cond_in;  ///< condensation IN-adjacency
+  FlatSccMembers members;
+  int num_components;
+  uint8_t* chosen;
+  int64_t max_count;
+  std::vector<std::vector<NodeId>>* out;
+};
+
+void EnumerateClosedSetsFlat(FlatEnumCtx& ctx, int pos, int num_chosen) {
+  if (static_cast<int64_t>(ctx.out->size()) >= ctx.max_count) return;
+  const int kC = ctx.num_components;
+  if (pos == kC) {
+    if (num_chosen == 0 || num_chosen == kC) return;  // nonempty and proper
+    std::vector<NodeId> x;
+    for (int c = 0; c < kC; ++c) {
+      if (ctx.chosen[c]) {
+        x.insert(x.end(), ctx.members.nodes + ctx.members.offsets[c],
+                 ctx.members.nodes + ctx.members.offsets[c + 1]);
+      }
+    }
+    std::sort(x.begin(), x.end());
+    ctx.out->push_back(std::move(x));
+    return;
+  }
+  const int c = kC - 1 - pos;  // descending id = topological order
+  EnumerateClosedSetsFlat(ctx, pos + 1, num_chosen);
+  bool can_include = true;
+  for (const NodeId* p = ctx.cond_in->begin(c); p != ctx.cond_in->end(c);
+       ++p) {
+    if (!ctx.chosen[*p]) {
+      can_include = false;
+      break;
+    }
+  }
+  if (can_include) {
+    ctx.chosen[c] = 1;
+    EnumerateClosedSetsFlat(ctx, pos + 1, num_chosen + 1);
+    ctx.chosen[c] = 0;
+  }
+}
+
+}  // namespace
+
+std::vector<std::vector<NodeId>> AllDominatorsFlat(const Digraph& g,
+                                                   int64_t max_count) {
+  std::vector<std::vector<NodeId>> out;
+  if (g.NumNodes() < 2 || max_count <= 0) return out;
+  Arena* arena = ScratchArena();
+  ArenaScope scope(arena);
+  CsrGraph csr = BuildCsr(g, arena);
+  FlatScc scc = SccOnCsr(csr, arena);
+  if (scc.num_components == 1) return out;
+  FlatEnumCtx ctx;
+  CsrGraph cond_in = CondensationInArcsOnCsr(csr, scc, arena);
+  ctx.cond_in = &cond_in;
+  ctx.members = GroupSccMembers(scc, g.NumNodes(), arena);
+  ctx.num_components = scc.num_components;
+  ctx.chosen =
+      arena->AllocateZeroed<uint8_t>(static_cast<size_t>(scc.num_components));
+  ctx.max_count = max_count;
+  ctx.out = &out;
+  EnumerateClosedSetsFlat(ctx, 0, 0);
   return out;
 }
 

@@ -36,6 +36,16 @@ Result<std::vector<NodeId>> FindDominator(const Digraph& g);
 std::vector<std::vector<NodeId>> AllDominators(const Digraph& g,
                                                int64_t max_count);
 
+/// Flat-kernel variants (graph/csr.h: CSR + iterative Tarjan + arena
+/// scratch, no per-node vectors or std::set). Byte-identical results to
+/// their legacy counterparts above — same component numbering, same
+/// enumeration order, same Status messages — verified by the differential
+/// property tests. Selected via EngineConfig::use_flat_kernel.
+Result<std::vector<NodeId>> FindDominatorFlat(const Digraph& g);
+
+std::vector<std::vector<NodeId>> AllDominatorsFlat(const Digraph& g,
+                                                   int64_t max_count);
+
 }  // namespace dislock
 
 #endif  // DISLOCK_GRAPH_DOMINATOR_H_

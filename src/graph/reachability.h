@@ -1,6 +1,7 @@
 #ifndef DISLOCK_GRAPH_REACHABILITY_H_
 #define DISLOCK_GRAPH_REACHABILITY_H_
 
+#include <cstdint>
 #include <vector>
 
 #include "graph/digraph.h"
@@ -12,17 +13,27 @@ namespace dislock {
 ///
 /// Transactions are partial orders given as DAGs; "Lx precedes Uy in T"
 /// (Definition 1, Lemmas 2-3) is a reachability query on the transaction's
-/// step DAG. The closure is stored as one bitset row per node, so building it
-/// costs O(V * E / 64) via a reverse-topological sweep on DAGs (and a
-/// per-node BFS fallback on cyclic graphs, used only in tests).
+/// step DAG. The closure is stored as one flat bitset row per node in a
+/// single contiguous buffer.
+///
+/// Two construction algorithms produce identical rows:
+///  - kFlat (default): CSR lowering + SCC condensation closed with
+///    word-parallel ORs in reverse topological order (graph/csr.h). One
+///    pass, cyclic graphs included, no per-query BFS.
+///  - kLegacy: the pre-flat-kernel reference — reverse-topological sweep on
+///    DAGs with a per-node BFS fallback on cyclic graphs. Kept for the
+///    differential property tests.
 class Reachability {
  public:
+  enum class Impl { kFlat, kLegacy };
+
   /// Builds the closure of `g`.
-  explicit Reachability(const Digraph& g);
+  explicit Reachability(const Digraph& g, Impl impl = Impl::kFlat);
 
   /// True iff there is a directed path from u to v (including u == v).
   bool Reaches(NodeId u, NodeId v) const {
-    return rows_[u].Test(static_cast<size_t>(v));
+    return bits::TestBit(words_.data() + static_cast<size_t>(u) * words_per_row_,
+                         static_cast<size_t>(v));
   }
 
   /// True iff u strictly precedes v (path exists and u != v).
@@ -35,10 +46,12 @@ class Reachability {
     return !Reaches(u, v) && !Reaches(v, u);
   }
 
-  int NumNodes() const { return static_cast<int>(rows_.size()); }
+  int NumNodes() const { return num_nodes_; }
 
  private:
-  std::vector<DynamicBitset> rows_;
+  int num_nodes_ = 0;
+  size_t words_per_row_ = 0;
+  std::vector<uint64_t> words_;  ///< num_nodes_ rows of words_per_row_ words
 };
 
 }  // namespace dislock

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <set>
 
+#include "graph/csr.h"
+#include "util/arena.h"
+
 namespace dislock {
 
 SccResult StronglyConnectedComponents(const Digraph& g) {
@@ -73,6 +76,13 @@ SccResult StronglyConnectedComponents(const Digraph& g) {
 bool IsStronglyConnected(const Digraph& g) {
   if (g.NumNodes() <= 1) return true;
   return StronglyConnectedComponents(g).num_components == 1;
+}
+
+bool IsStronglyConnectedFlat(const Digraph& g) {
+  if (g.NumNodes() <= 1) return true;
+  Arena* arena = ScratchArena();
+  ArenaScope scope(arena);
+  return StronglyConnectedOnCsr(BuildCsr(g, arena), arena);
 }
 
 Digraph Condensation(const Digraph& g, const SccResult& scc) {

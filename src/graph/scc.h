@@ -34,6 +34,11 @@ bool IsStronglyConnected(const Digraph& g);
 /// deduplicated arcs between distinct SCCs.
 Digraph Condensation(const Digraph& g, const SccResult& scc);
 
+/// Flat-kernel variant of IsStronglyConnected: lowers to CSR and runs the
+/// iterative arena-backed Tarjan of graph/csr.h. Identical verdicts to
+/// IsStronglyConnected; selected via EngineConfig::use_flat_kernel.
+bool IsStronglyConnectedFlat(const Digraph& g);
+
 }  // namespace dislock
 
 #endif  // DISLOCK_GRAPH_SCC_H_

@@ -1,0 +1,162 @@
+#ifndef DISLOCK_UTIL_ARENA_H_
+#define DISLOCK_UTIL_ARENA_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <type_traits>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace dislock {
+
+/// A monotonic bump allocator for the flat-kernel scratch buffers (CSR
+/// arrays, bitset words, SCC stacks). One pair/cycle check performs exactly
+/// one `new` in steady state: the arena grows to the high-water mark of the
+/// largest check it has served and then recycles that block forever.
+///
+/// Allocation is pointer arithmetic only and is restricted to trivially
+/// destructible element types (nothing is ever destroyed individually).
+/// Lifetime is managed by ArenaScope: a scope records the current mark and
+/// rewinds to it on destruction, so nested kernels can share one arena
+/// without coordinating. Arenas are not thread-safe — the engine hands each
+/// pool worker its own thread-local arena (ScratchArena()).
+class Arena {
+ public:
+  explicit Arena(size_t initial_bytes = 1 << 12)
+      : initial_bytes_(RoundUp(initial_bytes < 64 ? 64 : initial_bytes)) {}
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Uninitialized storage for `count` elements of T, aligned for T.
+  template <typename T>
+  T* AllocateArray(size_t count) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "Arena storage is never destroyed element-wise");
+    static_assert(alignof(T) <= kMaxAlign, "over-aligned type");
+    return static_cast<T*>(AllocateBytes(count * sizeof(T)));
+  }
+
+  /// Zero-initialized storage — what the bitset-word kernels use.
+  template <typename T>
+  T* AllocateZeroed(size_t count) {
+    T* p = AllocateArray<T>(count);
+    std::memset(static_cast<void*>(p), 0, count * sizeof(T));
+    return p;
+  }
+
+  /// Releases every allocation. Capacity is retained and coalesced: after
+  /// the first Reset() past a growth spurt, all subsequent identical
+  /// workloads run allocation-free.
+  void Reset() {
+    if (blocks_.size() > 1 || (blocks_.size() == 1 &&
+                               blocks_[0].size < high_water_)) {
+      blocks_.clear();
+      AddBlock(high_water_);
+    }
+    used_ = 0;
+    offset_ = 0;
+  }
+
+  /// Bytes handed out since the last Reset (for tests and stats).
+  size_t BytesUsed() const { return used_; }
+  /// Total bytes of owned blocks.
+  size_t BytesCapacity() const {
+    size_t total = 0;
+    for (const Block& b : blocks_) total += b.size;
+    return total;
+  }
+  /// Number of blocks backing the arena (1 in steady state).
+  size_t NumBlocks() const { return blocks_.size(); }
+
+ private:
+  friend class ArenaScope;
+  static constexpr size_t kMaxAlign = 16;
+
+  static size_t RoundUp(size_t n) {
+    return (n + (kMaxAlign - 1)) & ~(kMaxAlign - 1);
+  }
+
+  struct Block {
+    std::unique_ptr<unsigned char[]> data;
+    size_t size = 0;
+  };
+
+  void AddBlock(size_t min_bytes) {
+    size_t size = blocks_.empty() ? initial_bytes_ : blocks_.back().size * 2;
+    if (size < min_bytes) size = RoundUp(min_bytes);
+    Block b;
+    b.data = std::make_unique<unsigned char[]>(size);
+    b.size = size;
+    blocks_.push_back(std::move(b));
+    offset_ = 0;
+  }
+
+  void* AllocateBytes(size_t bytes) {
+    bytes = RoundUp(bytes);
+    if (blocks_.empty() || offset_ + bytes > blocks_.back().size) {
+      AddBlock(bytes);
+    }
+    void* p = blocks_.back().data.get() + offset_;
+    offset_ += bytes;
+    used_ += bytes;
+    if (used_ > high_water_) high_water_ = used_;
+    return p;
+  }
+
+  size_t initial_bytes_;
+  std::vector<Block> blocks_;
+  size_t offset_ = 0;      ///< bump position in the last block
+  size_t used_ = 0;        ///< bytes handed out since Reset
+  size_t high_water_ = 0;  ///< max used_ ever seen (Reset coalesces to it)
+};
+
+/// RAII mark/rewind over an Arena: everything allocated inside the scope is
+/// reclaimed when it ends, so a kernel can borrow the caller's arena for
+/// scratch without leaking into sibling checks. Scopes must nest (strict
+/// LIFO), which the flat kernels' call structure guarantees.
+class ArenaScope {
+ public:
+  explicit ArenaScope(Arena* arena)
+      : arena_(arena),
+        block_(arena->blocks_.size()),
+        offset_(arena->offset_),
+        used_(arena->used_) {}
+
+  ArenaScope(const ArenaScope&) = delete;
+  ArenaScope& operator=(const ArenaScope&) = delete;
+
+  ~ArenaScope() {
+    // Blocks added inside the scope are kept (capacity is the point of the
+    // arena); only the bump positions rewind. A later Reset() coalesces.
+    if (arena_->blocks_.size() == block_) {
+      arena_->offset_ = offset_;
+    }
+    arena_->used_ = used_;
+  }
+
+  Arena* arena() const { return arena_; }
+
+ private:
+  Arena* arena_;
+  size_t block_;
+  size_t offset_;
+  size_t used_;
+};
+
+/// The per-thread scratch arena the flat kernels allocate from. Each
+/// ThreadPool worker (and the serial caller) gets its own, so checks
+/// fanning out across workers never contend; the bump state is reclaimed
+/// per check via ArenaScope and the block memory is reused for the
+/// thread's lifetime.
+inline Arena* ScratchArena() {
+  static thread_local Arena arena(size_t{1} << 14);
+  return &arena;
+}
+
+}  // namespace dislock
+
+#endif  // DISLOCK_UTIL_ARENA_H_

@@ -1,6 +1,7 @@
 #ifndef DISLOCK_UTIL_BITSET_H_
 #define DISLOCK_UTIL_BITSET_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
@@ -8,11 +9,83 @@
 
 namespace dislock {
 
+/// Word-level primitives shared by DynamicBitset and the flat kernels that
+/// operate on raw arena-allocated uint64_t rows (graph/csr.h). A "row" is
+/// `words` consecutive uint64_t covering bits [0, 64*words).
+namespace bits {
+
+inline constexpr size_t kNpos = static_cast<size_t>(-1);
+
+inline size_t WordsForBits(size_t bits) { return (bits + 63) / 64; }
+
+inline void SetBit(uint64_t* row, size_t i) {
+  row[i >> 6] |= (uint64_t{1} << (i & 63));
+}
+
+inline bool TestBit(const uint64_t* row, size_t i) {
+  return (row[i >> 6] >> (i & 63)) & 1;
+}
+
+/// row |= other over `words` words; returns the number of bits that were
+/// newly set (0 = fixpoint reached, the signal the closure loops watch).
+inline size_t OrWords(uint64_t* row, const uint64_t* other, size_t words) {
+  size_t changed = 0;
+  for (size_t w = 0; w < words; ++w) {
+    uint64_t before = row[w];
+    uint64_t after = before | other[w];
+    changed += static_cast<size_t>(__builtin_popcountll(after ^ before));
+    row[w] = after;
+  }
+  return changed;
+}
+
+/// row |= other without the changed-bit count — for bulk sweeps (e.g. the
+/// reachability matrix build) that never watch for a fixpoint.
+inline void OrWordsInto(uint64_t* row, const uint64_t* other, size_t words) {
+  for (size_t w = 0; w < words; ++w) row[w] |= other[w];
+}
+
+/// First set bit at position >= `from`, or kNpos. Word-scan: whole zero
+/// words are skipped eight bytes at a time.
+inline size_t FindNextBit(const uint64_t* row, size_t size, size_t from) {
+  if (from >= size) return kNpos;
+  size_t w = from >> 6;
+  uint64_t word = row[w] >> (from & 63);
+  if (word != 0) {
+    size_t bit = from + static_cast<size_t>(__builtin_ctzll(word));
+    return bit < size ? bit : kNpos;
+  }
+  const size_t words = WordsForBits(size);
+  for (++w; w < words; ++w) {
+    if (row[w] != 0) {
+      size_t bit = (w << 6) + static_cast<size_t>(__builtin_ctzll(row[w]));
+      return bit < size ? bit : kNpos;
+    }
+  }
+  return kNpos;
+}
+
+/// popcount(row & other) over `words` words, without materializing the
+/// intersection.
+inline size_t CountAndWords(const uint64_t* row, const uint64_t* other,
+                            size_t words) {
+  size_t n = 0;
+  for (size_t w = 0; w < words; ++w) {
+    n += static_cast<size_t>(__builtin_popcountll(row[w] & other[w]));
+  }
+  return n;
+}
+
+}  // namespace bits
+
 /// A fixed-size, heap-allocated bitset with word-parallel union, used for
 /// transitive-closure reachability matrices over transaction DAGs and
 /// conflict graphs.
 class DynamicBitset {
  public:
+  /// Sentinel returned by FindFirst/FindNext when no bit qualifies.
+  static constexpr size_t npos = bits::kNpos;
+
   DynamicBitset() = default;
   /// Creates a bitset of `size` bits, all clear.
   explicit DynamicBitset(size_t size)
@@ -39,6 +112,33 @@ class DynamicBitset {
   void UnionWith(const DynamicBitset& other) {
     DISLOCK_CHECK_EQ(size_, other.size_);
     for (size_t w = 0; w < words_.size(); ++w) words_[w] |= other.words_[w];
+  }
+
+  /// this |= other, returning how many bits were newly set. The flat
+  /// closure kernels drive their fixpoint loops off this count instead of
+  /// re-comparing whole rows.
+  size_t OrWith(const DynamicBitset& other) {
+    DISLOCK_CHECK_EQ(size_, other.size_);
+    return bits::OrWords(words_.data(), other.words_.data(), words_.size());
+  }
+
+  /// Position of the first set bit, or npos if none.
+  size_t FindFirst() const {
+    return bits::FindNextBit(words_.data(), size_, 0);
+  }
+
+  /// Position of the first set bit strictly after `i`, or npos. Iteration
+  /// idiom: `for (size_t b = s.FindFirst(); b != npos; b = s.FindNext(b))`.
+  size_t FindNext(size_t i) const {
+    return bits::FindNextBit(words_.data(), size_, i + 1);
+  }
+
+  /// popcount(this & other) without materializing the intersection. Sizes
+  /// must match.
+  size_t CountAndIntersect(const DynamicBitset& other) const {
+    DISLOCK_CHECK_EQ(size_, other.size_);
+    return bits::CountAndWords(words_.data(), other.words_.data(),
+                               words_.size());
   }
 
   /// Number of set bits.

@@ -1,0 +1,188 @@
+// Unit tests for DynamicBitset and the bits:: word-level primitives that
+// back the flat kernels (graph/csr.h). Every optimized operation is checked
+// against a naive bit-by-bit reference on randomized inputs.
+
+#include "util/bitset.h"
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/random.h"
+
+namespace dislock {
+namespace {
+
+// Naive reference: a bitset as a vector<bool>.
+std::vector<bool> RandomBits(size_t size, double density, Rng* rng) {
+  std::vector<bool> v(size);
+  for (size_t i = 0; i < size; ++i) {
+    v[i] = rng->Uniform(1000) < static_cast<uint64_t>(density * 1000);
+  }
+  return v;
+}
+
+DynamicBitset FromBools(const std::vector<bool>& v) {
+  DynamicBitset s(v.size());
+  for (size_t i = 0; i < v.size(); ++i) {
+    if (v[i]) s.Set(i);
+  }
+  return s;
+}
+
+TEST(DynamicBitset, OrWithCountsNewlySetBits) {
+  Rng rng(1);
+  // Sizes straddling word boundaries: 0, 1, 63..65, 127..129, odd.
+  for (size_t size : {size_t{1}, size_t{63}, size_t{64}, size_t{65},
+                      size_t{127}, size_t{128}, size_t{129}, size_t{1000}}) {
+    for (int trial = 0; trial < 20; ++trial) {
+      std::vector<bool> a = RandomBits(size, 0.3, &rng);
+      std::vector<bool> b = RandomBits(size, 0.3, &rng);
+      DynamicBitset sa = FromBools(a);
+      DynamicBitset sb = FromBools(b);
+      size_t expected_new = 0;
+      for (size_t i = 0; i < size; ++i) {
+        if (!a[i] && b[i]) ++expected_new;
+      }
+      EXPECT_EQ(sa.OrWith(sb), expected_new) << "size=" << size;
+      for (size_t i = 0; i < size; ++i) {
+        EXPECT_EQ(sa.Test(i), a[i] || b[i]) << "size=" << size << " i=" << i;
+      }
+      // A second OR with the same operand is a fixpoint: zero new bits.
+      EXPECT_EQ(sa.OrWith(sb), 0u);
+    }
+  }
+}
+
+TEST(DynamicBitset, FindFirstFindNextMatchNaiveScan) {
+  Rng rng(2);
+  for (size_t size : {size_t{1}, size_t{64}, size_t{65}, size_t{200},
+                      size_t{513}}) {
+    for (double density : {0.0, 0.01, 0.5, 1.0}) {
+      std::vector<bool> a = RandomBits(size, density, &rng);
+      DynamicBitset s = FromBools(a);
+      // Collect via the word-scan iteration idiom.
+      std::vector<size_t> fast;
+      for (size_t b = s.FindFirst(); b != DynamicBitset::npos;
+           b = s.FindNext(b)) {
+        fast.push_back(b);
+      }
+      std::vector<size_t> naive;
+      for (size_t i = 0; i < size; ++i) {
+        if (a[i]) naive.push_back(i);
+      }
+      EXPECT_EQ(fast, naive) << "size=" << size << " density=" << density;
+    }
+  }
+}
+
+TEST(DynamicBitset, FindFirstOnEmptyIsNpos) {
+  DynamicBitset s(130);
+  EXPECT_EQ(s.FindFirst(), DynamicBitset::npos);
+  s.Set(129);  // last bit, last word
+  EXPECT_EQ(s.FindFirst(), 129u);
+  EXPECT_EQ(s.FindNext(129), DynamicBitset::npos);
+  s.Reset(129);
+  s.Set(0);
+  EXPECT_EQ(s.FindFirst(), 0u);
+  EXPECT_EQ(s.FindNext(0), DynamicBitset::npos);
+}
+
+TEST(DynamicBitset, FindNextSkipsZeroWords) {
+  DynamicBitset s(64 * 5);
+  s.Set(3);
+  s.Set(64 * 4 + 17);  // four zero words apart
+  EXPECT_EQ(s.FindNext(3), static_cast<size_t>(64 * 4 + 17));
+}
+
+TEST(DynamicBitset, CountAndIntersectMatchesNaive) {
+  Rng rng(3);
+  for (size_t size : {size_t{1}, size_t{64}, size_t{100}, size_t{257}}) {
+    for (int trial = 0; trial < 20; ++trial) {
+      std::vector<bool> a = RandomBits(size, 0.4, &rng);
+      std::vector<bool> b = RandomBits(size, 0.4, &rng);
+      size_t expected = 0;
+      for (size_t i = 0; i < size; ++i) {
+        if (a[i] && b[i]) ++expected;
+      }
+      EXPECT_EQ(FromBools(a).CountAndIntersect(FromBools(b)), expected)
+          << "size=" << size;
+    }
+  }
+}
+
+TEST(BitsPrimitives, SetTestOrOnRawRows) {
+  Rng rng(4);
+  const size_t size = 200;
+  const size_t words = bits::WordsForBits(size);
+  ASSERT_EQ(words, 4u);
+  std::vector<uint64_t> row(words, 0), other(words, 0);
+  std::vector<bool> a = RandomBits(size, 0.3, &rng);
+  std::vector<bool> b = RandomBits(size, 0.3, &rng);
+  for (size_t i = 0; i < size; ++i) {
+    if (a[i]) bits::SetBit(row.data(), i);
+    if (b[i]) bits::SetBit(other.data(), i);
+  }
+  size_t expected_new = 0;
+  for (size_t i = 0; i < size; ++i) {
+    if (!a[i] && b[i]) ++expected_new;
+  }
+  EXPECT_EQ(bits::OrWords(row.data(), other.data(), words), expected_new);
+  for (size_t i = 0; i < size; ++i) {
+    EXPECT_EQ(bits::TestBit(row.data(), i), a[i] || b[i]) << i;
+  }
+  EXPECT_EQ(bits::OrWords(row.data(), other.data(), words), 0u);
+}
+
+TEST(BitsPrimitives, OrWordsIntoMatchesOrWordsResult) {
+  Rng rng(6);
+  const size_t size = 200;
+  const size_t words = bits::WordsForBits(size);
+  std::vector<uint64_t> counted(words, 0), plain(words, 0), other(words, 0);
+  std::vector<bool> a = RandomBits(size, 0.3, &rng);
+  std::vector<bool> b = RandomBits(size, 0.3, &rng);
+  for (size_t i = 0; i < size; ++i) {
+    if (a[i]) {
+      bits::SetBit(counted.data(), i);
+      bits::SetBit(plain.data(), i);
+    }
+    if (b[i]) bits::SetBit(other.data(), i);
+  }
+  bits::OrWords(counted.data(), other.data(), words);
+  bits::OrWordsInto(plain.data(), other.data(), words);
+  EXPECT_EQ(plain, counted);
+}
+
+TEST(BitsPrimitives, FindNextBitRespectsSizeInsideLastWord) {
+  // A bit beyond `size` but inside the last word must not be reported.
+  const size_t size = 70;
+  std::vector<uint64_t> row(bits::WordsForBits(size), 0);
+  row[1] |= uint64_t{1} << 10;  // bit 74 >= size
+  EXPECT_EQ(bits::FindNextBit(row.data(), size, 0), bits::kNpos);
+  EXPECT_EQ(bits::FindNextBit(row.data(), size, 100), bits::kNpos);
+  bits::SetBit(row.data(), 69);
+  EXPECT_EQ(bits::FindNextBit(row.data(), size, 0), 69u);
+  EXPECT_EQ(bits::FindNextBit(row.data(), size, 69), 69u);
+  EXPECT_EQ(bits::FindNextBit(row.data(), size, 70), bits::kNpos);
+}
+
+TEST(BitsPrimitives, CountAndWordsMatchesNaive) {
+  Rng rng(5);
+  const size_t size = 321;
+  const size_t words = bits::WordsForBits(size);
+  std::vector<uint64_t> ra(words, 0), rb(words, 0);
+  std::vector<bool> a = RandomBits(size, 0.5, &rng);
+  std::vector<bool> b = RandomBits(size, 0.5, &rng);
+  size_t expected = 0;
+  for (size_t i = 0; i < size; ++i) {
+    if (a[i]) bits::SetBit(ra.data(), i);
+    if (b[i]) bits::SetBit(rb.data(), i);
+    if (a[i] && b[i]) ++expected;
+  }
+  EXPECT_EQ(bits::CountAndWords(ra.data(), rb.data(), words), expected);
+}
+
+}  // namespace
+}  // namespace dislock

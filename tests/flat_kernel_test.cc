@@ -1,0 +1,406 @@
+// Differential tests of the flat CSR + bitset kernels (graph/csr.h and the
+// *Flat entry points) against the legacy pointer-heavy implementations, plus
+// unit tests of the Arena allocator that backs them.
+//
+// The flat kernels promise BYTE-IDENTICAL results, not merely equivalent
+// verdicts: component numberings, enumeration orders, Status messages and
+// serialized reports must all match, because the engine's deterministic
+// serial-scan replay (core/multi.h) folds those orders into user-visible
+// counters.
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/closure.h"
+#include "core/conflict_graph.h"
+#include "core/decision/context.h"
+#include "core/incremental/engine.h"
+#include "core/multi.h"
+#include "core/report.h"
+#include "core/verdict_cache.h"
+#include "graph/csr.h"
+#include "graph/cycles.h"
+#include "graph/digraph.h"
+#include "graph/dominator.h"
+#include "graph/reachability.h"
+#include "graph/scc.h"
+#include "sim/workload.h"
+#include "txn/catalog.h"
+#include "txn/system.h"
+#include "util/arena.h"
+#include "util/random.h"
+
+namespace dislock {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Arena
+// ---------------------------------------------------------------------------
+
+TEST(Arena, GrowsThenRunsAllocationFreeAfterReset) {
+  Arena arena(64);
+  arena.AllocateArray<uint64_t>(100);  // forces growth past 64 bytes
+  arena.AllocateArray<uint64_t>(100);
+  EXPECT_GE(arena.BytesUsed(), 1600u);
+  arena.Reset();
+  EXPECT_EQ(arena.BytesUsed(), 0u);
+  // Reset coalesced to the high-water mark: the same workload now fits in
+  // the single retained block.
+  EXPECT_EQ(arena.NumBlocks(), 1u);
+  size_t capacity = arena.BytesCapacity();
+  arena.AllocateArray<uint64_t>(100);
+  arena.AllocateArray<uint64_t>(100);
+  EXPECT_EQ(arena.NumBlocks(), 1u);
+  EXPECT_EQ(arena.BytesCapacity(), capacity);
+}
+
+TEST(Arena, ZeroedAllocationIsZero) {
+  Arena arena;
+  uint64_t* p = arena.AllocateZeroed<uint64_t>(37);
+  for (size_t i = 0; i < 37; ++i) EXPECT_EQ(p[i], 0u);
+}
+
+TEST(ArenaScope, RewindsNestedScopes) {
+  Arena arena(1 << 12);
+  arena.AllocateArray<int>(10);
+  size_t outer_used = arena.BytesUsed();
+  {
+    ArenaScope scope(&arena);
+    arena.AllocateArray<int>(1000);
+    {
+      ArenaScope inner(&arena);
+      arena.AllocateArray<int>(50);
+    }
+    EXPECT_GT(arena.BytesUsed(), outer_used);
+  }
+  EXPECT_EQ(arena.BytesUsed(), outer_used);
+  // The rewound bytes are handed out again — same block, no growth.
+  size_t blocks = arena.NumBlocks();
+  {
+    ArenaScope scope(&arena);
+    arena.AllocateArray<int>(1000);
+  }
+  EXPECT_EQ(arena.NumBlocks(), blocks);
+}
+
+// ---------------------------------------------------------------------------
+// Graph-kernel differentials on random digraphs
+// ---------------------------------------------------------------------------
+
+Digraph RandomDigraph(int n, double arc_probability, bool allow_self_loops,
+                      Rng* rng) {
+  Digraph g(n);
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v = 0; v < n; ++v) {
+      if (u == v && !allow_self_loops) continue;
+      if (rng->Uniform(1000) < static_cast<uint64_t>(arc_probability * 1000)) {
+        g.AddArc(u, v);
+      }
+    }
+  }
+  return g;
+}
+
+TEST(FlatKernel, CsrPreservesAdjacencyOrder) {
+  Rng rng(11);
+  for (int trial = 0; trial < 30; ++trial) {
+    int n = 1 + static_cast<int>(rng.Uniform(12));
+    Digraph g = RandomDigraph(n, 0.3, /*allow_self_loops=*/true, &rng);
+    Arena arena;
+    CsrGraph csr = BuildCsr(g, &arena);
+    ASSERT_EQ(csr.NumNodes(), g.NumNodes());
+    for (NodeId u = 0; u < n; ++u) {
+      std::vector<NodeId> flat(csr.begin(u), csr.end(u));
+      EXPECT_EQ(flat, g.OutNeighbors(u)) << "u=" << u;
+    }
+    CsrGraph rev = BuildReverseCsr(g, &arena);
+    for (NodeId u = 0; u < n; ++u) {
+      std::vector<NodeId> flat(rev.begin(u), rev.end(u));
+      EXPECT_EQ(flat, g.InNeighbors(u)) << "u=" << u;
+    }
+  }
+}
+
+TEST(FlatKernel, SccMatchesLegacyNumberingExactly) {
+  Rng rng(12);
+  for (int trial = 0; trial < 50; ++trial) {
+    int n = static_cast<int>(rng.Uniform(15));
+    Digraph g = RandomDigraph(n, 0.25, /*allow_self_loops=*/true, &rng);
+    SccResult legacy = StronglyConnectedComponents(g);
+    Arena arena;
+    FlatScc flat = SccOnCsr(BuildCsr(g, &arena), &arena);
+    ASSERT_EQ(flat.num_components, legacy.num_components) << "trial " << trial;
+    for (NodeId v = 0; v < n; ++v) {
+      EXPECT_EQ(flat.component[v], legacy.component[v])
+          << "trial " << trial << " v=" << v;
+    }
+    EXPECT_EQ(IsStronglyConnectedFlat(g), IsStronglyConnected(g));
+  }
+}
+
+TEST(FlatKernel, GroupSccMembersMatchesLegacyMemberLists) {
+  Rng rng(13);
+  for (int trial = 0; trial < 30; ++trial) {
+    int n = 1 + static_cast<int>(rng.Uniform(12));
+    Digraph g = RandomDigraph(n, 0.3, /*allow_self_loops=*/false, &rng);
+    SccResult legacy = StronglyConnectedComponents(g);
+    Arena arena;
+    FlatScc flat = SccOnCsr(BuildCsr(g, &arena), &arena);
+    FlatSccMembers members = GroupSccMembers(flat, n, &arena);
+    for (int c = 0; c < flat.num_components; ++c) {
+      std::vector<NodeId> flat_members(members.nodes + members.offsets[c],
+                                       members.nodes + members.offsets[c + 1]);
+      std::vector<NodeId> legacy_sorted = legacy.members[c];
+      std::sort(legacy_sorted.begin(), legacy_sorted.end());
+      EXPECT_EQ(flat_members, legacy_sorted) << "trial " << trial;
+    }
+  }
+}
+
+TEST(FlatKernel, ReachabilityFlatEqualsLegacy) {
+  Rng rng(14);
+  for (int trial = 0; trial < 40; ++trial) {
+    int n = static_cast<int>(rng.Uniform(14));
+    // Mix DAG-ish sparse and cyclic dense graphs: the legacy build uses the
+    // topological sweep on DAGs and per-node BFS on cyclic graphs.
+    double p = trial % 2 == 0 ? 0.15 : 0.4;
+    Digraph g = RandomDigraph(n, p, /*allow_self_loops=*/true, &rng);
+    Reachability flat(g, Reachability::Impl::kFlat);
+    Reachability legacy(g, Reachability::Impl::kLegacy);
+    for (NodeId u = 0; u < n; ++u) {
+      for (NodeId v = 0; v < n; ++v) {
+        EXPECT_EQ(flat.Reaches(u, v), legacy.Reaches(u, v))
+            << "trial " << trial << " u=" << u << " v=" << v;
+      }
+    }
+  }
+}
+
+TEST(FlatKernel, CyclesFlatEqualsLegacyIncludingOrder) {
+  Rng rng(15);
+  for (int trial = 0; trial < 40; ++trial) {
+    int n = static_cast<int>(rng.Uniform(9));
+    Digraph g = RandomDigraph(n, 0.3, /*allow_self_loops=*/true, &rng);
+    EXPECT_EQ(HasCycleFlat(g), HasCycle(g)) << "trial " << trial;
+    // Exact sequence equality: same cycles, same enumeration order. Also
+    // exercised with a budget small enough to truncate.
+    for (int64_t max_cycles : {int64_t{1} << 20, int64_t{5}}) {
+      EXPECT_EQ(SimpleCyclesFlat(g, max_cycles), SimpleCycles(g, max_cycles))
+          << "trial " << trial << " max_cycles=" << max_cycles;
+    }
+  }
+}
+
+TEST(FlatKernel, DominatorsFlatEqualsLegacyIncludingOrder) {
+  Rng rng(16);
+  for (int trial = 0; trial < 40; ++trial) {
+    int n = static_cast<int>(rng.Uniform(10));
+    Digraph g = RandomDigraph(n, 0.3, /*allow_self_loops=*/false, &rng);
+    auto legacy = FindDominator(g);
+    auto flat = FindDominatorFlat(g);
+    ASSERT_EQ(flat.ok(), legacy.ok()) << "trial " << trial;
+    if (flat.ok()) {
+      EXPECT_EQ(flat.value(), legacy.value()) << "trial " << trial;
+    } else {
+      EXPECT_EQ(flat.status().ToString(), legacy.status().ToString());
+    }
+    for (int64_t max_count : {int64_t{1} << 16, int64_t{3}}) {
+      EXPECT_EQ(AllDominatorsFlat(g, max_count), AllDominators(g, max_count))
+          << "trial " << trial << " max_count=" << max_count;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Closure and fingerprint differentials on random transaction pairs
+// ---------------------------------------------------------------------------
+
+void ExpectSameClosure(const Transaction& t1, const Transaction& t2,
+                       const std::vector<EntityId>& x_set, const char* what) {
+  auto legacy = CloseWithRespectTo(t1, t2, x_set);
+  auto flat = CloseWithRespectToFlat(t1, t2, x_set);
+  ASSERT_EQ(flat.ok(), legacy.ok()) << what;
+  if (!flat.ok()) {
+    EXPECT_EQ(flat.status().ToString(), legacy.status().ToString()) << what;
+    return;
+  }
+  EXPECT_EQ(flat.value().precedences_added, legacy.value().precedences_added)
+      << what;
+  EXPECT_EQ(flat.value().iterations, legacy.value().iterations) << what;
+  EXPECT_EQ(flat.value().t1.ToString(), legacy.value().t1.ToString()) << what;
+  EXPECT_EQ(flat.value().t2.ToString(), legacy.value().t2.ToString()) << what;
+}
+
+TEST(FlatKernel, ClosureFlatEqualsLegacyOnRandomPairs) {
+  Rng rng(17);
+  int interesting = 0;
+  for (int trial = 0; trial < 60; ++trial) {
+    WorkloadParams params;
+    params.num_sites = 1 + static_cast<int>(rng.Uniform(3));
+    params.num_entities = 3 + static_cast<int>(rng.Uniform(5));
+    params.num_transactions = 2;
+    params.lock_probability = 0.8;
+    params.cross_site_arcs = static_cast<int>(rng.Uniform(4));
+    Workload w = MakeRandomWorkload(params, &rng);
+    const Transaction& t1 = w.system->txn(0);
+    const Transaction& t2 = w.system->txn(1);
+    std::vector<EntityId> common = ConflictingEntities(t1, t2);
+    if (common.empty()) continue;
+    ++interesting;
+    // Candidate X: each singleton, a prefix, the full common set, a set
+    // with a duplicate, and one with a non-common entity.
+    for (EntityId e : common) {
+      ExpectSameClosure(t1, t2, {e}, "singleton");
+    }
+    if (common.size() >= 2) {
+      std::vector<EntityId> prefix(common.begin(), common.end() - 1);
+      ExpectSameClosure(t1, t2, prefix, "prefix");
+      ExpectSameClosure(t1, t2, {common[0], common[0]}, "duplicate");
+    }
+    ExpectSameClosure(t1, t2, common, "full set");
+    // A valid database entity that is not commonly locked, if one exists.
+    for (EntityId e = 0; e < params.num_entities; ++e) {
+      if (!std::binary_search(common.begin(), common.end(), e)) {
+        ExpectSameClosure(t1, t2, {common[0], e}, "non-common");
+        break;
+      }
+    }
+  }
+  // The generator parameters above must actually produce conflicting pairs.
+  EXPECT_GT(interesting, 10);
+}
+
+TEST(FlatKernel, PairFingerprintFlatIsByteIdentical) {
+  Rng rng(18);
+  for (int trial = 0; trial < 60; ++trial) {
+    WorkloadParams params;
+    params.num_sites = 1 + static_cast<int>(rng.Uniform(4));
+    params.num_entities = 2 + static_cast<int>(rng.Uniform(7));
+    params.num_transactions = 2;
+    params.lock_probability = 0.7;
+    params.shared_probability = trial % 3 == 0 ? 0.3 : 0.0;
+    params.update_probability = trial % 2 == 0 ? 0.2 : 0.0;
+    params.cross_site_arcs = static_cast<int>(rng.Uniform(4));
+    Workload w = MakeRandomWorkload(params, &rng);
+    const Transaction& t1 = w.system->txn(0);
+    const Transaction& t2 = w.system->txn(1);
+    EXPECT_EQ(PairFingerprintFlat(t1, t2), PairFingerprint(t1, t2))
+        << "trial " << trial;
+    EXPECT_EQ(PairFingerprintFlat(t2, t1), PairFingerprint(t2, t1))
+        << "trial " << trial << " (swapped)";
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Whole-engine differential: flat vs legacy, serial vs 4 threads, the
+// serialized report must be byte-identical in every configuration.
+// ---------------------------------------------------------------------------
+
+EngineConfig GridConfig(bool flat, int threads, bool cache) {
+  EngineConfig config;
+  config.max_cycles = 1 << 10;
+  config.max_extension_pairs = 1 << 14;
+  config.use_flat_kernel = flat;
+  config.num_threads = threads;
+  config.enable_cache = cache;
+  return config;
+}
+
+TEST(FlatKernel, MultiReportsByteIdenticalAcrossKernelAndThreads) {
+  Rng rng(19);
+  for (int trial = 0; trial < 12; ++trial) {
+    WorkloadParams params;
+    params.num_sites = 1 + static_cast<int>(rng.Uniform(3));
+    params.num_entities = 3 + static_cast<int>(rng.Uniform(5));
+    params.num_transactions = 2 + static_cast<int>(rng.Uniform(4));
+    params.lock_probability = 0.6;
+    params.cross_site_arcs = static_cast<int>(rng.Uniform(3));
+    Workload w = MakeRandomWorkload(params, &rng);
+    for (bool cache : {false, true}) {
+      MultiSafetyReport baseline =
+          AnalyzeMultiSafety(*w.system, GridConfig(false, 1, cache));
+      std::string expected = MultiReportToJson(baseline, *w.system);
+      for (bool flat : {true, false}) {
+        for (int threads : {1, 4}) {
+          if (!flat && threads == 1 && !cache) continue;  // the baseline
+          MultiSafetyReport report =
+              AnalyzeMultiSafety(*w.system, GridConfig(flat, threads, cache));
+          EXPECT_EQ(MultiReportToJson(report, *w.system), expected)
+              << "trial " << trial << " flat=" << flat
+              << " threads=" << threads << " cache=" << cache;
+        }
+      }
+    }
+  }
+}
+
+TEST(FlatKernel, IncrementalEngineMatchesAcrossKernels) {
+  Rng rng(20);
+  WorkloadParams params;
+  params.num_sites = 2;
+  params.num_entities = 6;
+  params.num_transactions = 5;
+  params.lock_probability = 0.6;
+  Workload w = MakeRandomWorkload(params, &rng);
+
+  auto run = [&](bool flat, bool cache) {
+    TransactionCatalog catalog(w.db.get());
+    for (int i = 0; i < w.system->NumTransactions(); ++i) {
+      EXPECT_TRUE(catalog.Add(w.system->txn(i)).ok());
+    }
+    EngineConfig config = GridConfig(flat, 1, cache);
+    EngineContext ctx(config);
+    IncrementalSafetyEngine engine(&catalog, &ctx);
+    MultiSafetyReport first = engine.Check();
+    MultiSafetyReport second = engine.Check();  // exercises the reuse path
+    first.delta.reset();
+    second.delta.reset();
+    CatalogSnapshot snap = catalog.Snapshot();
+    return std::make_pair(MultiReportToJson(first, snap.View()),
+                          MultiReportToJson(second, snap.View()));
+  };
+  for (bool cache : {false, true}) {
+    auto [flat_first, flat_second] = run(/*flat=*/true, cache);
+    auto [legacy_first, legacy_second] = run(/*flat=*/false, cache);
+    EXPECT_EQ(flat_first, legacy_first) << "cache=" << cache;
+    EXPECT_EQ(flat_second, legacy_second) << "cache=" << cache;
+    EXPECT_EQ(flat_first, flat_second) << "cache=" << cache;
+  }
+}
+
+// The flat kernels borrow the caller thread's ScratchArena via ArenaScope;
+// after an analysis returns, the arena's bump state must be fully rewound —
+// a leak here would couple successive checks' scratch memory.
+TEST(FlatKernel, ScratchArenaStateRewindsBetweenChecks) {
+  Rng rng(21);
+  WorkloadParams params;
+  params.num_sites = 2;
+  params.num_entities = 5;
+  params.num_transactions = 4;
+  Workload w = MakeRandomWorkload(params, &rng);
+
+  Arena* arena = ScratchArena();
+  arena->Reset();
+  EngineConfig config = GridConfig(/*flat=*/true, /*threads=*/1,
+                                   /*cache=*/false);
+  MultiSafetyReport first = AnalyzeMultiSafety(*w.system, config);
+  EXPECT_EQ(arena->BytesUsed(), 0u)
+      << "flat kernels leaked arena bytes past their scopes";
+  // Steady state: a second identical analysis reuses the grown capacity
+  // (no new blocks) and reproduces the report byte for byte.
+  arena->Reset();
+  size_t capacity = arena->BytesCapacity();
+  MultiSafetyReport second = AnalyzeMultiSafety(*w.system, config);
+  EXPECT_EQ(arena->BytesUsed(), 0u);
+  EXPECT_EQ(arena->NumBlocks(), 1u);
+  EXPECT_EQ(arena->BytesCapacity(), capacity);
+  EXPECT_EQ(MultiReportToJson(first, *w.system),
+            MultiReportToJson(second, *w.system));
+}
+
+}  // namespace
+}  // namespace dislock

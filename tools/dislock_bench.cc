@@ -31,18 +31,26 @@
 #include <string>
 #include <vector>
 
+#include "core/closure.h"
+#include "core/conflict_graph.h"
 #include "core/decision/context.h"
 #include "core/incremental/engine.h"
 #include "core/multi.h"
+#include "core/paper.h"
 #include "core/policy.h"
 #include "core/report.h"
 #include "core/stats_export.h"
 #include "core/verdict_cache.h"
 #include "core/wire_keys.h"
+#include "graph/cycles.h"
+#include "graph/dominator.h"
+#include "graph/reachability.h"
+#include "graph/scc.h"
 #include "obs/observability.h"
 #include "sim/workload.h"
 #include "txn/catalog.h"
 #include "util/flags.h"
+#include "util/random.h"
 #include "util/string_util.h"
 #include "util/thread_pool.h"
 
@@ -223,6 +231,236 @@ EditStreamRow RunEditStream(const std::string& name, const Workload& base,
   return row;
 }
 
+// ---------------------------------------------------------------------------
+// --bench=kernel: the flat-kernel microbench family (BENCH_kernel.json).
+// Each row times one kernel flat vs legacy on the same input and verifies
+// the outputs are identical — the differential contract, re-checked under
+// the measurement harness. Everything here is single-threaded by design:
+// the family isolates data-structure wins from parallel scaling.
+// ---------------------------------------------------------------------------
+
+struct KernelRow {
+  std::string name;    ///< workload, e.g. "multi/dense_k12"
+  std::string kernel;  ///< scc | reach | dominator | closure | cycles | multi
+  double flat_ms = 0;
+  double legacy_ms = 0;
+  bool identical = true;
+  double Speedup() const { return flat_ms > 0 ? legacy_ms / flat_ms : 0.0; }
+};
+
+struct KernelBenchResult {
+  std::vector<KernelRow> rows;
+  bool all_identical = true;
+  /// max over rows of flat_ms / legacy_ms (> 1 means the flat kernel lost).
+  double max_slowdown = 0;
+};
+
+KernelBenchResult RunKernelBench(bool quick, int reps) {
+  KernelBenchResult result;
+  Rng rng(42);
+  auto add = [&](KernelRow row) {
+    result.all_identical = result.all_identical && row.identical;
+    if (row.legacy_ms > 0) {
+      result.max_slowdown =
+          std::max(result.max_slowdown, row.flat_ms / row.legacy_ms);
+    }
+    std::printf("%-24s flat=%8.3fms legacy=%8.3fms speedup=%6.2fx %s\n",
+                row.name.c_str(), row.flat_ms, row.legacy_ms, row.Speedup(),
+                row.identical ? "identical" : "OUTPUTS DIFFER");
+    result.rows.push_back(std::move(row));
+  };
+
+  // ---- Whole-engine rows: AnalyzeMultiSafety, one thread, flat vs
+  // legacy, byte-compared reports. dense_k12 is the headline row (the
+  // cycle-check regime the flat B_c kernel targets). ----
+  std::vector<BenchCase> cases;
+  cases.push_back({"multi/ring_k16", "multi", 16, MakeRingSystem(16)});
+  cases.push_back({"multi/dense_k12", "multi", 12, MakeDenseSystem(12, 3)});
+  {
+    PaperInstance fig5 = MakeFig5Instance();
+    BenchCase c;
+    c.name = "multi/fig5";
+    c.kind = "multi";
+    c.k = fig5.system->NumTransactions();
+    c.workload.db = fig5.db;
+    c.workload.system = fig5.system;
+    cases.push_back(std::move(c));
+  }
+  for (const BenchCase& bench : cases) {
+    const TransactionSystem& system = *bench.workload.system;
+    KernelRow row;
+    row.name = bench.name;
+    row.kernel = "multi";
+    MultiSafetyOptions flat_opts;
+    flat_opts.max_cycles = 1 << 14;
+    flat_opts.use_flat_kernel = true;
+    MultiSafetyOptions legacy_opts = flat_opts;
+    legacy_opts.use_flat_kernel = false;
+    MultiSafetyReport flat_report = AnalyzeMultiSafety(system, flat_opts);
+    row.flat_ms = TimeMs(reps, [&] {
+      flat_report = AnalyzeMultiSafety(system, flat_opts);
+    });
+    MultiSafetyReport legacy_report = AnalyzeMultiSafety(system, legacy_opts);
+    row.legacy_ms = TimeMs(reps, [&] {
+      legacy_report = AnalyzeMultiSafety(system, legacy_opts);
+    });
+    row.identical = MultiReportToJson(flat_report, system) ==
+                    MultiReportToJson(legacy_report, system);
+    add(std::move(row));
+  }
+
+  // ---- Graph microkernels on the two-site scaling pair (sim/workload.h):
+  // strongly connected D for SCC/reachability, the unsafe variant (which
+  // has dominators) for the dominator and closure kernels. Cheap kernels
+  // run kIters times per timing sample so a sample is well above clock
+  // granularity; the flat/legacy ratio is unaffected. ----
+  const int n_safe = quick ? 48 : 96;
+  const int n_unsafe = quick ? 24 : 48;
+  const int kIters = 20;
+  Workload safe_pair = MakeTwoSiteScalingPair(n_safe, /*safe=*/true, &rng);
+  Workload unsafe_pair =
+      MakeTwoSiteScalingPair(n_unsafe, /*safe=*/false, &rng);
+  ConflictGraph d_safe = BuildConflictGraph(safe_pair.system->txn(0),
+                                            safe_pair.system->txn(1));
+  ConflictGraph d_unsafe = BuildConflictGraph(unsafe_pair.system->txn(0),
+                                              unsafe_pair.system->txn(1));
+
+  {
+    KernelRow row;
+    row.name = StrCat("scc/two_site_n", n_safe);
+    row.kernel = "scc";
+    int flat_count = 0;
+    int legacy_count = 0;
+    row.flat_ms = TimeMs(reps, [&] {
+      flat_count = 0;
+      for (int i = 0; i < kIters; ++i) {
+        flat_count += IsStronglyConnectedFlat(d_safe.graph) ? 1 : 0;
+      }
+    });
+    row.legacy_ms = TimeMs(reps, [&] {
+      legacy_count = 0;
+      for (int i = 0; i < kIters; ++i) {
+        legacy_count += IsStronglyConnected(d_safe.graph) ? 1 : 0;
+      }
+    });
+    row.identical = flat_count == legacy_count &&
+                    IsStronglyConnectedFlat(d_unsafe.graph) ==
+                        IsStronglyConnected(d_unsafe.graph);
+    add(std::move(row));
+  }
+
+  {
+    // The step-order DAG of one scaling transaction (~4 * n_safe nodes) —
+    // the reachability matrix every closure/conflict query runs on.
+    const Digraph& order = safe_pair.system->txn(0).order();
+    KernelRow row;
+    row.name = StrCat("reach/order_n", order.NumNodes());
+    row.kernel = "reach";
+    size_t flat_sink = 0;
+    size_t legacy_sink = 0;
+    row.flat_ms = TimeMs(reps, [&] {
+      flat_sink = 0;
+      for (int i = 0; i < kIters; ++i) {
+        Reachability r(order, Reachability::Impl::kFlat);
+        flat_sink += r.Reaches(0, order.NumNodes() - 1) ? 1 : 0;
+      }
+    });
+    row.legacy_ms = TimeMs(reps, [&] {
+      legacy_sink = 0;
+      for (int i = 0; i < kIters; ++i) {
+        Reachability r(order, Reachability::Impl::kLegacy);
+        legacy_sink += r.Reaches(0, order.NumNodes() - 1) ? 1 : 0;
+      }
+    });
+    Reachability flat(order, Reachability::Impl::kFlat);
+    Reachability legacy(order, Reachability::Impl::kLegacy);
+    bool same = flat_sink == legacy_sink;
+    for (NodeId u = 0; u < order.NumNodes() && same; ++u) {
+      for (NodeId v = 0; v < order.NumNodes(); ++v) {
+        if (flat.Reaches(u, v) != legacy.Reaches(u, v)) {
+          same = false;
+          break;
+        }
+      }
+    }
+    row.identical = same;
+    add(std::move(row));
+  }
+
+  {
+    KernelRow row;
+    row.name = StrCat("dominator/two_site_n", n_unsafe);
+    row.kernel = "dominator";
+    constexpr int64_t kMaxDoms = 1 << 10;
+    std::vector<std::vector<NodeId>> flat_doms;
+    std::vector<std::vector<NodeId>> legacy_doms;
+    row.flat_ms = TimeMs(reps, [&] {
+      for (int i = 0; i < kIters; ++i) {
+        flat_doms = AllDominatorsFlat(d_unsafe.graph, kMaxDoms);
+      }
+    });
+    row.legacy_ms = TimeMs(reps, [&] {
+      for (int i = 0; i < kIters; ++i) {
+        legacy_doms = AllDominators(d_unsafe.graph, kMaxDoms);
+      }
+    });
+    row.identical = flat_doms == legacy_doms;
+    add(std::move(row));
+  }
+
+  {
+    auto dom = FindDominator(d_unsafe.graph);
+    DISLOCK_CHECK(dom.ok());
+    std::vector<EntityId> x_set = d_unsafe.EntitiesOf(dom.value());
+    const Transaction& t1 = unsafe_pair.system->txn(0);
+    const Transaction& t2 = unsafe_pair.system->txn(1);
+    KernelRow row;
+    row.name = StrCat("closure/two_site_n", n_unsafe);
+    row.kernel = "closure";
+    Result<ClosureResult> flat_result = CloseWithRespectToFlat(t1, t2, x_set);
+    row.flat_ms = TimeMs(reps, [&] {
+      flat_result = CloseWithRespectToFlat(t1, t2, x_set);
+    });
+    Result<ClosureResult> legacy_result = CloseWithRespectTo(t1, t2, x_set);
+    row.legacy_ms = TimeMs(reps, [&] {
+      legacy_result = CloseWithRespectTo(t1, t2, x_set);
+    });
+    row.identical =
+        flat_result.ok() == legacy_result.ok() && flat_result.ok() &&
+        flat_result.value().precedences_added ==
+            legacy_result.value().precedences_added &&
+        flat_result.value().iterations == legacy_result.value().iterations &&
+        flat_result.value().t1.ToString() ==
+            legacy_result.value().t1.ToString() &&
+        flat_result.value().t2.ToString() ==
+            legacy_result.value().t2.ToString();
+    add(std::move(row));
+  }
+
+  {
+    // Johnson enumeration on the complete conflict graph of dense_k12,
+    // capped like the engine caps it.
+    Workload dense = MakeDenseSystem(12, 3);
+    Digraph g = BuildTransactionConflictGraph(*dense.system);
+    constexpr int64_t kMaxCycles = 1 << 14;
+    KernelRow row;
+    row.name = "cycles/dense_k12";
+    row.kernel = "cycles";
+    std::vector<std::vector<NodeId>> flat_cycles;
+    std::vector<std::vector<NodeId>> legacy_cycles;
+    row.flat_ms = TimeMs(reps, [&] {
+      flat_cycles = SimpleCyclesFlat(g, kMaxCycles);
+    });
+    row.legacy_ms = TimeMs(reps, [&] {
+      legacy_cycles = SimpleCycles(g, kMaxCycles);
+    });
+    row.identical = flat_cycles == legacy_cycles;
+    add(std::move(row));
+  }
+
+  return result;
+}
+
 }  // namespace
 }  // namespace dislock
 
@@ -230,11 +468,23 @@ namespace {
 
 int BenchUsage() {
   std::fprintf(stderr,
-               "usage: dislock_bench [--quick] [--reps N] [--out path]\n"
+               "usage: dislock_bench [--bench=all|multi|kernel] [--quick]\n"
+               "                     [--reps N] [--out path]\n"
+               "                     [--kernel-slowdown-limit X]\n"
                "%s"
+               "  --bench=NAME      which family to run: multi (the parallel\n"
+               "                    engine + incremental edit stream), kernel\n"
+               "                    (flat-vs-legacy microbenches), or all\n"
+               "                    (default)\n"
+               "  --kernel-slowdown-limit X\n"
+               "                    fail (exit 1) if any kernel row's flat\n"
+               "                    time exceeds X * legacy time (default "
+               "1.1)\n"
                "  --out path        also directs the incremental edit-stream\n"
                "                    table to <path dir>/BENCH_incremental."
-               "json\n",
+               "json\n"
+               "                    and the kernel table to <path dir>/"
+               "BENCH_kernel.json\n",
                dislock::CommonFlagsHelp(dislock::kThreadsFlag |
                                         dislock::kCacheFlag |
                                         dislock::kObsFlags)
@@ -249,6 +499,8 @@ int main(int argc, char** argv) {
   bool quick = false;
   int reps = 0;     // 0 = pick per mode below
   const char* out_path = "BENCH_multi.json";
+  std::string bench_mode = "all";
+  double slowdown_limit = 1.1;
   CommonFlags flags;
   flags.num_threads = 0;  // bench default: one worker per hardware thread
   constexpr unsigned kAccepted = kThreadsFlag | kCacheFlag | kObsFlags;
@@ -272,6 +524,16 @@ int main(int argc, char** argv) {
       reps = std::atoi(argv[++i]);
     } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
       out_path = argv[++i];
+    } else if (std::strncmp(argv[i], "--bench=", 8) == 0) {
+      bench_mode = argv[i] + 8;
+      if (bench_mode != "all" && bench_mode != "multi" &&
+          bench_mode != "kernel") {
+        ReportBadFlag("dislock_bench", "--bench must be all|multi|kernel");
+        return BenchUsage();
+      }
+    } else if (std::strcmp(argv[i], "--kernel-slowdown-limit") == 0 &&
+               i + 1 < argc) {
+      slowdown_limit = std::atof(argv[++i]);
     } else {
       ReportUnknownArgument("dislock_bench", argv[i]);
       return BenchUsage();
@@ -285,6 +547,30 @@ int main(int argc, char** argv) {
   const int effective_threads =
       threads <= 0 ? ThreadPool::HardwareThreads() : threads;
 
+  // Honesty note for CI artifacts: when the requested worker count exceeds
+  // the machine's hardware threads, the parallel columns measure
+  // oversubscription, not scaling. The note travels inside every JSON this
+  // tool writes so a baseline can never silently claim a speedup the
+  // runner could not have produced.
+  std::string ci_note;
+  if (effective_threads > ThreadPool::HardwareThreads()) {
+    ci_note = StrCat("threads=", effective_threads,
+                     " exceeds hardware_threads=",
+                     ThreadPool::HardwareThreads(),
+                     "; parallel timings measure oversubscription, not "
+                     "parallel scaling");
+  }
+  auto ci_note_json = [&ci_note] {
+    return ci_note.empty()
+               ? std::string()
+               : StrCat(", \"ci_note\": \"", ci_note, "\"");
+  };
+
+  bool all_identical = true;
+  bool inc_ok = true;
+  bool kernel_ok = true;
+
+  if (bench_mode != "kernel") {
   std::vector<BenchCase> cases;
   for (int k : quick ? std::vector<int>{8} : std::vector<int>{8, 12, 16}) {
     cases.push_back({StrCat("ring_k", k), "ring", k, MakeRingSystem(k)});
@@ -299,10 +585,9 @@ int main(int argc, char** argv) {
        << ", \"bench\": \"multi_safety_parallel\", \"threads\": "
        << effective_threads
        << ", \"hardware_threads\": " << ThreadPool::HardwareThreads()
-       << ", \"reps\": " << reps << ", \"quick\": "
+       << ci_note_json() << ", \"reps\": " << reps << ", \"quick\": "
        << (quick ? "true" : "false") << ", \"workloads\": [";
 
-  bool all_identical = true;
   for (size_t c = 0; c < cases.size(); ++c) {
     const BenchCase& bench = cases[c];
     const TransactionSystem& system = *bench.workload.system;
@@ -412,14 +697,13 @@ int main(int argc, char** argv) {
   rows.push_back(
       RunEditStream("dense_k12", MakeDenseSystem(12, 3), edits, inc_opts));
 
-  bool inc_ok = true;
   std::ostringstream inc_json;
   inc_json << "{\"" << wire::kSchemaVersionKey << "\": "
            << wire::kSchemaVersion
            << ", \"bench\": \"incremental_edit_stream\", \"threads\": "
            << effective_threads
            << ", \"hardware_threads\": " << ThreadPool::HardwareThreads()
-           << ", \"edits\": " << edits << ", \"quick\": "
+           << ci_note_json() << ", \"edits\": " << edits << ", \"quick\": "
            << (quick ? "true" : "false") << ", \"workloads\": [";
   for (size_t r = 0; r < rows.size(); ++r) {
     const EditStreamRow& row = rows[r];
@@ -463,6 +747,49 @@ int main(int argc, char** argv) {
   inc_out << inc_json.str() << "\n";
   inc_out.close();
   std::printf("wrote %s\n", inc_path.c_str());
+  }  // bench_mode != "kernel"
+
+  if (bench_mode != "multi") {
+    KernelBenchResult kb = RunKernelBench(quick, reps);
+    kernel_ok = kb.all_identical && kb.max_slowdown <= slowdown_limit;
+    std::ostringstream kj;
+    kj << "{\"" << wire::kSchemaVersionKey << "\": " << wire::kSchemaVersion
+       << ", \"bench\": \"flat_kernel\", \"threads\": 1"
+       << ", \"hardware_threads\": " << ThreadPool::HardwareThreads()
+       // No ci_note here: every kernel row is timed serially, so the
+       // oversubscription caveat for --threads never applies to this file.
+       << ", \"reps\": " << reps << ", \"quick\": "
+       << (quick ? "true" : "false")
+       << ", \"slowdown_limit\": " << slowdown_limit << ", \"workloads\": [";
+    for (size_t r = 0; r < kb.rows.size(); ++r) {
+      const KernelRow& row = kb.rows[r];
+      if (r > 0) kj << ", ";
+      kj << "{\"name\": \"" << row.name << "\", \"kernel\": \"" << row.kernel
+         << "\", \"flat_ms\": " << row.flat_ms
+         << ", \"legacy_ms\": " << row.legacy_ms
+         << ", \"speedup\": " << row.Speedup()
+         << ", \"reports_identical\": "
+         << (row.identical ? "true" : "false") << "}";
+    }
+    kj << "], \"all_identical\": " << (kb.all_identical ? "true" : "false")
+       << ", \"max_slowdown\": " << kb.max_slowdown
+       << ", \"ok\": " << (kernel_ok ? "true" : "false") << "}";
+
+    std::string kernel_path = "BENCH_kernel.json";
+    {
+      std::string out_str(out_path);
+      size_t slash = out_str.rfind('/');
+      if (slash != std::string::npos) {
+        kernel_path = out_str.substr(0, slash + 1) + kernel_path;
+      }
+    }
+    std::ofstream kernel_out(kernel_path);
+    kernel_out << kj.str() << "\n";
+    kernel_out.close();
+    std::printf("wrote %s (%s, max_slowdown=%.3f, limit=%.2f)\n",
+                kernel_path.c_str(), kernel_ok ? "ok" : "FAILED",
+                kb.max_slowdown, slowdown_limit);
+  }
 
   std::string obs_error;
   if (!bundle.Flush(&obs_error)) {
@@ -470,6 +797,7 @@ int main(int argc, char** argv) {
   }
 
   // Determinism is the contract; a differing report is a bug regardless of
-  // the measured speedup.
-  return all_identical && inc_ok ? 0 : 1;
+  // the measured speedup. The kernel family additionally gates on the
+  // flat-vs-legacy slowdown limit.
+  return all_identical && inc_ok && kernel_ok ? 0 : 1;
 }
