@@ -1,36 +1,16 @@
 #include "core/incremental/engine.h"
 
 #include <algorithm>
-#include <atomic>
-#include <future>
+#include <optional>
 #include <string>
 #include <unordered_set>
 
 #include "core/decision/context.h"
-#include "core/verdict_cache.h"
 #include "core/wire_keys.h"
 #include "graph/cycles.h"
 #include "obs/trace.h"
-#include "util/thread_pool.h"
 
 namespace dislock {
-
-namespace {
-
-/// Canonical key of a directed TxnId cycle: rotated so the smallest id
-/// (unique — simple cycles repeat no vertex) comes first, direction
-/// preserved. B_c is built from the cyclic subpath structure, so it is
-/// invariant under rotation but not under reversal.
-std::vector<TxnId> CanonicalCycleKey(const std::vector<TxnId>& cycle) {
-  auto min_it = std::min_element(cycle.begin(), cycle.end());
-  std::vector<TxnId> key;
-  key.reserve(cycle.size());
-  key.insert(key.end(), min_it, cycle.end());
-  key.insert(key.end(), cycle.begin(), min_it);
-  return key;
-}
-
-}  // namespace
 
 IncrementalSafetyEngine::IncrementalSafetyEngine(
     const TransactionCatalog* catalog, EngineContext* ctx)
@@ -42,8 +22,7 @@ IncrementalSafetyEngine::IncrementalSafetyEngine(
 void IncrementalSafetyEngine::Reset() {
   prev_.clear();
   has_prev_ = false;
-  pair_store_.clear();
-  cycle_store_.clear();
+  store_.Clear();
 }
 
 MultiSafetyReport IncrementalSafetyEngine::Check() {
@@ -86,26 +65,7 @@ MultiSafetyReport IncrementalSafetyEngine::Check() {
   // the edited transaction's incident pairs and the cycles through it. ----
   std::optional<obs::TraceSpan> invalidate_span;
   invalidate_span.emplace(ctx_->trace(), wire::kSpanIncrementalInvalidate);
-  if (!edited.empty()) {
-    for (auto it = pair_store_.begin(); it != pair_store_.end();) {
-      if (edited.count(it->first.first) != 0 ||
-          edited.count(it->first.second) != 0) {
-        it = pair_store_.erase(it);
-      } else {
-        ++it;
-      }
-    }
-    for (auto it = cycle_store_.begin(); it != cycle_store_.end();) {
-      bool touched = false;
-      for (TxnId id : it->first) touched = touched || edited.count(id) != 0;
-      if (touched) {
-        it = cycle_store_.erase(it);
-      } else {
-        ++it;
-      }
-    }
-  }
-
+  store_.Invalidate(edited);
   invalidate_span.reset();
 
   // ---- Condition (a): decide the dirty conflicting pairs, reuse the
@@ -114,83 +74,22 @@ MultiSafetyReport IncrementalSafetyEngine::Check() {
   pairs_span.emplace(ctx_->trace(), wire::kSpanIncrementalPairs);
   Digraph g = BuildTransactionConflictGraph(view);
   std::vector<std::pair<int, int>> pairs = ConflictingPairs(g);
-  auto key_of = [&snap](const std::pair<int, int>& p) {
+  std::vector<std::pair<TxnId, TxnId>> keys;
+  keys.reserve(pairs.size());
+  for (const auto& p : pairs) {
     TxnId a = snap.id(p.first);
     TxnId b = snap.id(p.second);
-    return std::make_pair(std::min(a, b), std::max(a, b));
-  };
-  std::vector<size_t> dirty;
-  for (size_t p = 0; p < pairs.size(); ++p) {
-    if (pair_store_.find(key_of(pairs[p])) == pair_store_.end()) {
-      dirty.push_back(p);
-    }
+    keys.emplace_back(std::min(a, b), std::max(a, b));
   }
-  delta.pairs_recomputed = static_cast<int64_t>(dirty.size());
-  delta.pairs_reused = static_cast<int64_t>(pairs.size() - dirty.size());
-
-  // Mirror the batch path's per-pair config (core/multi.cc) so a stored
-  // report is bit-identical to the one a scratch run would compute.
-  ThreadPool* pool = ctx_->pool();
-  EngineConfig pair_config = options;
-  pair_config.cache = nullptr;
-  pair_config.enable_cache = false;
-  if (pool != nullptr) pair_config.num_threads = 1;
-  // All dirty pairs are computed — no early exit — so the store state
-  // after this loop is thread-count-independent.
-  std::vector<PairSafetyReport> dirty_reports(dirty.size());
-  auto run_pair = [&](size_t d) {
-    const std::pair<int, int>& p = pairs[dirty[d]];
-    dirty_reports[d] =
-        AnalyzePairSafety(view.txn(p.first), view.txn(p.second), pair_config);
-  };
-  if (pool != nullptr && dirty.size() > 1) {
-    std::vector<std::future<void>> futures;
-    futures.reserve(dirty.size());
-    for (size_t d = 0; d < dirty.size(); ++d) {
-      futures.push_back(pool->Submit([&, d] { run_pair(d); }));
-    }
-    for (auto& f : futures) f.get();
-  } else {
-    for (size_t d = 0; d < dirty.size(); ++d) run_pair(d);
-  }
-  for (size_t d = 0; d < dirty.size(); ++d) {
-    pair_store_.emplace(key_of(pairs[dirty[d]]), std::move(dirty_reports[d]));
-  }
+  delta.pairs_recomputed = DecideDirtyPairs(view, pairs, keys, ctx_, &store_);
+  delta.pairs_reused =
+      static_cast<int64_t>(pairs.size()) - delta.pairs_recomputed;
 
   // ---- Replay the serial memoized scan exactly as a fresh-context
-  // scratch run would: fingerprint groups when the config asks for a
-  // verdict cache (whose initial state in a fresh context is empty, hence
-  // cached_safe is never set), singleton groups otherwise. ----
-  std::vector<ScanPair> scan;
-  scan.reserve(pairs.size());
-  int num_groups = 0;
-  if (options.cache != nullptr || options.enable_cache) {
-    std::unordered_map<std::string, int> group_index;
-    for (size_t p = 0; p < pairs.size(); ++p) {
-      std::string fp =
-          options.use_flat_kernel
-              ? PairFingerprintFlat(view.txn(pairs[p].first),
-                                    view.txn(pairs[p].second))
-              : PairFingerprint(view.txn(pairs[p].first),
-                                view.txn(pairs[p].second));
-      auto [it, inserted] = group_index.emplace(std::move(fp), num_groups);
-      if (inserted) ++num_groups;
-      ScanPair sp;
-      sp.txns = pairs[p];
-      sp.group = it->second;
-      sp.report = &pair_store_.at(key_of(pairs[p]));
-      scan.push_back(sp);
-    }
-  } else {
-    num_groups = static_cast<int>(pairs.size());
-    for (size_t p = 0; p < pairs.size(); ++p) {
-      ScanPair sp;
-      sp.txns = pairs[p];
-      sp.group = static_cast<int>(p);
-      sp.report = &pair_store_.at(key_of(pairs[p]));
-      scan.push_back(sp);
-    }
-  }
+  // scratch run would (core/incremental/store.h). ----
+  auto [scan, num_groups] = BuildStoredPairScan(
+      view, pairs,
+      [&](size_t p) { return &store_.pairs.at(keys[p]); }, options);
   std::optional<size_t> failing = ReplayPairScan(scan, num_groups, {}, &report);
   pairs_span.reset();
 
@@ -211,59 +110,28 @@ MultiSafetyReport IncrementalSafetyEngine::Check() {
       if (cycle.size() < min_len) continue;
       to_check.emplace_back(cycle.begin(), cycle.end());
     }
-    std::vector<std::vector<TxnId>> keys;
-    keys.reserve(to_check.size());
+    std::vector<std::vector<TxnId>> cycle_keys;
+    cycle_keys.reserve(to_check.size());
     for (const auto& cycle : to_check) {
       std::vector<TxnId> ids;
       ids.reserve(cycle.size());
       for (int v : cycle) ids.push_back(snap.id(v));
-      keys.push_back(CanonicalCycleKey(ids));
+      cycle_keys.push_back(CanonicalCycleKey(ids));
     }
-    std::vector<size_t> dirty_cycles;
-    for (size_t c = 0; c < to_check.size(); ++c) {
-      if (cycle_store_.find(keys[c]) == cycle_store_.end()) {
-        dirty_cycles.push_back(c);
-      }
-    }
-    delta.cycles_recomputed = static_cast<int64_t>(dirty_cycles.size());
-    delta.cycles_reused =
-        static_cast<int64_t>(to_check.size() - dirty_cycles.size());
-
-    // Again exhaustively, no early exit, for store determinism.
-    std::vector<char> dirty_has_cycle(dirty_cycles.size(), 0);
     std::optional<FlatCycleChecker> flat_checker;
-    if (options.use_flat_kernel && !dirty_cycles.empty()) {
-      flat_checker.emplace(view, pairs);
-    }
-    auto run_cycle = [&](size_t d) {
-      const std::vector<int>& cycle = to_check[dirty_cycles[d]];
-      dirty_has_cycle[d] =
-          (flat_checker.has_value()
-               ? flat_checker->BcHasCycle(cycle)
-               : HasCycle(BuildCycleGraph(view, cycle)))
-              ? 1
-              : 0;
-    };
-    if (pool != nullptr && dirty_cycles.size() > 1) {
-      constexpr size_t kChunk = 16;
-      std::vector<std::future<void>> futures;
-      for (size_t begin = 0; begin < dirty_cycles.size(); begin += kChunk) {
-        size_t end = std::min(begin + kChunk, dirty_cycles.size());
-        futures.push_back(pool->Submit([&, begin, end] {
-          for (size_t d = begin; d < end; ++d) run_cycle(d);
-        }));
-      }
-      for (auto& f : futures) f.get();
-    } else {
-      for (size_t d = 0; d < dirty_cycles.size(); ++d) run_cycle(d);
-    }
-    for (size_t d = 0; d < dirty_cycles.size(); ++d) {
-      cycle_store_.emplace(keys[dirty_cycles[d]], dirty_has_cycle[d] != 0);
-    }
+    delta.cycles_recomputed = DecideDirtyCycles(
+        view, to_check, cycle_keys,
+        [&]() -> const FlatCycleChecker* {
+          flat_checker.emplace(view, pairs);
+          return &*flat_checker;
+        },
+        ctx_, &store_);
+    delta.cycles_reused =
+        static_cast<int64_t>(to_check.size()) - delta.cycles_recomputed;
 
     size_t first_acyclic = to_check.size();
     for (size_t c = 0; c < to_check.size(); ++c) {
-      if (!cycle_store_.at(keys[c])) {
+      if (!store_.cycles.at(cycle_keys[c])) {
         first_acyclic = c;
         break;
       }

@@ -1,13 +1,13 @@
 #ifndef DISLOCK_CORE_INCREMENTAL_ENGINE_H_
 #define DISLOCK_CORE_INCREMENTAL_ENGINE_H_
 
-#include <map>
 #include <memory>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
 #include "core/incremental/delta.h"
+#include "core/incremental/store.h"
 #include "core/multi.h"
 #include "txn/catalog.h"
 
@@ -34,7 +34,8 @@ struct EngineTotals {
 /// (shared_ptr<const Transaction>) between catalog and snapshots, so two
 /// snapshots can be diffed by pointer identity per TxnId: an id present in
 /// both with the same pointer is untouched; a differing pointer is a
-/// Replace; ids appearing/disappearing are Add/Remove. The engine keeps
+/// Replace; ids appearing/disappearing are Add/Remove. The engine keeps a
+/// VerdictStore (core/incremental/store.h):
 ///   * a pair store keyed by the unordered {TxnId, TxnId} pair, holding the
 ///     full PairSafetyReport of every conflicting pair ever decided whose
 ///     two members are still live and unedited, and
@@ -88,12 +89,19 @@ class IncrementalSafetyEngine {
   const EngineTotals& totals() const { return totals_; }
   /// Number of pair verdicts currently held.
   int64_t PairStoreSize() const {
-    return static_cast<int64_t>(pair_store_.size());
+    return static_cast<int64_t>(store_.pairs.size());
   }
   /// Number of cycle memos currently held.
   int64_t CycleStoreSize() const {
-    return static_cast<int64_t>(cycle_store_.size());
+    return static_cast<int64_t>(store_.cycles.size());
   }
+
+  /// The engine's verdict stores and context, exposed for the sharded
+  /// coordinator (core/incremental/sharded_catalog.h), which runs the
+  /// diff/replay loop itself and uses each shard engine purely as a
+  /// (store, context) home with shard-local Check() for free.
+  VerdictStore* mutable_store() { return &store_; }
+  EngineContext* ctx() { return ctx_; }
 
  private:
   const TransactionCatalog* catalog_;
@@ -104,10 +112,7 @@ class IncrementalSafetyEngine {
   std::unordered_map<TxnId, std::shared_ptr<const Transaction>> prev_;
   bool has_prev_ = false;
 
-  /// Unordered pair key: first < second.
-  std::map<std::pair<TxnId, TxnId>, PairSafetyReport> pair_store_;
-  /// Canonical directed TxnId cycle -> HasCycle(B_c).
-  std::map<std::vector<TxnId>, bool> cycle_store_;
+  VerdictStore store_;
 
   EngineTotals totals_;
 };

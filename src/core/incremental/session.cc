@@ -1,365 +1,44 @@
 #include "core/incremental/session.h"
 
-#include <cstdint>
-#include <fstream>
-#include <iostream>
-#include <memory>
-#include <sstream>
-#include <utility>
+#include <istream>
+#include <ostream>
+#include <string>
 
-#include "core/decision/context.h"
-#include "core/incremental/engine.h"
-#include "core/report.h"
-#include "core/stats_export.h"
-#include "core/wire_keys.h"
-#include "obs/stats_sink.h"
-#include "obs/trace.h"
-#include "txn/catalog.h"
-#include "txn/text_format.h"
-#include "util/string_util.h"
+#include "core/incremental/session_core.h"
 
 namespace dislock {
 
-namespace {
-
-std::string StripComment(const std::string& line) {
-  size_t hash = line.find('#');
-  return Trim(hash == std::string::npos ? line : line.substr(0, hash));
-}
-
-/// Collects the lines of a `txn ... end` block following an add/replace
-/// command, through the terminating `end`.
-Result<std::string> ReadTxnBlock(std::istream& in) {
-  std::string block;
-  std::string raw;
-  while (std::getline(in, raw)) {
-    block += raw;
-    block += '\n';
-    if (StripComment(raw) == "end") return block;
-  }
-  return Status::InvalidArgument("unterminated txn block (missing 'end')");
-}
-
-/// Everything one loaded system carries: the database (kept alive for the
-/// catalog), the catalog, and the engine watching it.
-struct SessionState {
-  std::shared_ptr<DistributedDatabase> db;
-  std::unique_ptr<TransactionCatalog> catalog;
-  std::unique_ptr<EngineContext> ctx;
-  std::unique_ptr<IncrementalSafetyEngine> engine;
-};
-
-constexpr char kHelp[] =
-    "commands:\n"
-    "  load <path>      parse a system file; (re)initializes the catalog\n"
-    "  add              followed by a 'txn <name> ... end' block\n"
-    "  remove <name>    remove the named transaction\n"
-    "  replace <name>   followed by a 'txn ... end' block\n"
-    "  check            incremental safety analysis\n"
-    "  analyze          full pass diagnostics on the current snapshot\n"
-    "  list             live transactions with their ids\n"
-    "  stats            generation, store sizes, reuse totals\n"
-    "  help             this summary\n"
-    "  quit | exit      stop\n";
-
-class Session {
- public:
-  Session(std::istream& in, std::ostream& out, const SessionOptions& options)
-      : in_(in), out_(out), options_(options) {}
-
-  int Run() {
-    std::string raw;
-    while (std::getline(in_, raw)) {
-      std::string line = StripComment(raw);
-      if (line.empty()) continue;
-      std::istringstream cmd(line);
-      std::string verb;
-      cmd >> verb;
-      if (verb == "quit" || verb == "exit") break;
-      ++commands_;
-      Status st;
-      {
-        obs::TraceSpan span(options_.config.trace, wire::kSpanSessionCommand);
-        st = Dispatch(verb, &cmd);
-      }
-      if (!st.ok()) {
-        ++errors_;
-        if (options_.json) {
-          out_ << LineOpen() << "\"cmd\": " << Quoted(verb)
-               << ", \"ok\": false, "
-               << "\"error\": " << Quoted(st.message()) << "}\n";
-        } else {
-          out_ << "error: " << st.message() << "\n";
-        }
-      }
-    }
-    if (obs::StatsSink* sink = options_.config.stats) {
-      sink->AddCounter(wire::kMetricSessionCommands, commands_);
-      sink->AddCounter(wire::kMetricSessionChecks, checks_);
-      sink->AddCounter(wire::kMetricSessionErrors, errors_);
-    }
-    return errors_;
-  }
-
- private:
-  static std::string Quoted(const std::string& s) {
-    return StrCat("\"", JsonEscape(s), "\"");
-  }
-
-  /// Every JSON line the session emits is individually versioned — the
-  /// line protocol has no enclosing document to carry the version.
-  static std::string LineOpen() {
-    return StrCat("{\"", wire::kSchemaVersionKey,
-                  "\": ", std::to_string(wire::kSchemaVersion), ", ");
-  }
-
-  Status Dispatch(const std::string& verb, std::istringstream* cmd) {
-    if (verb == "load") return Load(cmd);
-    if (verb == "add") return Add();
-    if (verb == "remove") return Remove(cmd);
-    if (verb == "replace") return Replace(cmd);
-    if (verb == "check") return Check();
-    if (verb == "analyze") return Analyze();
-    if (verb == "list") return List();
-    if (verb == "stats") return Stats();
-    if (verb == "help") {
-      if (options_.json) {
-        out_ << LineOpen() << "\"cmd\": \"help\", \"ok\": true}\n";
-      } else {
-        out_ << kHelp;
-      }
-      return Status::OK();
-    }
-    return Status::InvalidArgument(
-        StrCat("unknown command '", verb, "' (try 'help')"));
-  }
-
-  Status RequireLoaded() const {
-    if (state_.catalog == nullptr) {
-      return Status::InvalidArgument("no system loaded (use: load <path>)");
-    }
-    return Status::OK();
-  }
-
-  Status Load(std::istringstream* cmd) {
-    std::string path;
-    *cmd >> path;
-    if (path.empty()) return Status::InvalidArgument("usage: load <path>");
-    std::string resolved = path;
-    if (!options_.load_root.empty() && path[0] != '/') {
-      resolved = StrCat(options_.load_root, "/", path);
-    }
-    std::ifstream file(resolved);
-    if (!file) return Status::NotFound(StrCat("cannot open ", path));
-    std::ostringstream text;
-    text << file.rdbuf();
-    auto parsed = ParseSystemText(text.str());
-    if (!parsed.ok()) return parsed.status();
-
-    SessionState state;
-    state.db = parsed->db;
-    state.catalog = std::make_unique<TransactionCatalog>(state.db.get());
-    for (int i = 0; i < parsed->system->NumTransactions(); ++i) {
-      auto id = state.catalog->Add(parsed->system->txn(i));
-      if (!id.ok()) return id.status();
-    }
-    state.ctx = std::make_unique<EngineContext>(options_.config);
-    state.engine = std::make_unique<IncrementalSafetyEngine>(
-        state.catalog.get(), state.ctx.get());
-    state_ = std::move(state);
-
-    if (options_.json) {
-      out_ << LineOpen() << "\"cmd\": \"load\", \"ok\": true, \"path\": "
-           << Quoted(path)
-           << ", \"transactions\": " << state_.catalog->NumTransactions()
-           << ", \"entities\": " << state_.db->NumEntities()
-           << ", \"sites\": " << state_.db->NumSites() << "}\n";
-    } else {
-      out_ << "loaded " << path << ": " << state_.catalog->NumTransactions()
-           << " transactions, " << state_.db->NumEntities()
-           << " entities over " << state_.db->NumSites() << " sites\n";
-    }
-    return Status::OK();
-  }
-
-  Status Add() {
-    DISLOCK_RETURN_NOT_OK(RequireLoaded());
-    auto block = ReadTxnBlock(in_);
-    if (!block.ok()) return block.status();
-    auto txn = ParseTransactionText(*block, *state_.db);
-    if (!txn.ok()) return txn.status();
-    std::string name = txn->name();
-    auto id = state_.catalog->Add(std::move(txn).value());
-    if (!id.ok()) return id.status();
-    if (options_.json) {
-      out_ << LineOpen() << "\"cmd\": \"add\", \"ok\": true, \"name\": "
-           << Quoted(name)
-           << ", \"id\": " << *id << "}\n";
-    } else {
-      out_ << "added " << name << " (id " << *id << ")\n";
-    }
-    return Status::OK();
-  }
-
-  Status Remove(std::istringstream* cmd) {
-    DISLOCK_RETURN_NOT_OK(RequireLoaded());
-    std::string name;
-    *cmd >> name;
-    if (name.empty()) return Status::InvalidArgument("usage: remove <name>");
-    DISLOCK_RETURN_NOT_OK(state_.catalog->RemoveByName(name));
-    if (options_.json) {
-      out_ << LineOpen() << "\"cmd\": \"remove\", \"ok\": true, \"name\": "
-           << Quoted(name) << "}\n";
-    } else {
-      out_ << "removed " << name << "\n";
-    }
-    return Status::OK();
-  }
-
-  Status Replace(std::istringstream* cmd) {
-    DISLOCK_RETURN_NOT_OK(RequireLoaded());
-    std::string name;
-    *cmd >> name;
-    if (name.empty()) {
-      return Status::InvalidArgument("usage: replace <name>, then a txn block");
-    }
-    auto block = ReadTxnBlock(in_);
-    if (!block.ok()) return block.status();
-    auto txn = ParseTransactionText(*block, *state_.db);
-    if (!txn.ok()) return txn.status();
-    DISLOCK_RETURN_NOT_OK(
-        state_.catalog->ReplaceByName(name, std::move(txn).value()));
-    if (options_.json) {
-      out_ << LineOpen() << "\"cmd\": \"replace\", \"ok\": true, \"name\": "
-           << Quoted(name) << "}\n";
-    } else {
-      out_ << "replaced " << name << "\n";
-    }
-    return Status::OK();
-  }
-
-  Status Check() {
-    DISLOCK_RETURN_NOT_OK(RequireLoaded());
-    ++checks_;
-    MultiSafetyReport report = state_.engine->Check();
-    // Per-check report stats accumulate across the session (counters sum).
-    ExportMultiReportStats(report, options_.config.stats);
-    // The session is single-threaded between Check and this render, so the
-    // snapshot here has the dense order the report's indices refer to.
-    CatalogSnapshot snap = state_.catalog->Snapshot();
-    if (options_.json) {
-      out_ << LineOpen() << "\"cmd\": \"check\", \"ok\": true, \"report\": "
-           << MultiReportToJson(report, snap.View()) << "}\n";
-      return Status::OK();
-    }
-    out_ << "verdict: " << SafetyVerdictName(report.verdict);
-    if (report.failing_pair.has_value()) {
-      out_ << " (failing pair: " << snap.txn(report.failing_pair->first).name()
-           << ", " << snap.txn(report.failing_pair->second).name() << ")";
-    } else if (!report.failing_cycle.empty()) {
-      out_ << " (failing cycle:";
-      for (size_t i = 0; i < report.failing_cycle.size(); ++i) {
-        out_ << (i == 0 ? " " : " -> ")
-             << snap.txn(report.failing_cycle[i]).name();
-      }
-      out_ << ")";
-    }
-    out_ << "\npairs: " << report.pairs_checked << " checked, "
-         << report.pairs_cached << " cached; cycles: "
-         << report.cycles_checked << " checked\n";
-    const DeltaStats& d = *report.delta;
-    out_ << "delta: ";
-    if (d.full) {
-      out_ << "full";
-    } else {
-      out_ << "+" << d.txns_added << " -" << d.txns_removed << " ~"
-           << d.txns_replaced;
-    }
-    out_ << "; pairs " << d.pairs_recomputed << " recomputed, "
-         << d.pairs_reused << " reused; cycles " << d.cycles_recomputed
-         << " recomputed, " << d.cycles_reused << " reused\n";
-    return Status::OK();
-  }
-
-  Status Analyze() {
-    DISLOCK_RETURN_NOT_OK(RequireLoaded());
-    if (!options_.analyze) {
-      return Status::InvalidArgument(
-          "analyze is not available: no analyzer wired into this session");
-    }
-    CatalogSnapshot snap = state_.catalog->Snapshot();
-    std::string body = options_.analyze(snap, options_.config, options_.json);
-    if (options_.json) {
-      // `body` is already a JSON object; embed it verbatim.
-      out_ << LineOpen() << "\"cmd\": \"analyze\", \"ok\": true, "
-           << "\"analysis\": " << body << "}\n";
-    } else {
-      out_ << body;
-    }
-    return Status::OK();
-  }
-
-  Status List() {
-    DISLOCK_RETURN_NOT_OK(RequireLoaded());
-    CatalogSnapshot snap = state_.catalog->Snapshot();
-    if (options_.json) {
-      out_ << LineOpen() << "\"cmd\": \"list\", \"ok\": true, "
-           << "\"transactions\": [";
-      for (int i = 0; i < snap.NumTransactions(); ++i) {
-        if (i > 0) out_ << ", ";
-        out_ << "{\"id\": " << snap.id(i)
-             << ", \"name\": " << Quoted(snap.txn(i).name()) << "}";
-      }
-      out_ << "]}\n";
-      return Status::OK();
-    }
-    for (int i = 0; i < snap.NumTransactions(); ++i) {
-      out_ << "[" << snap.id(i) << "] " << snap.txn(i).name() << "\n";
-    }
-    return Status::OK();
-  }
-
-  Status Stats() {
-    DISLOCK_RETURN_NOT_OK(RequireLoaded());
-    const EngineTotals& t = state_.engine->totals();
-    if (options_.json) {
-      out_ << LineOpen() << "\"cmd\": \"stats\", \"ok\": true, "
-           << "\"generation\": " << state_.catalog->generation()
-           << ", \"transactions\": " << state_.catalog->NumTransactions()
-           << ", \"checks\": " << t.checks
-           << ", \"pair_store\": " << state_.engine->PairStoreSize()
-           << ", \"cycle_store\": " << state_.engine->CycleStoreSize()
-           << ", \"totals\": {\"pairs_reused\": " << t.pairs_reused
-           << ", \"pairs_recomputed\": " << t.pairs_recomputed
-           << ", \"cycles_reused\": " << t.cycles_reused
-           << ", \"cycles_recomputed\": " << t.cycles_recomputed << "}}\n";
-      return Status::OK();
-    }
-    out_ << "generation: " << state_.catalog->generation()
-         << "\ntransactions: " << state_.catalog->NumTransactions()
-         << "\nchecks: " << t.checks
-         << "\npair store: " << state_.engine->PairStoreSize()
-         << "; cycle store: " << state_.engine->CycleStoreSize()
-         << "\ntotals: pairs " << t.pairs_recomputed << " recomputed, "
-         << t.pairs_reused << " reused; cycles " << t.cycles_recomputed
-         << " recomputed, " << t.cycles_reused << " reused\n";
-    return Status::OK();
-  }
-
-  std::istream& in_;
-  std::ostream& out_;
-  const SessionOptions& options_;
-  SessionState state_;
-  int64_t commands_ = 0;
-  int64_t checks_ = 0;
-  int errors_ = 0;
-};
-
-}  // namespace
-
+// The stream REPL is now a thin transport over the shared SessionCore +
+// CommandAssembler (core/incremental/session_core.h): read a line, step the
+// assembler, execute any ready command, write the rendered response. The
+// serve layer (src/serve/) drives the same two classes from sockets; the
+// bytes written here are golden-pinned and unchanged by the extraction.
 int RunSession(std::istream& in, std::ostream& out,
                const SessionOptions& options) {
-  return Session(in, out, options).Run();
+  SessionCore core(options);
+  CommandAssembler assembler(&core);
+  std::string raw;
+  bool quit = false;
+  while (!quit && std::getline(in, raw)) {
+    CommandAssembler::Step step = assembler.Consume(raw);
+    if (step.response.has_value()) out << *step.response;
+    if (step.quit) {
+      quit = true;
+      break;
+    }
+    if (step.command.has_value()) {
+      SessionCore::Outcome outcome = core.Execute(*step.command);
+      out << outcome.response;
+    }
+  }
+  if (!quit) {
+    // EOF: surface a still-open txn block as the structured legacy error.
+    if (auto unfinished = assembler.Finish(); unfinished.has_value()) {
+      out << *unfinished;
+    }
+  }
+  core.ExportSessionStats();
+  return core.errors();
 }
 
 }  // namespace dislock

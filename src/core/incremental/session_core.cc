@@ -1,0 +1,794 @@
+#include "core/incremental/session_core.h"
+
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <utility>
+#include <vector>
+
+#include "core/decision/context.h"
+#include "core/incremental/engine.h"
+#include "core/incremental/sharded_catalog.h"
+#include "core/report.h"
+#include "core/stats_export.h"
+#include "core/wire_keys.h"
+#include "obs/json.h"
+#include "obs/stats_sink.h"
+#include "obs/trace.h"
+#include "txn/catalog.h"
+#include "txn/text_format.h"
+#include "util/string_util.h"
+
+namespace dislock {
+
+namespace {
+
+std::string StripComment(const std::string& line) {
+  size_t hash = line.find('#');
+  return Trim(hash == std::string::npos ? line : line.substr(0, hash));
+}
+
+std::string Quoted(const std::string& s) {
+  return StrCat("\"", JsonEscape(s), "\"");
+}
+
+/// Every JSON line the session emits is individually versioned — the
+/// line protocol has no enclosing document to carry the version.
+std::string LineOpen() {
+  return StrCat("{\"", wire::kSchemaVersionKey,
+                "\": ", std::to_string(wire::kSchemaVersion), ", ");
+}
+
+std::string FormatRatio(double r) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6f", r);
+  return buf;
+}
+
+constexpr char kHelp[] =
+    "commands:\n"
+    "  load <path>      parse a system file; (re)initializes the catalog\n"
+    "  add              followed by a 'txn <name> ... end' block\n"
+    "  remove <name>    remove the named transaction\n"
+    "  replace <name>   followed by a 'txn ... end' block\n"
+    "  check            incremental safety analysis\n"
+    "  analyze          full pass diagnostics on the current snapshot\n"
+    "  list             live transactions with their ids\n"
+    "  stats            generation, store sizes, reuse totals\n"
+    "  help             this summary\n"
+    "  quit | exit      stop\n";
+
+// ---- Minimal JSON envelope decoding ---------------------------------------
+// The input was already accepted by obs::IsValidJson, so these scanners can
+// assume well-formed syntax and only extract / reject by shape.
+
+size_t SkipWs(const std::string& s, size_t i) {
+  while (i < s.size() && (s[i] == ' ' || s[i] == '\t' || s[i] == '\n' ||
+                          s[i] == '\r')) {
+    ++i;
+  }
+  return i;
+}
+
+/// Decodes the escaped content of a JSON string starting at the opening
+/// quote `s[i]`; advances `i` past the closing quote. Returns false only
+/// for escapes IsValidJson accepts but we cannot represent (lone
+/// surrogates).
+bool DecodeJsonString(const std::string& s, size_t* i, std::string* out) {
+  ++*i;  // opening quote
+  while (s[*i] != '"') {
+    if (s[*i] != '\\') {
+      out->push_back(s[*i]);
+      ++*i;
+      continue;
+    }
+    ++*i;
+    char e = s[*i];
+    ++*i;
+    switch (e) {
+      case '"': out->push_back('"'); break;
+      case '\\': out->push_back('\\'); break;
+      case '/': out->push_back('/'); break;
+      case 'b': out->push_back('\b'); break;
+      case 'f': out->push_back('\f'); break;
+      case 'n': out->push_back('\n'); break;
+      case 'r': out->push_back('\r'); break;
+      case 't': out->push_back('\t'); break;
+      case 'u': {
+        auto hex4 = [&s](size_t at) {
+          uint32_t v = 0;
+          for (int k = 0; k < 4; ++k) {
+            char c = s[at + static_cast<size_t>(k)];
+            v <<= 4;
+            if (c >= '0' && c <= '9') v |= static_cast<uint32_t>(c - '0');
+            else if (c >= 'a' && c <= 'f') v |= static_cast<uint32_t>(c - 'a' + 10);
+            else v |= static_cast<uint32_t>(c - 'A' + 10);
+          }
+          return v;
+        };
+        uint32_t cp = hex4(*i);
+        *i += 4;
+        if (cp >= 0xD800 && cp <= 0xDBFF) {
+          if (*i + 6 <= s.size() && s[*i] == '\\' && s[*i + 1] == 'u') {
+            uint32_t lo = hex4(*i + 2);
+            if (lo >= 0xDC00 && lo <= 0xDFFF) {
+              cp = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+              *i += 6;
+            } else {
+              return false;
+            }
+          } else {
+            return false;
+          }
+        } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+          return false;
+        }
+        if (cp < 0x80) {
+          out->push_back(static_cast<char>(cp));
+        } else if (cp < 0x800) {
+          out->push_back(static_cast<char>(0xC0 | (cp >> 6)));
+          out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+        } else if (cp < 0x10000) {
+          out->push_back(static_cast<char>(0xE0 | (cp >> 12)));
+          out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+          out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+        } else {
+          out->push_back(static_cast<char>(0xF0 | (cp >> 18)));
+          out->push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+          out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+          out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+        }
+        break;
+      }
+      default: return false;  // unreachable on validated input
+    }
+  }
+  ++*i;  // closing quote
+  return true;
+}
+
+/// Advances `i` past one JSON value of any type.
+void SkipJsonValue(const std::string& s, size_t* i) {
+  *i = SkipWs(s, *i);
+  char c = s[*i];
+  if (c == '"') {
+    std::string sink;
+    DecodeJsonString(s, i, &sink);
+    return;
+  }
+  if (c == '{' || c == '[') {
+    char close = c == '{' ? '}' : ']';
+    int depth = 0;
+    bool in_string = false;
+    for (;; ++*i) {
+      char d = s[*i];
+      if (in_string) {
+        if (d == '\\') ++*i;
+        else if (d == '"') in_string = false;
+        continue;
+      }
+      if (d == '"') in_string = true;
+      else if (d == c || (d == '{' || d == '[')) ++depth;
+      else if (d == close || d == '}' || d == ']') {
+        --depth;
+        if (depth == 0) {
+          ++*i;
+          return;
+        }
+      }
+    }
+  }
+  // number / true / false / null
+  while (*i < s.size() && s[*i] != ',' && s[*i] != '}' && s[*i] != ']' &&
+         s[*i] != ' ' && s[*i] != '\t' && s[*i] != '\n' && s[*i] != '\r') {
+    ++*i;
+  }
+}
+
+/// Extracts the cmd/arg/block strings from a validated top-level JSON
+/// object. Rejects unknown keys and non-string values for known keys, so a
+/// misspelled envelope fails loudly instead of silently dropping fields.
+Status DecodeEnvelope(const std::string& s, SessionCommand* out) {
+  size_t i = SkipWs(s, 0);
+  ++i;  // '{'
+  i = SkipWs(s, i);
+  if (s[i] == '}') return Status::InvalidArgument(
+      "JSON command line is missing \"cmd\"");
+  bool have_cmd = false;
+  for (;;) {
+    i = SkipWs(s, i);
+    std::string key;
+    if (!DecodeJsonString(s, &i, &key)) {
+      return Status::InvalidArgument("invalid escape in JSON command key");
+    }
+    i = SkipWs(s, i);
+    ++i;  // ':'
+    i = SkipWs(s, i);
+    std::string* dest = nullptr;
+    if (key == "cmd") {
+      dest = &out->verb;
+      have_cmd = true;
+    } else if (key == "arg") {
+      dest = &out->arg;
+    } else if (key == "block") {
+      dest = &out->block;
+    } else {
+      return Status::InvalidArgument(
+          StrCat("unknown JSON command key '", key, "'"));
+    }
+    if (s[i] != '"') {
+      return Status::InvalidArgument(
+          StrCat("JSON command key \"", key, "\" must be a string"));
+    }
+    if (!DecodeJsonString(s, &i, dest)) {
+      return Status::InvalidArgument(
+          StrCat("invalid escape in JSON command key \"", key, "\""));
+    }
+    i = SkipWs(s, i);
+    if (s[i] == ',') {
+      ++i;
+      continue;
+    }
+    break;  // '}'
+  }
+  if (!have_cmd) {
+    return Status::InvalidArgument("JSON command line is missing \"cmd\"");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+/// Everything one loaded system carries: the database (kept alive for the
+/// catalog), and either the classic single-engine pair or a ShardedCatalog.
+struct SessionCore::Backend {
+  std::shared_ptr<DistributedDatabase> db;
+  std::unique_ptr<TransactionCatalog> catalog;
+  std::unique_ptr<EngineContext> ctx;
+  std::unique_ptr<IncrementalSafetyEngine> engine;
+  std::unique_ptr<ShardedCatalog> sharded;  ///< set iff options.shards > 1
+};
+
+class SessionCore::Impl {
+ public:
+  explicit Impl(const SessionOptions& options) : options_(options) {}
+
+  Outcome Execute(const SessionCommand& cmd) {
+    std::lock_guard<std::mutex> lock(mu_);
+    Outcome out;
+    ++commands_;
+    std::ostringstream os;
+    Status st;
+    {
+      obs::TraceSpan span(options_.config.trace, wire::kSpanSessionCommand);
+      st = Dispatch(cmd, os);
+    }
+    if (!st.ok()) {
+      ++errors_;
+      out.failed = true;
+      out.response = RenderErrorLocked(cmd.verb, st.message());
+    } else {
+      out.response = os.str();
+    }
+    return out;
+  }
+
+  bool StartsBlock(const std::string& verb, const std::string& arg,
+                   std::string* error) const {
+    error->clear();
+    if (verb != "add" && verb != "replace") return false;
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!Loaded()) {
+      *error = "no system loaded (use: load <path>)";
+      return false;
+    }
+    if (verb == "replace") {
+      std::istringstream as(arg);
+      std::string name;
+      as >> name;
+      if (name.empty()) {
+        *error = "usage: replace <name>, then a txn block";
+        return false;
+      }
+    }
+    return true;
+  }
+
+  std::string RenderErrorResponse(const std::string& verb,
+                                  const std::string& message) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++commands_;
+    ++errors_;
+    return RenderErrorLocked(verb, message);
+  }
+
+  int64_t commands() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return commands_;
+  }
+  int64_t checks() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return checks_;
+  }
+  int errors() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return errors_;
+  }
+
+  void ExportSessionStats() {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (obs::StatsSink* sink = options_.config.stats) {
+      sink->AddCounter(wire::kMetricSessionCommands, commands_);
+      sink->AddCounter(wire::kMetricSessionChecks, checks_);
+      sink->AddCounter(wire::kMetricSessionErrors, errors_);
+    }
+  }
+
+  void ExportBackendStats(obs::StatsSink* sink) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (state_.sharded != nullptr) state_.sharded->ExportStats(sink);
+  }
+
+ private:
+  bool Loaded() const {
+    return state_.catalog != nullptr || state_.sharded != nullptr;
+  }
+
+  std::string RenderErrorLocked(const std::string& verb,
+                                const std::string& message) const {
+    if (options_.json) {
+      return StrCat(LineOpen(), "\"cmd\": ", Quoted(verb),
+                    ", \"ok\": false, \"error\": ", Quoted(message), "}\n");
+    }
+    return StrCat("error: ", message, "\n");
+  }
+
+  Status Dispatch(const SessionCommand& cmd, std::ostringstream& out) {
+    const std::string& verb = cmd.verb;
+    if (verb == "load") return Load(cmd, out);
+    if (verb == "add") return Add(cmd, out);
+    if (verb == "remove") return Remove(cmd, out);
+    if (verb == "replace") return Replace(cmd, out);
+    if (verb == "check") return Check(out);
+    if (verb == "analyze") return Analyze(out);
+    if (verb == "list") return List(out);
+    if (verb == "stats") return Stats(out);
+    if (verb == "help") {
+      if (options_.json) {
+        out << LineOpen() << "\"cmd\": \"help\", \"ok\": true}\n";
+      } else {
+        out << kHelp;
+      }
+      return Status::OK();
+    }
+    return Status::InvalidArgument(
+        StrCat("unknown command '", verb, "' (try 'help')"));
+  }
+
+  Status RequireLoaded() const {
+    if (!Loaded()) {
+      return Status::InvalidArgument("no system loaded (use: load <path>)");
+    }
+    return Status::OK();
+  }
+
+  std::string FirstToken(const std::string& arg) const {
+    std::istringstream as(arg);
+    std::string tok;
+    as >> tok;
+    return tok;
+  }
+
+  // ---- Backend dispatch helpers (single-engine vs sharded) ----
+  int NumTransactions() const {
+    return state_.sharded != nullptr ? state_.sharded->NumTransactions()
+                                     : state_.catalog->NumTransactions();
+  }
+  int64_t Generation() const {
+    return state_.sharded != nullptr ? state_.sharded->generation()
+                                     : state_.catalog->generation();
+  }
+  CatalogSnapshot TakeSnapshot() const {
+    return state_.sharded != nullptr ? state_.sharded->Snapshot()
+                                     : state_.catalog->Snapshot();
+  }
+  const EngineTotals& Totals() const {
+    return state_.sharded != nullptr ? state_.sharded->totals()
+                                     : state_.engine->totals();
+  }
+  int64_t PairStoreSize() const {
+    return state_.sharded != nullptr ? state_.sharded->PairStoreSize()
+                                     : state_.engine->PairStoreSize();
+  }
+  int64_t CycleStoreSize() const {
+    return state_.sharded != nullptr ? state_.sharded->CycleStoreSize()
+                                     : state_.engine->CycleStoreSize();
+  }
+
+  Status Load(const SessionCommand& cmd, std::ostringstream& out) {
+    std::string path = FirstToken(cmd.arg);
+    if (path.empty()) return Status::InvalidArgument("usage: load <path>");
+    std::string resolved = path;
+    if (!options_.load_root.empty() && path[0] != '/') {
+      resolved = StrCat(options_.load_root, "/", path);
+    }
+    std::ifstream file(resolved);
+    if (!file) return Status::NotFound(StrCat("cannot open ", path));
+    std::ostringstream text;
+    text << file.rdbuf();
+    auto parsed = ParseSystemText(text.str());
+    if (!parsed.ok()) return parsed.status();
+
+    Backend state;
+    state.db = parsed->db;
+    if (options_.shards > 1) {
+      state.sharded = std::make_unique<ShardedCatalog>(
+          state.db.get(), options_.shards, options_.config);
+      for (int i = 0; i < parsed->system->NumTransactions(); ++i) {
+        auto id = state.sharded->Add(parsed->system->txn(i));
+        if (!id.ok()) return id.status();
+      }
+    } else {
+      state.catalog = std::make_unique<TransactionCatalog>(state.db.get());
+      for (int i = 0; i < parsed->system->NumTransactions(); ++i) {
+        auto id = state.catalog->Add(parsed->system->txn(i));
+        if (!id.ok()) return id.status();
+      }
+      state.ctx = std::make_unique<EngineContext>(options_.config);
+      state.engine = std::make_unique<IncrementalSafetyEngine>(
+          state.catalog.get(), state.ctx.get());
+    }
+    state_ = std::move(state);
+
+    if (options_.json) {
+      out << LineOpen() << "\"cmd\": \"load\", \"ok\": true, \"path\": "
+          << Quoted(path) << ", \"transactions\": " << NumTransactions()
+          << ", \"entities\": " << state_.db->NumEntities()
+          << ", \"sites\": " << state_.db->NumSites() << "}\n";
+    } else {
+      out << "loaded " << path << ": " << NumTransactions()
+          << " transactions, " << state_.db->NumEntities()
+          << " entities over " << state_.db->NumSites() << " sites\n";
+    }
+    return Status::OK();
+  }
+
+  Status Add(const SessionCommand& cmd, std::ostringstream& out) {
+    DISLOCK_RETURN_NOT_OK(RequireLoaded());
+    if (cmd.block.empty()) {
+      return Status::InvalidArgument("unterminated txn block (missing 'end')");
+    }
+    auto txn = ParseTransactionText(cmd.block, *state_.db);
+    if (!txn.ok()) return txn.status();
+    std::string name = txn->name();
+    Result<TxnId> id =
+        state_.sharded != nullptr
+            ? state_.sharded->Add(std::move(txn).value())
+            : state_.catalog->Add(std::move(txn).value());
+    if (!id.ok()) return id.status();
+    if (options_.json) {
+      out << LineOpen() << "\"cmd\": \"add\", \"ok\": true, \"name\": "
+          << Quoted(name) << ", \"id\": " << *id << "}\n";
+    } else {
+      out << "added " << name << " (id " << *id << ")\n";
+    }
+    return Status::OK();
+  }
+
+  Status Remove(const SessionCommand& cmd, std::ostringstream& out) {
+    DISLOCK_RETURN_NOT_OK(RequireLoaded());
+    std::string name = FirstToken(cmd.arg);
+    if (name.empty()) return Status::InvalidArgument("usage: remove <name>");
+    DISLOCK_RETURN_NOT_OK(state_.sharded != nullptr
+                              ? state_.sharded->RemoveByName(name)
+                              : state_.catalog->RemoveByName(name));
+    if (options_.json) {
+      out << LineOpen() << "\"cmd\": \"remove\", \"ok\": true, \"name\": "
+          << Quoted(name) << "}\n";
+    } else {
+      out << "removed " << name << "\n";
+    }
+    return Status::OK();
+  }
+
+  Status Replace(const SessionCommand& cmd, std::ostringstream& out) {
+    DISLOCK_RETURN_NOT_OK(RequireLoaded());
+    std::string name = FirstToken(cmd.arg);
+    if (name.empty()) {
+      return Status::InvalidArgument("usage: replace <name>, then a txn block");
+    }
+    if (cmd.block.empty()) {
+      return Status::InvalidArgument("unterminated txn block (missing 'end')");
+    }
+    auto txn = ParseTransactionText(cmd.block, *state_.db);
+    if (!txn.ok()) return txn.status();
+    DISLOCK_RETURN_NOT_OK(
+        state_.sharded != nullptr
+            ? state_.sharded->ReplaceByName(name, std::move(txn).value())
+            : state_.catalog->ReplaceByName(name, std::move(txn).value()));
+    if (options_.json) {
+      out << LineOpen() << "\"cmd\": \"replace\", \"ok\": true, \"name\": "
+          << Quoted(name) << "}\n";
+    } else {
+      out << "replaced " << name << "\n";
+    }
+    return Status::OK();
+  }
+
+  Status Check(std::ostringstream& out) {
+    DISLOCK_RETURN_NOT_OK(RequireLoaded());
+    ++checks_;
+    MultiSafetyReport report = state_.sharded != nullptr
+                                   ? state_.sharded->Check()
+                                   : state_.engine->Check();
+    // Per-check report stats accumulate across the session (counters sum).
+    ExportMultiReportStats(report, options_.config.stats);
+    // Commands are serialized between Check and this render, so the
+    // snapshot here has the dense order the report's indices refer to.
+    CatalogSnapshot snap = TakeSnapshot();
+    if (options_.json) {
+      out << LineOpen() << "\"cmd\": \"check\", \"ok\": true, \"report\": "
+          << MultiReportToJson(report, snap.View()) << "}\n";
+      return Status::OK();
+    }
+    out << "verdict: " << SafetyVerdictName(report.verdict);
+    if (report.failing_pair.has_value()) {
+      out << " (failing pair: " << snap.txn(report.failing_pair->first).name()
+          << ", " << snap.txn(report.failing_pair->second).name() << ")";
+    } else if (!report.failing_cycle.empty()) {
+      out << " (failing cycle:";
+      for (size_t i = 0; i < report.failing_cycle.size(); ++i) {
+        out << (i == 0 ? " " : " -> ")
+            << snap.txn(report.failing_cycle[i]).name();
+      }
+      out << ")";
+    }
+    out << "\npairs: " << report.pairs_checked << " checked, "
+        << report.pairs_cached << " cached; cycles: " << report.cycles_checked
+        << " checked\n";
+    const DeltaStats& d = *report.delta;
+    out << "delta: ";
+    if (d.full) {
+      out << "full";
+    } else {
+      out << "+" << d.txns_added << " -" << d.txns_removed << " ~"
+          << d.txns_replaced;
+    }
+    out << "; pairs " << d.pairs_recomputed << " recomputed, "
+        << d.pairs_reused << " reused; cycles " << d.cycles_recomputed
+        << " recomputed, " << d.cycles_reused << " reused\n";
+    return Status::OK();
+  }
+
+  Status Analyze(std::ostringstream& out) {
+    DISLOCK_RETURN_NOT_OK(RequireLoaded());
+    if (!options_.analyze) {
+      return Status::InvalidArgument(
+          "analyze is not available: no analyzer wired into this session");
+    }
+    CatalogSnapshot snap = TakeSnapshot();
+    std::string body = options_.analyze(snap, options_.config, options_.json);
+    if (options_.json) {
+      // `body` is already a JSON object; embed it verbatim.
+      out << LineOpen() << "\"cmd\": \"analyze\", \"ok\": true, "
+          << "\"analysis\": " << body << "}\n";
+    } else {
+      out << body;
+    }
+    return Status::OK();
+  }
+
+  Status List(std::ostringstream& out) {
+    DISLOCK_RETURN_NOT_OK(RequireLoaded());
+    CatalogSnapshot snap = TakeSnapshot();
+    if (options_.json) {
+      out << LineOpen() << "\"cmd\": \"list\", \"ok\": true, "
+          << "\"transactions\": [";
+      for (int i = 0; i < snap.NumTransactions(); ++i) {
+        if (i > 0) out << ", ";
+        out << "{\"id\": " << snap.id(i)
+            << ", \"name\": " << Quoted(snap.txn(i).name()) << "}";
+      }
+      out << "]}\n";
+      return Status::OK();
+    }
+    for (int i = 0; i < snap.NumTransactions(); ++i) {
+      out << "[" << snap.id(i) << "] " << snap.txn(i).name() << "\n";
+    }
+    return Status::OK();
+  }
+
+  Status Stats(std::ostringstream& out) {
+    DISLOCK_RETURN_NOT_OK(RequireLoaded());
+    const EngineTotals& t = Totals();
+    if (options_.json) {
+      out << LineOpen() << "\"cmd\": \"stats\", \"ok\": true, "
+          << "\"generation\": " << Generation()
+          << ", \"transactions\": " << NumTransactions()
+          << ", \"checks\": " << t.checks
+          << ", \"pair_store\": " << PairStoreSize()
+          << ", \"cycle_store\": " << CycleStoreSize()
+          << ", \"totals\": {\"pairs_reused\": " << t.pairs_reused
+          << ", \"pairs_recomputed\": " << t.pairs_recomputed
+          << ", \"cycles_reused\": " << t.cycles_reused
+          << ", \"cycles_recomputed\": " << t.cycles_recomputed << "}";
+      if (state_.sharded != nullptr) {
+        const ShardedCatalog& sc = *state_.sharded;
+        out << ", \"" << wire::kShards << "\": " << sc.num_shards() << ", \""
+            << wire::kShardTransactions << "\": [";
+        std::vector<ShardStats> breakdown = sc.ShardBreakdown();
+        for (size_t s = 0; s < breakdown.size(); ++s) {
+          if (s > 0) out << ", ";
+          out << breakdown[s].transactions;
+        }
+        out << "], \"" << wire::kCrossShardPairs
+            << "\": " << sc.cross_pairs() << ", \"" << wire::kLocalShardPairs
+            << "\": " << sc.local_pairs() << ", \"" << wire::kCrossShardRatio
+            << "\": " << FormatRatio(sc.CrossShardRatio());
+      }
+      out << "}\n";
+      return Status::OK();
+    }
+    out << "generation: " << Generation()
+        << "\ntransactions: " << NumTransactions() << "\nchecks: " << t.checks
+        << "\npair store: " << PairStoreSize()
+        << "; cycle store: " << CycleStoreSize() << "\ntotals: pairs "
+        << t.pairs_recomputed << " recomputed, " << t.pairs_reused
+        << " reused; cycles " << t.cycles_recomputed << " recomputed, "
+        << t.cycles_reused << " reused\n";
+    if (state_.sharded != nullptr) {
+      const ShardedCatalog& sc = *state_.sharded;
+      out << "shards: " << sc.num_shards() << "; transactions per shard:";
+      for (const ShardStats& s : sc.ShardBreakdown()) {
+        out << " " << s.transactions;
+      }
+      out << "\ncross-shard pairs: " << sc.cross_pairs() << " of "
+          << sc.cross_pairs() + sc.local_pairs() << " (ratio "
+          << FormatRatio(sc.CrossShardRatio()) << ")\n";
+    }
+    return Status::OK();
+  }
+
+  const SessionOptions& options_;
+  mutable std::mutex mu_;
+  Backend state_;
+  int64_t commands_ = 0;
+  int64_t checks_ = 0;
+  int errors_ = 0;
+};
+
+SessionCore::SessionCore(const SessionOptions& options)
+    : options_(options), impl_(std::make_unique<Impl>(options_)) {}
+
+SessionCore::~SessionCore() = default;
+
+SessionCore::Outcome SessionCore::Execute(const SessionCommand& cmd) {
+  return impl_->Execute(cmd);
+}
+
+bool SessionCore::StartsBlock(const std::string& verb, const std::string& arg,
+                              std::string* error) const {
+  return impl_->StartsBlock(verb, arg, error);
+}
+
+std::string SessionCore::RenderErrorResponse(const std::string& verb,
+                                             const std::string& message) {
+  return impl_->RenderErrorResponse(verb, message);
+}
+
+int64_t SessionCore::commands() const { return impl_->commands(); }
+int64_t SessionCore::checks() const { return impl_->checks(); }
+int SessionCore::errors() const { return impl_->errors(); }
+
+void SessionCore::ExportSessionStats() { impl_->ExportSessionStats(); }
+
+void SessionCore::ExportBackendStats(obs::StatsSink* sink) {
+  impl_->ExportBackendStats(sink);
+}
+
+// ---- CommandAssembler -----------------------------------------------------
+
+CommandAssembler::Step CommandAssembler::Consume(const std::string& raw) {
+  Step step;
+  const size_t max_line = core_->options().max_line_bytes;
+  if (max_line > 0 && raw.size() > max_line) {
+    std::string message = StrCat("oversized command line (", raw.size(),
+                                 " bytes; limit ", max_line, ")");
+    if (collecting_) {
+      // Abandon the open block: a lost line would silently corrupt the
+      // transaction, so the whole add/replace fails structurally.
+      std::string verb = pending_.verb;
+      collecting_ = false;
+      pending_ = SessionCommand();
+      step.response = core_->RenderErrorResponse(
+          verb, StrCat(message, " inside txn block"));
+      return step;
+    }
+    step.response = core_->RenderErrorResponse("input", message);
+    return step;
+  }
+  if (collecting_) {
+    pending_.block += raw;
+    pending_.block += '\n';
+    if (StripComment(raw) == "end") {
+      collecting_ = false;
+      step.command = std::move(pending_);
+      pending_ = SessionCommand();
+    }
+    return step;
+  }
+  std::string trimmed = Trim(raw);
+  if (!trimmed.empty() && trimmed[0] == '{') return JsonLine(trimmed);
+  std::string line = StripComment(raw);
+  if (line.empty()) return step;
+  std::istringstream cmd(line);
+  std::string verb;
+  cmd >> verb;
+  if (verb == "quit" || verb == "exit") {
+    step.quit = true;
+    return step;
+  }
+  std::string arg;
+  std::getline(cmd, arg);
+  SessionCommand c;
+  c.verb = verb;
+  c.arg = arg;
+  std::string error;
+  if (core_->StartsBlock(verb, arg, &error)) {
+    collecting_ = true;
+    pending_ = std::move(c);
+    return step;
+  }
+  if (!error.empty()) {
+    step.response = core_->RenderErrorResponse(verb, error);
+    return step;
+  }
+  step.command = std::move(c);
+  return step;
+}
+
+CommandAssembler::Step CommandAssembler::JsonLine(const std::string& line) {
+  Step step;
+  std::string jerr;
+  if (!obs::IsValidJson(line, &jerr)) {
+    step.response = core_->RenderErrorResponse(
+        "input", StrCat("invalid JSON command line: ", jerr));
+    return step;
+  }
+  SessionCommand cmd;
+  Status decoded = DecodeEnvelope(line, &cmd);
+  if (!decoded.ok()) {
+    step.response = core_->RenderErrorResponse("input", decoded.message());
+    return step;
+  }
+  if (cmd.verb == "quit" || cmd.verb == "exit") {
+    step.quit = true;
+    return step;
+  }
+  if (!cmd.block.empty() && cmd.verb != "add" && cmd.verb != "replace") {
+    step.response = core_->RenderErrorResponse(
+        cmd.verb, StrCat("JSON command '", cmd.verb,
+                         "' does not take a \"block\""));
+    return step;
+  }
+  if ((cmd.verb == "add" || cmd.verb == "replace") && cmd.block.empty()) {
+    step.response = core_->RenderErrorResponse(
+        cmd.verb,
+        StrCat("JSON command '", cmd.verb, "' requires a \"block\""));
+    return step;
+  }
+  step.command = std::move(cmd);
+  return step;
+}
+
+std::optional<std::string> CommandAssembler::Finish() {
+  if (!collecting_) return std::nullopt;
+  std::string verb = pending_.verb;
+  collecting_ = false;
+  pending_ = SessionCommand();
+  return core_->RenderErrorResponse(
+      verb, "unterminated txn block (missing 'end')");
+}
+
+}  // namespace dislock

@@ -1,0 +1,435 @@
+#include "core/incremental/sharded_catalog.h"
+
+#include <algorithm>
+#include <future>
+#include <optional>
+#include <unordered_set>
+#include <utility>
+
+#include "core/decision/context.h"
+#include "core/wire_keys.h"
+#include "graph/cycles.h"
+#include "obs/stats_sink.h"
+#include "obs/trace.h"
+#include "util/string_util.h"
+#include "util/thread_pool.h"
+
+namespace dislock {
+
+ShardedCatalog::ShardedCatalog(const DistributedDatabase* db, int num_shards,
+                               const EngineConfig& config)
+    : db_(db), num_shards_(num_shards) {
+  DISLOCK_CHECK(db != nullptr);
+  DISLOCK_CHECK(num_shards >= 1);
+  shards_.reserve(static_cast<size_t>(num_shards));
+  for (int s = 0; s < num_shards; ++s) {
+    auto shard = std::make_unique<Shard>();
+    shard->catalog = std::make_unique<TransactionCatalog>(
+        db, /*first_id=*/s, /*stride=*/num_shards);
+    shard->ctx = std::make_unique<EngineContext>(config);
+    shard->engine = std::make_unique<IncrementalSafetyEngine>(
+        shard->catalog.get(), shard->ctx.get());
+    shards_.push_back(std::move(shard));
+  }
+  coord_ctx_ = std::make_unique<EngineContext>(config);
+  if (num_shards > 1) {
+    shard_pool_ = std::make_unique<ThreadPool>(num_shards);
+  }
+}
+
+ShardedCatalog::~ShardedCatalog() = default;
+
+uint64_t ShardedCatalog::FootprintHash(const Transaction& txn) {
+  // FNV-1a over the little-endian bytes of each sorted locked entity id.
+  // Frozen: persisted traces must reshard identically forever.
+  uint64_t h = 14695981039346656037ULL;
+  for (EntityId e : txn.LockedEntities()) {
+    uint64_t v = static_cast<uint64_t>(static_cast<int64_t>(e));
+    for (int b = 0; b < 8; ++b) {
+      h ^= (v >> (8 * b)) & 0xFFU;
+      h *= 1099511628211ULL;
+    }
+  }
+  return h;
+}
+
+int ShardedCatalog::ShardOfFootprint(const Transaction& txn) const {
+  return static_cast<int>(FootprintHash(txn) %
+                          static_cast<uint64_t>(num_shards_));
+}
+
+Result<TxnId> ShardedCatalog::Add(Transaction txn) {
+  // Mirror TransactionCatalog's validation precedence (db, name, rules) so
+  // sharded and unsharded sessions emit identical errors; name uniqueness
+  // is checked globally here, then again shard-locally by the delegate.
+  if (&txn.db() != db_) {
+    return Status::InvalidArgument(StrCat(
+        "transaction '", txn.name(), "' is over a different database object"));
+  }
+  if (by_name_.find(txn.name()) != by_name_.end()) {
+    return Status::InvalidModel(
+        StrCat("duplicate transaction name '", txn.name(), "'"));
+  }
+  int s = ShardOfFootprint(txn);
+  std::string name = txn.name();
+  auto id = shards_[static_cast<size_t>(s)]->catalog->Add(std::move(txn));
+  if (!id.ok()) return id.status();
+  by_name_.emplace(std::move(name), *id);
+  order_.push_back(
+      {*id, s, shards_[static_cast<size_t>(s)]->catalog->Find(*id)});
+  ++generation_;
+  return *id;
+}
+
+Status ShardedCatalog::Remove(TxnId id) {
+  auto it = std::find_if(order_.begin(), order_.end(),
+                         [id](const GlobalEntry& e) { return e.id == id; });
+  if (it == order_.end()) {
+    return Status::NotFound(StrCat("no live transaction with id ", id));
+  }
+  DISLOCK_RETURN_NOT_OK(shards_[static_cast<size_t>(it->shard)]->catalog->Remove(id));
+  by_name_.erase(it->txn->name());
+  order_.erase(it);
+  ++generation_;
+  return Status::OK();
+}
+
+Status ShardedCatalog::RemoveByName(const std::string& name) {
+  auto named = by_name_.find(name);
+  if (named == by_name_.end()) {
+    return Status::NotFound(StrCat("no transaction named '", name, "'"));
+  }
+  return Remove(named->second);
+}
+
+Status ShardedCatalog::Replace(TxnId id, Transaction txn) {
+  auto it = std::find_if(order_.begin(), order_.end(),
+                         [id](const GlobalEntry& e) { return e.id == id; });
+  if (it == order_.end()) {
+    return Status::NotFound(StrCat("no live transaction with id ", id));
+  }
+  if (&txn.db() != db_) {
+    return Status::InvalidArgument(StrCat(
+        "transaction '", txn.name(), "' is over a different database object"));
+  }
+  auto named = by_name_.find(txn.name());
+  if (named != by_name_.end() && named->second != id) {
+    return Status::InvalidModel(
+        StrCat("duplicate transaction name '", txn.name(), "'"));
+  }
+  // The shard assignment is sticky: the replacement stays on `it->shard`
+  // even if its footprint now hashes elsewhere (see class docs).
+  TransactionCatalog* catalog = shards_[static_cast<size_t>(it->shard)]->catalog.get();
+  std::string old_name = it->txn->name();
+  DISLOCK_RETURN_NOT_OK(catalog->Replace(id, std::move(txn)));
+  by_name_.erase(old_name);
+  it->txn = catalog->Find(id);
+  by_name_.emplace(it->txn->name(), id);
+  ++generation_;
+  return Status::OK();
+}
+
+Status ShardedCatalog::ReplaceByName(const std::string& name,
+                                     Transaction txn) {
+  auto named = by_name_.find(name);
+  if (named == by_name_.end()) {
+    return Status::NotFound(StrCat("no transaction named '", name, "'"));
+  }
+  return Replace(named->second, std::move(txn));
+}
+
+CatalogSnapshot ShardedCatalog::Snapshot() const {
+  std::vector<TxnId> ids;
+  std::vector<std::shared_ptr<const Transaction>> txns;
+  ids.reserve(order_.size());
+  txns.reserve(order_.size());
+  for (const GlobalEntry& e : order_) {
+    ids.push_back(e.id);
+    txns.push_back(e.txn);
+  }
+  return CatalogSnapshot(db_, generation_, std::move(ids), std::move(txns));
+}
+
+std::shared_ptr<const Transaction> ShardedCatalog::Find(TxnId id) const {
+  for (const GlobalEntry& e : order_) {
+    if (e.id == id) return e.txn;
+  }
+  return nullptr;
+}
+
+int ShardedCatalog::OwnerOfPair(const std::pair<TxnId, TxnId>& key) const {
+  int sa = ShardOf(key.first);
+  int sb = ShardOf(key.second);
+  return sa == sb ? sa : num_shards_;
+}
+
+VerdictStore* ShardedCatalog::StoreOfOwner(int owner) {
+  return owner == num_shards_
+             ? &cross_store_
+             : shards_[static_cast<size_t>(owner)]->engine->mutable_store();
+}
+
+EngineContext* ShardedCatalog::CtxOfOwner(int owner) {
+  return owner == num_shards_ ? coord_ctx_.get()
+                              : shards_[static_cast<size_t>(owner)]->ctx.get();
+}
+
+int64_t ShardedCatalog::PairStoreSize() const {
+  int64_t n = static_cast<int64_t>(cross_store_.pairs.size());
+  for (const auto& s : shards_) n += s->engine->PairStoreSize();
+  return n;
+}
+
+int64_t ShardedCatalog::CycleStoreSize() const {
+  int64_t n = static_cast<int64_t>(cross_store_.cycles.size());
+  for (const auto& s : shards_) n += s->engine->CycleStoreSize();
+  return n;
+}
+
+double ShardedCatalog::CrossShardRatio() const {
+  int64_t total = local_pairs_ + cross_pairs_;
+  return total == 0 ? 0.0
+                    : static_cast<double>(cross_pairs_) /
+                          static_cast<double>(total);
+}
+
+std::vector<ShardStats> ShardedCatalog::ShardBreakdown() const {
+  std::vector<ShardStats> out;
+  out.reserve(shards_.size());
+  for (int s = 0; s < num_shards_; ++s) {
+    const Shard& shard = *shards_[static_cast<size_t>(s)];
+    out.push_back({s, shard.catalog->NumTransactions(),
+                   shard.engine->PairStoreSize(),
+                   shard.engine->CycleStoreSize()});
+  }
+  return out;
+}
+
+void ShardedCatalog::ExportStats(obs::StatsSink* sink) const {
+  if (sink == nullptr) return;
+  sink->SetGauge(wire::kMetricShardCount, static_cast<double>(num_shards_));
+  sink->AddCounter(wire::kMetricCrossShardPairs, cross_pairs_);
+  sink->AddCounter(wire::kMetricLocalShardPairs, local_pairs_);
+  sink->SetGauge(wire::kMetricCrossShardRatio, CrossShardRatio());
+  for (const ShardStats& s : ShardBreakdown()) {
+    obs::PrefixedSink shard_sink(
+        StrCat(wire::kMetricShardPrefix, ".", std::to_string(s.shard)), sink);
+    shard_sink.SetGauge(wire::kMetricShardTransactions,
+                        static_cast<double>(s.transactions));
+    shard_sink.SetGauge(wire::kMetricShardPairStore,
+                        static_cast<double>(s.pair_store));
+    shard_sink.SetGauge(wire::kMetricShardCycleStore,
+                        static_cast<double>(s.cycle_store));
+  }
+}
+
+MultiSafetyReport ShardedCatalog::Check() {
+  const EngineConfig& options = coord_ctx_->config();
+  CatalogSnapshot snap = Snapshot();
+  SystemView view = snap.View();
+  MultiSafetyReport report;
+  DeltaStats delta;
+  const int kCross = num_shards_;
+
+  // ---- Diff against the previous Check by pointer identity per id —
+  // the IncrementalSafetyEngine loop verbatim, at coordinator scope. ----
+  std::optional<obs::TraceSpan> diff_span;
+  diff_span.emplace(coord_ctx_->trace(), wire::kSpanIncrementalDiff);
+  std::unordered_map<TxnId, std::shared_ptr<const Transaction>> cur;
+  cur.reserve(static_cast<size_t>(snap.NumTransactions()));
+  for (int i = 0; i < snap.NumTransactions(); ++i) {
+    cur.emplace(snap.id(i), snap.txn_ptr(i));
+  }
+  std::unordered_set<TxnId> edited;
+  if (!has_prev_) {
+    delta.full = true;
+  } else {
+    for (const auto& [id, txn] : prev_) {
+      auto it = cur.find(id);
+      if (it == cur.end()) {
+        ++delta.txns_removed;
+        edited.insert(id);
+      } else if (it->second.get() != txn.get()) {
+        ++delta.txns_replaced;
+        edited.insert(id);
+      }
+    }
+    for (const auto& [id, txn] : cur) {
+      if (prev_.find(id) == prev_.end()) ++delta.txns_added;
+    }
+  }
+  diff_span.reset();
+
+  // ---- Invalidate the edited keys in every store. A key lives in exactly
+  // one store, so this drops exactly what the single engine would drop. ----
+  std::optional<obs::TraceSpan> invalidate_span;
+  invalidate_span.emplace(coord_ctx_->trace(), wire::kSpanIncrementalInvalidate);
+  for (auto& s : shards_) s->engine->mutable_store()->Invalidate(edited);
+  cross_store_.Invalidate(edited);
+  invalidate_span.reset();
+
+  // ---- Condition (a): bucket the conflicting pairs by owner, decide each
+  // bucket's dirty keys on its shard (exhaustively — determinism), then
+  // replay the one serial scan over the union of stores. ----
+  std::optional<obs::TraceSpan> pairs_span;
+  pairs_span.emplace(coord_ctx_->trace(), wire::kSpanIncrementalPairs);
+  Digraph g = BuildTransactionConflictGraph(view);
+  std::vector<std::pair<int, int>> pairs = ConflictingPairs(g);
+  std::vector<std::pair<TxnId, TxnId>> keys;
+  std::vector<int> owner_of(pairs.size());
+  keys.reserve(pairs.size());
+  std::vector<std::vector<std::pair<int, int>>> bucket_pairs(
+      static_cast<size_t>(num_shards_) + 1);
+  std::vector<std::vector<std::pair<TxnId, TxnId>>> bucket_keys(
+      static_cast<size_t>(num_shards_) + 1);
+  for (size_t p = 0; p < pairs.size(); ++p) {
+    TxnId a = snap.id(pairs[p].first);
+    TxnId b = snap.id(pairs[p].second);
+    std::pair<TxnId, TxnId> key(std::min(a, b), std::max(a, b));
+    keys.push_back(key);
+    int owner = OwnerOfPair(key);
+    owner_of[p] = owner;
+    bucket_pairs[static_cast<size_t>(owner)].push_back(pairs[p]);
+    bucket_keys[static_cast<size_t>(owner)].push_back(key);
+  }
+  int64_t cross_now =
+      static_cast<int64_t>(bucket_pairs[static_cast<size_t>(kCross)].size());
+  cross_pairs_ += cross_now;
+  local_pairs_ += static_cast<int64_t>(pairs.size()) - cross_now;
+
+  std::vector<int64_t> recomputed(static_cast<size_t>(num_shards_) + 1, 0);
+  auto decide_bucket = [&](int owner) {
+    recomputed[static_cast<size_t>(owner)] = DecideDirtyPairs(
+        view, bucket_pairs[static_cast<size_t>(owner)],
+        bucket_keys[static_cast<size_t>(owner)], CtxOfOwner(owner),
+        StoreOfOwner(owner));
+  };
+  if (shard_pool_ != nullptr) {
+    std::vector<std::future<void>> futures;
+    for (int owner = 0; owner <= kCross; ++owner) {
+      if (bucket_pairs[static_cast<size_t>(owner)].empty()) continue;
+      futures.push_back(
+          shard_pool_->Submit([&, owner] { decide_bucket(owner); }));
+    }
+    for (auto& f : futures) f.get();
+  } else {
+    for (int owner = 0; owner <= kCross; ++owner) decide_bucket(owner);
+  }
+  for (int owner = 0; owner <= kCross; ++owner) {
+    delta.pairs_recomputed += recomputed[static_cast<size_t>(owner)];
+  }
+  delta.pairs_reused =
+      static_cast<int64_t>(pairs.size()) - delta.pairs_recomputed;
+
+  auto [scan, num_groups] = BuildStoredPairScan(
+      view, pairs,
+      [&](size_t p) {
+        return &StoreOfOwner(owner_of[p])->pairs.at(keys[p]);
+      },
+      options);
+  std::optional<size_t> failing = ReplayPairScan(scan, num_groups, {}, &report);
+  pairs_span.reset();
+
+  prev_ = std::move(cur);
+  has_prev_ = true;
+
+  if (!failing.has_value()) {
+    // ---- Condition (b): same enumeration and replay as the single
+    // engine; cycle keys bucketed by owner (a shard owns a cycle only when
+    // every transaction on it lives there). ----
+    obs::TraceSpan cycles_span(coord_ctx_->trace(), wire::kSpanIncrementalCycles);
+    std::vector<std::vector<NodeId>> cycles =
+        options.use_flat_kernel ? SimpleCyclesFlat(g, options.max_cycles)
+                                : SimpleCycles(g, options.max_cycles);
+    bool budget_exhausted =
+        static_cast<int64_t>(cycles.size()) >= options.max_cycles;
+    const size_t min_len = options.include_two_cycles ? 2 : 3;
+    std::vector<std::vector<int>> to_check;
+    for (const auto& cycle : cycles) {
+      if (cycle.size() < min_len) continue;
+      to_check.emplace_back(cycle.begin(), cycle.end());
+    }
+    std::vector<std::vector<TxnId>> cycle_keys;
+    std::vector<int> cycle_owner(to_check.size());
+    cycle_keys.reserve(to_check.size());
+    std::vector<std::vector<std::vector<int>>> owner_cycles(
+        static_cast<size_t>(num_shards_) + 1);
+    std::vector<std::vector<std::vector<TxnId>>> owner_keys(
+        static_cast<size_t>(num_shards_) + 1);
+    for (size_t c = 0; c < to_check.size(); ++c) {
+      std::vector<TxnId> ids;
+      ids.reserve(to_check[c].size());
+      for (int v : to_check[c]) ids.push_back(snap.id(v));
+      int owner = ShardOf(ids[0]);
+      for (TxnId id : ids) {
+        if (ShardOf(id) != owner) {
+          owner = kCross;
+          break;
+        }
+      }
+      cycle_owner[c] = owner;
+      cycle_keys.push_back(CanonicalCycleKey(ids));
+      owner_cycles[static_cast<size_t>(owner)].push_back(to_check[c]);
+      owner_keys[static_cast<size_t>(owner)].push_back(cycle_keys.back());
+    }
+
+    // One FlatCycleChecker shared read-only across every bucket; built
+    // eagerly (before the fan-out) iff some bucket has dirty work.
+    bool any_dirty = false;
+    for (size_t c = 0; c < to_check.size() && !any_dirty; ++c) {
+      VerdictStore* store = StoreOfOwner(cycle_owner[c]);
+      any_dirty = store->cycles.find(cycle_keys[c]) == store->cycles.end();
+    }
+    std::optional<FlatCycleChecker> flat_checker;
+    if (options.use_flat_kernel && any_dirty) flat_checker.emplace(view, pairs);
+    auto checker = [&]() -> const FlatCycleChecker* {
+      return flat_checker.has_value() ? &*flat_checker : nullptr;
+    };
+
+    std::vector<int64_t> cycles_recomputed(
+        static_cast<size_t>(num_shards_) + 1, 0);
+    auto decide_cycles = [&](int owner) {
+      cycles_recomputed[static_cast<size_t>(owner)] = DecideDirtyCycles(
+          view, owner_cycles[static_cast<size_t>(owner)],
+          owner_keys[static_cast<size_t>(owner)], checker, CtxOfOwner(owner),
+          StoreOfOwner(owner));
+    };
+    if (shard_pool_ != nullptr) {
+      std::vector<std::future<void>> futures;
+      for (int owner = 0; owner <= kCross; ++owner) {
+        if (owner_cycles[static_cast<size_t>(owner)].empty()) continue;
+        futures.push_back(
+            shard_pool_->Submit([&, owner] { decide_cycles(owner); }));
+      }
+      for (auto& f : futures) f.get();
+    } else {
+      for (int owner = 0; owner <= kCross; ++owner) decide_cycles(owner);
+    }
+    for (int owner = 0; owner <= kCross; ++owner) {
+      delta.cycles_recomputed += cycles_recomputed[static_cast<size_t>(owner)];
+    }
+    delta.cycles_reused =
+        static_cast<int64_t>(to_check.size()) - delta.cycles_recomputed;
+
+    size_t first_acyclic = to_check.size();
+    for (size_t c = 0; c < to_check.size(); ++c) {
+      if (!StoreOfOwner(cycle_owner[c])->cycles.at(cycle_keys[c])) {
+        first_acyclic = c;
+        break;
+      }
+    }
+    ReduceCycleScan(&to_check, first_acyclic, budget_exhausted, &report);
+  }
+  // else: condition (a) failed — cycles_reused/cycles_recomputed stay 0,
+  // exactly like the single engine.
+
+  report.delta = delta;
+  ++totals_.checks;
+  totals_.pairs_reused += delta.pairs_reused;
+  totals_.pairs_recomputed += delta.pairs_recomputed;
+  totals_.cycles_reused += delta.cycles_reused;
+  totals_.cycles_recomputed += delta.cycles_recomputed;
+  return report;
+}
+
+}  // namespace dislock

@@ -1,0 +1,178 @@
+#ifndef DISLOCK_CORE_INCREMENTAL_SHARDED_CATALOG_H_
+#define DISLOCK_CORE_INCREMENTAL_SHARDED_CATALOG_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/incremental/engine.h"
+#include "core/incremental/store.h"
+#include "core/multi.h"
+#include "txn/catalog.h"
+
+namespace dislock {
+
+namespace obs {
+class StatsSink;
+}  // namespace obs
+
+class EngineContext;
+class ThreadPool;
+
+/// Per-shard breakdown for the serve stats surface.
+struct ShardStats {
+  int shard = 0;
+  int transactions = 0;
+  int64_t pair_store = 0;
+  int64_t cycle_store = 0;
+};
+
+/// A shard-per-core catalog: K TransactionCatalogs, each with its own
+/// IncrementalSafetyEngine (store + context + optional verdict cache), plus
+/// a small coordinator owning the cross-shard remainder. Motivated by
+/// partial-replication designs — partition by data footprint so most work
+/// stays partition-local (see docs/serve.md).
+///
+/// Placement: a transaction is routed to shard FootprintHash(txn) % K,
+/// where FootprintHash is a stable FNV-1a hash of the sorted locked-entity
+/// footprint — the same definition forever, pinned by tests, so a trace
+/// replayed tomorrow shards identically. The assignment is decided once at
+/// Add and kept across Replace (the replacement may change the footprint;
+/// moving the transaction would change its id, and ids are the stable
+/// handles). Shard s allocates TxnIds on the lane s, s+K, s+2K, ... — ids
+/// are globally unique, never reused, and `id % K` recovers the shard.
+///
+/// Verdict ownership: the unordered pair {a, b} belongs to shard s when
+/// both ids live on s, else to the coordinator's cross store; a directed
+/// cycle belongs to a shard when every id on it does. The union of all
+/// stores therefore holds exactly the keys a single unsharded engine would
+/// hold — no key in two stores — which is what makes the merged report
+/// byte-identical (see Check()).
+///
+/// Check() — the coordinator runs the SAME algorithm as
+/// IncrementalSafetyEngine::Check over the merged snapshot (global
+/// insertion order): diff by pointer identity, invalidate edited keys in
+/// every store, decide dirty pairs/cycles exhaustively (fanned out
+/// shard-per-worker, each shard deciding the dirty keys it owns against its
+/// own store and context), then replay the one serial memoized scan over
+/// the union of stores. Every decided verdict is a pure function of the
+/// two (or k) transactions involved, so WHERE it was computed cannot change
+/// it; the replay order and the store membership match the single-engine
+/// run; hence verdict, counters, pipeline stats, and DeltaStats — the whole
+/// report — are byte-identical to a 1-shard (or unsharded) run at any
+/// thread count. Pinned by tests/sharded_catalog_test.cc differentially.
+///
+/// Not thread-safe: one mutation or Check at a time (the serve layer
+/// sequences commands; Check parallelizes internally).
+class ShardedCatalog {
+ public:
+  /// `db` must outlive the catalog. `num_shards >= 1`; `config` is used
+  /// for every shard context and the coordinator context.
+  ShardedCatalog(const DistributedDatabase* db, int num_shards,
+                 const EngineConfig& config);
+  ~ShardedCatalog();
+
+  ShardedCatalog(const ShardedCatalog&) = delete;
+  ShardedCatalog& operator=(const ShardedCatalog&) = delete;
+
+  /// Stable FNV-1a hash of the sorted locked-entity footprint. Pure
+  /// function of the footprint — independent of name, steps order, shard
+  /// count, or process — pinned by tests so persisted traces reshard
+  /// identically forever.
+  static uint64_t FootprintHash(const Transaction& txn);
+
+  /// The shard a fresh Add of `txn` would route to.
+  int ShardOfFootprint(const Transaction& txn) const;
+  /// The shard owning a live (lane-allocated) id.
+  int ShardOf(TxnId id) const { return static_cast<int>(id % num_shards_); }
+
+  // Mutations mirror TransactionCatalog's contracts and error messages
+  // exactly (name uniqueness is global across shards).
+  Result<TxnId> Add(Transaction txn);
+  Status Remove(TxnId id);
+  Status RemoveByName(const std::string& name);
+  Status Replace(TxnId id, Transaction txn);
+  Status ReplaceByName(const std::string& name, Transaction txn);
+
+  /// Incremental safety analysis of the merged catalog; byte-identical to
+  /// a single-engine run over the same command history (see class docs).
+  MultiSafetyReport Check();
+
+  /// Merged snapshot in global insertion order (Replace keeps its slot) —
+  /// the dense order Check()'s report indices refer to.
+  CatalogSnapshot Snapshot() const;
+
+  int NumTransactions() const { return static_cast<int>(order_.size()); }
+  /// +1 per successful mutation — equal to the generation a single catalog
+  /// would have after the same command sequence.
+  int64_t generation() const { return generation_; }
+  int num_shards() const { return num_shards_; }
+  const DistributedDatabase& db() const { return *db_; }
+
+  std::shared_ptr<const Transaction> Find(TxnId id) const;
+
+  const EngineTotals& totals() const { return totals_; }
+  /// Pair verdicts held across all shard stores plus the cross store.
+  int64_t PairStoreSize() const;
+  int64_t CycleStoreSize() const;
+
+  /// Conflicting-pair routing over all Checks so far: pairs whose verdict
+  /// key was shard-local vs cross-shard. The serve stats surface reports
+  /// cross_pairs / (cross + local) as the cross-shard ratio.
+  int64_t local_pairs() const { return local_pairs_; }
+  int64_t cross_pairs() const { return cross_pairs_; }
+  double CrossShardRatio() const;
+
+  std::vector<ShardStats> ShardBreakdown() const;
+
+  /// Pours the sharding counters (wire_keys.h metric names) into `sink`.
+  void ExportStats(obs::StatsSink* sink) const;
+
+ private:
+  struct Shard {
+    std::unique_ptr<TransactionCatalog> catalog;
+    std::unique_ptr<EngineContext> ctx;
+    std::unique_ptr<IncrementalSafetyEngine> engine;
+  };
+  /// One live transaction in global insertion order. The shared_ptr mirrors
+  /// the shard catalog's current definition (refreshed on Replace) so
+  /// Snapshot() is O(n).
+  struct GlobalEntry {
+    TxnId id;
+    int shard;
+    std::shared_ptr<const Transaction> txn;
+  };
+
+  /// Owner of a pair key: the common shard, or num_shards_ for cross.
+  int OwnerOfPair(const std::pair<TxnId, TxnId>& key) const;
+  VerdictStore* StoreOfOwner(int owner);
+  EngineContext* CtxOfOwner(int owner);
+
+  const DistributedDatabase* db_;
+  int num_shards_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::unique_ptr<EngineContext> coord_ctx_;
+  /// One worker per shard for the decide fan-out; null when K == 1.
+  std::unique_ptr<ThreadPool> shard_pool_;
+  /// Pair/cycle verdicts spanning two or more shards.
+  VerdictStore cross_store_;
+
+  std::vector<GlobalEntry> order_;
+  std::map<std::string, TxnId> by_name_;
+  int64_t generation_ = 0;
+
+  /// Coordinator diff state, exactly as in IncrementalSafetyEngine.
+  std::unordered_map<TxnId, std::shared_ptr<const Transaction>> prev_;
+  bool has_prev_ = false;
+
+  EngineTotals totals_;
+  int64_t local_pairs_ = 0;
+  int64_t cross_pairs_ = 0;
+};
+
+}  // namespace dislock
+
+#endif  // DISLOCK_CORE_INCREMENTAL_SHARDED_CATALOG_H_

@@ -1,0 +1,41 @@
+#ifndef DISLOCK_SERVE_SERVER_H_
+#define DISLOCK_SERVE_SERVER_H_
+
+#include <iosfwd>
+#include <string>
+
+namespace dislock {
+namespace serve {
+
+class SafetyService;
+
+/// TCP transport configuration for RunServer. The server binds
+/// host:port, announces the bound address on `log` as
+///   dislock_serve: listening on HOST:PORT
+/// (PORT is the kernel-assigned port when `port` is 0), and serves until
+/// a client issues `shutdown`.
+struct ServerOptions {
+  std::string host = "127.0.0.1";
+  int port = 4400;  // 0 = ephemeral; the announce line carries the real one
+};
+
+/// Runs the accept loop for `service` on a listening TCP socket. One
+/// reader thread per connection feeds lines into the service; responses
+/// are written back from the sequencer thread via the client's Respond
+/// callback. Returns 0 on a clean `shutdown`, 1 on a socket-level setup
+/// failure (bind/listen), with the failure described on `log`.
+int RunServer(SafetyService* service, const ServerOptions& options,
+              std::ostream& log);
+
+/// Scripted client: connects to host:port, sends every line of `script`,
+/// half-closes the write side, and copies all responses to `out` until
+/// the server closes the connection. This is the CI smoke / golden-diff
+/// client. Returns 0 on success, 1 on connect/IO failure (described on
+/// `log`).
+int RunClientTrace(const std::string& host, int port, std::istream& script,
+                   std::ostream& out, std::ostream& log);
+
+}  // namespace serve
+}  // namespace dislock
+
+#endif  // DISLOCK_SERVE_SERVER_H_

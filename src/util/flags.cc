@@ -83,6 +83,42 @@ FlagParse ParseCommonFlag(int argc, char** argv, int i, unsigned accepted,
     }
   }
 
+  // The three serve flags share the integer-valued shape of --threads; the
+  // value contracts (ranges, 0 meaning "per hardware thread") are enforced
+  // by the tool after parsing, like --threads.
+  if ((accepted & kPortFlag) != 0) {
+    if (const char* v = FlagValue(argc, argv, i, "--port", &two)) {
+      if (v == kMissing) {
+        if (error != nullptr) *error = "--port requires a value";
+        return FlagParse::kError;
+      }
+      flags->port = std::atoi(v);
+      return two ? FlagParse::kConsumedTwo : FlagParse::kConsumedOne;
+    }
+  }
+
+  if ((accepted & kClientsFlag) != 0) {
+    if (const char* v = FlagValue(argc, argv, i, "--clients", &two)) {
+      if (v == kMissing) {
+        if (error != nullptr) *error = "--clients requires a value";
+        return FlagParse::kError;
+      }
+      flags->clients = std::atoi(v);
+      return two ? FlagParse::kConsumedTwo : FlagParse::kConsumedOne;
+    }
+  }
+
+  if ((accepted & kShardsFlag) != 0) {
+    if (const char* v = FlagValue(argc, argv, i, "--shards", &two)) {
+      if (v == kMissing) {
+        if (error != nullptr) *error = "--shards requires a value";
+        return FlagParse::kError;
+      }
+      flags->shards = std::atoi(v);
+      return two ? FlagParse::kConsumedTwo : FlagParse::kConsumedOne;
+    }
+  }
+
   if ((accepted & kMetricsFlag) != 0) {
     // --metrics takes an *optional* =FILE, so the space-separated spelling
     // is not supported (it would swallow positionals).
@@ -128,6 +164,23 @@ std::string CommonFlagsHelp(unsigned accepted) {
     out +=
         "  --metrics[=FILE]  write the flat metrics JSON block to FILE\n"
         "                    (default: stderr); never changes report output\n";
+  }
+  if ((accepted & kPortFlag) != 0) {
+    out +=
+        "  --port N          TCP port to listen on / connect to; 0 asks the\n"
+        "                    kernel for an ephemeral port (the server\n"
+        "                    announces the real one on startup)\n";
+  }
+  if ((accepted & kClientsFlag) != 0) {
+    out +=
+        "  --clients N       simulated concurrent clients for the load\n"
+        "                    driver / serve bench\n";
+  }
+  if ((accepted & kShardsFlag) != 0) {
+    out +=
+        "  --shards K        shard the catalog K ways by entity-footprint\n"
+        "                    hash; 0 = one shard per hardware thread; check\n"
+        "                    reports are byte-identical at any K\n";
   }
   return out;
 }

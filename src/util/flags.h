@@ -19,6 +19,9 @@ struct CommonFlags {
   std::string trace_path;    // --trace=FILE; empty = tracing off
   bool metrics = false;      // --metrics[=FILE]
   std::string metrics_path;  // empty or "-" = stderr
+  int port = 4400;           // --port N; 0 = ephemeral (serve announces it)
+  int clients = 100;         // --clients N; simulated clients (load driver)
+  int shards = 1;            // --shards K; 0 = one per hardware thread
 };
 
 enum CommonFlagSet : unsigned {
@@ -27,7 +30,11 @@ enum CommonFlagSet : unsigned {
   kFormatFlag = 1u << 2,   // --format[=]text|json|sarif, --json, --sarif
   kTraceFlag = 1u << 3,    // --trace=FILE | --trace FILE
   kMetricsFlag = 1u << 4,  // --metrics[=FILE]
+  kPortFlag = 1u << 5,     // --port N | --port=N       (dislock_serve)
+  kClientsFlag = 1u << 6,  // --clients N | --clients=N (load driver, bench)
+  kShardsFlag = 1u << 7,   // --shards K | --shards=K   (sharded catalog)
   kObsFlags = kTraceFlag | kMetricsFlag,
+  kServeFlags = kPortFlag | kClientsFlag | kShardsFlag,
 };
 
 enum class FlagParse {

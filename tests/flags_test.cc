@@ -149,6 +149,48 @@ TEST(Flags, DefaultsMatchTheDocumentedContract) {
   EXPECT_EQ(flags.format, "text");
   EXPECT_TRUE(flags.trace_path.empty());
   EXPECT_FALSE(flags.metrics);
+  EXPECT_EQ(flags.port, 4400);
+  EXPECT_EQ(flags.clients, 100);
+  EXPECT_EQ(flags.shards, 1);
+}
+
+TEST(Flags, ServeFlagsBothSpellings) {
+  ParseOutcome port = Parse({"--port", "7001"}, kServeFlags);
+  EXPECT_EQ(port.result, FlagParse::kConsumedTwo);
+  EXPECT_EQ(port.flags.port, 7001);
+  EXPECT_EQ(Parse({"--port=0"}, kServeFlags).flags.port, 0);
+
+  ParseOutcome clients = Parse({"--clients=250"}, kServeFlags);
+  EXPECT_EQ(clients.result, FlagParse::kConsumedOne);
+  EXPECT_EQ(clients.flags.clients, 250);
+
+  ParseOutcome shards = Parse({"--shards", "4"}, kServeFlags);
+  EXPECT_EQ(shards.result, FlagParse::kConsumedTwo);
+  EXPECT_EQ(shards.flags.shards, 4);
+}
+
+TEST(Flags, ServeFlagsMissingValuesAreErrors) {
+  for (const char* flag : {"--port", "--clients", "--shards"}) {
+    ParseOutcome out = Parse({flag}, kServeFlags);
+    EXPECT_EQ(out.result, FlagParse::kError) << flag;
+    EXPECT_EQ(out.error, std::string(flag) + " requires a value") << flag;
+  }
+}
+
+TEST(Flags, ServeFlagsRespectTheAcceptedSet) {
+  // A tool that doesn't opt into kServeFlags leaves them for its own
+  // unknown-argument rejection (the uniform exit-2 contract).
+  EXPECT_EQ(Parse({"--port=7001"}, kThreadsFlag).result,
+            FlagParse::kNotCommon);
+  EXPECT_EQ(Parse({"--clients=8"}, kThreadsFlag).result,
+            FlagParse::kNotCommon);
+  EXPECT_EQ(Parse({"--shards=2"}, kThreadsFlag).result,
+            FlagParse::kNotCommon);
+  std::string help = CommonFlagsHelp(kServeFlags);
+  for (const char* flag : {"--port", "--clients", "--shards"}) {
+    EXPECT_NE(help.find(flag), std::string::npos) << flag;
+  }
+  EXPECT_EQ(CommonFlagsHelp(kThreadsFlag).find("--port"), std::string::npos);
 }
 
 }  // namespace

@@ -1,0 +1,187 @@
+// Session robustness: hostile or malformed input must produce a structured
+// error response — never a crash, never a silently dropped line — and the
+// session must keep serving afterwards. Covers malformed JSON command
+// lines, the strict envelope decoder, oversized lines (plain and
+// mid-block), EOF inside a txn block, and the JSON-envelope command path
+// the serve layer speaks.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "core/incremental/session.h"
+
+namespace dislock {
+namespace {
+
+struct RunResult {
+  std::string out;
+  int failed = 0;
+};
+
+RunResult RunScript(const std::string& input, bool json = true,
+              size_t max_line_bytes = 1 << 20) {
+  std::istringstream in(input);
+  std::ostringstream out;
+  SessionOptions options;
+  options.json = json;
+  options.load_root = DISLOCK_SOURCE_DIR;
+  options.max_line_bytes = max_line_bytes;
+  RunResult result;
+  result.failed = RunSession(in, out, options);
+  result.out = out.str();
+  return result;
+}
+
+TEST(SessionRobustness, MalformedJsonLineIsAStructuredError) {
+  RunResult r = RunScript("{\"cmd\": \"check\"\ncheck\n");  // missing brace, then ok
+  EXPECT_EQ(r.failed, 2);  // the bad line + check-before-load
+  EXPECT_NE(r.out.find("invalid JSON command line:"), std::string::npos)
+      << r.out;
+  // The session kept going: the following command was executed (and failed
+  // for its own reason, proving the parser recovered).
+  EXPECT_NE(r.out.find("no system loaded"), std::string::npos) << r.out;
+}
+
+TEST(SessionRobustness, EnvelopeRejectsUnknownKeys) {
+  RunResult r = RunScript("{\"cmd\": \"check\", \"frob\": \"x\"}\n");
+  EXPECT_EQ(r.failed, 1);
+  EXPECT_NE(r.out.find("unknown JSON command key 'frob'"), std::string::npos)
+      << r.out;
+}
+
+TEST(SessionRobustness, EnvelopeRejectsNonStringValues) {
+  RunResult r = RunScript("{\"cmd\": 7}\n");
+  EXPECT_EQ(r.failed, 1);
+  // The quotes inside the message are JSON-escaped on the wire.
+  EXPECT_NE(r.out.find("JSON command key \\\"cmd\\\" must be a string"),
+            std::string::npos)
+      << r.out;
+}
+
+TEST(SessionRobustness, EnvelopeRequiresCmd) {
+  RunResult r = RunScript("{\"arg\": \"data/ring3.dlk\"}\n");
+  EXPECT_EQ(r.failed, 1);
+  EXPECT_NE(r.out.find("JSON command line is missing \\\"cmd\\\""),
+            std::string::npos)
+      << r.out;
+}
+
+TEST(SessionRobustness, UnknownCommandReportsAndContinues) {
+  RunResult r = RunScript("frobnicate now\nload data/ring3.dlk\nquit\n");
+  EXPECT_EQ(r.failed, 1);
+  EXPECT_NE(r.out.find("unknown command 'frobnicate' (try 'help')"),
+            std::string::npos)
+      << r.out;
+  EXPECT_NE(r.out.find("\"cmd\": \"load\", \"ok\": true"), std::string::npos)
+      << r.out;
+}
+
+TEST(SessionRobustness, EofMidBlockIsAStructuredError) {
+  RunResult r = RunScript(
+      "load data/ring3.dlk\n"
+      "add\n"
+      "txn Dangling\n"
+      "  lock a\n");  // stream ends inside the block
+  EXPECT_EQ(r.failed, 1);
+  EXPECT_NE(r.out.find("unterminated txn block (missing 'end')"),
+            std::string::npos)
+      << r.out;
+  // The error is attributed to the verb that opened the block.
+  EXPECT_NE(r.out.find("\"cmd\": \"add\", \"ok\": false"), std::string::npos)
+      << r.out;
+}
+
+TEST(SessionRobustness, OversizedLineIsAStructuredError) {
+  std::string big(100, 'x');
+  RunResult r = RunScript(big + "\ncheck\n", /*json=*/true, /*max_line_bytes=*/64);
+  EXPECT_EQ(r.failed, 2);  // oversized + check-before-load
+  EXPECT_NE(r.out.find("oversized command line (100 bytes; limit 64)"),
+            std::string::npos)
+      << r.out;
+  // Transport-level failures carry the synthetic verb "input".
+  EXPECT_NE(r.out.find("\"cmd\": \"input\", \"ok\": false"),
+            std::string::npos)
+      << r.out;
+  EXPECT_NE(r.out.find("no system loaded"), std::string::npos) << r.out;
+}
+
+TEST(SessionRobustness, OversizedLineInsideBlockAbandonsTheBlock) {
+  std::string big(80, 'y');
+  RunResult r = RunScript(
+      "load data/ring3.dlk\n"
+      "add\ntxn Huge\n" +
+          big +
+          "\nend\n"
+          "list\nquit\n",
+      /*json=*/false, /*max_line_bytes=*/64);
+  EXPECT_EQ(r.failed, 2);  // the aborted add + the stray "end"
+  EXPECT_NE(
+      r.out.find("oversized command line (80 bytes; limit 64) inside txn "
+                 "block"),
+      std::string::npos)
+      << r.out;
+  // The catalog is untouched: still exactly the three loaded transactions.
+  EXPECT_EQ(r.out.find("Huge"), std::string::npos) << r.out;
+  EXPECT_NE(r.out.find("MoveAB"), std::string::npos) << r.out;
+}
+
+TEST(SessionRobustness, ZeroMaxLineBytesDisablesTheLimit) {
+  std::string big = "# " + std::string(1 << 10, 'z');
+  RunResult r = RunScript(big + "\n", /*json=*/true, /*max_line_bytes=*/0);
+  EXPECT_EQ(r.failed, 0);
+  EXPECT_TRUE(r.out.empty()) << r.out;
+}
+
+TEST(SessionRobustness, JsonEnvelopeDrivesAFullSession) {
+  RunResult r = RunScript(
+      "{\"cmd\": \"load\", \"arg\": \"data/ring3.dlk\"}\n"
+      "{\"cmd\": \"add\", \"block\": \"txn X\\n  lock a\\n  update a\\n"
+      "  unlock a\\nend\"}\n"
+      "{\"cmd\": \"check\"}\n"
+      "{\"cmd\": \"remove\", \"arg\": \"X\"}\n"
+      "{\"cmd\": \"quit\"}\n");
+  EXPECT_EQ(r.failed, 0) << r.out;
+  EXPECT_NE(r.out.find("\"cmd\": \"load\", \"ok\": true"), std::string::npos);
+  EXPECT_NE(r.out.find("\"cmd\": \"add\", \"ok\": true, \"name\": \"X\""),
+            std::string::npos)
+      << r.out;
+  EXPECT_NE(r.out.find("\"cmd\": \"check\", \"ok\": true"),
+            std::string::npos);
+  EXPECT_NE(r.out.find("\"cmd\": \"remove\", \"ok\": true"),
+            std::string::npos);
+}
+
+TEST(SessionRobustness, EnvelopeBlockRules) {
+  // add without a block.
+  RunResult r = RunScript(
+      "{\"cmd\": \"load\", \"arg\": \"data/ring3.dlk\"}\n"
+      "{\"cmd\": \"add\"}\n");
+  EXPECT_EQ(r.failed, 1);
+  EXPECT_NE(r.out.find("JSON command 'add' requires a \\\"block\\\""),
+            std::string::npos)
+      << r.out;
+  // check with a block.
+  r = RunScript("{\"cmd\": \"check\", \"block\": \"txn X\\nend\"}\n");
+  EXPECT_EQ(r.failed, 1);
+  EXPECT_NE(r.out.find("JSON command 'check' does not take a \\\"block\\\""),
+            std::string::npos)
+      << r.out;
+}
+
+TEST(SessionRobustness, TextAndJsonAgreeOnErrorAccounting) {
+  const std::string script =
+      "check\n"
+      "{\"cmd\": \"bogus\"\n"
+      "load data/ring3.dlk\n"
+      "add\n"
+      "txn Y\n";
+  RunResult text = RunScript(script, /*json=*/false);
+  RunResult json = RunScript(script, /*json=*/true);
+  EXPECT_EQ(text.failed, json.failed);
+  EXPECT_EQ(text.failed, 3);  // check-before-load, bad JSON, EOF mid-block
+}
+
+}  // namespace
+}  // namespace dislock

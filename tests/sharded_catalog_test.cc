@@ -1,0 +1,347 @@
+// ShardedCatalog: the byte-identity contract (the merged sharded check
+// report equals the single-engine report for any edit script, at any shard
+// and thread count), the frozen FootprintHash placement function, lane
+// TxnId allocation (globally unique, never reused, id % K = shard), sticky
+// shard assignment across Replace, and error-message parity with
+// TransactionCatalog.
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <memory>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/decision/context.h"
+#include "core/incremental/engine.h"
+#include "core/incremental/sharded_catalog.h"
+#include "core/multi.h"
+#include "core/policy.h"
+#include "core/report.h"
+#include "txn/catalog.h"
+#include "txn/text_format.h"
+#include "util/random.h"
+#include "util/string_util.h"
+
+namespace dislock {
+namespace {
+
+std::string RepoPath(const std::string& relative_path) {
+  return std::string(DISLOCK_SOURCE_DIR) + "/" + relative_path;
+}
+
+std::string ReadFileOrDie(const std::string& relative_path) {
+  std::ifstream in(RepoPath(relative_path));
+  EXPECT_TRUE(in.good()) << "cannot open " << relative_path;
+  std::ostringstream contents;
+  contents << in.rdbuf();
+  return contents.str();
+}
+
+EngineConfig TestConfig(int num_threads) {
+  EngineConfig config;
+  config.max_cycles = 1 << 10;
+  config.num_threads = num_threads;
+  return config;
+}
+
+/// A ring workload whose transactions overlap pairwise on entities, so any
+/// K > 1 produces both shard-local and cross-shard conflict pairs.
+struct RingFixture {
+  explicit RingFixture(int k) : db(std::make_shared<DistributedDatabase>(2)) {
+    std::vector<EntityId> entities;
+    for (int i = 0; i < k; ++i) {
+      entities.push_back(db->MustAddEntity(StrCat("e", i), i % 2));
+    }
+    for (int i = 0; i < k; ++i) {
+      txns.push_back(MakeTwoPhaseTransaction(
+          db.get(), StrCat("T", i),
+          {entities[static_cast<size_t>(i)],
+           entities[static_cast<size_t>((i + 1) % k)]}));
+    }
+  }
+  std::shared_ptr<DistributedDatabase> db;
+  std::vector<Transaction> txns;
+};
+
+/// Renders a check report against the catalog's own snapshot — the full
+/// comparison currency of this file. Reports name transactions through the
+/// snapshot view, so lane-allocated ids never leak into the bytes.
+std::string ReportJson(const MultiSafetyReport& report,
+                       const CatalogSnapshot& snap) {
+  return MultiReportToJson(report, snap.View());
+}
+
+// ---------------------------------------------------------------------------
+// FootprintHash: frozen placement function
+// ---------------------------------------------------------------------------
+
+TEST(FootprintHash, DependsOnlyOnLockedEntitySet) {
+  RingFixture ring(4);
+  const Transaction& t0 = ring.txns[0];
+  // Same footprint, different name: same hash.
+  Transaction renamed = MakeTwoPhaseTransaction(
+      ring.db.get(), "Other",
+      {t0.LockedEntities()[0], t0.LockedEntities()[1]});
+  EXPECT_EQ(ShardedCatalog::FootprintHash(t0),
+            ShardedCatalog::FootprintHash(renamed));
+  // Different footprint: different hash (for these small sets).
+  EXPECT_NE(ShardedCatalog::FootprintHash(ring.txns[0]),
+            ShardedCatalog::FootprintHash(ring.txns[1]));
+}
+
+// The hash is part of the persistence contract: a trace sharded today must
+// shard the same way in every future build. Pin exact values.
+TEST(FootprintHash, PinnedValues) {
+  auto db = std::make_shared<DistributedDatabase>(1);
+  EntityId e0 = db->MustAddEntity("a", 0);
+  EntityId e1 = db->MustAddEntity("b", 0);
+  Transaction one = MakeTwoPhaseTransaction(db.get(), "One", {e0});
+  Transaction two = MakeTwoPhaseTransaction(db.get(), "Two", {e0, e1});
+  // FNV-1a over the 8 little-endian bytes of each sorted EntityId.
+  EXPECT_EQ(ShardedCatalog::FootprintHash(one), 0xa8c7f832281a39c5ULL);
+  EXPECT_EQ(ShardedCatalog::FootprintHash(two), 0x692558b056101a44ULL);
+}
+
+// ---------------------------------------------------------------------------
+// Lane TxnId allocation
+// ---------------------------------------------------------------------------
+
+TEST(ShardedCatalog, IdsAreUniqueOnLanesAndNeverReused) {
+  RingFixture ring(12);
+  ShardedCatalog catalog(ring.db.get(), 3, TestConfig(1));
+  std::set<TxnId> seen;
+  for (const Transaction& t : ring.txns) {
+    auto id = catalog.Add(t);
+    ASSERT_TRUE(id.ok());
+    // Lane invariant: id % K recovers the owning shard, which is the
+    // placement function's choice.
+    EXPECT_EQ(catalog.ShardOf(*id), catalog.ShardOfFootprint(t));
+    EXPECT_TRUE(seen.insert(*id).second) << "duplicate id " << *id;
+  }
+  // Remove + re-add the same definition: a fresh id on the same lane,
+  // never a reused one.
+  ASSERT_TRUE(catalog.RemoveByName("T0").ok());
+  Transaction again = ring.txns[0];
+  auto readded = catalog.Add(again);
+  ASSERT_TRUE(readded.ok());
+  EXPECT_FALSE(seen.count(*readded)) << "TxnId reuse: " << *readded;
+  EXPECT_EQ(catalog.ShardOf(*readded), catalog.ShardOfFootprint(again));
+}
+
+TEST(ShardedCatalog, ShardAssignmentIsStickyAcrossReplace) {
+  RingFixture ring(8);
+  ShardedCatalog catalog(ring.db.get(), 4, TestConfig(1));
+  std::vector<TxnId> ids;
+  for (const Transaction& t : ring.txns) ids.push_back(*catalog.Add(t));
+
+  // Replace T0 with a definition whose footprint hashes elsewhere; the id
+  // (and therefore the shard lane) must not move.
+  Transaction moved = MakeTwoPhaseTransaction(
+      ring.db.get(), "T0", {ring.txns[3].LockedEntities()[0]});
+  int shard_before = catalog.ShardOf(ids[0]);
+  ASSERT_TRUE(catalog.Replace(ids[0], moved).ok());
+  std::shared_ptr<const Transaction> found = catalog.Find(ids[0]);
+  ASSERT_NE(found, nullptr);
+  EXPECT_EQ(found->LockedEntities(), moved.LockedEntities());
+  EXPECT_EQ(catalog.ShardOf(ids[0]), shard_before);
+}
+
+// ---------------------------------------------------------------------------
+// Error-message parity with TransactionCatalog
+// ---------------------------------------------------------------------------
+
+TEST(ShardedCatalog, ErrorMessagesMatchSingleCatalog) {
+  RingFixture ring(4);
+  TransactionCatalog single(ring.db.get());
+  ShardedCatalog sharded(ring.db.get(), 3, TestConfig(1));
+  for (const Transaction& t : ring.txns) {
+    ASSERT_TRUE(single.Add(t).ok());
+    ASSERT_TRUE(sharded.Add(t).ok());
+  }
+
+  // Duplicate name (on a different shard than the original, necessarily
+  // global): identical InvalidModel message.
+  Transaction dup = MakeTwoPhaseTransaction(
+      ring.db.get(), "T2", {ring.txns[0].LockedEntities()[0]});
+  EXPECT_EQ(single.Add(dup).status().ToString(),
+            sharded.Add(dup).status().ToString());
+
+  // Foreign database object: identical InvalidArgument message.
+  auto other_db = std::make_shared<DistributedDatabase>(1);
+  EntityId x = other_db->MustAddEntity("x", 0);
+  Transaction foreign = MakeTwoPhaseTransaction(other_db.get(), "F", {x});
+  EXPECT_EQ(single.Add(foreign).status().ToString(),
+            sharded.Add(foreign).status().ToString());
+
+  // Missing id / name: identical NotFound messages.
+  EXPECT_EQ(single.Remove(999).ToString(), sharded.Remove(999).ToString());
+  EXPECT_EQ(single.RemoveByName("Nope").ToString(),
+            sharded.RemoveByName("Nope").ToString());
+  EXPECT_EQ(single.Replace(999, ring.txns[0]).ToString(),
+            sharded.Replace(999, ring.txns[0]).ToString());
+  EXPECT_EQ(single.ReplaceByName("Nope", ring.txns[0]).ToString(),
+            sharded.ReplaceByName("Nope", ring.txns[0]).ToString());
+}
+
+// ---------------------------------------------------------------------------
+// Differential byte-identity: sharded vs single engine
+// ---------------------------------------------------------------------------
+
+/// Drives the same named edit script through a single-engine catalog and a
+/// K-sharded catalog, checking after every step that the rendered reports
+/// are byte-identical. Steps address transactions by name (ids diverge by
+/// design — lanes).
+struct Differential {
+  Differential(const std::shared_ptr<DistributedDatabase>& db, int shards,
+               int threads)
+      : db(db),
+        config(TestConfig(threads)),
+        single(db.get()),
+        ctx(config),
+        engine(&single, &ctx),
+        sharded(db.get(), shards, config) {}
+
+  void Add(const Transaction& t) {
+    ASSERT_TRUE(single.Add(t).ok());
+    ASSERT_TRUE(sharded.Add(t).ok());
+  }
+  void Remove(const std::string& name) {
+    ASSERT_TRUE(single.RemoveByName(name).ok());
+    ASSERT_TRUE(sharded.RemoveByName(name).ok());
+  }
+  void Replace(const std::string& name, const Transaction& t) {
+    ASSERT_TRUE(single.ReplaceByName(name, t).ok());
+    ASSERT_TRUE(sharded.ReplaceByName(name, t).ok());
+  }
+  void ExpectIdenticalCheck(const char* where) {
+    MultiSafetyReport a = engine.Check();
+    MultiSafetyReport b = sharded.Check();
+    EXPECT_EQ(ReportJson(a, single.Snapshot()),
+              ReportJson(b, sharded.Snapshot()))
+        << where << " shards=" << sharded.num_shards()
+        << " threads=" << config.num_threads;
+    EXPECT_EQ(single.generation(), sharded.generation()) << where;
+  }
+
+  std::shared_ptr<DistributedDatabase> db;
+  EngineConfig config;
+  TransactionCatalog single;
+  EngineContext ctx;
+  IncrementalSafetyEngine engine;
+  ShardedCatalog sharded;
+};
+
+class ShardedDifferential
+    : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(ShardedDifferential, RingEditScript) {
+  auto [shards, threads] = GetParam();
+  RingFixture ring(10);
+  Differential diff(ring.db, shards, threads);
+  for (const Transaction& t : ring.txns) diff.Add(t);
+  diff.ExpectIdenticalCheck("initial");
+
+  // Break the ring, re-close it, shrink it — check after every edit.
+  diff.Replace("T0", MakeTwoPhaseTransaction(
+                         ring.db.get(), "T0",
+                         {ring.txns[0].LockedEntities()[0]}));
+  diff.ExpectIdenticalCheck("replace T0");
+  diff.Remove("T5");
+  diff.ExpectIdenticalCheck("remove T5");
+  diff.Add(MakeTwoPhaseTransaction(ring.db.get(), "T5b",
+                                   {ring.txns[5].LockedEntities()[0],
+                                    ring.txns[5].LockedEntities()[1]}));
+  diff.ExpectIdenticalCheck("re-add T5b");
+  diff.ExpectIdenticalCheck("no-op");
+}
+
+TEST_P(ShardedDifferential, PaperFigures) {
+  auto [shards, threads] = GetParam();
+  for (const char* path : {"data/fig4.dlk", "data/fig5.dlk"}) {
+    auto parsed = ParseSystemText(ReadFileOrDie(path));
+    ASSERT_TRUE(parsed.ok()) << path;
+    Differential diff(parsed->db, shards, threads);
+    for (int i = 0; i < parsed->system->NumTransactions(); ++i) {
+      diff.Add(parsed->system->txn(i));
+    }
+    diff.ExpectIdenticalCheck(path);
+    // Remove and re-add the first transaction: exercises invalidation on
+    // both sides of the shard boundary.
+    const std::string name = parsed->system->txn(0).name();
+    diff.Remove(name);
+    diff.ExpectIdenticalCheck("after remove");
+    diff.Add(parsed->system->txn(0));
+    diff.ExpectIdenticalCheck("after re-add");
+  }
+}
+
+TEST_P(ShardedDifferential, RandomizedEditScripts) {
+  auto [shards, threads] = GetParam();
+  RingFixture ring(12);
+  Rng rng(0xd15710c4 + static_cast<uint64_t>(shards * 100 + threads));
+  Differential diff(ring.db, shards, threads);
+  for (const Transaction& t : ring.txns) diff.Add(t);
+  diff.ExpectIdenticalCheck("seed");
+
+  std::vector<std::string> live;
+  for (const Transaction& t : ring.txns) live.push_back(t.name());
+  int fresh = 0;
+  for (int step = 0; step < 24; ++step) {
+    int action = static_cast<int>(rng.Uniform(3));
+    if (action == 0 || live.size() < 4) {
+      std::string name = StrCat("R", fresh++);
+      int a = static_cast<int>(rng.Uniform(12));
+      int b = static_cast<int>(rng.Uniform(12));
+      std::vector<EntityId> footprint = {*ring.db->Find(StrCat("e", a))};
+      if (b != a) {
+        footprint.push_back(*ring.db->Find(StrCat("e", b)));
+      }
+      diff.Add(MakeTwoPhaseTransaction(ring.db.get(), name, footprint));
+      live.push_back(name);
+    } else if (action == 1) {
+      size_t victim = rng.Uniform(live.size());
+      diff.Remove(live[victim]);
+      live.erase(live.begin() + static_cast<long>(victim));
+    } else {
+      size_t victim = rng.Uniform(live.size());
+      int a = static_cast<int>(rng.Uniform(12));
+      diff.Replace(live[victim],
+                   MakeTwoPhaseTransaction(ring.db.get(), live[victim],
+                                           {*ring.db->Find(StrCat("e", a))}));
+    }
+    if (step % 3 == 2) diff.ExpectIdenticalCheck("random step");
+  }
+  diff.ExpectIdenticalCheck("final");
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ShardThreadGrid, ShardedDifferential,
+    ::testing::Values(std::pair<int, int>{1, 1}, std::pair<int, int>{1, 4},
+                      std::pair<int, int>{3, 1}, std::pair<int, int>{3, 4},
+                      std::pair<int, int>{4, 1}, std::pair<int, int>{4, 4}));
+
+// ---------------------------------------------------------------------------
+// Stats surface
+// ---------------------------------------------------------------------------
+
+TEST(ShardedCatalog, TracksLocalAndCrossPairs) {
+  RingFixture ring(8);
+  ShardedCatalog catalog(ring.db.get(), 2, TestConfig(1));
+  for (const Transaction& t : ring.txns) ASSERT_TRUE(catalog.Add(t).ok());
+  catalog.Check();
+  // A ring of 8 has 8 conflicting pairs; with 2 shards some must cross.
+  EXPECT_EQ(catalog.local_pairs() + catalog.cross_pairs(), 8);
+  EXPECT_GE(catalog.CrossShardRatio(), 0.0);
+  EXPECT_LE(catalog.CrossShardRatio(), 1.0);
+  // Store union: every pair verdict lives in exactly one store.
+  EXPECT_EQ(catalog.PairStoreSize(), 8);
+  std::vector<ShardStats> breakdown = catalog.ShardBreakdown();
+  ASSERT_EQ(breakdown.size(), 2u);
+  EXPECT_EQ(breakdown[0].transactions + breakdown[1].transactions, 8);
+}
+
+}  // namespace
+}  // namespace dislock

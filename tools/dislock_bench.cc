@@ -26,9 +26,11 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <deque>
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/closure.h"
@@ -47,6 +49,7 @@
 #include "graph/reachability.h"
 #include "graph/scc.h"
 #include "obs/observability.h"
+#include "serve/service.h"
 #include "sim/workload.h"
 #include "txn/catalog.h"
 #include "util/flags.h"
@@ -461,6 +464,142 @@ KernelBenchResult RunKernelBench(bool quick, int reps) {
   return result;
 }
 
+// ---------------------------------------------------------------------------
+// --bench=serve: SafetyService throughput + sharded determinism
+// (BENCH_serve.json). Drives the in-process service — the exact object
+// dislock_serve wraps in a TCP accept loop — with simulated clients, so the
+// numbers measure the sequencer + sharded engine, not socket syscalls.
+// ---------------------------------------------------------------------------
+
+/// One client's scripted session: a rolling add/remove window over a shared
+/// entity ring, with a `check` every kServeCheckEvery commands. The windows
+/// of different clients overlap on entities, so the catalog always carries
+/// cross-client (and, sharded, cross-shard) conflict pairs.
+constexpr int kServeEntities = 64;
+constexpr int kServeWindow = 2;       // live txns per client between removes
+constexpr int kServeCheckEvery = 32;  // commands between `check`s per client
+
+std::vector<std::vector<std::string>> MakeServeScripts(int clients,
+                                                       int commands) {
+  std::vector<std::vector<std::string>> scripts(
+      static_cast<size_t>(clients));
+  for (int c = 0; c < clients; ++c) {
+    std::vector<std::string>& lines = scripts[static_cast<size_t>(c)];
+    std::deque<std::string> live;
+    for (int j = 0; j < commands; ++j) {
+      if (j % kServeCheckEvery == kServeCheckEvery - 1) {
+        lines.push_back("check");
+      } else if (static_cast<int>(live.size()) >= kServeWindow) {
+        lines.push_back(StrCat("remove ", live.front()));
+        live.pop_front();
+      } else {
+        std::string name = StrCat("C", c, "_N", j);
+        int e0 = (c * 11 + j * 2) % kServeEntities;
+        int e1 = (e0 + 1) % kServeEntities;
+        lines.push_back("add");
+        lines.push_back(StrCat("txn ", name));
+        for (int e : {e0, e1}) {
+          lines.push_back(StrCat("  lock e", e));
+          lines.push_back(StrCat("  update e", e));
+          lines.push_back(StrCat("  unlock e", e));
+        }
+        lines.push_back("end");
+        live.push_back(name);
+      }
+    }
+    lines.push_back("quit");
+  }
+  return scripts;
+}
+
+struct ServeRun {
+  int64_t commands = 0;
+  int64_t responses = 0;
+  int errors = 0;
+  int64_t queue_peak = 0;
+  double elapsed_ms = 0;
+  std::string check_bytes;  // `check` response lines only (shard-invariant)
+};
+
+/// Runs the scripts against a fresh service. `concurrent` submits each
+/// client from its own thread (the throughput measurement); otherwise lines
+/// are fed round-robin from one thread — a fixed global arrival order, so
+/// the responses are deterministic and comparable across shard counts.
+ServeRun RunServeOnce(const std::vector<std::vector<std::string>>& scripts,
+                      const std::string& workload_path, int shards,
+                      int threads, bool concurrent) {
+  serve::ServiceOptions options;
+  options.session.json = true;
+  options.session.shards = shards;
+  options.session.config.num_threads = threads;
+  serve::SafetyService service(options);
+
+  // Load the shared system before any timed client runs: clients race, so
+  // none of them can own initialization.
+  int64_t setup = service.OpenClient([](const std::string&) {});
+  service.Submit(setup, StrCat("load ", workload_path));
+  service.CloseClient(setup);
+  service.Drain();
+
+  // Responses fire on the single sequencer thread, so per-client appends
+  // need no locks.
+  std::vector<std::string> outputs(scripts.size());
+  std::vector<int64_t> ids;
+  ids.reserve(scripts.size());
+  for (size_t i = 0; i < scripts.size(); ++i) {
+    std::string* sink = &outputs[i];
+    ids.push_back(service.OpenClient(
+        [sink](const std::string& response) { *sink += response; }));
+  }
+
+  auto start = std::chrono::steady_clock::now();
+  if (concurrent) {
+    std::vector<std::thread> workers;
+    workers.reserve(scripts.size());
+    for (size_t i = 0; i < scripts.size(); ++i) {
+      workers.emplace_back([&, i] {
+        for (const std::string& line : scripts[i]) {
+          service.Submit(ids[i], line);
+        }
+      });
+    }
+    for (std::thread& w : workers) w.join();
+  } else {
+    for (size_t next = 0, remaining = scripts.size(); remaining > 0;
+         ++next) {
+      remaining = 0;
+      for (size_t i = 0; i < scripts.size(); ++i) {
+        if (next < scripts[i].size()) {
+          service.Submit(ids[i], scripts[i][next]);
+          if (next + 1 < scripts[i].size()) ++remaining;
+        }
+      }
+    }
+  }
+  service.Drain();
+  auto end = std::chrono::steady_clock::now();
+
+  ServeRun run;
+  run.elapsed_ms =
+      std::chrono::duration<double, std::milli>(end - start).count();
+  run.commands = service.commands() - 1;  // exclude the setup `load`
+  run.responses = service.responses();
+  run.errors = service.errors();
+  run.queue_peak = service.queue_peak();
+  for (const std::string& bytes : outputs) {
+    std::istringstream lines(bytes);
+    std::string line;
+    while (std::getline(lines, line)) {
+      if (line.find("\"cmd\": \"check\"") != std::string::npos) {
+        run.check_bytes += line;
+        run.check_bytes += '\n';
+      }
+    }
+  }
+  service.Shutdown();
+  return run;
+}
+
 }  // namespace
 }  // namespace dislock
 
@@ -468,13 +607,14 @@ namespace {
 
 int BenchUsage() {
   std::fprintf(stderr,
-               "usage: dislock_bench [--bench=all|multi|kernel] [--quick]\n"
-               "                     [--reps N] [--out path]\n"
+               "usage: dislock_bench [--bench=all|multi|kernel|serve]\n"
+               "                     [--quick] [--reps N] [--out path]\n"
                "                     [--kernel-slowdown-limit X]\n"
                "%s"
                "  --bench=NAME      which family to run: multi (the parallel\n"
                "                    engine + incremental edit stream), kernel\n"
-               "                    (flat-vs-legacy microbenches), or all\n"
+               "                    (flat-vs-legacy microbenches), serve (the\n"
+               "                    concurrent SafetyService), or all\n"
                "                    (default)\n"
                "  --kernel-slowdown-limit X\n"
                "                    fail (exit 1) if any kernel row's flat\n"
@@ -487,7 +627,9 @@ int BenchUsage() {
                "BENCH_kernel.json\n",
                dislock::CommonFlagsHelp(dislock::kThreadsFlag |
                                         dislock::kCacheFlag |
-                                        dislock::kObsFlags)
+                                        dislock::kObsFlags |
+                                        dislock::kClientsFlag |
+                                        dislock::kShardsFlag)
                    .c_str());
   return 2;
 }
@@ -503,7 +645,8 @@ int main(int argc, char** argv) {
   double slowdown_limit = 1.1;
   CommonFlags flags;
   flags.num_threads = 0;  // bench default: one worker per hardware thread
-  constexpr unsigned kAccepted = kThreadsFlag | kCacheFlag | kObsFlags;
+  constexpr unsigned kAccepted =
+      kThreadsFlag | kCacheFlag | kObsFlags | kClientsFlag | kShardsFlag;
   for (int i = 1; i < argc; ++i) {
     std::string error;
     switch (ParseCommonFlag(argc, argv, i, kAccepted, &flags, &error)) {
@@ -527,8 +670,9 @@ int main(int argc, char** argv) {
     } else if (std::strncmp(argv[i], "--bench=", 8) == 0) {
       bench_mode = argv[i] + 8;
       if (bench_mode != "all" && bench_mode != "multi" &&
-          bench_mode != "kernel") {
-        ReportBadFlag("dislock_bench", "--bench must be all|multi|kernel");
+          bench_mode != "kernel" && bench_mode != "serve") {
+        ReportBadFlag("dislock_bench",
+                      "--bench must be all|multi|kernel|serve");
         return BenchUsage();
       }
     } else if (std::strcmp(argv[i], "--kernel-slowdown-limit") == 0 &&
@@ -570,7 +714,7 @@ int main(int argc, char** argv) {
   bool inc_ok = true;
   bool kernel_ok = true;
 
-  if (bench_mode != "kernel") {
+  if (bench_mode == "all" || bench_mode == "multi") {
   std::vector<BenchCase> cases;
   for (int k : quick ? std::vector<int>{8} : std::vector<int>{8, 12, 16}) {
     cases.push_back({StrCat("ring_k", k), "ring", k, MakeRingSystem(k)});
@@ -747,9 +891,9 @@ int main(int argc, char** argv) {
   inc_out << inc_json.str() << "\n";
   inc_out.close();
   std::printf("wrote %s\n", inc_path.c_str());
-  }  // bench_mode != "kernel"
+  }  // multi
 
-  if (bench_mode != "multi") {
+  if (bench_mode == "all" || bench_mode == "kernel") {
     KernelBenchResult kb = RunKernelBench(quick, reps);
     kernel_ok = kb.all_identical && kb.max_slowdown <= slowdown_limit;
     std::ostringstream kj;
@@ -791,6 +935,118 @@ int main(int argc, char** argv) {
                 kb.max_slowdown, slowdown_limit);
   }
 
+  bool serve_ok = true;
+  if (bench_mode == "all" || bench_mode == "serve") {
+    const int clients = flags.clients > 0 ? flags.clients : 100;
+    const int shards =
+        flags.shards > 1
+            ? flags.shards
+            : std::max(2, std::min(4, ThreadPool::HardwareThreads()));
+    const int commands_per_client = quick ? 32 : 96;
+
+    // The shared system the clients edit: the entity ring the scripts lock
+    // into, plus one seed transaction.
+    std::string workload_path = "BENCH_serve_workload.dlk";
+    {
+      std::string out_str(out_path);
+      size_t slash = out_str.rfind('/');
+      if (slash != std::string::npos) {
+        workload_path = out_str.substr(0, slash + 1) + workload_path;
+      }
+      std::ofstream w(workload_path);
+      w << "# generated by dislock_bench --bench=serve\nsites 2\n";
+      for (int e = 0; e < kServeEntities; ++e) {
+        w << "entity e" << e << " " << e % 2 << "\n";
+      }
+      w << "\ntxn Seed\n  lock e0\n  update e0\n  unlock e0\nend\n";
+      w.close();
+      if (!w) {
+        // A silently missing workload would surface later as a baffling
+        // determinism failure (every client's load fails).
+        std::fprintf(stderr, "cannot write %s (does the --out directory "
+                     "exist?)\n", workload_path.c_str());
+        return 1;
+      }
+    }
+
+    // Determinism: the same scripts in a fixed global arrival order must
+    // produce byte-identical `check` reports at 1 shard and K shards, at
+    // 1 and 4 engine threads. (Full responses differ only in `add` ids —
+    // shard-lane allocation — which the protocol documents.)
+    auto scripts = MakeServeScripts(std::min(clients, 8),
+                                    commands_per_client);
+    ServeRun base = RunServeOnce(scripts, workload_path, 1, 1, false);
+    bool identical = base.errors == 0;
+    for (int s : {1, shards}) {
+      for (int t : {1, 4}) {
+        if (s == 1 && t == 1) continue;
+        ServeRun run = RunServeOnce(scripts, workload_path, s, t, false);
+        if (run.check_bytes != base.check_bytes || run.errors != 0) {
+          identical = false;
+          std::fprintf(stderr,
+                       "serve determinism FAILED at shards=%d threads=%d "
+                       "(errors=%d)\n",
+                       s, t, run.errors);
+        }
+      }
+    }
+
+    // Throughput: every client submits from its own thread.
+    auto load = MakeServeScripts(clients, commands_per_client);
+    ServeRun one = RunServeOnce(load, workload_path, 1, 1, true);
+    ServeRun sharded =
+        RunServeOnce(load, workload_path, shards, effective_threads, true);
+    auto rate = [](const ServeRun& r) {
+      return r.elapsed_ms > 0 ? 1000.0 * static_cast<double>(r.commands) /
+                                    r.elapsed_ms
+                              : 0.0;
+    };
+    serve_ok = identical && one.errors == 0 && sharded.errors == 0;
+
+    std::ostringstream sj;
+    sj << "{\"" << wire::kSchemaVersionKey << "\": " << wire::kSchemaVersion
+       << ", \"bench\": \"serve_throughput\", \"clients\": " << clients
+       << ", \"shards\": " << shards
+       << ", \"threads\": " << effective_threads
+       << ", \"hardware_threads\": " << ThreadPool::HardwareThreads()
+       << ci_note_json()
+       << ", \"commands_per_client\": " << commands_per_client
+       << ", \"quick\": " << (quick ? "true" : "false") << ", \"runs\": ["
+       << "{\"name\": \"1shard\", \"shards\": 1, \"commands\": "
+       << one.commands << ", \"elapsed_ms\": " << one.elapsed_ms
+       << ", \"commands_per_sec\": " << rate(one)
+       << ", \"queue_peak\": " << one.queue_peak
+       << ", \"errors\": " << one.errors << "}, "
+       << "{\"name\": \"sharded\", \"shards\": " << shards
+       << ", \"commands\": " << sharded.commands
+       << ", \"elapsed_ms\": " << sharded.elapsed_ms
+       << ", \"commands_per_sec\": " << rate(sharded)
+       << ", \"queue_peak\": " << sharded.queue_peak
+       << ", \"errors\": " << sharded.errors << "}]"
+       << ", \"checks_identical\": " << (identical ? "true" : "false")
+       << ", \"ok\": " << (serve_ok ? "true" : "false") << "}";
+
+    std::string serve_path = "BENCH_serve.json";
+    {
+      std::string out_str(out_path);
+      size_t slash = out_str.rfind('/');
+      if (slash != std::string::npos) {
+        serve_path = out_str.substr(0, slash + 1) + serve_path;
+      }
+    }
+    std::ofstream serve_out(serve_path);
+    serve_out << sj.str() << "\n";
+    serve_out.close();
+    std::printf(
+        "serve      clients=%d 1shard=%.0f cmd/s sharded(%d)=%.0f cmd/s "
+        "queue-peak=%lld %s\n",
+        clients, rate(one), shards, rate(sharded),
+        static_cast<long long>(sharded.queue_peak),
+        identical ? "checks-identical" : "CHECKS DIFFER");
+    std::printf("wrote %s (%s)\n", serve_path.c_str(),
+                serve_ok ? "ok" : "FAILED");
+  }
+
   std::string obs_error;
   if (!bundle.Flush(&obs_error)) {
     std::fprintf(stderr, "%s\n", obs_error.c_str());
@@ -798,6 +1054,7 @@ int main(int argc, char** argv) {
 
   // Determinism is the contract; a differing report is a bug regardless of
   // the measured speedup. The kernel family additionally gates on the
-  // flat-vs-legacy slowdown limit.
-  return all_identical && inc_ok && kernel_ok ? 0 : 1;
+  // flat-vs-legacy slowdown limit; the serve family gates on sharded
+  // check-report identity and an error-free run.
+  return all_identical && inc_ok && kernel_ok && serve_ok ? 0 : 1;
 }

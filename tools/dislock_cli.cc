@@ -482,7 +482,8 @@ int RunSessionCommand(int argc, char** argv) {
   SessionOptions options;
   CommonFlags common;
   const char* script = nullptr;
-  constexpr unsigned kAccepted = kThreadsFlag | kCacheFlag | kObsFlags;
+  constexpr unsigned kAccepted =
+      kThreadsFlag | kCacheFlag | kObsFlags | kShardsFlag;
   for (int i = 2; i < argc; ++i) {
     std::string error;
     switch (ParseCommonFlag(argc, argv, i, kAccepted, &common, &error)) {
@@ -514,6 +515,7 @@ int RunSessionCommand(int argc, char** argv) {
   options.config.enable_cache = common.cache;
   options.config.trace = bundle.trace();
   options.config.stats = bundle.metrics();
+  options.shards = common.shards;
   options.analyze = MakeSessionAnalyzer();
   int failed;
   if (script != nullptr) {
@@ -534,7 +536,7 @@ int Usage() {
   std::string analyze_help =
       CommonFlagsHelp(kThreadsFlag | kCacheFlag | kFormatFlag | kObsFlags);
   std::string session_help =
-      CommonFlagsHelp(kThreadsFlag | kCacheFlag | kObsFlags);
+      CommonFlagsHelp(kThreadsFlag | kCacheFlag | kObsFlags | kShardsFlag);
   std::fprintf(stderr,
                "usage: dislock analyze <system.dlk>\n"
                "                       [--passes a,b,c] [--no-deadlock]\n"
