@@ -137,7 +137,8 @@ AnalysisResult PassManager::Run(const TransactionSystem& system,
   // a verdict cache, its hit/miss stats.
   ExportAnalysisResultStats(result, options.stats);
   if (options.stats != nullptr &&
-      (options.cache != nullptr || options.enable_cache)) {
+      (options.cache != nullptr || options.enable_cache ||
+       options.store != nullptr)) {
     ExportCacheStats(*ctx.engine()->cache(), options.stats);
   }
   return result;

@@ -1,10 +1,11 @@
-#include "core/verdict_cache.h"
+#include "cache/verdict_cache.h"
 
 #include <algorithm>
 #include <cstring>
 #include <utility>
 #include <vector>
 
+#include "cache/verdict_store.h"
 #include "util/arena.h"
 
 namespace dislock {
@@ -149,16 +150,39 @@ std::string PairFingerprintFlat(const Transaction& t1, const Transaction& t2) {
   return out;
 }
 
+void PairVerdictCache::set_store(cache::VerdictStore* store) {
+  std::lock_guard<std::mutex> lock(mu_);
+  store_ = store;
+}
+
+cache::VerdictStore* PairVerdictCache::store() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return store_;
+}
+
 std::optional<CachedPairVerdict> PairVerdictCache::Lookup(
     const std::string& fingerprint) {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = map_.find(fingerprint);
-  if (it == map_.end()) {
+  cache::VerdictStore* store = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = map_.find(fingerprint);
+    if (it != map_.end()) {
+      ++stats_.hits;
+      return it->second;
+    }
     ++stats_.misses;
-    return std::nullopt;
+    store = store_;
   }
-  ++stats_.hits;
-  return it->second;
+  if (store == nullptr) return std::nullopt;
+  // Tier-2 fallthrough, outside the memo mutex: the store serializes
+  // itself. A hit is promoted into the memo so the next lookup of this
+  // fingerprint never touches the store again.
+  std::optional<CachedPairVerdict> from_disk = store->Lookup(fingerprint);
+  if (from_disk.has_value()) {
+    std::lock_guard<std::mutex> lock(mu_);
+    map_.emplace(fingerprint, *from_disk);
+  }
+  return from_disk;
 }
 
 void PairVerdictCache::Insert(const std::string& fingerprint,
@@ -167,8 +191,13 @@ void PairVerdictCache::Insert(const std::string& fingerprint,
   entry.verdict = report.verdict;
   entry.method = report.method;
   entry.sites_spanned = report.sites_spanned;
-  std::lock_guard<std::mutex> lock(mu_);
-  map_.emplace(fingerprint, std::move(entry));
+  cache::VerdictStore* store = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    map_.emplace(fingerprint, entry);
+    store = store_;
+  }
+  if (store != nullptr) store->Put(fingerprint, entry);
 }
 
 PairVerdictCache::Stats PairVerdictCache::stats() const {

@@ -1,0 +1,507 @@
+#include "cache/verdict_store.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+#include "core/wire_keys.h"
+
+namespace dislock {
+namespace cache {
+
+namespace {
+
+constexpr char kLogMagic[4] = {'D', 'L', 'K', 'C'};
+constexpr char kIdxMagic[4] = {'D', 'L', 'K', 'I'};
+constexpr uint64_t kLogHeaderSize = 16;
+constexpr uint64_t kIdxHeaderSize = 40;
+constexpr uint64_t kIdxSlotSize = 16;
+constexpr uint64_t kRecordFixedSize = 12;  // checksum, fp_len, verdict,
+                                           // method, sites
+/// Upper bound on a plausible fingerprint; anything larger in a length
+/// field is corruption, not data.
+constexpr uint32_t kMaxFingerprintBytes = 1u << 24;
+
+uint32_t ReadU32(const uint8_t* p) {
+  uint32_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+uint64_t ReadU64(const uint8_t* p) {
+  uint64_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+void AppendU32(std::string* out, uint32_t v) {
+  out->append(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+void AppendU64(std::string* out, uint64_t v) {
+  out->append(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+uint32_t Fnv1a32(const uint8_t* data, size_t len) {
+  uint32_t h = 2166136261u;
+  for (size_t i = 0; i < len; ++i) {
+    h ^= data[i];
+    h *= 16777619u;
+  }
+  return h;
+}
+
+uint64_t Fnv1a64(const uint8_t* data, size_t len) {
+  uint64_t h = 14695981039346656037ull;
+  for (size_t i = 0; i < len; ++i) {
+    h ^= data[i];
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+uint64_t FingerprintHash(const std::string& fp) {
+  return Fnv1a64(reinterpret_cast<const uint8_t*>(fp.data()), fp.size());
+}
+
+/// mkdir -p: creates every missing component of `dir`.
+bool MakeDirs(const std::string& dir) {
+  if (dir.empty()) return false;
+  std::string prefix;
+  size_t pos = 0;
+  while (pos <= dir.size()) {
+    size_t slash = dir.find('/', pos);
+    if (slash == std::string::npos) slash = dir.size();
+    prefix = dir.substr(0, slash);
+    pos = slash + 1;
+    if (prefix.empty()) continue;  // leading '/'
+    if (::mkdir(prefix.c_str(), 0755) != 0 && errno != EEXIST) return false;
+  }
+  struct stat st;
+  return ::stat(dir.c_str(), &st) == 0 && S_ISDIR(st.st_mode);
+}
+
+bool LogHeaderValid(const uint8_t* data, size_t size) {
+  return size >= kLogHeaderSize &&
+         std::memcmp(data, kLogMagic, sizeof(kLogMagic)) == 0 &&
+         ReadU32(data + 4) == kVerdictStoreSchemaVersion &&
+         ReadU32(data + 8) == kVerdictStoreGeneration;
+}
+
+std::string FreshLogHeader() {
+  std::string h(kLogMagic, sizeof(kLogMagic));
+  AppendU32(&h, kVerdictStoreSchemaVersion);
+  AppendU32(&h, kVerdictStoreGeneration);
+  AppendU32(&h, 0);  // reserved
+  return h;
+}
+
+/// Rewrites the log as an empty store (header only) when its header is
+/// missing or stale. Returns false on I/O failure.
+bool RepairLog(const std::string& path, int64_t* dropped) {
+  int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
+  if (fd < 0) return false;
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    return false;
+  }
+  uint8_t header[kLogHeaderSize];
+  bool valid = st.st_size >= static_cast<off_t>(kLogHeaderSize) &&
+               ::pread(fd, header, kLogHeaderSize, 0) ==
+                   static_cast<ssize_t>(kLogHeaderSize) &&
+               LogHeaderValid(header, kLogHeaderSize);
+  if (!valid) {
+    if (st.st_size > 0) ++*dropped;  // stale/garbled content, dropped whole
+    std::string fresh = FreshLogHeader();
+    bool ok = ::ftruncate(fd, 0) == 0 &&
+              ::pwrite(fd, fresh.data(), fresh.size(), 0) ==
+                  static_cast<ssize_t>(fresh.size());
+    ::close(fd);
+    return ok;
+  }
+  ::close(fd);
+  return true;
+}
+
+bool IndexHeaderValid(const MappedFile& idx, uint64_t log_size) {
+  const uint8_t* d = idx.data();
+  if (idx.size() < kIdxHeaderSize) return false;
+  if (std::memcmp(d, kIdxMagic, sizeof(kIdxMagic)) != 0) return false;
+  if (ReadU32(d + 4) != kVerdictStoreSchemaVersion) return false;
+  if (ReadU32(d + 8) != kVerdictStoreGeneration) return false;
+  if (ReadU64(d + 16) != log_size) return false;  // stale: log moved on
+  uint64_t capacity = ReadU64(d + 24);
+  uint64_t count = ReadU64(d + 32);
+  if (capacity == 0 || (capacity & (capacity - 1)) != 0) return false;
+  if (idx.size() != kIdxHeaderSize + capacity * kIdxSlotSize) return false;
+  return count <= capacity;
+}
+
+}  // namespace
+
+bool VerdictStore::Open(const std::string& dir, std::string* error) {
+  std::lock_guard<std::mutex> lock(mu_);
+  open_ = false;
+  log_map_.Unmap();
+  idx_map_.Unmap();
+  fallback_index_.clear();
+  pending_.clear();
+  stats_ = Stats();
+  log_valid_size_ = 0;
+  disk_records_ = 0;
+  use_fallback_ = false;
+
+  dir_ = dir;
+  log_path_ = dir + "/" + kVerdictLogFileName;
+  idx_path_ = dir + "/" + kVerdictIndexFileName;
+  lock_path_ = dir + "/" + kVerdictLockFileName;
+
+  if (!MakeDirs(dir)) {
+    if (error != nullptr) *error = "cannot create cache directory " + dir;
+    return false;
+  }
+
+  // Appender lock: Open may truncate a torn tail or rebuild the index, and
+  // two processes opening the same cold directory must not race the
+  // initial header write.
+  FileLock flock(lock_path_);
+  if (flock.held()) {
+    if (!RepairLog(log_path_, &stats_.records_dropped)) {
+      if (error != nullptr) *error = "cannot initialize " + log_path_;
+      return false;
+    }
+  }
+
+  if (!log_map_.Map(log_path_)) {
+    if (error != nullptr) *error = "cannot map " + log_path_;
+    return false;
+  }
+
+  std::vector<RecordRef> records;
+  log_valid_size_ =
+      ScanLog(log_map_, &records, &stats_.records_dropped);
+  disk_records_ = static_cast<int64_t>(records.size());
+  stats_.records_loaded = disk_records_;
+
+  // Drop a torn tail for real, so lock-free readers of the mmap'd index
+  // never see offsets beyond what checksums vouch for.
+  if (flock.held() && log_valid_size_ < log_map_.size()) {
+    int fd = ::open(log_path_.c_str(), O_RDWR | O_CLOEXEC);
+    if (fd >= 0) {
+      if (::ftruncate(fd, static_cast<off_t>(log_valid_size_)) == 0) {
+        ::close(fd);
+        log_map_.Map(log_path_);
+      } else {
+        ::close(fd);
+      }
+    }
+  }
+
+  bool idx_ok =
+      idx_map_.Map(idx_path_) && IndexHeaderValid(idx_map_, log_valid_size_);
+  if (!idx_ok) {
+    if (!flock.held() || !RebuildIndex(records, log_valid_size_)) {
+      // Read-only directory (or the rebuild failed): probe an in-memory
+      // table instead. Correctness is identical, only the shared mapping
+      // is lost.
+      idx_map_.Unmap();
+      use_fallback_ = true;
+      fallback_index_.reserve(records.size());
+      for (const RecordRef& r : records) {
+        fallback_index_.emplace(r.hash, r.offset);
+      }
+    }
+  }
+
+  open_ = true;
+  return true;
+}
+
+bool VerdictStore::is_open() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return open_;
+}
+
+uint64_t VerdictStore::ScanLog(const MappedFile& log,
+                               std::vector<RecordRef>* records,
+                               int64_t* dropped) const {
+  const uint8_t* d = log.data();
+  const uint64_t n = log.size();
+  if (!LogHeaderValid(d, n)) {
+    // Unrepaired stale/garbage file (read-only directory): load as empty.
+    if (n > 0) ++*dropped;
+    return kLogHeaderSize;
+  }
+  uint64_t off = kLogHeaderSize;
+  while (off < n) {
+    if (off + kRecordFixedSize > n) {
+      ++*dropped;  // torn fixed header
+      break;
+    }
+    const uint32_t checksum = ReadU32(d + off);
+    const uint32_t fp_len = ReadU32(d + off + 4);
+    if (fp_len == 0 || fp_len > kMaxFingerprintBytes ||
+        off + kRecordFixedSize + fp_len > n) {
+      ++*dropped;  // torn or garbled length
+      break;
+    }
+    if (Fnv1a32(d + off + 4, 8 + fp_len) != checksum) {
+      ++*dropped;  // bit flip / torn payload
+      break;
+    }
+    records->push_back(
+        {Fnv1a64(d + off + kRecordFixedSize, fp_len), off});
+    off += kRecordFixedSize + fp_len;
+  }
+  return off;
+}
+
+std::optional<CachedPairVerdict> VerdictStore::ReadRecord(
+    uint64_t offset, const std::string& fingerprint) const {
+  const uint8_t* d = log_map_.data();
+  if (offset + kRecordFixedSize > log_valid_size_) return std::nullopt;
+  const uint32_t fp_len = ReadU32(d + offset + 4);
+  if (fp_len != fingerprint.size() ||
+      offset + kRecordFixedSize + fp_len > log_valid_size_) {
+    return std::nullopt;
+  }
+  if (std::memcmp(d + offset + kRecordFixedSize, fingerprint.data(),
+                  fp_len) != 0) {
+    return std::nullopt;  // hash collision; probe continues
+  }
+  const uint8_t verdict = d[offset + 8];
+  const uint8_t method = d[offset + 9];
+  if (verdict > static_cast<uint8_t>(SafetyVerdict::kUnknown) ||
+      method >= static_cast<uint8_t>(wire::kNumDecisionMethodNames)) {
+    return std::nullopt;  // never serve an out-of-range enum
+  }
+  CachedPairVerdict entry;
+  entry.verdict = static_cast<SafetyVerdict>(verdict);
+  entry.method = static_cast<DecisionMethod>(method);
+  entry.sites_spanned = d[offset + 10] | (d[offset + 11] << 8);
+  return entry;
+}
+
+std::optional<CachedPairVerdict> VerdictStore::Probe(
+    const std::string& fingerprint) const {
+  const uint64_t hash = FingerprintHash(fingerprint);
+  if (use_fallback_) {
+    auto [begin, end] = fallback_index_.equal_range(hash);
+    for (auto it = begin; it != end; ++it) {
+      auto entry = ReadRecord(it->second, fingerprint);
+      if (entry.has_value()) return entry;
+    }
+    return std::nullopt;
+  }
+  if (idx_map_.size() < kIdxHeaderSize) return std::nullopt;
+  const uint8_t* d = idx_map_.data();
+  const uint64_t capacity = ReadU64(d + 24);
+  const uint64_t mask = capacity - 1;
+  for (uint64_t step = 0, i = hash & mask; step < capacity;
+       ++step, i = (i + 1) & mask) {
+    const uint8_t* slot = d + kIdxHeaderSize + i * kIdxSlotSize;
+    const uint64_t offset_plus_1 = ReadU64(slot + 8);
+    if (offset_plus_1 == 0) return std::nullopt;  // empty slot: not present
+    if (ReadU64(slot) != hash) continue;
+    auto entry = ReadRecord(offset_plus_1 - 1, fingerprint);
+    if (entry.has_value()) return entry;
+  }
+  return std::nullopt;
+}
+
+std::optional<CachedPairVerdict> VerdictStore::Lookup(
+    const std::string& fingerprint) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!open_) return std::nullopt;
+  auto it = pending_.find(fingerprint);
+  if (it != pending_.end()) {
+    ++stats_.disk_hits;
+    return it->second;
+  }
+  auto entry = Probe(fingerprint);
+  if (entry.has_value()) {
+    ++stats_.disk_hits;
+  } else {
+    ++stats_.disk_misses;
+  }
+  return entry;
+}
+
+void VerdictStore::Put(const std::string& fingerprint,
+                       const CachedPairVerdict& entry) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!open_) return;
+  if (pending_.find(fingerprint) != pending_.end()) return;
+  if (Probe(fingerprint).has_value()) return;  // already durable
+  pending_.emplace(fingerprint, entry);
+}
+
+int64_t VerdictStore::Flush() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!open_ || pending_.empty()) return 0;
+  FileLock flock(lock_path_);
+  if (!flock.held()) return 0;  // cannot append safely; keep buffering
+
+  // Under the appender lock, resynchronize with whatever other processes
+  // flushed since our Open: repair the header if someone regressed it,
+  // rescan the log, and drop any torn tail before appending.
+  if (!RepairLog(log_path_, &stats_.records_dropped)) return 0;
+  if (!log_map_.Map(log_path_)) return 0;
+  std::vector<RecordRef> records;
+  log_valid_size_ = ScanLog(log_map_, &records, &stats_.records_dropped);
+
+  int fd = ::open(log_path_.c_str(), O_RDWR | O_CLOEXEC);
+  if (fd < 0) return 0;
+  if (log_valid_size_ < log_map_.size() &&
+      ::ftruncate(fd, static_cast<off_t>(log_valid_size_)) != 0) {
+    ::close(fd);
+    return 0;
+  }
+
+  // Dedup against the (re-scanned) on-disk records by full fingerprint.
+  std::unordered_multimap<uint64_t, uint64_t> on_disk;
+  on_disk.reserve(records.size());
+  for (const RecordRef& r : records) on_disk.emplace(r.hash, r.offset);
+  auto durable = [&](const std::string& fp, uint64_t hash) {
+    auto [begin, end] = on_disk.equal_range(hash);
+    for (auto it = begin; it != end; ++it) {
+      if (ReadRecord(it->second, fp).has_value()) return true;
+    }
+    return false;
+  };
+
+  // Sorted order makes a flush a deterministic function of its content.
+  std::vector<const std::string*> keys;
+  keys.reserve(pending_.size());
+  for (const auto& kv : pending_) keys.push_back(&kv.first);
+  std::sort(keys.begin(), keys.end(),
+            [](const std::string* a, const std::string* b) { return *a < *b; });
+
+  std::string buf;
+  int64_t appended = 0;
+  for (const std::string* fp : keys) {
+    const uint64_t hash = FingerprintHash(*fp);
+    if (durable(*fp, hash)) continue;
+    const CachedPairVerdict& entry = pending_.at(*fp);
+    const uint64_t offset = log_valid_size_ + buf.size();
+    const size_t record_start = buf.size();
+    AppendU32(&buf, 0);  // checksum, patched below
+    AppendU32(&buf, static_cast<uint32_t>(fp->size()));
+    buf.push_back(static_cast<char>(entry.verdict));
+    buf.push_back(static_cast<char>(entry.method));
+    const uint16_t sites = entry.sites_spanned < 0 ? 0
+                           : entry.sites_spanned > 0xffff
+                               ? 0xffff
+                               : static_cast<uint16_t>(entry.sites_spanned);
+    buf.push_back(static_cast<char>(sites & 0xff));
+    buf.push_back(static_cast<char>(sites >> 8));
+    buf.append(*fp);
+    const uint32_t checksum = Fnv1a32(
+        reinterpret_cast<const uint8_t*>(buf.data() + record_start + 4),
+        buf.size() - record_start - 4);
+    std::memcpy(buf.data() + record_start, &checksum, sizeof(checksum));
+    records.push_back({hash, offset});
+    ++appended;
+  }
+
+  bool ok = true;
+  if (!buf.empty()) {
+    ok = ::pwrite(fd, buf.data(), buf.size(),
+                  static_cast<off_t>(log_valid_size_)) ==
+         static_cast<ssize_t>(buf.size());
+    if (ok) ::fsync(fd);
+  }
+  ::close(fd);
+  if (!ok) return 0;
+
+  log_valid_size_ += buf.size();
+  if (!log_map_.Map(log_path_)) return 0;
+  disk_records_ = static_cast<int64_t>(records.size());
+
+  if (!RebuildIndex(records, log_valid_size_)) {
+    idx_map_.Unmap();
+    use_fallback_ = true;
+    fallback_index_.clear();
+    fallback_index_.reserve(records.size());
+    for (const RecordRef& r : records) {
+      fallback_index_.emplace(r.hash, r.offset);
+    }
+  } else {
+    use_fallback_ = false;
+    fallback_index_.clear();
+  }
+
+  stats_.records_flushed += appended;
+  pending_.clear();
+  return appended;
+}
+
+bool VerdictStore::RebuildIndex(const std::vector<RecordRef>& records,
+                                uint64_t log_size) {
+  uint64_t capacity = 16;
+  while (capacity < records.size() * 2) capacity <<= 1;
+
+  std::string buf;
+  buf.reserve(kIdxHeaderSize + capacity * kIdxSlotSize);
+  buf.append(kIdxMagic, sizeof(kIdxMagic));
+  AppendU32(&buf, kVerdictStoreSchemaVersion);
+  AppendU32(&buf, kVerdictStoreGeneration);
+  AppendU32(&buf, 0);  // reserved
+  AppendU64(&buf, log_size);
+  AppendU64(&buf, capacity);
+  AppendU64(&buf, records.size());
+  buf.resize(kIdxHeaderSize + capacity * kIdxSlotSize, '\0');
+
+  const uint64_t mask = capacity - 1;
+  for (const RecordRef& r : records) {
+    uint64_t i = r.hash & mask;
+    while (ReadU64(reinterpret_cast<const uint8_t*>(buf.data()) +
+                   kIdxHeaderSize + i * kIdxSlotSize + 8) != 0) {
+      i = (i + 1) & mask;
+    }
+    char* slot = buf.data() + kIdxHeaderSize + i * kIdxSlotSize;
+    const uint64_t offset_plus_1 = r.offset + 1;
+    std::memcpy(slot, &r.hash, sizeof(r.hash));
+    std::memcpy(slot + 8, &offset_plus_1, sizeof(offset_plus_1));
+  }
+
+  // Write-temp-then-rename so a concurrent lock-free reader either sees
+  // the old complete index or the new complete index, never a torn one.
+  const std::string tmp = idx_path_ + ".tmp";
+  int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC,
+                  0644);
+  if (fd < 0) return false;
+  bool ok = ::pwrite(fd, buf.data(), buf.size(), 0) ==
+            static_cast<ssize_t>(buf.size());
+  if (ok) ::fsync(fd);
+  ::close(fd);
+  if (!ok || ::rename(tmp.c_str(), idx_path_.c_str()) != 0) {
+    ::unlink(tmp.c_str());
+    return false;
+  }
+  return idx_map_.Map(idx_path_) &&
+         IndexHeaderValid(idx_map_, log_size);
+}
+
+VerdictStore::Stats VerdictStore::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+int64_t VerdictStore::disk_records() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return disk_records_;
+}
+
+int64_t VerdictStore::pending_records() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int64_t>(pending_.size());
+}
+
+}  // namespace cache
+}  // namespace dislock

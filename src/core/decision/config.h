@@ -6,6 +6,9 @@
 namespace dislock {
 
 class PairVerdictCache;
+namespace cache {
+class VerdictStore;
+}  // namespace cache
 namespace obs {
 class StatsSink;
 class TraceRecorder;
@@ -76,6 +79,19 @@ struct EngineConfig {
   /// PairVerdictCache for the lifetime of the context (what the tools'
   /// --cache flag toggles).
   bool enable_cache = false;
+
+  /// Optional persistent tier-2 verdict store (cache/verdict_store.h); not
+  /// owned, null = off, exactly like the obs pointers below. When set, the
+  /// EngineContext attaches it to the context-owned tier-1 cache (creating
+  /// that cache even when enable_cache is false), so memory misses fall
+  /// through to disk and fresh verdicts are buffered for the next Flush.
+  /// When an external `cache` is supplied instead, its owner decides
+  /// whether to attach the store (PairVerdictCache::set_store) — the
+  /// engine never rewires a cache it does not own. Serving a verdict from
+  /// the store never changes what the engine would compute, only whether
+  /// the pair procedure runs (docs/caching.md pins the exact byte-identity
+  /// contract).
+  cache::VerdictStore* store = nullptr;
 
   // ---- Observability ----
 

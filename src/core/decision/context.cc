@@ -1,6 +1,6 @@
 #include "core/decision/context.h"
 
-#include "core/verdict_cache.h"
+#include "cache/verdict_cache.h"
 
 namespace dislock {
 
@@ -25,11 +25,17 @@ ThreadPool* EngineContext::pool() {
 }
 
 PairVerdictCache* EngineContext::cache() {
+  // An external cache always wins; its owner is responsible for attaching
+  // (or not attaching) a persistent store to it.
   if (config_.cache != nullptr) return config_.cache;
-  if (!config_.enable_cache) return nullptr;
+  if (!config_.enable_cache && config_.store == nullptr) return nullptr;
   std::lock_guard<std::mutex> lock(mu_);
   if (owned_cache_ == nullptr) {
     owned_cache_ = std::make_unique<PairVerdictCache>();
+    // A configured tier-2 store implies a tier-1 memo in front of it: the
+    // memo keeps the hot path allocation-free and the store makes the
+    // verdicts durable across runs.
+    owned_cache_->set_store(config_.store);
   }
   return owned_cache_.get();
 }

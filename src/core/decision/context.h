@@ -40,7 +40,9 @@ class EngineContext {
   ThreadPool* pool();
 
   /// The verdict cache to consult: config().cache when set, else a
-  /// context-owned cache when config().enable_cache, else nullptr.
+  /// context-owned cache when config().enable_cache or config().store is
+  /// set (the owned cache gets the store attached as its tier 2), else
+  /// nullptr.
   PairVerdictCache* cache();
 
   /// The span recorder instrumentation sites use; nullptr (tracing off)

@@ -56,7 +56,7 @@ struct EngineTotals {
 /// because the batch path itself reduces by replaying the serial memoized
 /// scan over computed verdicts (core/multi.h); the engine feeds that same
 /// replay verdicts pulled from its stores, and fingerprint-equal pairs
-/// provably have identical reports (core/verdict_cache.h). A shared
+/// provably have identical reports (cache/verdict_cache.h). A shared
 /// external config.cache is deliberately NOT consulted: its pre-populated
 /// entries are not reconstructible from the catalog alone and would break
 /// the fresh-context equivalence.

@@ -7,6 +7,7 @@
 #include <utility>
 #include <vector>
 
+#include "cache/verdict_store.h"
 #include "core/decision/context.h"
 #include "core/incremental/engine.h"
 #include "core/incremental/sharded_catalog.h"
@@ -55,7 +56,9 @@ constexpr char kHelp[] =
     "  check            incremental safety analysis\n"
     "  analyze          full pass diagnostics on the current snapshot\n"
     "  list             live transactions with their ids\n"
-    "  stats            generation, store sizes, reuse totals\n"
+    "  stats            generation, store sizes, reuse totals (and the\n"
+    "                   persistent verdict-cache counters when a store is\n"
+    "                   attached)\n"
     "  help             this summary\n"
     "  quit | exit      stop\n";
 
@@ -627,6 +630,21 @@ class SessionCore::Impl {
             << "\": " << sc.local_pairs() << ", \"" << wire::kCrossShardRatio
             << "\": " << FormatRatio(sc.CrossShardRatio());
       }
+      // The cache block appears exactly when a persistent store is
+      // attached, so sessions without one keep their historical bytes.
+      if (const cache::VerdictStore* store = options_.config.store) {
+        cache::VerdictStore::Stats cs = store->stats();
+        out << ", \"" << wire::kCache << "\": {\"" << wire::kDiskHits
+            << "\": " << cs.disk_hits << ", \"" << wire::kDiskMisses
+            << "\": " << cs.disk_misses << ", \"" << wire::kRecordsLoaded
+            << "\": " << cs.records_loaded << ", \""
+            << wire::kRecordsFlushed << "\": " << cs.records_flushed
+            << ", \"" << wire::kRecordsDropped
+            << "\": " << cs.records_dropped << ", \"" << wire::kDiskRecords
+            << "\": " << store->disk_records() << ", \""
+            << wire::kCacheFileGeneration << "\": " << store->generation()
+            << "}";
+      }
       out << "}\n";
       return Status::OK();
     }
@@ -646,6 +664,14 @@ class SessionCore::Impl {
       out << "\ncross-shard pairs: " << sc.cross_pairs() << " of "
           << sc.cross_pairs() + sc.local_pairs() << " (ratio "
           << FormatRatio(sc.CrossShardRatio()) << ")\n";
+    }
+    if (const cache::VerdictStore* store = options_.config.store) {
+      cache::VerdictStore::Stats cs = store->stats();
+      out << "persistent cache: " << cs.disk_hits << " disk hits, "
+          << cs.disk_misses << " disk misses; " << store->disk_records()
+          << " records on disk (" << cs.records_loaded << " loaded, "
+          << cs.records_flushed << " flushed, " << cs.records_dropped
+          << " dropped; generation " << store->generation() << ")\n";
     }
     return Status::OK();
   }

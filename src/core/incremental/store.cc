@@ -5,8 +5,9 @@
 #include <string>
 #include <unordered_map>
 
+#include "cache/verdict_cache.h"
+#include "cache/verdict_store.h"
 #include "core/decision/context.h"
-#include "core/verdict_cache.h"
 #include "graph/cycles.h"
 #include "util/thread_pool.h"
 
@@ -58,6 +59,7 @@ int64_t DecideDirtyPairs(const SystemView& view,
   EngineConfig pair_config = options;
   pair_config.cache = nullptr;
   pair_config.enable_cache = false;
+  pair_config.store = nullptr;
   if (pool != nullptr) pair_config.num_threads = 1;
 
   // All dirty pairs are computed — no early exit — so the store state
@@ -77,6 +79,29 @@ int64_t DecideDirtyPairs(const SystemView& view,
     for (auto& f : futures) f.get();
   } else {
     for (size_t d = 0; d < dirty.size(); ++d) run_pair(d);
+  }
+  // Contribute the freshly computed verdicts to the persistent tier-2
+  // store. Write-only on purpose: the incremental path never *serves* a
+  // verdict from the store (that would make check counters vary with
+  // warmth — see docs/caching.md), but its work still warms the store for
+  // batch runs and for the session's own `analyze` command. The serve
+  // fleet's shards all reach the same store through their copied configs,
+  // and the pending buffer dedups by fingerprint, so the flushed bytes are
+  // independent of shard count and compute order.
+  if (options.store != nullptr) {
+    for (size_t d = 0; d < dirty.size(); ++d) {
+      const std::pair<int, int>& p = pairs[dirty[d]];
+      std::string fp =
+          options.use_flat_kernel
+              ? PairFingerprintFlat(view.txn(p.first), view.txn(p.second))
+              : PairFingerprint(view.txn(p.first), view.txn(p.second));
+      const PairSafetyReport& r = dirty_reports[d];
+      CachedPairVerdict entry;
+      entry.verdict = r.verdict;
+      entry.method = r.method;
+      entry.sites_spanned = r.sites_spanned;
+      options.store->Put(fp, entry);
+    }
   }
   for (size_t d = 0; d < dirty.size(); ++d) {
     store->pairs.emplace(keys[dirty[d]], std::move(dirty_reports[d]));
@@ -137,7 +162,12 @@ std::pair<std::vector<ScanPair>, int> BuildStoredPairScan(
   std::vector<ScanPair> scan;
   scan.reserve(pairs.size());
   int num_groups = 0;
-  if (options.cache != nullptr || options.enable_cache) {
+  // Group exactly when a fresh batch context would own a cache: an
+  // external cache, --cache, or a configured tier-2 store. Warmth plays no
+  // role here (cached_safe is never set), so stored-scan replies are
+  // byte-identical whether the store is cold, warm, or shared.
+  if (options.cache != nullptr || options.enable_cache ||
+      options.store != nullptr) {
     std::unordered_map<std::string, int> group_index;
     for (size_t p = 0; p < pairs.size(); ++p) {
       std::string fp = options.use_flat_kernel

@@ -9,7 +9,7 @@
 #include <unordered_map>
 
 #include "core/decision/context.h"
-#include "core/verdict_cache.h"
+#include "cache/verdict_cache.h"
 #include "core/wire_keys.h"
 #include "graph/csr.h"
 #include "graph/cycles.h"
@@ -391,6 +391,7 @@ MultiSafetyReport AnalyzeMultiSafety(const SystemView& view,
   EngineConfig pair_config = options;
   pair_config.cache = nullptr;
   pair_config.enable_cache = false;
+  pair_config.store = nullptr;
   if (pool != nullptr) {
     // The pair fan-out owns the pool; nested per-pair dominator
     // parallelism would oversubscribe the workers.

@@ -89,4 +89,19 @@ void ExportCacheStats(const PairVerdictCache& cache, obs::StatsSink* sink) {
   sink->SetGauge(wire::kMetricCacheHitRate, stats.HitRate());
 }
 
+void ExportStoreStats(const cache::VerdictStore& store,
+                      obs::StatsSink* sink) {
+  if (sink == nullptr) return;
+  cache::VerdictStore::Stats stats = store.stats();
+  sink->AddCounter(wire::kMetricCacheDiskHits, stats.disk_hits);
+  sink->AddCounter(wire::kMetricCacheDiskMisses, stats.disk_misses);
+  sink->AddCounter(wire::kMetricCacheRecordsLoaded, stats.records_loaded);
+  sink->AddCounter(wire::kMetricCacheRecordsFlushed, stats.records_flushed);
+  sink->AddCounter(wire::kMetricCacheRecordsDropped, stats.records_dropped);
+  sink->SetGauge(wire::kMetricCacheDiskRecords,
+                 static_cast<double>(store.disk_records()));
+  sink->SetGauge(wire::kMetricCacheFileGeneration,
+                 static_cast<double>(store.generation()));
+}
+
 }  // namespace dislock

@@ -1,9 +1,10 @@
 #ifndef DISLOCK_CORE_STATS_EXPORT_H_
 #define DISLOCK_CORE_STATS_EXPORT_H_
 
+#include "cache/verdict_cache.h"
+#include "cache/verdict_store.h"
 #include "core/multi.h"
 #include "core/safety.h"
-#include "core/verdict_cache.h"
 #include "obs/stats_sink.h"
 
 namespace dislock {
@@ -41,6 +42,15 @@ void ExportDeltaStats(const DeltaStats& delta, obs::StatsSink* sink);
 // "cache.hits"/"cache.misses" counters plus "cache.size"/"cache.hit_rate"
 // gauges for an engine- or caller-owned PairVerdictCache.
 void ExportCacheStats(const PairVerdictCache& cache, obs::StatsSink* sink);
+
+// "cache.{disk_hits,disk_misses,records_loaded,records_flushed,
+// records_dropped}" counters plus "cache.disk_records"/
+// "cache.file_generation" gauges for a persistent tier-2 store
+// (cache/verdict_store.h). Same owner-exports-once convention: the tool
+// (or service) that opened the store exports it, exactly once, at
+// shutdown.
+void ExportStoreStats(const cache::VerdictStore& store,
+                      obs::StatsSink* sink);
 
 }  // namespace dislock
 

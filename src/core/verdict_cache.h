@@ -1,89 +1,12 @@
 #ifndef DISLOCK_CORE_VERDICT_CACHE_H_
 #define DISLOCK_CORE_VERDICT_CACHE_H_
 
-#include <cstdint>
-#include <mutex>
-#include <optional>
-#include <string>
-#include <unordered_map>
+// Forwarding header: the verdict cache moved to the src/cache/ subsystem
+// when it grew its persistent tier (docs/caching.md). In-repo code
+// includes "cache/verdict_cache.h" directly; this shim exists for one
+// release so external users of the old path keep compiling, and will be
+// removed afterwards.
 
-#include "core/safety.h"
-#include "txn/transaction.h"
-
-namespace dislock {
-
-/// Canonical structural fingerprint of the ordered pair (T1, T2).
-///
-/// Entities are renamed by first appearance in T1's step sequence then
-/// T2's, and sites by first appearance of their entities, so two pairs get
-/// the same fingerprint iff they are isomorphic as locked-transaction
-/// pairs: identical step sequences (kind, canonical entity, shared flag),
-/// identical precedence arc sets, and an identical entity-to-site pattern.
-/// Everything AnalyzePairSafety looks at — the conflict digraph D(T1,T2),
-/// the number of sites spanned, dominators, closures and the Lemma 1
-/// extension enumeration — is invariant under that renaming, so
-/// fingerprint-equal pairs provably receive the same verdict. Names play no
-/// role; generated ring/dense workloads and dislock_stress trials produce
-/// many fingerprint-equal pairs over differently named entities.
-std::string PairFingerprint(const Transaction& t1, const Transaction& t2);
-
-/// Flat-kernel fingerprint (EngineConfig::use_flat_kernel): byte-identical
-/// output to PairFingerprint — grouping and the pairs_cached counter depend
-/// on exact string equality — but the canonical renaming runs on dense
-/// arena-backed index arrays over [0, NumEntities()) / [0, NumSites())
-/// instead of unordered_maps, the arc set is sorted as packed 64-bit keys,
-/// and the string is assembled in one pass into a single preallocated
-/// buffer.
-std::string PairFingerprintFlat(const Transaction& t1, const Transaction& t2);
-
-/// What the cache remembers about a decided pair. The full PairSafetyReport
-/// is NOT cached: its conflict graph and certificate reference the concrete
-/// entities and transactions of the pair that produced it, which a
-/// structurally identical pair over other entities cannot reuse. Verdicts
-/// (and the method/site summary) transfer; certificates are re-derived on
-/// the concrete pair when a caller needs one (see AnalyzeMultiSafety).
-struct CachedPairVerdict {
-  SafetyVerdict verdict = SafetyVerdict::kUnknown;
-  DecisionMethod method = DecisionMethod::kNone;
-  int sites_spanned = 0;
-};
-
-/// Thread-safe memo of pair verdicts keyed by PairFingerprint. One cache
-/// can serve many AnalyzeMultiSafety calls (the dislock_bench trajectory
-/// runs) or a long dislock_stress session; the parallel safety engine
-/// consults it from worker threads.
-class PairVerdictCache {
- public:
-  struct Stats {
-    int64_t hits = 0;
-    int64_t misses = 0;
-    double HitRate() const {
-      return hits + misses == 0
-                 ? 0.0
-                 : static_cast<double>(hits) / static_cast<double>(hits +
-                                                                   misses);
-    }
-  };
-
-  /// The cached verdict for `fingerprint`, recording a hit or miss.
-  std::optional<CachedPairVerdict> Lookup(const std::string& fingerprint);
-
-  /// Memoizes the verdict of `report` under `fingerprint` (first insert
-  /// wins; re-inserting an existing fingerprint is a no-op, which keeps
-  /// concurrent inserts of fingerprint-equal pairs benign).
-  void Insert(const std::string& fingerprint,
-              const PairSafetyReport& report);
-
-  Stats stats() const;
-  int64_t size() const;
-  void Clear();
-
- private:
-  mutable std::mutex mu_;
-  std::unordered_map<std::string, CachedPairVerdict> map_;
-  Stats stats_;
-};
-
-}  // namespace dislock
+#include "cache/verdict_cache.h"  // IWYU pragma: export
 
 #endif  // DISLOCK_CORE_VERDICT_CACHE_H_

@@ -154,6 +154,19 @@ inline constexpr char kShardTransactions[] = "shard_transactions";
 inline constexpr char kCommands[] = "commands";
 inline constexpr char kResponses[] = "responses";
 
+// ---- Verdict-store keys (two-tier cache, docs/caching.md) -----------------
+// The `cache` block of the session/serve `stats` response — present only
+// when a persistent store is attached — and the matching dotted metric
+// names below. Pinned by wire_format_test.
+inline constexpr char kCache[] = "cache";
+inline constexpr char kDiskHits[] = "disk_hits";
+inline constexpr char kDiskMisses[] = "disk_misses";
+inline constexpr char kRecordsLoaded[] = "records_loaded";
+inline constexpr char kRecordsFlushed[] = "records_flushed";
+inline constexpr char kRecordsDropped[] = "records_dropped";
+inline constexpr char kDiskRecords[] = "disk_records";
+inline constexpr char kCacheFileGeneration[] = "cache_file_generation";
+
 // ---- Trace span taxonomy --------------------------------------------------
 // Every TraceSpan in the engine uses one of these literals (plus
 // "pool.task", which lives in util/thread_pool.cc because util sits below
@@ -187,6 +200,15 @@ inline constexpr char kMetricCacheHits[] = "cache.hits";
 inline constexpr char kMetricCacheMisses[] = "cache.misses";
 inline constexpr char kMetricCacheSize[] = "cache.size";
 inline constexpr char kMetricCacheHitRate[] = "cache.hit_rate";
+// Tier-2 persistent store counters (cache/verdict_store.h), exported by
+// the store's owner via ExportStoreStats.
+inline constexpr char kMetricCacheDiskHits[] = "cache.disk_hits";
+inline constexpr char kMetricCacheDiskMisses[] = "cache.disk_misses";
+inline constexpr char kMetricCacheRecordsLoaded[] = "cache.records_loaded";
+inline constexpr char kMetricCacheRecordsFlushed[] = "cache.records_flushed";
+inline constexpr char kMetricCacheRecordsDropped[] = "cache.records_dropped";
+inline constexpr char kMetricCacheDiskRecords[] = "cache.disk_records";
+inline constexpr char kMetricCacheFileGeneration[] = "cache.file_generation";
 inline constexpr char kMetricPipelinePrefix[] = "pipeline";
 inline constexpr char kMetricPairPrefix[] = "pair";
 inline constexpr char kMetricMultiPrefix[] = "multi";

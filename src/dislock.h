@@ -66,8 +66,9 @@
 #include "core/protocols.h"
 #include "core/report.h"
 #include "core/safety.h"
+#include "cache/verdict_cache.h"
+#include "cache/verdict_store.h"
 #include "core/stats_export.h"
-#include "core/verdict_cache.h"
 #include "core/wire_keys.h"
 #include "geometry/curve.h"
 #include "geometry/deadlock_geometry.h"

@@ -119,6 +119,17 @@ FlagParse ParseCommonFlag(int argc, char** argv, int i, unsigned accepted,
     }
   }
 
+  if ((accepted & kCacheDirFlag) != 0) {
+    if (const char* v = FlagValue(argc, argv, i, "--cache-dir", &two)) {
+      if (v == kMissing || v[0] == '\0') {
+        if (error != nullptr) *error = "--cache-dir requires a directory";
+        return FlagParse::kError;
+      }
+      flags->cache_dir = v;
+      return two ? FlagParse::kConsumedTwo : FlagParse::kConsumedOne;
+    }
+  }
+
   if ((accepted & kMetricsFlag) != 0) {
     // --metrics takes an *optional* =FILE, so the space-separated spelling
     // is not supported (it would swallow positionals).
@@ -182,7 +193,21 @@ std::string CommonFlagsHelp(unsigned accepted) {
         "                    hash; 0 = one shard per hardware thread; check\n"
         "                    reports are byte-identical at any K\n";
   }
+  if ((accepted & kCacheDirFlag) != 0) {
+    out +=
+        "  --cache-dir=PATH  persist pair verdicts in PATH across runs and\n"
+        "                    processes (implies --cache; also read from the\n"
+        "                    DISLOCK_CACHE_DIR environment variable; a\n"
+        "                    verdict served from disk never changes a\n"
+        "                    verdict, see docs/caching.md)\n";
+  }
   return out;
+}
+
+std::string EffectiveCacheDir(const CommonFlags& flags) {
+  if (!flags.cache_dir.empty()) return flags.cache_dir;
+  const char* env = std::getenv("DISLOCK_CACHE_DIR");
+  return env != nullptr ? std::string(env) : std::string();
 }
 
 void ReportUnknownArgument(const char* tool, const char* arg) {

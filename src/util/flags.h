@@ -22,6 +22,7 @@ struct CommonFlags {
   int port = 4400;           // --port N; 0 = ephemeral (serve announces it)
   int clients = 100;         // --clients N; simulated clients (load driver)
   int shards = 1;            // --shards K; 0 = one per hardware thread
+  std::string cache_dir;     // --cache-dir=PATH; empty = no persistent store
 };
 
 enum CommonFlagSet : unsigned {
@@ -33,6 +34,7 @@ enum CommonFlagSet : unsigned {
   kPortFlag = 1u << 5,     // --port N | --port=N       (dislock_serve)
   kClientsFlag = 1u << 6,  // --clients N | --clients=N (load driver, bench)
   kShardsFlag = 1u << 7,   // --shards K | --shards=K   (sharded catalog)
+  kCacheDirFlag = 1u << 8,  // --cache-dir PATH | --cache-dir=PATH
   kObsFlags = kTraceFlag | kMetricsFlag,
   kServeFlags = kPortFlag | kClientsFlag | kShardsFlag,
 };
@@ -54,6 +56,12 @@ FlagParse ParseCommonFlag(int argc, char** argv, int i, unsigned accepted,
 // block per flag, for embedding into a tool's usage message. Every tool
 // documents a shared flag with exactly these words.
 std::string CommonFlagsHelp(unsigned accepted);
+
+// The persistent verdict-store directory a tool should use: the parsed
+// --cache-dir when given, else the DISLOCK_CACHE_DIR environment variable,
+// else "" (no store). The flag always wins over the environment, so a
+// script can pin one run's cache without unsetting the variable.
+std::string EffectiveCacheDir(const CommonFlags& flags);
 
 // The uniform rejection lines, printed to stderr:
 //   "<tool>: unknown argument '<arg>'"          (ReportUnknownArgument)

@@ -1,0 +1,72 @@
+#include "util/mmap_file.h"
+
+#include <fcntl.h>
+#include <sys/file.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <utility>
+
+namespace dislock {
+
+MappedFile::~MappedFile() { Unmap(); }
+
+MappedFile::MappedFile(MappedFile&& other) noexcept
+    : data_(std::exchange(other.data_, nullptr)),
+      size_(std::exchange(other.size_, 0)) {}
+
+MappedFile& MappedFile::operator=(MappedFile&& other) noexcept {
+  if (this != &other) {
+    Unmap();
+    data_ = std::exchange(other.data_, nullptr);
+    size_ = std::exchange(other.size_, 0);
+  }
+  return *this;
+}
+
+bool MappedFile::Map(const std::string& path) {
+  Unmap();
+  int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) return errno == ENOENT;  // missing file == empty mapping
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    return false;
+  }
+  if (st.st_size == 0) {
+    ::close(fd);
+    return true;
+  }
+  void* p = ::mmap(nullptr, static_cast<size_t>(st.st_size), PROT_READ,
+                   MAP_SHARED, fd, 0);
+  ::close(fd);  // the mapping keeps its own reference
+  if (p == MAP_FAILED) return false;
+  data_ = static_cast<uint8_t*>(p);
+  size_ = static_cast<size_t>(st.st_size);
+  return true;
+}
+
+void MappedFile::Unmap() {
+  if (data_ != nullptr) ::munmap(data_, size_);
+  data_ = nullptr;
+  size_ = 0;
+}
+
+FileLock::FileLock(const std::string& path) {
+  fd_ = ::open(path.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
+  if (fd_ < 0) return;
+  if (::flock(fd_, LOCK_EX) != 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+FileLock::~FileLock() {
+  if (fd_ >= 0) {
+    ::flock(fd_, LOCK_UN);
+    ::close(fd_);
+  }
+}
+
+}  // namespace dislock

@@ -1,0 +1,67 @@
+#ifndef DISLOCK_UTIL_MMAP_FILE_H_
+#define DISLOCK_UTIL_MMAP_FILE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace dislock {
+
+/// Read-only memory mapping of a whole file. The cache subsystem's
+/// persistent verdict store maps its append-only log and its
+/// open-addressing index through this wrapper; nothing in it is
+/// cache-specific.
+///
+/// An empty or missing file maps to a valid object with size() == 0 and
+/// data() == nullptr — callers treat "nothing on disk yet" and "zero-byte
+/// file" identically. Remapping after the file grew is just Map() again.
+class MappedFile {
+ public:
+  MappedFile() = default;
+  ~MappedFile();
+
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+  MappedFile(MappedFile&& other) noexcept;
+  MappedFile& operator=(MappedFile&& other) noexcept;
+
+  /// Maps `path` read-only, replacing any current mapping. Returns false
+  /// (leaving the object unmapped) only on a real I/O error — a missing or
+  /// empty file succeeds with size() == 0.
+  bool Map(const std::string& path);
+
+  void Unmap();
+
+  const uint8_t* data() const { return data_; }
+  size_t size() const { return size_; }
+
+ private:
+  uint8_t* data_ = nullptr;
+  size_t size_ = 0;
+};
+
+/// Advisory exclusive file lock (POSIX flock), taken in the constructor and
+/// released in the destructor. Serializes appenders of the verdict store's
+/// log across processes; readers never take it — torn tails are their
+/// problem and are handled by per-record checksums.
+///
+/// The lock file is created if missing. held() is false only when the lock
+/// file could not be opened (e.g. unwritable directory); callers then skip
+/// the guarded mutation rather than corrupting shared state.
+class FileLock {
+ public:
+  explicit FileLock(const std::string& path);
+  ~FileLock();
+
+  FileLock(const FileLock&) = delete;
+  FileLock& operator=(const FileLock&) = delete;
+
+  bool held() const { return fd_ >= 0; }
+
+ private:
+  int fd_ = -1;
+};
+
+}  // namespace dislock
+
+#endif  // DISLOCK_UTIL_MMAP_FILE_H_

@@ -19,7 +19,7 @@
 #include "core/policy.h"
 #include "core/report.h"
 #include "core/safety.h"
-#include "core/verdict_cache.h"
+#include "cache/verdict_cache.h"
 #include "sim/workload.h"
 #include "util/string_util.h"
 

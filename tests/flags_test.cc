@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <string>
 #include <vector>
 
@@ -152,6 +153,49 @@ TEST(Flags, DefaultsMatchTheDocumentedContract) {
   EXPECT_EQ(flags.port, 4400);
   EXPECT_EQ(flags.clients, 100);
   EXPECT_EQ(flags.shards, 1);
+}
+
+TEST(Flags, CacheDirBothSpellings) {
+  ParseOutcome space = Parse({"--cache-dir", "/tmp/c"}, kCacheDirFlag);
+  EXPECT_EQ(space.result, FlagParse::kConsumedTwo);
+  EXPECT_EQ(space.flags.cache_dir, "/tmp/c");
+
+  ParseOutcome equals = Parse({"--cache-dir=/tmp/c"}, kCacheDirFlag);
+  EXPECT_EQ(equals.result, FlagParse::kConsumedOne);
+  EXPECT_EQ(equals.flags.cache_dir, "/tmp/c");
+}
+
+TEST(Flags, CacheDirMissingValueIsAnError) {
+  for (const char* spelling : {"--cache-dir", "--cache-dir="}) {
+    ParseOutcome out = Parse({spelling}, kCacheDirFlag);
+    EXPECT_EQ(out.result, FlagParse::kError) << spelling;
+    EXPECT_EQ(out.error, "--cache-dir requires a directory") << spelling;
+  }
+}
+
+TEST(Flags, CacheDirRespectsTheAcceptedSet) {
+  // Independent of --cache: a tool may accept either without the other.
+  EXPECT_EQ(Parse({"--cache-dir=/tmp/c"}, kCacheFlag).result,
+            FlagParse::kNotCommon);
+  EXPECT_NE(CommonFlagsHelp(kCacheDirFlag).find("--cache-dir"),
+            std::string::npos);
+  EXPECT_EQ(CommonFlagsHelp(kCacheFlag).find("--cache-dir"),
+            std::string::npos);
+}
+
+TEST(Flags, EffectiveCacheDirPrefersTheFlagOverTheEnvironment) {
+  CommonFlags flags;
+  unsetenv("DISLOCK_CACHE_DIR");
+  EXPECT_EQ(EffectiveCacheDir(flags), "");
+
+  setenv("DISLOCK_CACHE_DIR", "/tmp/from-env", /*overwrite=*/1);
+  EXPECT_EQ(EffectiveCacheDir(flags), "/tmp/from-env");
+
+  flags.cache_dir = "/tmp/from-flag";  // the flag always wins
+  EXPECT_EQ(EffectiveCacheDir(flags), "/tmp/from-flag");
+
+  unsetenv("DISLOCK_CACHE_DIR");
+  EXPECT_EQ(EffectiveCacheDir(flags), "/tmp/from-flag");
 }
 
 TEST(Flags, ServeFlagsBothSpellings) {

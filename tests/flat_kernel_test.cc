@@ -21,7 +21,7 @@
 #include "core/incremental/engine.h"
 #include "core/multi.h"
 #include "core/report.h"
-#include "core/verdict_cache.h"
+#include "cache/verdict_cache.h"
 #include "graph/csr.h"
 #include "graph/cycles.h"
 #include "graph/digraph.h"

@@ -12,7 +12,7 @@
 #include "core/multi.h"
 #include "core/policy.h"
 #include "core/report.h"
-#include "core/verdict_cache.h"
+#include "cache/verdict_cache.h"
 #include "sim/workload.h"
 #include "txn/text_format.h"
 #include "util/random.h"

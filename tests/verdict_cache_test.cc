@@ -4,7 +4,7 @@
 // precedence structure; the cache itself must count hits/misses and keep
 // cached verdicts consistent with recomputation.
 
-#include "core/verdict_cache.h"
+#include "cache/verdict_cache.h"
 
 #include <gtest/gtest.h>
 

@@ -11,6 +11,7 @@
 
 #include "analysis/analyzer.h"
 #include "analysis/emit.h"
+#include "cache/verdict_store.h"
 #include "analysis/repair/engine.h"
 #include "core/deadlock.h"
 #include "core/multi.h"
@@ -176,6 +177,82 @@ TEST(WireKeys, ServeProtocolKeysArePinned) {
   EXPECT_STREQ(wire::kShardTransactions, "shard_transactions");
   EXPECT_STREQ(wire::kCommands, "commands");
   EXPECT_STREQ(wire::kResponses, "responses");
+}
+
+// The two-tier cache surface (docs/caching.md): the `cache` block keys of
+// the session/serve stats response, the dotted metric names the store's
+// owner exports, and the on-disk constants a foreign reader needs.
+TEST(WireKeys, VerdictStoreKeysArePinned) {
+  EXPECT_STREQ(wire::kCache, "cache");
+  EXPECT_STREQ(wire::kDiskHits, "disk_hits");
+  EXPECT_STREQ(wire::kDiskMisses, "disk_misses");
+  EXPECT_STREQ(wire::kRecordsLoaded, "records_loaded");
+  EXPECT_STREQ(wire::kRecordsFlushed, "records_flushed");
+  EXPECT_STREQ(wire::kRecordsDropped, "records_dropped");
+  EXPECT_STREQ(wire::kDiskRecords, "disk_records");
+  EXPECT_STREQ(wire::kCacheFileGeneration, "cache_file_generation");
+}
+
+TEST(WireKeys, VerdictStoreMetricNamesArePinned) {
+  EXPECT_STREQ(wire::kMetricCacheHits, "cache.hits");
+  EXPECT_STREQ(wire::kMetricCacheMisses, "cache.misses");
+  EXPECT_STREQ(wire::kMetricCacheSize, "cache.size");
+  EXPECT_STREQ(wire::kMetricCacheHitRate, "cache.hit_rate");
+  EXPECT_STREQ(wire::kMetricCacheDiskHits, "cache.disk_hits");
+  EXPECT_STREQ(wire::kMetricCacheDiskMisses, "cache.disk_misses");
+  EXPECT_STREQ(wire::kMetricCacheRecordsLoaded, "cache.records_loaded");
+  EXPECT_STREQ(wire::kMetricCacheRecordsFlushed, "cache.records_flushed");
+  EXPECT_STREQ(wire::kMetricCacheRecordsDropped, "cache.records_dropped");
+  EXPECT_STREQ(wire::kMetricCacheDiskRecords, "cache.disk_records");
+  EXPECT_STREQ(wire::kMetricCacheFileGeneration, "cache.file_generation");
+}
+
+TEST(WireKeys, VerdictStoreFileConstantsArePinned) {
+  // Bumping the schema or generation constant invalidates every store on
+  // every machine — it must be deliberate, so the values are pinned here.
+  EXPECT_EQ(cache::kVerdictStoreSchemaVersion, 1u);
+  EXPECT_EQ(cache::kVerdictStoreGeneration, 1u);
+  EXPECT_STREQ(cache::kVerdictLogFileName, "verdicts.dlc");
+  EXPECT_STREQ(cache::kVerdictIndexFileName, "verdicts.idx");
+  EXPECT_STREQ(cache::kVerdictLockFileName, "verdicts.lock");
+}
+
+// The stats line's `cache` block appears exactly when a persistent store
+// is attached, so store-less sessions keep their historical bytes.
+TEST(WireFormat, SessionStatsCacheBlockRequiresAStore) {
+  auto run_stats = [](cache::VerdictStore* store) {
+    std::istringstream in(
+        "load data/ring3.dlk\n"
+        "check\n"
+        "stats\n");
+    std::ostringstream out;
+    SessionOptions options;
+    options.json = true;
+    options.load_root = DISLOCK_SOURCE_DIR;
+    options.config.store = store;
+    EXPECT_EQ(RunSession(in, out, options), 0);
+    return out.str();
+  };
+
+  const std::string without = run_stats(nullptr);
+  EXPECT_EQ(without.find("\"cache\":"), std::string::npos) << without;
+
+  cache::VerdictStore store;
+  ASSERT_TRUE(store.Open(testing::TempDir() + "/wire_format_cache_block"));
+  const std::string with = run_stats(&store);
+  for (const char* key :
+       {"\"cache\": {", "\"disk_hits\":", "\"disk_misses\":",
+        "\"records_loaded\":", "\"records_flushed\":",
+        "\"records_dropped\":", "\"disk_records\":",
+        "\"cache_file_generation\": 1"}) {
+    EXPECT_NE(with.find(key), std::string::npos) << key << "\n" << with;
+  }
+  std::istringstream lines(with);
+  std::string line;
+  while (std::getline(lines, line)) {
+    EXPECT_EQ(line.rfind(kVersionPrefix, 0), 0u) << line;
+    ExpectValidJson(line, "session line with store");
+  }
 }
 
 TEST(WireKeys, ServeMetricNamesArePinned) {

@@ -42,7 +42,8 @@
 #include "core/policy.h"
 #include "core/report.h"
 #include "core/stats_export.h"
-#include "core/verdict_cache.h"
+#include "cache/verdict_cache.h"
+#include "cache/verdict_store.h"
 #include "core/wire_keys.h"
 #include "graph/cycles.h"
 #include "graph/dominator.h"
@@ -600,6 +601,110 @@ ServeRun RunServeOnce(const std::vector<std::vector<std::string>>& scripts,
   return run;
 }
 
+// ---------------------------------------------------------------------------
+// --bench=cache: the persistent verdict-store trajectory (BENCH_cache.json).
+// Each workload is analyzed three ways — store off, cold store (fresh
+// directory), warm store (reopened, fresh tier-1 memo) — and the rows
+// record the identity check plus the cold-vs-warm pair-check wall time.
+// ---------------------------------------------------------------------------
+
+struct CacheBenchRow {
+  std::string name;
+  int k = 0;
+  double off_ms = 0;   ///< no store, fresh engine-owned memo
+  double cold_ms = 0;  ///< empty store: all misses, verdicts buffered
+  double warm_ms = 0;  ///< reopened store: pair verdicts served from disk
+  double cold_pair_wall_ms = 0;  ///< summed pipeline stage wall, cold run
+  double warm_pair_wall_ms = 0;  ///< summed pipeline stage wall, warm run
+  int64_t records_flushed = 0;
+  int64_t records_loaded = 0;
+  int64_t disk_hits = 0;
+  bool identical = true;    ///< warmth-invariant report bytes match
+  bool disk_served = true;  ///< warm run loaded records and hit them
+  bool speedup_ok = true;   ///< warm pair wall <= cold / 2 (when measurable)
+  bool speedup_measured = false;
+};
+
+/// The warmth-invariant projection of a multi report: checked + cached is
+/// the total conflicting-pair count however each verdict was obtained, and
+/// the pipeline counters only describe the pairs that happened to run —
+/// exactly the fields docs/caching.md licenses to vary. Everything else
+/// (verdict, failing pair/cycle, cycles_checked) must match byte for byte.
+std::string WarmthInvariantJson(MultiSafetyReport report,
+                                const TransactionSystem& system) {
+  report.pairs_checked += report.pairs_cached;
+  report.pairs_cached = 0;
+  report.pipeline = PipelineStats();
+  report.delta.reset();
+  return MultiReportToJson(report, system);
+}
+
+double PipelineWallMs(const PipelineStats& stats) {
+  double total = 0;
+  for (int s = 0; s < kNumDecisionStages; ++s) {
+    total += stats.stages[static_cast<size_t>(s)].wall_ms;
+  }
+  return total;
+}
+
+CacheBenchRow RunCacheCase(const std::string& name, const Workload& w,
+                           const std::string& dir, int reps) {
+  CacheBenchRow row;
+  row.name = name;
+  const TransactionSystem& system = *w.system;
+  row.k = system.NumTransactions();
+
+  // A stale store from an earlier bench run would make the "cold" column a
+  // lie; start from an empty directory every time.
+  std::remove((dir + "/" + cache::kVerdictLogFileName).c_str());
+  std::remove((dir + "/" + cache::kVerdictIndexFileName).c_str());
+  std::remove((dir + "/" + cache::kVerdictLockFileName).c_str());
+
+  MultiSafetyOptions opts;
+  opts.max_cycles = 1 << 14;
+
+  MultiSafetyReport off_report;
+  row.off_ms = TimeMs(reps, [&] {
+    off_report = AnalyzeMultiSafety(system, opts);
+  });
+
+  // Cold is inherently a single shot: after the first analysis the store's
+  // pending buffer is already warm for this process.
+  cache::VerdictStore cold_store;
+  DISLOCK_CHECK(cold_store.Open(dir));
+  opts.store = &cold_store;
+  MultiSafetyReport cold_report;
+  row.cold_ms = OnceMs([&] { cold_report = AnalyzeMultiSafety(system, opts); });
+  row.cold_pair_wall_ms = PipelineWallMs(cold_report.pipeline);
+  row.records_flushed = cold_store.Flush();
+
+  // Warm: a new store object (fresh tier-1 memo per analysis, as a new
+  // process would have), reading the records the cold run flushed.
+  cache::VerdictStore warm_store;
+  DISLOCK_CHECK(warm_store.Open(dir));
+  opts.store = &warm_store;
+  MultiSafetyReport warm_report;
+  row.warm_ms = TimeMs(reps, [&] {
+    warm_report = AnalyzeMultiSafety(system, opts);
+  });
+  row.warm_pair_wall_ms = PipelineWallMs(warm_report.pipeline);
+  row.records_loaded = warm_store.stats().records_loaded;
+  row.disk_hits = warm_store.stats().disk_hits;
+
+  std::string off_json = WarmthInvariantJson(off_report, system);
+  row.identical = off_json == WarmthInvariantJson(cold_report, system) &&
+                  off_json == WarmthInvariantJson(warm_report, system);
+  row.disk_served = row.records_loaded > 0 && row.disk_hits > 0;
+  // On an all-safe workload the warm run serves every pair verdict from
+  // disk, so zero pipeline stages execute and its pair wall is exactly 0 —
+  // the >= 2x bar holds whenever the cold run did any pair work at all.
+  row.speedup_measured = row.cold_pair_wall_ms > 0;
+  if (row.speedup_measured) {
+    row.speedup_ok = row.warm_pair_wall_ms * 2 <= row.cold_pair_wall_ms;
+  }
+  return row;
+}
+
 }  // namespace
 }  // namespace dislock
 
@@ -607,15 +712,16 @@ namespace {
 
 int BenchUsage() {
   std::fprintf(stderr,
-               "usage: dislock_bench [--bench=all|multi|kernel|serve]\n"
+               "usage: dislock_bench [--bench=all|multi|kernel|serve|cache]\n"
                "                     [--quick] [--reps N] [--out path]\n"
                "                     [--kernel-slowdown-limit X]\n"
                "%s"
                "  --bench=NAME      which family to run: multi (the parallel\n"
                "                    engine + incremental edit stream), kernel\n"
                "                    (flat-vs-legacy microbenches), serve (the\n"
-               "                    concurrent SafetyService), or all\n"
-               "                    (default)\n"
+               "                    concurrent SafetyService), cache (the\n"
+               "                    persistent verdict store, cold vs warm),\n"
+               "                    or all (default)\n"
                "  --kernel-slowdown-limit X\n"
                "                    fail (exit 1) if any kernel row's flat\n"
                "                    time exceeds X * legacy time (default "
@@ -629,7 +735,8 @@ int BenchUsage() {
                                         dislock::kCacheFlag |
                                         dislock::kObsFlags |
                                         dislock::kClientsFlag |
-                                        dislock::kShardsFlag)
+                                        dislock::kShardsFlag |
+                                        dislock::kCacheDirFlag)
                    .c_str());
   return 2;
 }
@@ -645,8 +752,8 @@ int main(int argc, char** argv) {
   double slowdown_limit = 1.1;
   CommonFlags flags;
   flags.num_threads = 0;  // bench default: one worker per hardware thread
-  constexpr unsigned kAccepted =
-      kThreadsFlag | kCacheFlag | kObsFlags | kClientsFlag | kShardsFlag;
+  constexpr unsigned kAccepted = kThreadsFlag | kCacheFlag | kObsFlags |
+                                 kClientsFlag | kShardsFlag | kCacheDirFlag;
   for (int i = 1; i < argc; ++i) {
     std::string error;
     switch (ParseCommonFlag(argc, argv, i, kAccepted, &flags, &error)) {
@@ -670,9 +777,10 @@ int main(int argc, char** argv) {
     } else if (std::strncmp(argv[i], "--bench=", 8) == 0) {
       bench_mode = argv[i] + 8;
       if (bench_mode != "all" && bench_mode != "multi" &&
-          bench_mode != "kernel" && bench_mode != "serve") {
+          bench_mode != "kernel" && bench_mode != "serve" &&
+          bench_mode != "cache") {
         ReportBadFlag("dislock_bench",
-                      "--bench must be all|multi|kernel|serve");
+                      "--bench must be all|multi|kernel|serve|cache");
         return BenchUsage();
       }
     } else if (std::strcmp(argv[i], "--kernel-slowdown-limit") == 0 &&
@@ -1047,6 +1155,94 @@ int main(int argc, char** argv) {
                 serve_ok ? "ok" : "FAILED");
   }
 
+  bool cache_ok = true;
+  if (bench_mode == "all" || bench_mode == "cache") {
+    // Store directory: --cache-dir / DISLOCK_CACHE_DIR when given, else a
+    // scratch directory next to --out. Either way each case starts it
+    // empty, so the cold column really is cold.
+    std::string store_dir = EffectiveCacheDir(flags);
+    if (store_dir.empty()) {
+      store_dir = "BENCH_cache_store";
+      std::string out_str(out_path);
+      size_t slash = out_str.rfind('/');
+      if (slash != std::string::npos) {
+        store_dir = out_str.substr(0, slash + 1) + store_dir;
+      }
+    }
+
+    Rng cache_rng(7);
+    const int n_pair = quick ? 48 : 96;
+    std::vector<std::pair<std::string, Workload>> cache_cases;
+    cache_cases.emplace_back("dense_k12", MakeDenseSystem(12, 3));
+    cache_cases.emplace_back(
+        StrCat("two_site_n", n_pair),
+        MakeTwoSiteScalingPair(n_pair, /*safe=*/true, &cache_rng));
+    cache_cases.emplace_back("ring_k16", MakeRingSystem(16));
+
+    std::ostringstream cj;
+    cj << "{\"" << wire::kSchemaVersionKey << "\": " << wire::kSchemaVersion
+       << ", \"bench\": \"verdict_store\", \""
+       << wire::kCacheFileGeneration
+       << "\": " << cache::kVerdictStoreGeneration
+       << ", \"hardware_threads\": " << ThreadPool::HardwareThreads()
+       << ", \"reps\": " << reps << ", \"quick\": "
+       << (quick ? "true" : "false") << ", \"workloads\": [";
+    for (size_t c = 0; c < cache_cases.size(); ++c) {
+      CacheBenchRow row =
+          RunCacheCase(cache_cases[c].first, cache_cases[c].second,
+                       store_dir, reps);
+      cache_ok = cache_ok && row.identical && row.disk_served &&
+                 row.speedup_ok;
+      if (c > 0) cj << ", ";
+      cj << "{\"name\": \"" << row.name << "\", \"k\": " << row.k
+         << ", \"off_ms\": " << row.off_ms
+         << ", \"cold_ms\": " << row.cold_ms
+         << ", \"warm_ms\": " << row.warm_ms
+         << ", \"cold_pair_wall_ms\": " << row.cold_pair_wall_ms
+         << ", \"warm_pair_wall_ms\": " << row.warm_pair_wall_ms
+         << ", \"pair_wall_speedup\": "
+         << (row.warm_pair_wall_ms > 0
+                 ? row.cold_pair_wall_ms / row.warm_pair_wall_ms
+                 : 0.0)
+         << ", \"" << wire::kRecordsFlushed
+         << "\": " << row.records_flushed << ", \"" << wire::kRecordsLoaded
+         << "\": " << row.records_loaded << ", \"" << wire::kDiskHits
+         << "\": " << row.disk_hits
+         << ", \"reports_identical\": " << (row.identical ? "true" : "false")
+         << ", \"disk_served\": " << (row.disk_served ? "true" : "false")
+         << ", \"speedup_measured\": "
+         << (row.speedup_measured ? "true" : "false")
+         << ", \"speedup_ok\": " << (row.speedup_ok ? "true" : "false")
+         << "}";
+      std::printf(
+          "%-14s off=%.2fms cold=%.2fms warm=%.2fms pair-wall "
+          "cold=%.3fms warm=%.3fms disk_hits=%lld %s %s %s\n",
+          row.name.c_str(), row.off_ms, row.cold_ms, row.warm_ms,
+          row.cold_pair_wall_ms, row.warm_pair_wall_ms,
+          static_cast<long long>(row.disk_hits),
+          row.identical ? "identical" : "REPORTS DIFFER",
+          row.disk_served ? "disk-served" : "NOT DISK-SERVED",
+          row.speedup_measured
+              ? (row.speedup_ok ? "speedup-ok" : "SPEEDUP BELOW 2x")
+              : "speedup-unmeasured (cold wall below floor)");
+    }
+    cj << "], \"ok\": " << (cache_ok ? "true" : "false") << "}";
+
+    std::string cache_path = "BENCH_cache.json";
+    {
+      std::string out_str(out_path);
+      size_t slash = out_str.rfind('/');
+      if (slash != std::string::npos) {
+        cache_path = out_str.substr(0, slash + 1) + cache_path;
+      }
+    }
+    std::ofstream cache_out(cache_path);
+    cache_out << cj.str() << "\n";
+    cache_out.close();
+    std::printf("wrote %s (%s)\n", cache_path.c_str(),
+                cache_ok ? "ok" : "FAILED");
+  }
+
   std::string obs_error;
   if (!bundle.Flush(&obs_error)) {
     std::fprintf(stderr, "%s\n", obs_error.c_str());
@@ -1055,6 +1251,8 @@ int main(int argc, char** argv) {
   // Determinism is the contract; a differing report is a bug regardless of
   // the measured speedup. The kernel family additionally gates on the
   // flat-vs-legacy slowdown limit; the serve family gates on sharded
-  // check-report identity and an error-free run.
-  return all_identical && inc_ok && kernel_ok && serve_ok ? 0 : 1;
+  // check-report identity and an error-free run; the cache family gates on
+  // warmth-invariant reports, verdicts actually served from disk, and the
+  // warm pair-wall speedup (when the cold wall cleared the noise floor).
+  return all_identical && inc_ok && kernel_ok && serve_ok && cache_ok ? 0 : 1;
 }

@@ -21,8 +21,10 @@
 //
 // `analyze` and `session` also take the shared observability flags
 // --trace=FILE (Chrome trace_event timeline; see docs/observability.md)
-// and --metrics[=FILE] (flat metrics JSON, default stderr). Neither ever
-// changes report output.
+// and --metrics[=FILE] (flat metrics JSON, default stderr), plus
+// --cache-dir=PATH (persistent pair-verdict store shared across runs and
+// processes; see docs/caching.md). None of them ever changes report
+// output.
 //
 // System files use the dislock text format (see src/txn/text_format.h).
 // `analyze` exits 0 when the analysis ran (regardless of findings), 1 on
@@ -41,12 +43,14 @@
 
 #include "analysis/analyzer.h"
 #include "analysis/repair/engine.h"
+#include "cache/verdict_store.h"
 #include "core/certificate.h"
 #include "core/deadlock.h"
 #include "core/multi.h"
 #include "core/report.h"
 #include "core/incremental/session.h"
 #include "core/safety.h"
+#include "core/stats_export.h"
 #include "core/wire_keys.h"
 #include "obs/observability.h"
 #include "obs/trace.h"
@@ -139,6 +143,32 @@ void FlushObservability(const obs::Observability& bundle) {
   }
 }
 
+// Opens the persistent verdict store a run asked for (--cache-dir or
+// DISLOCK_CACHE_DIR). A directory that cannot be opened is reported and
+// the run continues without a store — persistence is an accelerator, never
+// a prerequisite, and never changes a verdict either way.
+void OpenStoreIfRequested(const CommonFlags& common,
+                          cache::VerdictStore* store) {
+  const std::string dir = EffectiveCacheDir(common);
+  if (dir.empty()) return;
+  std::string error;
+  if (!store->Open(dir, &error)) {
+    std::fprintf(stderr,
+                 "dislock: cannot open cache dir %s (%s); "
+                 "continuing without a persistent cache\n",
+                 dir.c_str(), error.c_str());
+  }
+}
+
+// Owner-exports-once counterpart for the store: flush the run's new
+// verdicts to disk, then pour the store counters into the metrics sink.
+// Call before FlushObservability so records_flushed lands in the file.
+void FinishStore(cache::VerdictStore* store, obs::StatsSink* sink) {
+  if (!store->is_open()) return;
+  store->Flush();
+  ExportStoreStats(*store, sink);
+}
+
 int Analyze(const AnalyzeArgs& args) {
   auto text = ReadFile(args.path);
   if (!text.ok()) {
@@ -166,11 +196,20 @@ int Analyze(const AnalyzeArgs& args) {
   }
   obs::Observability bundle(args.common.trace_path, args.common.metrics,
                             args.common.metrics_path);
+  cache::VerdictStore store;
+  OpenStoreIfRequested(args.common, &store);
   AnalysisOptions options;
   options.num_threads = args.common.num_threads;
   options.enable_cache = args.common.cache;
+  options.store = store.is_open() ? &store : nullptr;
   options.trace = bundle.trace();
   options.stats = bundle.metrics();
+  // Flush order on every exit path: store first (so records_flushed lands
+  // in the metrics block), then the observability files.
+  auto finish = [&] {
+    FinishStore(&store, bundle.metrics());
+    FlushObservability(bundle);
+  };
   AnalysisResult result = manager.Run(system, options);
   if (args.repair) {
     RepairOptions repair_options;
@@ -191,7 +230,7 @@ int Analyze(const AnalyzeArgs& args) {
     artifact.uri = args.path;
     artifact.end_line = CountLines(*text);
     std::printf("%s\n", DiagnosticsToSarif(result, system, artifact).c_str());
-    FlushObservability(bundle);
+    finish();
     return rc;
   }
 
@@ -210,7 +249,7 @@ int Analyze(const AnalyzeArgs& args) {
       }
     }
     std::printf("}\n");
-    FlushObservability(bundle);
+    finish();
     return rc;
   }
 
@@ -233,7 +272,7 @@ int Analyze(const AnalyzeArgs& args) {
       std::printf("deadlock: %s\n", deadlock.status().ToString().c_str());
     }
   }
-  FlushObservability(bundle);
+  finish();
   return rc;
 }
 
@@ -483,7 +522,7 @@ int RunSessionCommand(int argc, char** argv) {
   CommonFlags common;
   const char* script = nullptr;
   constexpr unsigned kAccepted =
-      kThreadsFlag | kCacheFlag | kObsFlags | kShardsFlag;
+      kThreadsFlag | kCacheFlag | kObsFlags | kShardsFlag | kCacheDirFlag;
   for (int i = 2; i < argc; ++i) {
     std::string error;
     switch (ParseCommonFlag(argc, argv, i, kAccepted, &common, &error)) {
@@ -511,8 +550,11 @@ int RunSessionCommand(int argc, char** argv) {
   }
   obs::Observability bundle(common.trace_path, common.metrics,
                             common.metrics_path);
+  cache::VerdictStore store;
+  OpenStoreIfRequested(common, &store);
   options.config.num_threads = common.num_threads;
   options.config.enable_cache = common.cache;
+  options.config.store = store.is_open() ? &store : nullptr;
   options.config.trace = bundle.trace();
   options.config.stats = bundle.metrics();
   options.shards = common.shards;
@@ -528,15 +570,16 @@ int RunSessionCommand(int argc, char** argv) {
   } else {
     failed = RunSession(std::cin, std::cout, options);
   }
+  FinishStore(&store, bundle.metrics());
   FlushObservability(bundle);
   return failed == 0 ? 0 : 1;
 }
 
 int Usage() {
-  std::string analyze_help =
-      CommonFlagsHelp(kThreadsFlag | kCacheFlag | kFormatFlag | kObsFlags);
-  std::string session_help =
-      CommonFlagsHelp(kThreadsFlag | kCacheFlag | kObsFlags | kShardsFlag);
+  std::string analyze_help = CommonFlagsHelp(
+      kThreadsFlag | kCacheFlag | kFormatFlag | kObsFlags | kCacheDirFlag);
+  std::string session_help = CommonFlagsHelp(
+      kThreadsFlag | kCacheFlag | kObsFlags | kShardsFlag | kCacheDirFlag);
   std::fprintf(stderr,
                "usage: dislock analyze <system.dlk>\n"
                "                       [--passes a,b,c] [--no-deadlock]\n"
@@ -590,7 +633,7 @@ int main(int argc, char** argv) {
     AnalyzeArgs args;
     args.path = argv[2];
     constexpr unsigned kAccepted =
-        kThreadsFlag | kCacheFlag | kFormatFlag | kObsFlags;
+        kThreadsFlag | kCacheFlag | kFormatFlag | kObsFlags | kCacheDirFlag;
     for (int i = 3; i < argc; ++i) {
       std::string error;
       switch (ParseCommonFlag(argc, argv, i, kAccepted, &args.common,

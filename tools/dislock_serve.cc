@@ -1,7 +1,8 @@
 // dislock_serve — the session protocol as a long-lived, sharded service.
 //
 //   dislock_serve [--port N] [--shards K] [--threads N] [--cache]
-//                 [--load-root DIR] [--trace=FILE] [--metrics[=FILE]]
+//                 [--cache-dir=PATH] [--load-root DIR] [--trace=FILE]
+//                 [--metrics[=FILE]]
 //     Listen on 127.0.0.1:N (default 4400; 0 = ephemeral, announced on
 //     startup as "dislock_serve: listening on 127.0.0.1:PORT") and serve
 //     the JSON-lines session protocol to any number of concurrent
@@ -24,6 +25,8 @@
 #include <string>
 
 #include "analysis/analyzer.h"
+#include "cache/verdict_store.h"
+#include "core/stats_export.h"
 #include "obs/observability.h"
 #include "serve/server.h"
 #include "serve/service.h"
@@ -42,10 +45,11 @@ void FlushObservability(const obs::Observability& bundle) {
 
 int Usage() {
   std::string help = CommonFlagsHelp(kThreadsFlag | kCacheFlag | kObsFlags |
-                                     kPortFlag | kShardsFlag);
+                                     kPortFlag | kShardsFlag | kCacheDirFlag);
   std::fprintf(stderr,
                "usage: dislock_serve [--port N] [--shards K] [--threads N]\n"
-               "                     [--cache] [--load-root DIR]\n"
+               "                     [--cache] [--cache-dir=PATH]\n"
+               "                     [--load-root DIR]\n"
                "                     [--trace=FILE] [--metrics[=FILE]]\n"
                "         (serve the JSON-lines session protocol on\n"
                "          127.0.0.1; a client's `shutdown` command stops\n"
@@ -73,8 +77,8 @@ int Main(int argc, char** argv) {
   std::string load_root;
   const char* client_spec = nullptr;
   const char* script = nullptr;
-  constexpr unsigned kAccepted =
-      kThreadsFlag | kCacheFlag | kObsFlags | kPortFlag | kShardsFlag;
+  constexpr unsigned kAccepted = kThreadsFlag | kCacheFlag | kObsFlags |
+                                 kPortFlag | kShardsFlag | kCacheDirFlag;
   for (int i = 1; i < argc; ++i) {
     std::string error;
     switch (ParseCommonFlag(argc, argv, i, kAccepted, &common, &error)) {
@@ -136,6 +140,21 @@ int Main(int argc, char** argv) {
 
   obs::Observability bundle(common.trace_path, common.metrics,
                             common.metrics_path);
+  // One persistent store for the whole fleet: the coordinator opens it and
+  // every per-shard engine borrows the same pointer through the copied
+  // config, so shards share warm verdicts and their new verdicts land in
+  // one pending buffer, flushed once at shutdown.
+  cache::VerdictStore store;
+  const std::string cache_dir = EffectiveCacheDir(common);
+  if (!cache_dir.empty()) {
+    std::string error;
+    if (!store.Open(cache_dir, &error)) {
+      std::fprintf(stderr,
+                   "dislock_serve: cannot open cache dir %s (%s); "
+                   "continuing without a persistent cache\n",
+                   cache_dir.c_str(), error.c_str());
+    }
+  }
   serve::ServiceOptions options;
   options.session.json = true;
   options.session.load_root = load_root;
@@ -144,6 +163,7 @@ int Main(int argc, char** argv) {
       common.shards == 0 ? ThreadPool::HardwareThreads() : common.shards;
   options.session.config.num_threads = common.num_threads;
   options.session.config.enable_cache = common.cache;
+  options.session.config.store = store.is_open() ? &store : nullptr;
   options.session.config.trace = bundle.trace();
   options.session.config.stats = bundle.metrics();
   options.session.analyze = MakeSessionAnalyzer();
@@ -152,6 +172,10 @@ int Main(int argc, char** argv) {
   serve::ServerOptions server;
   server.port = common.port;
   int rc = serve::RunServer(&service, server, std::cerr);
+  if (store.is_open()) {
+    store.Flush();
+    ExportStoreStats(store, bundle.metrics());
+  }
   if (bundle.metrics() != nullptr) service.ExportStats(bundle.metrics());
   FlushObservability(bundle);
   return rc;

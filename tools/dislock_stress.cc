@@ -4,13 +4,15 @@
 // target or a long-running soak test).
 //
 //   dislock_stress [trials] [seed] [--threads N] [--cache]
-//                  [--trace=FILE] [--metrics[=FILE]]
+//                  [--cache-dir=PATH] [--trace=FILE] [--metrics[=FILE]]
 //
 // --threads feeds EngineConfig::num_threads (1 = serial, 0 = hardware);
 // --cache turns on the engine-owned pair-verdict cache inside the audited
-// analyses. Neither may change any verdict — that is part of what the
-// harness checks. --trace/--metrics opt into the obs/ subsystem; they
-// never change verdicts either.
+// analyses; --cache-dir attaches a persistent verdict store to the
+// harness's own cross-trial cache, so the audit also covers verdicts that
+// survived from earlier processes. None of them may change any verdict —
+// that is part of what the harness checks. --trace/--metrics opt into the
+// obs/ subsystem; they never change verdicts either.
 
 #include <cstdio>
 #include <cstdlib>
@@ -51,7 +53,9 @@ int Fail(const char* what, const Workload& w) {
 int Usage() {
   std::fprintf(stderr,
                "usage: dislock_stress [trials] [seed]\n%s",
-               CommonFlagsHelp(kThreadsFlag | kCacheFlag | kObsFlags).c_str());
+               CommonFlagsHelp(kThreadsFlag | kCacheFlag | kObsFlags |
+                               kCacheDirFlag)
+                   .c_str());
   return 2;
 }
 
@@ -60,7 +64,8 @@ int main(int argc, char** argv) {
   uint64_t seed = 0xD15C0;
   CommonFlags flags;
   int positional = 0;
-  constexpr unsigned kAccepted = kThreadsFlag | kCacheFlag | kObsFlags;
+  constexpr unsigned kAccepted =
+      kThreadsFlag | kCacheFlag | kObsFlags | kCacheDirFlag;
   for (int i = 1; i < argc; ++i) {
     std::string error;
     switch (ParseCommonFlag(argc, argv, i, kAccepted, &flags, &error)) {
@@ -94,7 +99,22 @@ int main(int argc, char** argv) {
   Tally tally;
   // Persists across all trials: a cached verdict must match the verdict the
   // full procedure recomputes on every structurally identical later pair.
+  // With --cache-dir the cache is additionally backed by the persistent
+  // store, so the same audit covers verdicts written by earlier runs.
   PairVerdictCache verdict_cache;
+  cache::VerdictStore store;
+  const std::string cache_dir = EffectiveCacheDir(flags);
+  if (!cache_dir.empty()) {
+    std::string store_error;
+    if (store.Open(cache_dir, &store_error)) {
+      verdict_cache.set_store(&store);
+    } else {
+      std::fprintf(stderr,
+                   "dislock_stress: cannot open cache dir %s (%s); "
+                   "continuing without a persistent cache\n",
+                   cache_dir.c_str(), store_error.c_str());
+    }
+  }
 
   for (int64_t trial = 0; trial < trials; ++trial) {
     WorkloadParams params;
@@ -287,6 +307,10 @@ int main(int argc, char** argv) {
       100.0 * verdict_cache.stats().HitRate(),
       static_cast<long long>(tally.parallel_equivalence_checks));
   ExportCacheStats(verdict_cache, bundle.metrics());
+  if (store.is_open()) {
+    store.Flush();
+    ExportStoreStats(store, bundle.metrics());
+  }
   std::string obs_error;
   if (!bundle.Flush(&obs_error)) {
     std::fprintf(stderr, "%s\n", obs_error.c_str());
