@@ -8,46 +8,28 @@
 
 #include "core/multi.h"
 #include "core/policy.h"
+#include "gen/family.h"
 #include "graph/cycles.h"
 #include "sim/workload.h"
-#include "util/string_util.h"
 
 namespace dislock {
 namespace {
 
-/// k strongly-two-phase transactions over a sparse entity ring: Ti locks
-/// {e_i, e_(i+1 mod k)}, so G is a ring and has exactly 2 directed k-cycles
-/// plus the 2-cycles.
+/// Both scaling workloads come from the shared family registry
+/// (src/gen/family.h) — the same definitions `dislock gen` emits as .dlt
+/// traces and dislock_bench times, so every harness measures the same
+/// systems. ring: Ti locks {e_i, e_(i+1 mod k)}, G is a ring with exactly
+/// 2 directed k-cycles plus the 2-cycles. dense: every transaction locks
+/// every entity (complete G).
 Workload MakeRingSystem(int k) {
-  Workload w;
-  w.db = std::make_shared<DistributedDatabase>(2);
-  for (int e = 0; e < k; ++e) {
-    w.db->MustAddEntity(StrCat("e", e), e % 2);
-  }
-  w.system = std::make_shared<TransactionSystem>(w.db.get());
-  for (int t = 0; t < k; ++t) {
-    w.system->Add(MakeTwoPhaseTransaction(
-        w.db.get(), StrCat("T", t + 1),
-        {static_cast<EntityId>(t), static_cast<EntityId>((t + 1) % k)}));
-  }
-  return w;
+  return gen::BuildFamily("ring", {{"k", static_cast<double>(k)}}).value();
 }
 
-/// Dense system: every transaction locks every entity (complete G).
 Workload MakeDenseSystem(int k, int entities) {
-  Workload w;
-  w.db = std::make_shared<DistributedDatabase>(2);
-  std::vector<EntityId> all;
-  for (int e = 0; e < entities; ++e) {
-    all.push_back(w.db->MustAddEntity(
-        StrCat("e", e), e % 2));
-  }
-  w.system = std::make_shared<TransactionSystem>(w.db.get());
-  for (int t = 0; t < k; ++t) {
-    w.system->Add(MakeTwoPhaseTransaction(
-        w.db.get(), StrCat("T", t + 1), all));
-  }
-  return w;
+  return gen::BuildFamily("dense", {{"k", static_cast<double>(k)},
+                                    {"entities",
+                                     static_cast<double>(entities)}})
+      .value();
 }
 
 void BM_MultiSafety_Ring(benchmark::State& state) {

@@ -53,6 +53,10 @@ struct SessionOptions {
 ///
 /// Commands:
 ///   load <path>        parse a system file; (re)initializes the catalog
+///   system             (JSON envelope only) full system text inline in the
+///                      envelope's "block"; (re)initializes like load. Trace
+///                      replay (src/gen/) uses this so a .dlt file is
+///                      self-contained.
 ///   add                followed by a `txn <name> ... end` block: add it
 ///   remove <name>      remove the named transaction
 ///   replace <name>     followed by a `txn ... end` block: swap the

@@ -50,6 +50,8 @@ std::string FormatRatio(double r) {
 constexpr char kHelp[] =
     "commands:\n"
     "  load <path>      parse a system file; (re)initializes the catalog\n"
+    "  system           (JSON envelope only) inline system text in the\n"
+    "                   \"block\"; (re)initializes the catalog like load\n"
     "  add              followed by a 'txn <name> ... end' block\n"
     "  remove <name>    remove the named transaction\n"
     "  replace <name>   followed by a 'txn ... end' block\n"
@@ -350,6 +352,7 @@ class SessionCore::Impl {
   Status Dispatch(const SessionCommand& cmd, std::ostringstream& out) {
     const std::string& verb = cmd.verb;
     if (verb == "load") return Load(cmd, out);
+    if (verb == "system") return System(cmd, out);
     if (verb == "add") return Add(cmd, out);
     if (verb == "remove") return Remove(cmd, out);
     if (verb == "replace") return Replace(cmd, out);
@@ -409,6 +412,32 @@ class SessionCore::Impl {
                                      : state_.engine->CycleStoreSize();
   }
 
+  /// (Re)initializes the backend from a parsed system — the shared tail of
+  /// `load` and `system`. On error the previous backend stays live.
+  Status InitBackend(const ParsedSystem& parsed) {
+    Backend state;
+    state.db = parsed.db;
+    if (options_.shards > 1) {
+      state.sharded = std::make_unique<ShardedCatalog>(
+          state.db.get(), options_.shards, options_.config);
+      for (int i = 0; i < parsed.system->NumTransactions(); ++i) {
+        auto id = state.sharded->Add(parsed.system->txn(i));
+        if (!id.ok()) return id.status();
+      }
+    } else {
+      state.catalog = std::make_unique<TransactionCatalog>(state.db.get());
+      for (int i = 0; i < parsed.system->NumTransactions(); ++i) {
+        auto id = state.catalog->Add(parsed.system->txn(i));
+        if (!id.ok()) return id.status();
+      }
+      state.ctx = std::make_unique<EngineContext>(options_.config);
+      state.engine = std::make_unique<IncrementalSafetyEngine>(
+          state.catalog.get(), state.ctx.get());
+    }
+    state_ = std::move(state);
+    return Status::OK();
+  }
+
   Status Load(const SessionCommand& cmd, std::ostringstream& out) {
     std::string path = FirstToken(cmd.arg);
     if (path.empty()) return Status::InvalidArgument("usage: load <path>");
@@ -422,27 +451,7 @@ class SessionCore::Impl {
     text << file.rdbuf();
     auto parsed = ParseSystemText(text.str());
     if (!parsed.ok()) return parsed.status();
-
-    Backend state;
-    state.db = parsed->db;
-    if (options_.shards > 1) {
-      state.sharded = std::make_unique<ShardedCatalog>(
-          state.db.get(), options_.shards, options_.config);
-      for (int i = 0; i < parsed->system->NumTransactions(); ++i) {
-        auto id = state.sharded->Add(parsed->system->txn(i));
-        if (!id.ok()) return id.status();
-      }
-    } else {
-      state.catalog = std::make_unique<TransactionCatalog>(state.db.get());
-      for (int i = 0; i < parsed->system->NumTransactions(); ++i) {
-        auto id = state.catalog->Add(parsed->system->txn(i));
-        if (!id.ok()) return id.status();
-      }
-      state.ctx = std::make_unique<EngineContext>(options_.config);
-      state.engine = std::make_unique<IncrementalSafetyEngine>(
-          state.catalog.get(), state.ctx.get());
-    }
-    state_ = std::move(state);
+    DISLOCK_RETURN_NOT_OK(InitBackend(*parsed));
 
     if (options_.json) {
       out << LineOpen() << "\"cmd\": \"load\", \"ok\": true, \"path\": "
@@ -453,6 +462,33 @@ class SessionCore::Impl {
       out << "loaded " << path << ": " << NumTransactions()
           << " transactions, " << state_.db->NumEntities()
           << " entities over " << state_.db->NumSites() << " sites\n";
+    }
+    return Status::OK();
+  }
+
+  /// `system`: like `load`, but the full .dlk text arrives inline in the
+  /// JSON envelope's "block" — the self-contained form trace replay uses,
+  /// so a committed .dlt never depends on a file path existing. JSON-only:
+  /// the text-mode block collector stops at the first `end` line, which
+  /// would truncate a multi-transaction system.
+  Status System(const SessionCommand& cmd, std::ostringstream& out) {
+    if (cmd.block.empty()) {
+      return Status::InvalidArgument(
+          "system requires an inline system \"block\" (JSON envelope only)");
+    }
+    auto parsed = ParseSystemText(cmd.block);
+    if (!parsed.ok()) return parsed.status();
+    DISLOCK_RETURN_NOT_OK(InitBackend(*parsed));
+
+    if (options_.json) {
+      out << LineOpen() << "\"cmd\": \"system\", \"ok\": true, "
+          << "\"transactions\": " << NumTransactions()
+          << ", \"entities\": " << state_.db->NumEntities()
+          << ", \"sites\": " << state_.db->NumSites() << "}\n";
+    } else {
+      out << "system: " << NumTransactions() << " transactions, "
+          << state_.db->NumEntities() << " entities over "
+          << state_.db->NumSites() << " sites\n";
     }
     return Status::OK();
   }
@@ -792,7 +828,8 @@ CommandAssembler::Step CommandAssembler::JsonLine(const std::string& line) {
     step.quit = true;
     return step;
   }
-  if (!cmd.block.empty() && cmd.verb != "add" && cmd.verb != "replace") {
+  if (!cmd.block.empty() && cmd.verb != "add" && cmd.verb != "replace" &&
+      cmd.verb != "system") {
     step.response = core_->RenderErrorResponse(
         cmd.verb, StrCat("JSON command '", cmd.verb,
                          "' does not take a \"block\""));

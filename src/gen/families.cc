@@ -1,0 +1,456 @@
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "core/policy.h"
+#include "gen/family.h"
+#include "gen/trace.h"
+#include "sat/reduction.h"
+#include "txn/builder.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace dislock {
+namespace gen {
+
+namespace {
+
+/// Shared scaffolding: a fresh two-site database with entities e0..e{n-1}
+/// alternating sites — the layout the historical bench builders used.
+Workload MakeTwoSiteDb(int entities) {
+  Workload w;
+  w.db = std::make_shared<DistributedDatabase>(2);
+  for (int e = 0; e < entities; ++e) {
+    w.db->MustAddEntity(StrCat("e", e), e % 2);
+  }
+  w.system = std::make_shared<TransactionSystem>(w.db.get());
+  return w;
+}
+
+/// Samples `count` distinct entity ids from [0, entities) under `weight`
+/// (cumulative distribution); ascending in the result so the built
+/// transaction's step order is canonical.
+std::vector<EntityId> SampleDistinct(int entities, int count,
+                                     const std::vector<double>& cumulative,
+                                     Rng* rng) {
+  std::vector<bool> chosen(static_cast<size_t>(entities), false);
+  int have = 0;
+  double total = cumulative.back();
+  while (have < count) {
+    double r = rng->UniformDouble() * total;
+    auto it = std::lower_bound(cumulative.begin(), cumulative.end(), r);
+    auto idx = static_cast<size_t>(it - cumulative.begin());
+    if (idx >= chosen.size()) idx = chosen.size() - 1;
+    if (!chosen[idx]) {
+      chosen[idx] = true;
+      ++have;
+    }
+  }
+  std::vector<EntityId> picked;
+  picked.reserve(static_cast<size_t>(count));
+  for (int e = 0; e < entities; ++e) {
+    if (chosen[static_cast<size_t>(e)]) {
+      picked.push_back(static_cast<EntityId>(e));
+    }
+  }
+  return picked;
+}
+
+/// Uniform cumulative weights (SampleDistinct degenerates to uniform).
+std::vector<double> UniformCumulative(int entities) {
+  std::vector<double> cumulative(static_cast<size_t>(entities));
+  for (int e = 0; e < entities; ++e) {
+    cumulative[static_cast<size_t>(e)] = static_cast<double>(e + 1);
+  }
+  return cumulative;
+}
+
+// ---- ring -----------------------------------------------------------------
+
+/// The historical MakeRingSystem of tools/dislock_bench.cc, byte for byte:
+/// k strongly-two-phase transactions over a sparse entity ring (Ti locks
+/// {e_i, e_(i+1 mod k)}), so the conflict graph G is a ring and the pair
+/// tests dominate.
+class RingFamily : public WorkloadFamily {
+ public:
+  const FamilySpec& spec() const override {
+    static const FamilySpec kSpec{
+        "ring",
+        "sparse entity ring over two sites: Ti locks {e_i, e_(i+1 mod k)}, "
+        "G is a ring and the Theorem 1 pair tests dominate",
+        {{"k", "number of transactions (= entities)", 8, 2}}};
+    return kSpec;
+  }
+
+  Workload Build(const ParamMap& params, Rng*) const override {
+    int k = GetIntParam(params, "k");
+    Workload w = MakeTwoSiteDb(k);
+    for (int t = 0; t < k; ++t) {
+      w.system->Add(MakeTwoPhaseTransaction(
+          w.db.get(), StrCat("T", t + 1),
+          {static_cast<EntityId>(t), static_cast<EntityId>((t + 1) % k)}));
+    }
+    return w;
+  }
+};
+
+// ---- dense ----------------------------------------------------------------
+
+/// The historical MakeDenseSystem: every transaction locks every entity, so
+/// G is complete and the (capped) cycle enumeration dominates — the
+/// embarrassingly parallel regime.
+class DenseFamily : public WorkloadFamily {
+ public:
+  const FamilySpec& spec() const override {
+    static const FamilySpec kSpec{
+        "dense",
+        "every transaction locks every entity: G is complete and the capped "
+        "cycle enumeration dominates",
+        {{"k", "number of transactions", 8, 2},
+         {"entities", "number of commonly locked entities", 3, 1}}};
+    return kSpec;
+  }
+
+  Workload Build(const ParamMap& params, Rng*) const override {
+    int k = GetIntParam(params, "k");
+    int entities = GetIntParam(params, "entities");
+    Workload w = MakeTwoSiteDb(entities);
+    std::vector<EntityId> all;
+    for (int e = 0; e < entities; ++e) all.push_back(static_cast<EntityId>(e));
+    for (int t = 0; t < k; ++t) {
+      w.system->Add(
+          MakeTwoPhaseTransaction(w.db.get(), StrCat("T", t + 1), all));
+    }
+    return w;
+  }
+};
+
+// ---- two_site -------------------------------------------------------------
+
+/// Two-site fast-path-heavy: every transaction is strongly two-phase over a
+/// uniform random entity subset, so each pair resolves on the Theorem 1 SCC
+/// fast path (strongly two-phase pairs have complete D).
+class TwoSiteFamily : public WorkloadFamily {
+ public:
+  const FamilySpec& spec() const override {
+    static const FamilySpec kSpec{
+        "two_site",
+        "two-site fast-path-heavy mix: strongly two-phase transactions over "
+        "random entity subsets, every pair decided by the Theorem 1 SCC test",
+        {{"k", "number of transactions", 12, 1},
+         {"entities", "number of entities over the two sites", 6, 2},
+         {"locks", "entities locked per transaction (capped at entities)", 3,
+          1}}};
+    return kSpec;
+  }
+
+  Workload Build(const ParamMap& params, Rng* rng) const override {
+    int k = GetIntParam(params, "k");
+    int entities = GetIntParam(params, "entities");
+    int locks = std::min(GetIntParam(params, "locks"), entities);
+    Workload w = MakeTwoSiteDb(entities);
+    std::vector<double> cumulative = UniformCumulative(entities);
+    for (int t = 0; t < k; ++t) {
+      w.system->Add(MakeTwoPhaseTransaction(
+          w.db.get(), StrCat("T", t + 1),
+          SampleDistinct(entities, locks, cumulative, rng)));
+    }
+    return w;
+  }
+};
+
+// ---- fig5 -----------------------------------------------------------------
+
+/// Parametric Fig. 5 copies: each copy is the paper's four-site safe pair
+/// whose D(T1,T2) is NOT strongly connected (its only dominator is
+/// X = {x1, x2}) yet the Definition 3 closure contradicts itself — the
+/// regime where Theorem 1 is not tight and the closure/SAT stages must run.
+class Fig5Family : public WorkloadFamily {
+ public:
+  const FamilySpec& spec() const override {
+    static const FamilySpec kSpec{
+        "fig5",
+        "disjoint copies of the paper's Fig. 5 four-site safe pair (D not "
+        "strongly connected; decided by the dominator-closure stage, not "
+        "Theorem 1)",
+        {{"copies", "number of disjoint four-site copies", 1, 1}}};
+    return kSpec;
+  }
+
+  Workload Build(const ParamMap& params, Rng*) const override {
+    int copies = GetIntParam(params, "copies");
+    Workload w;
+    w.db = std::make_shared<DistributedDatabase>(4 * copies);
+    for (int c = 0; c < copies; ++c) {
+      w.db->MustAddEntity(StrCat("x1_", c), 4 * c);
+      w.db->MustAddEntity(StrCat("x2_", c), 4 * c + 1);
+      w.db->MustAddEntity(StrCat("y1_", c), 4 * c + 2);
+      w.db->MustAddEntity(StrCat("y2_", c), 4 * c + 3);
+    }
+    w.system = std::make_shared<TransactionSystem>(w.db.get());
+    for (int c = 0; c < copies; ++c) AddFig5Pair(&w, c);
+    return w;
+  }
+
+ private:
+  /// The exact edge pattern of core/paper.cc MakeFig5Instance, with names
+  /// suffixed by the copy index.
+  static void AddFig5Pair(Workload* w, int c) {
+    auto name = [c](const char* base) { return StrCat(base, "_", c); };
+    {
+      TransactionBuilder b(w->db.get(), name("T1"));
+      StepId lx1 = b.Lock(name("x1")), ux1 = b.Unlock(name("x1"));
+      StepId lx2 = b.Lock(name("x2")), ux2 = b.Unlock(name("x2"));
+      StepId ly1 = b.Lock(name("y1")), uy1 = b.Unlock(name("y1"));
+      StepId ly2 = b.Lock(name("y2")), uy2 = b.Unlock(name("y2"));
+      b.Edge(lx1, ux2).Edge(lx2, ux1);
+      b.Edge(ly1, uy2).Edge(ly2, uy1);
+      b.Edge(ly1, ux1).Edge(ly2, ux2);
+      b.Edge(lx1, uy1);
+      w->system->Add(b.Build());
+    }
+    {
+      TransactionBuilder b(w->db.get(), name("T2"));
+      StepId lx1 = b.Lock(name("x1")), ux1 = b.Unlock(name("x1"));
+      StepId lx2 = b.Lock(name("x2")), ux2 = b.Unlock(name("x2"));
+      StepId ly1 = b.Lock(name("y1")), uy1 = b.Unlock(name("y1"));
+      StepId ly2 = b.Lock(name("y2")), uy2 = b.Unlock(name("y2"));
+      b.Edge(lx2, ux1).Edge(lx1, ux2);
+      b.Edge(ly2, uy1).Edge(ly1, uy2);
+      b.Edge(lx2, uy1).Edge(lx1, uy2);
+      b.Edge(ly1, ux1);
+      w->system->Add(b.Build());
+    }
+  }
+};
+
+// ---- hotkey ---------------------------------------------------------------
+
+/// Zipfian hot-key skew: entity e_i is drawn with weight 1/(i+1)^skew, so a
+/// few hot entities appear in most transactions — the contention regime
+/// where lock-manager behavior actually differentiates.
+class HotkeyFamily : public WorkloadFamily {
+ public:
+  const FamilySpec& spec() const override {
+    static const FamilySpec kSpec{
+        "hotkey",
+        "Zipfian hot-key skew: entities drawn with weight 1/(i+1)^skew, a "
+        "few hot entities dominate the lock footprints",
+        {{"k", "number of transactions", 16, 1},
+         {"entities", "number of entities", 12, 2},
+         {"sites", "number of sites (entities round-robin)", 4, 1},
+         {"locks", "entities locked per transaction (capped at entities)", 3,
+          1},
+         {"skew", "Zipf exponent (0 = uniform)", 1.2, 0}}};
+    return kSpec;
+  }
+
+  Workload Build(const ParamMap& params, Rng* rng) const override {
+    int k = GetIntParam(params, "k");
+    int entities = GetIntParam(params, "entities");
+    int sites = GetIntParam(params, "sites");
+    int locks = std::min(GetIntParam(params, "locks"), entities);
+    double skew = GetParam(params, "skew");
+    Workload w;
+    w.db = std::make_shared<DistributedDatabase>(sites);
+    for (int e = 0; e < entities; ++e) {
+      w.db->MustAddEntity(StrCat("e", e), e % sites);
+    }
+    w.system = std::make_shared<TransactionSystem>(w.db.get());
+    std::vector<double> cumulative(static_cast<size_t>(entities));
+    double total = 0;
+    for (int e = 0; e < entities; ++e) {
+      total += 1.0 / std::pow(static_cast<double>(e + 1), skew);
+      cumulative[static_cast<size_t>(e)] = total;
+    }
+    for (int t = 0; t < k; ++t) {
+      w.system->Add(MakeTwoPhaseTransaction(
+          w.db.get(), StrCat("T", t + 1),
+          SampleDistinct(entities, locks, cumulative, rng)));
+    }
+    return w;
+  }
+};
+
+// ---- sat_gadget -----------------------------------------------------------
+
+/// Theorem 3 adversarial gadgets: a random restricted CNF (clauses of 2-3
+/// literals, each variable <= 2 unnegated / <= 1 negated occurrences)
+/// reduced to the two-transaction system that is unsafe iff the formula is
+/// satisfiable — every entity on its own site, the coNP-hard regime.
+class SatGadgetFamily : public WorkloadFamily {
+ public:
+  const FamilySpec& spec() const override {
+    static const FamilySpec kSpec{
+        "sat_gadget",
+        "Theorem 3 reduction of a random restricted CNF: two transactions, "
+        "one site per entity, unsafe iff the formula is satisfiable",
+        {{"vars", "number of CNF variables", 6, 1},
+         {"clauses",
+          "CNF clauses to attempt (fewer emitted if occurrence budgets run "
+          "out)",
+          5, 1}}};
+    return kSpec;
+  }
+
+  Workload Build(const ParamMap& params, Rng* rng) const override {
+    int vars = GetIntParam(params, "vars");
+    int clauses = GetIntParam(params, "clauses");
+    Cnf cnf = MakeRestrictedCnf(vars, clauses, rng);
+    DISLOCK_CHECK(cnf.IsRestrictedForm());
+    auto reduced = ReduceCnfToTransactions(cnf);
+    DISLOCK_CHECK(reduced.ok());
+    Workload w;
+    w.db = reduced->db;
+    w.system = reduced->system;
+    return w;
+  }
+
+ private:
+  /// Draws clauses uniformly from the literals whose restricted-form
+  /// occurrence budget (2 positive, 1 negative per variable) is not yet
+  /// spent; stops early when fewer than two budgeted variables remain.
+  static Cnf MakeRestrictedCnf(int vars, int clauses, Rng* rng) {
+    Cnf cnf;
+    cnf.num_vars = vars;
+    std::vector<int> pos_budget(static_cast<size_t>(vars), 2);
+    std::vector<int> neg_budget(static_cast<size_t>(vars), 1);
+    for (int i = 0; i < clauses; ++i) {
+      int len = static_cast<int>(rng->UniformInt(2, 3));
+      Clause clause;
+      std::vector<bool> used(static_cast<size_t>(vars), false);
+      for (int j = 0; j < len; ++j) {
+        std::vector<Literal> candidates;
+        for (int v = 0; v < vars; ++v) {
+          if (used[static_cast<size_t>(v)]) continue;
+          if (pos_budget[static_cast<size_t>(v)] > 0) {
+            candidates.push_back({v + 1, false});
+          }
+          if (neg_budget[static_cast<size_t>(v)] > 0) {
+            candidates.push_back({v + 1, true});
+          }
+        }
+        if (candidates.empty()) break;
+        Literal lit = candidates[rng->Index(candidates.size())];
+        used[static_cast<size_t>(lit.var - 1)] = true;
+        if (lit.negated) {
+          --neg_budget[static_cast<size_t>(lit.var - 1)];
+        } else {
+          --pos_budget[static_cast<size_t>(lit.var - 1)];
+        }
+        clause.push_back(lit);
+      }
+      if (static_cast<int>(clause.size()) < 2) break;
+      cnf.clauses.push_back(std::move(clause));
+    }
+    return cnf;
+  }
+};
+
+// ---- churn ----------------------------------------------------------------
+
+/// Edit-mix stream for the incremental engine: a ring base, then a seeded
+/// add/remove/replace mix with periodic checks — each check's delta is
+/// small, so reuse (not recompute) carries the run.
+class ChurnFamily : public WorkloadFamily {
+ public:
+  const FamilySpec& spec() const override {
+    static const FamilySpec kSpec{
+        "churn",
+        "incremental edit mix: ring base, then seeded add/remove/replace "
+        "edits with a check every few edits (delta re-analysis regime)",
+        {{"k", "transactions in the ring base", 8, 2},
+         {"edits", "number of add/remove/replace records", 12, 0},
+         {"check_every", "emit a check after this many edits", 4, 1}}};
+    return kSpec;
+  }
+
+  Workload Build(const ParamMap& params, Rng*) const override {
+    int k = GetIntParam(params, "k");
+    Workload w = MakeTwoSiteDb(k);
+    for (int t = 0; t < k; ++t) {
+      w.system->Add(MakeTwoPhaseTransaction(
+          w.db.get(), StrCat("T", t + 1),
+          {static_cast<EntityId>(t), static_cast<EntityId>((t + 1) % k)}));
+    }
+    return w;
+  }
+
+  void Emit(const ParamMap& params, Rng* rng,
+            TraceWriter* writer) const override {
+    Workload w = Build(params, rng);
+    writer->System(*w.system);
+    writer->Check();
+    int k = GetIntParam(params, "k");
+    int edits = GetIntParam(params, "edits");
+    int check_every = GetIntParam(params, "check_every");
+    std::vector<std::string> live;
+    for (int t = 0; t < k; ++t) live.push_back(StrCat("T", t + 1));
+    int next_id = k + 1;
+    for (int i = 0; i < edits; ++i) {
+      int op = static_cast<int>(rng->UniformInt(0, 2));
+      if (op == 1 && live.size() <= 2) op = 0;  // keep >= 2 live txns
+      auto ring_pair = [&](bool reversed) {
+        auto a = static_cast<EntityId>(rng->UniformInt(0, k - 1));
+        auto b = static_cast<EntityId>((a + 1) % k);
+        return reversed ? std::vector<EntityId>{b, a}
+                        : std::vector<EntityId>{a, b};
+      };
+      if (op == 0) {
+        std::string fresh = StrCat("T", next_id++);
+        writer->Add(
+            MakeTwoPhaseTransaction(w.db.get(), fresh, ring_pair(false)));
+        live.push_back(fresh);
+      } else if (op == 1) {
+        size_t victim = rng->Index(live.size());
+        writer->Remove(live[victim]);
+        live.erase(live.begin() + static_cast<ptrdiff_t>(victim));
+      } else {
+        size_t victim = rng->Index(live.size());
+        writer->Replace(
+            MakeTwoPhaseTransaction(w.db.get(), live[victim],
+                                    ring_pair(true)));
+      }
+      if ((i + 1) % check_every == 0) writer->Check();
+    }
+    writer->Check();
+  }
+};
+
+// ---- registry -------------------------------------------------------------
+
+const std::vector<const WorkloadFamily*>& AllFamilies() {
+  static const auto* kFamilies = [] {
+    auto* families = new std::vector<const WorkloadFamily*>;
+    families->push_back(new RingFamily);
+    families->push_back(new DenseFamily);
+    families->push_back(new TwoSiteFamily);
+    families->push_back(new Fig5Family);
+    families->push_back(new HotkeyFamily);
+    families->push_back(new SatGadgetFamily);
+    families->push_back(new ChurnFamily);
+    return families;
+  }();
+  return *kFamilies;
+}
+
+}  // namespace
+
+std::vector<std::string> RegisteredFamilies() {
+  std::vector<std::string> names;
+  for (const WorkloadFamily* family : AllFamilies()) {
+    names.push_back(family->spec().name);
+  }
+  return names;
+}
+
+const WorkloadFamily* FindFamily(const std::string& name) {
+  for (const WorkloadFamily* family : AllFamilies()) {
+    if (name == family->spec().name) return family;
+  }
+  return nullptr;
+}
+
+}  // namespace gen
+}  // namespace dislock

@@ -1,0 +1,153 @@
+#include "gen/family.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+#include "core/wire_keys.h"
+#include "gen/trace.h"
+#include "obs/json.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace dislock {
+namespace gen {
+
+void WorkloadFamily::Emit(const ParamMap& params, Rng* rng,
+                          TraceWriter* writer) const {
+  Workload w = Build(params, rng);
+  writer->System(*w.system);
+  writer->Check();
+}
+
+Result<ParamMap> ResolveParams(const FamilySpec& spec,
+                               const ParamMap& overrides) {
+  ParamMap resolved;
+  for (const FamilyParam& p : spec.params) resolved[p.name] = p.default_value;
+  for (const auto& [name, value] : overrides) {
+    const FamilyParam* param = nullptr;
+    for (const FamilyParam& p : spec.params) {
+      if (name == p.name) {
+        param = &p;
+        break;
+      }
+    }
+    if (param == nullptr) {
+      return Status::InvalidArgument(StrCat("family '", spec.name,
+                                            "' has no parameter '", name,
+                                            "'"));
+    }
+    if (!std::isfinite(value)) {
+      return Status::InvalidArgument(
+          StrCat("parameter '", name, "' must be finite"));
+    }
+    if (value < param->min_value) {
+      return Status::InvalidArgument(
+          StrCat("parameter '", name, "' must be >= ",
+                 ParamValueToString(param->min_value), ", got ",
+                 ParamValueToString(value)));
+    }
+    resolved[name] = value;
+  }
+  return resolved;
+}
+
+double GetParam(const ParamMap& params, const char* name) {
+  auto it = params.find(name);
+  DISLOCK_CHECK(it != params.end());
+  return it->second;
+}
+
+int GetIntParam(const ParamMap& params, const char* name) {
+  return static_cast<int>(std::llround(GetParam(params, name)));
+}
+
+Result<Workload> BuildFamily(const std::string& name,
+                             const ParamMap& overrides, uint64_t seed) {
+  const WorkloadFamily* family = FindFamily(name);
+  if (family == nullptr) {
+    return Status::NotFound(StrCat("unknown workload family '", name,
+                                   "' (try: ",
+                                   Join(RegisteredFamilies(), ", "), ")"));
+  }
+  auto params = ResolveParams(family->spec(), overrides);
+  if (!params.ok()) return params.status();
+  Rng rng(seed);
+  return family->Build(*params, &rng);
+}
+
+Result<std::pair<std::string, double>> ParseParamOverride(
+    const std::string& text) {
+  size_t eq = text.find('=');
+  if (eq == std::string::npos || eq == 0 || eq + 1 == text.size()) {
+    return Status::InvalidArgument(
+        StrCat("expected name=value, got '", text, "'"));
+  }
+  std::string name = text.substr(0, eq);
+  std::string value_text = text.substr(eq + 1);
+  char* end = nullptr;
+  double value = std::strtod(value_text.c_str(), &end);
+  if (end != value_text.c_str() + value_text.size()) {
+    return Status::InvalidArgument(
+        StrCat("parameter '", name, "' has a non-numeric value '",
+               value_text, "'"));
+  }
+  return std::make_pair(std::move(name), value);
+}
+
+std::string ParamValueToString(double value) {
+  if (value == std::floor(value) && std::abs(value) < 1e15) {
+    return std::to_string(static_cast<long long>(value));
+  }
+  char buf[64];
+  for (int prec = 6; prec <= 17; ++prec) {
+    std::snprintf(buf, sizeof(buf), "%.*g", prec, value);
+    if (std::strtod(buf, nullptr) == value) break;
+  }
+  return buf;
+}
+
+std::string FamilyCatalogToText() {
+  std::ostringstream out;
+  for (const std::string& name : RegisteredFamilies()) {
+    const FamilySpec& spec = FindFamily(name)->spec();
+    out << spec.name << "\n  " << spec.description << "\n";
+    for (const FamilyParam& p : spec.params) {
+      out << "  --param " << p.name << "="
+          << ParamValueToString(p.default_value) << "  " << p.description
+          << " (min " << ParamValueToString(p.min_value) << ")\n";
+    }
+  }
+  return out.str();
+}
+
+std::string FamilyCatalogToJson() {
+  std::ostringstream out;
+  out << "{\"" << wire::kSchemaVersionKey << "\": " << wire::kSchemaVersion
+      << ", \"families\": [";
+  bool first_family = true;
+  for (const std::string& name : RegisteredFamilies()) {
+    const FamilySpec& spec = FindFamily(name)->spec();
+    if (!first_family) out << ", ";
+    first_family = false;
+    out << "{\"name\": " << obs::JsonQuote(spec.name)
+        << ", \"description\": " << obs::JsonQuote(spec.description)
+        << ", \"params\": [";
+    bool first_param = true;
+    for (const FamilyParam& p : spec.params) {
+      if (!first_param) out << ", ";
+      first_param = false;
+      out << "{\"name\": " << obs::JsonQuote(p.name)
+          << ", \"description\": " << obs::JsonQuote(p.description)
+          << ", \"default\": " << ParamValueToString(p.default_value)
+          << ", \"min\": " << ParamValueToString(p.min_value) << "}";
+    }
+    out << "]}";
+  }
+  out << "]}\n";
+  return out.str();
+}
+
+}  // namespace gen
+}  // namespace dislock

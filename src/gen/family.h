@@ -1,0 +1,109 @@
+#ifndef DISLOCK_GEN_FAMILY_H_
+#define DISLOCK_GEN_FAMILY_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/workload.h"
+#include "util/random.h"
+#include "util/status.h"
+
+namespace dislock {
+namespace gen {
+
+class TraceWriter;
+
+/// Every generated workload is reproducible from (family, params, seed);
+/// this is the seed tools use when none is given.
+inline constexpr uint64_t kDefaultSeed = 42;
+
+/// One named numeric parameter of a family: self-describing (the catalog
+/// renders name, description, and default) and validated (values below
+/// `min_value` are rejected before any construction runs).
+struct FamilyParam {
+  const char* name;
+  const char* description;
+  double default_value;
+  double min_value;
+};
+
+/// The self-description of a workload family: its registry name, a
+/// one-line description carrying the paper/motivation grounding, and the
+/// full parameter surface.
+struct FamilySpec {
+  const char* name;
+  const char* description;
+  std::vector<FamilyParam> params;
+};
+
+/// A parameter assignment, name -> value. Families read integral
+/// parameters by rounding, so `{"k", 8}` and `{"k", 8.0}` agree.
+using ParamMap = std::map<std::string, double>;
+
+/// A registered workload family: the single definition of one synthetic
+/// scenario, shared by `dislock gen`, `dislock replay`, `dislock_bench`,
+/// and the bench/ binaries (which all used to re-implement their own ring
+/// and dense constructors ad hoc).
+///
+/// Families are deterministic: Build and Emit depend only on the resolved
+/// params and the caller's Rng seed, never on global state — a committed
+/// trace regenerates byte-identically on any machine.
+class WorkloadFamily {
+ public:
+  virtual ~WorkloadFamily() = default;
+
+  virtual const FamilySpec& spec() const = 0;
+
+  /// Builds the family's base transaction system. `params` must be
+  /// resolved (ResolveParams): every spec parameter present, nothing else.
+  virtual Workload Build(const ParamMap& params, Rng* rng) const = 0;
+
+  /// Appends the family's trace records (system / edit / check) to
+  /// `writer`. The default emits the built system followed by one check;
+  /// churn-style families override this with an edit stream.
+  virtual void Emit(const ParamMap& params, Rng* rng,
+                    TraceWriter* writer) const;
+};
+
+/// Registered family names, in catalog order.
+std::vector<std::string> RegisteredFamilies();
+
+/// Looks a family up by name; nullptr when unknown.
+const WorkloadFamily* FindFamily(const std::string& name);
+
+/// Applies `overrides` on top of the spec defaults. Fails on a parameter
+/// name the spec does not declare, a non-finite value, or a value below
+/// the parameter's minimum.
+Result<ParamMap> ResolveParams(const FamilySpec& spec,
+                               const ParamMap& overrides);
+
+/// Reads a resolved parameter (checked: the key must exist).
+double GetParam(const ParamMap& params, const char* name);
+int GetIntParam(const ParamMap& params, const char* name);
+
+/// Convenience: FindFamily + ResolveParams + Build with an Rng seeded from
+/// `seed`. This is the one call sites like the benches need.
+Result<Workload> BuildFamily(const std::string& name,
+                             const ParamMap& overrides = {},
+                             uint64_t seed = kDefaultSeed);
+
+/// Parses one "name=value" override (the `--param` flag surface).
+Result<std::pair<std::string, double>> ParseParamOverride(
+    const std::string& text);
+
+/// Renders a parameter value for the catalog and the trace header:
+/// integral values print as integers, everything else with the shortest
+/// representation that parses back to the same double (so a committed
+/// trace's params round-trip exactly).
+std::string ParamValueToString(double value);
+
+/// The self-describing catalog, for `dislock gen --list`.
+std::string FamilyCatalogToText();
+std::string FamilyCatalogToJson();
+
+}  // namespace gen
+}  // namespace dislock
+
+#endif  // DISLOCK_GEN_FAMILY_H_

@@ -1,0 +1,332 @@
+#include "gen/trace.h"
+
+#include <cstdlib>
+#include <sstream>
+#include <utility>
+
+#include "core/wire_keys.h"
+#include "obs/json.h"
+#include "txn/text_format.h"
+#include "util/string_util.h"
+
+namespace dislock {
+namespace gen {
+
+namespace {
+
+size_t SkipWs(const std::string& s, size_t i) {
+  while (i < s.size() &&
+         (s[i] == ' ' || s[i] == '\t' || s[i] == '\n' || s[i] == '\r')) {
+    ++i;
+  }
+  return i;
+}
+
+/// Decodes a JSON string starting at the opening quote; the line already
+/// passed obs::IsValidJson, so only the escapes we never emit are rejected.
+Status ParseJsonString(const std::string& s, size_t* i, std::string* out) {
+  if (*i >= s.size() || s[*i] != '"') {
+    return Status::InvalidArgument("expected a JSON string in trace header");
+  }
+  ++*i;
+  while (*i < s.size() && s[*i] != '"') {
+    if (s[*i] != '\\') {
+      out->push_back(s[*i]);
+      ++*i;
+      continue;
+    }
+    ++*i;
+    char e = s[*i];
+    ++*i;
+    switch (e) {
+      case '"': out->push_back('"'); break;
+      case '\\': out->push_back('\\'); break;
+      case '/': out->push_back('/'); break;
+      case 'b': out->push_back('\b'); break;
+      case 'f': out->push_back('\f'); break;
+      case 'n': out->push_back('\n'); break;
+      case 'r': out->push_back('\r'); break;
+      case 't': out->push_back('\t'); break;
+      default:
+        return Status::InvalidArgument(
+            "unsupported escape in trace header string");
+    }
+  }
+  ++*i;  // closing quote
+  return Status::OK();
+}
+
+/// Extracts the raw token of a JSON number (no parsing yet: the seed needs
+/// uint64 range, everything else double).
+std::string ScanNumberToken(const std::string& s, size_t* i) {
+  size_t start = *i;
+  while (*i < s.size() && s[*i] != ',' && s[*i] != '}' && s[*i] != ']' &&
+         s[*i] != ' ' && s[*i] != '\t' && s[*i] != '\n' && s[*i] != '\r') {
+    ++*i;
+  }
+  return s.substr(start, *i - start);
+}
+
+Status ParseParamsObject(const std::string& s, size_t* i, ParamMap* params) {
+  if (*i >= s.size() || s[*i] != '{') {
+    return Status::InvalidArgument("trace header \"params\" must be an object");
+  }
+  ++*i;
+  *i = SkipWs(s, *i);
+  if (*i < s.size() && s[*i] == '}') {
+    ++*i;
+    return Status::OK();
+  }
+  for (;;) {
+    *i = SkipWs(s, *i);
+    std::string name;
+    DISLOCK_RETURN_NOT_OK(ParseJsonString(s, i, &name));
+    *i = SkipWs(s, *i);
+    ++*i;  // ':'
+    *i = SkipWs(s, *i);
+    std::string token = ScanNumberToken(s, i);
+    char* end = nullptr;
+    double value = std::strtod(token.c_str(), &end);
+    if (token.empty() || end != token.c_str() + token.size()) {
+      return Status::InvalidArgument(
+          StrCat("trace header param \"", name, "\" must be a number"));
+    }
+    (*params)[name] = value;
+    *i = SkipWs(s, *i);
+    if (*i < s.size() && s[*i] == ',') {
+      ++*i;
+      continue;
+    }
+    ++*i;  // '}'
+    return Status::OK();
+  }
+}
+
+/// Parses the header line into fields. `line` already passed IsValidJson;
+/// unknown keys are rejected so a future header extension fails loudly
+/// instead of being silently dropped (same policy as the session envelope).
+Status ParseHeaderLine(const std::string& line, TraceHeader* header,
+                       std::string* format) {
+  size_t i = SkipWs(line, 0);
+  if (i >= line.size() || line[i] != '{') {
+    return Status::InvalidArgument("trace header must be a JSON object");
+  }
+  ++i;
+  i = SkipWs(line, i);
+  if (i < line.size() && line[i] == '}') {
+    return Status::InvalidArgument("trace header is empty");
+  }
+  for (;;) {
+    i = SkipWs(line, i);
+    std::string key;
+    DISLOCK_RETURN_NOT_OK(ParseJsonString(line, &i, &key));
+    i = SkipWs(line, i);
+    ++i;  // ':'
+    i = SkipWs(line, i);
+    if (key == "format") {
+      DISLOCK_RETURN_NOT_OK(ParseJsonString(line, &i, format));
+    } else if (key == "family") {
+      DISLOCK_RETURN_NOT_OK(ParseJsonString(line, &i, &header->family));
+    } else if (key == "params") {
+      DISLOCK_RETURN_NOT_OK(ParseParamsObject(line, &i, &header->params));
+    } else if (key == wire::kSchemaVersionKey || key == "trace_version" ||
+               key == "seed" || key == "records") {
+      std::string token = ScanNumberToken(line, &i);
+      char* end = nullptr;
+      if (key == "seed") {
+        header->seed = std::strtoull(token.c_str(), &end, 10);
+      } else {
+        long long value = std::strtoll(token.c_str(), &end, 10);
+        if (key == wire::kSchemaVersionKey) {
+          header->schema_version = static_cast<int>(value);
+        } else if (key == "trace_version") {
+          header->trace_version = static_cast<int>(value);
+        } else {
+          header->records = value;
+        }
+      }
+      if (token.empty() || end != token.c_str() + token.size()) {
+        return Status::InvalidArgument(
+            StrCat("trace header \"", key, "\" must be an integer"));
+      }
+    } else {
+      return Status::InvalidArgument(
+          StrCat("unknown trace header key '", key, "'"));
+    }
+    i = SkipWs(line, i);
+    if (i < line.size() && line[i] == ',') {
+      ++i;
+      continue;
+    }
+    break;  // '}'
+  }
+  return Status::OK();
+}
+
+std::string RenderHeader(const TraceHeader& header) {
+  std::ostringstream out;
+  out << "{\"" << wire::kSchemaVersionKey
+      << "\": " << header.schema_version << ", \"format\": \""
+      << kTraceFormatName << "\", \"trace_version\": " << header.trace_version
+      << ", \"family\": " << obs::JsonQuote(header.family)
+      << ", \"seed\": " << header.seed << ", \"params\": {";
+  bool first = true;
+  for (const auto& [name, value] : header.params) {
+    if (!first) out << ", ";
+    first = false;
+    out << obs::JsonQuote(name) << ": " << ParamValueToString(value);
+  }
+  out << "}, \"records\": " << header.records << "}";
+  return out.str();
+}
+
+}  // namespace
+
+std::string RenderEnvelope(const SessionCommand& cmd) {
+  std::string out = StrCat("{\"cmd\": ", obs::JsonQuote(cmd.verb));
+  if (!cmd.arg.empty()) {
+    out += StrCat(", \"arg\": ", obs::JsonQuote(cmd.arg));
+  }
+  if (!cmd.block.empty()) {
+    out += StrCat(", \"block\": ", obs::JsonQuote(cmd.block));
+  }
+  out += "}";
+  return out;
+}
+
+std::string Trace::Serialize() const {
+  std::string out = RenderHeader(header);
+  out += '\n';
+  for (const std::string& record : records) {
+    out += record;
+    out += '\n';
+  }
+  return out;
+}
+
+TraceWriter::TraceWriter(std::string family, uint64_t seed, ParamMap params) {
+  header_.schema_version = wire::kSchemaVersion;
+  header_.trace_version = kTraceVersion;
+  header_.family = std::move(family);
+  header_.seed = seed;
+  header_.params = std::move(params);
+}
+
+void TraceWriter::Record(const SessionCommand& cmd) {
+  records_.push_back(RenderEnvelope(cmd));
+}
+
+void TraceWriter::System(const TransactionSystem& system) {
+  SessionCommand cmd;
+  cmd.verb = "system";
+  cmd.block = SystemToText(system);
+  Record(cmd);
+}
+
+void TraceWriter::Check() {
+  SessionCommand cmd;
+  cmd.verb = "check";
+  Record(cmd);
+}
+
+void TraceWriter::Add(const Transaction& txn) {
+  SessionCommand cmd;
+  cmd.verb = "add";
+  cmd.block = TransactionToText(txn);
+  Record(cmd);
+}
+
+void TraceWriter::Remove(const std::string& name) {
+  SessionCommand cmd;
+  cmd.verb = "remove";
+  cmd.arg = name;
+  Record(cmd);
+}
+
+void TraceWriter::Replace(const Transaction& txn) {
+  SessionCommand cmd;
+  cmd.verb = "replace";
+  cmd.arg = txn.name();
+  cmd.block = TransactionToText(txn);
+  Record(cmd);
+}
+
+Trace TraceWriter::Finish() {
+  Trace trace;
+  trace.header = header_;
+  trace.header.records = records();
+  trace.records = std::move(records_);
+  records_.clear();
+  return trace;
+}
+
+Result<Trace> ParseTrace(const std::string& text) {
+  std::vector<std::string> lines = Split(text, '\n');
+  if (!lines.empty() && lines.back().empty()) lines.pop_back();
+  if (lines.empty()) {
+    return Status::InvalidArgument("empty trace: missing header line");
+  }
+  std::string jerr;
+  if (!obs::IsValidJson(lines[0], &jerr)) {
+    return Status::InvalidArgument(
+        StrCat("trace header is not valid JSON: ", jerr));
+  }
+  Trace trace;
+  std::string format;
+  DISLOCK_RETURN_NOT_OK(ParseHeaderLine(lines[0], &trace.header, &format));
+  if (format != kTraceFormatName) {
+    return Status::InvalidArgument(StrCat(
+        "not a ", kTraceFormatName, " file (format \"", format, "\")"));
+  }
+  if (trace.header.schema_version != wire::kSchemaVersion) {
+    return Status::InvalidArgument(
+        StrCat("trace speaks session schema_version ",
+               trace.header.schema_version, "; this build expects ",
+               wire::kSchemaVersion));
+  }
+  if (trace.header.trace_version != kTraceVersion) {
+    return Status::InvalidArgument(
+        StrCat("trace has trace_version ", trace.header.trace_version,
+               "; this build expects ", kTraceVersion));
+  }
+  auto body_lines = static_cast<int64_t>(lines.size()) - 1;
+  if (trace.header.records != body_lines) {
+    return Status::InvalidArgument(
+        StrCat("trace header promises ", trace.header.records,
+               " records, file has ", body_lines,
+               " (truncated or corrupted)"));
+  }
+  for (size_t n = 1; n < lines.size(); ++n) {
+    const std::string& line = lines[n];
+    if (!obs::IsValidJson(line, &jerr)) {
+      return Status::InvalidArgument(
+          StrCat("trace record ", n, " is not valid JSON: ", jerr));
+    }
+    size_t i = SkipWs(line, 0);
+    if (i >= line.size() || line[i] != '{') {
+      return Status::InvalidArgument(
+          StrCat("trace record ", n, " is not a JSON object"));
+    }
+    trace.records.push_back(line);
+  }
+  return trace;
+}
+
+Result<Trace> GenerateTrace(const std::string& family,
+                            const ParamMap& overrides, uint64_t seed) {
+  const WorkloadFamily* found = FindFamily(family);
+  if (found == nullptr) {
+    return Status::NotFound(StrCat("unknown workload family '", family,
+                                   "' (try: ",
+                                   Join(RegisteredFamilies(), ", "), ")"));
+  }
+  auto params = ResolveParams(found->spec(), overrides);
+  if (!params.ok()) return params.status();
+  Rng rng(seed);
+  TraceWriter writer(family, seed, *params);
+  found->Emit(*params, &rng, &writer);
+  return writer.Finish();
+}
+
+}  // namespace gen
+}  // namespace dislock

@@ -1,0 +1,98 @@
+#ifndef DISLOCK_GEN_TRACE_H_
+#define DISLOCK_GEN_TRACE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/incremental/session_core.h"
+#include "gen/family.h"
+#include "txn/system.h"
+#include "util/status.h"
+
+namespace dislock {
+namespace gen {
+
+/// Version of the .dlt trace container itself (the header shape and the
+/// record framing). Orthogonal to wire::kSchemaVersion, which versions the
+/// session protocol the record lines speak: a reader must match BOTH.
+inline constexpr int kTraceVersion = 1;
+inline constexpr char kTraceFormatName[] = "dislock-trace";
+
+/// The first line of every .dlt file. Everything after it is one session
+/// JSON envelope per line — the exact lines a serve client would send, so
+/// a trace replays 1:1 through `dislock session --json`, a SessionCore, or
+/// a live `dislock_serve` endpoint with no translation layer.
+struct TraceHeader {
+  int schema_version = 0;
+  int trace_version = 0;
+  std::string family;
+  uint64_t seed = 0;
+  ParamMap params;
+  /// Number of record lines that follow; a mismatch at parse time means a
+  /// truncated or corrupted file and is rejected.
+  int64_t records = 0;
+};
+
+/// A parsed (or freshly generated) trace.
+struct Trace {
+  TraceHeader header;
+  /// Raw record lines, newline-free, each a validated JSON object.
+  std::vector<std::string> records;
+
+  /// Renders the canonical .dlt bytes (header line + record lines, each
+  /// '\n'-terminated). ParseTrace(Serialize()) round-trips exactly.
+  std::string Serialize() const;
+};
+
+/// Renders one session command as its JSON envelope line (no trailing
+/// newline); empty arg/block are omitted. This is the session wire format
+/// of src/core/incremental/session_core.h, byte for byte.
+std::string RenderEnvelope(const SessionCommand& cmd);
+
+/// Accumulates the records of one trace. Families call the typed helpers;
+/// Finish() stamps the header with the final record count.
+class TraceWriter {
+ public:
+  TraceWriter(std::string family, uint64_t seed, ParamMap params);
+
+  /// Appends one command as an envelope record.
+  void Record(const SessionCommand& cmd);
+
+  /// The inline-system record: `{"cmd": "system", "block": <dlk text>}`,
+  /// the self-contained replacement for `load <path>`.
+  void System(const TransactionSystem& system);
+
+  void Check();
+  /// add with the txn rendered as a `txn ... end` block.
+  void Add(const Transaction& txn);
+  void Remove(const std::string& name);
+  /// replace targeting `txn.name()`, block rendered like Add.
+  void Replace(const Transaction& txn);
+
+  Trace Finish();
+
+  int64_t records() const { return static_cast<int64_t>(records_.size()); }
+
+ private:
+  TraceHeader header_;
+  std::vector<std::string> records_;
+};
+
+/// Parses and validates a .dlt file: the header must carry the
+/// dislock-trace format marker, a matching schema_version AND
+/// trace_version, and a record count equal to the number of record lines;
+/// every record line must be a JSON object. Anything else is an error —
+/// a trace is replayed against live systems, so a reader never guesses.
+Result<Trace> ParseTrace(const std::string& text);
+
+/// Generates the named family's trace: resolves params, seeds an Rng, and
+/// runs the family's Emit. The one entry point behind `dislock gen`.
+Result<Trace> GenerateTrace(const std::string& family,
+                            const ParamMap& overrides = {},
+                            uint64_t seed = kDefaultSeed);
+
+}  // namespace gen
+}  // namespace dislock
+
+#endif  // DISLOCK_GEN_TRACE_H_

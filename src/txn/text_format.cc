@@ -218,25 +218,31 @@ std::string SystemToText(const TransactionSystem& system) {
     out << "entity " << db.NameOf(e) << " " << db.SiteOf(e) << "\n";
   }
   for (int i = 0; i < system.NumTransactions(); ++i) {
-    const Transaction& t = system.txn(i);
-    out << "\ntxn " << t.name() << " nochain\n";
-    for (StepId s = 0; s < t.NumSteps(); ++s) {
-      const Step& step = t.GetStep(s);
-      const char* kind =
-          step.kind == StepKind::kLock ? (step.shared ? "slock" : "lock")
-          : step.kind == StepKind::kUpdate
-              ? "update"
-              : (step.shared ? "sunlock" : "unlock");
-      out << "  " << kind << " " << db.NameOf(step.entity) << "  # step "
-          << s << "\n";
-    }
-    for (StepId s = 0; s < t.NumSteps(); ++s) {
-      for (NodeId v : t.order().OutNeighbors(s)) {
-        out << "  edge " << s << " " << v << "\n";
-      }
-    }
-    out << "end\n";
+    out << "\n" << TransactionToText(system.txn(i));
   }
+  return out.str();
+}
+
+std::string TransactionToText(const Transaction& txn) {
+  const DistributedDatabase& db = txn.db();
+  std::ostringstream out;
+  out << "txn " << txn.name() << " nochain\n";
+  for (StepId s = 0; s < txn.NumSteps(); ++s) {
+    const Step& step = txn.GetStep(s);
+    const char* kind =
+        step.kind == StepKind::kLock ? (step.shared ? "slock" : "lock")
+        : step.kind == StepKind::kUpdate
+            ? "update"
+            : (step.shared ? "sunlock" : "unlock");
+    out << "  " << kind << " " << db.NameOf(step.entity) << "  # step "
+        << s << "\n";
+  }
+  for (StepId s = 0; s < txn.NumSteps(); ++s) {
+    for (NodeId v : txn.order().OutNeighbors(s)) {
+      out << "  edge " << s << " " << v << "\n";
+    }
+  }
+  out << "end\n";
   return out.str();
 }
 

@@ -59,6 +59,11 @@ Result<Transaction> ParseTransactionText(const std::string& text,
 /// round-trip exactly).
 std::string SystemToText(const TransactionSystem& system);
 
+/// Serializes one transaction as a `txn <name> nochain ... end` block — the
+/// grammar ParseTransactionText accepts, so a transaction round-trips
+/// through the session `add`/`replace` wire path exactly.
+std::string TransactionToText(const Transaction& txn);
+
 }  // namespace dislock
 
 #endif  // DISLOCK_TXN_TEXT_FORMAT_H_

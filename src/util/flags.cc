@@ -130,6 +130,39 @@ FlagParse ParseCommonFlag(int argc, char** argv, int i, unsigned accepted,
     }
   }
 
+  if ((accepted & kSeedFlag) != 0) {
+    if (const char* v = FlagValue(argc, argv, i, "--seed", &two)) {
+      if (v == kMissing || v[0] == '\0') {
+        if (error != nullptr) *error = "--seed requires a value";
+        return FlagParse::kError;
+      }
+      flags->seed = std::strtoull(v, nullptr, 10);
+      return two ? FlagParse::kConsumedTwo : FlagParse::kConsumedOne;
+    }
+  }
+
+  if ((accepted & kOutFlag) != 0) {
+    if (const char* v = FlagValue(argc, argv, i, "--out", &two)) {
+      if (v == kMissing || v[0] == '\0') {
+        if (error != nullptr) *error = "--out requires an output file";
+        return FlagParse::kError;
+      }
+      flags->out = v;
+      return two ? FlagParse::kConsumedTwo : FlagParse::kConsumedOne;
+    }
+  }
+
+  if ((accepted & kEndpointFlag) != 0) {
+    if (const char* v = FlagValue(argc, argv, i, "--endpoint", &two)) {
+      if (v == kMissing || v[0] == '\0') {
+        if (error != nullptr) *error = "--endpoint requires HOST:PORT";
+        return FlagParse::kError;
+      }
+      flags->endpoint = v;
+      return two ? FlagParse::kConsumedTwo : FlagParse::kConsumedOne;
+    }
+  }
+
   if ((accepted & kMetricsFlag) != 0) {
     // --metrics takes an *optional* =FILE, so the space-separated spelling
     // is not supported (it would swallow positionals).
@@ -200,6 +233,21 @@ std::string CommonFlagsHelp(unsigned accepted) {
         "                    DISLOCK_CACHE_DIR environment variable; a\n"
         "                    verdict served from disk never changes a\n"
         "                    verdict, see docs/caching.md)\n";
+  }
+  if ((accepted & kSeedFlag) != 0) {
+    out +=
+        "  --seed N          workload-generator seed (default 42); the same\n"
+        "                    family+params+seed regenerates the same trace\n"
+        "                    byte for byte\n";
+  }
+  if ((accepted & kOutFlag) != 0) {
+    out +=
+        "  --out=PATH        write the output to PATH instead of stdout\n";
+  }
+  if ((accepted & kEndpointFlag) != 0) {
+    out +=
+        "  --endpoint H:P    replay against a live dislock_serve at\n"
+        "                    HOST:PORT instead of an in-process engine\n";
   }
   return out;
 }

@@ -23,6 +23,9 @@ struct CommonFlags {
   int clients = 100;         // --clients N; simulated clients (load driver)
   int shards = 1;            // --shards K; 0 = one per hardware thread
   std::string cache_dir;     // --cache-dir=PATH; empty = no persistent store
+  unsigned long long seed = 42;  // --seed N; workload-generator seed
+  std::string out;           // --out=PATH; empty = stdout
+  std::string endpoint;      // --endpoint HOST:PORT; empty = in-process
 };
 
 enum CommonFlagSet : unsigned {
@@ -35,6 +38,9 @@ enum CommonFlagSet : unsigned {
   kClientsFlag = 1u << 6,  // --clients N | --clients=N (load driver, bench)
   kShardsFlag = 1u << 7,   // --shards K | --shards=K   (sharded catalog)
   kCacheDirFlag = 1u << 8,  // --cache-dir PATH | --cache-dir=PATH
+  kSeedFlag = 1u << 9,      // --seed N | --seed=N       (gen, replay, bench)
+  kOutFlag = 1u << 10,      // --out PATH | --out=PATH   (gen, bench)
+  kEndpointFlag = 1u << 11,  // --endpoint HOST:PORT     (replay)
   kObsFlags = kTraceFlag | kMetricsFlag,
   kServeFlags = kPortFlag | kClientsFlag | kShardsFlag,
 };

@@ -153,6 +153,9 @@ TEST(Flags, DefaultsMatchTheDocumentedContract) {
   EXPECT_EQ(flags.port, 4400);
   EXPECT_EQ(flags.clients, 100);
   EXPECT_EQ(flags.shards, 1);
+  EXPECT_EQ(flags.seed, 42u);  // the generator contract: default seed 42
+  EXPECT_TRUE(flags.out.empty());
+  EXPECT_TRUE(flags.endpoint.empty());
 }
 
 TEST(Flags, CacheDirBothSpellings) {
@@ -235,6 +238,58 @@ TEST(Flags, ServeFlagsRespectTheAcceptedSet) {
     EXPECT_NE(help.find(flag), std::string::npos) << flag;
   }
   EXPECT_EQ(CommonFlagsHelp(kThreadsFlag).find("--port"), std::string::npos);
+}
+
+constexpr unsigned kGenFlags = kSeedFlag | kOutFlag | kEndpointFlag;
+
+TEST(Flags, GenReplayFlagsBothSpellings) {
+  ParseOutcome seed = Parse({"--seed", "7"}, kGenFlags);
+  EXPECT_EQ(seed.result, FlagParse::kConsumedTwo);
+  EXPECT_EQ(seed.flags.seed, 7u);
+  // Full uint64 range: a trace header's seed must survive the flag.
+  EXPECT_EQ(Parse({"--seed=18446744073709551615"}, kGenFlags).flags.seed,
+            18446744073709551615ull);
+
+  ParseOutcome out = Parse({"--out=trace.dlt"}, kGenFlags);
+  EXPECT_EQ(out.result, FlagParse::kConsumedOne);
+  EXPECT_EQ(out.flags.out, "trace.dlt");
+  EXPECT_EQ(Parse({"--out", "t.dlt"}, kGenFlags).flags.out, "t.dlt");
+
+  ParseOutcome endpoint = Parse({"--endpoint", "127.0.0.1:4400"}, kGenFlags);
+  EXPECT_EQ(endpoint.result, FlagParse::kConsumedTwo);
+  EXPECT_EQ(endpoint.flags.endpoint, "127.0.0.1:4400");
+  EXPECT_EQ(Parse({"--endpoint=host:1"}, kGenFlags).flags.endpoint,
+            "host:1");
+}
+
+TEST(Flags, GenReplayFlagsMissingValuesAreErrors) {
+  struct Case {
+    const char* spelling;
+    const char* message;
+  };
+  for (const Case& c : std::initializer_list<Case>{
+           {"--seed", "--seed requires a value"},
+           {"--seed=", "--seed requires a value"},
+           {"--out", "--out requires an output file"},
+           {"--out=", "--out requires an output file"},
+           {"--endpoint", "--endpoint requires HOST:PORT"},
+           {"--endpoint=", "--endpoint requires HOST:PORT"}}) {
+    ParseOutcome out = Parse({c.spelling}, kGenFlags);
+    EXPECT_EQ(out.result, FlagParse::kError) << c.spelling;
+    EXPECT_EQ(out.error, c.message) << c.spelling;
+  }
+}
+
+TEST(Flags, GenReplayFlagsRespectTheAcceptedSet) {
+  EXPECT_EQ(Parse({"--seed=7"}, kThreadsFlag).result, FlagParse::kNotCommon);
+  EXPECT_EQ(Parse({"--out=x"}, kThreadsFlag).result, FlagParse::kNotCommon);
+  EXPECT_EQ(Parse({"--endpoint=h:1"}, kThreadsFlag).result,
+            FlagParse::kNotCommon);
+  std::string help = CommonFlagsHelp(kGenFlags);
+  for (const char* flag : {"--seed", "--out", "--endpoint"}) {
+    EXPECT_NE(help.find(flag), std::string::npos) << flag;
+  }
+  EXPECT_EQ(CommonFlagsHelp(kThreadsFlag).find("--seed"), std::string::npos);
 }
 
 }  // namespace

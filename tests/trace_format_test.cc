@@ -1,0 +1,232 @@
+// Tests for the workload-family registry (src/gen/family.h) and the .dlt
+// trace container (src/gen/trace.h): catalog self-description, parameter
+// validation, byte-deterministic generation, serialize/parse round-trips,
+// version/corruption rejection, and the committed golden traces under
+// data/traces/ (one per family, defaults + seed 42 — the exact bytes
+// `dislock gen <family>` emits).
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "gen/family.h"
+#include "gen/trace.h"
+#include "obs/json.h"
+#include "txn/text_format.h"
+
+namespace dislock {
+namespace gen {
+namespace {
+
+std::string ReadGolden(const std::string& family) {
+  std::string path = std::string(DISLOCK_SOURCE_DIR) + "/data/traces/" +
+                     family + ".dlt";
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << "missing golden trace " << path;
+  std::ostringstream text;
+  text << in.rdbuf();
+  return text.str();
+}
+
+/// Replaces the first occurrence of `from` in `text` — for corrupting one
+/// header field at a time.
+std::string Replaced(std::string text, const std::string& from,
+                     const std::string& to) {
+  size_t pos = text.find(from);
+  EXPECT_NE(pos, std::string::npos) << from;
+  return text.replace(pos, from.size(), to);
+}
+
+TEST(FamilyRegistry, CatalogIsSelfDescribing) {
+  std::vector<std::string> families = RegisteredFamilies();
+  ASSERT_EQ(families.size(), 7u);
+  for (const std::string& name : families) {
+    const WorkloadFamily* family = FindFamily(name);
+    ASSERT_NE(family, nullptr) << name;
+    const FamilySpec& spec = family->spec();
+    EXPECT_EQ(std::string(spec.name), name);
+    EXPECT_FALSE(std::string(spec.description).empty()) << name;
+    for (const FamilyParam& param : spec.params) {
+      EXPECT_FALSE(std::string(param.name).empty()) << name;
+      EXPECT_FALSE(std::string(param.description).empty())
+          << name << "." << param.name;
+      EXPECT_GE(param.default_value, param.min_value)
+          << name << "." << param.name;
+    }
+  }
+  EXPECT_EQ(FindFamily("no_such_family"), nullptr);
+
+  std::string text = FamilyCatalogToText();
+  std::string json = FamilyCatalogToJson();
+  std::string jerr;
+  EXPECT_TRUE(obs::IsValidJson(json, &jerr)) << jerr;
+  for (const std::string& name : families) {
+    EXPECT_NE(text.find(name), std::string::npos) << name;
+    EXPECT_NE(json.find("\"" + name + "\""), std::string::npos) << name;
+  }
+}
+
+TEST(FamilyRegistry, ResolveParamsAppliesDefaultsAndValidates) {
+  const WorkloadFamily* ring = FindFamily("ring");
+  ASSERT_NE(ring, nullptr);
+
+  auto defaults = ResolveParams(ring->spec(), {});
+  ASSERT_TRUE(defaults.ok());
+  EXPECT_EQ(GetIntParam(*defaults, "k"), 8);
+
+  auto overridden = ResolveParams(ring->spec(), {{"k", 12}});
+  ASSERT_TRUE(overridden.ok());
+  EXPECT_EQ(GetIntParam(*overridden, "k"), 12);
+
+  EXPECT_FALSE(ResolveParams(ring->spec(), {{"nope", 3}}).ok());
+  EXPECT_FALSE(ResolveParams(ring->spec(), {{"k", 1}}).ok());  // min is 2
+}
+
+TEST(FamilyRegistry, BuildIsDeterministicPerSeed) {
+  for (const std::string& name : RegisteredFamilies()) {
+    auto a = BuildFamily(name, {}, 7);
+    auto b = BuildFamily(name, {}, 7);
+    ASSERT_TRUE(a.ok()) << name;
+    ASSERT_TRUE(b.ok()) << name;
+    EXPECT_EQ(SystemToText(*a->system), SystemToText(*b->system)) << name;
+  }
+  EXPECT_FALSE(BuildFamily("no_such_family").ok());
+}
+
+TEST(FamilyRegistry, ParamOverrideParsing) {
+  auto kv = ParseParamOverride("k=12");
+  ASSERT_TRUE(kv.ok());
+  EXPECT_EQ(kv->first, "k");
+  EXPECT_EQ(kv->second, 12.0);
+
+  auto fractional = ParseParamOverride("skew=1.5");
+  ASSERT_TRUE(fractional.ok());
+  EXPECT_EQ(fractional->second, 1.5);
+
+  EXPECT_FALSE(ParseParamOverride("k").ok());
+  EXPECT_FALSE(ParseParamOverride("k=").ok());
+  EXPECT_FALSE(ParseParamOverride("=3").ok());
+  EXPECT_FALSE(ParseParamOverride("k=abc").ok());
+  EXPECT_FALSE(ParseParamOverride("k=1.5x").ok());
+}
+
+TEST(FamilyRegistry, ParamValueRenderingRoundTrips) {
+  EXPECT_EQ(ParamValueToString(8), "8");
+  EXPECT_EQ(ParamValueToString(-3), "-3");
+  for (double value : {1.2, 0.25, 1.0 / 3.0}) {
+    std::string text = ParamValueToString(value);
+    EXPECT_EQ(std::stod(text), value) << text;
+  }
+}
+
+TEST(TraceFormat, GenerateSerializeParseRoundTrips) {
+  for (const std::string& family : RegisteredFamilies()) {
+    auto trace = GenerateTrace(family);
+    ASSERT_TRUE(trace.ok()) << family;
+    EXPECT_EQ(trace->header.family, family);
+    EXPECT_EQ(trace->header.seed, kDefaultSeed);
+    EXPECT_EQ(trace->header.trace_version, kTraceVersion);
+    EXPECT_EQ(trace->header.records,
+              static_cast<int64_t>(trace->records.size()));
+    EXPECT_GE(trace->header.records, 2) << family;  // system + check minimum
+
+    std::string bytes = trace->Serialize();
+    auto reparsed = ParseTrace(bytes);
+    ASSERT_TRUE(reparsed.ok()) << family << ": "
+                               << reparsed.status().ToString();
+    EXPECT_EQ(reparsed->Serialize(), bytes) << family;
+    EXPECT_EQ(reparsed->header.params, trace->header.params) << family;
+  }
+}
+
+TEST(TraceFormat, GenerationIsByteDeterministic) {
+  for (const std::string& family : RegisteredFamilies()) {
+    auto a = GenerateTrace(family, {}, 5);
+    auto b = GenerateTrace(family, {}, 5);
+    ASSERT_TRUE(a.ok()) << family;
+    ASSERT_TRUE(b.ok()) << family;
+    EXPECT_EQ(a->Serialize(), b->Serialize()) << family;
+  }
+}
+
+TEST(TraceFormat, UnknownFamilyNamesTheRegistry) {
+  auto trace = GenerateTrace("no_such_family");
+  ASSERT_FALSE(trace.ok());
+  EXPECT_NE(trace.status().message().find("ring"), std::string::npos);
+}
+
+TEST(TraceFormat, BadParamOverrideIsRejectedBeforeGeneration) {
+  EXPECT_FALSE(GenerateTrace("ring", {{"k", 1}}).ok());
+  EXPECT_FALSE(GenerateTrace("ring", {{"bogus", 3}}).ok());
+}
+
+TEST(TraceFormat, RejectsForeignAndFutureHeaders) {
+  std::string bytes = GenerateTrace("ring")->Serialize();
+
+  auto wrong_format =
+      ParseTrace(Replaced(bytes, "\"dislock-trace\"", "\"other-format\""));
+  ASSERT_FALSE(wrong_format.ok());
+  EXPECT_NE(wrong_format.status().message().find("other-format"),
+            std::string::npos);
+
+  auto future_schema =
+      ParseTrace(Replaced(bytes, "\"schema_version\": 1", "\"schema_version\": 99"));
+  ASSERT_FALSE(future_schema.ok());
+  EXPECT_NE(future_schema.status().message().find("schema_version"),
+            std::string::npos);
+
+  auto future_trace =
+      ParseTrace(Replaced(bytes, "\"trace_version\": 1", "\"trace_version\": 99"));
+  ASSERT_FALSE(future_trace.ok());
+  EXPECT_NE(future_trace.status().message().find("trace_version"),
+            std::string::npos);
+
+  auto unknown_key =
+      ParseTrace(Replaced(bytes, "\"seed\"", "\"surprise\""));
+  ASSERT_FALSE(unknown_key.ok());
+  EXPECT_NE(unknown_key.status().message().find("surprise"),
+            std::string::npos);
+}
+
+TEST(TraceFormat, RejectsTruncationAndCorruptRecords) {
+  std::string bytes = GenerateTrace("ring")->Serialize();
+
+  // Drop the last record line: the header's record count catches it.
+  std::string truncated = bytes;
+  truncated.pop_back();  // trailing '\n'
+  truncated.resize(truncated.rfind('\n') + 1);
+  auto short_trace = ParseTrace(truncated);
+  ASSERT_FALSE(short_trace.ok());
+  EXPECT_NE(short_trace.status().message().find("truncated"),
+            std::string::npos);
+
+  // A record that is not JSON.
+  std::string garbled = Replaced(bytes, "{\"cmd\": \"check\"}", "not json!");
+  EXPECT_FALSE(ParseTrace(garbled).ok());
+
+  // A record that is valid JSON but not an object.
+  std::string non_object = Replaced(bytes, "{\"cmd\": \"check\"}", "42");
+  EXPECT_FALSE(ParseTrace(non_object).ok());
+
+  EXPECT_FALSE(ParseTrace("").ok());
+  EXPECT_FALSE(ParseTrace("plainly not a trace\n").ok());
+}
+
+// The committed golden traces are the cross-machine determinism pin: the
+// registry must regenerate each one byte for byte from (family, defaults,
+// seed 42). A diff here means generation changed — bump kTraceVersion and
+// regenerate the goldens deliberately, never silently.
+TEST(TraceFormat, GoldenTracesRegenerateByteIdentically) {
+  for (const std::string& family : RegisteredFamilies()) {
+    auto trace = GenerateTrace(family);
+    ASSERT_TRUE(trace.ok()) << family;
+    EXPECT_EQ(trace->Serialize(), ReadGolden(family)) << family;
+  }
+}
+
+}  // namespace
+}  // namespace gen
+}  // namespace dislock

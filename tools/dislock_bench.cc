@@ -10,6 +10,14 @@
 //   dislock_bench [--quick] [--threads N] [--cache] [--reps N] [--out path]
 //                 [--trace=FILE] [--metrics[=FILE]]
 //
+// Workloads come from the shared family registry (src/gen/family.h) — the
+// same ring/dense definitions `dislock gen` emits as .dlt traces, so a
+// bench row and a committed trace always describe the same system.
+// --bench=trace generates every registered family at its defaults, times
+// the direct replay, and runs the byte-identity gate (check reports from
+// the serve sequencer at {1,4} shards x {1,4} threads vs the direct
+// replay), writing BENCH_trace.json.
+//
 // --threads defaults to 0 (one worker per hardware thread). Speedups are a
 // property of the machine: on a single-core container parallel ≈ serial by
 // construction; the deterministic-output check is meaningful everywhere.
@@ -45,6 +53,9 @@
 #include "cache/verdict_cache.h"
 #include "cache/verdict_store.h"
 #include "core/wire_keys.h"
+#include "gen/family.h"
+#include "gen/replay.h"
+#include "gen/trace.h"
 #include "graph/cycles.h"
 #include "graph/dominator.h"
 #include "graph/reachability.h"
@@ -61,40 +72,25 @@
 namespace dislock {
 namespace {
 
-/// k strongly-two-phase transactions over a sparse entity ring: Ti locks
-/// {e_i, e_(i+1 mod k)}, so G is a ring (2 directed k-cycles; the pair
-/// tests dominate).
-Workload MakeRingSystem(int k) {
-  Workload w;
-  w.db = std::make_shared<DistributedDatabase>(2);
-  for (int e = 0; e < k; ++e) {
-    w.db->MustAddEntity(StrCat("e", e), e % 2);
-  }
-  w.system = std::make_shared<TransactionSystem>(w.db.get());
-  for (int t = 0; t < k; ++t) {
-    w.system->Add(MakeTwoPhaseTransaction(
-        w.db.get(), StrCat("T", t + 1),
-        {static_cast<EntityId>(t), static_cast<EntityId>((t + 1) % k)}));
-  }
-  return w;
+/// Builds a registered workload family (src/gen/family.h) — the bench's
+/// only workload source, so every row regenerates from the same registry
+/// as the committed .dlt traces. A bad family/params combination is a
+/// programming error here, not an input error.
+Workload BuildRegistered(const std::string& family,
+                         const gen::ParamMap& overrides = {}) {
+  auto w = gen::BuildFamily(family, overrides);
+  DISLOCK_CHECK(w.ok());
+  return std::move(w).value();
 }
 
-/// Dense system: every transaction locks every entity, so G is complete and
-/// the (capped) cycle enumeration dominates — the embarrassingly parallel
-/// regime.
+Workload MakeRingSystem(int k) {
+  return BuildRegistered("ring", {{"k", static_cast<double>(k)}});
+}
+
 Workload MakeDenseSystem(int k, int entities) {
-  Workload w;
-  w.db = std::make_shared<DistributedDatabase>(2);
-  std::vector<EntityId> all;
-  for (int e = 0; e < entities; ++e) {
-    all.push_back(w.db->MustAddEntity(StrCat("e", e), e % 2));
-  }
-  w.system = std::make_shared<TransactionSystem>(w.db.get());
-  for (int t = 0; t < k; ++t) {
-    w.system->Add(MakeTwoPhaseTransaction(w.db.get(), StrCat("T", t + 1),
-                                          all));
-  }
-  return w;
+  return BuildRegistered("dense", {{"k", static_cast<double>(k)},
+                                   {"entities",
+                                    static_cast<double>(entities)}});
 }
 
 struct BenchCase {
@@ -712,7 +708,8 @@ namespace {
 
 int BenchUsage() {
   std::fprintf(stderr,
-               "usage: dislock_bench [--bench=all|multi|kernel|serve|cache]\n"
+               "usage: dislock_bench "
+               "[--bench=all|multi|kernel|serve|cache|trace]\n"
                "                     [--quick] [--reps N] [--out path]\n"
                "                     [--kernel-slowdown-limit X]\n"
                "%s"
@@ -721,22 +718,24 @@ int BenchUsage() {
                "                    (flat-vs-legacy microbenches), serve (the\n"
                "                    concurrent SafetyService), cache (the\n"
                "                    persistent verdict store, cold vs warm),\n"
-               "                    or all (default)\n"
+               "                    trace (replay every registered workload\n"
+               "                    family and gate check-report identity\n"
+               "                    across the shard/thread grid), or all\n"
+               "                    (default)\n"
                "  --kernel-slowdown-limit X\n"
                "                    fail (exit 1) if any kernel row's flat\n"
                "                    time exceeds X * legacy time (default "
                "1.1)\n"
-               "  --out path        also directs the incremental edit-stream\n"
-               "                    table to <path dir>/BENCH_incremental."
-               "json\n"
-               "                    and the kernel table to <path dir>/"
-               "BENCH_kernel.json\n",
+               "                    (--out names the multi table; the other\n"
+               "                    BENCH_*.json tables land in its "
+               "directory)\n",
                dislock::CommonFlagsHelp(dislock::kThreadsFlag |
                                         dislock::kCacheFlag |
                                         dislock::kObsFlags |
                                         dislock::kClientsFlag |
                                         dislock::kShardsFlag |
-                                        dislock::kCacheDirFlag)
+                                        dislock::kCacheDirFlag |
+                                        dislock::kOutFlag)
                    .c_str());
   return 2;
 }
@@ -747,13 +746,13 @@ int main(int argc, char** argv) {
   using namespace dislock;
   bool quick = false;
   int reps = 0;     // 0 = pick per mode below
-  const char* out_path = "BENCH_multi.json";
   std::string bench_mode = "all";
   double slowdown_limit = 1.1;
   CommonFlags flags;
   flags.num_threads = 0;  // bench default: one worker per hardware thread
   constexpr unsigned kAccepted = kThreadsFlag | kCacheFlag | kObsFlags |
-                                 kClientsFlag | kShardsFlag | kCacheDirFlag;
+                                 kClientsFlag | kShardsFlag | kCacheDirFlag |
+                                 kOutFlag;
   for (int i = 1; i < argc; ++i) {
     std::string error;
     switch (ParseCommonFlag(argc, argv, i, kAccepted, &flags, &error)) {
@@ -772,15 +771,13 @@ int main(int argc, char** argv) {
       quick = true;
     } else if (std::strcmp(argv[i], "--reps") == 0 && i + 1 < argc) {
       reps = std::atoi(argv[++i]);
-    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
-      out_path = argv[++i];
     } else if (std::strncmp(argv[i], "--bench=", 8) == 0) {
       bench_mode = argv[i] + 8;
       if (bench_mode != "all" && bench_mode != "multi" &&
           bench_mode != "kernel" && bench_mode != "serve" &&
-          bench_mode != "cache") {
+          bench_mode != "cache" && bench_mode != "trace") {
         ReportBadFlag("dislock_bench",
-                      "--bench must be all|multi|kernel|serve|cache");
+                      "--bench must be all|multi|kernel|serve|cache|trace");
         return BenchUsage();
       }
     } else if (std::strcmp(argv[i], "--kernel-slowdown-limit") == 0 &&
@@ -791,6 +788,8 @@ int main(int argc, char** argv) {
       return BenchUsage();
     }
   }
+  const std::string out_path =
+      flags.out.empty() ? "BENCH_multi.json" : flags.out;
   const int threads = flags.num_threads;
   const bool engine_cache = flags.cache;
   obs::Observability bundle(flags.trace_path, flags.metrics,
@@ -932,7 +931,7 @@ int main(int argc, char** argv) {
   std::ofstream out(out_path);
   out << json.str() << "\n";
   out.close();
-  std::printf("wrote %s (threads=%d, hardware=%d)\n", out_path,
+  std::printf("wrote %s (threads=%d, hardware=%d)\n", out_path.c_str(),
               effective_threads, ThreadPool::HardwareThreads());
 
   // ---- Incremental edit-stream trajectory (BENCH_incremental.json,
@@ -1243,6 +1242,71 @@ int main(int argc, char** argv) {
                 cache_ok ? "ok" : "FAILED");
   }
 
+  bool trace_ok = true;
+  if (bench_mode == "all" || bench_mode == "trace") {
+    // --bench=trace: the replay byte-identity gate, run as a bench family
+    // so CI publishes it (BENCH_trace.json). Every registered workload
+    // family is generated at its defaults, timed through the direct
+    // SessionCore replay, then verified: check reports from the serve
+    // sequencer at {1,4} shards x {1,4} threads must be byte-identical to
+    // the direct replay. A DIVERGED cell is a determinism bug, not a
+    // performance regression.
+    std::ostringstream tj;
+    tj << "{\"" << wire::kSchemaVersionKey << "\": " << wire::kSchemaVersion
+       << ", \"bench\": \"trace_replay\", \"trace_version\": "
+       << gen::kTraceVersion << ", \"seed\": " << gen::kDefaultSeed
+       << ", \"hardware_threads\": " << ThreadPool::HardwareThreads()
+       << ", \"reps\": " << reps << ", \"quick\": "
+       << (quick ? "true" : "false") << ", \"families\": [";
+    bool first = true;
+    for (const std::string& family : gen::RegisteredFamilies()) {
+      auto trace = gen::GenerateTrace(family);
+      DISLOCK_CHECK(trace.ok());
+      gen::ReplayOptions replay_opts;
+      gen::ReplayResult direct = gen::ReplayDirect(*trace, replay_opts);
+      double direct_ms = TimeMs(reps, [&] {
+        direct = gen::ReplayDirect(*trace, replay_opts);
+      });
+      gen::VerifyResult verify = gen::VerifyReplay(*trace);
+      const bool row_ok = verify.ok && direct.errors == 0;
+      trace_ok = trace_ok && row_ok;
+      if (!first) tj << ", ";
+      first = false;
+      tj << "{\"name\": \"" << family
+         << "\", \"records\": " << trace->header.records
+         << ", \"checks\": " << direct.checks
+         << ", \"direct_ms\": " << direct_ms << ", \"cells\": [";
+      for (size_t i = 0; i < verify.cells.size(); ++i) {
+        const gen::VerifyCell& cell = verify.cells[i];
+        if (i > 0) tj << ", ";
+        tj << "{\"shards\": " << cell.shards
+           << ", \"threads\": " << cell.threads << ", \"identical\": "
+           << (cell.identical ? "true" : "false")
+           << ", \"errors\": " << cell.errors << "}";
+      }
+      tj << "], \"ok\": " << (row_ok ? "true" : "false") << "}";
+      std::printf("trace/%-11s records=%lld checks=%lld direct=%.2fms %s\n",
+                  family.c_str(),
+                  static_cast<long long>(trace->header.records),
+                  static_cast<long long>(direct.checks), direct_ms,
+                  row_ok ? "grid-identical" : "GRID DIVERGED");
+    }
+    tj << "], \"ok\": " << (trace_ok ? "true" : "false") << "}";
+
+    std::string trace_path = "BENCH_trace.json";
+    {
+      size_t slash = out_path.rfind('/');
+      if (slash != std::string::npos) {
+        trace_path = out_path.substr(0, slash + 1) + trace_path;
+      }
+    }
+    std::ofstream trace_out(trace_path);
+    trace_out << tj.str() << "\n";
+    trace_out.close();
+    std::printf("wrote %s (%s)\n", trace_path.c_str(),
+                trace_ok ? "ok" : "FAILED");
+  }
+
   std::string obs_error;
   if (!bundle.Flush(&obs_error)) {
     std::fprintf(stderr, "%s\n", obs_error.c_str());
@@ -1253,6 +1317,10 @@ int main(int argc, char** argv) {
   // flat-vs-legacy slowdown limit; the serve family gates on sharded
   // check-report identity and an error-free run; the cache family gates on
   // warmth-invariant reports, verdicts actually served from disk, and the
-  // warm pair-wall speedup (when the cold wall cleared the noise floor).
-  return all_identical && inc_ok && kernel_ok && serve_ok && cache_ok ? 0 : 1;
+  // warm pair-wall speedup (when the cold wall cleared the noise floor);
+  // the trace family gates on grid-wide check-report byte identity.
+  return all_identical && inc_ok && kernel_ok && serve_ok && cache_ok &&
+                 trace_ok
+             ? 0
+             : 1;
 }

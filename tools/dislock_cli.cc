@@ -17,6 +17,16 @@
 //                                   interactive / scripted incremental
 //                                   re-analysis (load/add/remove/replace/
 //                                   check/analyze) backed by the delta engine
+//   dislock gen <family> [--param k=16] [--seed N] [--out=FILE]
+//                                   emit a deterministic .dlt workload trace
+//                                   for a registered family (src/gen/);
+//                                   `gen --list` prints the catalog
+//   dislock replay <trace.dlt> [--shards K] [--threads N] [--verify]
+//                                   drive a .dlt trace through the
+//                                   incremental engine; --verify gates
+//                                   byte-identical check reports across the
+//                                   shard/thread grid; --endpoint HOST:PORT
+//                                   replays against a live dislock_serve
 //   dislock example                 print a sample system file
 //
 // `analyze` and `session` also take the shared observability flags
@@ -52,7 +62,11 @@
 #include "core/safety.h"
 #include "core/stats_export.h"
 #include "core/wire_keys.h"
+#include "gen/family.h"
+#include "gen/replay.h"
+#include "gen/trace.h"
 #include "obs/observability.h"
+#include "serve/server.h"
 #include "obs/trace.h"
 #include "sat/normalize.h"
 #include "sat/reduction.h"
@@ -575,11 +589,214 @@ int RunSessionCommand(int argc, char** argv) {
   return failed == 0 ? 0 : 1;
 }
 
+// Writes `text` to --out when given, stdout otherwise. A file that cannot
+// be written is an input error (exit 1), matching `fix`.
+int WriteTextOutput(const std::string& text, const CommonFlags& common) {
+  if (common.out.empty()) {
+    std::fwrite(text.data(), 1, text.size(), stdout);
+    return 0;
+  }
+  std::ofstream out(common.out, std::ios::trunc);
+  if (!out || !(out << text) || !out.flush()) {
+    std::fprintf(stderr, "cannot write %s\n", common.out.c_str());
+    return 1;
+  }
+  return 0;
+}
+
+// `dislock gen`: emit one workload family's deterministic .dlt trace (or
+// the self-describing catalog with --list). Exits 0 on success, 1 on
+// generation/IO errors, 2 on usage errors.
+int RunGenCommand(int argc, char** argv) {
+  CommonFlags common;
+  const char* family = nullptr;
+  bool list = false;
+  bool json = false;
+  gen::ParamMap overrides;
+  constexpr unsigned kAccepted = kSeedFlag | kOutFlag;
+  auto add_override = [&overrides](const char* text) {
+    auto parsed = gen::ParseParamOverride(text);
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "%s\n", parsed.status().ToString().c_str());
+      return false;
+    }
+    overrides[parsed->first] = parsed->second;
+    return true;
+  };
+  for (int i = 2; i < argc; ++i) {
+    std::string error;
+    switch (ParseCommonFlag(argc, argv, i, kAccepted, &common, &error)) {
+      case FlagParse::kConsumedTwo:
+        ++i;
+        [[fallthrough]];
+      case FlagParse::kConsumedOne:
+        continue;
+      case FlagParse::kError:
+        ReportBadFlag("dislock", error);
+        return 2;
+      case FlagParse::kNotCommon:
+        break;
+    }
+    if (std::strcmp(argv[i], "--list") == 0) {
+      list = true;
+    } else if (std::strcmp(argv[i], "--json") == 0) {
+      json = true;
+    } else if (std::strcmp(argv[i], "--param") == 0 && i + 1 < argc) {
+      if (!add_override(argv[++i])) return 2;
+    } else if (std::strncmp(argv[i], "--param=", 8) == 0) {
+      if (!add_override(argv[i] + 8)) return 2;
+    } else if (argv[i][0] != '-' && family == nullptr) {
+      family = argv[i];
+    } else {
+      ReportUnknownArgument("dislock", argv[i]);
+      return 2;
+    }
+  }
+  if (list) {
+    return WriteTextOutput(
+        json ? gen::FamilyCatalogToJson() : gen::FamilyCatalogToText(),
+        common);
+  }
+  if (family == nullptr) return 2;
+  auto trace = gen::GenerateTrace(family, overrides, common.seed);
+  if (!trace.ok()) {
+    std::fprintf(stderr, "%s\n", trace.status().ToString().c_str());
+    return 1;
+  }
+  return WriteTextOutput(trace->Serialize(), common);
+}
+
+// Splits --endpoint HOST:PORT; false (with a stderr line) when malformed.
+bool ParseEndpoint(const std::string& endpoint, std::string* host,
+                   int* port) {
+  size_t colon = endpoint.rfind(':');
+  if (colon == std::string::npos || colon == 0 ||
+      colon + 1 >= endpoint.size()) {
+    std::fprintf(stderr, "dislock: --endpoint wants HOST:PORT, got '%s'\n",
+                 endpoint.c_str());
+    return false;
+  }
+  *host = endpoint.substr(0, colon);
+  *port = std::atoi(endpoint.c_str() + colon + 1);
+  if (*port <= 0 || *port > 65535) {
+    std::fprintf(stderr, "dislock: bad --endpoint port in '%s'\n",
+                 endpoint.c_str());
+    return false;
+  }
+  return true;
+}
+
+// `dislock replay`: drive a committed .dlt trace through the incremental
+// engine. Default: one in-process SessionCore replay, responses to stdout
+// (or --out). --verify: the byte-identity gate — check reports from the
+// serve-style sequencer at {1,4} shards x {1,4} threads must match the
+// direct replay byte for byte. --endpoint HOST:PORT: feed the records to a
+// live dislock_serve over TCP instead. Exits 0 on a clean replay, 1 on
+// input errors / failed commands / a verify divergence, 2 on usage errors.
+int RunReplayCommand(int argc, char** argv) {
+  CommonFlags common;
+  const char* path = nullptr;
+  bool verify = false;
+  constexpr unsigned kAccepted = kThreadsFlag | kShardsFlag | kCacheFlag |
+                                 kCacheDirFlag | kObsFlags | kEndpointFlag |
+                                 kOutFlag;
+  for (int i = 2; i < argc; ++i) {
+    std::string error;
+    switch (ParseCommonFlag(argc, argv, i, kAccepted, &common, &error)) {
+      case FlagParse::kConsumedTwo:
+        ++i;
+        [[fallthrough]];
+      case FlagParse::kConsumedOne:
+        continue;
+      case FlagParse::kError:
+        ReportBadFlag("dislock", error);
+        return 2;
+      case FlagParse::kNotCommon:
+        break;
+    }
+    if (std::strcmp(argv[i], "--verify") == 0) {
+      verify = true;
+    } else if (argv[i][0] != '-' && path == nullptr) {
+      path = argv[i];
+    } else {
+      ReportUnknownArgument("dislock", argv[i]);
+      return 2;
+    }
+  }
+  if (path == nullptr) return 2;
+  auto text = ReadFile(path);
+  if (!text.ok()) {
+    std::fprintf(stderr, "%s\n", text.status().ToString().c_str());
+    return 1;
+  }
+  auto trace = gen::ParseTrace(*text);
+  if (!trace.ok()) {
+    std::fprintf(stderr, "%s\n", trace.status().ToString().c_str());
+    return 1;
+  }
+
+  if (verify) {
+    gen::VerifyResult result = gen::VerifyReplay(*trace);
+    for (const gen::VerifyCell& cell : result.cells) {
+      std::fprintf(stderr, "shards=%d threads=%d: %s (%d failed commands)\n",
+                   cell.shards, cell.threads,
+                   cell.identical ? "check reports identical" : "DIVERGED",
+                   cell.errors);
+    }
+    std::fprintf(stderr, "verify: %s (%s, seed %llu, %lld records)\n",
+                 result.ok ? "OK" : "FAILED", trace->header.family.c_str(),
+                 static_cast<unsigned long long>(trace->header.seed),
+                 static_cast<long long>(trace->header.records));
+    return result.ok ? 0 : 1;
+  }
+
+  if (!common.endpoint.empty()) {
+    std::string host;
+    int port = 0;
+    if (!ParseEndpoint(common.endpoint, &host, &port)) return 2;
+    std::ostringstream script;
+    for (const std::string& record : trace->records) {
+      script << record << "\n";
+    }
+    std::istringstream in(script.str());
+    std::ostringstream captured;
+    if (serve::RunClientTrace(host, port, in, captured, std::cerr) != 0) {
+      return 1;
+    }
+    return WriteTextOutput(captured.str(), common);
+  }
+
+  obs::Observability bundle(common.trace_path, common.metrics,
+                            common.metrics_path);
+  cache::VerdictStore store;
+  OpenStoreIfRequested(common, &store);
+  gen::ReplayOptions options;
+  options.shards = common.shards;
+  options.threads = common.num_threads;
+  options.config.enable_cache = common.cache;
+  options.config.store = store.is_open() ? &store : nullptr;
+  options.config.trace = bundle.trace();
+  options.config.stats = bundle.metrics();
+  gen::ReplayResult result = gen::ReplayDirect(*trace, options);
+  int rc = WriteTextOutput(result.output, common);
+  std::fprintf(stderr, "replayed %lld commands, %lld checks, %d errors\n",
+               static_cast<long long>(result.commands),
+               static_cast<long long>(result.checks), result.errors);
+  FinishStore(&store, bundle.metrics());
+  FlushObservability(bundle);
+  if (rc != 0) return rc;
+  return result.errors == 0 ? 0 : 1;
+}
+
 int Usage() {
   std::string analyze_help = CommonFlagsHelp(
       kThreadsFlag | kCacheFlag | kFormatFlag | kObsFlags | kCacheDirFlag);
   std::string session_help = CommonFlagsHelp(
       kThreadsFlag | kCacheFlag | kObsFlags | kShardsFlag | kCacheDirFlag);
+  std::string gen_help = CommonFlagsHelp(kSeedFlag | kOutFlag);
+  std::string replay_help =
+      CommonFlagsHelp(kThreadsFlag | kShardsFlag | kCacheFlag |
+                      kCacheDirFlag | kObsFlags | kEndpointFlag | kOutFlag);
   std::fprintf(stderr,
                "usage: dislock analyze <system.dlk>\n"
                "                       [--passes a,b,c] [--no-deadlock]\n"
@@ -599,8 +816,21 @@ int Usage() {
                "          engine; reads stdin when no script is given;\n"
                "          --json emits one JSON object per command)\n"
                "%s"
+               "       dislock gen <family> [--param NAME=VALUE ...]\n"
+               "         (emit the family's deterministic .dlt trace —\n"
+               "          a schema-versioned header line plus one session\n"
+               "          JSON envelope per record; `dislock gen --list\n"
+               "          [--json]` prints the self-describing catalog)\n"
+               "%s"
+               "       dislock replay <trace.dlt> [--verify]\n"
+               "         (drive a .dlt trace through the incremental\n"
+               "          engine and print the session responses; --verify\n"
+               "          replays the {1,4} shards x {1,4} threads grid and\n"
+               "          gates byte-identical check reports)\n"
+               "%s"
                "       dislock example\n",
-               analyze_help.c_str(), session_help.c_str());
+               analyze_help.c_str(), session_help.c_str(), gen_help.c_str(),
+               replay_help.c_str());
   return 2;
 }
 
@@ -697,6 +927,14 @@ int main(int argc, char** argv) {
   }
   if (std::strcmp(argv[1], "session") == 0) {
     int rc = RunSessionCommand(argc, argv);
+    return rc == 2 ? Usage() : rc;
+  }
+  if (std::strcmp(argv[1], "gen") == 0) {
+    int rc = RunGenCommand(argc, argv);
+    return rc == 2 ? Usage() : rc;
+  }
+  if (std::strcmp(argv[1], "replay") == 0) {
+    int rc = RunReplayCommand(argc, argv);
     return rc == 2 ? Usage() : rc;
   }
   return Usage();
